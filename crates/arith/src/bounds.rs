@@ -1,0 +1,241 @@
+//! Bounds analysis for arithmetic expressions.
+//!
+//! The simplification rules of Section 5.3 have side conditions of the form `x < y`. Those are
+//! discharged by computing a symbolic (inclusive) upper bound of `x` and lower bound of `y` from
+//! the [`Range`](crate::Range) information attached to variables — the "domain knowledge" the
+//! paper says a traditional OpenCL compiler is missing.
+
+use crate::expr::ArithExpr;
+use crate::simplify;
+
+/// Returns a symbolic inclusive lower bound of `e`, if one can be derived.
+pub(crate) fn lower_bound(e: &ArithExpr) -> Option<ArithExpr> {
+    match e {
+        ArithExpr::Cst(c) => Some(ArithExpr::Cst(*c)),
+        ArithExpr::Var(v) => v.range().min.as_deref().cloned(),
+        ArithExpr::Sum(ts) => {
+            let mut acc = Vec::with_capacity(ts.len());
+            for t in ts {
+                acc.push(lower_bound(t)?);
+            }
+            Some(simplify::make_sum(acc))
+        }
+        ArithExpr::Prod(fs) => prod_bound(fs, BoundKind::Lower),
+        ArithExpr::IntDiv(x, _) => {
+            // For natural-number division the result is at least 0.
+            if is_non_negative(x) {
+                Some(ArithExpr::Cst(0))
+            } else {
+                None
+            }
+        }
+        ArithExpr::Mod(x, m) => {
+            if is_non_negative(x) && is_non_negative(m) {
+                Some(ArithExpr::Cst(0))
+            } else {
+                None
+            }
+        }
+        ArithExpr::Pow(b, e) => {
+            let lb = lower_bound(b)?;
+            if is_non_negative(&lb) {
+                Some(simplify::make_pow(lb, *e))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Returns a symbolic inclusive upper bound of `e`, if one can be derived.
+pub(crate) fn upper_bound(e: &ArithExpr) -> Option<ArithExpr> {
+    match e {
+        ArithExpr::Cst(c) => Some(ArithExpr::Cst(*c)),
+        ArithExpr::Var(v) => {
+            let max_excl = v.range().max_excl.as_deref()?;
+            Some(simplify::make_sum(vec![max_excl.clone(), ArithExpr::Cst(-1)]))
+        }
+        ArithExpr::Sum(ts) => {
+            let mut acc = Vec::with_capacity(ts.len());
+            for t in ts {
+                acc.push(upper_bound(t)?);
+            }
+            Some(simplify::make_sum(acc))
+        }
+        ArithExpr::Prod(fs) => prod_bound(fs, BoundKind::Upper),
+        ArithExpr::IntDiv(x, y) => {
+            // x / y <= x when y >= 1.
+            let lb_y = lower_bound(y)?;
+            if matches!(lb_y.as_cst(), Some(c) if c >= 1) {
+                upper_bound(x)
+            } else {
+                None
+            }
+        }
+        ArithExpr::Mod(x, m) => {
+            // x mod m <= m - 1 (and also <= x for non-negative x).
+            let ub_m = upper_bound(m)
+                .map(|u| simplify::make_sum(vec![u, ArithExpr::Cst(-1)]));
+            match ub_m {
+                Some(u) => Some(u),
+                None => {
+                    if is_non_negative(x) {
+                        upper_bound(x)
+                    } else {
+                        None
+                    }
+                }
+            }
+        }
+        ArithExpr::Pow(b, e) => {
+            let ub = upper_bound(b)?;
+            if is_non_negative(&ub) {
+                Some(simplify::make_pow(ub, *e))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum BoundKind {
+    Lower,
+    Upper,
+}
+
+/// Bound of a product `c * f1 * f2 * …` where the non-constant factors must be provably
+/// non-negative for the analysis to say anything.
+fn prod_bound(factors: &[ArithExpr], kind: BoundKind) -> Option<ArithExpr> {
+    let mut coeff = 1i64;
+    let mut rest = Vec::new();
+    for f in factors {
+        match f {
+            ArithExpr::Cst(c) => coeff *= c,
+            other => rest.push(other),
+        }
+    }
+    // All non-constant factors must be non-negative.
+    if !rest.iter().all(|f| is_non_negative(f)) {
+        return None;
+    }
+    // Pick the bound of each factor depending on the sign of the coefficient.
+    let want_upper = match (kind, coeff >= 0) {
+        (BoundKind::Upper, true) | (BoundKind::Lower, false) => true,
+        (BoundKind::Upper, false) | (BoundKind::Lower, true) => false,
+    };
+    let mut acc = vec![ArithExpr::Cst(coeff)];
+    for f in rest {
+        let b = if want_upper { upper_bound(f)? } else { lower_bound(f)? };
+        if !is_non_negative(&b) {
+            return None;
+        }
+        acc.push(b);
+    }
+    Some(simplify::make_prod(acc))
+}
+
+/// Conservatively decides whether `e >= 0` always holds.
+pub(crate) fn is_non_negative(e: &ArithExpr) -> bool {
+    match e {
+        ArithExpr::Cst(c) => *c >= 0,
+        ArithExpr::Var(v) => match v.range().min.as_deref() {
+            Some(min) => is_non_negative(min),
+            None => false,
+        },
+        ArithExpr::Sum(ts) => ts.iter().all(is_non_negative),
+        ArithExpr::Prod(fs) => {
+            let negatives = fs.iter().filter(|f| !is_non_negative(f)).count();
+            match negatives {
+                0 => true,
+                // A single provably non-positive constant times non-negative factors is not
+                // non-negative; anything more complicated is unknown, so be conservative.
+                _ => false,
+            }
+        }
+        ArithExpr::IntDiv(x, y) | ArithExpr::Mod(x, y) => is_non_negative(x) && is_non_negative(y),
+        ArithExpr::Pow(b, e) => is_non_negative(b) || e % 2 == 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ArithExpr as A;
+
+    #[test]
+    fn constant_bounds_are_exact() {
+        assert_eq!(lower_bound(&A::cst(5)), Some(A::cst(5)));
+        assert_eq!(upper_bound(&A::cst(5)), Some(A::cst(5)));
+    }
+
+    #[test]
+    fn ranged_variable_bounds() {
+        let n = A::size_var("N");
+        let i = A::var_in_range("i", 0, n.clone());
+        assert_eq!(lower_bound(&i), Some(A::cst(0)));
+        assert_eq!(upper_bound(&i), Some(n - 1));
+    }
+
+    #[test]
+    fn size_variable_has_no_upper_bound() {
+        let n = A::size_var("N");
+        assert_eq!(lower_bound(&n), Some(A::cst(1)));
+        assert_eq!(upper_bound(&n), None);
+    }
+
+    #[test]
+    fn sum_bounds_add() {
+        let n = A::size_var("N");
+        let i = A::var_in_range("i", 0, n.clone());
+        let j = A::var_in_range("j", 0, A::cst(4));
+        let e = &i + &j;
+        assert_eq!(lower_bound(&e), Some(A::cst(0)));
+        assert_eq!(upper_bound(&e), Some(n + 2)); // (N-1) + 3
+    }
+
+    #[test]
+    fn product_bound_with_positive_coefficient() {
+        let i = A::var_in_range("i", 0, A::cst(8));
+        let e = &i * 2;
+        assert_eq!(upper_bound(&e), Some(A::cst(14)));
+        assert_eq!(lower_bound(&e), Some(A::cst(0)));
+    }
+
+    #[test]
+    fn product_bound_with_negative_coefficient_swaps() {
+        let i = A::var_in_range("i", 0, A::cst(8));
+        let e = &i * -2;
+        assert_eq!(upper_bound(&e), Some(A::cst(0)));
+        assert_eq!(lower_bound(&e), Some(A::cst(-14)));
+    }
+
+    #[test]
+    fn mod_upper_bound_is_modulus_minus_one() {
+        let x = A::var("x");
+        let e = ArithExpr::Mod(Box::new(x), Box::new(A::cst(16)));
+        assert_eq!(upper_bound(&e), Some(A::cst(15)));
+    }
+
+    #[test]
+    fn div_is_non_negative_for_naturals() {
+        let n = A::size_var("N");
+        let i = A::var_in_range("i", 0, n.clone());
+        let e = ArithExpr::IntDiv(Box::new(i), Box::new(n));
+        assert_eq!(lower_bound(&e), Some(A::cst(0)));
+        assert!(is_non_negative(&e));
+    }
+
+    #[test]
+    fn unknown_variable_is_not_provably_non_negative() {
+        assert!(!is_non_negative(&A::var("x")));
+        assert!(is_non_negative(&A::size_var("N")));
+    }
+
+    #[test]
+    fn even_powers_are_non_negative() {
+        let x = A::var("x");
+        assert!(is_non_negative(&ArithExpr::Pow(Box::new(x.clone()), 2)));
+        assert!(!is_non_negative(&ArithExpr::Pow(Box::new(x), 3)));
+    }
+}

@@ -1,0 +1,55 @@
+//! Symbolic arithmetic expressions for the Lift IR.
+//!
+//! The Lift type system tracks array lengths and index expressions as symbolic arithmetic
+//! expressions over natural numbers (Section 5.1 of the paper). This crate implements those
+//! expressions together with the ingredients the compiler relies on:
+//!
+//! * a normalising representation ([`ArithExpr`]) with sums, products, integer division,
+//!   modulo and powers,
+//! * named [`Var`]iables carrying value [`Range`] information (e.g. a work-group id is known
+//!   to lie in `[0, M)`),
+//! * the algebraic simplification rules (1)–(6) of Section 5.3 which exploit those ranges,
+//! * bounds analysis ([`ArithExpr::lower_bound`], [`ArithExpr::upper_bound`]) used to decide
+//!   the side conditions of the rules,
+//! * substitution and concrete evaluation (used by tests and by the virtual GPU), and
+//! * pretty printing to OpenCL C syntax.
+//!
+//! # Example
+//!
+//! The matrix-transposition index of Figure 6 simplifies to the compact form a human would
+//! write:
+//!
+//! ```
+//! use lift_arith::ArithExpr;
+//!
+//! let m = ArithExpr::size_var("M");
+//! let wg = ArithExpr::var_in_range("wg_id", 0, m.clone());
+//! let l = ArithExpr::var_in_range("l_id", 0, m.clone());
+//!
+//! // (wg_id * M + l_id) mod M simplifies to l_id.
+//! let idx = (wg.clone() * m.clone() + l.clone()) % m.clone();
+//! assert_eq!(idx, l);
+//! ```
+
+mod bounds;
+mod expr;
+mod printer;
+mod simplify;
+mod subst;
+
+pub use expr::{ArithExpr, Range, Var};
+pub use printer::CPrinter;
+pub use subst::{Environment, EvalError};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_level_doc_example_compiles() {
+        let m = ArithExpr::size_var("M");
+        let wg = ArithExpr::var_in_range("wg_id", 0, m.clone());
+        let idx = (wg * m.clone()) % m;
+        assert_eq!(idx, ArithExpr::cst(0));
+    }
+}

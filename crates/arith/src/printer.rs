@@ -1,0 +1,186 @@
+//! Pretty printing of arithmetic expressions to OpenCL C syntax.
+
+use crate::expr::ArithExpr;
+
+/// Prints arithmetic expressions as OpenCL C expressions.
+///
+/// The printer is precedence-aware so that the emitted source contains only the parentheses
+/// that are actually needed — part of keeping generated kernels close to what a human would
+/// write (Section 5.3).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CPrinter;
+
+/// Binding strength of the different operators, used to decide parenthesisation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Prec {
+    Add,
+    Mul,
+    Atom,
+}
+
+/// Splits a sum term into its sign and absolute value so that sums print as subtractions
+/// (`N - 1` instead of `N + (-1)`).
+fn split_negative_term(t: &ArithExpr) -> (bool, ArithExpr) {
+    match t {
+        ArithExpr::Cst(c) if *c < 0 => (true, ArithExpr::Cst(-c)),
+        ArithExpr::Prod(fs) => {
+            let mut negative = false;
+            let mut out = Vec::with_capacity(fs.len());
+            for f in fs {
+                match f {
+                    ArithExpr::Cst(c) if *c < 0 => {
+                        negative = true;
+                        if *c != -1 {
+                            out.push(ArithExpr::Cst(-c));
+                        }
+                    }
+                    other => out.push(other.clone()),
+                }
+            }
+            if negative {
+                let abs = match out.len() {
+                    0 => ArithExpr::Cst(1),
+                    1 => out.pop().expect("non-empty"),
+                    _ => ArithExpr::Prod(out),
+                };
+                (true, abs)
+            } else {
+                (false, t.clone())
+            }
+        }
+        _ => (false, t.clone()),
+    }
+}
+
+impl CPrinter {
+    /// Creates a new printer.
+    pub fn new() -> Self {
+        CPrinter
+    }
+
+    /// Renders `e` as an OpenCL C expression string.
+    pub fn print(&self, e: &ArithExpr) -> String {
+        self.print_prec(e, Prec::Add)
+    }
+
+    fn print_prec(&self, e: &ArithExpr, outer: Prec) -> String {
+        let (s, prec) = match e {
+            ArithExpr::Cst(c) => {
+                if *c < 0 {
+                    (format!("({c})"), Prec::Atom)
+                } else {
+                    (c.to_string(), Prec::Atom)
+                }
+            }
+            ArithExpr::Var(v) => (v.name().to_string(), Prec::Atom),
+            ArithExpr::Sum(ts) => {
+                let mut s = String::new();
+                for (i, t) in ts.iter().enumerate() {
+                    let (negative, abs) = split_negative_term(t);
+                    let rendered = self.print_prec(&abs, Prec::Add);
+                    if i == 0 {
+                        if negative {
+                            s.push('-');
+                        }
+                        s.push_str(&rendered);
+                    } else {
+                        s.push_str(if negative { " - " } else { " + " });
+                        s.push_str(&rendered);
+                    }
+                }
+                (s, Prec::Add)
+            }
+            ArithExpr::Prod(fs) => {
+                let rendered: Vec<String> =
+                    fs.iter().map(|f| self.print_prec(f, Prec::Mul)).collect();
+                (rendered.join(" * "), Prec::Mul)
+            }
+            ArithExpr::IntDiv(a, b) => (
+                format!("{} / {}", self.print_prec(a, Prec::Mul), self.print_prec(b, Prec::Atom)),
+                Prec::Mul,
+            ),
+            ArithExpr::Mod(a, b) => (
+                format!("{} % {}", self.print_prec(a, Prec::Mul), self.print_prec(b, Prec::Atom)),
+                Prec::Mul,
+            ),
+            ArithExpr::Pow(b, e) => {
+                let base = self.print_prec(b, Prec::Mul);
+                let repeated = vec![base; *e as usize];
+                (repeated.join(" * "), Prec::Mul)
+            }
+        };
+        if prec < outer {
+            format!("({s})")
+        } else {
+            s
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atoms_print_bare() {
+        let p = CPrinter::new();
+        assert_eq!(p.print(&ArithExpr::cst(42)), "42");
+        assert_eq!(p.print(&ArithExpr::var("x")), "x");
+    }
+
+    #[test]
+    fn negative_constants_are_parenthesised() {
+        let p = CPrinter::new();
+        assert_eq!(p.print(&ArithExpr::cst(-3)), "(-3)");
+    }
+
+    #[test]
+    fn sums_and_products_nest_with_parentheses_only_where_needed() {
+        let p = CPrinter::new();
+        let x = ArithExpr::var("x");
+        let y = ArithExpr::var("y");
+        // Build the product around a sum manually: the smart constructor would distribute it.
+        let e = ArithExpr::Prod(vec![
+            ArithExpr::Sum(vec![x.clone(), y.clone()]),
+            ArithExpr::var("z"),
+        ]);
+        let s = p.print(&e);
+        assert!(s.contains('('), "sum inside product must be parenthesised: {s}");
+        let e = x * y + ArithExpr::var("z");
+        let s = p.print(&e);
+        assert!(!s.contains('('), "product inside sum needs no parentheses: {s}");
+    }
+
+    #[test]
+    fn subtraction_prints_with_minus_sign() {
+        let p = CPrinter::new();
+        let n = ArithExpr::size_var("N");
+        let e = n - 1;
+        assert_eq!(p.print(&e), "N - 1");
+    }
+
+    #[test]
+    fn division_and_modulo_print_in_c_syntax() {
+        let p = CPrinter::new();
+        let x = ArithExpr::var("x");
+        let n = ArithExpr::size_var("N");
+        let e = ArithExpr::IntDiv(Box::new(x.clone()), Box::new(n.clone()));
+        assert_eq!(p.print(&e), "x / N");
+        let e = ArithExpr::Mod(Box::new(x + 1), Box::new(n));
+        assert_eq!(p.print(&e), "(x + 1) % N");
+    }
+
+    #[test]
+    fn powers_expand_to_repeated_multiplication() {
+        let p = CPrinter::new();
+        let x = ArithExpr::var("x");
+        let e = ArithExpr::Pow(Box::new(x), 3);
+        assert_eq!(p.print(&e), "x * x * x");
+    }
+
+    #[test]
+    fn display_uses_the_printer() {
+        let x = ArithExpr::var("x");
+        assert_eq!(format!("{}", x.clone() + 2), "x + 2");
+    }
+}

@@ -1,0 +1,273 @@
+//! Substitution and concrete evaluation of arithmetic expressions.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::expr::{ArithExpr, Var};
+
+/// A mapping from variable names to concrete values, used to evaluate symbolic expressions.
+///
+/// The virtual GPU uses an environment to turn the symbolic array indices emitted by the code
+/// generator into concrete addresses, and the test-suite uses it to check that simplification
+/// preserves the value of an expression.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Environment {
+    values: HashMap<String, i64>,
+}
+
+/// Errors produced when evaluating an expression.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no binding in the environment.
+    UnboundVariable(String),
+    /// A division or modulo by zero was attempted.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl Environment {
+    /// Creates an empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Binds `name` to `value`, returning `self` for chaining.
+    pub fn bind(mut self, name: impl Into<String>, value: i64) -> Self {
+        self.values.insert(name.into(), value);
+        self
+    }
+
+    /// Binds `name` to `value` in place.
+    pub fn set(&mut self, name: impl Into<String>, value: i64) {
+        self.values.insert(name.into(), value);
+    }
+
+    /// Looks up the value bound to `name`.
+    pub fn get(&self, name: &str) -> Option<i64> {
+        self.values.get(name).copied()
+    }
+
+    /// Returns an iterator over all bindings.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, i64)> {
+        self.values.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+}
+
+impl FromIterator<(String, i64)> for Environment {
+    fn from_iter<T: IntoIterator<Item = (String, i64)>>(iter: T) -> Self {
+        Environment { values: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(String, i64)> for Environment {
+    fn extend<T: IntoIterator<Item = (String, i64)>>(&mut self, iter: T) {
+        self.values.extend(iter);
+    }
+}
+
+impl ArithExpr {
+    /// Evaluates the expression under the given environment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnboundVariable`] if a variable is missing from the environment and
+    /// [`EvalError::DivisionByZero`] on division or modulo by zero.
+    pub fn evaluate(&self, env: &Environment) -> Result<i64, EvalError> {
+        match self {
+            ArithExpr::Cst(c) => Ok(*c),
+            ArithExpr::Var(v) => env
+                .get(v.name())
+                .ok_or_else(|| EvalError::UnboundVariable(v.name().to_string())),
+            ArithExpr::Sum(ts) => {
+                let mut acc = 0i64;
+                for t in ts {
+                    acc += t.evaluate(env)?;
+                }
+                Ok(acc)
+            }
+            ArithExpr::Prod(fs) => {
+                let mut acc = 1i64;
+                for f in fs {
+                    acc *= f.evaluate(env)?;
+                }
+                Ok(acc)
+            }
+            ArithExpr::IntDiv(a, b) => {
+                let a = a.evaluate(env)?;
+                let b = b.evaluate(env)?;
+                if b == 0 {
+                    Err(EvalError::DivisionByZero)
+                } else {
+                    Ok(a.div_euclid(b))
+                }
+            }
+            ArithExpr::Mod(a, b) => {
+                let a = a.evaluate(env)?;
+                let b = b.evaluate(env)?;
+                if b == 0 {
+                    Err(EvalError::DivisionByZero)
+                } else {
+                    Ok(a.rem_euclid(b))
+                }
+            }
+            ArithExpr::Pow(b, e) => Ok(b.evaluate(env)?.pow(*e)),
+        }
+    }
+
+    /// Evaluates the expression, resolving variables through the given lookup function.
+    ///
+    /// This avoids building an [`Environment`] when variable values already live in another
+    /// data structure (the virtual GPU uses it to resolve loop variables and kernel
+    /// parameters directly from its per-thread state).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EvalError::UnboundVariable`] if the lookup returns `None` for a variable and
+    /// [`EvalError::DivisionByZero`] on division or modulo by zero.
+    pub fn evaluate_with(
+        &self,
+        lookup: &dyn Fn(&str) -> Option<i64>,
+    ) -> Result<i64, EvalError> {
+        match self {
+            ArithExpr::Cst(c) => Ok(*c),
+            ArithExpr::Var(v) => {
+                lookup(v.name()).ok_or_else(|| EvalError::UnboundVariable(v.name().to_string()))
+            }
+            ArithExpr::Sum(ts) => {
+                let mut acc = 0i64;
+                for t in ts {
+                    acc += t.evaluate_with(lookup)?;
+                }
+                Ok(acc)
+            }
+            ArithExpr::Prod(fs) => {
+                let mut acc = 1i64;
+                for f in fs {
+                    acc *= f.evaluate_with(lookup)?;
+                }
+                Ok(acc)
+            }
+            ArithExpr::IntDiv(a, b) => {
+                let b = b.evaluate_with(lookup)?;
+                if b == 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                Ok(a.evaluate_with(lookup)?.div_euclid(b))
+            }
+            ArithExpr::Mod(a, b) => {
+                let b = b.evaluate_with(lookup)?;
+                if b == 0 {
+                    return Err(EvalError::DivisionByZero);
+                }
+                Ok(a.evaluate_with(lookup)?.rem_euclid(b))
+            }
+            ArithExpr::Pow(b, e) => Ok(b.evaluate_with(lookup)?.pow(*e)),
+        }
+    }
+
+    /// Substitutes every occurrence of `var` by `replacement`, re-normalising the result.
+    pub fn substitute(&self, var: &Var, replacement: &ArithExpr) -> ArithExpr {
+        let mut map = HashMap::new();
+        map.insert(var.clone(), replacement.clone());
+        self.substitute_all(&map)
+    }
+
+    /// Substitutes several variables at once, re-normalising the result.
+    pub fn substitute_all(&self, map: &HashMap<Var, ArithExpr>) -> ArithExpr {
+        match self {
+            ArithExpr::Cst(_) => self.clone(),
+            ArithExpr::Var(v) => match map.get(v) {
+                Some(r) => r.clone(),
+                None => self.clone(),
+            },
+            ArithExpr::Sum(ts) => {
+                ArithExpr::sum(ts.iter().map(|t| t.substitute_all(map)))
+            }
+            ArithExpr::Prod(fs) => {
+                ArithExpr::product(fs.iter().map(|f| f.substitute_all(map)))
+            }
+            ArithExpr::IntDiv(a, b) => a.substitute_all(map).div(b.substitute_all(map)),
+            ArithExpr::Mod(a, b) => a.substitute_all(map).modulo(b.substitute_all(map)),
+            ArithExpr::Pow(b, e) => b.substitute_all(map).pow(*e),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Range;
+
+    #[test]
+    fn evaluation_of_all_node_kinds() {
+        let env = Environment::new().bind("x", 7).bind("y", 3);
+        let x = ArithExpr::var("x");
+        let y = ArithExpr::var("y");
+        let e = ArithExpr::IntDiv(Box::new(x.clone()), Box::new(y.clone()));
+        assert_eq!(e.evaluate(&env), Ok(2));
+        let e = ArithExpr::Mod(Box::new(x.clone()), Box::new(y.clone()));
+        assert_eq!(e.evaluate(&env), Ok(1));
+        let e = ArithExpr::Pow(Box::new(y.clone()), 2);
+        assert_eq!(e.evaluate(&env), Ok(9));
+        assert_eq!((x + y).evaluate(&env), Ok(10));
+    }
+
+    #[test]
+    fn unbound_variable_errors() {
+        let env = Environment::new();
+        let err = ArithExpr::var("missing").evaluate(&env);
+        assert_eq!(err, Err(EvalError::UnboundVariable("missing".into())));
+        assert!(err.unwrap_err().to_string().contains("missing"));
+    }
+
+    #[test]
+    fn division_by_zero_errors() {
+        let env = Environment::new().bind("x", 1);
+        let e = ArithExpr::IntDiv(Box::new(ArithExpr::var("x")), Box::new(ArithExpr::cst(0)));
+        assert_eq!(e.evaluate(&env), Err(EvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn substitution_renormalises() {
+        let n = ArithExpr::size_var("N");
+        let i = ArithExpr::var_in_range("i", 0, n.clone());
+        // i mod N cannot be simplified until we know more about i.
+        let x = ArithExpr::var("x");
+        let e = ArithExpr::Mod(Box::new(x.clone()), Box::new(n.clone()));
+        let v = Var::new("x", Range::unknown());
+        let substituted = e.substitute(&v, &i);
+        // After substitution the range of i lets rule 3 fire.
+        assert_eq!(substituted, i);
+    }
+
+    #[test]
+    fn substitute_all_replaces_multiple_variables() {
+        let a = Var::new("a", Range::unknown());
+        let b = Var::new("b", Range::unknown());
+        let e = ArithExpr::from_var(a.clone()) * 2 + ArithExpr::from_var(b.clone());
+        let mut map = HashMap::new();
+        map.insert(a, ArithExpr::cst(3));
+        map.insert(b, ArithExpr::cst(4));
+        assert_eq!(e.substitute_all(&map), ArithExpr::cst(10));
+    }
+
+    #[test]
+    fn environment_iter_and_extend() {
+        let mut env = Environment::new().bind("a", 1);
+        env.extend(vec![("b".to_string(), 2)]);
+        assert_eq!(env.get("b"), Some(2));
+        assert_eq!(env.iter().count(), 2);
+        let env2: Environment = vec![("x".to_string(), 5)].into_iter().collect();
+        assert_eq!(env2.get("x"), Some(5));
+    }
+}

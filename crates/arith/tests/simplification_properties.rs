@@ -1,0 +1,145 @@
+//! Property-based tests: simplification must never change the value of an expression.
+//!
+//! Random expression trees are built from variables with known ranges; each tree is constructed
+//! both through the raw (non-simplifying) constructors and through the normalising smart
+//! constructors, and both are evaluated under random assignments drawn from the variable ranges.
+
+use lift_arith::{ArithExpr, Environment};
+use proptest::prelude::*;
+
+/// A little expression description we can both build raw and build simplified.
+#[derive(Clone, Debug)]
+enum Shape {
+    Cst(i64),
+    /// One of the ranged index variables i0..i3.
+    Idx(usize),
+    /// One of the size variables N, M (fixed to concrete values at evaluation time).
+    Size(usize),
+    Add(Box<Shape>, Box<Shape>),
+    Mul(Box<Shape>, Box<Shape>),
+    Div(Box<Shape>, Box<Shape>),
+    Mod(Box<Shape>, Box<Shape>),
+}
+
+const SIZES: [(&str, i64); 2] = [("N", 16), ("M", 8)];
+const INDICES: [(&str, usize); 4] = [("i0", 0), ("i1", 1), ("i2", 0), ("i3", 1)];
+
+fn size_expr(k: usize) -> ArithExpr {
+    ArithExpr::size_var(SIZES[k % SIZES.len()].0)
+}
+
+fn index_expr(k: usize) -> ArithExpr {
+    let (name, size_idx) = INDICES[k % INDICES.len()];
+    ArithExpr::var_in_range(name, 0, size_expr(size_idx))
+}
+
+/// Builds the expression through the normalising smart constructors.
+fn build_simplified(s: &Shape) -> ArithExpr {
+    match s {
+        Shape::Cst(c) => ArithExpr::cst(*c),
+        Shape::Idx(k) => index_expr(*k),
+        Shape::Size(k) => size_expr(*k),
+        Shape::Add(a, b) => build_simplified(a) + build_simplified(b),
+        Shape::Mul(a, b) => build_simplified(a) * build_simplified(b),
+        Shape::Div(a, b) => build_simplified(a) / build_simplified(b),
+        Shape::Mod(a, b) => build_simplified(a) % build_simplified(b),
+    }
+}
+
+/// Evaluates the expression shape directly over integers (the ground truth).
+fn eval_shape(s: &Shape, env: &Environment) -> Option<i64> {
+    Some(match s {
+        Shape::Cst(c) => *c,
+        Shape::Idx(k) => env.get(INDICES[*k % INDICES.len()].0).expect("bound"),
+        Shape::Size(k) => env.get(SIZES[*k % SIZES.len()].0).expect("bound"),
+        Shape::Add(a, b) => eval_shape(a, env)? + eval_shape(b, env)?,
+        Shape::Mul(a, b) => eval_shape(a, env)? * eval_shape(b, env)?,
+        Shape::Div(a, b) => {
+            let d = eval_shape(b, env)?;
+            if d == 0 {
+                return None;
+            }
+            eval_shape(a, env)?.div_euclid(d)
+        }
+        Shape::Mod(a, b) => {
+            let d = eval_shape(b, env)?;
+            if d == 0 {
+                return None;
+            }
+            eval_shape(a, env)?.rem_euclid(d)
+        }
+    })
+}
+
+fn shape_strategy() -> impl Strategy<Value = Shape> {
+    let leaf = prop_oneof![
+        (0i64..6).prop_map(Shape::Cst),
+        (0usize..4).prop_map(Shape::Idx),
+        (0usize..2).prop_map(Shape::Size),
+    ];
+    leaf.prop_recursive(4, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| Shape::Div(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| Shape::Mod(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+fn environment(i0: i64, i1: i64, i2: i64, i3: i64) -> Environment {
+    Environment::new()
+        .bind("N", SIZES[0].1)
+        .bind("M", SIZES[1].1)
+        .bind("i0", i0)
+        .bind("i1", i1)
+        .bind("i2", i2)
+        .bind("i3", i3)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Simplified expressions evaluate to the same value as the direct evaluation of the
+    /// un-simplified tree, for any in-range assignment of the index variables.
+    #[test]
+    fn simplification_preserves_value(
+        shape in shape_strategy(),
+        i0 in 0i64..16,
+        i1 in 0i64..8,
+        i2 in 0i64..16,
+        i3 in 0i64..8,
+    ) {
+        let env = environment(i0, i1, i2, i3);
+        let expected = eval_shape(&shape, &env);
+        // Division by zero cannot happen for the simplified expression when it cannot happen
+        // for the raw tree, but the raw tree may hit it (e.g. `x / (i0 mod 1)`): skip those.
+        if let Some(expected) = expected {
+            let simplified = build_simplified(&shape);
+            let actual = simplified.evaluate(&env);
+            prop_assert_eq!(actual, Ok(expected));
+        }
+    }
+
+    /// Simplification is idempotent: re-normalising a normalised expression does not change it.
+    #[test]
+    fn simplification_is_idempotent(shape in shape_strategy()) {
+        let once = build_simplified(&shape);
+        let twice = ArithExpr::sum([once.clone()]);
+        prop_assert_eq!(once, twice);
+    }
+
+    /// The printer emits parseable, digit/identifier/operator-only output.
+    #[test]
+    fn printer_output_is_well_formed(shape in shape_strategy()) {
+        let e = build_simplified(&shape);
+        let s = e.to_string();
+        prop_assert!(!s.is_empty());
+        let balance = s.chars().fold(0i64, |acc, c| match c {
+            '(' => acc + 1,
+            ')' => acc - 1,
+            _ => acc,
+        });
+        prop_assert_eq!(balance, 0, "unbalanced parentheses in {}", s);
+    }
+}

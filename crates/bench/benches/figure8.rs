@@ -1,0 +1,57 @@
+//! Criterion benches backing the Figure 8 experiment: wall-clock time of executing the
+//! generated kernels on the virtual GPU at different optimisation levels, compared with the
+//! hand-written reference kernel.
+//!
+//! The analytical relative-performance numbers of Figure 8 come from `--bin figure8`; these
+//! benches provide an independent, measured signal (simulation wall time scales with the
+//! amount of dynamic work, so the ordering between optimisation levels must match).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lift_benchmarks::runner::{run_lift, run_reference};
+use lift_benchmarks::{all_benchmarks, ProblemSize};
+use lift_codegen::CompilationOptions;
+
+fn figure8_subset(c: &mut Criterion) {
+    // A representative subset (one memory-bound, one compute-bound, one layout-heavy).
+    let selected = ["NN", "K-Means", "MM (AMD)", "Convolution"];
+    let cases: Vec<_> = all_benchmarks(ProblemSize::Small)
+        .into_iter()
+        .filter(|case| selected.contains(&case.info.name))
+        .collect();
+
+    let mut group = c.benchmark_group("figure8");
+    group.sample_size(10);
+    for case in &cases {
+        for (label, options) in [
+            ("none", CompilationOptions::none()),
+            ("all", CompilationOptions::all_optimisations()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(format!("lift-{label}"), case.info.name),
+                case,
+                |b, case| {
+                    b.iter(|| {
+                        let outcome = run_lift(case, &options).expect("runs");
+                        assert!(outcome.correct);
+                        outcome
+                    })
+                },
+            );
+        }
+        group.bench_with_input(
+            BenchmarkId::new("reference", case.info.name),
+            case,
+            |b, case| {
+                b.iter(|| {
+                    let outcome = run_reference(case).expect("runs");
+                    assert!(outcome.correct);
+                    outcome
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, figure8_subset);
+criterion_main!(benches);

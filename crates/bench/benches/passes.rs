@@ -1,0 +1,62 @@
+//! Criterion benches for the compiler itself: arithmetic simplification, type inference and
+//! full compilation of the evaluation programs. These are the ablation benches for the design
+//! choices called out in DESIGN.md (eager arithmetic normalisation, per-call re-inference).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lift_arith::ArithExpr;
+use lift_benchmarks::{all_benchmarks, ProblemSize};
+use lift_codegen::{compile, CompilationOptions};
+
+fn arithmetic_simplification(c: &mut Criterion) {
+    let n = ArithExpr::size_var("N");
+    let m = ArithExpr::size_var("M");
+    let wg = ArithExpr::var_in_range("wg_id", 0, n.clone());
+    let l = ArithExpr::var_in_range("l_id", 0, m.clone());
+
+    c.bench_function("arith/figure6-index-simplification", |b| {
+        b.iter(|| {
+            // The Figure 6 index: building it through the smart constructors simplifies it.
+            let flat = &wg * &m + &l;
+            let gathered = (&flat / &m) + (&flat % &m) * &n;
+            let row = &gathered / &n;
+            let col = &gathered % &n;
+            &row * &n + &col
+        })
+    });
+}
+
+fn type_inference(c: &mut Criterion) {
+    let mut group = c.benchmark_group("typecheck");
+    for case in all_benchmarks(ProblemSize::Small) {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(case.info.name),
+            &case,
+            |b, case| {
+                b.iter(|| {
+                    let mut program = case.program.clone();
+                    lift_ir::infer_types(&mut program).expect("types");
+                    program
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn full_compilation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("compile");
+    group.sample_size(20);
+    for case in all_benchmarks(ProblemSize::Small) {
+        let options = CompilationOptions::all_optimisations()
+            .with_launch(case.launch.global, case.launch.local);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(case.info.name),
+            &case,
+            |b, case| b.iter(|| compile(&case.program, &options).expect("compiles")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, arithmetic_simplification, type_inference, full_compilation);
+criterion_main!(benches);

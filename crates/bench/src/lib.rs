@@ -1,0 +1,47 @@
+//! Shared helpers for the benchmark harness binaries and Criterion benches.
+//!
+//! The binaries in `src/bin` regenerate the tables and figures of the paper:
+//!
+//! * `table1`  — benchmark overview and code sizes (Table 1),
+//! * `figure6` — the array-index simplification example (Figure 6),
+//! * `figure7` — the generated dot-product kernel (Figure 7),
+//! * `figure8` — relative performance of generated vs hand-written kernels under the three
+//!   optimisation levels and two device profiles (Figure 8).
+
+use lift_benchmarks::runner::RunOutcome;
+use lift_vgpu::DeviceProfile;
+
+/// Formats a relative-performance number the way the Figure 8 bars are read.
+pub fn format_relative(rel: f64) -> String {
+    format!("{rel:5.2}x")
+}
+
+/// Geometric mean of a list of ratios (used for the "Mean" column of Figure 8).
+pub fn geometric_mean(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let log_sum: f64 = values.iter().map(|v| v.max(1e-12).ln()).sum();
+    (log_sum / values.len() as f64).exp()
+}
+
+/// Convenience: estimated time of an outcome on a device.
+pub fn time_on(outcome: &RunOutcome, device: &DeviceProfile) -> f64 {
+    outcome.estimated_time(device)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn geometric_mean_of_equal_values_is_the_value() {
+        assert!((geometric_mean(&[2.0, 2.0, 2.0]) - 2.0).abs() < 1e-9);
+        assert_eq!(geometric_mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn formatting_is_stable() {
+        assert_eq!(format_relative(1.0), " 1.00x");
+    }
+}

@@ -1,0 +1,50 @@
+//! Small helpers for writing the hand-written reference kernels.
+//!
+//! The reference kernels stand in for the manually optimised OpenCL implementations the paper
+//! compares against (NVIDIA SDK, AMD SDK, SHOC, Rodinia, Parboil, CLBlast). They are written
+//! directly as `lift-ocl` ASTs in the style a GPU programmer would write them: flat indices
+//! without divisions, coalesced accesses, explicit local-memory staging where the original
+//! uses it.
+
+use lift_ocl::{AddrSpace, CExpr, CStmt, CType, Kernel, KernelParam, Module};
+
+/// A `const restrict global float *` input parameter.
+pub(crate) fn input(name: &str) -> KernelParam {
+    KernelParam {
+        name: name.into(),
+        ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+    }
+}
+
+/// A `global float *` output parameter.
+pub(crate) fn output(name: &str) -> KernelParam {
+    KernelParam { name: name.into(), ty: CType::pointer(CType::Float, AddrSpace::Global) }
+}
+
+/// An `int` parameter.
+pub(crate) fn int_param(name: &str) -> KernelParam {
+    KernelParam { name: name.into(), ty: CType::Int }
+}
+
+/// Declares a private `float` variable with an initial value.
+pub(crate) fn decl_float(name: &str, init: CExpr) -> CStmt {
+    CStmt::Decl { ty: CType::Float, name: name.into(), addr: None, array_len: None, init: Some(init) }
+}
+
+/// A counted `for` loop from 0 to `bound` (exclusive) with step 1.
+pub(crate) fn for_loop(var: &str, bound: CExpr, body: Vec<CStmt>) -> CStmt {
+    CStmt::For {
+        var: var.into(),
+        init: CExpr::int(0),
+        cond: CExpr::var(var).lt(bound),
+        step: CExpr::int(1),
+        body,
+    }
+}
+
+/// Wraps a single kernel into a module.
+pub(crate) fn module(kernel: Kernel) -> Module {
+    let mut m = Module::new();
+    m.kernels.push(kernel);
+    m
+}

@@ -1,0 +1,213 @@
+//! Address space inference (Algorithm 1 of the paper).
+//!
+//! Every expression of a Lift program is assigned one of the three OpenCL address spaces.
+//! Scalars and literals live in private memory, array parameters in global memory, and the
+//! `toGlobal` / `toLocal` / `toPrivate` wrappers override the address space the wrapped
+//! function writes to. Maps and `iterate` propagate the requested space into their nested
+//! function; `reduceSeq` writes where its initialiser lives.
+
+use std::collections::HashMap;
+
+use lift_ir::{AddressSpace, ExprId, ExprKind, FunDecl, FunDeclId, Pattern, Program};
+
+/// The per-expression address spaces computed by [`infer_address_spaces`].
+pub type AddressSpaces = HashMap<ExprId, AddressSpace>;
+
+/// Runs address space inference over a typed program.
+///
+/// Follows Algorithm 1: parameters of the root lambda get private (scalars) or global
+/// (arrays) memory, and the body is visited recursively with an optional `writeTo` override
+/// established by the `to*` wrapper patterns.
+pub fn infer_address_spaces(program: &Program) -> AddressSpaces {
+    let mut spaces = AddressSpaces::new();
+    let Some(root) = program.root() else {
+        return spaces;
+    };
+    for &p in program.root_params() {
+        let space = match &program.expr(p).ty {
+            Some(t) if t.is_scalar() => AddressSpace::Private,
+            _ => AddressSpace::Global,
+        };
+        spaces.insert(p, space);
+    }
+    let body = program.root_body();
+    infer_expr(program, body, None, &mut spaces);
+    let _ = root;
+    spaces
+}
+
+/// Infers the address space of `expr` given the requested `write_to` override, recording it in
+/// `spaces` and returning it.
+fn infer_expr(
+    program: &Program,
+    expr: ExprId,
+    write_to: Option<AddressSpace>,
+    spaces: &mut AddressSpaces,
+) -> AddressSpace {
+    let space = match &program.expr(expr).kind {
+        ExprKind::Literal(_) => AddressSpace::Private,
+        ExprKind::Param { .. } => *spaces.get(&expr).unwrap_or(&AddressSpace::Global),
+        ExprKind::FunCall { f, args } => {
+            let arg_spaces: Vec<AddressSpace> = args
+                .iter()
+                .map(|a| infer_expr(program, *a, write_to, spaces))
+                .collect();
+            infer_call(program, *f, args, &arg_spaces, write_to, spaces)
+        }
+    };
+    spaces.insert(expr, space);
+    space
+}
+
+/// Infers the address space of calling `f` (Algorithm 1, `inferASFunCall` + the per-pattern
+/// cases of `inferASExpr`).
+fn infer_call(
+    program: &Program,
+    f: FunDeclId,
+    args: &[ExprId],
+    arg_spaces: &[AddressSpace],
+    write_to: Option<AddressSpace>,
+    spaces: &mut AddressSpaces,
+) -> AddressSpace {
+    match program.decl(f) {
+        FunDecl::Lambda { params, body } => {
+            for (p, s) in params.iter().zip(arg_spaces) {
+                spaces.insert(*p, *s);
+            }
+            infer_expr(program, *body, write_to, spaces)
+        }
+        FunDecl::UserFun(_) => {
+            // A user function writes to the requested space, or to the common space of its
+            // arguments, defaulting to global when they disagree.
+            write_to.unwrap_or_else(|| {
+                let first = arg_spaces.first().copied().unwrap_or(AddressSpace::Private);
+                if arg_spaces.iter().all(|s| *s == first) {
+                    first
+                } else {
+                    AddressSpace::Global
+                }
+            })
+        }
+        FunDecl::Pattern(pattern) => match pattern {
+            Pattern::ToGlobal { f } => {
+                infer_call(program, *f, args, arg_spaces, Some(AddressSpace::Global), spaces)
+            }
+            Pattern::ToLocal { f } => {
+                infer_call(program, *f, args, arg_spaces, Some(AddressSpace::Local), spaces)
+            }
+            Pattern::ToPrivate { f } => {
+                infer_call(program, *f, args, arg_spaces, Some(AddressSpace::Private), spaces)
+            }
+            Pattern::ReduceSeq { f } => {
+                // The reduction writes into the memory of its initialiser (args[0]).
+                let init_space = arg_spaces.first().copied().unwrap_or(AddressSpace::Private);
+                let elem_spaces = vec![init_space, *arg_spaces.get(1).unwrap_or(&init_space)];
+                infer_call(program, *f, args, &elem_spaces, Some(init_space), spaces);
+                init_space
+            }
+            Pattern::MapSeq { f }
+            | Pattern::MapGlb { f, .. }
+            | Pattern::MapWrg { f, .. }
+            | Pattern::MapLcl { f, .. }
+            | Pattern::MapVec { f }
+            | Pattern::Iterate { f, .. } => {
+                infer_call(program, *f, args, arg_spaces, write_to, spaces)
+            }
+            // Data-layout patterns keep the address space of their argument.
+            _ => arg_spaces.first().copied().unwrap_or(AddressSpace::Private),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_arith::ArithExpr;
+    use lift_ir::{Type, UserFun};
+
+    fn float_array(n: impl Into<ArithExpr>) -> Type {
+        Type::array(Type::float(), n)
+    }
+
+    #[test]
+    fn parameters_follow_the_opencl_rules() {
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let m = p.map_glb(0, id);
+        p.with_root(
+            vec![("x", float_array(16usize)), ("alpha", Type::float())],
+            |p, params| p.apply1(m, params[0]),
+        );
+        lift_ir::infer_types(&mut p).unwrap();
+        let spaces = infer_address_spaces(&p);
+        assert_eq!(spaces[&p.root_params()[0]], AddressSpace::Global);
+        assert_eq!(spaces[&p.root_params()[1]], AddressSpace::Private);
+    }
+
+    #[test]
+    fn to_local_overrides_the_write_space() {
+        let mut p = Program::new("t");
+        let idf = p.user_fun(UserFun::id_float());
+        let ml = p.map_lcl(0, idf);
+        let copy_local = p.to_local(ml);
+        let wg = p.map_wrg(0, copy_local);
+        let s = p.split(16usize);
+        p.with_root(vec![("x", float_array(64usize))], |p, params| {
+            let split = p.apply1(s, params[0]);
+            p.apply1(wg, split)
+        });
+        lift_ir::infer_types(&mut p).unwrap();
+        let spaces = infer_address_spaces(&p);
+        assert_eq!(spaces[&p.root_body()], AddressSpace::Local);
+    }
+
+    #[test]
+    fn plain_map_keeps_global_space() {
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let m = p.map_glb(0, id);
+        p.with_root(vec![("x", float_array(16usize))], |p, params| p.apply1(m, params[0]));
+        lift_ir::infer_types(&mut p).unwrap();
+        let spaces = infer_address_spaces(&p);
+        assert_eq!(spaces[&p.root_body()], AddressSpace::Global);
+    }
+
+    #[test]
+    fn reduce_writes_where_its_initialiser_lives() {
+        let mut p = Program::new("t");
+        let add = p.user_fun(UserFun::add());
+        let r = p.reduce_seq(add, 0.0);
+        p.with_root(vec![("x", float_array(16usize))], |p, params| p.apply1(r, params[0]));
+        lift_ir::infer_types(&mut p).unwrap();
+        let spaces = infer_address_spaces(&p);
+        // The literal initialiser lives in private memory, so the reduction result does too.
+        assert_eq!(spaces[&p.root_body()], AddressSpace::Private);
+    }
+
+    #[test]
+    fn to_global_forces_global_even_inside_local_pipelines() {
+        let mut p = Program::new("t");
+        let idf = p.user_fun(UserFun::id_float());
+        let ml = p.map_lcl(0, idf);
+        let copy_global = p.to_global(ml);
+        let wg = p.map_wrg(0, copy_global);
+        let s = p.split(16usize);
+        p.with_root(vec![("x", float_array(64usize))], |p, params| {
+            let split = p.apply1(s, params[0]);
+            p.apply1(wg, split)
+        });
+        lift_ir::infer_types(&mut p).unwrap();
+        let spaces = infer_address_spaces(&p);
+        assert_eq!(spaces[&p.root_body()], AddressSpace::Global);
+    }
+
+    #[test]
+    fn layout_patterns_keep_their_argument_space() {
+        let mut p = Program::new("t");
+        let s = p.split(8usize);
+        p.with_root(vec![("x", float_array(64usize))], |p, params| p.apply1(s, params[0]));
+        lift_ir::infer_types(&mut p).unwrap();
+        let spaces = infer_address_spaces(&p);
+        assert_eq!(spaces[&p.root_body()], AddressSpace::Global);
+    }
+}

@@ -1,0 +1,1268 @@
+//! OpenCL code generation (Section 5.5).
+//!
+//! The generator walks the typed Lift IR from the result backwards: every expression is asked
+//! to produce its value into a *destination view*. Data-layout patterns transform the
+//! destination (writing through `join` is reading through `split`), parallel and sequential
+//! maps emit loops over the OpenCL work-item functions, reductions emit accumulation loops,
+//! `iterate` emits the double-buffered loop of Figure 7, and user functions finally emit the
+//! assignment `out[write-index] = f(in[read-index], …)` whose indices come from consuming the
+//! read and write views.
+//!
+//! The three optimisations evaluated in the paper are applied here: array-access
+//! simplification (through the [`AccessBuilder`]), control-flow simplification (loops whose
+//! trip count is statically one collapse to a block or an `if`), and barrier elimination.
+
+use std::collections::HashMap;
+
+use lift_arith::ArithExpr;
+use lift_ir::{
+    AddressSpace, ExprId, ExprKind, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder,
+    ScalarExpr, ScalarKind, Type, TypeError, UserFun,
+};
+use lift_ocl::{
+    AddrSpace, CExpr, CFunction, CStmt, CType, Fence, Kernel, KernelParam, Module, StructDef,
+};
+
+use crate::address_space::{infer_address_spaces, AddressSpaces};
+use crate::options::CompilationOptions;
+use crate::view::{resolve, AccessBuilder, Resolved, View, ViewError};
+
+/// Errors produced by the compiler.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CodegenError {
+    /// Type inference failed.
+    Type(TypeError),
+    /// A view could not be consumed into an array access.
+    View(ViewError),
+    /// The program uses a combination of patterns the generator does not support.
+    Unsupported(String),
+    /// The program has no root lambda.
+    MissingRoot,
+}
+
+impl std::fmt::Display for CodegenError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CodegenError::Type(e) => write!(f, "type error: {e}"),
+            CodegenError::View(e) => write!(f, "view error: {e}"),
+            CodegenError::Unsupported(what) => write!(f, "unsupported program shape: {what}"),
+            CodegenError::MissingRoot => write!(f, "the program has no root lambda"),
+        }
+    }
+}
+
+impl std::error::Error for CodegenError {}
+
+impl From<TypeError> for CodegenError {
+    fn from(e: TypeError) -> Self {
+        CodegenError::Type(e)
+    }
+}
+
+impl From<ViewError> for CodegenError {
+    fn from(e: ViewError) -> Self {
+        CodegenError::View(e)
+    }
+}
+
+/// Describes one parameter of the generated kernel so callers know what to pass at launch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum KernelParamInfo {
+    /// The buffer for the `index`-th input of the Lift program.
+    Input {
+        /// Kernel parameter name.
+        name: String,
+        /// Index of the corresponding root-lambda parameter.
+        index: usize,
+    },
+    /// A scalar input of the Lift program.
+    ScalarInput {
+        /// Kernel parameter name.
+        name: String,
+        /// Index of the corresponding root-lambda parameter.
+        index: usize,
+    },
+    /// The output buffer.
+    Output {
+        /// Kernel parameter name.
+        name: String,
+    },
+    /// A size variable (array length) passed as an `int`.
+    Size {
+        /// Kernel parameter name (the variable name, e.g. `N`).
+        name: String,
+    },
+}
+
+/// The result of compiling a Lift program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledKernel {
+    /// The generated OpenCL module (structs, user functions, one kernel).
+    pub module: Module,
+    /// The kernel name.
+    pub kernel_name: String,
+    /// The kernel parameters in order.
+    pub params: Vec<KernelParamInfo>,
+    /// The number of elements of the output buffer (symbolic in the size variables).
+    pub output_len: ArithExpr,
+}
+
+impl CompiledKernel {
+    /// The OpenCL C source of the whole module.
+    pub fn source(&self) -> String {
+        lift_ocl::print_module(&self.module)
+    }
+
+    /// Number of non-empty source lines (the code-size metric of Table 1).
+    pub fn line_count(&self) -> usize {
+        self.source().lines().filter(|l| !l.trim().is_empty()).count()
+    }
+}
+
+/// Compiles a Lift program into an OpenCL kernel.
+///
+/// # Errors
+///
+/// Returns a [`CodegenError`] if the program is ill-typed or uses an unsupported combination
+/// of patterns.
+pub fn compile(
+    program: &Program,
+    options: &CompilationOptions,
+) -> Result<CompiledKernel, CodegenError> {
+    let mut program = program.clone();
+    lift_ir::infer_types(&mut program)?;
+    let spaces = infer_address_spaces(&program);
+    let generator = Generator {
+        program,
+        spaces,
+        options: options.clone(),
+        builder: AccessBuilder::new(options.array_access_simplification),
+        module: Module::new(),
+        decls: Vec::new(),
+        views: HashMap::new(),
+        counter: 0,
+    };
+    generator.generate()
+}
+
+struct Generator {
+    program: Program,
+    spaces: AddressSpaces,
+    options: CompilationOptions,
+    builder: AccessBuilder,
+    module: Module,
+    decls: Vec<CStmt>,
+    views: HashMap<ExprId, View>,
+    counter: usize,
+}
+
+impl Generator {
+    fn fresh(&mut self, base: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        if n == 0 {
+            base.to_string()
+        } else {
+            format!("{base}_{n}")
+        }
+    }
+
+    fn generate(mut self) -> Result<CompiledKernel, CodegenError> {
+        if self.program.root().is_none() {
+            return Err(CodegenError::MissingRoot);
+        }
+        let root_params = self.program.root_params().to_vec();
+        let body = self.program.root_body();
+        let body_type = self.program.type_of(body).clone();
+
+        // Kernel parameters: inputs, output, then the size variables.
+        let mut params = Vec::new();
+        let mut kernel_params = Vec::new();
+        let mut size_vars: Vec<String> = Vec::new();
+        for (i, p) in root_params.iter().enumerate() {
+            let ty = self.program.type_of(*p).clone();
+            let name = match &self.program.expr(*p).kind {
+                ExprKind::Param { name } => name.clone(),
+                _ => format!("arg{i}"),
+            };
+            collect_size_vars(&ty, &mut size_vars);
+            if ty.is_array() {
+                kernel_params.push(KernelParam {
+                    name: name.clone(),
+                    ty: CType::const_restrict_pointer(
+                        scalar_ctype(ty.innermost()),
+                        AddrSpace::Global,
+                    ),
+                });
+                params.push(KernelParamInfo::Input { name: name.clone(), index: i });
+                let dims = array_dims(&ty);
+                self.views.insert(*p, View::memory(name, AddressSpace::Global, dims));
+            } else {
+                kernel_params.push(KernelParam { name: name.clone(), ty: scalar_ctype(&ty) });
+                params.push(KernelParamInfo::ScalarInput { name: name.clone(), index: i });
+                self.views.insert(*p, View::scalar_var(name, AddressSpace::Private));
+            }
+        }
+        collect_size_vars(&body_type, &mut size_vars);
+
+        let out_name = "output".to_string();
+        kernel_params.push(KernelParam {
+            name: out_name.clone(),
+            ty: CType::pointer(scalar_ctype(body_type.innermost()), AddrSpace::Global),
+        });
+        params.push(KernelParamInfo::Output { name: out_name.clone() });
+        let output_len = body_type.element_count();
+
+        size_vars.sort();
+        size_vars.dedup();
+        for s in &size_vars {
+            kernel_params.push(KernelParam { name: s.clone(), ty: CType::Int });
+            params.push(KernelParamInfo::Size { name: s.clone() });
+        }
+
+        let out_view = View::memory(out_name, AddressSpace::Global, array_dims(&body_type));
+        let body_stmts = self.gen_expr(body, &out_view)?;
+
+        let mut kernel_body = std::mem::take(&mut self.decls);
+        kernel_body.extend(body_stmts);
+        let kernel_name = self.program.name().to_string();
+        self.module.kernels.push(Kernel {
+            name: kernel_name.clone(),
+            params: kernel_params,
+            body: kernel_body,
+        });
+
+        Ok(CompiledKernel {
+            module: self.module,
+            kernel_name,
+            params,
+            output_len,
+        })
+    }
+
+    // -------------------------------------------------------------------- expressions
+
+    /// Generates code that writes the value of `expr` through the destination view.
+    fn gen_expr(&mut self, expr: ExprId, dest: &View) -> Result<Vec<CStmt>, CodegenError> {
+        match self.program.expr(expr).kind.clone() {
+            ExprKind::Literal(lit) => {
+                let target = resolve(dest, &self.builder)?;
+                Ok(vec![store_stmt(&target, literal_expr(lit), &self.builder)?])
+            }
+            ExprKind::Param { name } => Err(CodegenError::Unsupported(format!(
+                "program result is the unmodified parameter `{name}`; wrap it in map(id)"
+            ))),
+            ExprKind::FunCall { f, args } => self.gen_call(expr, f, &args, dest),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn gen_call(
+        &mut self,
+        expr: ExprId,
+        f: FunDeclId,
+        args: &[ExprId],
+        dest: &View,
+    ) -> Result<Vec<CStmt>, CodegenError> {
+        let decl = self.program.decl(f).clone();
+        match decl {
+            FunDecl::Lambda { .. } | FunDecl::UserFun(_) => {
+                let mut stmts = Vec::new();
+                let mut views = Vec::new();
+                let mut types = Vec::new();
+                for a in args {
+                    let (v, t) = self.read_view(*a, &mut stmts)?;
+                    views.push(v);
+                    types.push(t);
+                }
+                stmts.extend(self.gen_apply(f, &views, &types, dest)?);
+                Ok(stmts)
+            }
+            FunDecl::Pattern(pattern) => match pattern {
+                // Data-layout patterns transform the destination and recurse into the argument.
+                Pattern::Join => {
+                    let arg_ty = self.program.type_of(args[0]).clone();
+                    let inner = inner_len(&arg_ty)?;
+                    let new_dest = View::Split { base: Box::new(dest.clone()), chunk: inner };
+                    self.gen_expr(args[0], &new_dest)
+                }
+                Pattern::Split { chunk } => {
+                    let new_dest = View::Join { base: Box::new(dest.clone()), inner: chunk };
+                    self.gen_expr(args[0], &new_dest)
+                }
+                Pattern::Scatter { reorder } => {
+                    let arg_ty = self.program.type_of(args[0]).clone();
+                    let len = outer_len(&arg_ty)?;
+                    let new_dest =
+                        View::Reorder { base: Box::new(dest.clone()), reorder, len };
+                    self.gen_expr(args[0], &new_dest)
+                }
+                Pattern::Gather { reorder } => match reorder {
+                    Reorder::Identity => self.gen_expr(args[0], dest),
+                    _ => Err(CodegenError::Unsupported(
+                        "gather directly on the write path (use it on the read side)".into(),
+                    )),
+                },
+                Pattern::Transpose => {
+                    let new_dest = View::Transpose { base: Box::new(dest.clone()) };
+                    self.gen_expr(args[0], &new_dest)
+                }
+                Pattern::AsScalar => {
+                    let arg_ty = self.program.type_of(args[0]).clone();
+                    let width = vector_width_of(&arg_ty)?;
+                    let new_dest = View::AsVector { base: Box::new(dest.clone()), width };
+                    self.gen_expr(args[0], &new_dest)
+                }
+                Pattern::AsVector { width } => {
+                    let new_dest = View::AsScalar { base: Box::new(dest.clone()), width };
+                    self.gen_expr(args[0], &new_dest)
+                }
+                Pattern::Id => self.gen_expr(args[0], dest),
+                Pattern::ToGlobal { f } | Pattern::ToLocal { f } | Pattern::ToPrivate { f } => {
+                    self.gen_call(expr, f, args, dest)
+                }
+                Pattern::Slide { .. } | Pattern::Zip { .. } | Pattern::Get { .. } => {
+                    Err(CodegenError::Unsupported(format!(
+                        "`{}` cannot appear as the final producer of a value; it is a read-side pattern",
+                        pattern.name()
+                    )))
+                }
+                // Computational patterns: build read views for the arguments and apply.
+                _ => {
+                    let mut stmts = Vec::new();
+                    let mut views = Vec::new();
+                    let mut types = Vec::new();
+                    for a in args {
+                        let (v, t) = self.read_view(*a, &mut stmts)?;
+                        views.push(v);
+                        types.push(t);
+                    }
+                    stmts.extend(self.gen_pattern(expr, &pattern, &views, &types, dest)?);
+                    Ok(stmts)
+                }
+            },
+        }
+    }
+
+    /// Computes a readable view of `expr`, generating code into `stmts` if the expression is a
+    /// computation that must be materialised first.
+    fn read_view(
+        &mut self,
+        expr: ExprId,
+        stmts: &mut Vec<CStmt>,
+    ) -> Result<(View, Type), CodegenError> {
+        let ty = self.program.type_of(expr).clone();
+        if let Some(v) = self.views.get(&expr) {
+            return Ok((v.clone(), ty));
+        }
+        let view = match self.program.expr(expr).kind.clone() {
+            ExprKind::Literal(lit) => View::Constant(lit),
+            ExprKind::Param { name } => {
+                return Err(CodegenError::Unsupported(format!(
+                    "parameter `{name}` used before it was bound to a view"
+                )))
+            }
+            ExprKind::FunCall { f, args } => match self.program.decl(f).clone() {
+                FunDecl::Pattern(pattern) => match pattern {
+                    Pattern::Split { chunk } => {
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::Split { base: Box::new(base), chunk }
+                    }
+                    Pattern::Join => {
+                        let arg_ty = self.program.type_of(args[0]).clone();
+                        let inner = inner_len(&arg_ty)?;
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::Join { base: Box::new(base), inner }
+                    }
+                    Pattern::Gather { reorder } => {
+                        let arg_ty = self.program.type_of(args[0]).clone();
+                        let len = outer_len(&arg_ty)?;
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::Reorder { base: Box::new(base), reorder, len }
+                    }
+                    Pattern::Scatter { reorder } => {
+                        let arg_ty = self.program.type_of(args[0]).clone();
+                        let len = outer_len(&arg_ty)?;
+                        let inverse = invert_reorder(&reorder, &len)?;
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::Reorder { base: Box::new(base), reorder: inverse, len }
+                    }
+                    Pattern::Transpose => {
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::Transpose { base: Box::new(base) }
+                    }
+                    Pattern::Slide { step, .. } => {
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::Slide { base: Box::new(base), step }
+                    }
+                    Pattern::Zip { .. } => {
+                        let mut bases = Vec::with_capacity(args.len());
+                        for a in args {
+                            bases.push(self.read_view(a, stmts)?.0);
+                        }
+                        View::Zip { bases }
+                    }
+                    Pattern::Get { index } => {
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        base.component(index)
+                    }
+                    Pattern::AsVector { width } => {
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::AsVector { base: Box::new(base), width }
+                    }
+                    Pattern::AsScalar => {
+                        let arg_ty = self.program.type_of(args[0]).clone();
+                        let width = vector_width_of(&arg_ty)?;
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::AsScalar { base: Box::new(base), width }
+                    }
+                    Pattern::Id => self.read_view(args[0], stmts)?.0,
+                    Pattern::Iterate { .. } => {
+                        let (result_view, code) = self.gen_iterate(expr, f, &args)?;
+                        stmts.extend(code);
+                        result_view
+                    }
+                    _ => self.materialise(expr, stmts)?,
+                },
+                _ => self.materialise(expr, stmts)?,
+            },
+        };
+        self.views.insert(expr, view.clone());
+        Ok((view, ty))
+    }
+
+    /// Allocates a buffer (or scalar variable) for the value of `expr`, generates the code
+    /// producing it, and returns a view of the new storage.
+    fn materialise(
+        &mut self,
+        expr: ExprId,
+        stmts: &mut Vec<CStmt>,
+    ) -> Result<View, CodegenError> {
+        let ty = self.program.type_of(expr).clone();
+        let space = *self.spaces.get(&expr).unwrap_or(&AddressSpace::Private);
+        let view = self.allocate(&ty, space)?;
+        let code = self.gen_expr(expr, &view)?;
+        stmts.extend(code);
+        Ok(view)
+    }
+
+    /// Allocates storage of the given type in the given address space and returns its view.
+    fn allocate(&mut self, ty: &Type, space: AddressSpace) -> Result<View, CodegenError> {
+        let elem_count = ty.element_count();
+        let scalar = elem_count.as_cst() == Some(1) && ty.array_depth() <= 1;
+        if space == AddressSpace::Global {
+            return Err(CodegenError::Unsupported(
+                "intermediate results in global memory are not supported; use toLocal or \
+                 toPrivate for intermediate storage"
+                    .into(),
+            ));
+        }
+        let ctype = scalar_ctype(ty.innermost());
+        if scalar {
+            let name = self.fresh("acc");
+            self.decls.push(CStmt::Decl {
+                ty: ctype,
+                name: name.clone(),
+                addr: None,
+                array_len: None,
+                init: None,
+            });
+            Ok(View::scalar_var(name, space))
+        } else {
+            let name = self.fresh("tmp");
+            self.decls.push(CStmt::Decl {
+                ty: ctype,
+                name: name.clone(),
+                addr: Some(addr_of(space)),
+                array_len: Some(elem_count),
+                init: None,
+            });
+            Ok(View::memory(name, space, array_dims(ty)))
+        }
+    }
+
+    // -------------------------------------------------------------------- function application
+
+    /// Generates code applying function `f` to data described by `views` (with the given
+    /// types), writing the result through `dest`.
+    fn gen_apply(
+        &mut self,
+        f: FunDeclId,
+        views: &[View],
+        types: &[Type],
+        dest: &View,
+    ) -> Result<Vec<CStmt>, CodegenError> {
+        match self.program.decl(f).clone() {
+            FunDecl::Lambda { params, body } => {
+                if params.len() != views.len() {
+                    return Err(CodegenError::Unsupported(
+                        "lambda applied to the wrong number of arguments".into(),
+                    ));
+                }
+                for (p, v) in params.iter().zip(views) {
+                    self.views.insert(*p, v.clone());
+                }
+                // Re-annotate the lambda body for these argument types: the whole-program
+                // inference may have typed it at a different (e.g. unrolled) instantiation.
+                lift_ir::infer_call_types(&mut self.program, f, types)?;
+                self.gen_expr(body, dest)
+            }
+            FunDecl::UserFun(uf) => {
+                let call = self.user_fun_call(&uf, views, types, None)?;
+                let target = resolve(dest, &self.builder)?;
+                Ok(vec![store_stmt(&target, call, &self.builder)?])
+            }
+            FunDecl::Pattern(pattern) => self.gen_pattern_from_views(&pattern, views, types, dest),
+        }
+    }
+
+    /// Dispatch for computational patterns reached through [`Generator::gen_call`].
+    fn gen_pattern(
+        &mut self,
+        expr: ExprId,
+        pattern: &Pattern,
+        views: &[View],
+        types: &[Type],
+        dest: &View,
+    ) -> Result<Vec<CStmt>, CodegenError> {
+        match pattern {
+            Pattern::Iterate { .. } => {
+                // Iterate reached with an explicit destination: generate it, then copy.
+                let f = match &self.program.expr(expr).kind {
+                    ExprKind::FunCall { f, .. } => *f,
+                    _ => unreachable!("gen_pattern is only called on calls"),
+                };
+                let args: Vec<ExprId> = match &self.program.expr(expr).kind {
+                    ExprKind::FunCall { args, .. } => args.clone(),
+                    _ => unreachable!("gen_pattern is only called on calls"),
+                };
+                let (result_view, mut stmts) = self.gen_iterate(expr, f, &args)?;
+                let out_ty = self.program.type_of(expr).clone();
+                stmts.extend(self.copy_loop(&result_view, dest, &out_ty)?);
+                Ok(stmts)
+            }
+            _ => self.gen_pattern_from_views(pattern, views, types, dest),
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn gen_pattern_from_views(
+        &mut self,
+        pattern: &Pattern,
+        views: &[View],
+        types: &[Type],
+        dest: &View,
+    ) -> Result<Vec<CStmt>, CodegenError> {
+        match pattern {
+            Pattern::MapSeq { f } => {
+                self.gen_map_loop(MapKind::Seq, *f, &views[0], &types[0], dest)
+            }
+            Pattern::MapGlb { dim, f } => {
+                self.gen_map_loop(MapKind::Global(*dim), *f, &views[0], &types[0], dest)
+            }
+            Pattern::MapWrg { dim, f } => {
+                self.gen_map_loop(MapKind::WorkGroup(*dim), *f, &views[0], &types[0], dest)
+            }
+            Pattern::MapLcl { dim, f } => {
+                self.gen_map_loop(MapKind::Local(*dim), *f, &views[0], &types[0], dest)
+            }
+            Pattern::MapVec { f } => self.gen_map_vec(*f, &views[0], &types[0], dest),
+            Pattern::ReduceSeq { f } => {
+                self.gen_reduce(*f, &views[0], &types[0], &views[1], &types[1], dest)
+            }
+            Pattern::Id => {
+                // Identity over a scalar value: a single copy.
+                let value = self.load_value(&views[0], &types[0])?;
+                let target = resolve(dest, &self.builder)?;
+                Ok(vec![store_stmt(&target, value, &self.builder)?])
+            }
+            Pattern::ToGlobal { f } | Pattern::ToLocal { f } | Pattern::ToPrivate { f } => {
+                self.gen_apply(*f, views, types, dest)
+            }
+            other => Err(CodegenError::Unsupported(format!(
+                "pattern `{}` cannot be generated in this position",
+                other.name()
+            ))),
+        }
+    }
+
+    fn gen_map_loop(
+        &mut self,
+        kind: MapKind,
+        f: FunDeclId,
+        input: &View,
+        input_ty: &Type,
+        dest: &View,
+    ) -> Result<Vec<CStmt>, CodegenError> {
+        let (elem_ty, len) = input_ty
+            .as_array()
+            .map(|(e, l)| (e.clone(), l.clone()))
+            .ok_or_else(|| CodegenError::Unsupported("map over a non-array value".into()))?;
+
+        let (var_base, init, step, parallel_width) = match kind {
+            MapKind::Seq => ("i", CExpr::int(0), CExpr::int(1), None),
+            MapKind::Global(d) => (
+                "gl_id",
+                CExpr::global_id(d),
+                CExpr::global_size(d),
+                Some(self.options.global_size[d as usize]),
+            ),
+            MapKind::WorkGroup(d) => (
+                "wg_id",
+                CExpr::group_id(d),
+                CExpr::num_groups(d),
+                Some(self.options.num_groups()[d as usize]),
+            ),
+            MapKind::Local(d) => (
+                "l_id",
+                CExpr::local_id(d),
+                CExpr::local_size(d),
+                Some(self.options.local_size[d as usize]),
+            ),
+        };
+        let var = self.fresh(var_base);
+        let simplify_cf = self.options.control_flow_simplification;
+        // A sequential map over a single element needs neither a loop nor a loop variable:
+        // index the element directly with 0 (control-flow simplification, Section 5.5).
+        let collapse_seq = simplify_cf && matches!(kind, MapKind::Seq) && len.as_cst() == Some(1);
+        let loop_var = if collapse_seq {
+            ArithExpr::cst(0)
+        } else {
+            ArithExpr::var_in_range(&var, 0, len.clone())
+        };
+
+        let elem_view = input.clone().access(loop_var.clone());
+        let elem_dest = dest.clone().access(loop_var.clone());
+        let body = self.gen_apply(f, &[elem_view], &[elem_ty], &elem_dest)?;
+
+        let mut stmts = Vec::new();
+        match (kind, len.as_cst(), parallel_width) {
+            // Sequential map over a single element: no loop at all.
+            (MapKind::Seq, Some(1), _) if simplify_cf => {
+                stmts.extend(body);
+            }
+            // Parallel map with exactly as many threads as elements: a block with the id bound.
+            (_, Some(n), Some(width)) if simplify_cf && n == width as i64 => {
+                let mut block = vec![CStmt::Decl {
+                    ty: CType::Int,
+                    name: var.clone(),
+                    addr: None,
+                    array_len: None,
+                    init: Some(init),
+                }];
+                block.extend(body);
+                stmts.push(CStmt::Block(block));
+            }
+            // Fewer elements than threads: guard with an `if`.
+            (_, Some(n), Some(width)) if simplify_cf && n < width as i64 => {
+                let mut block = vec![CStmt::Decl {
+                    ty: CType::Int,
+                    name: var.clone(),
+                    addr: None,
+                    array_len: None,
+                    init: Some(init),
+                }];
+                block.push(CStmt::If {
+                    cond: CExpr::var(&var).lt(CExpr::Index(len.clone())),
+                    then: body,
+                    otherwise: None,
+                });
+                stmts.push(CStmt::Block(block));
+            }
+            _ => {
+                stmts.push(CStmt::For {
+                    var: var.clone(),
+                    init,
+                    cond: CExpr::var(&var).lt(CExpr::Index(len.clone())),
+                    step,
+                    body,
+                });
+            }
+        }
+
+        // Synchronisation after parallel local maps (Section 5.4). With barrier elimination
+        // enabled, barriers protecting private results are dropped.
+        let dest_space = view_space(dest);
+        let barrier = match kind {
+            MapKind::Local(_) => match dest_space {
+                AddressSpace::Local => Some(Fence::local()),
+                AddressSpace::Global => Some(Fence::global()),
+                AddressSpace::Private => {
+                    if self.options.barrier_elimination {
+                        None
+                    } else {
+                        Some(Fence::local())
+                    }
+                }
+            },
+            _ => None,
+        };
+        if let Some(fence) = barrier {
+            stmts.push(CStmt::Barrier(fence));
+        }
+        Ok(stmts)
+    }
+
+    fn gen_map_vec(
+        &mut self,
+        f: FunDeclId,
+        input: &View,
+        input_ty: &Type,
+        dest: &View,
+    ) -> Result<Vec<CStmt>, CodegenError> {
+        let uf = match self.program.decl(f).clone() {
+            FunDecl::UserFun(uf) => uf,
+            _ => {
+                return Err(CodegenError::Unsupported(
+                    "mapVec expects a user function".into(),
+                ))
+            }
+        };
+        let width = match input_ty {
+            Type::Vector(_, w) => *w,
+            _ => {
+                return Err(CodegenError::Unsupported("mapVec over a non-vector value".into()))
+            }
+        };
+        let call = self.user_fun_call(&uf, &[input.clone()], &[input_ty.clone()], Some(width))?;
+        let target = resolve(dest, &self.builder)?;
+        Ok(vec![store_stmt(&target, call, &self.builder)?])
+    }
+
+    fn gen_reduce(
+        &mut self,
+        f: FunDeclId,
+        init_view: &View,
+        init_ty: &Type,
+        input_view: &View,
+        input_ty: &Type,
+        dest: &View,
+    ) -> Result<Vec<CStmt>, CodegenError> {
+        let (elem_ty, len) = input_ty
+            .as_array()
+            .map(|(e, l)| (e.clone(), l.clone()))
+            .ok_or_else(|| CodegenError::Unsupported("reduce over a non-array value".into()))?;
+
+        // Accumulate either directly in the destination (when it is a private scalar) or in a
+        // fresh private accumulator written back once at the end, like `acc1` in Figure 7.
+        let dest_resolved = resolve(&dest.clone().access(ArithExpr::cst(0)), &self.builder)?;
+        let (acc_view, needs_writeback) = match &dest_resolved {
+            Resolved::MemoryAccess { scalar: true, memory, .. } => {
+                (View::scalar_var(memory.clone(), AddressSpace::Private), false)
+            }
+            _ => {
+                let name = self.fresh("acc");
+                self.decls.push(CStmt::Decl {
+                    ty: scalar_ctype(init_ty.innermost()),
+                    name: name.clone(),
+                    addr: None,
+                    array_len: None,
+                    init: None,
+                });
+                (View::scalar_var(name, AddressSpace::Private), true)
+            }
+        };
+
+        let mut stmts = Vec::new();
+        // acc = init
+        let init_value = self.load_value(init_view, init_ty)?;
+        let acc_target = resolve(&acc_view, &self.builder)?;
+        stmts.push(store_stmt(&acc_target, init_value, &self.builder)?);
+
+        // Accumulation loop. A reduction over a single element needs no loop or loop variable.
+        let collapse = self.options.control_flow_simplification && len.as_cst() == Some(1);
+        let var = self.fresh("i");
+        let loop_var = if collapse {
+            ArithExpr::cst(0)
+        } else {
+            ArithExpr::var_in_range(&var, 0, len.clone())
+        };
+        let elem_view = input_view.clone().access(loop_var.clone());
+        let body = self.gen_apply(
+            f,
+            &[acc_view.clone(), elem_view],
+            &[init_ty.clone(), elem_ty],
+            &acc_view,
+        )?;
+        if collapse {
+            stmts.extend(body);
+        } else {
+            stmts.push(CStmt::For {
+                var: var.clone(),
+                init: CExpr::int(0),
+                cond: CExpr::var(&var).lt(CExpr::Index(len)),
+                step: CExpr::int(1),
+                body,
+            });
+        }
+
+        if needs_writeback {
+            let acc_value = self.load_value(&acc_view, init_ty)?;
+            stmts.push(store_stmt(&dest_resolved, acc_value, &self.builder)?);
+        }
+        Ok(stmts)
+    }
+
+    /// Generates the double-buffered loop for `iterate` (Figure 7, lines 17–29) and returns
+    /// the view of the buffer holding the final result.
+    fn gen_iterate(
+        &mut self,
+        expr: ExprId,
+        f: FunDeclId,
+        args: &[ExprId],
+    ) -> Result<(View, Vec<CStmt>), CodegenError> {
+        let (n, body_fun) = match self.program.decl(f).clone() {
+            FunDecl::Pattern(Pattern::Iterate { n, f }) => (n, f),
+            _ => return Err(CodegenError::Unsupported("gen_iterate on a non-iterate".into())),
+        };
+        let mut stmts = Vec::new();
+        let (input_view, input_ty) = self.read_view(args[0], &mut stmts)?;
+        let out_ty = self.program.type_of(expr).clone();
+
+        let (elem_ty, in_len) = input_ty
+            .as_array()
+            .map(|(e, l)| (e.clone(), l.clone()))
+            .ok_or_else(|| CodegenError::Unsupported("iterate over a non-array".into()))?;
+        let out_len = outer_len(&out_ty)?;
+        let (in_c, out_c) = match (in_len.as_cst(), out_len.as_cst()) {
+            (Some(a), Some(b)) if a > 0 && b > 0 => (a, b),
+            _ => {
+                return Err(CodegenError::Unsupported(
+                    "iterate requires statically known lengths".into(),
+                ))
+            }
+        };
+        // Per-iteration shrink factor k with k^n == in/out.
+        let factor = if n == 0 || in_c == out_c {
+            1
+        } else {
+            let mut k = 1i64;
+            for candidate in 2..=in_c {
+                if candidate.checked_pow(n as u32) == Some(in_c / out_c) {
+                    k = candidate;
+                    break;
+                }
+            }
+            k
+        };
+
+        let space = match &input_view {
+            View::Memory { space, .. } => *space,
+            _ => {
+                return Err(CodegenError::Unsupported(
+                    "iterate input must be materialised in a buffer".into(),
+                ))
+            }
+        };
+        let input_name = match &input_view {
+            View::Memory { name, .. } => name.clone(),
+            _ => unreachable!("checked above"),
+        };
+
+        // Second buffer for double buffering.
+        let pong = self.fresh("tmp");
+        self.decls.push(CStmt::Decl {
+            ty: scalar_ctype(elem_ty.innermost()),
+            name: pong.clone(),
+            addr: Some(addr_of(space)),
+            array_len: Some(ArithExpr::cst(in_c)),
+            init: None,
+        });
+
+        let in_ptr = self.fresh("iter_in");
+        let out_ptr = self.fresh("iter_out");
+        let size_name = self.fresh("size");
+        let ptr_ty = CType::pointer(scalar_ctype(elem_ty.innermost()), addr_of(space));
+        stmts.push(CStmt::Decl {
+            ty: ptr_ty.clone(),
+            name: in_ptr.clone(),
+            addr: None,
+            array_len: None,
+            init: Some(CExpr::var(&input_name)),
+        });
+        stmts.push(CStmt::Decl {
+            ty: ptr_ty,
+            name: out_ptr.clone(),
+            addr: None,
+            array_len: None,
+            init: Some(CExpr::var(&pong)),
+        });
+        stmts.push(CStmt::Decl {
+            ty: CType::Int,
+            name: size_name.clone(),
+            addr: None,
+            array_len: None,
+            init: Some(CExpr::int(in_c)),
+        });
+
+        // Body: apply the iterated function from `in` (length `size`) to `out`.
+        let size_var = ArithExpr::var_in_range(&size_name, 1, ArithExpr::cst(in_c + 1));
+        let body_in_ty = Type::array(elem_ty.clone(), size_var.clone());
+        let body_in_view = View::memory(in_ptr.clone(), space, vec![size_var.clone()]);
+        let body_out_view = View::memory(
+            out_ptr.clone(),
+            space,
+            vec![size_var.clone() / ArithExpr::cst(factor)],
+        );
+        let mut body =
+            self.gen_apply(body_fun, &[body_in_view], &[body_in_ty], &body_out_view)?;
+        body.push(CStmt::Barrier(Fence::local()));
+        body.push(CStmt::Assign {
+            lhs: CExpr::var(&size_name),
+            rhs: CExpr::var(&size_name).div(CExpr::int(factor)),
+        });
+        // Swap the buffers: `in` becomes the buffer just written.
+        body.push(CStmt::Assign {
+            lhs: CExpr::var(&in_ptr),
+            rhs: CExpr::Ternary(
+                Box::new(CExpr::var(&out_ptr).eq(CExpr::var(&input_name))),
+                Box::new(CExpr::var(&input_name)),
+                Box::new(CExpr::var(&pong)),
+            ),
+        });
+        body.push(CStmt::Assign {
+            lhs: CExpr::var(&out_ptr),
+            rhs: CExpr::Ternary(
+                Box::new(CExpr::var(&in_ptr).eq(CExpr::var(&input_name))),
+                Box::new(CExpr::var(&pong)),
+                Box::new(CExpr::var(&input_name)),
+            ),
+        });
+
+        let iter_var = self.fresh("iter");
+        stmts.push(CStmt::For {
+            var: iter_var.clone(),
+            init: CExpr::int(0),
+            cond: CExpr::var(&iter_var).lt(CExpr::int(n as i64)),
+            step: CExpr::int(1),
+            body,
+        });
+
+        let result_view = View::memory(in_ptr, space, vec![out_len]);
+        Ok((result_view, stmts))
+    }
+
+    /// Emits a sequential element-by-element copy from `src` to `dest` (used when an `iterate`
+    /// result must land in a caller-provided destination).
+    fn copy_loop(
+        &mut self,
+        src: &View,
+        dest: &View,
+        ty: &Type,
+    ) -> Result<Vec<CStmt>, CodegenError> {
+        let (_, len) = ty
+            .as_array()
+            .map(|(e, l)| (e.clone(), l.clone()))
+            .ok_or_else(|| CodegenError::Unsupported("copy of a non-array".into()))?;
+        let var = self.fresh("c");
+        let loop_var = ArithExpr::var_in_range(&var, 0, len.clone());
+        let from = resolve(&src.clone().access(loop_var.clone()), &self.builder)?;
+        let to = resolve(&dest.clone().access(loop_var), &self.builder)?;
+        let body = vec![store_stmt(&to, load_expr(&from, &self.builder), &self.builder)?];
+        Ok(vec![CStmt::For {
+            var: var.clone(),
+            init: CExpr::int(0),
+            cond: CExpr::var(&var).lt(CExpr::Index(len)),
+            step: CExpr::int(1),
+            body,
+        }])
+    }
+
+    // -------------------------------------------------------------------- user functions
+
+    /// Builds the call expression for a user function applied to the given argument views,
+    /// registering the function (and any tuple structs) in the module.
+    fn user_fun_call(
+        &mut self,
+        uf: &UserFun,
+        views: &[View],
+        types: &[Type],
+        vector_width: Option<usize>,
+    ) -> Result<CExpr, CodegenError> {
+        let mut args = Vec::with_capacity(views.len());
+        for (v, t) in views.iter().zip(types) {
+            args.push(self.load_typed(v, t)?);
+        }
+        let fname = self.register_user_fun(uf, vector_width);
+        Ok(CExpr::Call(fname, args))
+    }
+
+    /// Loads a value of the given type through a view: scalars load directly, tuples load each
+    /// component into a struct literal, vectors use vector loads.
+    fn load_typed(&mut self, view: &View, ty: &Type) -> Result<CExpr, CodegenError> {
+        match ty {
+            Type::Tuple(elems) => {
+                let struct_name = ty.c_element_name();
+                self.register_tuple_struct(ty);
+                let mut fields = Vec::with_capacity(elems.len());
+                for (i, elem_ty) in elems.iter().enumerate() {
+                    let component = view.clone().component(i);
+                    fields.push(self.load_typed(&component, elem_ty)?);
+                }
+                Ok(CExpr::StructLit(struct_name, fields))
+            }
+            _ => self.load_value(view, ty),
+        }
+    }
+
+    fn load_value(&mut self, view: &View, _ty: &Type) -> Result<CExpr, CodegenError> {
+        let resolved = resolve(view, &self.builder)?;
+        Ok(load_expr(&resolved, &self.builder))
+    }
+
+    /// Registers the OpenCL function generated from a user function, returning its name.
+    fn register_user_fun(&mut self, uf: &UserFun, vector_width: Option<usize>) -> String {
+        let name = match vector_width {
+            Some(w) => format!("{}_v{w}", uf.name()),
+            None => uf.name().to_string(),
+        };
+        if self.module.function(&name).is_some() {
+            return name;
+        }
+        let mut params = Vec::with_capacity(uf.arity());
+        for (pname, pty) in uf.param_names().iter().zip(uf.param_types()) {
+            let base = self.ctype_of(pty);
+            let cty = match vector_width {
+                Some(w) => CType::Vector(Box::new(base), w),
+                None => base,
+            };
+            params.push((pname.clone(), cty));
+        }
+        let ret = match vector_width {
+            Some(w) => CType::Vector(Box::new(self.ctype_of(uf.return_type())), w),
+            None => self.ctype_of(uf.return_type()),
+        };
+        let body = scalar_to_cexpr(uf.body(), uf.param_names());
+        self.module.add_function(CFunction { name: name.clone(), ret, params, body });
+        name
+    }
+
+    fn ctype_of(&mut self, ty: &Type) -> CType {
+        match ty {
+            Type::Tuple(_) => {
+                self.register_tuple_struct(ty);
+                CType::Struct(ty.c_element_name())
+            }
+            Type::Vector(k, w) => CType::Vector(Box::new(scalar_ctype(&Type::Scalar(*k))), *w),
+            other => scalar_ctype(other),
+        }
+    }
+
+    fn register_tuple_struct(&mut self, ty: &Type) {
+        if let Type::Tuple(elems) = ty {
+            let name = ty.c_element_name();
+            let fields = elems
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (format!("_{i}"), scalar_ctype(t.innermost())))
+                .collect();
+            self.module.add_struct(StructDef { name, fields });
+        }
+    }
+}
+
+/// The flavours of map loops.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum MapKind {
+    Seq,
+    Global(u8),
+    WorkGroup(u8),
+    Local(u8),
+}
+
+// ------------------------------------------------------------------------- helpers
+
+fn addr_of(space: AddressSpace) -> AddrSpace {
+    match space {
+        AddressSpace::Global => AddrSpace::Global,
+        AddressSpace::Local => AddrSpace::Local,
+        AddressSpace::Private => AddrSpace::Private,
+    }
+}
+
+fn scalar_ctype(ty: &Type) -> CType {
+    match ty {
+        Type::Scalar(ScalarKind::Float) => CType::Float,
+        Type::Scalar(ScalarKind::Double) => CType::Double,
+        Type::Scalar(ScalarKind::Int) => CType::Int,
+        Type::Scalar(ScalarKind::Bool) => CType::Bool,
+        Type::Vector(k, w) => {
+            CType::Vector(Box::new(scalar_ctype(&Type::Scalar(*k))), *w)
+        }
+        Type::Tuple(_) => CType::Struct(ty.c_element_name()),
+        Type::Array(elem, _) => scalar_ctype(elem.innermost()),
+    }
+}
+
+/// The array dimensions of a type, outermost first (tuples and scalars have none).
+fn array_dims(ty: &Type) -> Vec<ArithExpr> {
+    let mut dims = Vec::new();
+    let mut current = ty;
+    while let Type::Array(elem, len) = current {
+        dims.push(len.clone());
+        current = elem;
+    }
+    dims
+}
+
+fn outer_len(ty: &Type) -> Result<ArithExpr, CodegenError> {
+    ty.as_array()
+        .map(|(_, l)| l.clone())
+        .ok_or_else(|| CodegenError::Unsupported("expected an array type".into()))
+}
+
+fn inner_len(ty: &Type) -> Result<ArithExpr, CodegenError> {
+    let (elem, _) = ty
+        .as_array()
+        .ok_or_else(|| CodegenError::Unsupported("expected a nested array type".into()))?;
+    outer_len(elem)
+}
+
+fn vector_width_of(ty: &Type) -> Result<usize, CodegenError> {
+    match ty.as_array().map(|(e, _)| e) {
+        Some(Type::Vector(_, w)) => Ok(*w),
+        _ => Err(CodegenError::Unsupported("expected an array of vectors".into())),
+    }
+}
+
+fn invert_reorder(reorder: &Reorder, len: &ArithExpr) -> Result<Reorder, CodegenError> {
+    match reorder {
+        Reorder::Identity => Ok(Reorder::Identity),
+        Reorder::Reverse => Ok(Reorder::Reverse),
+        Reorder::Stride(s) => Ok(Reorder::Stride(len.clone() / s.clone())),
+    }
+}
+
+fn view_space(view: &View) -> AddressSpace {
+    match view {
+        View::Memory { space, .. } => *space,
+        View::Constant(_) => AddressSpace::Private,
+        View::Access { base, .. }
+        | View::Split { base, .. }
+        | View::Join { base, .. }
+        | View::Reorder { base, .. }
+        | View::Transpose { base }
+        | View::Slide { base, .. }
+        | View::TupleComponent { base, .. }
+        | View::AsVector { base, .. }
+        | View::AsScalar { base, .. } => view_space(base),
+        View::Zip { bases } => bases.first().map_or(AddressSpace::Private, view_space),
+    }
+}
+
+fn literal_expr(lit: Literal) -> CExpr {
+    match lit {
+        Literal::Float(v) => CExpr::float(f64::from(v)),
+        Literal::Int(v) => CExpr::int(v),
+    }
+}
+
+fn load_expr(resolved: &Resolved, builder: &AccessBuilder) -> CExpr {
+    match resolved {
+        Resolved::Literal(lit) => literal_expr(*lit),
+        Resolved::MemoryAccess { memory, scalar: true, .. } => CExpr::var(memory),
+        Resolved::MemoryAccess { memory, index, vector_width: Some(w), .. } => {
+            let vec_index = if builder.simplify {
+                index.clone() / ArithExpr::cst(*w as i64)
+            } else {
+                ArithExpr::IntDiv(Box::new(index.clone()), Box::new(ArithExpr::cst(*w as i64)))
+            };
+            CExpr::Call(format!("vload{w}"), vec![CExpr::Index(vec_index), CExpr::var(memory)])
+        }
+        Resolved::MemoryAccess { memory, index, .. } => {
+            CExpr::var(memory).at(CExpr::Index(index.clone()))
+        }
+    }
+}
+
+fn store_stmt(
+    resolved: &Resolved,
+    value: CExpr,
+    builder: &AccessBuilder,
+) -> Result<CStmt, CodegenError> {
+    match resolved {
+        Resolved::Literal(_) => Err(CodegenError::Unsupported(
+            "cannot write into a constant view".into(),
+        )),
+        Resolved::MemoryAccess { memory, scalar: true, .. } => {
+            Ok(CStmt::Assign { lhs: CExpr::var(memory), rhs: value })
+        }
+        Resolved::MemoryAccess { memory, index, vector_width: Some(w), .. } => {
+            let vec_index = if builder.simplify {
+                index.clone() / ArithExpr::cst(*w as i64)
+            } else {
+                ArithExpr::IntDiv(Box::new(index.clone()), Box::new(ArithExpr::cst(*w as i64)))
+            };
+            Ok(CStmt::Expr(CExpr::Call(
+                format!("vstore{w}"),
+                vec![value, CExpr::Index(vec_index), CExpr::var(memory)],
+            )))
+        }
+        Resolved::MemoryAccess { memory, index, .. } => Ok(CStmt::Assign {
+            lhs: CExpr::var(memory).at(CExpr::Index(index.clone())),
+            rhs: value,
+        }),
+    }
+}
+
+/// Translates a user-function body into a C expression over the parameter names.
+fn scalar_to_cexpr(body: &ScalarExpr, params: &[String]) -> CExpr {
+    match body {
+        ScalarExpr::Param(i) => CExpr::var(&params[*i]),
+        ScalarExpr::ConstFloat(v) => CExpr::float(*v),
+        ScalarExpr::ConstInt(v) => CExpr::int(*v),
+        ScalarExpr::Get(e, i) => scalar_to_cexpr(e, params).field(format!("_{i}")),
+        ScalarExpr::Tuple(es) => CExpr::StructLit(
+            "tuple".into(),
+            es.iter().map(|e| scalar_to_cexpr(e, params)).collect(),
+        ),
+        ScalarExpr::Bin(op, a, b) => {
+            let a = scalar_to_cexpr(a, params);
+            let b = scalar_to_cexpr(b, params);
+            use lift_ir::BinOp::*;
+            match op {
+                Add => a.add(b),
+                Sub => a.sub(b),
+                Mul => a.mul(b),
+                Div => a.div(b),
+                Min => CExpr::Call("fmin".into(), vec![a, b]),
+                Max => CExpr::Call("fmax".into(), vec![a, b]),
+                Lt => a.lt(b),
+                Gt => CExpr::Bin(lift_ocl::CBinOp::Gt, Box::new(a), Box::new(b)),
+            }
+        }
+        ScalarExpr::Un(op, a) => {
+            let a = scalar_to_cexpr(a, params);
+            use lift_ir::UnOp::*;
+            match op {
+                Neg => CExpr::Un(lift_ocl::CUnOp::Neg, Box::new(a)),
+                Sqrt => CExpr::Call("sqrt".into(), vec![a]),
+                Rsqrt => CExpr::Call("rsqrt".into(), vec![a]),
+                Fabs => CExpr::Call("fabs".into(), vec![a]),
+                Exp => CExpr::Call("exp".into(), vec![a]),
+            }
+        }
+        ScalarExpr::Select(c, t, e) => CExpr::Ternary(
+            Box::new(scalar_to_cexpr(c, params)),
+            Box::new(scalar_to_cexpr(t, params)),
+            Box::new(scalar_to_cexpr(e, params)),
+        ),
+    }
+}
+
+fn collect_size_vars(ty: &Type, out: &mut Vec<String>) {
+    match ty {
+        Type::Array(elem, len) => {
+            for v in len.vars() {
+                out.push(v.name().to_string());
+            }
+            collect_size_vars(elem, out);
+        }
+        Type::Tuple(elems) => {
+            for e in elems {
+                collect_size_vars(e, out);
+            }
+        }
+        _ => {}
+    }
+}

@@ -1,0 +1,127 @@
+//! Compilation options.
+//!
+//! The evaluation of the paper (Section 7.4, Figure 8) compares three optimisation levels:
+//! no optimisations, barrier elimination + control-flow simplification, and additionally the
+//! array-access simplification. [`CompilationOptions`] exposes exactly those toggles plus the
+//! launch configuration the kernel is specialised for (Lift kernels are compiled for a known
+//! work-group size, which is what enables the control-flow simplification of Section 5.5).
+
+/// Which code-generator optimisations are enabled.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CompilationOptions {
+    /// Simplify array index expressions with the arithmetic rules of Section 5.3.
+    pub array_access_simplification: bool,
+    /// Remove barriers that are provably unnecessary (Section 5.4).
+    pub barrier_elimination: bool,
+    /// Remove or simplify loops whose trip count is statically known (Section 5.5).
+    pub control_flow_simplification: bool,
+    /// The local (work-group) size the kernel is specialised for.
+    pub local_size: [usize; 3],
+    /// The global size the kernel is specialised for.
+    pub global_size: [usize; 3],
+}
+
+impl CompilationOptions {
+    /// All optimisations enabled — the configuration whose output the paper compares against
+    /// hand-written OpenCL (the dark-red bars of Figure 8).
+    pub fn all_optimisations() -> CompilationOptions {
+        CompilationOptions {
+            array_access_simplification: true,
+            barrier_elimination: true,
+            control_flow_simplification: true,
+            local_size: [128, 1, 1],
+            global_size: [1024, 1, 1],
+        }
+    }
+
+    /// No optimisations (the "None" bars of Figure 8).
+    pub fn none() -> CompilationOptions {
+        CompilationOptions {
+            array_access_simplification: false,
+            barrier_elimination: false,
+            control_flow_simplification: false,
+            local_size: [128, 1, 1],
+            global_size: [1024, 1, 1],
+        }
+    }
+
+    /// Barrier elimination and control-flow simplification but no array-access simplification
+    /// (the middle bars of Figure 8).
+    pub fn without_array_access_simplification() -> CompilationOptions {
+        CompilationOptions { array_access_simplification: false, ..Self::all_optimisations() }
+    }
+
+    /// Sets the launch configuration (builder style).
+    pub fn with_launch(mut self, global: [usize; 3], local: [usize; 3]) -> CompilationOptions {
+        self.global_size = global;
+        self.local_size = local;
+        self
+    }
+
+    /// Sets a one-dimensional launch configuration.
+    pub fn with_launch_1d(self, global: usize, local: usize) -> CompilationOptions {
+        self.with_launch([global, 1, 1], [local, 1, 1])
+    }
+
+    /// Sets a two-dimensional launch configuration.
+    pub fn with_launch_2d(self, global: (usize, usize), local: (usize, usize)) -> CompilationOptions {
+        self.with_launch([global.0, global.1, 1], [local.0, local.1, 1])
+    }
+
+    /// Number of work groups per dimension.
+    pub fn num_groups(&self) -> [usize; 3] {
+        [
+            self.global_size[0] / self.local_size[0].max(1),
+            self.global_size[1] / self.local_size[1].max(1),
+            self.global_size[2] / self.local_size[2].max(1),
+        ]
+    }
+
+    /// A short label describing the enabled optimisations, used by the benchmark harness.
+    pub fn label(&self) -> &'static str {
+        match (
+            self.array_access_simplification,
+            self.barrier_elimination || self.control_flow_simplification,
+        ) {
+            (true, _) => "barrier+cf+array-simplification",
+            (false, true) => "barrier+cf",
+            (false, false) => "none",
+        }
+    }
+}
+
+impl Default for CompilationOptions {
+    fn default() -> Self {
+        Self::all_optimisations()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_the_figure8_levels() {
+        assert!(CompilationOptions::all_optimisations().array_access_simplification);
+        assert!(!CompilationOptions::none().barrier_elimination);
+        let mid = CompilationOptions::without_array_access_simplification();
+        assert!(!mid.array_access_simplification);
+        assert!(mid.barrier_elimination && mid.control_flow_simplification);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        assert_eq!(CompilationOptions::all_optimisations().label(), "barrier+cf+array-simplification");
+        assert_eq!(CompilationOptions::without_array_access_simplification().label(), "barrier+cf");
+        assert_eq!(CompilationOptions::none().label(), "none");
+    }
+
+    #[test]
+    fn launch_builders() {
+        let o = CompilationOptions::all_optimisations().with_launch_1d(4096, 256);
+        assert_eq!(o.global_size, [4096, 1, 1]);
+        assert_eq!(o.num_groups(), [16, 1, 1]);
+        let o = CompilationOptions::all_optimisations().with_launch_2d((64, 32), (16, 8));
+        assert_eq!(o.num_groups(), [4, 4, 1]);
+    }
+}

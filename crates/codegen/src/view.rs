@@ -1,0 +1,593 @@
+//! Views: generating multi-dimensional array accesses (Section 5.3, Figure 5).
+//!
+//! Data-layout patterns (`split`, `join`, `gather`, `zip`, …) do not produce code; instead the
+//! compiler records their effect in a *view* structure. When a user function finally reads or
+//! writes an element, the view chain is consumed — walking from the most recent access down to
+//! the underlying memory while maintaining an array-index stack and a tuple stack — to produce
+//! a flat index expression into the buffer.
+//!
+//! The same machinery is used for read accesses and write accesses: writing through `join` is
+//! the same index transformation as reading through `split`, writing through `scatter` is
+//! reading through `gather`, and so on.
+
+use std::fmt;
+
+use lift_arith::ArithExpr;
+use lift_ir::{AddressSpace, Literal, Reorder};
+
+/// How array accesses are combined into index expressions.
+///
+/// With `simplify` enabled the arithmetic smart constructors are used, firing the rules of
+/// Section 5.3 eagerly; with it disabled the raw mechanical expressions of Figure 6 (line 1)
+/// are kept, which is what the "no array-access simplification" configurations of Figure 8
+/// measure.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AccessBuilder {
+    /// Whether to simplify the generated index expressions.
+    pub simplify: bool,
+}
+
+impl AccessBuilder {
+    /// Creates an access builder.
+    pub fn new(simplify: bool) -> AccessBuilder {
+        AccessBuilder { simplify }
+    }
+
+    fn add(&self, a: ArithExpr, b: ArithExpr) -> ArithExpr {
+        if self.simplify {
+            a + b
+        } else {
+            ArithExpr::Sum(vec![a, b])
+        }
+    }
+
+    fn mul(&self, a: ArithExpr, b: ArithExpr) -> ArithExpr {
+        if self.simplify {
+            a * b
+        } else {
+            ArithExpr::Prod(vec![a, b])
+        }
+    }
+
+    fn div(&self, a: ArithExpr, b: ArithExpr) -> ArithExpr {
+        if self.simplify {
+            a / b
+        } else {
+            ArithExpr::IntDiv(Box::new(a), Box::new(b))
+        }
+    }
+
+    fn rem(&self, a: ArithExpr, b: ArithExpr) -> ArithExpr {
+        if self.simplify {
+            a % b
+        } else {
+            ArithExpr::Mod(Box::new(a), Box::new(b))
+        }
+    }
+
+    fn sub(&self, a: ArithExpr, b: ArithExpr) -> ArithExpr {
+        if self.simplify {
+            a - b
+        } else {
+            ArithExpr::Sum(vec![a, ArithExpr::Prod(vec![ArithExpr::cst(-1), b])])
+        }
+    }
+
+    fn reorder(&self, r: &Reorder, i: ArithExpr, n: &ArithExpr) -> ArithExpr {
+        match r {
+            Reorder::Identity => i,
+            Reorder::Reverse => self.sub(self.sub(n.clone(), ArithExpr::cst(1)), i),
+            Reorder::Stride(s) => {
+                let quot = self.div(n.clone(), s.clone());
+                let left = self.mul(self.rem(i.clone(), s.clone()), quot);
+                self.add(left, self.div(i, s.clone()))
+            }
+        }
+    }
+}
+
+/// A view of some data: either actual storage, or a chain of layout transformations applied to
+/// other views.
+#[derive(Clone, Debug, PartialEq)]
+pub enum View {
+    /// Data stored in a named buffer or variable.
+    Memory {
+        /// Buffer or variable name as it appears in the generated kernel.
+        name: String,
+        /// The address space the buffer lives in.
+        space: AddressSpace,
+        /// `true` when the "buffer" is a scalar variable (e.g. a reduction accumulator).
+        scalar: bool,
+        /// The extent of each array dimension of the stored value (outermost first), used to
+        /// linearise multi-dimensional accesses.
+        dims: Vec<ArithExpr>,
+    },
+    /// A compile-time constant (e.g. the initialiser of a reduction).
+    Constant(Literal),
+    /// One array dimension has been accessed with the given index.
+    Access {
+        /// The view being indexed.
+        base: Box<View>,
+        /// The index expression (typically a loop variable).
+        index: ArithExpr,
+    },
+    /// The viewed value is `split chunk` of the base.
+    Split {
+        /// The view of the un-split value.
+        base: Box<View>,
+        /// The chunk size.
+        chunk: ArithExpr,
+    },
+    /// The viewed value is `join` of the base, whose inner dimension has the given extent.
+    Join {
+        /// The view of the nested value.
+        base: Box<View>,
+        /// The extent of the joined (inner) dimension.
+        inner: ArithExpr,
+    },
+    /// The outer dimension of the base is read through a permutation.
+    Reorder {
+        /// The view of the un-permuted value.
+        base: Box<View>,
+        /// The permutation.
+        reorder: Reorder,
+        /// The extent of the permuted dimension.
+        len: ArithExpr,
+    },
+    /// The viewed value is the transposition of the base.
+    Transpose {
+        /// The view of the un-transposed value.
+        base: Box<View>,
+    },
+    /// The viewed value is `slide size step` of the base.
+    Slide {
+        /// The view of the un-slid value.
+        base: Box<View>,
+        /// The window step.
+        step: ArithExpr,
+    },
+    /// The viewed value is the element-wise tuple of several arrays.
+    Zip {
+        /// The views of the zipped arrays.
+        bases: Vec<View>,
+    },
+    /// A tuple component of the base is being accessed.
+    TupleComponent {
+        /// The tuple-valued view.
+        base: Box<View>,
+        /// The component index.
+        index: usize,
+    },
+    /// The viewed value reinterprets the base scalars as vectors of the given width.
+    AsVector {
+        /// The view of the scalar data.
+        base: Box<View>,
+        /// The vector width.
+        width: usize,
+    },
+    /// The viewed value reinterprets the base vectors as scalars.
+    AsScalar {
+        /// The view of the vector data.
+        base: Box<View>,
+        /// The original vector width.
+        width: usize,
+    },
+}
+
+impl View {
+    /// A view of a (flat) buffer with the given dimensions.
+    pub fn memory(
+        name: impl Into<String>,
+        space: AddressSpace,
+        dims: Vec<ArithExpr>,
+    ) -> View {
+        View::Memory { name: name.into(), space, scalar: false, dims }
+    }
+
+    /// A view of a scalar variable.
+    pub fn scalar_var(name: impl Into<String>, space: AddressSpace) -> View {
+        View::Memory { name: name.into(), space, scalar: true, dims: Vec::new() }
+    }
+
+    /// Wraps this view in an array access.
+    pub fn access(self, index: ArithExpr) -> View {
+        View::Access { base: Box::new(self), index }
+    }
+
+    /// Wraps this view in a tuple-component access.
+    pub fn component(self, index: usize) -> View {
+        View::TupleComponent { base: Box::new(self), index }
+    }
+}
+
+/// Errors raised while consuming a view.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ViewError {
+    /// A zip view was reached without a pending tuple projection.
+    MissingTupleProjection,
+    /// A tuple projection referred to a component that does not exist.
+    TupleIndexOutOfRange {
+        /// Requested component.
+        index: usize,
+        /// Available components.
+        arity: usize,
+    },
+    /// The access did not reach down to scalar elements (too few indices for the buffer).
+    PartialAccess {
+        /// The buffer being accessed.
+        memory: String,
+    },
+    /// Attempted to resolve a memory access on a constant view.
+    ConstantAccess,
+}
+
+impl fmt::Display for ViewError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ViewError::MissingTupleProjection => {
+                write!(f, "a zipped value was accessed without selecting a tuple component")
+            }
+            ViewError::TupleIndexOutOfRange { index, arity } => {
+                write!(f, "tuple component {index} requested but only {arity} are zipped")
+            }
+            ViewError::PartialAccess { memory } => {
+                write!(f, "access into `{memory}` does not reach individual elements")
+            }
+            ViewError::ConstantAccess => write!(f, "cannot generate a memory access for a constant"),
+        }
+    }
+}
+
+impl std::error::Error for ViewError {}
+
+/// The outcome of consuming a view.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Resolved {
+    /// The access resolves to a buffer element.
+    MemoryAccess {
+        /// Buffer or variable name.
+        memory: String,
+        /// Its address space.
+        space: AddressSpace,
+        /// `true` if the target is a scalar variable rather than a buffer.
+        scalar: bool,
+        /// The flat element index.
+        index: ArithExpr,
+        /// `Some(w)` when the access reads/writes a `w`-wide vector.
+        vector_width: Option<usize>,
+    },
+    /// The access resolves to a compile-time constant.
+    Literal(Literal),
+}
+
+/// Consumes a view, producing the memory access it denotes (Figure 5, right-hand side).
+///
+/// # Errors
+///
+/// Returns a [`ViewError`] if the access is structurally invalid (e.g. a zip consumed without
+/// a tuple projection).
+pub fn resolve(view: &View, builder: &AccessBuilder) -> Result<Resolved, ViewError> {
+    let mut array_stack: Vec<ArithExpr> = Vec::new();
+    let mut tuple_stack: Vec<usize> = Vec::new();
+    walk(view, builder, &mut array_stack, &mut tuple_stack, None)
+}
+
+fn walk(
+    view: &View,
+    builder: &AccessBuilder,
+    array_stack: &mut Vec<ArithExpr>,
+    tuple_stack: &mut Vec<usize>,
+    vector_width: Option<usize>,
+) -> Result<Resolved, ViewError> {
+    match view {
+        View::Access { base, index } => {
+            array_stack.push(index.clone());
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::TupleComponent { base, index } => {
+            tuple_stack.push(*index);
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::Split { base, chunk } => {
+            let outer = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            let inner = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            array_stack.push(builder.add(builder.mul(outer, chunk.clone()), inner));
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::Join { base, inner } => {
+            let idx = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            array_stack.push(builder.rem(idx.clone(), inner.clone()));
+            array_stack.push(builder.div(idx, inner.clone()));
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::Reorder { base, reorder, len } => {
+            let idx = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            array_stack.push(builder.reorder(reorder, idx, len));
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::Transpose { base } => {
+            let a = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            let b = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            array_stack.push(a);
+            array_stack.push(b);
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::Slide { base, step } => {
+            let window = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            let offset = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            array_stack.push(builder.add(builder.mul(window, step.clone()), offset));
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::Zip { bases } => {
+            let component = tuple_stack.pop().ok_or(ViewError::MissingTupleProjection)?;
+            let base = bases.get(component).ok_or(ViewError::TupleIndexOutOfRange {
+                index: component,
+                arity: bases.len(),
+            })?;
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::AsVector { base, width } => {
+            let idx = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+            array_stack.push(builder.mul(idx, ArithExpr::cst(*width as i64)));
+            walk(base, builder, array_stack, tuple_stack, Some(*width))
+        }
+        View::AsScalar { base, .. } => {
+            // Scalar elements of a vector array address the same flat storage.
+            walk(base, builder, array_stack, tuple_stack, None)
+        }
+        View::Constant(lit) => {
+            if array_stack.is_empty() {
+                Ok(Resolved::Literal(*lit))
+            } else {
+                Err(ViewError::ConstantAccess)
+            }
+        }
+        View::Memory { name, space, scalar, dims } => {
+            if *scalar {
+                return Ok(Resolved::MemoryAccess {
+                    memory: name.clone(),
+                    space: *space,
+                    scalar: true,
+                    index: ArithExpr::cst(0),
+                    vector_width,
+                });
+            }
+            // Linearise the remaining indices (outermost dimension on top of the stack).
+            if array_stack.len() < dims.len() {
+                return Err(ViewError::PartialAccess { memory: name.clone() });
+            }
+            let mut index = ArithExpr::cst(0);
+            for (d, extent) in dims.iter().enumerate() {
+                let idx = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+                let _ = extent;
+                // Stride of dimension d = product of the extents of the inner dimensions.
+                let mut stride = ArithExpr::cst(1);
+                for inner in &dims[d + 1..] {
+                    stride = builder.mul(stride, inner.clone());
+                }
+                index = builder.add(index, builder.mul(idx, stride));
+            }
+            // Any indices left over address dimensions beyond the buffer's own type (they come
+            // from views layered on top); fold them in assuming unit stride.
+            while let Some(extra) = array_stack.pop() {
+                index = builder.add(index, extra);
+            }
+            Ok(Resolved::MemoryAccess {
+                memory: name.clone(),
+                space: *space,
+                scalar: false,
+                index,
+                vector_width,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simplifying() -> AccessBuilder {
+        AccessBuilder::new(true)
+    }
+
+    fn raw() -> AccessBuilder {
+        AccessBuilder::new(false)
+    }
+
+    fn n() -> ArithExpr {
+        ArithExpr::size_var("N")
+    }
+
+    fn mem(name: &str, dims: Vec<ArithExpr>) -> View {
+        View::memory(name, AddressSpace::Global, dims)
+    }
+
+    #[test]
+    fn dot_product_first_access_matches_figure5() {
+        // Figure 5: x[(2 * l_id) + (128 * wg_id) + i]
+        let wg = ArithExpr::var_in_range("wg_id", 0, n() / 128);
+        let l = ArithExpr::var_in_range("l_id", 0, ArithExpr::cst(64));
+        let i = ArithExpr::var_in_range("i", 0, ArithExpr::cst(2));
+        let x = mem("x", vec![n()]);
+        let y = mem("y", vec![n()]);
+        let zipped = View::Zip { bases: vec![x, y] };
+        let split128 = View::Split { base: Box::new(zipped), chunk: ArithExpr::cst(128) };
+        let per_wg = split128.access(wg.clone());
+        let split2 = View::Split { base: Box::new(per_wg), chunk: ArithExpr::cst(2) };
+        let per_thread = split2.access(l.clone());
+        let element = per_thread.access(i.clone()).component(0);
+
+        let resolved = resolve(&element, &simplifying()).expect("resolves");
+        match resolved {
+            Resolved::MemoryAccess { memory, index, .. } => {
+                assert_eq!(memory, "x");
+                assert_eq!(index, l * 2 + wg * 128 + i);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn second_zip_component_reads_the_other_array() {
+        let i = ArithExpr::var_in_range("i", 0, n());
+        let x = mem("x", vec![n()]);
+        let y = mem("y", vec![n()]);
+        let zipped = View::Zip { bases: vec![x, y] };
+        let elem = zipped.access(i.clone()).component(1);
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { memory, index, .. } => {
+                assert_eq!(memory, "y");
+                assert_eq!(index, i);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn zip_without_projection_is_an_error() {
+        let i = ArithExpr::var_in_range("i", 0, n());
+        let zipped = View::Zip { bases: vec![mem("x", vec![n()]), mem("y", vec![n()])] };
+        let elem = zipped.access(i);
+        assert_eq!(resolve(&elem, &simplifying()).unwrap_err(), ViewError::MissingTupleProjection);
+    }
+
+    #[test]
+    fn join_then_access_recovers_two_dimensional_index() {
+        // join of [[f]M]N accessed at k reads memory[k] because the memory itself is [[f]M]N.
+        let m = ArithExpr::size_var("M");
+        let k = ArithExpr::var_in_range("k", 0, n() * m.clone());
+        let matrix = mem("a", vec![n(), m.clone()]);
+        let joined = View::Join { base: Box::new(matrix), inner: m.clone() };
+        let elem = joined.access(k.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => {
+                // (k / M) * M + k mod M == k by rule (4).
+                assert_eq!(index, k);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn transpose_swaps_indices() {
+        let m = ArithExpr::size_var("M");
+        let row = ArithExpr::var_in_range("r", 0, m.clone());
+        let col = ArithExpr::var_in_range("c", 0, n());
+        let matrix = mem("a", vec![n(), m.clone()]);
+        let transposed = View::Transpose { base: Box::new(matrix) };
+        let elem = transposed.access(row.clone()).access(col.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => {
+                assert_eq!(index, col * m + row);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn slide_offsets_by_the_step() {
+        let w = ArithExpr::var_in_range("w", 0, n());
+        let j = ArithExpr::var_in_range("j", 0, ArithExpr::cst(3));
+        let input = mem("in", vec![n()]);
+        let slid = View::Slide { base: Box::new(input), step: ArithExpr::cst(1) };
+        let elem = slid.access(w.clone()).access(j.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => assert_eq!(index, w + j),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reorder_stride_generates_the_transpose_index() {
+        let rows = ArithExpr::size_var("R");
+        let cols = ArithExpr::size_var("C");
+        let len = rows.clone() * cols.clone();
+        let i = ArithExpr::var_in_range("i", 0, len.clone());
+        let input = mem("in", vec![len.clone()]);
+        let reordered = View::Reorder {
+            base: Box::new(input),
+            reorder: Reorder::Stride(cols.clone()),
+            len,
+        };
+        let elem = reordered.access(i.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => {
+                assert_eq!(index, (i.clone() % cols.clone()) * rows + i / cols);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn raw_builder_keeps_unsimplified_indices() {
+        // The same access with and without simplification: the raw index contains divisions
+        // and modulos, the simplified one does not (Figure 6).
+        let m = ArithExpr::size_var("M");
+        let k = ArithExpr::var_in_range("k", 0, n() * m.clone());
+        let matrix = mem("a", vec![n() * m.clone()]);
+        let joined = View::Join { base: Box::new(View::Split { base: Box::new(matrix), chunk: m.clone() }), inner: m };
+        let elem = joined.access(k.clone());
+        let simplified = match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => index,
+            other => panic!("unexpected {other:?}"),
+        };
+        let rough = match resolve(&elem, &raw()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => index,
+            other => panic!("unexpected {other:?}"),
+        };
+        assert_eq!(simplified, k);
+        assert_eq!(simplified.div_mod_count(), 0);
+        assert!(rough.div_mod_count() >= 2, "raw index should keep / and %: {rough}");
+    }
+
+    #[test]
+    fn scalar_variables_ignore_indices() {
+        let acc = View::scalar_var("acc1", AddressSpace::Private);
+        let elem = acc.access(ArithExpr::cst(0));
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { memory, scalar, index, .. } => {
+                assert_eq!(memory, "acc1");
+                assert!(scalar);
+                assert_eq!(index, ArithExpr::cst(0));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn constants_resolve_to_literals() {
+        let v = View::Constant(Literal::Float(0.0));
+        assert_eq!(resolve(&v, &simplifying()).unwrap(), Resolved::Literal(Literal::Float(0.0)));
+        let bad = View::Constant(Literal::Float(0.0)).access(ArithExpr::cst(1));
+        assert_eq!(resolve(&bad, &simplifying()).unwrap_err(), ViewError::ConstantAccess);
+    }
+
+    #[test]
+    fn as_vector_accesses_are_marked() {
+        let i = ArithExpr::var_in_range("i", 0, n());
+        let input = mem("in", vec![n() * 4]);
+        let vectors = View::AsVector { base: Box::new(input), width: 4 };
+        let elem = vectors.access(i.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, vector_width, .. } => {
+                assert_eq!(index, i * 4);
+                assert_eq!(vector_width, Some(4));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multi_dimensional_memory_linearises_row_major() {
+        let m = ArithExpr::size_var("M");
+        let r = ArithExpr::var_in_range("r", 0, n());
+        let c = ArithExpr::var_in_range("c", 0, m.clone());
+        let matrix = mem("a", vec![n(), m.clone()]);
+        let elem = matrix.access(r.clone()).access(c.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => assert_eq!(index, r * m + c),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

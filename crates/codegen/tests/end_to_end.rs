@@ -1,0 +1,413 @@
+//! End-to-end tests: Lift programs are compiled to OpenCL, executed on the virtual GPU, and
+//! the results are compared against the reference interpreter.
+
+use lift_arith::{ArithExpr, Environment};
+use lift_codegen::{compile, CompilationOptions, CompiledKernel, KernelParamInfo};
+use lift_interp::{evaluate_with_sizes, Value};
+use lift_ir::prelude::*;
+use lift_vgpu::{KernelArg, LaunchConfig, LaunchResult, VirtualGpu};
+
+/// Launches a compiled kernel with the given input arrays and size bindings.
+fn run_kernel(
+    kernel: &CompiledKernel,
+    inputs: &[Vec<f32>],
+    sizes: &Environment,
+    config: LaunchConfig,
+) -> (Vec<f32>, LaunchResult) {
+    let out_len = kernel
+        .output_len
+        .evaluate(sizes)
+        .expect("output length must be resolvable") as usize;
+    let mut args = Vec::new();
+    let mut out_slot = None;
+    for p in &kernel.params {
+        match p {
+            KernelParamInfo::Input { index, .. } => {
+                args.push(KernelArg::Buffer(inputs[*index].clone()));
+            }
+            KernelParamInfo::ScalarInput { index, .. } => {
+                args.push(KernelArg::Float(inputs[*index][0]));
+            }
+            KernelParamInfo::Output { .. } => {
+                out_slot = Some(args.len());
+                args.push(KernelArg::zeros(out_len));
+            }
+            KernelParamInfo::Size { name } => {
+                args.push(KernelArg::Int(sizes.get(name).expect("size binding")));
+            }
+        }
+    }
+    // Count how many buffers precede the output to find its index in `buffers`.
+    let buffer_index = kernel.params[..out_slot.expect("kernel has an output")]
+        .iter()
+        .filter(|p| matches!(p, KernelParamInfo::Input { .. } | KernelParamInfo::Output { .. }))
+        .count();
+    let result = VirtualGpu::new()
+        .launch(&kernel.module, &kernel.kernel_name, config, args)
+        .expect("kernel executes");
+    (result.buffers[buffer_index].clone(), result)
+}
+
+fn assert_close(actual: &[f32], expected: &[f32]) {
+    assert_eq!(actual.len(), expected.len(), "length mismatch");
+    for (i, (a, e)) in actual.iter().zip(expected).enumerate() {
+        assert!(
+            (a - e).abs() <= 1e-3 * (1.0 + e.abs()),
+            "element {i}: got {a}, expected {e}"
+        );
+    }
+}
+
+// ------------------------------------------------------------------------ simple copies
+
+#[test]
+fn map_glb_id_copies_the_input() {
+    let n = ArithExpr::size_var("N");
+    let mut p = Program::new("copy");
+    let id = p.user_fun(UserFun::id_float());
+    let m = p.map_glb(0, id);
+    p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+        p.apply1(m, params[0])
+    });
+
+    let options = CompilationOptions::all_optimisations().with_launch_1d(64, 16);
+    let kernel = compile(&p, &options).expect("compiles");
+    assert!(kernel.source().contains("kernel void copy"));
+
+    let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    let sizes = Environment::new().bind("N", 64);
+    let (out, _) = run_kernel(&kernel, &[input.clone()], &sizes, LaunchConfig::d1(64, 16));
+    assert_close(&out, &input);
+}
+
+#[test]
+fn zipped_multiplication_matches_the_interpreter() {
+    let n = ArithExpr::size_var("N");
+    let mut p = Program::new("mul");
+    let mult = p.user_fun(UserFun::mult_pair());
+    let m = p.map_glb(0, mult);
+    let z = p.zip2();
+    p.with_root(
+        vec![
+            ("x", Type::array(Type::float(), n.clone())),
+            ("y", Type::array(Type::float(), n)),
+        ],
+        |p, params| {
+            let zipped = p.apply(z, [params[0], params[1]]);
+            p.apply1(m, zipped)
+        },
+    );
+
+    let x: Vec<f32> = (0..128).map(|i| (i % 9) as f32).collect();
+    let y: Vec<f32> = (0..128).map(|i| (i % 5) as f32 * 0.25).collect();
+    let sizes = Environment::new().bind("N", 128);
+
+    let expected = evaluate_with_sizes(
+        &p,
+        &[Value::from_f32_slice(&x), Value::from_f32_slice(&y)],
+        &sizes,
+    )
+    .expect("interpreter")
+    .flatten_f32();
+
+    let options = CompilationOptions::all_optimisations().with_launch_1d(128, 32);
+    let kernel = compile(&p, &options).expect("compiles");
+    let (out, _) =
+        run_kernel(&kernel, &[x.clone(), y.clone()], &sizes, LaunchConfig::d1(128, 32));
+    assert_close(&out, &expected);
+}
+
+// ------------------------------------------------------------------------ work-group pipelines
+
+#[test]
+fn split_map_wrg_map_lcl_join_pipeline() {
+    // join . mapWrg(mapLcl(id)) . split 32 — a blocked parallel copy.
+    let n = ArithExpr::size_var("N");
+    let mut p = Program::new("blocked_copy");
+    let id = p.user_fun(UserFun::id_float());
+    let ml = p.map_lcl(0, id);
+    let wg = p.map_wrg(0, ml);
+    let s = p.split(32usize);
+    let j = p.join();
+    p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+        let split = p.apply1(s, params[0]);
+        let mapped = p.apply1(wg, split);
+        p.apply1(j, mapped)
+    });
+
+    let input: Vec<f32> = (0..256).map(|i| i as f32 * 0.5).collect();
+    let sizes = Environment::new().bind("N", 256);
+    let options = CompilationOptions::all_optimisations().with_launch_1d(256, 32);
+    let kernel = compile(&p, &options).expect("compiles");
+    let (out, _) = run_kernel(&kernel, &[input.clone()], &sizes, LaunchConfig::d1(256, 32));
+    assert_close(&out, &input);
+}
+
+#[test]
+fn per_work_group_reduction() {
+    // join . mapWrg(toGlobal(mapLcl(mapSeq(id))) . split 1 . reduce-per-chunk) . split 64
+    // Simplified: each work group reduces its 64-element chunk with a single local thread
+    // per chunk of 4 and a sequential reduce.
+    let n = ArithExpr::size_var("N");
+    let mut p = Program::new("partial_sum");
+    let add = p.user_fun(UserFun::add());
+    let red = p.reduce_seq(add, 0.0);
+    let copy_local = p.copy_to_local();
+    let per_thread = p.compose(&[copy_local, red]);
+    let ml = p.map_lcl(0, per_thread);
+    let split4 = p.split(4usize);
+    let j_inner = p.join();
+    let inner = p.compose(&[j_inner, ml, split4]);
+    let wg = p.map_wrg(0, inner);
+    let split64 = p.split(64usize);
+    let j = p.join();
+    p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+        let split = p.apply1(split64, params[0]);
+        let mapped = p.apply1(wg, split);
+        p.apply1(j, mapped)
+    });
+
+    let input: Vec<f32> = (0..256).map(|i| (i % 7) as f32).collect();
+    let sizes = Environment::new().bind("N", 256);
+    let expected =
+        evaluate_with_sizes(&p, &[Value::from_f32_slice(&input)], &sizes).unwrap().flatten_f32();
+
+    let options = CompilationOptions::all_optimisations().with_launch_1d(64, 16);
+    let kernel = compile(&p, &options).expect("compiles");
+    let (out, _) = run_kernel(&kernel, &[input], &sizes, LaunchConfig::d1(64, 16));
+    assert_close(&out, &expected);
+}
+
+// ------------------------------------------------------------------------ layout patterns
+
+#[test]
+fn gather_transpose_of_a_matrix() {
+    // Matrix transposition expressed as in Section 3.2:
+    // split N . gather(stride) . join, followed by a copy to make it a computation.
+    let n = 8usize;
+    let m = 12usize;
+    let mut p = Program::new("transpose");
+    let id = p.user_fun(UserFun::id_float());
+    let ml = p.map_lcl(0, id);
+    let wg = p.map_wrg(0, ml);
+    let split_rows = p.split(n);
+    let reorder = Reorder::Stride(ArithExpr::cst(n as i64));
+    let g = p.gather(reorder);
+    let j = p.join();
+    p.with_root(
+        vec![("x", Type::array(Type::array(Type::float(), m), n))],
+        |p, params| {
+            let joined = p.apply1(j, params[0]);
+            let gathered = p.apply1(g, joined);
+            let split = p.apply1(split_rows, gathered);
+            p.apply1(wg, split)
+        },
+    );
+
+    let data: Vec<f32> = (0..n * m).map(|i| i as f32).collect();
+    let sizes = Environment::new();
+    let expected = evaluate_with_sizes(&p, &[Value::from_f32_matrix(&data, n, m)], &sizes)
+        .unwrap()
+        .flatten_f32();
+    // Sanity: the interpreter really transposes.
+    assert_eq!(expected[0], 0.0);
+    assert_eq!(expected[1], (m) as f32 * 1.0);
+
+    let options = CompilationOptions::all_optimisations().with_launch_1d(96, 8);
+    let kernel = compile(&p, &options).expect("compiles");
+    let (out, _) = run_kernel(&kernel, &[data], &sizes, LaunchConfig::d1(96, 8));
+    assert_close(&out, &expected);
+}
+
+#[test]
+fn slide_based_stencil() {
+    // mapGlb(reduceSeq(add, 0)) . slide(3, 1): a 3-point moving sum.
+    let n = 64usize;
+    let mut p = Program::new("stencil3");
+    let add = p.user_fun(UserFun::add());
+    let red = p.reduce_seq(add, 0.0);
+    let m = p.map_glb(0, red);
+    let j = p.join();
+    let slide = p.slide(3usize, 1usize);
+    p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+        let windows = p.apply1(slide, params[0]);
+        let sums = p.apply1(m, windows);
+        p.apply1(j, sums)
+    });
+
+    let input: Vec<f32> = (0..n).map(|i| (i % 11) as f32).collect();
+    let sizes = Environment::new();
+    let expected =
+        evaluate_with_sizes(&p, &[Value::from_f32_slice(&input)], &sizes).unwrap().flatten_f32();
+    assert_eq!(expected.len(), n - 2);
+
+    let options = CompilationOptions::all_optimisations().with_launch_1d(62, 31);
+    let kernel = compile(&p, &options).expect("compiles");
+    let (out, _) = run_kernel(&kernel, &[input], &sizes, LaunchConfig::d1(62, 31));
+    assert_close(&out, &expected);
+}
+
+// ------------------------------------------------------------------------ the Listing 1 kernel
+
+fn listing1_dot_product(n: usize) -> Program {
+    let mut p = Program::new("partialDot");
+    let mult_add = p.user_fun(UserFun::mult_and_sum_up_pair());
+    let add = p.user_fun(UserFun::add());
+
+    let red1 = p.reduce_seq(mult_add, 0.0);
+    let copy_l1 = p.copy_to_local();
+    let step1_f = p.compose(&[copy_l1, red1]);
+    let step1_map = p.map_lcl(0, step1_f);
+    let s2a = p.split(2usize);
+    let j1 = p.join();
+    let step1 = p.compose(&[j1, step1_map, s2a]);
+
+    let red2 = p.reduce_seq(add, 0.0);
+    let copy_l2 = p.copy_to_local();
+    let step2_f = p.compose(&[copy_l2, red2]);
+    let step2_map = p.map_lcl(0, step2_f);
+    let s2b = p.split(2usize);
+    let j2 = p.join();
+    let iter_body = p.compose(&[j2, step2_map, s2b]);
+    let step2 = p.iterate(6, iter_body);
+
+    let copy_g = p.copy_to_global();
+    let m_copy = p.map_lcl(0, copy_g);
+    let s1 = p.split(1usize);
+    let j3 = p.join();
+    let step3 = p.compose(&[j3, m_copy, s1]);
+
+    let wg_body = p.compose(&[step3, step2, step1]);
+    let wg = p.map_wrg(0, wg_body);
+    let s128 = p.split(128usize);
+    let jout = p.join();
+    let z = p.zip2();
+    let n_expr = ArithExpr::cst(n as i64);
+    p.with_root(
+        vec![
+            ("x", Type::array(Type::float(), n_expr.clone())),
+            ("y", Type::array(Type::float(), n_expr)),
+        ],
+        |p, params| {
+            let zipped = p.apply(z, [params[0], params[1]]);
+            let split = p.apply1(s128, zipped);
+            let mapped = p.apply1(wg, split);
+            p.apply1(jout, mapped)
+        },
+    );
+    p
+}
+
+#[test]
+fn dot_product_kernel_runs_and_matches_the_interpreter() {
+    let n = 512;
+    let p = listing1_dot_product(n);
+    let x: Vec<f32> = (0..n).map(|i| ((i % 13) as f32) * 0.5).collect();
+    let y: Vec<f32> = (0..n).map(|i| ((i % 7) as f32) - 3.0).collect();
+    let sizes = Environment::new();
+    let expected = evaluate_with_sizes(
+        &p,
+        &[Value::from_f32_slice(&x), Value::from_f32_slice(&y)],
+        &sizes,
+    )
+    .unwrap()
+    .flatten_f32();
+
+    for options in [
+        CompilationOptions::all_optimisations(),
+        CompilationOptions::without_array_access_simplification(),
+        CompilationOptions::none(),
+    ] {
+        let options = options.with_launch_1d(256, 64);
+        let kernel = compile(&p, &options).expect("compiles");
+        let (out, _) = run_kernel(&kernel, &[x.clone(), y.clone()], &sizes, LaunchConfig::d1(256, 64));
+        assert_close(&out, &expected);
+    }
+}
+
+#[test]
+fn dot_product_kernel_has_the_figure7_structure() {
+    let p = listing1_dot_product(1024);
+    let options = CompilationOptions::all_optimisations().with_launch_1d(512, 64);
+    let kernel = compile(&p, &options).expect("compiles");
+    let source = kernel.source();
+    // Work-group loop over the chunks, like Figure 7 line 7.
+    assert!(source.contains("get_group_id(0)"), "{source}");
+    // Local temporary buffers and barriers.
+    assert!(source.contains("local float"), "{source}");
+    assert!(source.contains("barrier(CLK_LOCAL_MEM_FENCE)"), "{source}");
+    // Double buffering of the iterate (pointer swap through a ternary).
+    assert!(source.contains("?"), "{source}");
+    // The multiply-accumulate user function.
+    assert!(source.contains("multAndSumUp"), "{source}");
+}
+
+#[test]
+fn array_access_simplification_reduces_divisions() {
+    // The matrix-transposition access of Figure 6 is the paper's example of an index that
+    // only simplifies with the range-aware arithmetic rules.
+    let n = 16usize;
+    let m = 8usize;
+    let mut p = Program::new("transpose");
+    let id = p.user_fun(UserFun::id_float());
+    let ml = p.map_lcl(0, id);
+    let wg = p.map_wrg(0, ml);
+    let split_rows = p.split(n);
+    let g = p.gather(Reorder::Stride(ArithExpr::cst(n as i64)));
+    let j = p.join();
+    p.with_root(
+        vec![("x", Type::array(Type::array(Type::float(), m), n))],
+        |p, params| {
+            let joined = p.apply1(j, params[0]);
+            let gathered = p.apply1(g, joined);
+            let split = p.apply1(split_rows, gathered);
+            p.apply1(wg, split)
+        },
+    );
+    let opts = |o: CompilationOptions| o.with_launch_1d((n * m).next_power_of_two(), n);
+    let simplified = compile(&p, &opts(CompilationOptions::all_optimisations())).unwrap();
+    let unsimplified =
+        compile(&p, &opts(CompilationOptions::without_array_access_simplification())).unwrap();
+    let count = |k: &CompiledKernel| {
+        k.source().matches('%').count() + k.source().matches('/').count()
+    };
+    assert!(
+        count(&unsimplified) > count(&simplified),
+        "expected fewer division/modulo operations with simplification: {} vs {}",
+        count(&simplified),
+        count(&unsimplified)
+    );
+}
+
+#[test]
+fn results_are_identical_across_optimisation_levels() {
+    let n = ArithExpr::size_var("N");
+    let mut p = Program::new("square");
+    let mult = p.user_fun(UserFun::mult_pair());
+    let m = p.map_glb(0, mult);
+    let z = p.zip2();
+    p.with_root(
+        vec![
+            ("x", Type::array(Type::float(), n.clone())),
+            ("y", Type::array(Type::float(), n)),
+        ],
+        |p, params| {
+            let zipped = p.apply(z, [params[0], params[1]]);
+            p.apply1(m, zipped)
+        },
+    );
+    let x: Vec<f32> = (0..96).map(|i| i as f32).collect();
+    let sizes = Environment::new().bind("N", 96);
+    let mut outputs = Vec::new();
+    for options in [
+        CompilationOptions::all_optimisations(),
+        CompilationOptions::without_array_access_simplification(),
+        CompilationOptions::none(),
+    ] {
+        let kernel = compile(&p, &options.with_launch_1d(96, 32)).unwrap();
+        let (out, _) = run_kernel(&kernel, &[x.clone(), x.clone()], &sizes, LaunchConfig::d1(96, 32));
+        outputs.push(out);
+    }
+    assert_eq!(outputs[0], outputs[1]);
+    assert_eq!(outputs[1], outputs[2]);
+}

@@ -1,0 +1,26 @@
+//! # Reference interpreter for the Lift IR
+//!
+//! The interpreter gives every pattern of the Lift IL its straightforward denotational
+//! semantics over host values (Section 3.2 of the paper). It is deliberately simple and slow;
+//! its job is to be obviously correct so that the OpenCL code generator and the virtual GPU
+//! can be tested against it.
+//!
+//! ```
+//! use lift_interp::{evaluate, Value};
+//! use lift_ir::prelude::*;
+//!
+//! let mut p = Program::new("sum");
+//! let add = p.user_fun(UserFun::add());
+//! let reduce = p.reduce_seq(add, 0.0);
+//! p.with_root(vec![("x", Type::array(Type::float(), 4usize))], |p, params| {
+//!     p.apply1(reduce, params[0])
+//! });
+//! let out = evaluate(&p, &[Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0])]).unwrap();
+//! assert_eq!(out.flatten_f32(), vec![10.0]);
+//! ```
+
+mod eval;
+mod value;
+
+pub use eval::{eval_scalar, evaluate, evaluate_with_sizes, InterpError};
+pub use value::Value;

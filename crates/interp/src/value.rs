@@ -1,0 +1,185 @@
+//! Runtime values manipulated by the reference interpreter.
+
+use std::fmt;
+
+/// A value of the Lift IL: scalars, vectors, tuples and (nested) arrays.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    /// A `float` value.
+    Float(f32),
+    /// An `int` value.
+    Int(i64),
+    /// A `bool` value.
+    Bool(bool),
+    /// An OpenCL-style short vector of scalar lanes.
+    Vector(Vec<Value>),
+    /// A tuple value (produced by `zip`, consumed by `get`).
+    Tuple(Vec<Value>),
+    /// An array value; arrays nest to form multi-dimensional data.
+    Array(Vec<Value>),
+}
+
+impl Value {
+    /// Builds a one-dimensional `float` array from a slice.
+    pub fn from_f32_slice(data: &[f32]) -> Value {
+        Value::Array(data.iter().map(|v| Value::Float(*v)).collect())
+    }
+
+    /// Builds a two-dimensional `float` array (row major) from a flat slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` is not `rows * cols`.
+    pub fn from_f32_matrix(data: &[f32], rows: usize, cols: usize) -> Value {
+        assert_eq!(data.len(), rows * cols, "matrix data must have rows*cols elements");
+        Value::Array(
+            data.chunks_exact(cols).map(Value::from_f32_slice).collect(),
+        )
+    }
+
+    /// Flattens an arbitrarily nested value into its scalar `f32` contents, in order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value contains non-`float` scalars.
+    pub fn flatten_f32(&self) -> Vec<f32> {
+        let mut out = Vec::new();
+        self.flatten_f32_into(&mut out);
+        out
+    }
+
+    fn flatten_f32_into(&self, out: &mut Vec<f32>) {
+        match self {
+            Value::Float(v) => out.push(*v),
+            Value::Int(v) => out.push(*v as f32),
+            Value::Bool(b) => out.push(if *b { 1.0 } else { 0.0 }),
+            Value::Vector(vs) | Value::Tuple(vs) | Value::Array(vs) => {
+                for v in vs {
+                    v.flatten_f32_into(out);
+                }
+            }
+        }
+    }
+
+    /// Returns the scalar `f32` if this is a `float` value.
+    pub fn as_f32(&self) -> Option<f32> {
+        match self {
+            Value::Float(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the elements if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// Returns the components if this is a tuple.
+    pub fn as_tuple(&self) -> Option<&[Value]> {
+        match self {
+            Value::Tuple(vs) => Some(vs),
+            _ => None,
+        }
+    }
+
+    /// The length of the outermost array dimension, if this is an array.
+    pub fn len(&self) -> Option<usize> {
+        self.as_array().map(<[Value]>::len)
+    }
+
+    /// Returns `true` if this is an empty array.
+    pub fn is_empty(&self) -> bool {
+        self.len() == Some(0)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Vector(vs) => {
+                write!(f, "<")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ">")
+            }
+            Value::Tuple(vs) => {
+                write!(f, "(")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, ")")
+            }
+            Value::Array(vs) => {
+                write!(f, "[")?;
+                for (i, v) in vs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slice_and_matrix_constructors() {
+        let v = Value::from_f32_slice(&[1.0, 2.0, 3.0]);
+        assert_eq!(v.len(), Some(3));
+        let m = Value::from_f32_matrix(&[1.0, 2.0, 3.0, 4.0], 2, 2);
+        assert_eq!(m.len(), Some(2));
+        assert_eq!(m.as_array().unwrap()[1].as_array().unwrap()[0], Value::Float(3.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "rows*cols")]
+    fn matrix_constructor_validates_size() {
+        Value::from_f32_matrix(&[1.0, 2.0, 3.0], 2, 2);
+    }
+
+    #[test]
+    fn flatten_traverses_nested_structure() {
+        let v = Value::Array(vec![
+            Value::Tuple(vec![Value::Float(1.0), Value::Float(2.0)]),
+            Value::Tuple(vec![Value::Float(3.0), Value::Float(4.0)]),
+        ]);
+        assert_eq!(v.flatten_f32(), vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Float(2.5).as_f32(), Some(2.5));
+        assert_eq!(Value::Int(2).as_f32(), None);
+        let t = Value::Tuple(vec![Value::Float(1.0)]);
+        assert_eq!(t.as_tuple().unwrap().len(), 1);
+        assert!(!Value::Array(vec![Value::Float(0.0)]).is_empty());
+        assert!(Value::Array(vec![]).is_empty());
+    }
+
+    #[test]
+    fn display_formats() {
+        let v = Value::Array(vec![
+            Value::Vector(vec![Value::Float(1.0), Value::Float(2.0)]),
+            Value::Tuple(vec![Value::Int(3), Value::Bool(true)]),
+        ]);
+        assert_eq!(v.to_string(), "[<1, 2>, (3, true)]");
+    }
+}

@@ -1,0 +1,105 @@
+//! Property-based tests for the data-layout patterns: the algebraic identities the paper
+//! relies on (Section 3.2) must hold in the reference interpreter for arbitrary data.
+
+use lift_arith::ArithExpr;
+use lift_interp::{evaluate, Value};
+use lift_ir::prelude::*;
+use proptest::prelude::*;
+
+fn float_array(n: usize) -> Type {
+    Type::array(Type::float(), ArithExpr::cst(n as i64))
+}
+
+/// `join . split k` is the identity on arrays whose length `k` divides.
+fn split_join_program(n: usize, k: usize) -> Program {
+    let mut p = Program::new("split_join");
+    let s = p.split(k);
+    let j = p.join();
+    p.with_root(vec![("x", float_array(n))], |p, params| {
+        let split = p.apply1(s, params[0]);
+        p.apply1(j, split)
+    });
+    p
+}
+
+/// `scatter(f) . gather(f)` is the identity for any permutation `f`.
+fn gather_scatter_program(n: usize, reorder: Reorder) -> Program {
+    let mut p = Program::new("gather_scatter");
+    let g = p.gather(reorder.clone());
+    let s = p.scatter(reorder);
+    p.with_root(vec![("x", float_array(n))], |p, params| {
+        let gathered = p.apply1(g, params[0]);
+        p.apply1(s, gathered)
+    });
+    p
+}
+
+/// `transpose . transpose` is the identity on matrices.
+fn double_transpose_program(rows: usize, cols: usize) -> Program {
+    let mut p = Program::new("double_transpose");
+    let t1 = p.transpose();
+    let t2 = p.transpose();
+    p.with_root(
+        vec![("x", Type::array(float_array(cols), ArithExpr::cst(rows as i64)))],
+        |p, params| {
+            let once = p.apply1(t1, params[0]);
+            p.apply1(t2, once)
+        },
+    );
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn split_then_join_is_identity(
+        chunk in prop_oneof![Just(2usize), Just(4), Just(8), Just(16)],
+        chunks in 1usize..8,
+        seed in 0u32..100,
+    ) {
+        let n = chunk * chunks;
+        let data: Vec<f32> = (0..n).map(|i| ((i as u32 * 31 + seed) % 97) as f32).collect();
+        let out = evaluate(&split_join_program(n, chunk), &[Value::from_f32_slice(&data)])
+            .expect("runs")
+            .flatten_f32();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn scatter_undoes_gather(
+        stride in prop_oneof![Just(2usize), Just(4), Just(8)],
+        multiple in 1usize..6,
+        reverse in any::<bool>(),
+        seed in 0u32..100,
+    ) {
+        let n = stride * multiple * stride; // divisible by the stride
+        let reorder = if reverse {
+            Reorder::Reverse
+        } else {
+            Reorder::Stride(ArithExpr::cst(stride as i64))
+        };
+        let data: Vec<f32> = (0..n).map(|i| ((i as u32 * 13 + seed) % 89) as f32).collect();
+        let out = evaluate(&gather_scatter_program(n, reorder), &[Value::from_f32_slice(&data)])
+            .expect("runs")
+            .flatten_f32();
+        prop_assert_eq!(out, data);
+    }
+
+    #[test]
+    fn transposing_twice_is_identity(
+        rows in 1usize..10,
+        cols in 1usize..10,
+        seed in 0u32..100,
+    ) {
+        let data: Vec<f32> =
+            (0..rows * cols).map(|i| ((i as u32 * 7 + seed) % 83) as f32).collect();
+        let out = evaluate(
+            &double_transpose_program(rows, cols),
+            &[Value::from_f32_matrix(&data, rows, cols)],
+        )
+        .expect("runs")
+        .flatten_f32();
+        prop_assert_eq!(out, data);
+    }
+}

@@ -1,0 +1,336 @@
+//! A small builder DSL for writing Lift IL programs in Rust.
+//!
+//! The paper writes programs as compositions of patterns (Listing 1); the methods in this
+//! module let the benchmarks do the same thing while building the arena-based IR directly.
+//! All pattern constructors return a [`FunDeclId`] so they can be freely nested and composed
+//! with [`Program::compose`], and [`Program::apply`] produces the actual call expressions.
+
+use lift_arith::ArithExpr;
+
+use crate::node::{ExprId, ExprKind, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder};
+use crate::scalar::UserFun;
+use crate::types::Type;
+
+impl Program {
+    // ---------------------------------------------------------------- expressions
+
+    /// Adds a `float` literal expression.
+    pub fn literal_f32(&mut self, v: f32) -> ExprId {
+        self.add_expr(ExprKind::Literal(Literal::Float(v)))
+    }
+
+    /// Adds an `int` literal expression.
+    pub fn literal_i64(&mut self, v: i64) -> ExprId {
+        self.add_expr(ExprKind::Literal(Literal::Int(v)))
+    }
+
+    /// Adds a parameter expression with the given name and type.
+    pub fn param(&mut self, name: impl Into<String>, ty: Type) -> ExprId {
+        let id = self.add_expr(ExprKind::Param { name: name.into() });
+        self.expr_mut(id).ty = Some(ty);
+        id
+    }
+
+    /// Adds an untyped parameter (its type will be assigned when the enclosing lambda is
+    /// called during type inference).
+    pub fn untyped_param(&mut self, name: impl Into<String>) -> ExprId {
+        self.add_expr(ExprKind::Param { name: name.into() })
+    }
+
+    /// Applies a function to arguments, creating a `FunCall` expression.
+    pub fn apply(&mut self, f: FunDeclId, args: impl IntoIterator<Item = ExprId>) -> ExprId {
+        self.add_expr(ExprKind::FunCall { f, args: args.into_iter().collect() })
+    }
+
+    /// Applies a unary function to a single argument.
+    pub fn apply1(&mut self, f: FunDeclId, arg: ExprId) -> ExprId {
+        self.apply(f, [arg])
+    }
+
+    // ---------------------------------------------------------------- function declarations
+
+    /// Adds a user function declaration.
+    pub fn user_fun(&mut self, uf: UserFun) -> FunDeclId {
+        self.add_decl(FunDecl::UserFun(uf))
+    }
+
+    /// Adds a lambda with `n` untyped parameters whose body is produced by `build`.
+    pub fn lambda(
+        &mut self,
+        param_names: &[&str],
+        build: impl FnOnce(&mut Program, &[ExprId]) -> ExprId,
+    ) -> FunDeclId {
+        let params: Vec<ExprId> =
+            param_names.iter().map(|n| self.untyped_param(*n)).collect();
+        let body = build(self, &params);
+        self.add_decl(FunDecl::Lambda { params, body })
+    }
+
+    /// Composes unary functions right-to-left: `compose([f, g, h])` behaves as `f ∘ g ∘ h`.
+    pub fn compose(&mut self, funs: &[FunDeclId]) -> FunDeclId {
+        assert!(!funs.is_empty(), "compose needs at least one function");
+        if funs.len() == 1 {
+            return funs[0];
+        }
+        let p = self.untyped_param("x");
+        let mut value = p;
+        for f in funs.iter().rev() {
+            value = self.apply1(*f, value);
+        }
+        self.add_decl(FunDecl::Lambda { params: vec![p], body: value })
+    }
+
+    // ---------------------------------------------------------------- algorithmic patterns
+
+    /// `mapSeq(f)`.
+    pub fn map_seq(&mut self, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::MapSeq { f }))
+    }
+
+    /// `mapGlb^dim(f)`.
+    pub fn map_glb(&mut self, dim: u8, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::MapGlb { dim, f }))
+    }
+
+    /// `mapWrg^dim(f)`.
+    pub fn map_wrg(&mut self, dim: u8, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::MapWrg { dim, f }))
+    }
+
+    /// `mapLcl^dim(f)`.
+    pub fn map_lcl(&mut self, dim: u8, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::MapLcl { dim, f }))
+    }
+
+    /// `mapVec(f)`.
+    pub fn map_vec(&mut self, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::MapVec { f }))
+    }
+
+    /// The raw `reduceSeq(f)` pattern; call it with `[init, input]`.
+    pub fn reduce_seq_pattern(&mut self, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::ReduceSeq { f }))
+    }
+
+    /// `reduceSeq(f, init)` packaged as a unary function of the input array, which is how the
+    /// paper composes reductions in pipelines (e.g. `reduceSeq(add, 0)` in Listing 1).
+    pub fn reduce_seq(&mut self, f: FunDeclId, init: f32) -> FunDeclId {
+        let pattern = self.reduce_seq_pattern(f);
+        let p = self.untyped_param("xs");
+        let init = self.literal_f32(init);
+        let body = self.apply(pattern, [init, p]);
+        self.add_decl(FunDecl::Lambda { params: vec![p], body })
+    }
+
+    /// The `id` pattern.
+    pub fn id_pattern(&mut self) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Id))
+    }
+
+    /// `iterate^n(f)`.
+    pub fn iterate(&mut self, n: u64, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Iterate { n, f }))
+    }
+
+    // ---------------------------------------------------------------- data layout patterns
+
+    /// `split^chunk`.
+    pub fn split(&mut self, chunk: impl Into<ArithExpr>) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Split { chunk: chunk.into() }))
+    }
+
+    /// `join`.
+    pub fn join(&mut self) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Join))
+    }
+
+    /// `gather(reorder)`.
+    pub fn gather(&mut self, reorder: Reorder) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Gather { reorder }))
+    }
+
+    /// `scatter(reorder)`.
+    pub fn scatter(&mut self, reorder: Reorder) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Scatter { reorder }))
+    }
+
+    /// Two-dimensional transposition.
+    pub fn transpose(&mut self) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Transpose))
+    }
+
+    /// `zip` of two arrays; apply it to two argument expressions.
+    pub fn zip2(&mut self) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Zip { arity: 2 }))
+    }
+
+    /// `zip` of `arity` arrays.
+    pub fn zip(&mut self, arity: usize) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Zip { arity }))
+    }
+
+    /// `get_i`, projecting component `index` of a tuple.
+    pub fn get(&mut self, index: usize) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Get { index }))
+    }
+
+    /// `slide(size, step)`.
+    pub fn slide(&mut self, size: impl Into<ArithExpr>, step: impl Into<ArithExpr>) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Slide { size: size.into(), step: step.into() }))
+    }
+
+    // ---------------------------------------------------------------- address space patterns
+
+    /// `toGlobal(f)`.
+    pub fn to_global(&mut self, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::ToGlobal { f }))
+    }
+
+    /// `toLocal(f)`.
+    pub fn to_local(&mut self, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::ToLocal { f }))
+    }
+
+    /// `toPrivate(f)`.
+    pub fn to_private(&mut self, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::ToPrivate { f }))
+    }
+
+    // ---------------------------------------------------------------- vectorisation patterns
+
+    /// `asVector^width`.
+    pub fn as_vector(&mut self, width: usize) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::AsVector { width }))
+    }
+
+    /// `asScalar`.
+    pub fn as_scalar(&mut self) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::AsScalar))
+    }
+
+    // ---------------------------------------------------------------- whole programs
+
+    /// Builds the root lambda of the program from typed parameters.
+    ///
+    /// The closure receives the parameter expression ids in declaration order and returns the
+    /// body expression.
+    pub fn with_root(
+        &mut self,
+        params: Vec<(&str, Type)>,
+        build: impl FnOnce(&mut Program, &[ExprId]) -> ExprId,
+    ) -> FunDeclId {
+        let param_ids: Vec<ExprId> =
+            params.into_iter().map(|(n, t)| self.param(n, t)).collect();
+        let body = build(self, &param_ids);
+        let root = self.add_decl(FunDecl::Lambda { params: param_ids, body });
+        self.set_root(root);
+        root
+    }
+
+    /// Convenience: a frequently used composition `toLocal(mapSeq(id))` / `toGlobal(mapSeq(id))`
+    /// copying data into the given address space (Section 3.2).
+    pub fn copy_to_local(&mut self) -> FunDeclId {
+        let id = self.user_fun(UserFun::id_float());
+        let m = self.map_seq(id);
+        self.to_local(m)
+    }
+
+    /// Convenience: `toGlobal(mapSeq(id))`.
+    pub fn copy_to_global(&mut self) -> FunDeclId {
+        let id = self.user_fun(UserFun::id_float());
+        let m = self.map_seq(id);
+        self.to_global(m)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn building_a_simple_pipeline() {
+        let n = ArithExpr::size_var("N");
+        let mut p = Program::new("scale");
+        let mult = p.user_fun(UserFun::mult_pair());
+        let map = p.map_glb(0, mult);
+        p.with_root(vec![
+            ("x", Type::array(Type::float(), n.clone())),
+            ("y", Type::array(Type::float(), n.clone())),
+        ], |p, params| {
+            let zip = p.zip2();
+            let zipped = p.apply(zip, [params[0], params[1]]);
+            p.apply1(map, zipped)
+        });
+        assert!(p.root().is_some());
+        assert_eq!(p.root_params().len(), 2);
+    }
+
+    #[test]
+    fn compose_builds_right_to_left_application() {
+        let mut p = Program::new("t");
+        let j = p.join();
+        let s = p.split(4usize);
+        let c = p.compose(&[j, s]);
+        // c(x) == join(split4(x))
+        match p.decl(c) {
+            FunDecl::Lambda { params, body } => {
+                let body = p.expr(*body);
+                match &body.kind {
+                    ExprKind::FunCall { f, args } => {
+                        assert_eq!(*f, j);
+                        let inner = p.expr(args[0]);
+                        match &inner.kind {
+                            ExprKind::FunCall { f, args } => {
+                                assert_eq!(*f, s);
+                                assert_eq!(args[0], params[0]);
+                            }
+                            other => panic!("expected inner call, got {other:?}"),
+                        }
+                    }
+                    other => panic!("expected call, got {other:?}"),
+                }
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compose_of_single_function_is_identity() {
+        let mut p = Program::new("t");
+        let j = p.join();
+        assert_eq!(p.compose(&[j]), j);
+    }
+
+    #[test]
+    fn reduce_seq_wraps_init_in_a_lambda() {
+        let mut p = Program::new("t");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce_seq(add, 0.0);
+        match p.decl(red) {
+            FunDecl::Lambda { params, body } => {
+                assert_eq!(params.len(), 1);
+                match &p.expr(*body).kind {
+                    ExprKind::FunCall { args, .. } => assert_eq!(args.len(), 2),
+                    other => panic!("expected call, got {other:?}"),
+                }
+            }
+            other => panic!("expected lambda, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one function")]
+    fn compose_of_nothing_panics() {
+        let mut p = Program::new("t");
+        p.compose(&[]);
+    }
+
+    #[test]
+    fn copy_helpers_produce_address_space_patterns() {
+        let mut p = Program::new("t");
+        let l = p.copy_to_local();
+        let g = p.copy_to_global();
+        assert!(matches!(p.decl(l), FunDecl::Pattern(Pattern::ToLocal { .. })));
+        assert!(matches!(p.decl(g), FunDecl::Pattern(Pattern::ToGlobal { .. })));
+    }
+}

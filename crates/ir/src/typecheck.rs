@@ -1,0 +1,647 @@
+//! Type inference for the Lift IR (Section 5.1).
+//!
+//! Types are inferred by traversing the expression graph following the data flow: the types of
+//! the root lambda's parameters are given, and every pattern's typing rule determines the type
+//! of its result from the types of its arguments. Array lengths are symbolic [`ArithExpr`]s, so
+//! for example `split m : [T]_n -> [[T]_m]_{n/m}` introduces the quotient `n/m` which later
+//! drives memory allocation and index generation.
+
+use std::fmt;
+
+use lift_arith::ArithExpr;
+
+use crate::node::{ExprId, ExprKind, FunDecl, FunDeclId, Pattern, Program};
+use crate::types::Type;
+
+/// Errors reported by type inference.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TypeError {
+    /// A function was applied to the wrong number of arguments.
+    WrongArity {
+        /// Name of the function or pattern.
+        function: String,
+        /// Number of arguments expected.
+        expected: usize,
+        /// Number of arguments found at the call site.
+        found: usize,
+    },
+    /// An argument had an unexpected type.
+    Mismatch {
+        /// Description of the context in which the mismatch occurred.
+        context: String,
+        /// The type that was expected.
+        expected: String,
+        /// The type that was found.
+        found: String,
+    },
+    /// A pattern that requires an array argument received a non-array value.
+    NotAnArray {
+        /// Name of the pattern.
+        pattern: String,
+        /// The offending type.
+        found: String,
+    },
+    /// Zipped arrays have different lengths.
+    ZipLengthMismatch {
+        /// The first length.
+        first: String,
+        /// The mismatching length.
+        other: String,
+    },
+    /// A tuple projection used an out-of-range component index.
+    TupleIndexOutOfRange {
+        /// The requested component.
+        index: usize,
+        /// The tuple arity.
+        arity: usize,
+    },
+    /// A parameter was used before any call gave it a type.
+    UntypedParam {
+        /// The parameter name.
+        name: String,
+    },
+    /// The program has no root lambda.
+    MissingRoot,
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::WrongArity { function, expected, found } => {
+                write!(f, "`{function}` expects {expected} argument(s) but received {found}")
+            }
+            TypeError::Mismatch { context, expected, found } => {
+                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            }
+            TypeError::NotAnArray { pattern, found } => {
+                write!(f, "`{pattern}` requires an array argument, found {found}")
+            }
+            TypeError::ZipLengthMismatch { first, other } => {
+                write!(f, "zip requires equal lengths, found {first} and {other}")
+            }
+            TypeError::TupleIndexOutOfRange { index, arity } => {
+                write!(f, "tuple component {index} requested from a tuple of arity {arity}")
+            }
+            TypeError::UntypedParam { name } => {
+                write!(f, "parameter `{name}` was used before receiving a type")
+            }
+            TypeError::MissingRoot => write!(f, "the program has no root lambda"),
+        }
+    }
+}
+
+impl std::error::Error for TypeError {}
+
+/// Runs type inference over the whole program, annotating every expression with its type.
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] describing the first inconsistency found.
+pub fn infer_types(program: &mut Program) -> Result<(), TypeError> {
+    let root = program.root().ok_or(TypeError::MissingRoot)?;
+    let params = program.root_params().to_vec();
+    let mut arg_types = Vec::with_capacity(params.len());
+    for p in &params {
+        match &program.expr(*p).ty {
+            Some(t) => arg_types.push(t.clone()),
+            None => {
+                let name = match &program.expr(*p).kind {
+                    ExprKind::Param { name } => name.clone(),
+                    _ => "<non-param>".to_string(),
+                };
+                return Err(TypeError::UntypedParam { name });
+            }
+        }
+    }
+    infer_call(program, root, &arg_types)?;
+    Ok(())
+}
+
+/// Infers the type of the expression `id`, annotating it and all its children.
+fn infer_expr(program: &mut Program, id: ExprId) -> Result<Type, TypeError> {
+    let kind = program.expr(id).kind.clone();
+    let ty = match kind {
+        ExprKind::Literal(l) => l.ty(),
+        ExprKind::Param { name } => match &program.expr(id).ty {
+            Some(t) => t.clone(),
+            None => return Err(TypeError::UntypedParam { name }),
+        },
+        ExprKind::FunCall { f, args } => {
+            let mut arg_types = Vec::with_capacity(args.len());
+            for a in &args {
+                arg_types.push(infer_expr(program, *a)?);
+            }
+            infer_call(program, f, &arg_types)?
+        }
+    };
+    program.expr_mut(id).ty = Some(ty.clone());
+    Ok(ty)
+}
+
+/// Re-runs type inference for a call to `f` with arguments of the given types, re-annotating
+/// every expression reachable from `f`'s body.
+///
+/// The code generator uses this when it instantiates a lambda at a different type than the
+/// whole-program inference did (most prominently the body of `iterate`, which is generated
+/// once for a symbolic length even though inference unrolled it).
+///
+/// # Errors
+///
+/// Returns a [`TypeError`] if the call is ill-typed.
+pub fn infer_call_types(
+    program: &mut Program,
+    f: FunDeclId,
+    arg_types: &[Type],
+) -> Result<Type, TypeError> {
+    infer_call(program, f, arg_types)
+}
+
+/// Infers the result type of calling `f` with arguments of the given types.
+pub(crate) fn infer_call(
+    program: &mut Program,
+    f: FunDeclId,
+    arg_types: &[Type],
+) -> Result<Type, TypeError> {
+    match program.decl(f).clone() {
+        FunDecl::Lambda { params, body } => {
+            if params.len() != arg_types.len() {
+                return Err(TypeError::WrongArity {
+                    function: "lambda".into(),
+                    expected: params.len(),
+                    found: arg_types.len(),
+                });
+            }
+            for (p, t) in params.iter().zip(arg_types) {
+                program.expr_mut(*p).ty = Some(t.clone());
+            }
+            infer_expr(program, body)
+        }
+        FunDecl::UserFun(uf) => {
+            if uf.arity() != arg_types.len() {
+                return Err(TypeError::WrongArity {
+                    function: uf.name().to_string(),
+                    expected: uf.arity(),
+                    found: arg_types.len(),
+                });
+            }
+            for (expected, found) in uf.param_types().iter().zip(arg_types) {
+                if expected != found {
+                    return Err(TypeError::Mismatch {
+                        context: format!("call to user function `{}`", uf.name()),
+                        expected: expected.to_string(),
+                        found: found.to_string(),
+                    });
+                }
+            }
+            Ok(uf.return_type().clone())
+        }
+        FunDecl::Pattern(p) => infer_pattern(program, &p, arg_types),
+    }
+}
+
+/// The typing rules of the predefined patterns (Section 3.2).
+fn infer_pattern(
+    program: &mut Program,
+    pattern: &Pattern,
+    arg_types: &[Type],
+) -> Result<Type, TypeError> {
+    let expect_arity = pattern.arity();
+    if arg_types.len() != expect_arity {
+        return Err(TypeError::WrongArity {
+            function: pattern.name(),
+            expected: expect_arity,
+            found: arg_types.len(),
+        });
+    }
+    let array_of = |pattern: &Pattern, t: &Type| -> Result<(Type, ArithExpr), TypeError> {
+        match t.as_array() {
+            Some((elem, len)) => Ok((elem.clone(), len.clone())),
+            None => Err(TypeError::NotAnArray { pattern: pattern.name(), found: t.to_string() }),
+        }
+    };
+
+    match pattern {
+        Pattern::MapSeq { f }
+        | Pattern::MapGlb { f, .. }
+        | Pattern::MapWrg { f, .. }
+        | Pattern::MapLcl { f, .. } => {
+            let (elem, len) = array_of(pattern, &arg_types[0])?;
+            let out_elem = infer_call(program, *f, &[elem])?;
+            Ok(Type::array(out_elem, len))
+        }
+        Pattern::MapVec { f } => match &arg_types[0] {
+            Type::Vector(kind, width) => {
+                let out = infer_call(program, *f, &[Type::Scalar(*kind)])?;
+                match out {
+                    Type::Scalar(out_kind) => Ok(Type::Vector(out_kind, *width)),
+                    other => Err(TypeError::Mismatch {
+                        context: "mapVec function result".into(),
+                        expected: "a scalar".into(),
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            other => Err(TypeError::Mismatch {
+                context: "mapVec argument".into(),
+                expected: "a vector".into(),
+                found: other.to_string(),
+            }),
+        },
+        Pattern::ReduceSeq { f } => {
+            let init = arg_types[0].clone();
+            let (elem, _len) = array_of(pattern, &arg_types[1])?;
+            let acc = infer_call(program, *f, &[init.clone(), elem])?;
+            if acc != init {
+                return Err(TypeError::Mismatch {
+                    context: "reduceSeq accumulator".into(),
+                    expected: init.to_string(),
+                    found: acc.to_string(),
+                });
+            }
+            Ok(Type::array(acc, 1usize))
+        }
+        Pattern::Id => Ok(arg_types[0].clone()),
+        Pattern::Iterate { n, f } => {
+            let mut current = arg_types[0].clone();
+            for _ in 0..*n {
+                current = infer_call(program, *f, &[current])?;
+            }
+            Ok(current)
+        }
+        Pattern::Split { chunk } => {
+            let (elem, len) = array_of(pattern, &arg_types[0])?;
+            let outer = len / chunk.clone();
+            Ok(Type::array(Type::array(elem, chunk.clone()), outer))
+        }
+        Pattern::Join => {
+            let (elem, outer) = array_of(pattern, &arg_types[0])?;
+            let (inner_elem, inner) = array_of(pattern, &elem)?;
+            Ok(Type::array(inner_elem, outer * inner))
+        }
+        Pattern::Gather { .. } | Pattern::Scatter { .. } => Ok(arg_types[0].clone()),
+        Pattern::Transpose => {
+            let (row, n) = array_of(pattern, &arg_types[0])?;
+            let (elem, m) = array_of(pattern, &row)?;
+            Ok(Type::array(Type::array(elem, n), m))
+        }
+        Pattern::Zip { .. } => {
+            let mut elems = Vec::with_capacity(arg_types.len());
+            let mut len: Option<ArithExpr> = None;
+            for t in arg_types {
+                let (elem, l) = array_of(pattern, t)?;
+                match &len {
+                    None => len = Some(l),
+                    Some(first) => {
+                        if *first != l {
+                            return Err(TypeError::ZipLengthMismatch {
+                                first: first.to_string(),
+                                other: l.to_string(),
+                            });
+                        }
+                    }
+                }
+                elems.push(elem);
+            }
+            Ok(Type::array(Type::Tuple(elems), len.expect("zip has at least one argument")))
+        }
+        Pattern::Get { index } => match &arg_types[0] {
+            Type::Tuple(elems) => elems.get(*index).cloned().ok_or(
+                TypeError::TupleIndexOutOfRange { index: *index, arity: elems.len() },
+            ),
+            other => Err(TypeError::Mismatch {
+                context: "get".into(),
+                expected: "a tuple".into(),
+                found: other.to_string(),
+            }),
+        },
+        Pattern::Slide { size, step } => {
+            let (elem, len) = array_of(pattern, &arg_types[0])?;
+            let windows = (len - size.clone()) / step.clone() + 1;
+            Ok(Type::array(Type::array(elem, size.clone()), windows))
+        }
+        Pattern::ToGlobal { f } | Pattern::ToLocal { f } | Pattern::ToPrivate { f } => {
+            infer_call(program, *f, arg_types)
+        }
+        Pattern::AsVector { width } => {
+            let (elem, len) = array_of(pattern, &arg_types[0])?;
+            match elem {
+                Type::Scalar(kind) => Ok(Type::array(
+                    Type::Vector(kind, *width),
+                    len / ArithExpr::cst(*width as i64),
+                )),
+                other => Err(TypeError::Mismatch {
+                    context: "asVector".into(),
+                    expected: "an array of scalars".into(),
+                    found: other.to_string(),
+                }),
+            }
+        }
+        Pattern::AsScalar => {
+            let (elem, len) = array_of(pattern, &arg_types[0])?;
+            match elem {
+                Type::Vector(kind, width) => Ok(Type::array(
+                    Type::Scalar(kind),
+                    len * ArithExpr::cst(width as i64),
+                )),
+                other => Err(TypeError::Mismatch {
+                    context: "asScalar".into(),
+                    expected: "an array of vectors".into(),
+                    found: other.to_string(),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::UserFun;
+
+    fn float_array(len: impl Into<ArithExpr>) -> Type {
+        Type::array(Type::float(), len)
+    }
+
+    #[test]
+    fn map_preserves_length() {
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let m = p.map_glb(0, id);
+        p.with_root(vec![("x", float_array(ArithExpr::size_var("N")))], |p, params| {
+            p.apply1(m, params[0])
+        });
+        infer_types(&mut p).expect("types");
+        let out = p.type_of(p.root_body());
+        assert_eq!(*out, float_array(ArithExpr::size_var("N")));
+    }
+
+    #[test]
+    fn split_then_join_restores_the_length() {
+        // With a constant length the quotient folds and join restores the original length
+        // exactly; with a symbolic length the type keeps the (n/m)*m form because the type
+        // system does not assume divisibility.
+        let mut p = Program::new("t");
+        let s = p.split(32usize);
+        let j = p.join();
+        p.with_root(vec![("x", float_array(1024usize))], |p, params| {
+            let split = p.apply1(s, params[0]);
+            p.apply1(j, split)
+        });
+        infer_types(&mut p).expect("types");
+        assert_eq!(*p.type_of(p.root_body()), float_array(1024usize));
+
+        let mut p = Program::new("t2");
+        let n = ArithExpr::size_var("N");
+        let s = p.split(32usize);
+        let j = p.join();
+        p.with_root(vec![("x", float_array(n.clone()))], |p, params| {
+            let split = p.apply1(s, params[0]);
+            p.apply1(j, split)
+        });
+        infer_types(&mut p).expect("types");
+        assert_eq!(*p.type_of(p.root_body()), float_array((n / 32) * 32));
+    }
+
+    #[test]
+    fn split_introduces_the_quotient_length() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let s = p.split(128usize);
+        p.with_root(vec![("x", float_array(n.clone()))], |p, params| {
+            p.apply1(s, params[0])
+        });
+        infer_types(&mut p).expect("types");
+        let t = p.type_of(p.root_body()).clone();
+        let (inner, outer) = t.as_array().expect("outer array");
+        assert_eq!(*outer, n / 128);
+        assert_eq!(*inner, float_array(128usize));
+    }
+
+    #[test]
+    fn zip_requires_equal_lengths() {
+        let mut p = Program::new("t");
+        let z = p.zip2();
+        p.with_root(
+            vec![
+                ("x", float_array(ArithExpr::size_var("N"))),
+                ("y", float_array(ArithExpr::size_var("M"))),
+            ],
+            |p, params| p.apply(z, [params[0], params[1]]),
+        );
+        let err = infer_types(&mut p).unwrap_err();
+        assert!(matches!(err, TypeError::ZipLengthMismatch { .. }));
+    }
+
+    #[test]
+    fn zip_produces_an_array_of_pairs() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let z = p.zip2();
+        p.with_root(
+            vec![("x", float_array(n.clone())), ("y", float_array(n.clone()))],
+            |p, params| p.apply(z, [params[0], params[1]]),
+        );
+        infer_types(&mut p).expect("types");
+        let t = p.type_of(p.root_body()).clone();
+        assert_eq!(t, Type::array(Type::pair(Type::float(), Type::float()), n));
+    }
+
+    #[test]
+    fn reduce_produces_a_singleton_array() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce_seq(add, 0.0);
+        p.with_root(vec![("x", float_array(n))], |p, params| p.apply1(red, params[0]));
+        infer_types(&mut p).expect("types");
+        assert_eq!(*p.type_of(p.root_body()), float_array(1usize));
+    }
+
+    #[test]
+    fn reduce_with_wrong_accumulator_type_fails() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        // `mult_pair` has the wrong shape for a reduction function.
+        let bad = p.user_fun(UserFun::mult_pair());
+        let pattern = p.reduce_seq_pattern(bad);
+        p.with_root(vec![("x", float_array(n))], |p, params| {
+            let init = p.literal_f32(0.0);
+            p.apply(pattern, [init, params[0]])
+        });
+        assert!(infer_types(&mut p).is_err());
+    }
+
+    #[test]
+    fn transpose_swaps_dimensions() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let m = ArithExpr::size_var("M");
+        let t = p.transpose();
+        p.with_root(
+            vec![("x", Type::array(Type::array(Type::float(), m.clone()), n.clone()))],
+            |p, params| p.apply1(t, params[0]),
+        );
+        infer_types(&mut p).expect("types");
+        assert_eq!(
+            *p.type_of(p.root_body()),
+            Type::array(Type::array(Type::float(), n), m)
+        );
+    }
+
+    #[test]
+    fn slide_computes_window_count() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let s = p.slide(3usize, 1usize);
+        p.with_root(vec![("x", float_array(n.clone()))], |p, params| p.apply1(s, params[0]));
+        infer_types(&mut p).expect("types");
+        let t = p.type_of(p.root_body()).clone();
+        let (inner, windows) = t.as_array().expect("array");
+        assert_eq!(*windows, (n - 3) / 1 + 1);
+        assert_eq!(*inner, float_array(3usize));
+    }
+
+    #[test]
+    fn iterate_applies_the_length_change_repeatedly() {
+        let mut p = Program::new("t");
+        // iterate 3 (join . map(reduce(add, 0)) . split 2): halves the length each time.
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce_seq(add, 0.0);
+        let m = p.map_seq(red);
+        let s = p.split(2usize);
+        let j = p.join();
+        let body = p.compose(&[j, m, s]);
+        let it = p.iterate(3, body);
+        p.with_root(vec![("x", float_array(64usize))], |p, params| p.apply1(it, params[0]));
+        infer_types(&mut p).expect("types");
+        assert_eq!(*p.type_of(p.root_body()), float_array(8usize));
+    }
+
+    #[test]
+    fn vectorisation_round_trip() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let av = p.as_vector(4);
+        let asc = p.as_scalar();
+        p.with_root(vec![("x", float_array(n.clone()))], |p, params| {
+            let v = p.apply1(av, params[0]);
+            p.apply1(asc, v)
+        });
+        infer_types(&mut p).expect("types");
+        assert_eq!(*p.type_of(p.root_body()), float_array((n / 4) * 4));
+    }
+
+    #[test]
+    fn get_projects_tuple_components() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let z = p.zip2();
+        let g0 = p.get(0);
+        let lam = p.lambda(&["pair"], |p, params| p.apply1(g0, params[0]));
+        let m = p.map_glb(0, lam);
+        p.with_root(
+            vec![("x", float_array(n.clone())), ("y", float_array(n.clone()))],
+            |p, params| {
+                let zipped = p.apply(z, [params[0], params[1]]);
+                p.apply1(m, zipped)
+            },
+        );
+        infer_types(&mut p).expect("types");
+        assert_eq!(*p.type_of(p.root_body()), float_array(n));
+    }
+
+    #[test]
+    fn get_out_of_range_fails() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let z = p.zip2();
+        let g9 = p.get(9);
+        let lam = p.lambda(&["pair"], |p, params| p.apply1(g9, params[0]));
+        let m = p.map_glb(0, lam);
+        p.with_root(
+            vec![("x", float_array(n.clone())), ("y", float_array(n))],
+            |p, params| {
+                let zipped = p.apply(z, [params[0], params[1]]);
+                p.apply1(m, zipped)
+            },
+        );
+        let err = infer_types(&mut p).unwrap_err();
+        assert!(matches!(err, TypeError::TupleIndexOutOfRange { index: 9, arity: 2 }));
+    }
+
+    #[test]
+    fn user_fun_argument_mismatch_is_reported() {
+        let mut p = Program::new("t");
+        let n = ArithExpr::size_var("N");
+        let add = p.user_fun(UserFun::add());
+        let m = p.map_glb(0, add); // add needs 2 args but map provides 1
+        p.with_root(vec![("x", float_array(n))], |p, params| p.apply1(m, params[0]));
+        let err = infer_types(&mut p).unwrap_err();
+        assert!(matches!(err, TypeError::WrongArity { .. }), "got {err:?}");
+        assert!(err.to_string().contains("add"));
+    }
+
+    #[test]
+    fn missing_root_is_an_error() {
+        let mut p = Program::new("t");
+        assert_eq!(infer_types(&mut p).unwrap_err(), TypeError::MissingRoot);
+    }
+
+    #[test]
+    fn listing1_dot_product_types() {
+        // The partial dot product of Listing 1 (work-group size 128, iterate 6).
+        let n = ArithExpr::size_var("N");
+        let mut p = Program::new("partialDot");
+        let mult_add = p.user_fun(UserFun::mult_and_sum_up_pair());
+        let add = p.user_fun(UserFun::add());
+
+        // Step 1 inside the work group: split2 . mapLcl(toLocal(mapSeq(id)) . reduceSeq(...)) . join
+        let red1 = p.reduce_seq(mult_add, 0.0);
+        let copy_l1 = p.copy_to_local();
+        let step1_f = p.compose(&[copy_l1, red1]);
+        let step1_map = p.map_lcl(0, step1_f);
+        let s2a = p.split(2usize);
+        let j1 = p.join();
+        let step1 = p.compose(&[j1, step1_map, s2a]);
+
+        // Step 2: iterate6(join . mapLcl(toLocal(mapSeq(id)) . reduceSeq(add, 0)) . split2)
+        let red2 = p.reduce_seq(add, 0.0);
+        let copy_l2 = p.copy_to_local();
+        let step2_f = p.compose(&[copy_l2, red2]);
+        let step2_map = p.map_lcl(0, step2_f);
+        let s2b = p.split(2usize);
+        let j2 = p.join();
+        let iter_body = p.compose(&[j2, step2_map, s2b]);
+        let step2 = p.iterate(6, iter_body);
+
+        // Step 3: join . toGlobal(mapLcl(mapSeq(id))) . split1
+        let idf = p.user_fun(UserFun::id_float());
+        let mseq = p.map_seq(idf);
+        let mlcl = p.map_lcl(0, mseq);
+        let copy_g = p.to_global(mlcl);
+        let s1 = p.split(1usize);
+        let j3 = p.join();
+        let step3 = p.compose(&[j3, copy_g, s1]);
+
+        let wg_body = p.compose(&[step3, step2, step1]);
+        let wg = p.map_wrg(0, wg_body);
+        let s128 = p.split(128usize);
+        let jout = p.join();
+        let z = p.zip2();
+        p.with_root(
+            vec![
+                ("x", float_array(n.clone())),
+                ("y", float_array(n.clone())),
+            ],
+            |p, params| {
+                let zipped = p.apply(z, [params[0], params[1]]);
+                let split = p.apply1(s128, zipped);
+                let mapped = p.apply1(wg, split);
+                p.apply1(jout, mapped)
+            },
+        );
+        infer_types(&mut p).expect("dot product types");
+        // One partial result per work group.
+        assert_eq!(*p.type_of(p.root_body()), float_array(n / 128));
+    }
+}

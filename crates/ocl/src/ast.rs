@@ -1,0 +1,532 @@
+//! An abstract syntax tree for the subset of OpenCL C emitted by the Lift compiler.
+//!
+//! The code generator of Section 5.5 produces kernels in this representation. The AST serves
+//! two purposes: it is pretty-printed to OpenCL C source (Figure 7) for inspection, golden
+//! tests and code-size measurements, and it is executed directly by the virtual GPU
+//! (`lift-vgpu`), which is how this reproduction runs the generated kernels without physical
+//! GPU hardware.
+
+use lift_arith::ArithExpr;
+
+/// OpenCL address spaces.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AddrSpace {
+    /// `global` memory.
+    Global,
+    /// `local` memory.
+    Local,
+    /// `private` memory (registers).
+    Private,
+}
+
+impl AddrSpace {
+    /// The OpenCL qualifier keyword.
+    pub fn keyword(self) -> &'static str {
+        match self {
+            AddrSpace::Global => "global",
+            AddrSpace::Local => "local",
+            AddrSpace::Private => "private",
+        }
+    }
+}
+
+/// OpenCL C types.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CType {
+    /// `void`
+    Void,
+    /// `bool`
+    Bool,
+    /// `int`
+    Int,
+    /// `float`
+    Float,
+    /// `double`
+    Double,
+    /// A short vector such as `float4`.
+    Vector(Box<CType>, usize),
+    /// A named struct (used for tuple values).
+    Struct(String),
+    /// A pointer into one of the address spaces.
+    Pointer {
+        /// The pointee type.
+        elem: Box<CType>,
+        /// The address space the pointer refers to.
+        addr: AddrSpace,
+        /// Whether the pointer is declared `restrict`.
+        restrict: bool,
+        /// Whether the pointee is `const`.
+        is_const: bool,
+    },
+}
+
+impl CType {
+    /// A non-const, non-restrict pointer to `elem` in `addr`.
+    pub fn pointer(elem: CType, addr: AddrSpace) -> CType {
+        CType::Pointer { elem: Box::new(elem), addr, restrict: false, is_const: false }
+    }
+
+    /// A `const restrict` pointer, as used for kernel input parameters.
+    pub fn const_restrict_pointer(elem: CType, addr: AddrSpace) -> CType {
+        CType::Pointer { elem: Box::new(elem), addr, restrict: true, is_const: true }
+    }
+
+    /// The C source name of this type.
+    pub fn name(&self) -> String {
+        match self {
+            CType::Void => "void".into(),
+            CType::Bool => "bool".into(),
+            CType::Int => "int".into(),
+            CType::Float => "float".into(),
+            CType::Double => "double".into(),
+            CType::Vector(elem, w) => format!("{}{}", elem.name(), w),
+            CType::Struct(name) => name.clone(),
+            CType::Pointer { elem, .. } => format!("{}*", elem.name()),
+        }
+    }
+
+    /// Returns `true` if this is a pointer type.
+    pub fn is_pointer(&self) -> bool {
+        matches!(self, CType::Pointer { .. })
+    }
+}
+
+/// Binary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CBinOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+    /// `/`
+    Div,
+    /// `%`
+    Mod,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `==`
+    Eq,
+    /// `!=`
+    Ne,
+    /// `&&`
+    And,
+    /// `||`
+    Or,
+}
+
+impl CBinOp {
+    /// The C operator symbol.
+    pub fn symbol(self) -> &'static str {
+        match self {
+            CBinOp::Add => "+",
+            CBinOp::Sub => "-",
+            CBinOp::Mul => "*",
+            CBinOp::Div => "/",
+            CBinOp::Mod => "%",
+            CBinOp::Lt => "<",
+            CBinOp::Le => "<=",
+            CBinOp::Gt => ">",
+            CBinOp::Ge => ">=",
+            CBinOp::Eq => "==",
+            CBinOp::Ne => "!=",
+            CBinOp::And => "&&",
+            CBinOp::Or => "||",
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum CUnOp {
+    /// `-x`
+    Neg,
+    /// `!x`
+    Not,
+}
+
+/// OpenCL C expressions.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CExpr {
+    /// Integer literal.
+    IntLit(i64),
+    /// Floating-point literal.
+    FloatLit(f64),
+    /// Reference to a named variable or parameter.
+    Var(String),
+    /// A symbolic index expression produced by the view system; printed through the
+    /// arithmetic pretty-printer so that simplified indices appear verbatim in the source.
+    Index(ArithExpr),
+    /// Binary operation.
+    Bin(CBinOp, Box<CExpr>, Box<CExpr>),
+    /// Unary operation.
+    Un(CUnOp, Box<CExpr>),
+    /// Function or builtin call (`get_global_id(0)`, `sqrt(x)`, user functions, …).
+    Call(String, Vec<CExpr>),
+    /// Array subscript `array[index]`.
+    ArrayAccess(Box<CExpr>, Box<CExpr>),
+    /// Struct field access `value.field`.
+    Field(Box<CExpr>, String),
+    /// `(type) expr`
+    Cast(CType, Box<CExpr>),
+    /// `cond ? then : otherwise`
+    Ternary(Box<CExpr>, Box<CExpr>, Box<CExpr>),
+    /// A struct literal `(T){a, b}` used to build tuple values.
+    StructLit(String, Vec<CExpr>),
+    /// A vector literal `(float4)(a, b, c, d)`.
+    VectorLit(CType, Vec<CExpr>),
+}
+
+impl CExpr {
+    /// A variable reference.
+    pub fn var(name: impl Into<String>) -> CExpr {
+        CExpr::Var(name.into())
+    }
+
+    /// An integer literal.
+    pub fn int(v: i64) -> CExpr {
+        CExpr::IntLit(v)
+    }
+
+    /// A float literal.
+    pub fn float(v: f64) -> CExpr {
+        CExpr::FloatLit(v)
+    }
+
+    /// `get_global_id(dim)`
+    pub fn global_id(dim: u8) -> CExpr {
+        CExpr::Call("get_global_id".into(), vec![CExpr::int(i64::from(dim))])
+    }
+
+    /// `get_local_id(dim)`
+    pub fn local_id(dim: u8) -> CExpr {
+        CExpr::Call("get_local_id".into(), vec![CExpr::int(i64::from(dim))])
+    }
+
+    /// `get_group_id(dim)`
+    pub fn group_id(dim: u8) -> CExpr {
+        CExpr::Call("get_group_id".into(), vec![CExpr::int(i64::from(dim))])
+    }
+
+    /// `get_global_size(dim)`
+    pub fn global_size(dim: u8) -> CExpr {
+        CExpr::Call("get_global_size".into(), vec![CExpr::int(i64::from(dim))])
+    }
+
+    /// `get_local_size(dim)`
+    pub fn local_size(dim: u8) -> CExpr {
+        CExpr::Call("get_local_size".into(), vec![CExpr::int(i64::from(dim))])
+    }
+
+    /// `get_num_groups(dim)`
+    pub fn num_groups(dim: u8) -> CExpr {
+        CExpr::Call("get_num_groups".into(), vec![CExpr::int(i64::from(dim))])
+    }
+
+    /// `self + rhs`
+    pub fn add(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(CBinOp::Add, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self - rhs`
+    pub fn sub(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(CBinOp::Sub, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self * rhs`
+    pub fn mul(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(CBinOp::Mul, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self / rhs`
+    pub fn div(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(CBinOp::Div, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self % rhs`
+    pub fn rem(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(CBinOp::Mod, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self < rhs`
+    pub fn lt(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(CBinOp::Lt, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self == rhs`
+    pub fn eq(self, rhs: CExpr) -> CExpr {
+        CExpr::Bin(CBinOp::Eq, Box::new(self), Box::new(rhs))
+    }
+
+    /// `self[index]`
+    pub fn at(self, index: CExpr) -> CExpr {
+        CExpr::ArrayAccess(Box::new(self), Box::new(index))
+    }
+
+    /// `self.field`
+    pub fn field(self, name: impl Into<String>) -> CExpr {
+        CExpr::Field(Box::new(self), name.into())
+    }
+
+    /// Counts integer division and modulo operations (including those inside symbolic
+    /// indices); the cost model charges extra for these.
+    pub fn div_mod_count(&self) -> usize {
+        match self {
+            CExpr::IntLit(_) | CExpr::FloatLit(_) | CExpr::Var(_) => 0,
+            CExpr::Index(e) => e.div_mod_count(),
+            CExpr::Bin(op, a, b) => {
+                let own = usize::from(matches!(op, CBinOp::Div | CBinOp::Mod));
+                own + a.div_mod_count() + b.div_mod_count()
+            }
+            CExpr::Un(_, a) => a.div_mod_count(),
+            CExpr::Call(_, args) | CExpr::StructLit(_, args) | CExpr::VectorLit(_, args) => {
+                args.iter().map(CExpr::div_mod_count).sum()
+            }
+            CExpr::ArrayAccess(a, i) => a.div_mod_count() + i.div_mod_count(),
+            CExpr::Field(a, _) => a.div_mod_count(),
+            CExpr::Cast(_, a) => a.div_mod_count(),
+            CExpr::Ternary(c, t, e) => c.div_mod_count() + t.div_mod_count() + e.div_mod_count(),
+        }
+    }
+}
+
+/// The memory fence flags of an OpenCL `barrier` call.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Fence {
+    /// `CLK_LOCAL_MEM_FENCE`
+    pub local: bool,
+    /// `CLK_GLOBAL_MEM_FENCE`
+    pub global: bool,
+}
+
+impl Fence {
+    /// A local-memory fence.
+    pub fn local() -> Fence {
+        Fence { local: true, global: false }
+    }
+
+    /// A global-memory fence.
+    pub fn global() -> Fence {
+        Fence { local: false, global: true }
+    }
+}
+
+/// OpenCL C statements.
+#[derive(Clone, Debug, PartialEq)]
+pub enum CStmt {
+    /// A variable declaration, optionally with an address space, array size and initialiser.
+    Decl {
+        /// Declared type.
+        ty: CType,
+        /// Variable name.
+        name: String,
+        /// Address space qualifier (`local float tmp[64]`), if any.
+        addr: Option<AddrSpace>,
+        /// Array size for buffer declarations, if any.
+        array_len: Option<ArithExpr>,
+        /// Initialiser expression, if any.
+        init: Option<CExpr>,
+    },
+    /// An assignment `lhs = rhs;`.
+    Assign {
+        /// The assigned place (variable, array element or field).
+        lhs: CExpr,
+        /// The value.
+        rhs: CExpr,
+    },
+    /// An expression evaluated for its effect.
+    Expr(CExpr),
+    /// A nested block `{ ... }`.
+    Block(Vec<CStmt>),
+    /// `for (int var = init; cond; var += step) { body }`
+    For {
+        /// Loop variable name (declared `int`).
+        var: String,
+        /// Initial value.
+        init: CExpr,
+        /// Continuation condition.
+        cond: CExpr,
+        /// Per-iteration increment added to the loop variable.
+        step: CExpr,
+        /// Loop body.
+        body: Vec<CStmt>,
+    },
+    /// `if (cond) { then } else { otherwise }`
+    If {
+        /// Condition.
+        cond: CExpr,
+        /// Then branch.
+        then: Vec<CStmt>,
+        /// Optional else branch.
+        otherwise: Option<Vec<CStmt>>,
+    },
+    /// `barrier(...)`
+    Barrier(Fence),
+    /// `return;`
+    Return,
+    /// A comment line.
+    Comment(String),
+}
+
+/// A kernel parameter.
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelParam {
+    /// Parameter name.
+    pub name: String,
+    /// Parameter type.
+    pub ty: CType,
+}
+
+/// An OpenCL kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Kernel {
+    /// Kernel name.
+    pub name: String,
+    /// Kernel parameters (buffers and sizes).
+    pub params: Vec<KernelParam>,
+    /// Kernel body.
+    pub body: Vec<CStmt>,
+}
+
+/// A non-kernel function (generated from a user function).
+#[derive(Clone, Debug, PartialEq)]
+pub struct CFunction {
+    /// Function name.
+    pub name: String,
+    /// Return type.
+    pub ret: CType,
+    /// Parameters.
+    pub params: Vec<(String, CType)>,
+    /// The returned expression (user functions are single-expression).
+    pub body: CExpr,
+}
+
+/// A struct definition used for tuple values.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StructDef {
+    /// Struct name.
+    pub name: String,
+    /// Field names and types.
+    pub fields: Vec<(String, CType)>,
+}
+
+/// A whole OpenCL translation unit: struct definitions, helper functions and kernels.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Module {
+    /// Tuple struct definitions.
+    pub structs: Vec<StructDef>,
+    /// Helper functions (user functions).
+    pub functions: Vec<CFunction>,
+    /// Kernels.
+    pub kernels: Vec<Kernel>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new() -> Module {
+        Module::default()
+    }
+
+    /// Finds a function by name.
+    pub fn function(&self, name: &str) -> Option<&CFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a kernel by name.
+    pub fn kernel(&self, name: &str) -> Option<&Kernel> {
+        self.kernels.iter().find(|k| k.name == name)
+    }
+
+    /// Adds a struct definition if one with the same name is not already present.
+    pub fn add_struct(&mut self, def: StructDef) {
+        if !self.structs.iter().any(|s| s.name == def.name) {
+            self.structs.push(def);
+        }
+    }
+
+    /// Adds a helper function if one with the same name is not already present.
+    pub fn add_function(&mut self, f: CFunction) {
+        if !self.functions.iter().any(|existing| existing.name == f.name) {
+            self.functions.push(f);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn expression_builders_compose() {
+        let e = CExpr::var("x").add(CExpr::int(1)).mul(CExpr::var("y"));
+        match e {
+            CExpr::Bin(CBinOp::Mul, lhs, _) => {
+                assert!(matches!(*lhs, CExpr::Bin(CBinOp::Add, _, _)));
+            }
+            other => panic!("unexpected shape {other:?}"),
+        }
+    }
+
+    #[test]
+    fn builtin_id_helpers() {
+        assert_eq!(
+            CExpr::local_id(0),
+            CExpr::Call("get_local_id".into(), vec![CExpr::IntLit(0)])
+        );
+        assert_eq!(
+            CExpr::num_groups(1),
+            CExpr::Call("get_num_groups".into(), vec![CExpr::IntLit(1)])
+        );
+    }
+
+    #[test]
+    fn div_mod_count_looks_inside_indices() {
+        let n = ArithExpr::size_var("N");
+        let idx = ArithExpr::Mod(Box::new(ArithExpr::var("x")), Box::new(n));
+        let e = CExpr::var("a").at(CExpr::Index(idx)).add(CExpr::var("b").div(CExpr::int(2)));
+        assert_eq!(e.div_mod_count(), 2);
+    }
+
+    #[test]
+    fn ctype_names() {
+        assert_eq!(CType::Float.name(), "float");
+        assert_eq!(CType::Vector(Box::new(CType::Float), 4).name(), "float4");
+        assert_eq!(CType::pointer(CType::Float, AddrSpace::Local).name(), "float*");
+        assert!(CType::pointer(CType::Float, AddrSpace::Local).is_pointer());
+        assert!(!CType::Int.is_pointer());
+    }
+
+    #[test]
+    fn module_deduplicates_structs_and_functions() {
+        let mut m = Module::new();
+        let s = StructDef { name: "Tuple_float_float".into(), fields: vec![] };
+        m.add_struct(s.clone());
+        m.add_struct(s);
+        assert_eq!(m.structs.len(), 1);
+        let f = CFunction {
+            name: "add".into(),
+            ret: CType::Float,
+            params: vec![],
+            body: CExpr::float(0.0),
+        };
+        m.add_function(f.clone());
+        m.add_function(f);
+        assert_eq!(m.functions.len(), 1);
+        assert!(m.function("add").is_some());
+        assert!(m.kernel("missing").is_none());
+    }
+
+    #[test]
+    fn fence_constructors() {
+        assert!(Fence::local().local);
+        assert!(!Fence::local().global);
+        assert!(Fence::global().global);
+    }
+}

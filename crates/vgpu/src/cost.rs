@@ -1,0 +1,146 @@
+//! The analytical cost model.
+//!
+//! During execution the virtual GPU counts dynamic events per work item and per SIMD group:
+//! floating-point operations, integer operations, integer divisions/modulos, global and local
+//! memory accesses, coalesced memory transactions, barriers and loop iterations. A
+//! [`DeviceProfile`](crate::DeviceProfile) turns these counters into an estimated execution
+//! time. The model is deliberately simple — it captures exactly the effects the paper's
+//! optimisations target (index arithmetic, memory coalescing, barriers and control flow), so
+//! that the *relative* performance trends of Figure 8 can be reproduced without GPU hardware.
+
+use crate::device::DeviceProfile;
+
+/// Dynamic event counters accumulated while executing a kernel.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct CostCounters {
+    /// Floating-point operations.
+    pub flops: u64,
+    /// Simple integer operations (index additions, comparisons, …).
+    pub int_ops: u64,
+    /// Integer divisions and modulos.
+    pub div_mod_ops: u64,
+    /// Individual global-memory accesses (loads + stores).
+    pub global_accesses: u64,
+    /// Global accesses performed through vector loads/stores.
+    pub vector_accesses: u64,
+    /// Coalesced global-memory transactions (segments touched per SIMD group).
+    pub global_transactions: u64,
+    /// Global accesses that fell outside a coalesced transaction pattern.
+    pub uncoalesced_accesses: u64,
+    /// Local-memory accesses.
+    pub local_accesses: u64,
+    /// Private-memory (register) accesses.
+    pub private_accesses: u64,
+    /// Work-group barriers executed (counted once per work group).
+    pub barriers: u64,
+    /// Executed loop iterations (for loop-overhead accounting).
+    pub loop_iterations: u64,
+    /// Work items that executed the kernel.
+    pub work_items: u64,
+    /// Work groups that executed the kernel.
+    pub work_groups: u64,
+}
+
+impl CostCounters {
+    /// Adds another set of counters to this one.
+    pub fn merge(&mut self, other: &CostCounters) {
+        self.flops += other.flops;
+        self.int_ops += other.int_ops;
+        self.div_mod_ops += other.div_mod_ops;
+        self.global_accesses += other.global_accesses;
+        self.vector_accesses += other.vector_accesses;
+        self.global_transactions += other.global_transactions;
+        self.uncoalesced_accesses += other.uncoalesced_accesses;
+        self.local_accesses += other.local_accesses;
+        self.private_accesses += other.private_accesses;
+        self.barriers += other.barriers;
+        self.loop_iterations += other.loop_iterations;
+        self.work_items += other.work_items;
+        self.work_groups += other.work_groups;
+    }
+
+    /// Estimates the execution time (in arbitrary "cycle" units) on the given device.
+    ///
+    /// Work is assumed to be perfectly distributed over the device's compute units; the
+    /// constant factor is irrelevant because every experiment reports performance *relative*
+    /// to a baseline executed under the same model.
+    pub fn estimated_time(&self, device: &DeviceProfile) -> f64 {
+        let compute = self.flops as f64 * device.flop_cost
+            + self.int_ops as f64 * device.int_op_cost
+            + self.div_mod_ops as f64 * device.div_mod_cost
+            + self.loop_iterations as f64 * device.loop_overhead;
+        let vector_discount = self.vector_accesses as f64
+            * device.global_transaction_cost
+            * (1.0 - device.vector_access_discount)
+            / device.simd_width as f64;
+        let memory = self.global_transactions as f64 * device.global_transaction_cost
+            + self.uncoalesced_accesses as f64 * device.uncoalesced_penalty
+            + self.local_accesses as f64 * device.local_access_cost
+            + self.private_accesses as f64 * device.private_access_cost
+            - vector_discount;
+        let sync = self.barriers as f64 * device.barrier_cost;
+        let parallelism = device.compute_units as f64 * device.simd_width as f64;
+        (compute + memory + sync).max(0.0) / parallelism
+    }
+}
+
+/// The result of running a kernel on the virtual GPU.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionReport {
+    /// The dynamic event counters.
+    pub counters: CostCounters,
+}
+
+impl ExecutionReport {
+    /// Estimated execution time on `device` (arbitrary units, comparable across runs).
+    pub fn estimated_time(&self, device: &DeviceProfile) -> f64 {
+        self.counters.estimated_time(device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn merge_adds_all_fields() {
+        let mut a = CostCounters { flops: 1, barriers: 2, ..Default::default() };
+        let b = CostCounters { flops: 3, global_accesses: 5, ..Default::default() };
+        a.merge(&b);
+        assert_eq!(a.flops, 4);
+        assert_eq!(a.barriers, 2);
+        assert_eq!(a.global_accesses, 5);
+    }
+
+    #[test]
+    fn div_mod_heavy_kernels_cost_more() {
+        let device = DeviceProfile::nvidia();
+        let cheap = CostCounters { int_ops: 1000, ..Default::default() };
+        let pricey = CostCounters { int_ops: 1000, div_mod_ops: 1000, ..Default::default() };
+        assert!(pricey.estimated_time(&device) > 5.0 * cheap.estimated_time(&device));
+    }
+
+    #[test]
+    fn coalescing_reduces_estimated_time() {
+        let device = DeviceProfile::nvidia();
+        let coalesced = CostCounters {
+            global_accesses: 1024,
+            global_transactions: 32,
+            ..Default::default()
+        };
+        let scattered = CostCounters {
+            global_accesses: 1024,
+            global_transactions: 1024,
+            uncoalesced_accesses: 992,
+            ..Default::default()
+        };
+        assert!(scattered.estimated_time(&device) > 5.0 * coalesced.estimated_time(&device));
+    }
+
+    #[test]
+    fn estimated_time_is_never_negative() {
+        let device = DeviceProfile::amd();
+        let counters = CostCounters { vector_accesses: 1_000_000, ..Default::default() };
+        assert!(counters.estimated_time(&device) >= 0.0);
+    }
+}

@@ -1,0 +1,1334 @@
+//! SIMT execution of OpenCL kernels.
+//!
+//! The virtual GPU executes one work group at a time. Within a work group all work items run
+//! in lock step, statement by statement, which gives barriers their OpenCL semantics for the
+//! structured kernels the Lift compiler emits (barriers only ever appear at points reached
+//! uniformly by the whole work group). Divergent control flow is handled with per-thread
+//! activity masks, exactly like the execution masks of a real SIMT machine.
+//!
+//! While executing, the interpreter counts the dynamic events the cost model charges for:
+//! arithmetic, index computations (with divisions/modulos counted separately), global/local
+//! memory traffic with a coalescing analysis per SIMD group, barriers and loop overhead.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use lift_arith::ArithExpr;
+use lift_ocl::{AddrSpace, CBinOp, CExpr, CStmt, CUnOp, Kernel, Module};
+
+use crate::cost::{CostCounters, ExecutionReport};
+use crate::device::LaunchConfig;
+use crate::memory::{GpuValue, KernelArg, Ptr};
+
+/// Number of consecutive work items considered for memory-coalescing analysis.
+const COALESCE_GROUP: usize = 32;
+/// Number of consecutive `float` elements that form one memory transaction segment.
+const SEGMENT_ELEMS: i64 = 32;
+
+/// Errors raised while launching or executing a kernel.
+#[derive(Clone, Debug, PartialEq)]
+pub enum VgpuError {
+    /// The requested kernel does not exist in the module.
+    UnknownKernel(String),
+    /// A variable was referenced but never defined.
+    UnknownVariable(String),
+    /// A called function is neither a builtin nor defined in the module.
+    UnknownFunction(String),
+    /// The number of kernel arguments does not match the kernel signature.
+    ArgumentMismatch {
+        /// Parameters expected.
+        expected: usize,
+        /// Arguments provided.
+        found: usize,
+    },
+    /// An expression that must be a pointer evaluated to something else.
+    NotAPointer(String),
+    /// An out-of-bounds memory access.
+    OutOfBounds {
+        /// The address space of the buffer.
+        space: &'static str,
+        /// The accessed index.
+        index: i64,
+        /// The buffer length.
+        len: usize,
+    },
+    /// A symbolic length could not be resolved to a constant.
+    SymbolicLength(String),
+    /// A value that cannot be stored to memory (e.g. a struct) was stored.
+    InvalidStore(String),
+    /// Integer division or modulo by zero while evaluating an index expression.
+    DivisionByZero,
+}
+
+impl fmt::Display for VgpuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            VgpuError::UnknownKernel(k) => write!(f, "unknown kernel `{k}`"),
+            VgpuError::UnknownVariable(v) => write!(f, "unknown variable `{v}`"),
+            VgpuError::UnknownFunction(v) => write!(f, "unknown function `{v}`"),
+            VgpuError::ArgumentMismatch { expected, found } => {
+                write!(f, "kernel expects {expected} arguments, received {found}")
+            }
+            VgpuError::NotAPointer(e) => write!(f, "expression is not a pointer: {e}"),
+            VgpuError::OutOfBounds { space, index, len } => {
+                write!(f, "out-of-bounds {space} access at index {index} (length {len})")
+            }
+            VgpuError::SymbolicLength(e) => write!(f, "cannot resolve symbolic length `{e}`"),
+            VgpuError::InvalidStore(e) => write!(f, "cannot store value: {e}"),
+            VgpuError::DivisionByZero => write!(f, "division by zero in index expression"),
+        }
+    }
+}
+
+impl std::error::Error for VgpuError {}
+
+/// The result of a kernel launch: the (possibly modified) global buffers in argument order and
+/// the execution report for the cost model.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LaunchResult {
+    /// Global buffers after execution, in the order the buffer arguments were passed.
+    pub buffers: Vec<Vec<f32>>,
+    /// Dynamic execution counters.
+    pub report: ExecutionReport,
+}
+
+/// The virtual GPU.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct VirtualGpu;
+
+impl VirtualGpu {
+    /// Creates a virtual GPU.
+    pub fn new() -> VirtualGpu {
+        VirtualGpu
+    }
+
+    /// Launches `kernel_name` from `module` over the given ND-range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VgpuError`] if the kernel is unknown, the arguments do not match, or the
+    /// kernel performs an invalid memory access.
+    pub fn launch(
+        &self,
+        module: &Module,
+        kernel_name: &str,
+        config: LaunchConfig,
+        args: Vec<KernelArg>,
+    ) -> Result<LaunchResult, VgpuError> {
+        let kernel = module
+            .kernel(kernel_name)
+            .ok_or_else(|| VgpuError::UnknownKernel(kernel_name.to_string()))?;
+        if kernel.params.len() != args.len() {
+            return Err(VgpuError::ArgumentMismatch {
+                expected: kernel.params.len(),
+                found: args.len(),
+            });
+        }
+
+        let mut global: Vec<Vec<f32>> = Vec::new();
+        let mut params: HashMap<String, GpuValue> = HashMap::new();
+        for (param, arg) in kernel.params.iter().zip(args) {
+            match arg {
+                KernelArg::Buffer(data) => {
+                    let idx = global.len();
+                    global.push(data);
+                    params.insert(
+                        param.name.clone(),
+                        GpuValue::Ptr(Ptr { space: AddrSpace::Global, buffer: idx, offset: 0 }),
+                    );
+                }
+                KernelArg::Int(v) => {
+                    params.insert(param.name.clone(), GpuValue::Int(v));
+                }
+                KernelArg::Float(v) => {
+                    params.insert(param.name.clone(), GpuValue::Float(f64::from(v)));
+                }
+            }
+        }
+
+        let mut exec = Exec {
+            module,
+            kernel,
+            config,
+            global,
+            params,
+            counters: CostCounters::default(),
+            access_log: Vec::new(),
+        };
+        exec.run()?;
+        Ok(LaunchResult { buffers: exec.global, report: ExecutionReport { counters: exec.counters } })
+    }
+}
+
+/// One recorded global-memory access, used for the coalescing analysis.
+struct Access {
+    thread: usize,
+    buffer: usize,
+    addr: i64,
+    width: usize,
+}
+
+/// Per-work-group shared state.
+struct Group {
+    id: [usize; 3],
+    local: Vec<Vec<f32>>,
+    local_names: HashMap<String, usize>,
+}
+
+/// Per-work-item state.
+struct Thread {
+    lid: [usize; 3],
+    gid: [usize; 3],
+    linear: usize,
+    env: HashMap<String, GpuValue>,
+    private: Vec<Vec<f32>>,
+    returned: bool,
+}
+
+struct Exec<'a> {
+    module: &'a Module,
+    kernel: &'a Kernel,
+    config: LaunchConfig,
+    global: Vec<Vec<f32>>,
+    params: HashMap<String, GpuValue>,
+    counters: CostCounters,
+    access_log: Vec<Access>,
+}
+
+impl<'a> Exec<'a> {
+    fn run(&mut self) -> Result<(), VgpuError> {
+        let groups = self.config.num_groups();
+        let local = self.config.local;
+        for gz in 0..groups[2] {
+            for gy in 0..groups[1] {
+                for gx in 0..groups[0] {
+                    let mut group = Group {
+                        id: [gx, gy, gz],
+                        local: Vec::new(),
+                        local_names: HashMap::new(),
+                    };
+                    let mut threads = Vec::with_capacity(local.iter().product());
+                    for lz in 0..local[2] {
+                        for ly in 0..local[1] {
+                            for lx in 0..local[0] {
+                                let linear = lx + local[0] * (ly + local[1] * lz);
+                                threads.push(Thread {
+                                    lid: [lx, ly, lz],
+                                    gid: [
+                                        gx * local[0] + lx,
+                                        gy * local[1] + ly,
+                                        gz * local[2] + lz,
+                                    ],
+                                    linear,
+                                    env: HashMap::new(),
+                                    private: Vec::new(),
+                                    returned: false,
+                                });
+                            }
+                        }
+                    }
+                    self.counters.work_groups += 1;
+                    self.counters.work_items += threads.len() as u64;
+                    let mask = vec![true; threads.len()];
+                    let body = self.kernel.body.clone();
+                    self.exec_block(&body, &mut group, &mut threads, &mask)?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn exec_block(
+        &mut self,
+        stmts: &[CStmt],
+        group: &mut Group,
+        threads: &mut Vec<Thread>,
+        mask: &[bool],
+    ) -> Result<(), VgpuError> {
+        for stmt in stmts {
+            self.exec_stmt(stmt, group, threads, mask)?;
+        }
+        Ok(())
+    }
+
+    fn active(&self, threads: &[Thread], mask: &[bool], i: usize) -> bool {
+        mask[i] && !threads[i].returned
+    }
+
+    fn exec_stmt(
+        &mut self,
+        stmt: &CStmt,
+        group: &mut Group,
+        threads: &mut Vec<Thread>,
+        mask: &[bool],
+    ) -> Result<(), VgpuError> {
+        match stmt {
+            CStmt::Comment(_) => Ok(()),
+            CStmt::Return => {
+                for i in 0..threads.len() {
+                    if mask[i] {
+                        threads[i].returned = true;
+                    }
+                }
+                Ok(())
+            }
+            CStmt::Barrier(_) => {
+                self.counters.barriers += 1;
+                Ok(())
+            }
+            CStmt::Block(stmts) => self.exec_block(stmts, group, threads, mask),
+            CStmt::Decl { ty: _, name, addr, array_len, init } => {
+                match array_len {
+                    Some(len_expr) => {
+                        let len = self.resolve_len(len_expr)?;
+                        if matches!(addr, Some(AddrSpace::Local)) {
+                            // One allocation shared by the work group.
+                            let idx = group.local.len();
+                            group.local.push(vec![0.0; len]);
+                            group.local_names.insert(name.clone(), idx);
+                        } else {
+                            // A private array per work item (register blocking).
+                            for i in 0..threads.len() {
+                                if !self.active(threads, mask, i) {
+                                    continue;
+                                }
+                                let t = &mut threads[i];
+                                let idx = t.private.len();
+                                t.private.push(vec![0.0; len]);
+                                t.env.insert(
+                                    name.clone(),
+                                    GpuValue::Ptr(Ptr {
+                                        space: AddrSpace::Private,
+                                        buffer: idx,
+                                        offset: 0,
+                                    }),
+                                );
+                            }
+                        }
+                        Ok(())
+                    }
+                    None => {
+                        for i in 0..threads.len() {
+                            if !self.active(threads, mask, i) {
+                                continue;
+                            }
+                            let value = match init {
+                                Some(e) => self.eval(e, group, &mut threads[i])?,
+                                None => GpuValue::Float(0.0),
+                            };
+                            threads[i].env.insert(name.clone(), value);
+                        }
+                        self.flush_accesses();
+                        Ok(())
+                    }
+                }
+            }
+            CStmt::Assign { lhs, rhs } => {
+                for i in 0..threads.len() {
+                    if !self.active(threads, mask, i) {
+                        continue;
+                    }
+                    let value = self.eval(rhs, group, &mut threads[i])?;
+                    self.assign(lhs, value, group, &mut threads[i])?;
+                }
+                self.flush_accesses();
+                Ok(())
+            }
+            CStmt::Expr(e) => {
+                for i in 0..threads.len() {
+                    if !self.active(threads, mask, i) {
+                        continue;
+                    }
+                    self.eval(e, group, &mut threads[i])?;
+                }
+                self.flush_accesses();
+                Ok(())
+            }
+            CStmt::If { cond, then, otherwise } => {
+                let mut then_mask = vec![false; threads.len()];
+                let mut else_mask = vec![false; threads.len()];
+                for i in 0..threads.len() {
+                    if !self.active(threads, mask, i) {
+                        continue;
+                    }
+                    let c = self.eval(cond, group, &mut threads[i])?.as_bool();
+                    self.counters.int_ops += 1;
+                    then_mask[i] = c;
+                    else_mask[i] = !c;
+                }
+                self.flush_accesses();
+                if then_mask.iter().any(|b| *b) {
+                    self.exec_block(then, group, threads, &then_mask)?;
+                }
+                if let Some(otherwise) = otherwise {
+                    if else_mask.iter().any(|b| *b) {
+                        self.exec_block(otherwise, group, threads, &else_mask)?;
+                    }
+                }
+                Ok(())
+            }
+            CStmt::For { var, init, cond, step, body } => {
+                for i in 0..threads.len() {
+                    if !self.active(threads, mask, i) {
+                        continue;
+                    }
+                    let v = self.eval(init, group, &mut threads[i])?;
+                    threads[i].env.insert(var.clone(), v);
+                }
+                self.flush_accesses();
+                loop {
+                    let mut iter_mask = vec![false; threads.len()];
+                    let mut any = false;
+                    for i in 0..threads.len() {
+                        if !self.active(threads, mask, i) {
+                            continue;
+                        }
+                        let c = self.eval(cond, group, &mut threads[i])?.as_bool();
+                        self.counters.int_ops += 1;
+                        if c {
+                            iter_mask[i] = true;
+                            any = true;
+                            self.counters.loop_iterations += 1;
+                        }
+                    }
+                    self.flush_accesses();
+                    if !any {
+                        break;
+                    }
+                    self.exec_block(body, group, threads, &iter_mask)?;
+                    for i in 0..threads.len() {
+                        if !iter_mask[i] || threads[i].returned {
+                            continue;
+                        }
+                        let s = self.eval(step, group, &mut threads[i])?;
+                        let current = threads[i]
+                            .env
+                            .get(var)
+                            .cloned()
+                            .ok_or_else(|| VgpuError::UnknownVariable(var.clone()))?;
+                        let next = GpuValue::Int(current.as_i64() + s.as_i64());
+                        self.counters.int_ops += 1;
+                        threads[i].env.insert(var.clone(), next);
+                    }
+                    self.flush_accesses();
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn resolve_len(&self, e: &ArithExpr) -> Result<usize, VgpuError> {
+        let lookup = |name: &str| self.params.get(name).map(GpuValue::as_i64);
+        let v = e
+            .evaluate_with(&lookup)
+            .map_err(|_| VgpuError::SymbolicLength(e.to_string()))?;
+        usize::try_from(v).map_err(|_| VgpuError::SymbolicLength(e.to_string()))
+    }
+
+    // ------------------------------------------------------------------ expression evaluation
+
+    fn eval(
+        &mut self,
+        e: &CExpr,
+        group: &mut Group,
+        thread: &mut Thread,
+    ) -> Result<GpuValue, VgpuError> {
+        match e {
+            CExpr::IntLit(v) => Ok(GpuValue::Int(*v)),
+            CExpr::FloatLit(v) => Ok(GpuValue::Float(*v)),
+            CExpr::Var(name) => self.lookup_var(name, group, thread),
+            CExpr::Index(a) => {
+                self.counters.int_ops += (a.op_count() - a.div_mod_count()) as u64;
+                self.counters.div_mod_ops += a.div_mod_count() as u64;
+                let v = self.eval_index(a, thread)?;
+                Ok(GpuValue::Int(v))
+            }
+            CExpr::Bin(op, a, b) => {
+                let a = self.eval(a, group, thread)?;
+                let b = self.eval(b, group, thread)?;
+                self.eval_bin(*op, a, b)
+            }
+            CExpr::Un(op, a) => {
+                let v = self.eval(a, group, thread)?;
+                Ok(match op {
+                    CUnOp::Neg => {
+                        self.counters.flops += 1;
+                        match v {
+                            GpuValue::Int(i) => GpuValue::Int(-i),
+                            other => GpuValue::Float(-other.as_f64()),
+                        }
+                    }
+                    CUnOp::Not => {
+                        self.counters.int_ops += 1;
+                        GpuValue::Bool(!v.as_bool())
+                    }
+                })
+            }
+            CExpr::Call(name, args) => self.eval_call(name, args, group, thread),
+            CExpr::ArrayAccess(arr, idx) => {
+                let ptr = self
+                    .eval(arr, group, thread)?
+                    .as_ptr()
+                    .ok_or_else(|| VgpuError::NotAPointer(lift_ocl::print_expr(arr)))?;
+                let idx = self.eval(idx, group, thread)?.as_i64();
+                self.load(ptr, idx, group, thread, 1)
+            }
+            CExpr::Field(obj, field) => {
+                let v = self.eval(obj, group, thread)?;
+                let idx = field_index(field);
+                match v {
+                    GpuValue::Struct(fields) | GpuValue::Vector(fields) => fields
+                        .get(idx)
+                        .cloned()
+                        .ok_or_else(|| VgpuError::UnknownVariable(format!("field {field}"))),
+                    other => Ok(other),
+                }
+            }
+            CExpr::Cast(ty, inner) => {
+                let v = self.eval(inner, group, thread)?;
+                Ok(match ty {
+                    lift_ocl::CType::Int => GpuValue::Int(v.as_i64()),
+                    lift_ocl::CType::Float | lift_ocl::CType::Double => GpuValue::Float(v.as_f64()),
+                    lift_ocl::CType::Bool => GpuValue::Bool(v.as_bool()),
+                    _ => v,
+                })
+            }
+            CExpr::Ternary(c, t, other) => {
+                let c = self.eval(c, group, thread)?.as_bool();
+                self.counters.int_ops += 1;
+                if c {
+                    self.eval(t, group, thread)
+                } else {
+                    self.eval(other, group, thread)
+                }
+            }
+            CExpr::StructLit(_, fields) => {
+                let mut out = Vec::with_capacity(fields.len());
+                for f in fields {
+                    out.push(self.eval(f, group, thread)?);
+                }
+                Ok(GpuValue::Struct(out))
+            }
+            CExpr::VectorLit(_, elems) => {
+                let mut out = Vec::with_capacity(elems.len());
+                for e in elems {
+                    out.push(self.eval(e, group, thread)?);
+                }
+                Ok(GpuValue::Vector(out))
+            }
+        }
+    }
+
+    fn eval_index(&self, a: &ArithExpr, thread: &Thread) -> Result<i64, VgpuError> {
+        let lookup = |name: &str| {
+            thread
+                .env
+                .get(name)
+                .map(GpuValue::as_i64)
+                .or_else(|| self.params.get(name).map(GpuValue::as_i64))
+        };
+        a.evaluate_with(&lookup).map_err(|err| match err {
+            lift_arith::EvalError::UnboundVariable(v) => VgpuError::UnknownVariable(v),
+            lift_arith::EvalError::DivisionByZero => VgpuError::DivisionByZero,
+        })
+    }
+
+    fn lookup_var(
+        &self,
+        name: &str,
+        group: &Group,
+        thread: &Thread,
+    ) -> Result<GpuValue, VgpuError> {
+        if let Some(v) = thread.env.get(name) {
+            return Ok(v.clone());
+        }
+        if let Some(idx) = group.local_names.get(name) {
+            return Ok(GpuValue::Ptr(Ptr { space: AddrSpace::Local, buffer: *idx, offset: 0 }));
+        }
+        if let Some(v) = self.params.get(name) {
+            return Ok(v.clone());
+        }
+        Err(VgpuError::UnknownVariable(name.to_string()))
+    }
+
+    fn eval_bin(&mut self, op: CBinOp, a: GpuValue, b: GpuValue) -> Result<GpuValue, VgpuError> {
+        // Pointer arithmetic and comparison.
+        if let Some(p) = a.as_ptr() {
+            return Ok(match op {
+                CBinOp::Add => GpuValue::Ptr(Ptr { offset: p.offset + b.as_i64(), ..p }),
+                CBinOp::Sub => GpuValue::Ptr(Ptr { offset: p.offset - b.as_i64(), ..p }),
+                CBinOp::Eq => GpuValue::Bool(Some(p) == b.as_ptr()),
+                CBinOp::Ne => GpuValue::Bool(Some(p) != b.as_ptr()),
+                _ => return Err(VgpuError::NotAPointer("invalid pointer operation".into())),
+            });
+        }
+        // Lane-wise vector arithmetic.
+        if let GpuValue::Vector(lanes_a) = &a {
+            let out: Result<Vec<GpuValue>, VgpuError> = lanes_a
+                .iter()
+                .enumerate()
+                .map(|(i, la)| {
+                    let lb = match &b {
+                        GpuValue::Vector(lanes_b) => lanes_b[i].clone(),
+                        other => other.clone(),
+                    };
+                    self.eval_bin(op, la.clone(), lb)
+                })
+                .collect();
+            return Ok(GpuValue::Vector(out?));
+        }
+        if let (GpuValue::Int(x), GpuValue::Int(y)) = (&a, &b) {
+            let (x, y) = (*x, *y);
+            return Ok(match op {
+                CBinOp::Add | CBinOp::Sub | CBinOp::Mul => {
+                    self.counters.int_ops += 1;
+                    GpuValue::Int(match op {
+                        CBinOp::Add => x + y,
+                        CBinOp::Sub => x - y,
+                        _ => x * y,
+                    })
+                }
+                CBinOp::Div | CBinOp::Mod => {
+                    self.counters.div_mod_ops += 1;
+                    if y == 0 {
+                        return Err(VgpuError::DivisionByZero);
+                    }
+                    GpuValue::Int(if op == CBinOp::Div { x.div_euclid(y) } else { x.rem_euclid(y) })
+                }
+                _ => {
+                    self.counters.int_ops += 1;
+                    GpuValue::Bool(compare(op, x as f64, y as f64))
+                }
+            });
+        }
+        // Mixed / floating point.
+        let (x, y) = (a.as_f64(), b.as_f64());
+        Ok(match op {
+            CBinOp::Add | CBinOp::Sub | CBinOp::Mul | CBinOp::Div => {
+                self.counters.flops += 1;
+                GpuValue::Float(match op {
+                    CBinOp::Add => x + y,
+                    CBinOp::Sub => x - y,
+                    CBinOp::Mul => x * y,
+                    _ => x / y,
+                })
+            }
+            CBinOp::Mod => {
+                self.counters.div_mod_ops += 1;
+                GpuValue::Float(x % y)
+            }
+            _ => {
+                self.counters.int_ops += 1;
+                GpuValue::Bool(compare(op, x, y))
+            }
+        })
+    }
+
+    fn eval_call(
+        &mut self,
+        name: &str,
+        args: &[CExpr],
+        group: &mut Group,
+        thread: &mut Thread,
+    ) -> Result<GpuValue, VgpuError> {
+        // OpenCL work-item functions.
+        if let Some(builtin) = self.work_item_builtin(name, args, group, thread)? {
+            return Ok(builtin);
+        }
+        // Vector loads/stores.
+        if let Some(width) = vector_width(name, "vload") {
+            let idx = self.eval(&args[0], group, thread)?.as_i64();
+            let ptr = self
+                .eval(&args[1], group, thread)?
+                .as_ptr()
+                .ok_or_else(|| VgpuError::NotAPointer(name.to_string()))?;
+            let mut lanes = Vec::with_capacity(width);
+            for lane in 0..width {
+                lanes.push(self.load(ptr, idx * width as i64 + lane as i64, group, thread, width)?);
+            }
+            self.counters.vector_accesses += width as u64;
+            return Ok(GpuValue::Vector(lanes));
+        }
+        if let Some(width) = vector_width(name, "vstore") {
+            let value = self.eval(&args[0], group, thread)?;
+            let idx = self.eval(&args[1], group, thread)?.as_i64();
+            let ptr = self
+                .eval(&args[2], group, thread)?
+                .as_ptr()
+                .ok_or_else(|| VgpuError::NotAPointer(name.to_string()))?;
+            let lanes = match value {
+                GpuValue::Vector(lanes) => lanes,
+                other => vec![other; width],
+            };
+            for (lane, v) in lanes.iter().enumerate() {
+                self.store(ptr, idx * width as i64 + lane as i64, v.as_f64(), group, thread, width)?;
+            }
+            self.counters.vector_accesses += width as u64;
+            return Ok(GpuValue::Int(0));
+        }
+        // Math builtins.
+        match name {
+            "sqrt" | "native_sqrt" | "rsqrt" | "fabs" | "exp" | "log" | "floor" => {
+                let v = self.eval(&args[0], group, thread)?.as_f64();
+                self.counters.flops += 4;
+                let out = match name {
+                    "sqrt" | "native_sqrt" => v.sqrt(),
+                    "rsqrt" => 1.0 / v.sqrt(),
+                    "fabs" => v.abs(),
+                    "exp" => v.exp(),
+                    "log" => v.ln(),
+                    _ => v.floor(),
+                };
+                return Ok(GpuValue::Float(out));
+            }
+            "fmin" | "min" | "fmax" | "max" => {
+                let a = self.eval(&args[0], group, thread)?.as_f64();
+                let b = self.eval(&args[1], group, thread)?.as_f64();
+                self.counters.flops += 1;
+                let out = if name.ends_with("min") { a.min(b) } else { a.max(b) };
+                return Ok(GpuValue::Float(out));
+            }
+            "mad" | "fma" => {
+                let a = self.eval(&args[0], group, thread)?.as_f64();
+                let b = self.eval(&args[1], group, thread)?.as_f64();
+                let c = self.eval(&args[2], group, thread)?.as_f64();
+                self.counters.flops += 2;
+                return Ok(GpuValue::Float(a * b + c));
+            }
+            _ => {}
+        }
+        // User functions defined in the module.
+        let fun = self
+            .module
+            .function(name)
+            .ok_or_else(|| VgpuError::UnknownFunction(name.to_string()))?
+            .clone();
+        if fun.params.len() != args.len() {
+            return Err(VgpuError::ArgumentMismatch {
+                expected: fun.params.len(),
+                found: args.len(),
+            });
+        }
+        let mut values = Vec::with_capacity(args.len());
+        for a in args {
+            values.push(self.eval(a, group, thread)?);
+        }
+        // Bind parameters with save/restore so nested calls and loop variables are preserved.
+        let saved: Vec<Option<GpuValue>> =
+            fun.params.iter().map(|(n, _)| thread.env.get(n).cloned()).collect();
+        for ((n, _), v) in fun.params.iter().zip(values) {
+            thread.env.insert(n.clone(), v);
+        }
+        let result = self.eval(&fun.body, group, thread);
+        for ((n, _), old) in fun.params.iter().zip(saved) {
+            match old {
+                Some(v) => {
+                    thread.env.insert(n.clone(), v);
+                }
+                None => {
+                    thread.env.remove(n);
+                }
+            }
+        }
+        result
+    }
+
+    fn work_item_builtin(
+        &mut self,
+        name: &str,
+        args: &[CExpr],
+        group: &mut Group,
+        thread: &mut Thread,
+    ) -> Result<Option<GpuValue>, VgpuError> {
+        let dims = [
+            "get_global_id",
+            "get_local_id",
+            "get_group_id",
+            "get_global_size",
+            "get_local_size",
+            "get_num_groups",
+        ];
+        if !dims.contains(&name) {
+            return Ok(None);
+        }
+        let dim = self.eval(&args[0], group, thread)?.as_i64() as usize;
+        let groups = self.config.num_groups();
+        let v = match name {
+            "get_global_id" => thread.gid[dim],
+            "get_local_id" => thread.lid[dim],
+            "get_group_id" => group.id[dim],
+            "get_global_size" => self.config.global[dim],
+            "get_local_size" => self.config.local[dim],
+            _ => groups[dim],
+        };
+        Ok(Some(GpuValue::Int(v as i64)))
+    }
+
+    // ------------------------------------------------------------------ memory
+
+    fn load(
+        &mut self,
+        ptr: Ptr,
+        idx: i64,
+        group: &Group,
+        thread: &Thread,
+        vector_width: usize,
+    ) -> Result<GpuValue, VgpuError> {
+        let addr = ptr.offset + idx;
+        let value = match ptr.space {
+            AddrSpace::Global => {
+                let buf = &self.global[ptr.buffer];
+                let slot = usize::try_from(addr).ok().filter(|a| *a < buf.len()).ok_or(
+                    VgpuError::OutOfBounds { space: "global", index: addr, len: buf.len() },
+                )?;
+                self.counters.global_accesses += 1;
+                self.access_log.push(Access {
+                    thread: thread.linear,
+                    buffer: ptr.buffer,
+                    addr,
+                    width: vector_width,
+                });
+                self.global[ptr.buffer][slot]
+            }
+            AddrSpace::Local => {
+                let buf = &group.local[ptr.buffer];
+                let slot = usize::try_from(addr).ok().filter(|a| *a < buf.len()).ok_or(
+                    VgpuError::OutOfBounds { space: "local", index: addr, len: buf.len() },
+                )?;
+                self.counters.local_accesses += 1;
+                buf[slot]
+            }
+            AddrSpace::Private => {
+                let buf = &thread.private[ptr.buffer];
+                let slot = usize::try_from(addr).ok().filter(|a| *a < buf.len()).ok_or(
+                    VgpuError::OutOfBounds { space: "private", index: addr, len: buf.len() },
+                )?;
+                self.counters.private_accesses += 1;
+                buf[slot]
+            }
+        };
+        Ok(GpuValue::Float(f64::from(value)))
+    }
+
+    fn store(
+        &mut self,
+        ptr: Ptr,
+        idx: i64,
+        value: f64,
+        group: &mut Group,
+        thread: &mut Thread,
+        vector_width: usize,
+    ) -> Result<(), VgpuError> {
+        let addr = ptr.offset + idx;
+        match ptr.space {
+            AddrSpace::Global => {
+                let buf = &mut self.global[ptr.buffer];
+                let len = buf.len();
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .filter(|a| *a < len)
+                    .ok_or(VgpuError::OutOfBounds { space: "global", index: addr, len })?;
+                buf[slot] = value as f32;
+                self.counters.global_accesses += 1;
+                self.access_log.push(Access {
+                    thread: thread.linear,
+                    buffer: ptr.buffer,
+                    addr,
+                    width: vector_width,
+                });
+            }
+            AddrSpace::Local => {
+                let buf = &mut group.local[ptr.buffer];
+                let len = buf.len();
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .filter(|a| *a < len)
+                    .ok_or(VgpuError::OutOfBounds { space: "local", index: addr, len })?;
+                buf[slot] = value as f32;
+                self.counters.local_accesses += 1;
+            }
+            AddrSpace::Private => {
+                let buf = &mut thread.private[ptr.buffer];
+                let len = buf.len();
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .filter(|a| *a < len)
+                    .ok_or(VgpuError::OutOfBounds { space: "private", index: addr, len })?;
+                buf[slot] = value as f32;
+                self.counters.private_accesses += 1;
+            }
+        }
+        Ok(())
+    }
+
+    fn assign(
+        &mut self,
+        lhs: &CExpr,
+        value: GpuValue,
+        group: &mut Group,
+        thread: &mut Thread,
+    ) -> Result<(), VgpuError> {
+        match lhs {
+            CExpr::Var(name) => {
+                thread.env.insert(name.clone(), value);
+                Ok(())
+            }
+            CExpr::ArrayAccess(arr, idx) => {
+                let ptr = self
+                    .eval(arr, group, thread)?
+                    .as_ptr()
+                    .ok_or_else(|| VgpuError::NotAPointer(lift_ocl::print_expr(arr)))?;
+                let idx = self.eval(idx, group, thread)?.as_i64();
+                if !value.is_scalar() {
+                    return Err(VgpuError::InvalidStore(lift_ocl::print_expr(lhs)));
+                }
+                self.store(ptr, idx, value.as_f64(), group, thread, 1)
+            }
+            CExpr::Field(obj, field) => {
+                // Field assignment only supports struct-valued variables.
+                if let CExpr::Var(name) = &**obj {
+                    let idx = field_index(field);
+                    let mut current = thread
+                        .env
+                        .get(name)
+                        .cloned()
+                        .unwrap_or(GpuValue::Struct(vec![GpuValue::Float(0.0); idx + 1]));
+                    if let GpuValue::Struct(fields) | GpuValue::Vector(fields) = &mut current {
+                        if fields.len() <= idx {
+                            fields.resize(idx + 1, GpuValue::Float(0.0));
+                        }
+                        fields[idx] = value;
+                    }
+                    thread.env.insert(name.clone(), current);
+                    Ok(())
+                } else {
+                    Err(VgpuError::InvalidStore(lift_ocl::print_expr(lhs)))
+                }
+            }
+            other => Err(VgpuError::InvalidStore(lift_ocl::print_expr(other))),
+        }
+    }
+
+    /// Groups the global accesses of the last lock-step statement execution into memory
+    /// transactions per SIMD group and charges uncoalesced accesses.
+    fn flush_accesses(&mut self) {
+        if self.access_log.is_empty() {
+            return;
+        }
+        let log = std::mem::take(&mut self.access_log);
+        use std::collections::HashSet;
+        let mut per_simd: HashMap<usize, HashSet<(usize, i64)>> = HashMap::new();
+        let mut per_simd_count: HashMap<usize, usize> = HashMap::new();
+        for access in &log {
+            let simd_group = access.thread / COALESCE_GROUP;
+            let segments = per_simd.entry(simd_group).or_default();
+            // A vector access may straddle two segments; charge both.
+            segments.insert((access.buffer, access.addr.div_euclid(SEGMENT_ELEMS)));
+            let last = access.addr + access.width.max(1) as i64 - 1;
+            segments.insert((access.buffer, last.div_euclid(SEGMENT_ELEMS)));
+            *per_simd_count.entry(simd_group).or_default() += 1;
+        }
+        for (simd_group, segments) in per_simd {
+            let accesses = per_simd_count[&simd_group];
+            let ideal = accesses.div_ceil(COALESCE_GROUP).max(1);
+            let transactions = segments.len() as u64;
+            self.counters.global_transactions += transactions;
+            self.counters.uncoalesced_accesses +=
+                (transactions as usize).saturating_sub(ideal) as u64;
+        }
+    }
+}
+
+fn compare(op: CBinOp, x: f64, y: f64) -> bool {
+    match op {
+        CBinOp::Lt => x < y,
+        CBinOp::Le => x <= y,
+        CBinOp::Gt => x > y,
+        CBinOp::Ge => x >= y,
+        CBinOp::Eq => x == y,
+        CBinOp::Ne => x != y,
+        CBinOp::And => x != 0.0 && y != 0.0,
+        CBinOp::Or => x != 0.0 || y != 0.0,
+        _ => false,
+    }
+}
+
+fn field_index(field: &str) -> usize {
+    field
+        .trim_start_matches('_')
+        .trim_start_matches('s')
+        .parse::<usize>()
+        .unwrap_or(match field {
+            "x" => 0,
+            "y" => 1,
+            "z" => 2,
+            "w" => 3,
+            _ => 0,
+        })
+}
+
+fn vector_width(name: &str, prefix: &str) -> Option<usize> {
+    name.strip_prefix(prefix).and_then(|rest| rest.parse::<usize>().ok()).filter(|w| {
+        matches!(w, 2 | 4 | 8 | 16)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_ocl::{CFunction, CType, Fence, KernelParam};
+
+    fn copy_kernel() -> Module {
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "copy".into(),
+            params: vec![
+                KernelParam {
+                    name: "in".into(),
+                    ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+            ],
+            body: vec![CStmt::Assign {
+                lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                rhs: CExpr::var("in").at(CExpr::global_id(0)),
+            }],
+        });
+        m
+    }
+
+    #[test]
+    fn copy_kernel_copies() {
+        let m = copy_kernel();
+        let gpu = VirtualGpu::new();
+        let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let result = gpu
+            .launch(
+                &m,
+                "copy",
+                LaunchConfig::d1(64, 16),
+                vec![KernelArg::Buffer(input.clone()), KernelArg::zeros(64)],
+            )
+            .expect("runs");
+        assert_eq!(result.buffers[1], input);
+        assert_eq!(result.report.counters.work_items, 64);
+        assert_eq!(result.report.counters.work_groups, 4);
+        assert!(result.report.counters.global_accesses >= 128);
+    }
+
+    #[test]
+    fn unknown_kernel_is_reported() {
+        let m = copy_kernel();
+        let err = VirtualGpu::new()
+            .launch(&m, "missing", LaunchConfig::d1(1, 1), vec![])
+            .unwrap_err();
+        assert_eq!(err, VgpuError::UnknownKernel("missing".into()));
+    }
+
+    #[test]
+    fn argument_count_is_checked() {
+        let m = copy_kernel();
+        let err = VirtualGpu::new()
+            .launch(&m, "copy", LaunchConfig::d1(16, 16), vec![KernelArg::zeros(16)])
+            .unwrap_err();
+        assert_eq!(err, VgpuError::ArgumentMismatch { expected: 2, found: 1 });
+    }
+
+    #[test]
+    fn out_of_bounds_access_is_reported() {
+        let m = copy_kernel();
+        let err = VirtualGpu::new()
+            .launch(
+                &m,
+                "copy",
+                LaunchConfig::d1(64, 16),
+                vec![KernelArg::Buffer(vec![0.0; 8]), KernelArg::zeros(64)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, VgpuError::OutOfBounds { space: "global", .. }), "{err:?}");
+    }
+
+    #[test]
+    fn for_loop_and_user_function() {
+        // out[gid] = sum of in[gid*4 .. gid*4+4] via a user "add" function.
+        let mut m = Module::new();
+        m.add_function(CFunction {
+            name: "add".into(),
+            ret: CType::Float,
+            params: vec![("a".into(), CType::Float), ("b".into(), CType::Float)],
+            body: CExpr::var("a").add(CExpr::var("b")),
+        });
+        m.kernels.push(Kernel {
+            name: "sum4".into(),
+            params: vec![
+                KernelParam {
+                    name: "in".into(),
+                    ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+            ],
+            body: vec![
+                CStmt::Decl {
+                    ty: CType::Float,
+                    name: "acc".into(),
+                    addr: None,
+                    array_len: None,
+                    init: Some(CExpr::float(0.0)),
+                },
+                CStmt::For {
+                    var: "i".into(),
+                    init: CExpr::int(0),
+                    cond: CExpr::var("i").lt(CExpr::int(4)),
+                    step: CExpr::int(1),
+                    body: vec![CStmt::Assign {
+                        lhs: CExpr::var("acc"),
+                        rhs: CExpr::Call(
+                            "add".into(),
+                            vec![
+                                CExpr::var("acc"),
+                                CExpr::var("in")
+                                    .at(CExpr::global_id(0).mul(CExpr::int(4)).add(CExpr::var("i"))),
+                            ],
+                        ),
+                    }],
+                },
+                CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::var("acc"),
+                },
+            ],
+        });
+        let input: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let result = VirtualGpu::new()
+            .launch(
+                &m,
+                "sum4",
+                LaunchConfig::d1(8, 8),
+                vec![KernelArg::Buffer(input), KernelArg::zeros(8)],
+            )
+            .expect("runs");
+        let expected: Vec<f32> = (0..8).map(|g| (0..4).map(|i| (g * 4 + i) as f32).sum()).collect();
+        assert_eq!(result.buffers[1], expected);
+        assert!(result.report.counters.loop_iterations >= 32);
+        assert!(result.report.counters.flops >= 32);
+    }
+
+    #[test]
+    fn local_memory_and_barrier() {
+        // Reverse the elements of each work group through local memory.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "reverse".into(),
+            params: vec![
+                KernelParam {
+                    name: "in".into(),
+                    ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+            ],
+            body: vec![
+                CStmt::Decl {
+                    ty: CType::Float,
+                    name: "tmp".into(),
+                    addr: Some(AddrSpace::Local),
+                    array_len: Some(ArithExpr::cst(8)),
+                    init: None,
+                },
+                CStmt::Assign {
+                    lhs: CExpr::var("tmp").at(CExpr::local_id(0)),
+                    rhs: CExpr::var("in").at(CExpr::global_id(0)),
+                },
+                CStmt::Barrier(Fence::local()),
+                CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::var("tmp")
+                        .at(CExpr::int(7).sub(CExpr::local_id(0))),
+                },
+            ],
+        });
+        let input: Vec<f32> = (0..16).map(|i| i as f32).collect();
+        let result = VirtualGpu::new()
+            .launch(
+                &m,
+                "reverse",
+                LaunchConfig::d1(16, 8),
+                vec![KernelArg::Buffer(input), KernelArg::zeros(16)],
+            )
+            .expect("runs");
+        let expected: Vec<f32> = vec![
+            7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 0.0, 15.0, 14.0, 13.0, 12.0, 11.0, 10.0, 9.0, 8.0,
+        ];
+        assert_eq!(result.buffers[1], expected);
+        assert_eq!(result.report.counters.barriers, 2);
+        assert!(result.report.counters.local_accesses >= 32);
+    }
+
+    #[test]
+    fn divergent_if_uses_masks() {
+        // Only the first half of each work group writes.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "half".into(),
+            params: vec![KernelParam {
+                name: "out".into(),
+                ty: CType::pointer(CType::Float, AddrSpace::Global),
+            }],
+            body: vec![CStmt::If {
+                cond: CExpr::local_id(0).lt(CExpr::int(4)),
+                then: vec![CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::float(1.0),
+                }],
+                otherwise: Some(vec![CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::float(2.0),
+                }]),
+            }],
+        });
+        let result = VirtualGpu::new()
+            .launch(&m, "half", LaunchConfig::d1(8, 8), vec![KernelArg::zeros(8)])
+            .expect("runs");
+        assert_eq!(result.buffers[0], vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn vector_load_store_round_trip() {
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "vcopy".into(),
+            params: vec![
+                KernelParam {
+                    name: "in".into(),
+                    ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+            ],
+            body: vec![CStmt::Expr(CExpr::Call(
+                "vstore4".into(),
+                vec![
+                    CExpr::Call("vload4".into(), vec![CExpr::global_id(0), CExpr::var("in")]),
+                    CExpr::global_id(0),
+                    CExpr::var("out"),
+                ],
+            ))],
+        });
+        let input: Vec<f32> = (0..32).map(|i| i as f32).collect();
+        let result = VirtualGpu::new()
+            .launch(
+                &m,
+                "vcopy",
+                LaunchConfig::d1(8, 8),
+                vec![KernelArg::Buffer(input.clone()), KernelArg::zeros(32)],
+            )
+            .expect("runs");
+        assert_eq!(result.buffers[1], input);
+        assert!(result.report.counters.vector_accesses >= 64);
+    }
+
+    #[test]
+    fn coalesced_accesses_produce_fewer_transactions_than_strided() {
+        // Coalesced: out[gid] = in[gid]. Strided: out[gid] = in[gid * 32].
+        let make = |stride: i64| {
+            let mut m = Module::new();
+            m.kernels.push(Kernel {
+                name: "k".into(),
+                params: vec![
+                    KernelParam {
+                        name: "in".into(),
+                        ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                    },
+                    KernelParam {
+                        name: "out".into(),
+                        ty: CType::pointer(CType::Float, AddrSpace::Global),
+                    },
+                ],
+                body: vec![CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::var("in").at(CExpr::global_id(0).mul(CExpr::int(stride))),
+                }],
+            });
+            m
+        };
+        let gpu = VirtualGpu::new();
+        let coalesced = gpu
+            .launch(
+                &make(1),
+                "k",
+                LaunchConfig::d1(64, 64),
+                vec![KernelArg::Buffer(vec![0.0; 64 * 32]), KernelArg::zeros(64)],
+            )
+            .unwrap();
+        let strided = gpu
+            .launch(
+                &make(32),
+                "k",
+                LaunchConfig::d1(64, 64),
+                vec![KernelArg::Buffer(vec![0.0; 64 * 32]), KernelArg::zeros(64)],
+            )
+            .unwrap();
+        assert!(
+            strided.report.counters.global_transactions
+                > 4 * coalesced.report.counters.global_transactions,
+            "strided {} vs coalesced {}",
+            strided.report.counters.global_transactions,
+            coalesced.report.counters.global_transactions
+        );
+        assert!(strided.report.counters.uncoalesced_accesses > 0);
+        assert_eq!(coalesced.report.counters.uncoalesced_accesses, 0);
+    }
+
+    #[test]
+    fn private_arrays_are_per_thread() {
+        // Each thread fills a private array and sums it.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "priv".into(),
+            params: vec![KernelParam {
+                name: "out".into(),
+                ty: CType::pointer(CType::Float, AddrSpace::Global),
+            }],
+            body: vec![
+                CStmt::Decl {
+                    ty: CType::Float,
+                    name: "regs".into(),
+                    addr: Some(AddrSpace::Private),
+                    array_len: Some(ArithExpr::cst(4)),
+                    init: None,
+                },
+                CStmt::For {
+                    var: "i".into(),
+                    init: CExpr::int(0),
+                    cond: CExpr::var("i").lt(CExpr::int(4)),
+                    step: CExpr::int(1),
+                    body: vec![CStmt::Assign {
+                        lhs: CExpr::var("regs").at(CExpr::var("i")),
+                        rhs: CExpr::Cast(CType::Float, Box::new(CExpr::global_id(0))),
+                    }],
+                },
+                CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::var("regs")
+                        .at(CExpr::int(0))
+                        .add(CExpr::var("regs").at(CExpr::int(3))),
+                },
+            ],
+        });
+        let result = VirtualGpu::new()
+            .launch(&m, "priv", LaunchConfig::d1(4, 2), vec![KernelArg::zeros(4)])
+            .expect("runs");
+        assert_eq!(result.buffers[0], vec![0.0, 2.0, 4.0, 6.0]);
+        assert!(result.report.counters.private_accesses > 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! # Virtual GPU
+//!
+//! The paper evaluates generated kernels on two physical GPUs. This crate replaces that
+//! hardware with a *virtual GPU*: a SIMT interpreter for the OpenCL AST of `lift-ocl` plus an
+//! analytical cost model.
+//!
+//! * [`VirtualGpu::launch`] executes a kernel over an ND-range with global buffers, work-group
+//!   local memory, private memory, barriers and divergent control flow (execution masks).
+//! * The execution produces [`CostCounters`]: dynamic counts of floating-point work, integer
+//!   index arithmetic (divisions/modulos counted separately), global-memory transactions with
+//!   a per-SIMD-group coalescing analysis, local/private traffic, barriers and loop overhead.
+//! * A [`DeviceProfile`] (modelled on the paper's AMD and NVIDIA cards) converts the counters
+//!   into an estimated execution time, so experiments can compare *relative* performance the
+//!   way Figure 8 does.
+//!
+//! The functional result of a launch is exact — kernels really execute — so the same run both
+//! validates correctness against the reference interpreter and feeds the performance model.
+
+mod cost;
+mod device;
+mod exec;
+mod memory;
+
+pub use cost::{CostCounters, ExecutionReport};
+pub use device::{DeviceProfile, LaunchConfig};
+pub use exec::{LaunchResult, VgpuError, VirtualGpu};
+pub use memory::{GpuValue, KernelArg, Ptr};

@@ -1,0 +1,133 @@
+//! Runtime values and memory objects of the virtual GPU.
+
+use lift_ocl::AddrSpace;
+
+/// An argument passed to a kernel launch.
+#[derive(Clone, Debug, PartialEq)]
+pub enum KernelArg {
+    /// A global-memory buffer of `float` elements. Buffers are returned (possibly modified)
+    /// after the launch.
+    Buffer(Vec<f32>),
+    /// A scalar `int` argument (array sizes, iteration counts, …).
+    Int(i64),
+    /// A scalar `float` argument.
+    Float(f32),
+}
+
+impl KernelArg {
+    /// Convenience constructor for a buffer of zeros (output buffers).
+    pub fn zeros(len: usize) -> KernelArg {
+        KernelArg::Buffer(vec![0.0; len])
+    }
+}
+
+/// A pointer value: an address space, a buffer id within that space and an element offset.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Ptr {
+    /// The address space of the pointee.
+    pub space: AddrSpace,
+    /// Index into the buffer table of that space.
+    pub buffer: usize,
+    /// Offset in elements from the start of the buffer.
+    pub offset: i64,
+}
+
+/// A runtime value manipulated by the kernel interpreter.
+#[derive(Clone, Debug, PartialEq)]
+pub enum GpuValue {
+    /// A floating-point value.
+    Float(f64),
+    /// An integer value.
+    Int(i64),
+    /// A boolean value.
+    Bool(bool),
+    /// A pointer into global, local or private memory.
+    Ptr(Ptr),
+    /// A short vector of values (OpenCL `float4` and friends).
+    Vector(Vec<GpuValue>),
+    /// A struct value used for tuples.
+    Struct(Vec<GpuValue>),
+}
+
+impl GpuValue {
+    /// Interprets the value as a float.
+    pub fn as_f64(&self) -> f64 {
+        match self {
+            GpuValue::Float(v) => *v,
+            GpuValue::Int(v) => *v as f64,
+            GpuValue::Bool(b) => {
+                if *b {
+                    1.0
+                } else {
+                    0.0
+                }
+            }
+            _ => f64::NAN,
+        }
+    }
+
+    /// Interprets the value as an integer (truncating floats).
+    pub fn as_i64(&self) -> i64 {
+        match self {
+            GpuValue::Int(v) => *v,
+            GpuValue::Float(v) => *v as i64,
+            GpuValue::Bool(b) => i64::from(*b),
+            _ => 0,
+        }
+    }
+
+    /// Interprets the value as a boolean (non-zero = true).
+    pub fn as_bool(&self) -> bool {
+        match self {
+            GpuValue::Bool(b) => *b,
+            GpuValue::Int(v) => *v != 0,
+            GpuValue::Float(v) => *v != 0.0,
+            _ => false,
+        }
+    }
+
+    /// Returns the pointer if this value is one.
+    pub fn as_ptr(&self) -> Option<Ptr> {
+        match self {
+            GpuValue::Ptr(p) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Returns `true` if the value is numeric (float, int or bool).
+    pub fn is_scalar(&self) -> bool {
+        matches!(self, GpuValue::Float(_) | GpuValue::Int(_) | GpuValue::Bool(_))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_between_scalar_kinds() {
+        assert_eq!(GpuValue::Float(2.5).as_f64(), 2.5);
+        assert_eq!(GpuValue::Int(3).as_f64(), 3.0);
+        assert_eq!(GpuValue::Float(2.9).as_i64(), 2);
+        assert!(GpuValue::Int(1).as_bool());
+        assert!(!GpuValue::Float(0.0).as_bool());
+        assert!(GpuValue::Bool(true).is_scalar());
+    }
+
+    #[test]
+    fn pointer_round_trip() {
+        let p = Ptr { space: AddrSpace::Local, buffer: 1, offset: 16 };
+        let v = GpuValue::Ptr(p);
+        assert_eq!(v.as_ptr(), Some(p));
+        assert!(!v.is_scalar());
+        assert_eq!(GpuValue::Int(0).as_ptr(), None);
+    }
+
+    #[test]
+    fn zeros_creates_an_output_buffer() {
+        match KernelArg::zeros(4) {
+            KernelArg::Buffer(b) => assert_eq!(b, vec![0.0; 4]),
+            other => panic!("expected buffer, got {other:?}"),
+        }
+    }
+}
