@@ -53,7 +53,10 @@ pub(crate) fn upper_bound(e: &ArithExpr) -> Option<ArithExpr> {
         ArithExpr::Cst(c) => Some(ArithExpr::Cst(*c)),
         ArithExpr::Var(v) => {
             let max_excl = v.range().max_excl.as_deref()?;
-            Some(simplify::make_sum(vec![max_excl.clone(), ArithExpr::Cst(-1)]))
+            Some(simplify::make_sum(vec![
+                max_excl.clone(),
+                ArithExpr::Cst(-1),
+            ]))
         }
         ArithExpr::Sum(ts) => {
             let mut acc = Vec::with_capacity(ts.len());
@@ -74,8 +77,7 @@ pub(crate) fn upper_bound(e: &ArithExpr) -> Option<ArithExpr> {
         }
         ArithExpr::Mod(x, m) => {
             // x mod m <= m - 1 (and also <= x for non-negative x).
-            let ub_m = upper_bound(m)
-                .map(|u| simplify::make_sum(vec![u, ArithExpr::Cst(-1)]));
+            let ub_m = upper_bound(m).map(|u| simplify::make_sum(vec![u, ArithExpr::Cst(-1)]));
             match ub_m {
                 Some(u) => Some(u),
                 None => {
@@ -126,7 +128,11 @@ fn prod_bound(factors: &[ArithExpr], kind: BoundKind) -> Option<ArithExpr> {
     };
     let mut acc = vec![ArithExpr::Cst(coeff)];
     for f in rest {
-        let b = if want_upper { upper_bound(f)? } else { lower_bound(f)? };
+        let b = if want_upper {
+            upper_bound(f)?
+        } else {
+            lower_bound(f)?
+        };
         if !is_non_negative(&b) {
             return None;
         }

@@ -48,22 +48,34 @@ pub struct Range {
 impl Range {
     /// An unbounded range (nothing is known about the variable).
     pub fn unknown() -> Self {
-        Range { min: None, max_excl: None }
+        Range {
+            min: None,
+            max_excl: None,
+        }
     }
 
     /// The range `[min, max_excl)`.
     pub fn new(min: ArithExpr, max_excl: ArithExpr) -> Self {
-        Range { min: Some(Box::new(min)), max_excl: Some(Box::new(max_excl)) }
+        Range {
+            min: Some(Box::new(min)),
+            max_excl: Some(Box::new(max_excl)),
+        }
     }
 
     /// The range of a size variable: `[1, ∞)`.
     pub fn positive() -> Self {
-        Range { min: Some(Box::new(ArithExpr::Cst(1))), max_excl: None }
+        Range {
+            min: Some(Box::new(ArithExpr::Cst(1))),
+            max_excl: None,
+        }
     }
 
     /// The range `[min, ∞)`.
     pub fn at_least(min: ArithExpr) -> Self {
-        Range { min: Some(Box::new(min)), max_excl: None }
+        Range {
+            min: Some(Box::new(min)),
+            max_excl: None,
+        }
     }
 }
 
@@ -81,7 +93,10 @@ pub struct Var {
 impl Var {
     /// Creates a variable with the given name and range.
     pub fn new(name: impl Into<String>, range: Range) -> Self {
-        Var { name: name.into(), range }
+        Var {
+            name: name.into(),
+            range,
+        }
     }
 
     /// The variable's name.
@@ -96,7 +111,10 @@ impl Var {
 
     /// Returns a copy of this variable with a different range.
     pub fn with_range(&self, range: Range) -> Self {
-        Var { name: self.name.clone(), range }
+        Var {
+            name: self.name.clone(),
+            range,
+        }
     }
 }
 
@@ -128,6 +146,7 @@ impl fmt::Display for Var {
     }
 }
 
+#[allow(clippy::should_implement_trait)] // `div` is the simplifying builder, not `Div`
 impl ArithExpr {
     /// Creates a constant expression.
     pub fn cst(c: i64) -> Self {
@@ -365,7 +384,7 @@ impl ops::Neg for ArithExpr {
 
 impl fmt::Display for ArithExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", crate::printer::CPrinter::default().print(self))
+        write!(f, "{}", crate::printer::CPrinter.print(self))
     }
 }
 

@@ -96,11 +96,19 @@ impl CPrinter {
                 (rendered.join(" * "), Prec::Mul)
             }
             ArithExpr::IntDiv(a, b) => (
-                format!("{} / {}", self.print_prec(a, Prec::Mul), self.print_prec(b, Prec::Atom)),
+                format!(
+                    "{} / {}",
+                    self.print_prec(a, Prec::Mul),
+                    self.print_prec(b, Prec::Atom)
+                ),
                 Prec::Mul,
             ),
             ArithExpr::Mod(a, b) => (
-                format!("{} % {}", self.print_prec(a, Prec::Mul), self.print_prec(b, Prec::Atom)),
+                format!(
+                    "{} % {}",
+                    self.print_prec(a, Prec::Mul),
+                    self.print_prec(b, Prec::Atom)
+                ),
                 Prec::Mul,
             ),
             ArithExpr::Pow(b, e) => {
@@ -145,10 +153,16 @@ mod tests {
             ArithExpr::var("z"),
         ]);
         let s = p.print(&e);
-        assert!(s.contains('('), "sum inside product must be parenthesised: {s}");
+        assert!(
+            s.contains('('),
+            "sum inside product must be parenthesised: {s}"
+        );
         let e = x * y + ArithExpr::var("z");
         let s = p.print(&e);
-        assert!(!s.contains('('), "product inside sum needs no parentheses: {s}");
+        assert!(
+            !s.contains('('),
+            "product inside sum needs no parentheses: {s}"
+        );
     }
 
     #[test]

@@ -248,8 +248,12 @@ pub(crate) fn exact_div(t: &ArithExpr, den: &ArithExpr) -> Option<ArithExpr> {
                 _ => {
                     for (i, f) in fs.iter().enumerate() {
                         if let Some(q) = exact_div(f, den) {
-                            let mut rest: Vec<ArithExpr> =
-                                fs.iter().enumerate().filter(|(j, _)| *j != i).map(|(_, x)| x.clone()).collect();
+                            let mut rest: Vec<ArithExpr> = fs
+                                .iter()
+                                .enumerate()
+                                .filter(|(j, _)| *j != i)
+                                .map(|(_, x)| x.clone())
+                                .collect();
                             rest.push(q);
                             return Some(make_prod(rest));
                         }
@@ -397,8 +401,11 @@ pub(crate) fn make_mod(x: ArithExpr, m: ArithExpr) -> ArithExpr {
     }
     // Rules 6 + 5: drop the exactly-divisible terms of a sum, then retry.
     if let ArithExpr::Sum(terms) = &x {
-        let rest: Vec<ArithExpr> =
-            terms.iter().filter(|t| exact_div(t, &m).is_none()).cloned().collect();
+        let rest: Vec<ArithExpr> = terms
+            .iter()
+            .filter(|t| exact_div(t, &m).is_none())
+            .cloned()
+            .collect();
         if rest.len() < terms.len() && rest.iter().all(bounds::is_non_negative) {
             return make_mod(make_sum(rest), m);
         }

@@ -65,7 +65,9 @@ impl Environment {
 
 impl FromIterator<(String, i64)> for Environment {
     fn from_iter<T: IntoIterator<Item = (String, i64)>>(iter: T) -> Self {
-        Environment { values: iter.into_iter().collect() }
+        Environment {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -134,10 +136,7 @@ impl ArithExpr {
     ///
     /// Returns [`EvalError::UnboundVariable`] if the lookup returns `None` for a variable and
     /// [`EvalError::DivisionByZero`] on division or modulo by zero.
-    pub fn evaluate_with(
-        &self,
-        lookup: &dyn Fn(&str) -> Option<i64>,
-    ) -> Result<i64, EvalError> {
+    pub fn evaluate_with(&self, lookup: &dyn Fn(&str) -> Option<i64>) -> Result<i64, EvalError> {
         match self {
             ArithExpr::Cst(c) => Ok(*c),
             ArithExpr::Var(v) => {
@@ -190,12 +189,8 @@ impl ArithExpr {
                 Some(r) => r.clone(),
                 None => self.clone(),
             },
-            ArithExpr::Sum(ts) => {
-                ArithExpr::sum(ts.iter().map(|t| t.substitute_all(map)))
-            }
-            ArithExpr::Prod(fs) => {
-                ArithExpr::product(fs.iter().map(|f| f.substitute_all(map)))
-            }
+            ArithExpr::Sum(ts) => ArithExpr::sum(ts.iter().map(|t| t.substitute_all(map))),
+            ArithExpr::Prod(fs) => ArithExpr::product(fs.iter().map(|f| f.substitute_all(map))),
             ArithExpr::IntDiv(a, b) => a.substitute_all(map).div(b.substitute_all(map)),
             ArithExpr::Mod(a, b) => a.substitute_all(map).modulo(b.substitute_all(map)),
             ArithExpr::Pow(b, e) => b.substitute_all(map).pow(*e),

@@ -58,5 +58,10 @@ fn full_compilation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, arithmetic_simplification, type_inference, full_compilation);
+criterion_group!(
+    benches,
+    arithmetic_simplification,
+    type_inference,
+    full_compilation
+);
 criterion_main!(benches);

@@ -24,7 +24,10 @@ fn main() {
     let l_id = ArithExpr::var_in_range("l_id", 0, n.clone());
 
     let memory = View::memory("x", AddressSpace::Global, vec![n.clone(), m.clone()]);
-    let joined = View::Join { base: Box::new(memory), inner: m.clone() };
+    let joined = View::Join {
+        base: Box::new(memory),
+        inner: m.clone(),
+    };
     // The gather permutation of Section 3.2 (i -> i/M + (i mod M) * N), i.e. stride N over the
     // flattened N*M array.
     let gathered = View::Reorder {
@@ -32,7 +35,10 @@ fn main() {
         reorder: Reorder::Stride(n.clone()),
         len: n.clone() * m.clone(),
     };
-    let split = View::Split { base: Box::new(gathered), chunk: n.clone() };
+    let split = View::Split {
+        base: Box::new(gathered),
+        chunk: n.clone(),
+    };
     let element = split.access(wg_id).access(l_id);
 
     let raw = resolve_index(&element, false);

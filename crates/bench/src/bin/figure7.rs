@@ -15,8 +15,11 @@ fn main() {
     println!("Figure 7 (generated OpenCL kernel):\n");
     println!("{}", kernel.source());
 
-    let unoptimised = compile(&program, &CompilationOptions::none().with_launch_1d(n / 2, 64))
-        .expect("compiles");
+    let unoptimised = compile(
+        &program,
+        &CompilationOptions::none().with_launch_1d(n / 2, 64),
+    )
+    .expect("compiles");
     println!(
         "// With all optimisations: {} lines. Without: {} lines.",
         kernel.line_count(),

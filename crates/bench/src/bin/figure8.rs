@@ -17,13 +17,18 @@ use lift_vgpu::DeviceProfile;
 fn optimisation_levels() -> Vec<(&'static str, CompilationOptions)> {
     vec![
         ("none", CompilationOptions::none()),
-        ("barrier+cf", CompilationOptions::without_array_access_simplification()),
+        (
+            "barrier+cf",
+            CompilationOptions::without_array_access_simplification(),
+        ),
         ("barrier+cf+array", CompilationOptions::all_optimisations()),
     ]
 }
 
 fn main() {
-    let arg = std::env::args().nth(1).unwrap_or_else(|| "both".to_string());
+    let arg = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "both".to_string());
     let sizes: Vec<ProblemSize> = match arg.as_str() {
         "small" => vec![ProblemSize::Small],
         "large" => vec![ProblemSize::Large],
@@ -46,7 +51,11 @@ fn main() {
                 let reference = match run_reference(&case) {
                     Ok(r) => r,
                     Err(e) => {
-                        println!("{:<18} {:>6}  reference failed: {e}", case.info.name, size.label());
+                        println!(
+                            "{:<18} {:>6}  reference failed: {e}",
+                            case.info.name,
+                            size.label()
+                        );
                         continue;
                     }
                 };

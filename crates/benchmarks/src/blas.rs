@@ -29,7 +29,10 @@ pub fn gesummv_mac() -> UserFun {
         "gesummvMac",
         vec![
             ("acc", Type::float()),
-            ("t", Type::tuple(vec![Type::float(), Type::float(), Type::float()])),
+            (
+                "t",
+                Type::tuple(vec![Type::float(), Type::float(), Type::float()]),
+            ),
         ],
         Type::float(),
         ScalarExpr::param(0).add(t.clone().get(0).add(t.clone().get(1)).mul(t.get(2))),
@@ -41,12 +44,16 @@ pub fn gesummv_mac() -> UserFun {
 
 /// `y = A·x` on the host.
 pub fn gemv_host(a: &[f32], x: &[f32], n: usize, m: usize) -> Vec<f32> {
-    (0..n).map(|i| (0..m).map(|j| a[i * m + j] * x[j]).sum()).collect()
+    (0..n)
+        .map(|i| (0..m).map(|j| a[i * m + j] * x[j]).sum())
+        .collect()
 }
 
 /// `y = Aᵀ·x` on the host.
 pub fn atax_host(a: &[f32], x: &[f32], n: usize, m: usize) -> Vec<f32> {
-    (0..m).map(|j| (0..n).map(|i| a[i * m + j] * x[i]).sum()).collect()
+    (0..m)
+        .map(|j| (0..n).map(|i| a[i * m + j] * x[i]).sum())
+        .collect()
 }
 
 /// `y = (A + B)·x` on the host.
@@ -66,7 +73,10 @@ pub fn gemv_lift_program(n: usize, m: usize) -> Program {
     let m_expr = ArithExpr::cst(m as i64);
     p.with_root(
         vec![
-            ("A", Type::array(Type::array(Type::float(), m_expr.clone()), n_expr)),
+            (
+                "A",
+                Type::array(Type::array(Type::float(), m_expr.clone()), n_expr),
+            ),
             ("x", Type::array(Type::float(), m_expr)),
         ],
         |p, params| {
@@ -95,7 +105,10 @@ pub fn atax_lift_program(n: usize, m: usize) -> Program {
     let m_expr = ArithExpr::cst(m as i64);
     p.with_root(
         vec![
-            ("A", Type::array(Type::array(Type::float(), m_expr.clone()), n_expr.clone())),
+            (
+                "A",
+                Type::array(Type::array(Type::float(), m_expr.clone()), n_expr.clone()),
+            ),
             ("x", Type::array(Type::float(), n_expr)),
         ],
         |p, params| {
@@ -131,8 +144,14 @@ pub fn gesummv_lift_program(n: usize, m: usize) -> Program {
     let m_expr = ArithExpr::cst(m as i64);
     p.with_root(
         vec![
-            ("A", Type::array(Type::array(Type::float(), m_expr.clone()), n_expr.clone())),
-            ("B", Type::array(Type::array(Type::float(), m_expr.clone()), n_expr)),
+            (
+                "A",
+                Type::array(Type::array(Type::float(), m_expr.clone()), n_expr.clone()),
+            ),
+            (
+                "B",
+                Type::array(Type::array(Type::float(), m_expr.clone()), n_expr),
+            ),
             ("x", Type::array(Type::float(), m_expr)),
         ],
         |p, params| {
@@ -178,7 +197,10 @@ fn gemv_reference_kernel() -> Kernel {
                 ),
             }],
         ),
-        CStmt::Assign { lhs: CExpr::var("out").at(gid), rhs: CExpr::var("acc") },
+        CStmt::Assign {
+            lhs: CExpr::var("out").at(gid),
+            rhs: CExpr::var("acc"),
+        },
     ];
     Kernel {
         name: "gemv_ref".into(),
@@ -209,7 +231,10 @@ fn atax_reference_kernel() -> Kernel {
                 ),
             }],
         ),
-        CStmt::Assign { lhs: CExpr::var("out").at(gid), rhs: CExpr::var("acc") },
+        CStmt::Assign {
+            lhs: CExpr::var("out").at(gid),
+            rhs: CExpr::var("acc"),
+        },
     ];
     Kernel {
         name: "atax_ref".into(),
@@ -243,7 +268,10 @@ fn gesummv_reference_kernel() -> Kernel {
                 ),
             }],
         ),
-        CStmt::Assign { lhs: CExpr::var("out").at(gid), rhs: CExpr::var("acc") },
+        CStmt::Assign {
+            lhs: CExpr::var("out").at(gid),
+            rhs: CExpr::var("acc"),
+        },
     ];
     Kernel {
         name: "gesummv_ref".into(),

@@ -30,7 +30,13 @@ fn outputs(size: ProblemSize) -> usize {
 pub fn host_reference(input: &[f32], weights: &[f32]) -> Vec<f32> {
     let n = input.len() - weights.len() + 1;
     (0..n)
-        .map(|i| weights.iter().enumerate().map(|(k, w)| input[i + k] * w).sum())
+        .map(|i| {
+            weights
+                .iter()
+                .enumerate()
+                .map(|(k, w)| input[i + k] * w)
+                .sum()
+        })
         .collect()
 }
 
@@ -89,11 +95,18 @@ fn reference_kernel() -> Kernel {
                 ),
             }],
         ),
-        CStmt::Assign { lhs: CExpr::var("out").at(gid), rhs: CExpr::var("acc") },
+        CStmt::Assign {
+            lhs: CExpr::var("out").at(gid),
+            rhs: CExpr::var("acc"),
+        },
     ];
     Kernel {
         name: "convolution_ref".into(),
-        params: vec![refs::input("input"), refs::input("weights"), refs::output("out")],
+        params: vec![
+            refs::input("input"),
+            refs::input("weights"),
+            refs::output("out"),
+        ],
         body,
     }
 }
@@ -148,7 +161,10 @@ mod tests {
         let weights = random_floats(2, FILTER, -0.5, 0.5);
         let out = evaluate(
             &lift_program(n_out, FILTER, 16),
-            &[Value::from_f32_slice(&input), Value::from_f32_slice(&weights)],
+            &[
+                Value::from_f32_slice(&input),
+                Value::from_f32_slice(&weights),
+            ],
         )
         .unwrap()
         .flatten_f32();

@@ -13,7 +13,10 @@ use lift_ir::{Program, Type, UserFun};
 /// two elements into local memory, an `iterate 6` tree-reduction finishes the chunk, and the
 /// result is copied back to global memory.
 pub fn lift_program(n: usize) -> Program {
-    assert!(n % 128 == 0, "the Listing 1 kernel processes chunks of 128 elements");
+    assert!(
+        n.is_multiple_of(128),
+        "the Listing 1 kernel processes chunks of 128 elements"
+    );
     let mut p = Program::new("partialDot");
     let mult_add = p.user_fun(UserFun::mult_and_sum_up_pair());
     let add = p.user_fun(UserFun::add());

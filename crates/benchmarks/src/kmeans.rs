@@ -29,7 +29,11 @@ pub fn min_dist() -> UserFun {
     let d = || ScalarExpr::param(1).sub(ScalarExpr::param(2));
     UserFun::new(
         "minDist",
-        vec![("acc", Type::float()), ("c", Type::float()), ("p", Type::float())],
+        vec![
+            ("acc", Type::float()),
+            ("c", Type::float()),
+            ("p", Type::float()),
+        ],
         Type::float(),
         ScalarExpr::param(0).min(d().mul(d())),
     )
@@ -90,7 +94,9 @@ fn reference_kernel() -> Kernel {
             vec![
                 refs::decl_float(
                     "d",
-                    CExpr::var("centroids").at(CExpr::var("c")).sub(CExpr::var("p")),
+                    CExpr::var("centroids")
+                        .at(CExpr::var("c"))
+                        .sub(CExpr::var("p")),
                 ),
                 CStmt::Assign {
                     lhs: CExpr::var("best"),
@@ -101,11 +107,18 @@ fn reference_kernel() -> Kernel {
                 },
             ],
         ),
-        CStmt::Assign { lhs: CExpr::var("out").at(gid), rhs: CExpr::var("best") },
+        CStmt::Assign {
+            lhs: CExpr::var("out").at(gid),
+            rhs: CExpr::var("best"),
+        },
     ];
     Kernel {
         name: "kmeans_ref".into(),
-        params: vec![refs::input("points"), refs::input("centroids"), refs::output("out")],
+        params: vec![
+            refs::input("points"),
+            refs::input("centroids"),
+            refs::output("out"),
+        ],
         body,
     }
 }

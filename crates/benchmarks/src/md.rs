@@ -41,7 +41,11 @@ pub fn lj_interaction() -> UserFun {
     );
     UserFun::new(
         "ljInteraction",
-        vec![("acc", Type::float()), ("pj", Type::float()), ("pi", Type::float())],
+        vec![
+            ("acc", Type::float()),
+            ("pj", Type::float()),
+            ("pi", Type::float()),
+        ],
         Type::float(),
         ScalarExpr::param(0).add(ScalarExpr::Select(
             Box::new(within),
@@ -109,7 +113,10 @@ fn reference_kernel() -> Kernel {
             "j",
             CExpr::var("N"),
             vec![
-                refs::decl_float("d", CExpr::var("pos").at(CExpr::var("j")).sub(CExpr::var("pi"))),
+                refs::decl_float(
+                    "d",
+                    CExpr::var("pos").at(CExpr::var("j")).sub(CExpr::var("pi")),
+                ),
                 refs::decl_float("r2", r2),
                 refs::decl_float(
                     "r6",
@@ -130,11 +137,18 @@ fn reference_kernel() -> Kernel {
                 },
             ],
         ),
-        CStmt::Assign { lhs: CExpr::var("out").at(gid), rhs: CExpr::var("acc") },
+        CStmt::Assign {
+            lhs: CExpr::var("out").at(gid),
+            rhs: CExpr::var("acc"),
+        },
     ];
     Kernel {
         name: "md_ref".into(),
-        params: vec![refs::input("pos"), refs::output("out"), refs::int_param("N")],
+        params: vec![
+            refs::input("pos"),
+            refs::output("out"),
+            refs::int_param("N"),
+        ],
         body,
     }
 }

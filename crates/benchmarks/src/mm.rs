@@ -26,16 +26,11 @@ fn dim(size: ProblemSize) -> usize {
     }
 }
 
-
 /// Transposes a `rows x cols` matrix the way the paper expresses it (Section 3.2):
 /// `split rows . gather(stride rows) . join`, rather than with a built-in transpose. The
 /// gather introduces the division/modulo-laden indices that only the array-access
 /// simplification of Section 5.3 can clean up.
-fn gather_transpose(
-    p: &mut Program,
-    matrix: lift_ir::ExprId,
-    rows: usize,
-) -> lift_ir::ExprId {
+fn gather_transpose(p: &mut Program, matrix: lift_ir::ExprId, rows: usize) -> lift_ir::ExprId {
     let j = p.join();
     let g = p.gather(lift_ir::Reorder::Stride(ArithExpr::cst(rows as i64)));
     let s = p.split(rows);
@@ -68,7 +63,10 @@ pub fn amd_lift_program(m: usize, k: usize, n: usize) -> Program {
     let n_expr = ArithExpr::cst(n as i64);
     p.with_root(
         vec![
-            ("A", Type::array(Type::array(Type::float(), k_expr.clone()), m_expr)),
+            (
+                "A",
+                Type::array(Type::array(Type::float(), k_expr.clone()), m_expr),
+            ),
             ("B", Type::array(Type::array(Type::float(), n_expr), k_expr)),
         ],
         |p, params| {
@@ -105,7 +103,10 @@ pub fn nvidia_lift_program(m: usize, k: usize, n: usize) -> Program {
     let n_expr = ArithExpr::cst(n as i64);
     p.with_root(
         vec![
-            ("A", Type::array(Type::array(Type::float(), k_expr.clone()), m_expr)),
+            (
+                "A",
+                Type::array(Type::array(Type::float(), k_expr.clone()), m_expr),
+            ),
             ("B", Type::array(Type::array(Type::float(), n_expr), k_expr)),
         ],
         |p, params| {
@@ -267,7 +268,10 @@ mod tests {
         for program in [amd_lift_program(m, k, n), nvidia_lift_program(m, k, n)] {
             let out = evaluate(
                 &program,
-                &[Value::from_f32_matrix(&a, m, k), Value::from_f32_matrix(&b, k, n)],
+                &[
+                    Value::from_f32_matrix(&a, m, k),
+                    Value::from_f32_matrix(&b, k, n),
+                ],
             )
             .unwrap()
             .flatten_f32();

@@ -36,7 +36,11 @@ pub fn phi_mag() -> UserFun {
 
 /// Host reference.
 pub fn host_reference(phi_r: &[f32], phi_i: &[f32]) -> Vec<f32> {
-    phi_r.iter().zip(phi_i).map(|(r, i)| r * r + i * i).collect()
+    phi_r
+        .iter()
+        .zip(phi_i)
+        .map(|(r, i)| r * r + i * i)
+        .collect()
 }
 
 /// The Lift program: `mapGlb(phiMag) . zip(phiR, phiI)`.
@@ -74,7 +78,11 @@ fn reference_kernel() -> Kernel {
     ];
     Kernel {
         name: "mriq_ref".into(),
-        params: vec![refs::input("phiR"), refs::input("phiI"), refs::output("out")],
+        params: vec![
+            refs::input("phiR"),
+            refs::input("phiI"),
+            refs::output("out"),
+        ],
         body,
     }
 }

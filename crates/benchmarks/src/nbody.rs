@@ -38,7 +38,11 @@ pub fn interaction() -> UserFun {
     let inv = dist2().mul(dist2()).mul(dist2()).rsqrt();
     UserFun::new(
         "nbodyInteraction",
-        vec![("acc", Type::float()), ("pj", Type::float()), ("pi", Type::float())],
+        vec![
+            ("acc", Type::float()),
+            ("pj", Type::float()),
+            ("pi", Type::float()),
+        ],
         Type::float(),
         ScalarExpr::param(0).add(d().mul(inv)),
     )
@@ -148,8 +152,9 @@ fn nvidia_reference_kernel(n: usize) -> Kernel {
             vec![
                 CStmt::Assign {
                     lhs: CExpr::var("tile").at(lid.clone()),
-                    rhs: CExpr::var("pos")
-                        .at(CExpr::var("t").mul(CExpr::int(TILE as i64)).add(lid.clone())),
+                    rhs: CExpr::var("pos").at(CExpr::var("t")
+                        .mul(CExpr::int(TILE as i64))
+                        .add(lid.clone())),
                 },
                 CStmt::Barrier(Fence::local()),
                 refs::for_loop(
@@ -180,11 +185,18 @@ fn nvidia_reference_kernel(n: usize) -> Kernel {
                 CStmt::Barrier(Fence::local()),
             ],
         ),
-        CStmt::Assign { lhs: CExpr::var("out").at(gid), rhs: CExpr::var("acc") },
+        CStmt::Assign {
+            lhs: CExpr::var("out").at(gid),
+            rhs: CExpr::var("acc"),
+        },
     ];
     Kernel {
         name: "nbody_nvidia_ref".into(),
-        params: vec![refs::input("pos"), refs::output("out"), refs::int_param("N")],
+        params: vec![
+            refs::input("pos"),
+            refs::output("out"),
+            refs::int_param("N"),
+        ],
         body,
     }
 }
@@ -199,10 +211,15 @@ fn amd_reference_kernel() -> Kernel {
             "j",
             CExpr::var("N"),
             vec![
-                refs::decl_float("d", CExpr::var("pos").at(CExpr::var("j")).sub(CExpr::var("pi"))),
+                refs::decl_float(
+                    "d",
+                    CExpr::var("pos").at(CExpr::var("j")).sub(CExpr::var("pi")),
+                ),
                 refs::decl_float(
                     "dist2",
-                    CExpr::var("d").mul(CExpr::var("d")).add(CExpr::float(f64::from(SOFTENING))),
+                    CExpr::var("d")
+                        .mul(CExpr::var("d"))
+                        .add(CExpr::float(f64::from(SOFTENING))),
                 ),
                 CStmt::Assign {
                     lhs: CExpr::var("acc"),
@@ -215,11 +232,18 @@ fn amd_reference_kernel() -> Kernel {
                 },
             ],
         ),
-        CStmt::Assign { lhs: CExpr::var("out").at(gid), rhs: CExpr::var("acc") },
+        CStmt::Assign {
+            lhs: CExpr::var("out").at(gid),
+            rhs: CExpr::var("acc"),
+        },
     ];
     Kernel {
         name: "nbody_amd_ref".into(),
-        params: vec![refs::input("pos"), refs::output("out"), refs::int_param("N")],
+        params: vec![
+            refs::input("pos"),
+            refs::output("out"),
+            refs::int_param("N"),
+        ],
         body,
     }
 }

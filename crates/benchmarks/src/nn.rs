@@ -27,8 +27,16 @@ fn records(size: ProblemSize) -> usize {
 
 /// `dist((lat, lng)) = sqrt((lat - qlat)² + (lng - qlng)²)`.
 pub fn distance() -> UserFun {
-    let lat = || ScalarExpr::param(0).get(0).sub(ScalarExpr::cf(f64::from(QUERY_LAT)));
-    let lng = || ScalarExpr::param(0).get(1).sub(ScalarExpr::cf(f64::from(QUERY_LNG)));
+    let lat = || {
+        ScalarExpr::param(0)
+            .get(0)
+            .sub(ScalarExpr::cf(f64::from(QUERY_LAT)))
+    };
+    let lng = || {
+        ScalarExpr::param(0)
+            .get(1)
+            .sub(ScalarExpr::cf(f64::from(QUERY_LNG)))
+    };
     UserFun::new(
         "nnDistance",
         vec![("rec", Type::pair(Type::float(), Type::float()))],
@@ -72,11 +80,15 @@ fn reference_kernel() -> Kernel {
     let body = vec![
         refs::decl_float(
             "dlat",
-            CExpr::var("lat").at(gid.clone()).sub(CExpr::float(f64::from(QUERY_LAT))),
+            CExpr::var("lat")
+                .at(gid.clone())
+                .sub(CExpr::float(f64::from(QUERY_LAT))),
         ),
         refs::decl_float(
             "dlng",
-            CExpr::var("lng").at(gid.clone()).sub(CExpr::float(f64::from(QUERY_LNG))),
+            CExpr::var("lng")
+                .at(gid.clone())
+                .sub(CExpr::float(f64::from(QUERY_LNG))),
         ),
         CStmt::Assign {
             lhs: CExpr::var("out").at(gid),

@@ -18,17 +18,29 @@ pub(crate) fn input(name: &str) -> KernelParam {
 
 /// A `global float *` output parameter.
 pub(crate) fn output(name: &str) -> KernelParam {
-    KernelParam { name: name.into(), ty: CType::pointer(CType::Float, AddrSpace::Global) }
+    KernelParam {
+        name: name.into(),
+        ty: CType::pointer(CType::Float, AddrSpace::Global),
+    }
 }
 
 /// An `int` parameter.
 pub(crate) fn int_param(name: &str) -> KernelParam {
-    KernelParam { name: name.into(), ty: CType::Int }
+    KernelParam {
+        name: name.into(),
+        ty: CType::Int,
+    }
 }
 
 /// Declares a private `float` variable with an initial value.
 pub(crate) fn decl_float(name: &str, init: CExpr) -> CStmt {
-    CStmt::Decl { ty: CType::Float, name: name.into(), addr: None, array_len: None, init: Some(init) }
+    CStmt::Decl {
+        ty: CType::Float,
+        name: name.into(),
+        addr: None,
+        array_len: None,
+        init: Some(init),
+    }
 }
 
 /// A counted `for` loop from 0 to `bound` (exclusive) with step 1.

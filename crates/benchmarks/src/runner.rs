@@ -68,11 +68,7 @@ impl From<VgpuError> for RunnerError {
 
 /// Relative tolerance used when comparing kernel outputs against the host reference.
 pub fn outputs_match(actual: &[f32], expected: &[f32]) -> bool {
-    actual.len() == expected.len()
-        && actual
-            .iter()
-            .zip(expected)
-            .all(|(a, e)| (a - e).abs() <= 2e-3 * (1.0 + e.abs()))
+    lift_vgpu::outputs_match(actual, expected)
 }
 
 /// Compiles the benchmark's Lift program with the given options.
@@ -146,7 +142,12 @@ pub fn run_reference(case: &BenchmarkCase) -> Result<RunOutcome, RunnerError> {
     )?;
     let output = result.buffers[case.reference_output_buffer].clone();
     let correct = outputs_match(&output, &case.expected);
-    Ok(RunOutcome { output, counters: result.report.counters, correct, source_lines: 0 })
+    Ok(RunOutcome {
+        output,
+        counters: result.report.counters,
+        correct,
+        source_lines: 0,
+    })
 }
 
 /// Relative performance of the generated code versus the reference (\>1 means the generated
@@ -179,13 +180,19 @@ mod tests {
     fn relative_performance_compares_estimated_times() {
         let fast = RunOutcome {
             output: vec![],
-            counters: CostCounters { flops: 100, ..Default::default() },
+            counters: CostCounters {
+                flops: 100,
+                ..Default::default()
+            },
             correct: true,
             source_lines: 0,
         };
         let slow = RunOutcome {
             output: vec![],
-            counters: CostCounters { flops: 1000, ..Default::default() },
+            counters: CostCounters {
+                flops: 1000,
+                ..Default::default()
+            },
             correct: true,
             source_lines: 0,
         };

@@ -28,8 +28,14 @@ mod tests {
 
     #[test]
     fn generation_is_deterministic() {
-        assert_eq!(random_floats(7, 16, -1.0, 1.0), random_floats(7, 16, -1.0, 1.0));
-        assert_ne!(random_floats(7, 16, -1.0, 1.0), random_floats(8, 16, -1.0, 1.0));
+        assert_eq!(
+            random_floats(7, 16, -1.0, 1.0),
+            random_floats(7, 16, -1.0, 1.0)
+        );
+        assert_ne!(
+            random_floats(7, 16, -1.0, 1.0),
+            random_floats(8, 16, -1.0, 1.0)
+        );
     }
 
     #[test]

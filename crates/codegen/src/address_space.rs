@@ -61,6 +61,7 @@ fn infer_expr(
 
 /// Infers the address space of calling `f` (Algorithm 1, `inferASFunCall` + the per-pattern
 /// cases of `inferASExpr`).
+#[allow(clippy::only_used_in_recursion)] // `write_to` threads Algorithm 1's W parameter
 fn infer_call(
     program: &Program,
     f: FunDeclId,
@@ -89,15 +90,30 @@ fn infer_call(
             })
         }
         FunDecl::Pattern(pattern) => match pattern {
-            Pattern::ToGlobal { f } => {
-                infer_call(program, *f, args, arg_spaces, Some(AddressSpace::Global), spaces)
-            }
-            Pattern::ToLocal { f } => {
-                infer_call(program, *f, args, arg_spaces, Some(AddressSpace::Local), spaces)
-            }
-            Pattern::ToPrivate { f } => {
-                infer_call(program, *f, args, arg_spaces, Some(AddressSpace::Private), spaces)
-            }
+            Pattern::ToGlobal { f } => infer_call(
+                program,
+                *f,
+                args,
+                arg_spaces,
+                Some(AddressSpace::Global),
+                spaces,
+            ),
+            Pattern::ToLocal { f } => infer_call(
+                program,
+                *f,
+                args,
+                arg_spaces,
+                Some(AddressSpace::Local),
+                spaces,
+            ),
+            Pattern::ToPrivate { f } => infer_call(
+                program,
+                *f,
+                args,
+                arg_spaces,
+                Some(AddressSpace::Private),
+                spaces,
+            ),
             Pattern::ReduceSeq { f } => {
                 // The reduction writes into the memory of its initialiser (args[0]).
                 let init_space = arg_spaces.first().copied().unwrap_or(AddressSpace::Private);
@@ -166,7 +182,9 @@ mod tests {
         let mut p = Program::new("t");
         let id = p.user_fun(UserFun::id_float());
         let m = p.map_glb(0, id);
-        p.with_root(vec![("x", float_array(16usize))], |p, params| p.apply1(m, params[0]));
+        p.with_root(vec![("x", float_array(16usize))], |p, params| {
+            p.apply1(m, params[0])
+        });
         lift_ir::infer_types(&mut p).unwrap();
         let spaces = infer_address_spaces(&p);
         assert_eq!(spaces[&p.root_body()], AddressSpace::Global);
@@ -177,7 +195,9 @@ mod tests {
         let mut p = Program::new("t");
         let add = p.user_fun(UserFun::add());
         let r = p.reduce_seq(add, 0.0);
-        p.with_root(vec![("x", float_array(16usize))], |p, params| p.apply1(r, params[0]));
+        p.with_root(vec![("x", float_array(16usize))], |p, params| {
+            p.apply1(r, params[0])
+        });
         lift_ir::infer_types(&mut p).unwrap();
         let spaces = infer_address_spaces(&p);
         // The literal initialiser lives in private memory, so the reduction result does too.
@@ -205,7 +225,9 @@ mod tests {
     fn layout_patterns_keep_their_argument_space() {
         let mut p = Program::new("t");
         let s = p.split(8usize);
-        p.with_root(vec![("x", float_array(64usize))], |p, params| p.apply1(s, params[0]));
+        p.with_root(vec![("x", float_array(64usize))], |p, params| {
+            p.apply1(s, params[0])
+        });
         lift_ir::infer_types(&mut p).unwrap();
         let spaces = infer_address_spaces(&p);
         assert_eq!(spaces[&p.root_body()], AddressSpace::Global);

@@ -115,7 +115,10 @@ impl CompiledKernel {
 
     /// Number of non-empty source lines (the code-size metric of Table 1).
     pub fn line_count(&self) -> usize {
-        self.source().lines().filter(|l| !l.trim().is_empty()).count()
+        self.source()
+            .lines()
+            .filter(|l| !l.trim().is_empty())
+            .count()
     }
 }
 
@@ -129,6 +132,12 @@ pub fn compile(
     program: &Program,
     options: &CompilationOptions,
 ) -> Result<CompiledKernel, CodegenError> {
+    if let Some(name) = program.first_high_level_pattern() {
+        return Err(CodegenError::Unsupported(format!(
+            "high-level pattern `{name}` must be lowered to an OpenCL-specific pattern \
+             (e.g. with the `lift-rewrite` exploration) before code generation"
+        )));
+    }
     let mut program = program.clone();
     lift_ir::infer_types(&mut program)?;
     let spaces = infer_address_spaces(&program);
@@ -194,13 +203,24 @@ impl Generator {
                         AddrSpace::Global,
                     ),
                 });
-                params.push(KernelParamInfo::Input { name: name.clone(), index: i });
+                params.push(KernelParamInfo::Input {
+                    name: name.clone(),
+                    index: i,
+                });
                 let dims = array_dims(&ty);
-                self.views.insert(*p, View::memory(name, AddressSpace::Global, dims));
+                self.views
+                    .insert(*p, View::memory(name, AddressSpace::Global, dims));
             } else {
-                kernel_params.push(KernelParam { name: name.clone(), ty: scalar_ctype(&ty) });
-                params.push(KernelParamInfo::ScalarInput { name: name.clone(), index: i });
-                self.views.insert(*p, View::scalar_var(name, AddressSpace::Private));
+                kernel_params.push(KernelParam {
+                    name: name.clone(),
+                    ty: scalar_ctype(&ty),
+                });
+                params.push(KernelParamInfo::ScalarInput {
+                    name: name.clone(),
+                    index: i,
+                });
+                self.views
+                    .insert(*p, View::scalar_var(name, AddressSpace::Private));
             }
         }
         collect_size_vars(&body_type, &mut size_vars);
@@ -210,13 +230,18 @@ impl Generator {
             name: out_name.clone(),
             ty: CType::pointer(scalar_ctype(body_type.innermost()), AddrSpace::Global),
         });
-        params.push(KernelParamInfo::Output { name: out_name.clone() });
+        params.push(KernelParamInfo::Output {
+            name: out_name.clone(),
+        });
         let output_len = body_type.element_count();
 
         size_vars.sort();
         size_vars.dedup();
         for s in &size_vars {
-            kernel_params.push(KernelParam { name: s.clone(), ty: CType::Int });
+            kernel_params.push(KernelParam {
+                name: s.clone(),
+                ty: CType::Int,
+            });
             params.push(KernelParamInfo::Size { name: s.clone() });
         }
 
@@ -366,34 +391,53 @@ impl Generator {
                 FunDecl::Pattern(pattern) => match pattern {
                     Pattern::Split { chunk } => {
                         let (base, _) = self.read_view(args[0], stmts)?;
-                        View::Split { base: Box::new(base), chunk }
+                        View::Split {
+                            base: Box::new(base),
+                            chunk,
+                        }
                     }
                     Pattern::Join => {
                         let arg_ty = self.program.type_of(args[0]).clone();
                         let inner = inner_len(&arg_ty)?;
                         let (base, _) = self.read_view(args[0], stmts)?;
-                        View::Join { base: Box::new(base), inner }
+                        View::Join {
+                            base: Box::new(base),
+                            inner,
+                        }
                     }
                     Pattern::Gather { reorder } => {
                         let arg_ty = self.program.type_of(args[0]).clone();
                         let len = outer_len(&arg_ty)?;
                         let (base, _) = self.read_view(args[0], stmts)?;
-                        View::Reorder { base: Box::new(base), reorder, len }
+                        View::Reorder {
+                            base: Box::new(base),
+                            reorder,
+                            len,
+                        }
                     }
                     Pattern::Scatter { reorder } => {
                         let arg_ty = self.program.type_of(args[0]).clone();
                         let len = outer_len(&arg_ty)?;
                         let inverse = invert_reorder(&reorder, &len)?;
                         let (base, _) = self.read_view(args[0], stmts)?;
-                        View::Reorder { base: Box::new(base), reorder: inverse, len }
+                        View::Reorder {
+                            base: Box::new(base),
+                            reorder: inverse,
+                            len,
+                        }
                     }
                     Pattern::Transpose => {
                         let (base, _) = self.read_view(args[0], stmts)?;
-                        View::Transpose { base: Box::new(base) }
+                        View::Transpose {
+                            base: Box::new(base),
+                        }
                     }
                     Pattern::Slide { step, .. } => {
                         let (base, _) = self.read_view(args[0], stmts)?;
-                        View::Slide { base: Box::new(base), step }
+                        View::Slide {
+                            base: Box::new(base),
+                            step,
+                        }
                     }
                     Pattern::Zip { .. } => {
                         let mut bases = Vec::with_capacity(args.len());
@@ -408,13 +452,19 @@ impl Generator {
                     }
                     Pattern::AsVector { width } => {
                         let (base, _) = self.read_view(args[0], stmts)?;
-                        View::AsVector { base: Box::new(base), width }
+                        View::AsVector {
+                            base: Box::new(base),
+                            width,
+                        }
                     }
                     Pattern::AsScalar => {
                         let arg_ty = self.program.type_of(args[0]).clone();
                         let width = vector_width_of(&arg_ty)?;
                         let (base, _) = self.read_view(args[0], stmts)?;
-                        View::AsScalar { base: Box::new(base), width }
+                        View::AsScalar {
+                            base: Box::new(base),
+                            width,
+                        }
                     }
                     Pattern::Id => self.read_view(args[0], stmts)?.0,
                     Pattern::Iterate { .. } => {
@@ -433,11 +483,7 @@ impl Generator {
 
     /// Allocates a buffer (or scalar variable) for the value of `expr`, generates the code
     /// producing it, and returns a view of the new storage.
-    fn materialise(
-        &mut self,
-        expr: ExprId,
-        stmts: &mut Vec<CStmt>,
-    ) -> Result<View, CodegenError> {
+    fn materialise(&mut self, expr: ExprId, stmts: &mut Vec<CStmt>) -> Result<View, CodegenError> {
         let ty = self.program.type_of(expr).clone();
         let space = *self.spaces.get(&expr).unwrap_or(&AddressSpace::Private);
         let view = self.allocate(&ty, space)?;
@@ -721,10 +767,17 @@ impl Generator {
         let width = match input_ty {
             Type::Vector(_, w) => *w,
             _ => {
-                return Err(CodegenError::Unsupported("mapVec over a non-vector value".into()))
+                return Err(CodegenError::Unsupported(
+                    "mapVec over a non-vector value".into(),
+                ))
             }
         };
-        let call = self.user_fun_call(&uf, &[input.clone()], &[input_ty.clone()], Some(width))?;
+        let call = self.user_fun_call(
+            &uf,
+            std::slice::from_ref(input),
+            std::slice::from_ref(input_ty),
+            Some(width),
+        )?;
         let target = resolve(dest, &self.builder)?;
         Ok(vec![store_stmt(&target, call, &self.builder)?])
     }
@@ -747,9 +800,14 @@ impl Generator {
         // fresh private accumulator written back once at the end, like `acc1` in Figure 7.
         let dest_resolved = resolve(&dest.clone().access(ArithExpr::cst(0)), &self.builder)?;
         let (acc_view, needs_writeback) = match &dest_resolved {
-            Resolved::MemoryAccess { scalar: true, memory, .. } => {
-                (View::scalar_var(memory.clone(), AddressSpace::Private), false)
-            }
+            Resolved::MemoryAccess {
+                scalar: true,
+                memory,
+                ..
+            } => (
+                View::scalar_var(memory.clone(), AddressSpace::Private),
+                false,
+            ),
             _ => {
                 let name = self.fresh("acc");
                 self.decls.push(CStmt::Decl {
@@ -813,7 +871,11 @@ impl Generator {
     ) -> Result<(View, Vec<CStmt>), CodegenError> {
         let (n, body_fun) = match self.program.decl(f).clone() {
             FunDecl::Pattern(Pattern::Iterate { n, f }) => (n, f),
-            _ => return Err(CodegenError::Unsupported("gen_iterate on a non-iterate".into())),
+            _ => {
+                return Err(CodegenError::Unsupported(
+                    "gen_iterate on a non-iterate".into(),
+                ))
+            }
         };
         let mut stmts = Vec::new();
         let (input_view, input_ty) = self.read_view(args[0], &mut stmts)?;
@@ -904,8 +966,7 @@ impl Generator {
             space,
             vec![size_var.clone() / ArithExpr::cst(factor)],
         );
-        let mut body =
-            self.gen_apply(body_fun, &[body_in_view], &[body_in_ty], &body_out_view)?;
+        let mut body = self.gen_apply(body_fun, &[body_in_view], &[body_in_ty], &body_out_view)?;
         body.push(CStmt::Barrier(Fence::local()));
         body.push(CStmt::Assign {
             lhs: CExpr::var(&size_name),
@@ -958,7 +1019,11 @@ impl Generator {
         let loop_var = ArithExpr::var_in_range(&var, 0, len.clone());
         let from = resolve(&src.clone().access(loop_var.clone()), &self.builder)?;
         let to = resolve(&dest.clone().access(loop_var), &self.builder)?;
-        let body = vec![store_stmt(&to, load_expr(&from, &self.builder), &self.builder)?];
+        let body = vec![store_stmt(
+            &to,
+            load_expr(&from, &self.builder),
+            &self.builder,
+        )?];
         Ok(vec![CStmt::For {
             var: var.clone(),
             init: CExpr::int(0),
@@ -1033,7 +1098,12 @@ impl Generator {
             None => self.ctype_of(uf.return_type()),
         };
         let body = scalar_to_cexpr(uf.body(), uf.param_names());
-        self.module.add_function(CFunction { name: name.clone(), ret, params, body });
+        self.module.add_function(CFunction {
+            name: name.clone(),
+            ret,
+            params,
+            body,
+        });
         name
     }
 
@@ -1086,9 +1156,7 @@ fn scalar_ctype(ty: &Type) -> CType {
         Type::Scalar(ScalarKind::Double) => CType::Double,
         Type::Scalar(ScalarKind::Int) => CType::Int,
         Type::Scalar(ScalarKind::Bool) => CType::Bool,
-        Type::Vector(k, w) => {
-            CType::Vector(Box::new(scalar_ctype(&Type::Scalar(*k))), *w)
-        }
+        Type::Vector(k, w) => CType::Vector(Box::new(scalar_ctype(&Type::Scalar(*k))), *w),
         Type::Tuple(_) => CType::Struct(ty.c_element_name()),
         Type::Array(elem, _) => scalar_ctype(elem.innermost()),
     }
@@ -1121,7 +1189,9 @@ fn inner_len(ty: &Type) -> Result<ArithExpr, CodegenError> {
 fn vector_width_of(ty: &Type) -> Result<usize, CodegenError> {
     match ty.as_array().map(|(e, _)| e) {
         Some(Type::Vector(_, w)) => Ok(*w),
-        _ => Err(CodegenError::Unsupported("expected an array of vectors".into())),
+        _ => Err(CodegenError::Unsupported(
+            "expected an array of vectors".into(),
+        )),
     }
 }
 
@@ -1160,14 +1230,26 @@ fn literal_expr(lit: Literal) -> CExpr {
 fn load_expr(resolved: &Resolved, builder: &AccessBuilder) -> CExpr {
     match resolved {
         Resolved::Literal(lit) => literal_expr(*lit),
-        Resolved::MemoryAccess { memory, scalar: true, .. } => CExpr::var(memory),
-        Resolved::MemoryAccess { memory, index, vector_width: Some(w), .. } => {
+        Resolved::MemoryAccess {
+            memory,
+            scalar: true,
+            ..
+        } => CExpr::var(memory),
+        Resolved::MemoryAccess {
+            memory,
+            index,
+            vector_width: Some(w),
+            ..
+        } => {
             let vec_index = if builder.simplify {
                 index.clone() / ArithExpr::cst(*w as i64)
             } else {
                 ArithExpr::IntDiv(Box::new(index.clone()), Box::new(ArithExpr::cst(*w as i64)))
             };
-            CExpr::Call(format!("vload{w}"), vec![CExpr::Index(vec_index), CExpr::var(memory)])
+            CExpr::Call(
+                format!("vload{w}"),
+                vec![CExpr::Index(vec_index), CExpr::var(memory)],
+            )
         }
         Resolved::MemoryAccess { memory, index, .. } => {
             CExpr::var(memory).at(CExpr::Index(index.clone()))
@@ -1184,10 +1266,20 @@ fn store_stmt(
         Resolved::Literal(_) => Err(CodegenError::Unsupported(
             "cannot write into a constant view".into(),
         )),
-        Resolved::MemoryAccess { memory, scalar: true, .. } => {
-            Ok(CStmt::Assign { lhs: CExpr::var(memory), rhs: value })
-        }
-        Resolved::MemoryAccess { memory, index, vector_width: Some(w), .. } => {
+        Resolved::MemoryAccess {
+            memory,
+            scalar: true,
+            ..
+        } => Ok(CStmt::Assign {
+            lhs: CExpr::var(memory),
+            rhs: value,
+        }),
+        Resolved::MemoryAccess {
+            memory,
+            index,
+            vector_width: Some(w),
+            ..
+        } => {
             let vec_index = if builder.simplify {
                 index.clone() / ArithExpr::cst(*w as i64)
             } else {

@@ -48,7 +48,10 @@ impl CompilationOptions {
     /// Barrier elimination and control-flow simplification but no array-access simplification
     /// (the middle bars of Figure 8).
     pub fn without_array_access_simplification() -> CompilationOptions {
-        CompilationOptions { array_access_simplification: false, ..Self::all_optimisations() }
+        CompilationOptions {
+            array_access_simplification: false,
+            ..Self::all_optimisations()
+        }
     }
 
     /// Sets the launch configuration (builder style).
@@ -64,7 +67,11 @@ impl CompilationOptions {
     }
 
     /// Sets a two-dimensional launch configuration.
-    pub fn with_launch_2d(self, global: (usize, usize), local: (usize, usize)) -> CompilationOptions {
+    pub fn with_launch_2d(
+        self,
+        global: (usize, usize),
+        local: (usize, usize),
+    ) -> CompilationOptions {
         self.with_launch([global.0, global.1, 1], [local.0, local.1, 1])
     }
 
@@ -111,8 +118,14 @@ mod tests {
 
     #[test]
     fn labels_are_distinct() {
-        assert_eq!(CompilationOptions::all_optimisations().label(), "barrier+cf+array-simplification");
-        assert_eq!(CompilationOptions::without_array_access_simplification().label(), "barrier+cf");
+        assert_eq!(
+            CompilationOptions::all_optimisations().label(),
+            "barrier+cf+array-simplification"
+        );
+        assert_eq!(
+            CompilationOptions::without_array_access_simplification().label(),
+            "barrier+cf"
+        );
         assert_eq!(CompilationOptions::none().label(), "none");
     }
 

@@ -176,27 +176,39 @@ pub enum View {
 
 impl View {
     /// A view of a (flat) buffer with the given dimensions.
-    pub fn memory(
-        name: impl Into<String>,
-        space: AddressSpace,
-        dims: Vec<ArithExpr>,
-    ) -> View {
-        View::Memory { name: name.into(), space, scalar: false, dims }
+    pub fn memory(name: impl Into<String>, space: AddressSpace, dims: Vec<ArithExpr>) -> View {
+        View::Memory {
+            name: name.into(),
+            space,
+            scalar: false,
+            dims,
+        }
     }
 
     /// A view of a scalar variable.
     pub fn scalar_var(name: impl Into<String>, space: AddressSpace) -> View {
-        View::Memory { name: name.into(), space, scalar: true, dims: Vec::new() }
+        View::Memory {
+            name: name.into(),
+            space,
+            scalar: true,
+            dims: Vec::new(),
+        }
     }
 
     /// Wraps this view in an array access.
     pub fn access(self, index: ArithExpr) -> View {
-        View::Access { base: Box::new(self), index }
+        View::Access {
+            base: Box::new(self),
+            index,
+        }
     }
 
     /// Wraps this view in a tuple-component access.
     pub fn component(self, index: usize) -> View {
-        View::TupleComponent { base: Box::new(self), index }
+        View::TupleComponent {
+            base: Box::new(self),
+            index,
+        }
     }
 }
 
@@ -225,15 +237,26 @@ impl fmt::Display for ViewError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ViewError::MissingTupleProjection => {
-                write!(f, "a zipped value was accessed without selecting a tuple component")
+                write!(
+                    f,
+                    "a zipped value was accessed without selecting a tuple component"
+                )
             }
             ViewError::TupleIndexOutOfRange { index, arity } => {
-                write!(f, "tuple component {index} requested but only {arity} are zipped")
+                write!(
+                    f,
+                    "tuple component {index} requested but only {arity} are zipped"
+                )
             }
             ViewError::PartialAccess { memory } => {
-                write!(f, "access into `{memory}` does not reach individual elements")
+                write!(
+                    f,
+                    "access into `{memory}` does not reach individual elements"
+                )
             }
-            ViewError::ConstantAccess => write!(f, "cannot generate a memory access for a constant"),
+            ViewError::ConstantAccess => {
+                write!(f, "cannot generate a memory access for a constant")
+            }
         }
     }
 }
@@ -320,10 +343,12 @@ fn walk(
         }
         View::Zip { bases } => {
             let component = tuple_stack.pop().ok_or(ViewError::MissingTupleProjection)?;
-            let base = bases.get(component).ok_or(ViewError::TupleIndexOutOfRange {
-                index: component,
-                arity: bases.len(),
-            })?;
+            let base = bases
+                .get(component)
+                .ok_or(ViewError::TupleIndexOutOfRange {
+                    index: component,
+                    arity: bases.len(),
+                })?;
             walk(base, builder, array_stack, tuple_stack, vector_width)
         }
         View::AsVector { base, width } => {
@@ -342,7 +367,12 @@ fn walk(
                 Err(ViewError::ConstantAccess)
             }
         }
-        View::Memory { name, space, scalar, dims } => {
+        View::Memory {
+            name,
+            space,
+            scalar,
+            dims,
+        } => {
             if *scalar {
                 return Ok(Resolved::MemoryAccess {
                     memory: name.clone(),
@@ -354,7 +384,9 @@ fn walk(
             }
             // Linearise the remaining indices (outermost dimension on top of the stack).
             if array_stack.len() < dims.len() {
-                return Err(ViewError::PartialAccess { memory: name.clone() });
+                return Err(ViewError::PartialAccess {
+                    memory: name.clone(),
+                });
             }
             let mut index = ArithExpr::cst(0);
             for (d, extent) in dims.iter().enumerate() {
@@ -412,9 +444,15 @@ mod tests {
         let x = mem("x", vec![n()]);
         let y = mem("y", vec![n()]);
         let zipped = View::Zip { bases: vec![x, y] };
-        let split128 = View::Split { base: Box::new(zipped), chunk: ArithExpr::cst(128) };
+        let split128 = View::Split {
+            base: Box::new(zipped),
+            chunk: ArithExpr::cst(128),
+        };
         let per_wg = split128.access(wg.clone());
-        let split2 = View::Split { base: Box::new(per_wg), chunk: ArithExpr::cst(2) };
+        let split2 = View::Split {
+            base: Box::new(per_wg),
+            chunk: ArithExpr::cst(2),
+        };
         let per_thread = split2.access(l.clone());
         let element = per_thread.access(i.clone()).component(0);
 
@@ -447,9 +485,14 @@ mod tests {
     #[test]
     fn zip_without_projection_is_an_error() {
         let i = ArithExpr::var_in_range("i", 0, n());
-        let zipped = View::Zip { bases: vec![mem("x", vec![n()]), mem("y", vec![n()])] };
+        let zipped = View::Zip {
+            bases: vec![mem("x", vec![n()]), mem("y", vec![n()])],
+        };
         let elem = zipped.access(i);
-        assert_eq!(resolve(&elem, &simplifying()).unwrap_err(), ViewError::MissingTupleProjection);
+        assert_eq!(
+            resolve(&elem, &simplifying()).unwrap_err(),
+            ViewError::MissingTupleProjection
+        );
     }
 
     #[test]
@@ -458,7 +501,10 @@ mod tests {
         let m = ArithExpr::size_var("M");
         let k = ArithExpr::var_in_range("k", 0, n() * m.clone());
         let matrix = mem("a", vec![n(), m.clone()]);
-        let joined = View::Join { base: Box::new(matrix), inner: m.clone() };
+        let joined = View::Join {
+            base: Box::new(matrix),
+            inner: m.clone(),
+        };
         let elem = joined.access(k.clone());
         match resolve(&elem, &simplifying()).unwrap() {
             Resolved::MemoryAccess { index, .. } => {
@@ -475,7 +521,9 @@ mod tests {
         let row = ArithExpr::var_in_range("r", 0, m.clone());
         let col = ArithExpr::var_in_range("c", 0, n());
         let matrix = mem("a", vec![n(), m.clone()]);
-        let transposed = View::Transpose { base: Box::new(matrix) };
+        let transposed = View::Transpose {
+            base: Box::new(matrix),
+        };
         let elem = transposed.access(row.clone()).access(col.clone());
         match resolve(&elem, &simplifying()).unwrap() {
             Resolved::MemoryAccess { index, .. } => {
@@ -490,7 +538,10 @@ mod tests {
         let w = ArithExpr::var_in_range("w", 0, n());
         let j = ArithExpr::var_in_range("j", 0, ArithExpr::cst(3));
         let input = mem("in", vec![n()]);
-        let slid = View::Slide { base: Box::new(input), step: ArithExpr::cst(1) };
+        let slid = View::Slide {
+            base: Box::new(input),
+            step: ArithExpr::cst(1),
+        };
         let elem = slid.access(w.clone()).access(j.clone());
         match resolve(&elem, &simplifying()).unwrap() {
             Resolved::MemoryAccess { index, .. } => assert_eq!(index, w + j),
@@ -526,7 +577,13 @@ mod tests {
         let m = ArithExpr::size_var("M");
         let k = ArithExpr::var_in_range("k", 0, n() * m.clone());
         let matrix = mem("a", vec![n() * m.clone()]);
-        let joined = View::Join { base: Box::new(View::Split { base: Box::new(matrix), chunk: m.clone() }), inner: m };
+        let joined = View::Join {
+            base: Box::new(View::Split {
+                base: Box::new(matrix),
+                chunk: m.clone(),
+            }),
+            inner: m,
+        };
         let elem = joined.access(k.clone());
         let simplified = match resolve(&elem, &simplifying()).unwrap() {
             Resolved::MemoryAccess { index, .. } => index,
@@ -538,7 +595,10 @@ mod tests {
         };
         assert_eq!(simplified, k);
         assert_eq!(simplified.div_mod_count(), 0);
-        assert!(rough.div_mod_count() >= 2, "raw index should keep / and %: {rough}");
+        assert!(
+            rough.div_mod_count() >= 2,
+            "raw index should keep / and %: {rough}"
+        );
     }
 
     #[test]
@@ -546,7 +606,12 @@ mod tests {
         let acc = View::scalar_var("acc1", AddressSpace::Private);
         let elem = acc.access(ArithExpr::cst(0));
         match resolve(&elem, &simplifying()).unwrap() {
-            Resolved::MemoryAccess { memory, scalar, index, .. } => {
+            Resolved::MemoryAccess {
+                memory,
+                scalar,
+                index,
+                ..
+            } => {
                 assert_eq!(memory, "acc1");
                 assert!(scalar);
                 assert_eq!(index, ArithExpr::cst(0));
@@ -558,19 +623,32 @@ mod tests {
     #[test]
     fn constants_resolve_to_literals() {
         let v = View::Constant(Literal::Float(0.0));
-        assert_eq!(resolve(&v, &simplifying()).unwrap(), Resolved::Literal(Literal::Float(0.0)));
+        assert_eq!(
+            resolve(&v, &simplifying()).unwrap(),
+            Resolved::Literal(Literal::Float(0.0))
+        );
         let bad = View::Constant(Literal::Float(0.0)).access(ArithExpr::cst(1));
-        assert_eq!(resolve(&bad, &simplifying()).unwrap_err(), ViewError::ConstantAccess);
+        assert_eq!(
+            resolve(&bad, &simplifying()).unwrap_err(),
+            ViewError::ConstantAccess
+        );
     }
 
     #[test]
     fn as_vector_accesses_are_marked() {
         let i = ArithExpr::var_in_range("i", 0, n());
         let input = mem("in", vec![n() * 4]);
-        let vectors = View::AsVector { base: Box::new(input), width: 4 };
+        let vectors = View::AsVector {
+            base: Box::new(input),
+            width: 4,
+        };
         let elem = vectors.access(i.clone());
         match resolve(&elem, &simplifying()).unwrap() {
-            Resolved::MemoryAccess { index, vector_width, .. } => {
+            Resolved::MemoryAccess {
+                index,
+                vector_width,
+                ..
+            } => {
                 assert_eq!(index, i * 4);
                 assert_eq!(vector_width, Some(4));
             }

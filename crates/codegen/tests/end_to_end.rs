@@ -40,7 +40,12 @@ fn run_kernel(
     // Count how many buffers precede the output to find its index in `buffers`.
     let buffer_index = kernel.params[..out_slot.expect("kernel has an output")]
         .iter()
-        .filter(|p| matches!(p, KernelParamInfo::Input { .. } | KernelParamInfo::Output { .. }))
+        .filter(|p| {
+            matches!(
+                p,
+                KernelParamInfo::Input { .. } | KernelParamInfo::Output { .. }
+            )
+        })
         .count();
     let result = VirtualGpu::new()
         .launch(&kernel.module, &kernel.kernel_name, config, args)
@@ -76,7 +81,12 @@ fn map_glb_id_copies_the_input() {
 
     let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
     let sizes = Environment::new().bind("N", 64);
-    let (out, _) = run_kernel(&kernel, &[input.clone()], &sizes, LaunchConfig::d1(64, 16));
+    let (out, _) = run_kernel(
+        &kernel,
+        std::slice::from_ref(&input),
+        &sizes,
+        LaunchConfig::d1(64, 16),
+    );
     assert_close(&out, &input);
 }
 
@@ -112,8 +122,12 @@ fn zipped_multiplication_matches_the_interpreter() {
 
     let options = CompilationOptions::all_optimisations().with_launch_1d(128, 32);
     let kernel = compile(&p, &options).expect("compiles");
-    let (out, _) =
-        run_kernel(&kernel, &[x.clone(), y.clone()], &sizes, LaunchConfig::d1(128, 32));
+    let (out, _) = run_kernel(
+        &kernel,
+        &[x.clone(), y.clone()],
+        &sizes,
+        LaunchConfig::d1(128, 32),
+    );
     assert_close(&out, &expected);
 }
 
@@ -139,7 +153,12 @@ fn split_map_wrg_map_lcl_join_pipeline() {
     let sizes = Environment::new().bind("N", 256);
     let options = CompilationOptions::all_optimisations().with_launch_1d(256, 32);
     let kernel = compile(&p, &options).expect("compiles");
-    let (out, _) = run_kernel(&kernel, &[input.clone()], &sizes, LaunchConfig::d1(256, 32));
+    let (out, _) = run_kernel(
+        &kernel,
+        std::slice::from_ref(&input),
+        &sizes,
+        LaunchConfig::d1(256, 32),
+    );
     assert_close(&out, &input);
 }
 
@@ -169,8 +188,9 @@ fn per_work_group_reduction() {
 
     let input: Vec<f32> = (0..256).map(|i| (i % 7) as f32).collect();
     let sizes = Environment::new().bind("N", 256);
-    let expected =
-        evaluate_with_sizes(&p, &[Value::from_f32_slice(&input)], &sizes).unwrap().flatten_f32();
+    let expected = evaluate_with_sizes(&p, &[Value::from_f32_slice(&input)], &sizes)
+        .unwrap()
+        .flatten_f32();
 
     let options = CompilationOptions::all_optimisations().with_launch_1d(64, 16);
     let kernel = compile(&p, &options).expect("compiles");
@@ -237,8 +257,9 @@ fn slide_based_stencil() {
 
     let input: Vec<f32> = (0..n).map(|i| (i % 11) as f32).collect();
     let sizes = Environment::new();
-    let expected =
-        evaluate_with_sizes(&p, &[Value::from_f32_slice(&input)], &sizes).unwrap().flatten_f32();
+    let expected = evaluate_with_sizes(&p, &[Value::from_f32_slice(&input)], &sizes)
+        .unwrap()
+        .flatten_f32();
     assert_eq!(expected.len(), n - 2);
 
     let options = CompilationOptions::all_optimisations().with_launch_1d(62, 31);
@@ -320,7 +341,12 @@ fn dot_product_kernel_runs_and_matches_the_interpreter() {
     ] {
         let options = options.with_launch_1d(256, 64);
         let kernel = compile(&p, &options).expect("compiles");
-        let (out, _) = run_kernel(&kernel, &[x.clone(), y.clone()], &sizes, LaunchConfig::d1(256, 64));
+        let (out, _) = run_kernel(
+            &kernel,
+            &[x.clone(), y.clone()],
+            &sizes,
+            LaunchConfig::d1(256, 64),
+        );
         assert_close(&out, &expected);
     }
 }
@@ -366,11 +392,13 @@ fn array_access_simplification_reduces_divisions() {
     );
     let opts = |o: CompilationOptions| o.with_launch_1d((n * m).next_power_of_two(), n);
     let simplified = compile(&p, &opts(CompilationOptions::all_optimisations())).unwrap();
-    let unsimplified =
-        compile(&p, &opts(CompilationOptions::without_array_access_simplification())).unwrap();
-    let count = |k: &CompiledKernel| {
-        k.source().matches('%').count() + k.source().matches('/').count()
-    };
+    let unsimplified = compile(
+        &p,
+        &opts(CompilationOptions::without_array_access_simplification()),
+    )
+    .unwrap();
+    let count =
+        |k: &CompiledKernel| k.source().matches('%').count() + k.source().matches('/').count();
     assert!(
         count(&unsimplified) > count(&simplified),
         "expected fewer division/modulo operations with simplification: {} vs {}",
@@ -405,7 +433,12 @@ fn results_are_identical_across_optimisation_levels() {
         CompilationOptions::none(),
     ] {
         let kernel = compile(&p, &options.with_launch_1d(96, 32)).unwrap();
-        let (out, _) = run_kernel(&kernel, &[x.clone(), x.clone()], &sizes, LaunchConfig::d1(96, 32));
+        let (out, _) = run_kernel(
+            &kernel,
+            &[x.clone(), x.clone()],
+            &sizes,
+            LaunchConfig::d1(96, 32),
+        );
         outputs.push(out);
     }
     assert_eq!(outputs[0], outputs[1]);

@@ -56,7 +56,10 @@ impl fmt::Display for InterpError {
                 write!(f, "could not evaluate symbolic size `{e}` to a constant")
             }
             InterpError::NotDivisible { len, chunk } => {
-                write!(f, "cannot split an array of length {len} into chunks of {chunk}")
+                write!(
+                    f,
+                    "cannot split an array of length {len} into chunks of {chunk}"
+                )
             }
         }
     }
@@ -92,7 +95,11 @@ pub fn evaluate_with_sizes(
             found: args.len(),
         });
     }
-    let mut interp = Interpreter { program, sizes, env: HashMap::new() };
+    let mut interp = Interpreter {
+        program,
+        sizes,
+        env: HashMap::new(),
+    };
     interp.apply_fun(root, args.to_vec())
 }
 
@@ -106,18 +113,21 @@ impl<'a> Interpreter<'a> {
     fn eval_size(&self, e: &ArithExpr) -> Result<usize, InterpError> {
         e.evaluate(self.sizes)
             .map_err(|_| InterpError::SymbolicSize(e.to_string()))
-            .and_then(|v| {
-                usize::try_from(v).map_err(|_| InterpError::SymbolicSize(e.to_string()))
-            })
+            .and_then(|v| usize::try_from(v).map_err(|_| InterpError::SymbolicSize(e.to_string())))
     }
 
     fn eval_expr(&mut self, id: ExprId) -> Result<Value, InterpError> {
         match &self.program.expr(id).kind {
             ExprKind::Literal(Literal::Float(v)) => Ok(Value::Float(*v)),
             ExprKind::Literal(Literal::Int(v)) => Ok(Value::Int(*v)),
-            ExprKind::Param { name } => self.env.get(&id).cloned().ok_or_else(|| {
-                InterpError::ShapeMismatch { context: format!("unbound parameter `{name}`") }
-            }),
+            ExprKind::Param { name } => {
+                self.env
+                    .get(&id)
+                    .cloned()
+                    .ok_or_else(|| InterpError::ShapeMismatch {
+                        context: format!("unbound parameter `{name}`"),
+                    })
+            }
             ExprKind::FunCall { f, args } => {
                 let mut vals = Vec::with_capacity(args.len());
                 for a in args {
@@ -165,13 +175,20 @@ impl<'a> Interpreter<'a> {
     fn expect_array(&self, v: Value, context: &str) -> Result<Vec<Value>, InterpError> {
         match v {
             Value::Array(vs) => Ok(vs),
-            _ => Err(InterpError::ShapeMismatch { context: context.to_string() }),
+            _ => Err(InterpError::ShapeMismatch {
+                context: context.to_string(),
+            }),
         }
     }
 
-    fn apply_pattern(&mut self, pattern: &Pattern, mut args: Vec<Value>) -> Result<Value, InterpError> {
+    fn apply_pattern(
+        &mut self,
+        pattern: &Pattern,
+        mut args: Vec<Value>,
+    ) -> Result<Value, InterpError> {
         match pattern {
-            Pattern::MapSeq { f }
+            Pattern::Map { f }
+            | Pattern::MapSeq { f }
             | Pattern::MapGlb { f, .. }
             | Pattern::MapWrg { f, .. }
             | Pattern::MapLcl { f, .. } => {
@@ -190,9 +207,11 @@ impl<'a> Interpreter<'a> {
                     }
                     Ok(Value::Vector(out))
                 }
-                _ => Err(InterpError::ShapeMismatch { context: "mapVec input".into() }),
+                _ => Err(InterpError::ShapeMismatch {
+                    context: "mapVec input".into(),
+                }),
             },
-            Pattern::ReduceSeq { f } => {
+            Pattern::Reduce { f } | Pattern::ReduceSeq { f } => {
                 let input = args.pop().expect("reduce has two arguments");
                 let mut acc = args.pop().expect("reduce has two arguments");
                 let xs = self.expect_array(input, "reduce input")?;
@@ -212,11 +231,16 @@ impl<'a> Interpreter<'a> {
             Pattern::Split { chunk } => {
                 let xs = self.expect_array(args.remove(0), "split input")?;
                 let chunk = self.eval_size(chunk)?;
-                if chunk == 0 || xs.len() % chunk != 0 {
-                    return Err(InterpError::NotDivisible { len: xs.len(), chunk });
+                if chunk == 0 || !xs.len().is_multiple_of(chunk) {
+                    return Err(InterpError::NotDivisible {
+                        len: xs.len(),
+                        chunk,
+                    });
                 }
                 Ok(Value::Array(
-                    xs.chunks_exact(chunk).map(|c| Value::Array(c.to_vec())).collect(),
+                    xs.chunks_exact(chunk)
+                        .map(|c| Value::Array(c.to_vec()))
+                        .collect(),
                 ))
             }
             Pattern::Join => {
@@ -273,11 +297,15 @@ impl<'a> Interpreter<'a> {
                     .map(|a| self.expect_array(a, "zip input"))
                     .collect::<Result<_, _>>()?;
                 if arrays.len() != *arity {
-                    return Err(InterpError::ShapeMismatch { context: "zip arity".into() });
+                    return Err(InterpError::ShapeMismatch {
+                        context: "zip arity".into(),
+                    });
                 }
                 let len = arrays.first().map_or(0, Vec::len);
                 if arrays.iter().any(|a| a.len() != len) {
-                    return Err(InterpError::ShapeMismatch { context: "zip lengths".into() });
+                    return Err(InterpError::ShapeMismatch {
+                        context: "zip lengths".into(),
+                    });
                 }
                 let mut out = Vec::with_capacity(len);
                 for i in 0..len {
@@ -289,14 +317,18 @@ impl<'a> Interpreter<'a> {
                 Value::Tuple(vs) => vs.get(*index).cloned().ok_or(InterpError::ShapeMismatch {
                     context: format!("tuple projection {index}"),
                 }),
-                _ => Err(InterpError::ShapeMismatch { context: "get input".into() }),
+                _ => Err(InterpError::ShapeMismatch {
+                    context: "get input".into(),
+                }),
             },
             Pattern::Slide { size, step } => {
                 let xs = self.expect_array(args.remove(0), "slide input")?;
                 let size = self.eval_size(size)?;
                 let step = self.eval_size(step)?;
                 if step == 0 || size == 0 || size > xs.len() {
-                    return Err(InterpError::ShapeMismatch { context: "slide window".into() });
+                    return Err(InterpError::ShapeMismatch {
+                        context: "slide window".into(),
+                    });
                 }
                 let mut out = Vec::new();
                 let mut start = 0;
@@ -311,11 +343,16 @@ impl<'a> Interpreter<'a> {
             }
             Pattern::AsVector { width } => {
                 let xs = self.expect_array(args.remove(0), "asVector input")?;
-                if *width == 0 || xs.len() % width != 0 {
-                    return Err(InterpError::NotDivisible { len: xs.len(), chunk: *width });
+                if *width == 0 || !xs.len().is_multiple_of(*width) {
+                    return Err(InterpError::NotDivisible {
+                        len: xs.len(),
+                        chunk: *width,
+                    });
                 }
                 Ok(Value::Array(
-                    xs.chunks_exact(*width).map(|c| Value::Vector(c.to_vec())).collect(),
+                    xs.chunks_exact(*width)
+                        .map(|c| Value::Vector(c.to_vec()))
+                        .collect(),
                 ))
             }
             Pattern::AsScalar => {
@@ -332,18 +369,13 @@ impl<'a> Interpreter<'a> {
         }
     }
 
-    fn reorder_index(
-        &self,
-        reorder: &Reorder,
-        i: usize,
-        n: usize,
-    ) -> Result<usize, InterpError> {
+    fn reorder_index(&self, reorder: &Reorder, i: usize, n: usize) -> Result<usize, InterpError> {
         Ok(match reorder {
             Reorder::Identity => i,
             Reorder::Reverse => n - 1 - i,
             Reorder::Stride(s) => {
                 let s = self.eval_size(s)?;
-                if s == 0 || n % s != 0 {
+                if s == 0 || !n.is_multiple_of(s) {
                     return Err(InterpError::NotDivisible { len: n, chunk: s });
                 }
                 (i % s) * (n / s) + i / s
@@ -465,7 +497,9 @@ mod tests {
         let mut p = Program::new("t");
         let add = p.user_fun(UserFun::add());
         let r = p.reduce_seq(add, 0.0);
-        p.with_root(vec![("x", float_array(5usize))], |p, params| p.apply1(r, params[0]));
+        p.with_root(vec![("x", float_array(5usize))], |p, params| {
+            p.apply1(r, params[0])
+        });
         let out = evaluate(&p, &[Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0, 5.0])]).unwrap();
         assert_eq!(out.flatten_f32(), vec![15.0]);
     }
@@ -488,7 +522,9 @@ mod tests {
     fn split_of_non_divisible_length_fails() {
         let mut p = Program::new("t");
         let s = p.split(4usize);
-        p.with_root(vec![("x", float_array(6usize))], |p, params| p.apply1(s, params[0]));
+        p.with_root(vec![("x", float_array(6usize))], |p, params| {
+            p.apply1(s, params[0])
+        });
         let err = evaluate(&p, &[Value::from_f32_slice(&[0.0; 6])]).unwrap_err();
         assert_eq!(err, InterpError::NotDivisible { len: 6, chunk: 4 });
     }
@@ -497,7 +533,9 @@ mod tests {
     fn gather_reverse_reverses() {
         let mut p = Program::new("t");
         let g = p.gather(Reorder::Reverse);
-        p.with_root(vec![("x", float_array(4usize))], |p, params| p.apply1(g, params[0]));
+        p.with_root(vec![("x", float_array(4usize))], |p, params| {
+            p.apply1(g, params[0])
+        });
         let out = evaluate(&p, &[Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0])]).unwrap();
         assert_eq!(out.flatten_f32(), vec![4.0, 3.0, 2.0, 1.0]);
     }
@@ -506,7 +544,9 @@ mod tests {
     fn scatter_is_the_inverse_of_gather_for_permutations() {
         let mut p = Program::new("t");
         let g = p.scatter(Reorder::Reverse);
-        p.with_root(vec![("x", float_array(4usize))], |p, params| p.apply1(g, params[0]));
+        p.with_root(vec![("x", float_array(4usize))], |p, params| {
+            p.apply1(g, params[0])
+        });
         let out = evaluate(&p, &[Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0])]).unwrap();
         assert_eq!(out.flatten_f32(), vec![4.0, 3.0, 2.0, 1.0]);
     }
@@ -517,8 +557,14 @@ mod tests {
         // column-major (transposed) order: the stride parameter is the number of rows.
         let mut p = Program::new("t");
         let g = p.gather(Reorder::Stride(ArithExpr::cst(2)));
-        p.with_root(vec![("x", float_array(6usize))], |p, params| p.apply1(g, params[0]));
-        let out = evaluate(&p, &[Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])]).unwrap();
+        p.with_root(vec![("x", float_array(6usize))], |p, params| {
+            p.apply1(g, params[0])
+        });
+        let out = evaluate(
+            &p,
+            &[Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0])],
+        )
+        .unwrap();
         assert_eq!(out.flatten_f32(), vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0]);
     }
 
@@ -539,7 +585,9 @@ mod tests {
     fn slide_produces_overlapping_windows() {
         let mut p = Program::new("t");
         let s = p.slide(3usize, 1usize);
-        p.with_root(vec![("x", float_array(5usize))], |p, params| p.apply1(s, params[0]));
+        p.with_root(vec![("x", float_array(5usize))], |p, params| {
+            p.apply1(s, params[0])
+        });
         let out = evaluate(&p, &[Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0, 5.0])]).unwrap();
         let windows = out.as_array().unwrap();
         assert_eq!(windows.len(), 3);
@@ -557,7 +605,9 @@ mod tests {
         let j = p.join();
         let body = p.compose(&[j, m, s]);
         let it = p.iterate(3, body);
-        p.with_root(vec![("x", float_array(8usize))], |p, params| p.apply1(it, params[0]));
+        p.with_root(vec![("x", float_array(8usize))], |p, params| {
+            p.apply1(it, params[0])
+        });
         let out = evaluate(&p, &[Value::from_f32_slice(&[1.0; 8])]).unwrap();
         assert_eq!(out.flatten_f32(), vec![8.0]);
     }
@@ -596,10 +646,11 @@ mod tests {
         let n = ArithExpr::size_var("N");
         let mut p = Program::new("t");
         let s = p.split(n.clone() / 2);
-        p.with_root(vec![("x", float_array(n))], |p, params| p.apply1(s, params[0]));
+        p.with_root(vec![("x", float_array(n))], |p, params| {
+            p.apply1(s, params[0])
+        });
         let sizes = Environment::new().bind("N", 8);
-        let out =
-            evaluate_with_sizes(&p, &[Value::from_f32_slice(&[0.0; 8])], &sizes).unwrap();
+        let out = evaluate_with_sizes(&p, &[Value::from_f32_slice(&[0.0; 8])], &sizes).unwrap();
         assert_eq!(out.len(), Some(2));
         // Without the environment the size stays symbolic and evaluation fails.
         let err = evaluate(&p, &[Value::from_f32_slice(&[0.0; 8])]).unwrap_err();
@@ -610,9 +661,17 @@ mod tests {
     fn wrong_argument_count_is_reported() {
         let mut p = Program::new("t");
         let id = p.id_pattern();
-        p.with_root(vec![("x", float_array(2usize))], |p, params| p.apply1(id, params[0]));
+        p.with_root(vec![("x", float_array(2usize))], |p, params| {
+            p.apply1(id, params[0])
+        });
         let err = evaluate(&p, &[]).unwrap_err();
-        assert_eq!(err, InterpError::WrongArgumentCount { expected: 1, found: 0 });
+        assert_eq!(
+            err,
+            InterpError::WrongArgumentCount {
+                expected: 1,
+                found: 0
+            }
+        );
         assert!(err.to_string().contains("expected 1"));
     }
 

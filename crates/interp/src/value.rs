@@ -31,10 +31,12 @@ impl Value {
     ///
     /// Panics if `data.len()` is not `rows * cols`.
     pub fn from_f32_matrix(data: &[f32], rows: usize, cols: usize) -> Value {
-        assert_eq!(data.len(), rows * cols, "matrix data must have rows*cols elements");
-        Value::Array(
-            data.chunks_exact(cols).map(Value::from_f32_slice).collect(),
-        )
+        assert_eq!(
+            data.len(),
+            rows * cols,
+            "matrix data must have rows*cols elements"
+        );
+        Value::Array(data.chunks_exact(cols).map(Value::from_f32_slice).collect())
     }
 
     /// Flattens an arbitrarily nested value into its scalar `f32` contents, in order.
@@ -146,7 +148,10 @@ mod tests {
         assert_eq!(v.len(), Some(3));
         let m = Value::from_f32_matrix(&[1.0, 2.0, 3.0, 4.0], 2, 2);
         assert_eq!(m.len(), Some(2));
-        assert_eq!(m.as_array().unwrap()[1].as_array().unwrap()[0], Value::Float(3.0));
+        assert_eq!(
+            m.as_array().unwrap()[1].as_array().unwrap()[0],
+            Value::Float(3.0)
+        );
     }
 
     #[test]

@@ -40,7 +40,10 @@ fn double_transpose_program(rows: usize, cols: usize) -> Program {
     let t1 = p.transpose();
     let t2 = p.transpose();
     p.with_root(
-        vec![("x", Type::array(float_array(cols), ArithExpr::cst(rows as i64)))],
+        vec![(
+            "x",
+            Type::array(float_array(cols), ArithExpr::cst(rows as i64)),
+        )],
         |p, params| {
             let once = p.apply1(t1, params[0]);
             p.apply1(t2, once)

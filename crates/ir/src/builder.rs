@@ -39,7 +39,10 @@ impl Program {
 
     /// Applies a function to arguments, creating a `FunCall` expression.
     pub fn apply(&mut self, f: FunDeclId, args: impl IntoIterator<Item = ExprId>) -> ExprId {
-        self.add_expr(ExprKind::FunCall { f, args: args.into_iter().collect() })
+        self.add_expr(ExprKind::FunCall {
+            f,
+            args: args.into_iter().collect(),
+        })
     }
 
     /// Applies a unary function to a single argument.
@@ -60,8 +63,7 @@ impl Program {
         param_names: &[&str],
         build: impl FnOnce(&mut Program, &[ExprId]) -> ExprId,
     ) -> FunDeclId {
-        let params: Vec<ExprId> =
-            param_names.iter().map(|n| self.untyped_param(*n)).collect();
+        let params: Vec<ExprId> = param_names.iter().map(|n| self.untyped_param(*n)).collect();
         let body = build(self, &params);
         self.add_decl(FunDecl::Lambda { params, body })
     }
@@ -77,10 +79,36 @@ impl Program {
         for f in funs.iter().rev() {
             value = self.apply1(*f, value);
         }
-        self.add_decl(FunDecl::Lambda { params: vec![p], body: value })
+        self.add_decl(FunDecl::Lambda {
+            params: vec![p],
+            body: value,
+        })
     }
 
     // ---------------------------------------------------------------- algorithmic patterns
+
+    /// The high-level, backend-agnostic `map(f)` (lowered by `lift-rewrite`).
+    pub fn map(&mut self, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Map { f }))
+    }
+
+    /// The raw high-level `reduce(f)` pattern; call it with `[init, input]`.
+    pub fn reduce_pattern(&mut self, f: FunDeclId) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Reduce { f }))
+    }
+
+    /// `reduce(f, init)` packaged as a unary function of the input array, mirroring
+    /// [`Program::reduce_seq`] for high-level programs.
+    pub fn reduce(&mut self, f: FunDeclId, init: f32) -> FunDeclId {
+        let pattern = self.reduce_pattern(f);
+        let p = self.untyped_param("xs");
+        let init = self.literal_f32(init);
+        let body = self.apply(pattern, [init, p]);
+        self.add_decl(FunDecl::Lambda {
+            params: vec![p],
+            body,
+        })
+    }
 
     /// `mapSeq(f)`.
     pub fn map_seq(&mut self, f: FunDeclId) -> FunDeclId {
@@ -119,7 +147,10 @@ impl Program {
         let p = self.untyped_param("xs");
         let init = self.literal_f32(init);
         let body = self.apply(pattern, [init, p]);
-        self.add_decl(FunDecl::Lambda { params: vec![p], body })
+        self.add_decl(FunDecl::Lambda {
+            params: vec![p],
+            body,
+        })
     }
 
     /// The `id` pattern.
@@ -136,7 +167,9 @@ impl Program {
 
     /// `split^chunk`.
     pub fn split(&mut self, chunk: impl Into<ArithExpr>) -> FunDeclId {
-        self.add_decl(FunDecl::Pattern(Pattern::Split { chunk: chunk.into() }))
+        self.add_decl(FunDecl::Pattern(Pattern::Split {
+            chunk: chunk.into(),
+        }))
     }
 
     /// `join`.
@@ -176,7 +209,10 @@ impl Program {
 
     /// `slide(size, step)`.
     pub fn slide(&mut self, size: impl Into<ArithExpr>, step: impl Into<ArithExpr>) -> FunDeclId {
-        self.add_decl(FunDecl::Pattern(Pattern::Slide { size: size.into(), step: step.into() }))
+        self.add_decl(FunDecl::Pattern(Pattern::Slide {
+            size: size.into(),
+            step: step.into(),
+        }))
     }
 
     // ---------------------------------------------------------------- address space patterns
@@ -219,10 +255,12 @@ impl Program {
         params: Vec<(&str, Type)>,
         build: impl FnOnce(&mut Program, &[ExprId]) -> ExprId,
     ) -> FunDeclId {
-        let param_ids: Vec<ExprId> =
-            params.into_iter().map(|(n, t)| self.param(n, t)).collect();
+        let param_ids: Vec<ExprId> = params.into_iter().map(|(n, t)| self.param(n, t)).collect();
         let body = build(self, &param_ids);
-        let root = self.add_decl(FunDecl::Lambda { params: param_ids, body });
+        let root = self.add_decl(FunDecl::Lambda {
+            params: param_ids,
+            body,
+        });
         self.set_root(root);
         root
     }
@@ -253,14 +291,17 @@ mod tests {
         let mut p = Program::new("scale");
         let mult = p.user_fun(UserFun::mult_pair());
         let map = p.map_glb(0, mult);
-        p.with_root(vec![
-            ("x", Type::array(Type::float(), n.clone())),
-            ("y", Type::array(Type::float(), n.clone())),
-        ], |p, params| {
-            let zip = p.zip2();
-            let zipped = p.apply(zip, [params[0], params[1]]);
-            p.apply1(map, zipped)
-        });
+        p.with_root(
+            vec![
+                ("x", Type::array(Type::float(), n.clone())),
+                ("y", Type::array(Type::float(), n.clone())),
+            ],
+            |p, params| {
+                let zip = p.zip2();
+                let zipped = p.apply(zip, [params[0], params[1]]);
+                p.apply1(map, zipped)
+            },
+        );
         assert!(p.root().is_some());
         assert_eq!(p.root_params().len(), 2);
     }
@@ -330,7 +371,13 @@ mod tests {
         let mut p = Program::new("t");
         let l = p.copy_to_local();
         let g = p.copy_to_global();
-        assert!(matches!(p.decl(l), FunDecl::Pattern(Pattern::ToLocal { .. })));
-        assert!(matches!(p.decl(g), FunDecl::Pattern(Pattern::ToGlobal { .. })));
+        assert!(matches!(
+            p.decl(l),
+            FunDecl::Pattern(Pattern::ToLocal { .. })
+        ));
+        assert!(matches!(
+            p.decl(g),
+            FunDecl::Pattern(Pattern::ToGlobal { .. })
+        ));
     }
 }

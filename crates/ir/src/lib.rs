@@ -47,7 +47,9 @@ pub mod scalar;
 pub mod typecheck;
 pub mod types;
 
-pub use node::{ExprId, ExprKind, ExprNode, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder};
+pub use node::{
+    ExprId, ExprKind, ExprNode, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder,
+};
 pub use scalar::{BinOp, ScalarExpr, UnOp, UserFun, UserFunError};
 pub use typecheck::{infer_call_types, infer_types, TypeError};
 pub use types::{AddressSpace, ScalarKind, Type};

@@ -128,6 +128,20 @@ impl Reorder {
 /// The predefined patterns of the Lift IL (Section 3.2).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Pattern {
+    /// High-level, backend-agnostic map (Section 3.1). Programs are written with `map` and
+    /// lowered to one of the OpenCL-specific map variants by the rewrite rules of
+    /// `lift-rewrite`; the code generator only accepts the lowered forms.
+    Map {
+        /// Function applied to every element.
+        f: FunDeclId,
+    },
+    /// High-level, backend-agnostic reduction; called with two arguments: the initial value
+    /// and the input array. Lowered to [`Pattern::ReduceSeq`] (possibly under a memory-space
+    /// wrapper) by the rewrite rules.
+    Reduce {
+        /// Binary reduction function of type `(acc, elem) -> acc`.
+        f: FunDeclId,
+    },
     /// Sequential map.
     MapSeq {
         /// Function applied to every element.
@@ -238,16 +252,24 @@ impl Pattern {
     /// The number of arguments a call to this pattern expects.
     pub fn arity(&self) -> usize {
         match self {
-            Pattern::ReduceSeq { .. } => 2,
+            Pattern::Reduce { .. } | Pattern::ReduceSeq { .. } => 2,
             Pattern::Zip { arity } => *arity,
             _ => 1,
         }
     }
 
+    /// Whether this is a high-level (backend-agnostic) pattern that must be lowered by the
+    /// rewrite rules before OpenCL code generation.
+    pub fn is_high_level(&self) -> bool {
+        matches!(self, Pattern::Map { .. } | Pattern::Reduce { .. })
+    }
+
     /// The nested function of the pattern, if it has one.
     pub fn nested_fun(&self) -> Option<FunDeclId> {
         match self {
-            Pattern::MapSeq { f }
+            Pattern::Map { f }
+            | Pattern::Reduce { f }
+            | Pattern::MapSeq { f }
             | Pattern::MapGlb { f, .. }
             | Pattern::MapWrg { f, .. }
             | Pattern::MapLcl { f, .. }
@@ -264,6 +286,8 @@ impl Pattern {
     /// A short name for pretty printing, matching the paper's notation.
     pub fn name(&self) -> String {
         match self {
+            Pattern::Map { .. } => "map".into(),
+            Pattern::Reduce { .. } => "reduce".into(),
             Pattern::MapSeq { .. } => "mapSeq".into(),
             Pattern::MapGlb { dim, .. } => format!("mapGlb{dim}"),
             Pattern::MapWrg { dim, .. } => format!("mapWrg{dim}"),
@@ -317,7 +341,12 @@ pub struct Program {
 impl Program {
     /// Creates an empty program with the given name.
     pub fn new(name: impl Into<String>) -> Self {
-        Program { name: name.into(), exprs: Vec::new(), decls: Vec::new(), root: None }
+        Program {
+            name: name.into(),
+            exprs: Vec::new(),
+            decls: Vec::new(),
+            root: None,
+        }
     }
 
     /// The program name (used for the generated kernel name).
@@ -434,7 +463,65 @@ impl Program {
     ///
     /// Panics if type inference has not run yet (the type is missing).
     pub fn type_of(&self, id: ExprId) -> &Type {
-        self.expr(id).ty.as_ref().expect("type inference has assigned a type")
+        self.expr(id)
+            .ty
+            .as_ref()
+            .expect("type inference has assigned a type")
+    }
+
+    /// The function declarations reachable from the root lambda (in depth-first discovery
+    /// order). Rewriting leaves orphan nodes in the arena, so passes that inspect "the
+    /// program" should walk this set rather than all of [`Program::decl_ids`].
+    pub fn reachable_decls(&self) -> Vec<FunDeclId> {
+        let Some(root) = self.root else {
+            return Vec::new();
+        };
+        let mut seen_decls = vec![false; self.decls.len()];
+        let mut seen_exprs = vec![false; self.exprs.len()];
+        let mut out = Vec::new();
+        let mut decl_stack = vec![root];
+        while let Some(d) = decl_stack.pop() {
+            if std::mem::replace(&mut seen_decls[d.0], true) {
+                continue;
+            }
+            out.push(d);
+            let mut expr_stack = Vec::new();
+            match self.decl(d) {
+                FunDecl::Lambda { params, body } => {
+                    expr_stack.extend(params.iter().copied());
+                    expr_stack.push(*body);
+                }
+                FunDecl::Pattern(p) => {
+                    if let Some(f) = p.nested_fun() {
+                        decl_stack.push(f);
+                    }
+                }
+                FunDecl::UserFun(_) => {}
+            }
+            while let Some(e) = expr_stack.pop() {
+                if std::mem::replace(&mut seen_exprs[e.0], true) {
+                    continue;
+                }
+                if let ExprKind::FunCall { f, args } = &self.expr(e).kind {
+                    decl_stack.push(*f);
+                    expr_stack.extend(args.iter().copied());
+                }
+            }
+        }
+        out
+    }
+
+    /// The name of the first reachable high-level pattern (`map` / `reduce`), if any.
+    ///
+    /// Code generation requires this to be `None`; the `lift-rewrite` lowering rules
+    /// eliminate high-level patterns.
+    pub fn first_high_level_pattern(&self) -> Option<String> {
+        self.reachable_decls()
+            .into_iter()
+            .find_map(|d| match self.decl(d) {
+                FunDecl::Pattern(p) if p.is_high_level() => Some(p.name()),
+                _ => None,
+            })
     }
 }
 
@@ -479,11 +566,47 @@ mod tests {
     }
 
     #[test]
+    fn high_level_patterns_are_flagged() {
+        let mut p = Program::new("t");
+        let f = p.add_decl(FunDecl::UserFun(UserFun::id_float()));
+        assert!(Pattern::Map { f }.is_high_level());
+        assert!(Pattern::Reduce { f }.is_high_level());
+        assert!(!Pattern::MapGlb { dim: 0, f }.is_high_level());
+        assert_eq!(Pattern::Map { f }.name(), "map");
+        assert_eq!(Pattern::Reduce { f }.name(), "reduce");
+        assert_eq!(Pattern::Reduce { f }.arity(), 2);
+    }
+
+    #[test]
+    fn reachable_decls_ignores_orphans() {
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let orphan = p.map(id);
+        let m = p.map_seq(id);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 4usize))],
+            |p, params| p.apply1(m, params[0]),
+        );
+        let reachable = p.reachable_decls();
+        assert!(reachable.contains(&m));
+        assert!(reachable.contains(&id));
+        assert!(!reachable.contains(&orphan));
+        // The orphaned high-level pattern does not block lowering checks.
+        assert_eq!(p.first_high_level_pattern(), None);
+    }
+
+    #[test]
     fn pattern_names_match_the_paper() {
         let mut p = Program::new("t");
         let f = p.add_decl(FunDecl::UserFun(UserFun::id_float()));
         assert_eq!(Pattern::MapWrg { dim: 0, f }.name(), "mapWrg0");
-        assert_eq!(Pattern::Split { chunk: ArithExpr::cst(128) }.name(), "split128");
+        assert_eq!(
+            Pattern::Split {
+                chunk: ArithExpr::cst(128)
+            }
+            .name(),
+            "split128"
+        );
         assert_eq!(Pattern::Iterate { n: 6, f }.name(), "iterate6");
         assert_eq!(Pattern::AsVector { width: 4 }.name(), "asVector4");
     }

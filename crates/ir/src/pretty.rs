@@ -86,7 +86,10 @@ pub fn pretty_fun(program: &Program, id: FunDeclId, indent: usize) -> String {
 /// Counts the non-empty lines of the pretty-printed program — the "low-level Lift IL" code
 /// size measure of Table 1.
 pub fn line_count(program: &Program) -> usize {
-    pretty_program(program).lines().filter(|l| !l.trim().is_empty()).count()
+    pretty_program(program)
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .count()
 }
 
 fn param_name(program: &Program, id: ExprId) -> String {
@@ -133,7 +136,10 @@ mod tests {
     fn program_header_lists_parameters_and_types() {
         let p = simple_program();
         let s = pretty_program(&p);
-        assert!(s.starts_with("scale(x: [float]_{N}, y: [float]_{N}) ="), "{s}");
+        assert!(
+            s.starts_with("scale(x: [float]_{N}, y: [float]_{N}) ="),
+            "{s}"
+        );
     }
 
     #[test]

@@ -101,6 +101,7 @@ pub enum ScalarExpr {
     Select(Box<ScalarExpr>, Box<ScalarExpr>, Box<ScalarExpr>),
 }
 
+#[allow(clippy::should_implement_trait)] // builder methods, not operator impls
 impl ScalarExpr {
     /// Reference to parameter `i`.
     pub fn param(i: usize) -> ScalarExpr {
@@ -194,6 +195,7 @@ pub struct UserFun {
     param_types: Vec<Type>,
     return_type: Type,
     body: ScalarExpr,
+    associative_commutative: bool,
 }
 
 /// Errors raised when constructing an ill-formed user function.
@@ -211,10 +213,16 @@ impl fmt::Display for UserFunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             UserFunError::ParamOutOfRange { index, arity } => {
-                write!(f, "user function body references parameter {index} but only {arity} exist")
+                write!(
+                    f,
+                    "user function body references parameter {index} but only {arity} exist"
+                )
             }
             UserFunError::MismatchedParamLists { names, types } => {
-                write!(f, "user function has {names} parameter names but {types} parameter types")
+                write!(
+                    f,
+                    "user function has {names} parameter names but {types} parameter types"
+                )
             }
             UserFunError::ArrayTypedParameter => {
                 write!(f, "user functions operate on non-array values only")
@@ -251,10 +259,37 @@ impl UserFun {
         }
         if let Some(max) = body.max_param_index() {
             if max >= param_types.len() {
-                return Err(UserFunError::ParamOutOfRange { index: max, arity: param_types.len() });
+                return Err(UserFunError::ParamOutOfRange {
+                    index: max,
+                    arity: param_types.len(),
+                });
             }
         }
-        Ok(UserFun { name: name.into(), param_names, param_types, return_type, body })
+        Ok(UserFun {
+            name: name.into(),
+            param_names,
+            param_types,
+            return_type,
+            body,
+            associative_commutative: false,
+        })
+    }
+
+    /// Marks this binary function as associative and commutative over its domain.
+    ///
+    /// Rewrite rules that reorder reductions (e.g. partial reduction) require this marker as
+    /// a side condition: the rules of the paper assume reduction operators are associative
+    /// and commutative, and applying them to an arbitrary fold function (such as the fused
+    /// `λ(acc, x). acc + x*x`) would change the program's result.
+    #[must_use]
+    pub fn assoc_commutative(mut self) -> Self {
+        self.associative_commutative = true;
+        self
+    }
+
+    /// Whether this function was declared associative and commutative.
+    pub fn is_assoc_commutative(&self) -> bool {
+        self.associative_commutative && self.arity() == 2
     }
 
     /// The function's name as it appears in generated OpenCL code.
@@ -291,8 +326,13 @@ impl UserFun {
 
     /// `id(x) = x` for `float` (the `id` user function of Listing 1).
     pub fn id_float() -> UserFun {
-        UserFun::new("id", vec![("x", Type::float())], Type::float(), ScalarExpr::param(0))
-            .expect("well-formed")
+        UserFun::new(
+            "id",
+            vec![("x", Type::float())],
+            Type::float(),
+            ScalarExpr::param(0),
+        )
+        .expect("well-formed")
     }
 
     /// `add(a, b) = a + b`.
@@ -304,6 +344,7 @@ impl UserFun {
             ScalarExpr::param(0).add(ScalarExpr::param(1)),
         )
         .expect("well-formed")
+        .assoc_commutative()
     }
 
     /// `mult(a, b) = a * b`.
@@ -315,13 +356,18 @@ impl UserFun {
             ScalarExpr::param(0).mul(ScalarExpr::param(1)),
         )
         .expect("well-formed")
+        .assoc_commutative()
     }
 
     /// `multAndSumUp(acc, x, y) = acc + x * y`, the fused multiply-accumulate of Listing 1.
     pub fn mult_and_sum_up() -> UserFun {
         UserFun::new(
             "multAndSumUp",
-            vec![("acc", Type::float()), ("x", Type::float()), ("y", Type::float())],
+            vec![
+                ("acc", Type::float()),
+                ("x", Type::float()),
+                ("y", Type::float()),
+            ],
             Type::float(),
             ScalarExpr::param(0).add(ScalarExpr::param(1).mul(ScalarExpr::param(2))),
         )
@@ -338,8 +384,7 @@ impl UserFun {
                 ("xy", Type::pair(Type::float(), Type::float())),
             ],
             Type::float(),
-            ScalarExpr::param(0)
-                .add(ScalarExpr::param(1).get(0).mul(ScalarExpr::param(1).get(1))),
+            ScalarExpr::param(0).add(ScalarExpr::param(1).get(0).mul(ScalarExpr::param(1).get(1))),
         )
         .expect("well-formed")
     }
@@ -350,7 +395,10 @@ impl UserFun {
             "multPair",
             vec![("xy", Type::pair(Type::float(), Type::float()))],
             Type::float(),
-            ScalarExpr::param(0).clone().get(0).mul(ScalarExpr::param(0).get(1)),
+            ScalarExpr::param(0)
+                .clone()
+                .get(0)
+                .mul(ScalarExpr::param(0).get(1)),
         )
         .expect("well-formed")
     }
@@ -364,6 +412,7 @@ impl UserFun {
             ScalarExpr::param(0).max(ScalarExpr::param(1)),
         )
         .expect("well-formed")
+        .assoc_commutative()
     }
 }
 
@@ -421,10 +470,7 @@ mod tests {
 
     #[test]
     fn max_param_index_traverses_all_nodes() {
-        let body = ScalarExpr::Tuple(vec![
-            ScalarExpr::param(0),
-            ScalarExpr::param(4).sqrt(),
-        ]);
+        let body = ScalarExpr::Tuple(vec![ScalarExpr::param(0), ScalarExpr::param(4).sqrt()]);
         assert_eq!(body.max_param_index(), Some(4));
         assert_eq!(ScalarExpr::cf(0.0).max_param_index(), None);
     }

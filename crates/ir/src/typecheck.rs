@@ -67,11 +67,25 @@ pub enum TypeError {
 impl fmt::Display for TypeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            TypeError::WrongArity { function, expected, found } => {
-                write!(f, "`{function}` expects {expected} argument(s) but received {found}")
+            TypeError::WrongArity {
+                function,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "`{function}` expects {expected} argument(s) but received {found}"
+                )
             }
-            TypeError::Mismatch { context, expected, found } => {
-                write!(f, "type mismatch in {context}: expected {expected}, found {found}")
+            TypeError::Mismatch {
+                context,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "type mismatch in {context}: expected {expected}, found {found}"
+                )
             }
             TypeError::NotAnArray { pattern, found } => {
                 write!(f, "`{pattern}` requires an array argument, found {found}")
@@ -80,7 +94,10 @@ impl fmt::Display for TypeError {
                 write!(f, "zip requires equal lengths, found {first} and {other}")
             }
             TypeError::TupleIndexOutOfRange { index, arity } => {
-                write!(f, "tuple component {index} requested from a tuple of arity {arity}")
+                write!(
+                    f,
+                    "tuple component {index} requested from a tuple of arity {arity}"
+                )
             }
             TypeError::UntypedParam { name } => {
                 write!(f, "parameter `{name}` was used before receiving a type")
@@ -205,8 +222,15 @@ fn infer_pattern(
     pattern: &Pattern,
     arg_types: &[Type],
 ) -> Result<Type, TypeError> {
+    // The memory-placement wrappers are transparent: they accept whatever their nested
+    // function accepts (e.g. `toPrivate(reduceSeq(f))` is called with two arguments), so
+    // arity checking is deferred to the nested call.
+    let transparent = matches!(
+        pattern,
+        Pattern::ToGlobal { .. } | Pattern::ToLocal { .. } | Pattern::ToPrivate { .. }
+    );
     let expect_arity = pattern.arity();
-    if arg_types.len() != expect_arity {
+    if !transparent && arg_types.len() != expect_arity {
         return Err(TypeError::WrongArity {
             function: pattern.name(),
             expected: expect_arity,
@@ -216,12 +240,16 @@ fn infer_pattern(
     let array_of = |pattern: &Pattern, t: &Type| -> Result<(Type, ArithExpr), TypeError> {
         match t.as_array() {
             Some((elem, len)) => Ok((elem.clone(), len.clone())),
-            None => Err(TypeError::NotAnArray { pattern: pattern.name(), found: t.to_string() }),
+            None => Err(TypeError::NotAnArray {
+                pattern: pattern.name(),
+                found: t.to_string(),
+            }),
         }
     };
 
     match pattern {
-        Pattern::MapSeq { f }
+        Pattern::Map { f }
+        | Pattern::MapSeq { f }
         | Pattern::MapGlb { f, .. }
         | Pattern::MapWrg { f, .. }
         | Pattern::MapLcl { f, .. } => {
@@ -247,13 +275,13 @@ fn infer_pattern(
                 found: other.to_string(),
             }),
         },
-        Pattern::ReduceSeq { f } => {
+        Pattern::Reduce { f } | Pattern::ReduceSeq { f } => {
             let init = arg_types[0].clone();
             let (elem, _len) = array_of(pattern, &arg_types[1])?;
             let acc = infer_call(program, *f, &[init.clone(), elem])?;
             if acc != init {
                 return Err(TypeError::Mismatch {
-                    context: "reduceSeq accumulator".into(),
+                    context: format!("{} accumulator", pattern.name()),
                     expected: init.to_string(),
                     found: acc.to_string(),
                 });
@@ -302,12 +330,21 @@ fn infer_pattern(
                 }
                 elems.push(elem);
             }
-            Ok(Type::array(Type::Tuple(elems), len.expect("zip has at least one argument")))
+            Ok(Type::array(
+                Type::Tuple(elems),
+                len.expect("zip has at least one argument"),
+            ))
         }
         Pattern::Get { index } => match &arg_types[0] {
-            Type::Tuple(elems) => elems.get(*index).cloned().ok_or(
-                TypeError::TupleIndexOutOfRange { index: *index, arity: elems.len() },
-            ),
+            Type::Tuple(elems) => {
+                elems
+                    .get(*index)
+                    .cloned()
+                    .ok_or(TypeError::TupleIndexOutOfRange {
+                        index: *index,
+                        arity: elems.len(),
+                    })
+            }
             other => Err(TypeError::Mismatch {
                 context: "get".into(),
                 expected: "a tuple".into(),
@@ -363,13 +400,31 @@ mod tests {
     }
 
     #[test]
+    fn high_level_map_and_reduce_type_like_their_lowered_forms() {
+        let n = ArithExpr::size_var("N");
+        let mut p = Program::new("t");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce(add, 0.0);
+        let idf = p.user_fun(UserFun::id_float());
+        let m = p.map(idf);
+        p.with_root(vec![("x", float_array(n.clone()))], |p, params| {
+            let mapped = p.apply1(m, params[0]);
+            p.apply1(red, mapped)
+        });
+        infer_types(&mut p).expect("types");
+        assert_eq!(*p.type_of(p.root_body()), float_array(1usize));
+        assert_eq!(p.first_high_level_pattern(), Some("map".into()));
+    }
+
+    #[test]
     fn map_preserves_length() {
         let mut p = Program::new("t");
         let id = p.user_fun(UserFun::id_float());
         let m = p.map_glb(0, id);
-        p.with_root(vec![("x", float_array(ArithExpr::size_var("N")))], |p, params| {
-            p.apply1(m, params[0])
-        });
+        p.with_root(
+            vec![("x", float_array(ArithExpr::size_var("N")))],
+            |p, params| p.apply1(m, params[0]),
+        );
         infer_types(&mut p).expect("types");
         let out = p.type_of(p.root_body());
         assert_eq!(*out, float_array(ArithExpr::size_var("N")));
@@ -452,7 +507,9 @@ mod tests {
         let n = ArithExpr::size_var("N");
         let add = p.user_fun(UserFun::add());
         let red = p.reduce_seq(add, 0.0);
-        p.with_root(vec![("x", float_array(n))], |p, params| p.apply1(red, params[0]));
+        p.with_root(vec![("x", float_array(n))], |p, params| {
+            p.apply1(red, params[0])
+        });
         infer_types(&mut p).expect("types");
         assert_eq!(*p.type_of(p.root_body()), float_array(1usize));
     }
@@ -478,7 +535,10 @@ mod tests {
         let m = ArithExpr::size_var("M");
         let t = p.transpose();
         p.with_root(
-            vec![("x", Type::array(Type::array(Type::float(), m.clone()), n.clone()))],
+            vec![(
+                "x",
+                Type::array(Type::array(Type::float(), m.clone()), n.clone()),
+            )],
             |p, params| p.apply1(t, params[0]),
         );
         infer_types(&mut p).expect("types");
@@ -493,7 +553,9 @@ mod tests {
         let mut p = Program::new("t");
         let n = ArithExpr::size_var("N");
         let s = p.slide(3usize, 1usize);
-        p.with_root(vec![("x", float_array(n.clone()))], |p, params| p.apply1(s, params[0]));
+        p.with_root(vec![("x", float_array(n.clone()))], |p, params| {
+            p.apply1(s, params[0])
+        });
         infer_types(&mut p).expect("types");
         let t = p.type_of(p.root_body()).clone();
         let (inner, windows) = t.as_array().expect("array");
@@ -512,7 +574,9 @@ mod tests {
         let j = p.join();
         let body = p.compose(&[j, m, s]);
         let it = p.iterate(3, body);
-        p.with_root(vec![("x", float_array(64usize))], |p, params| p.apply1(it, params[0]));
+        p.with_root(vec![("x", float_array(64usize))], |p, params| {
+            p.apply1(it, params[0])
+        });
         infer_types(&mut p).expect("types");
         assert_eq!(*p.type_of(p.root_body()), float_array(8usize));
     }
@@ -566,7 +630,10 @@ mod tests {
             },
         );
         let err = infer_types(&mut p).unwrap_err();
-        assert!(matches!(err, TypeError::TupleIndexOutOfRange { index: 9, arity: 2 }));
+        assert!(matches!(
+            err,
+            TypeError::TupleIndexOutOfRange { index: 9, arity: 2 }
+        ));
     }
 
     #[test]
@@ -575,7 +642,9 @@ mod tests {
         let n = ArithExpr::size_var("N");
         let add = p.user_fun(UserFun::add());
         let m = p.map_glb(0, add); // add needs 2 args but map provides 1
-        p.with_root(vec![("x", float_array(n))], |p, params| p.apply1(m, params[0]));
+        p.with_root(vec![("x", float_array(n))], |p, params| {
+            p.apply1(m, params[0])
+        });
         let err = infer_types(&mut p).unwrap_err();
         assert!(matches!(err, TypeError::WrongArity { .. }), "got {err:?}");
         assert!(err.to_string().contains("add"));
@@ -629,10 +698,7 @@ mod tests {
         let jout = p.join();
         let z = p.zip2();
         p.with_root(
-            vec![
-                ("x", float_array(n.clone())),
-                ("y", float_array(n.clone())),
-            ],
+            vec![("x", float_array(n.clone())), ("y", float_array(n.clone()))],
             |p, params| {
                 let zipped = p.apply(z, [params[0], params[1]]);
                 let split = p.apply1(s128, zipped);

@@ -161,9 +161,7 @@ impl Type {
         match self {
             Type::Scalar(_) => ArithExpr::cst(1),
             Type::Vector(_, w) => ArithExpr::cst(*w as i64),
-            Type::Tuple(elems) => {
-                ArithExpr::sum(elems.iter().map(|t| t.element_count()))
-            }
+            Type::Tuple(elems) => ArithExpr::sum(elems.iter().map(|t| t.element_count())),
             Type::Array(elem, len) => elem.element_count() * len.clone(),
         }
     }

@@ -63,12 +63,22 @@ pub enum CType {
 impl CType {
     /// A non-const, non-restrict pointer to `elem` in `addr`.
     pub fn pointer(elem: CType, addr: AddrSpace) -> CType {
-        CType::Pointer { elem: Box::new(elem), addr, restrict: false, is_const: false }
+        CType::Pointer {
+            elem: Box::new(elem),
+            addr,
+            restrict: false,
+            is_const: false,
+        }
     }
 
     /// A `const restrict` pointer, as used for kernel input parameters.
     pub fn const_restrict_pointer(elem: CType, addr: AddrSpace) -> CType {
-        CType::Pointer { elem: Box::new(elem), addr, restrict: true, is_const: true }
+        CType::Pointer {
+            elem: Box::new(elem),
+            addr,
+            restrict: true,
+            is_const: true,
+        }
     }
 
     /// The C source name of this type.
@@ -184,6 +194,7 @@ pub enum CExpr {
     VectorLit(CType, Vec<CExpr>),
 }
 
+#[allow(clippy::should_implement_trait)] // builder methods, not operator impls
 impl CExpr {
     /// A variable reference.
     pub fn var(name: impl Into<String>) -> CExpr {
@@ -309,12 +320,18 @@ pub struct Fence {
 impl Fence {
     /// A local-memory fence.
     pub fn local() -> Fence {
-        Fence { local: true, global: false }
+        Fence {
+            local: true,
+            global: false,
+        }
     }
 
     /// A global-memory fence.
     pub fn global() -> Fence {
-        Fence { local: false, global: true }
+        Fence {
+            local: false,
+            global: true,
+        }
     }
 }
 
@@ -453,7 +470,11 @@ impl Module {
 
     /// Adds a helper function if one with the same name is not already present.
     pub fn add_function(&mut self, f: CFunction) {
-        if !self.functions.iter().any(|existing| existing.name == f.name) {
+        if !self
+            .functions
+            .iter()
+            .any(|existing| existing.name == f.name)
+        {
             self.functions.push(f);
         }
     }
@@ -490,7 +511,9 @@ mod tests {
     fn div_mod_count_looks_inside_indices() {
         let n = ArithExpr::size_var("N");
         let idx = ArithExpr::Mod(Box::new(ArithExpr::var("x")), Box::new(n));
-        let e = CExpr::var("a").at(CExpr::Index(idx)).add(CExpr::var("b").div(CExpr::int(2)));
+        let e = CExpr::var("a")
+            .at(CExpr::Index(idx))
+            .add(CExpr::var("b").div(CExpr::int(2)));
         assert_eq!(e.div_mod_count(), 2);
     }
 
@@ -498,7 +521,10 @@ mod tests {
     fn ctype_names() {
         assert_eq!(CType::Float.name(), "float");
         assert_eq!(CType::Vector(Box::new(CType::Float), 4).name(), "float4");
-        assert_eq!(CType::pointer(CType::Float, AddrSpace::Local).name(), "float*");
+        assert_eq!(
+            CType::pointer(CType::Float, AddrSpace::Local).name(),
+            "float*"
+        );
         assert!(CType::pointer(CType::Float, AddrSpace::Local).is_pointer());
         assert!(!CType::Int.is_pointer());
     }
@@ -506,7 +532,10 @@ mod tests {
     #[test]
     fn module_deduplicates_structs_and_functions() {
         let mut m = Module::new();
-        let s = StructDef { name: "Tuple_float_float".into(), fields: vec![] };
+        let s = StructDef {
+            name: "Tuple_float_float".into(),
+            fields: vec![],
+        };
         m.add_struct(s.clone());
         m.add_struct(s);
         assert_eq!(m.structs.len(), 1);

@@ -28,7 +28,7 @@ pub fn print_module(module: &Module) -> String {
 
 /// Renders a struct definition.
 pub fn print_struct(def: &StructDef) -> String {
-    let mut out = format!("typedef struct {{\n");
+    let mut out = String::from("typedef struct {\n");
     for (name, ty) in &def.fields {
         out.push_str(&format!("  {} {};\n", ty.name(), name));
     }
@@ -38,8 +38,11 @@ pub fn print_struct(def: &StructDef) -> String {
 
 /// Renders a helper function (generated from a user function).
 pub fn print_function(f: &CFunction) -> String {
-    let params: Vec<String> =
-        f.params.iter().map(|(name, ty)| format!("{} {}", ty.name(), name)).collect();
+    let params: Vec<String> = f
+        .params
+        .iter()
+        .map(|(name, ty)| format!("{} {}", ty.name(), name))
+        .collect();
     format!(
         "{} {}({}) {{\n  return {};\n}}\n",
         f.ret.name(),
@@ -52,7 +55,11 @@ pub fn print_function(f: &CFunction) -> String {
 /// Renders a kernel definition.
 pub fn print_kernel(kernel: &Kernel) -> String {
     let mut out = format!("kernel void {}(", kernel.name);
-    let params: Vec<String> = kernel.params.iter().map(|p| print_param(&p.ty, &p.name)).collect();
+    let params: Vec<String> = kernel
+        .params
+        .iter()
+        .map(|p| print_param(&p.ty, &p.name))
+        .collect();
     out.push_str(&params.join(", "));
     out.push_str(") {\n");
     for stmt in &kernel.body {
@@ -64,7 +71,12 @@ pub fn print_kernel(kernel: &Kernel) -> String {
 
 fn print_param(ty: &CType, name: &str) -> String {
     match ty {
-        CType::Pointer { elem, addr, restrict, is_const } => {
+        CType::Pointer {
+            elem,
+            addr,
+            restrict,
+            is_const,
+        } => {
             let mut s = String::new();
             if *is_const {
                 s.push_str("const ");
@@ -87,7 +99,13 @@ fn print_param(ty: &CType, name: &str) -> String {
 pub fn print_stmt(stmt: &CStmt, indent: usize) -> String {
     let pad = "  ".repeat(indent);
     match stmt {
-        CStmt::Decl { ty, name, addr, array_len, init } => {
+        CStmt::Decl {
+            ty,
+            name,
+            addr,
+            array_len,
+            init,
+        } => {
             let mut s = pad.clone();
             if let Some(a) = addr {
                 if *a != AddrSpace::Private {
@@ -96,7 +114,11 @@ pub fn print_stmt(stmt: &CStmt, indent: usize) -> String {
                 }
             }
             match ty {
-                CType::Pointer { elem, addr: ptr_addr, .. } => {
+                CType::Pointer {
+                    elem,
+                    addr: ptr_addr,
+                    ..
+                } => {
                     s.push_str(&format!("{} {} *{}", ptr_addr.keyword(), elem.name(), name));
                 }
                 other => {
@@ -124,7 +146,13 @@ pub fn print_stmt(stmt: &CStmt, indent: usize) -> String {
             s.push_str(&format!("{pad}}}\n"));
             s
         }
-        CStmt::For { var, init, cond, step, body } => {
+        CStmt::For {
+            var,
+            init,
+            cond,
+            step,
+            body,
+        } => {
             let mut s = format!(
                 "{pad}for (int {var} = {}; {}; {var} += {}) {{\n",
                 print_expr(init),
@@ -137,7 +165,11 @@ pub fn print_stmt(stmt: &CStmt, indent: usize) -> String {
             s.push_str(&format!("{pad}}}\n"));
             s
         }
-        CStmt::If { cond, then, otherwise } => {
+        CStmt::If {
+            cond,
+            then,
+            otherwise,
+        } => {
             let mut s = format!("{pad}if ({}) {{\n", print_expr(cond));
             for st in then {
                 s.push_str(&print_stmt(st, indent + 1));
@@ -177,7 +209,11 @@ fn print_expr_prec(e: &CExpr, parent_prec: u8) -> String {
     let (s, prec) = match e {
         CExpr::IntLit(v) => (v.to_string(), 10),
         CExpr::FloatLit(v) => {
-            let s = if v.fract() == 0.0 { format!("{v:.1}f") } else { format!("{v}f") };
+            let s = if v.fract() == 0.0 {
+                format!("{v:.1}f")
+            } else {
+                format!("{v}f")
+            };
             (s, 10)
         }
         CExpr::Var(name) => (name.clone(), 10),
@@ -185,7 +221,11 @@ fn print_expr_prec(e: &CExpr, parent_prec: u8) -> String {
             let s = a.to_string();
             // Precedence of the rendered arithmetic expression is unknown; treat anything
             // containing an operator as additive so it gets parenthesised where needed.
-            let prec = if s.chars().any(|c| matches!(c, '+' | '-' | '*' | '/' | '%')) { 4 } else { 10 };
+            let prec = if s.chars().any(|c| matches!(c, '+' | '-' | '*' | '/' | '%')) {
+                4
+            } else {
+                10
+            };
             (s, prec)
         }
         CExpr::Bin(op, a, b) => {
@@ -209,9 +249,10 @@ fn print_expr_prec(e: &CExpr, parent_prec: u8) -> String {
             let rendered: Vec<String> = args.iter().map(print_expr).collect();
             (format!("{name}({})", rendered.join(", ")), 10)
         }
-        CExpr::ArrayAccess(arr, idx) => {
-            (format!("{}[{}]", print_expr_prec(arr, 10), print_expr(idx)), 10)
-        }
+        CExpr::ArrayAccess(arr, idx) => (
+            format!("{}[{}]", print_expr_prec(arr, 10), print_expr(idx)),
+            10,
+        ),
         CExpr::Field(obj, field) => (format!("{}.{}", print_expr_prec(obj, 10), field), 10),
         CExpr::Cast(ty, inner) => (format!("({}){}", ty.name(), print_expr_prec(inner, 9)), 9),
         CExpr::Ternary(c, t, other) => (
@@ -293,7 +334,12 @@ mod tests {
             body,
         };
         let s = print_stmt(&f, 0);
-        assert!(s.contains("for (int wg_id = get_group_id(0); wg_id < N / 128; wg_id += get_num_groups(0)) {"), "{s}");
+        assert!(
+            s.contains(
+                "for (int wg_id = get_group_id(0); wg_id < N / 128; wg_id += get_num_groups(0)) {"
+            ),
+            "{s}"
+        );
         assert!(s.contains("acc = acc + 1;"), "{s}");
     }
 
@@ -333,7 +379,10 @@ mod tests {
                 Box::new(CExpr::var("tmp3")),
             ),
         };
-        assert_eq!(print_stmt(&swap, 1), "  in = (out == tmp1) ? (tmp1) : (tmp3);\n");
+        assert_eq!(
+            print_stmt(&swap, 1),
+            "  in = (out == tmp1) ? (tmp1) : (tmp3);\n"
+        );
     }
 
     #[test]
@@ -345,12 +394,18 @@ mod tests {
                     name: "x".into(),
                     ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
                 },
-                KernelParam { name: "N".into(), ty: CType::Int },
+                KernelParam {
+                    name: "N".into(),
+                    ty: CType::Int,
+                },
             ],
             body: vec![CStmt::Return],
         };
         let s = print_kernel(&k);
-        assert!(s.starts_with("kernel void KERNEL(const global float *restrict x, int N) {"), "{s}");
+        assert!(
+            s.starts_with("kernel void KERNEL(const global float *restrict x, int N) {"),
+            "{s}"
+        );
         assert!(s.contains("return;"));
     }
 
@@ -383,7 +438,11 @@ mod tests {
             params: vec![("x".into(), CType::Float)],
             body: CExpr::var("x"),
         });
-        m.kernels.push(Kernel { name: "K".into(), params: vec![], body: vec![] });
+        m.kernels.push(Kernel {
+            name: "K".into(),
+            params: vec![],
+            body: vec![],
+        });
         let s = print_module(&m);
         assert!(s.contains("float id(float x)"));
         assert!(s.contains("kernel void K()"));

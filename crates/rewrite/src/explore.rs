@@ -1,0 +1,496 @@
+//! Cost-guided exploration of the rewrite space.
+//!
+//! Starting from a (typically high-level) program, the driver repeatedly applies rewrite
+//! rules at every site under a depth/width budget, re-typechecks every derived program, and
+//! keeps a beam of the most promising candidates (those with the fewest remaining high-level
+//! patterns, then the smallest). Fully lowered candidates are compiled with `lift-codegen`,
+//! executed on the `lift-vgpu` virtual GPU with deterministic inputs, checked against the
+//! reference interpreter's result for the *original* program (the rules are
+//! semantics-preserving, so any disagreement disqualifies a variant), and scored with the
+//! analytical cost model of the selected [`DeviceProfile`]. The best `N` variants are
+//! returned together with their derivation chains, ready for code generation.
+
+use std::collections::HashSet;
+
+use lift_arith::Environment;
+use lift_codegen::{compile, CompilationOptions, KernelParamInfo};
+use lift_interp::{evaluate_with_sizes, Value};
+use lift_ir::{infer_types, Program, Type, TypeError};
+use lift_vgpu::{outputs_match, CostCounters, DeviceProfile, KernelArg, LaunchConfig, VirtualGpu};
+
+use crate::rules::{all_rules, RuleCx, RuleKind, RuleOptions};
+use crate::term::{Term, TermError};
+use crate::traversal::{format_location, get, replace, sites};
+
+/// Budgets and knobs for the exploration.
+#[derive(Clone, Debug)]
+pub struct ExplorationConfig {
+    /// Maximum number of rewrite steps per derivation.
+    pub max_depth: usize,
+    /// Maximum number of candidates carried from one depth level to the next.
+    pub beam_width: usize,
+    /// Hard cap on the total number of candidates ever enumerated.
+    pub max_candidates: usize,
+    /// Maximum term size (node count) a candidate may reach.
+    pub max_term_size: usize,
+    /// Numeric knobs for the parameterised rules.
+    pub rule_options: RuleOptions,
+    /// How many best variants to return.
+    pub best_n: usize,
+    /// The launch configuration candidates are compiled for and executed with.
+    pub launch: LaunchConfig,
+    /// Compiler optimisation toggles (the launch sizes are overwritten from `launch`).
+    pub compile_options: CompilationOptions,
+    /// The device profile whose cost model ranks the variants.
+    pub device: DeviceProfile,
+    /// Bindings for symbolic sizes (empty for fully constant programs).
+    pub sizes: Environment,
+}
+
+impl Default for ExplorationConfig {
+    fn default() -> Self {
+        ExplorationConfig {
+            max_depth: 6,
+            beam_width: 64,
+            max_candidates: 4000,
+            max_term_size: 200,
+            rule_options: RuleOptions::default(),
+            best_n: 3,
+            launch: LaunchConfig::d1(64, 16),
+            compile_options: CompilationOptions::all_optimisations(),
+            device: DeviceProfile::nvidia(),
+            sizes: Environment::new(),
+        }
+    }
+}
+
+/// One applied rule in a derivation chain.
+#[derive(Clone, Debug)]
+pub struct DerivationStep {
+    /// The rule name.
+    pub rule: &'static str,
+    /// The rule family.
+    pub kind: RuleKind,
+    /// Where it was applied (rendered with [`format_location`]).
+    pub location: String,
+}
+
+/// A fully lowered, compiled, validated and scored variant.
+#[derive(Clone, Debug)]
+pub struct Variant {
+    /// The derived low-level program (typechecked).
+    pub program: Program,
+    /// The rules that produced it, in application order.
+    pub derivation: Vec<DerivationStep>,
+    /// The generated OpenCL kernel source.
+    pub kernel_source: String,
+    /// Dynamic cost counters from the virtual-GPU execution.
+    pub counters: CostCounters,
+    /// Estimated execution time under the configured device profile (lower is better).
+    pub estimated_time: f64,
+}
+
+/// Statistics and results of one exploration.
+#[derive(Clone, Debug, Default)]
+pub struct Exploration {
+    /// The validated variants, best (lowest estimated time) first.
+    pub variants: Vec<Variant>,
+    /// Total candidates enumerated (including rejected ones).
+    pub explored: usize,
+    /// Candidates rejected because the derived program failed to re-typecheck.
+    pub rejected_typecheck: usize,
+    /// Fully lowered candidates that failed to compile.
+    pub rejected_compile: usize,
+    /// Fully lowered candidates whose execution disagreed with the interpreter.
+    pub rejected_incorrect: usize,
+    /// Distinct fully lowered candidates that reached scoring.
+    pub lowered: usize,
+}
+
+/// Errors from the exploration driver.
+#[derive(Clone, Debug)]
+pub enum ExploreError {
+    /// Converting the input program to tree form failed.
+    Term(TermError),
+    /// The input program does not typecheck.
+    Type(TypeError),
+    /// The reference interpreter could not evaluate the input program.
+    Reference(String),
+}
+
+impl std::fmt::Display for ExploreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExploreError::Term(e) => write!(f, "cannot build rewrite term: {e}"),
+            ExploreError::Type(e) => write!(f, "input program does not typecheck: {e}"),
+            ExploreError::Reference(e) => write!(f, "reference evaluation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ExploreError {}
+
+impl From<TermError> for ExploreError {
+    fn from(e: TermError) -> Self {
+        ExploreError::Term(e)
+    }
+}
+
+impl From<TypeError> for ExploreError {
+    fn from(e: TypeError) -> Self {
+        ExploreError::Type(e)
+    }
+}
+
+#[derive(Clone)]
+struct Candidate {
+    term: Term,
+    steps: Vec<DerivationStep>,
+    high_level_left: usize,
+    /// The typechecked arena form of `term` (reused by scoring instead of re-deriving it).
+    program: Program,
+}
+
+/// Explores the rewrite space of `program` and returns the validated, cost-ranked variants.
+///
+/// # Errors
+///
+/// Returns an [`ExploreError`] if the *input* program is invalid (does not typecheck, cannot
+/// be converted, or cannot be evaluated by the reference interpreter). Failures of derived
+/// candidates are not errors — they are counted in the [`Exploration`] statistics.
+pub fn explore(program: &Program, config: &ExplorationConfig) -> Result<Exploration, ExploreError> {
+    let mut typed = program.clone();
+    infer_types(&mut typed)?;
+
+    // Deterministic inputs + the reference output from the interpreter.
+    let inputs = generate_inputs(&typed, &config.sizes).map_err(ExploreError::Reference)?;
+    let input_values: Vec<Value> = inputs.iter().map(|i| i.value.clone()).collect();
+    let reference = evaluate_with_sizes(&typed, &input_values, &config.sizes)
+        .map_err(|e| ExploreError::Reference(e.to_string()))?
+        .flatten_f32();
+
+    let root = Term::from_program(&typed)?;
+    let mut stats = Exploration::default();
+    let mut seen: HashSet<String> = HashSet::new();
+    let mut complete: Vec<Candidate> = Vec::new();
+
+    let mut start_program = root.to_program();
+    infer_types(&mut start_program)?;
+    let start = Candidate {
+        high_level_left: high_level_count(&start_program),
+        term: root,
+        steps: Vec::new(),
+        program: start_program,
+    };
+    seen.insert(start.program.to_string());
+    if start.high_level_left == 0 {
+        complete.push(start.clone());
+    }
+    let mut frontier = vec![start];
+
+    'search: for _depth in 0..config.max_depth {
+        let mut next: Vec<Candidate> = Vec::new();
+        for cand in &frontier {
+            for site in sites(&cand.term) {
+                let Some(site_expr) = get(&cand.term.body, &site.location) else {
+                    continue;
+                };
+                for rule in all_rules() {
+                    let mut fresh = cand.term.fresh.clone();
+                    let rewrites = {
+                        let mut cx = RuleCx {
+                            context: site.context,
+                            arg_types: &site.arg_types,
+                            env: &site.env,
+                            options: &config.rule_options,
+                            fresh: &mut fresh,
+                        };
+                        rule.applications(site_expr, &mut cx)
+                    };
+                    for replacement in rewrites {
+                        stats.explored += 1;
+                        if stats.explored >= config.max_candidates {
+                            break 'search;
+                        }
+                        let Some(body) = replace(&cand.term.body, &site.location, replacement)
+                        else {
+                            continue;
+                        };
+                        let term = Term {
+                            name: cand.term.name.clone(),
+                            params: cand.term.params.clone(),
+                            body: crate::term::beta_normalize(&body),
+                            fresh: fresh.clone(),
+                        };
+                        if term.body.size() > config.max_term_size {
+                            continue;
+                        }
+                        let mut derived = term.to_program();
+                        if infer_types(&mut derived).is_err() {
+                            stats.rejected_typecheck += 1;
+                            continue;
+                        }
+                        let key = derived.to_string();
+                        if !seen.insert(key) {
+                            continue;
+                        }
+                        let mut steps = cand.steps.clone();
+                        steps.push(DerivationStep {
+                            rule: rule.name,
+                            kind: rule.kind,
+                            location: format_location(&site.location),
+                        });
+                        let next_cand = Candidate {
+                            high_level_left: high_level_count(&derived),
+                            term,
+                            steps,
+                            program: derived,
+                        };
+                        if next_cand.high_level_left == 0 {
+                            complete.push(next_cand.clone());
+                        }
+                        next.push(next_cand);
+                    }
+                }
+            }
+        }
+        // Beam selection: lowering progress first, then smaller terms.
+        next.sort_by_key(|c| (c.high_level_left, c.term.body.size()));
+        next.truncate(config.beam_width);
+        if next.is_empty() {
+            break;
+        }
+        frontier = next;
+    }
+
+    stats.lowered = complete.len();
+    let mut variants: Vec<Variant> = Vec::new();
+    for cand in complete {
+        match score(&cand, &inputs, &reference, config) {
+            Ok(v) => variants.push(v),
+            Err(ScoreError::Compile) => stats.rejected_compile += 1,
+            Err(ScoreError::Incorrect) => stats.rejected_incorrect += 1,
+        }
+    }
+    variants.sort_by(|a, b| {
+        a.estimated_time
+            .partial_cmp(&b.estimated_time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    variants.truncate(config.best_n);
+    stats.variants = variants;
+    Ok(stats)
+}
+
+fn high_level_count(program: &Program) -> usize {
+    program
+        .reachable_decls()
+        .into_iter()
+        .filter(|d| matches!(program.decl(*d), lift_ir::FunDecl::Pattern(p) if p.is_high_level()))
+        .count()
+}
+
+enum ScoreError {
+    Compile,
+    Incorrect,
+}
+
+/// One prepared root-parameter input: the interpreter value and its flat buffer form.
+struct PreparedInput {
+    value: Value,
+    buffer: Vec<f32>,
+}
+
+/// Deterministic pseudo-random inputs derived from the root parameter types.
+fn generate_inputs(program: &Program, sizes: &Environment) -> Result<Vec<PreparedInput>, String> {
+    let params = program.root_params().to_vec();
+    let mut out = Vec::with_capacity(params.len());
+    for (i, p) in params.iter().enumerate() {
+        let ty = program
+            .expr(*p)
+            .ty
+            .clone()
+            .ok_or_else(|| format!("root parameter {i} is untyped"))?;
+        let mut state = 0x9e37u32.wrapping_add(i as u32 * 0x85eb);
+        let value = value_of_type(&ty, sizes, &mut state)
+            .ok_or_else(|| format!("cannot generate an input of type {ty}"))?;
+        let buffer = value.flatten_f32();
+        out.push(PreparedInput { value, buffer });
+    }
+    Ok(out)
+}
+
+/// Small deterministic generator: values in [-2, 2) with a quarter-step grid, so additions
+/// and multiplications stay well inside `f32` exactness for the comparison tolerance.
+fn next_input(state: &mut u32) -> f32 {
+    *state = state.wrapping_mul(1664525).wrapping_add(1013904223);
+    ((*state >> 16) % 16) as f32 * 0.25 - 2.0
+}
+
+fn value_of_type(ty: &Type, sizes: &Environment, state: &mut u32) -> Option<Value> {
+    match ty {
+        Type::Scalar(_) => Some(Value::Float(next_input(state))),
+        Type::Vector(_, width) => Some(Value::Vector(
+            (0..*width)
+                .map(|_| Value::Float(next_input(state)))
+                .collect(),
+        )),
+        Type::Tuple(elems) => Some(Value::Tuple(
+            elems
+                .iter()
+                .map(|e| value_of_type(e, sizes, state))
+                .collect::<Option<Vec<_>>>()?,
+        )),
+        Type::Array(elem, len) => {
+            let n = len.evaluate(sizes).ok()?;
+            let n = usize::try_from(n).ok()?;
+            Some(Value::Array(
+                (0..n)
+                    .map(|_| value_of_type(elem, sizes, state))
+                    .collect::<Option<Vec<_>>>()?,
+            ))
+        }
+    }
+}
+
+fn score(
+    cand: &Candidate,
+    inputs: &[PreparedInput],
+    reference: &[f32],
+    config: &ExplorationConfig,
+) -> Result<Variant, ScoreError> {
+    let program = cand.program.clone();
+    let options = config
+        .compile_options
+        .clone()
+        .with_launch(config.launch.global, config.launch.local);
+    let kernel = compile(&program, &options).map_err(|_| ScoreError::Compile)?;
+    let out_len = kernel
+        .output_len
+        .evaluate(&config.sizes)
+        .map_err(|_| ScoreError::Compile)? as usize;
+
+    let mut args = Vec::new();
+    let mut output_buffer_index = 0;
+    let mut buffers = 0;
+    for p in &kernel.params {
+        match p {
+            KernelParamInfo::Input { index, .. } => {
+                args.push(KernelArg::Buffer(inputs[*index].buffer.clone()));
+                buffers += 1;
+            }
+            KernelParamInfo::ScalarInput { index, .. } => {
+                args.push(KernelArg::Float(inputs[*index].buffer[0]));
+            }
+            KernelParamInfo::Output { .. } => {
+                output_buffer_index = buffers;
+                args.push(KernelArg::zeros(out_len));
+                buffers += 1;
+            }
+            KernelParamInfo::Size { name } => {
+                let v = config.sizes.get(name).ok_or(ScoreError::Compile)?;
+                args.push(KernelArg::Int(v));
+            }
+        }
+    }
+
+    let result = VirtualGpu::new()
+        .launch(&kernel.module, &kernel.kernel_name, config.launch, args)
+        .map_err(|_| ScoreError::Incorrect)?;
+    let output = &result.buffers[output_buffer_index];
+    if !outputs_match(output, reference) {
+        return Err(ScoreError::Incorrect);
+    }
+    let counters = result.report.counters;
+    Ok(Variant {
+        program,
+        derivation: cand.steps.clone(),
+        kernel_source: kernel.source(),
+        counters,
+        estimated_time: counters.estimated_time(&config.device),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_ir::UserFun;
+
+    /// High-level partial dot product: `join ∘ map(reduce(add, 0)) ∘ split 128 ∘ map(mult)
+    /// ∘ zip` — Listing 1 of the paper before any implementation choices are made.
+    pub(crate) fn high_level_partial_dot(n: usize) -> Program {
+        let mut p = Program::new("partial_dot");
+        let mult = p.user_fun(UserFun::mult_pair());
+        let add = p.user_fun(UserFun::add());
+        let m1 = p.map(mult);
+        let red = p.reduce(add, 0.0);
+        let m2 = p.map(red);
+        let s = p.split(128usize);
+        let j = p.join();
+        let z = p.zip2();
+        p.with_root(
+            vec![
+                ("x", Type::array(Type::float(), n)),
+                ("y", Type::array(Type::float(), n)),
+            ],
+            |p, params| {
+                let zipped = p.apply(z, [params[0], params[1]]);
+                let mapped = p.apply1(m1, zipped);
+                let split = p.apply1(s, mapped);
+                let outer = p.apply1(m2, split);
+                p.apply1(j, outer)
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn exploration_derives_multiple_correct_dot_product_variants() {
+        let program = high_level_partial_dot(512);
+        let config = ExplorationConfig {
+            max_depth: 5,
+            beam_width: 48,
+            rule_options: RuleOptions {
+                split_sizes: vec![2, 4],
+                vector_widths: vec![4],
+            },
+            launch: LaunchConfig::d1(16, 4),
+            best_n: 4,
+            ..ExplorationConfig::default()
+        };
+        let result = explore(&program, &config).expect("exploration runs");
+        assert!(
+            result.variants.len() >= 2,
+            "expected at least two validated variants, got {} (lowered {}, compile-rejected \
+             {}, incorrect {})",
+            result.variants.len(),
+            result.lowered,
+            result.rejected_compile,
+            result.rejected_incorrect
+        );
+        // Distinct lowered programs, each carrying a non-trivial derivation.
+        let mut renderings = HashSet::new();
+        for v in &result.variants {
+            assert!(!v.derivation.is_empty());
+            assert!(v.kernel_source.contains("kernel void"));
+            assert!(
+                renderings.insert(v.program.to_string()),
+                "duplicate variant returned"
+            );
+            assert!(
+                v.program.first_high_level_pattern().is_none(),
+                "variant still contains high-level patterns"
+            );
+        }
+        // Ranked by estimated time.
+        for pair in result.variants.windows(2) {
+            assert!(pair[0].estimated_time <= pair[1].estimated_time);
+        }
+    }
+
+    #[test]
+    fn exploration_rejects_untypeable_input() {
+        let p = Program::new("empty");
+        assert!(explore(&p, &ExplorationConfig::default()).is_err());
+    }
+}

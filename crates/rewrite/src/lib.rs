@@ -1,0 +1,53 @@
+//! # Rewrite-rule engine and cost-guided exploration
+//!
+//! The Lift approach (and its companion paper *Generating Performance Portable Code using
+//! Rewrite Rules*, Steuwer et al.) starts from *high-level*, backend-agnostic expressions
+//! built from `map` and `reduce`, and derives OpenCL-specific implementations by applying
+//! semantics-preserving rewrite rules. This crate supplies that missing front half of the
+//! pipeline:
+//!
+//! * [`term`] — a tree-shaped mirror of the arena IR that rules pattern-match on, with
+//!   lossless conversions in both directions,
+//! * [`traversal`] — location-based traversal: every application site, its enclosing
+//!   parallel-pattern context and derived argument types,
+//! * [`rules`] — the algorithmic rules (map fusion, split-join with arithmetically checked
+//!   divisibility, partial reduction, iterate decomposition, data-layout identities) and the
+//!   OpenCL lowering rules (`map` → `mapGlb` / `mapWrg ∘ mapLcl` / `mapSeq` / vectorised
+//!   `mapVec`, `reduce` → `reduceSeq`, `toLocal`/`toGlobal`/`toPrivate` placement),
+//! * [`explore`] — the exploration driver: applies rules under a depth/width budget,
+//!   re-typechecks every derived program, validates fully lowered candidates against the
+//!   reference interpreter on the virtual GPU and ranks them with the analytical cost model.
+//!
+//! ```
+//! use lift_ir::prelude::*;
+//! use lift_rewrite::{explore, ExplorationConfig};
+//! use lift_vgpu::LaunchConfig;
+//!
+//! // A high-level program: square every element (no OpenCL patterns anywhere).
+//! let mut p = Program::new("square");
+//! let mult = p.user_fun(UserFun::mult());
+//! let sq = p.lambda(&["v"], |p, params| p.apply(mult, [params[0], params[0]]));
+//! let m = p.map(sq);
+//! p.with_root(vec![("x", Type::array(Type::float(), 64usize))], |p, params| {
+//!     p.apply1(m, params[0])
+//! });
+//!
+//! let config = ExplorationConfig {
+//!     launch: LaunchConfig::d1(16, 4),
+//!     ..ExplorationConfig::default()
+//! };
+//! let result = explore(&p, &config).expect("exploration runs");
+//! assert!(!result.variants.is_empty());
+//! // The best variant is fully lowered and compiled to OpenCL.
+//! assert!(result.variants[0].kernel_source.contains("kernel void"));
+//! ```
+
+pub mod explore;
+pub mod rules;
+pub mod term;
+pub mod traversal;
+
+pub use explore::{explore, DerivationStep, Exploration, ExplorationConfig, ExploreError, Variant};
+pub use rules::{all_rules, divides, Rule, RuleCx, RuleKind, RuleOptions};
+pub use term::{beta_normalize, Term, TermError, TermExpr, TermFun};
+pub use traversal::{format_location, infer_type, sites, Location, NestContext, Site, Step};

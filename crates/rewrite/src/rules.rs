@@ -1,0 +1,948 @@
+//! The rewrite rules.
+//!
+//! Two families, following *Generating Performance Portable Code using Rewrite Rules*
+//! (Steuwer et al., arXiv:1502.02389):
+//!
+//! * **Algorithmic rules** are provably semantics-preserving identities between high-level
+//!   expressions: map fusion, the split-join decomposition (with arithmetically checked
+//!   divisibility of the split factor), partial-reduction promotion, iterate decomposition
+//!   and the data-layout identities (`transpose ∘ transpose = id`, `scatter f ∘ gather f =
+//!   id`, `join ∘ split n = id`).
+//! * **Lowering rules** map the backend-agnostic `map`/`reduce` onto the OpenCL-specific
+//!   patterns: `mapGlb`, `mapWrg ∘ mapLcl` (with a work-group split), `mapSeq`,
+//!   `mapVec`-based vectorisation via `asVector`/`asScalar`, `reduceSeq`, and the
+//!   `toLocal`/`toGlobal`/`toPrivate` memory-placement wrappers. Lowering rules carry side
+//!   conditions over the [`NestContext`] (e.g. `mapLcl` is only legal inside a `mapWrg`) so
+//!   the exploration only produces structurally legal OpenCL nestings.
+//!
+//! Every rule is *local*: it matches one application site ([`crate::traversal::Site`]) and
+//! returns zero or more replacement expressions. The exploration driver re-typechecks every
+//! derived program, so rules may be liberal as long as they preserve semantics.
+
+use lift_arith::ArithExpr;
+use lift_interp::Value;
+use lift_ir::Type;
+
+use crate::term::{FreshNames, TermExpr, TermFun};
+use crate::traversal::{infer_type, NestContext, TypeEnv};
+
+/// Which family a rule belongs to.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RuleKind {
+    /// Semantics-preserving identity between high-level expressions.
+    Algorithmic,
+    /// Maps high-level patterns onto OpenCL-specific ones.
+    Lowering,
+}
+
+/// Numeric knobs the parameterised rules draw from.
+#[derive(Clone, Debug)]
+pub struct RuleOptions {
+    /// Candidate `split` factors (checked for divisibility against the array length).
+    pub split_sizes: Vec<i64>,
+    /// Candidate vector widths for the vectorisation rule.
+    pub vector_widths: Vec<usize>,
+}
+
+impl Default for RuleOptions {
+    fn default() -> Self {
+        RuleOptions {
+            split_sizes: vec![2, 4, 8],
+            vector_widths: vec![4],
+        }
+    }
+}
+
+/// Everything a rule may consult at a site.
+pub struct RuleCx<'a> {
+    /// The enclosing parallel patterns.
+    pub context: NestContext,
+    /// Types of the site's arguments, where derivable.
+    pub arg_types: &'a [Option<Type>],
+    /// Parameter types in scope at the site (for typing arbitrary subexpressions).
+    pub env: &'a TypeEnv,
+    /// Numeric knobs.
+    pub options: &'a RuleOptions,
+    /// Fresh-name supply for synthesised lambdas.
+    pub fresh: &'a mut FreshNames,
+}
+
+impl RuleCx<'_> {
+    /// The element type and length of the site's first argument, if it is an array.
+    fn arg0_array(&self) -> Option<(Type, ArithExpr)> {
+        self.arg_types
+            .first()?
+            .as_ref()?
+            .as_array()
+            .map(|(e, l)| (e.clone(), l.clone()))
+    }
+
+    /// Split factors that provably divide `len` (rule 1 of Section 5.3: `c` divides `len`
+    /// exactly when the normalised remainder is the constant zero).
+    fn dividing_splits(&self, len: &ArithExpr) -> Vec<i64> {
+        self.options
+            .split_sizes
+            .iter()
+            .copied()
+            .filter(|c| *c > 1 && divides(*c, len))
+            .collect()
+    }
+}
+
+/// Arithmetically checked divisibility: `c | len` iff `len mod c` normalises to 0.
+pub fn divides(c: i64, len: &ArithExpr) -> bool {
+    (len.clone() % ArithExpr::cst(c)).is_cst(0)
+}
+
+/// Checks that the literal initialiser is neutral for the binary operator by probing
+/// `op(z, t) == t == op(t, z)` over a spread of values. Reordering rules such as partial
+/// reduction apply the initialiser once per chunk, which is only sound when it is neutral
+/// (`reduce(add, 1.0)` over `k` chunks would otherwise add `1.0` `k` extra times).
+fn is_neutral_init(uf: &lift_ir::UserFun, init: &TermExpr) -> bool {
+    let TermExpr::Literal(lift_ir::Literal::Float(z)) = init else {
+        return false;
+    };
+    const PROBES: [f32; 6] = [-3.5, -1.0, 0.0, 0.25, 2.0, 7.5];
+    PROBES.iter().all(|t| {
+        let left = lift_interp::eval_scalar(uf.body(), &[Value::Float(*z), Value::Float(*t)]);
+        let right = lift_interp::eval_scalar(uf.body(), &[Value::Float(*t), Value::Float(*z)]);
+        left.as_f32() == Some(*t) && right.as_f32() == Some(*t)
+    })
+}
+
+/// A named rewrite rule.
+pub struct Rule {
+    /// The rule name shown in derivation chains.
+    pub name: &'static str,
+    /// The rule family.
+    pub kind: RuleKind,
+    apply: fn(&TermExpr, &mut RuleCx) -> Vec<TermExpr>,
+}
+
+impl Rule {
+    /// All rewrites this rule can perform at the given site.
+    pub fn applications(&self, site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+        (self.apply)(site, cx)
+    }
+}
+
+impl std::fmt::Debug for Rule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Rule")
+            .field("name", &self.name)
+            .field("kind", &self.kind)
+            .finish()
+    }
+}
+
+/// The complete rule set.
+pub fn all_rules() -> &'static [Rule] {
+    const RULES: &[Rule] = &[
+        // -------------------------------------------------------- algorithmic
+        Rule {
+            name: "map-fusion",
+            kind: RuleKind::Algorithmic,
+            apply: map_fusion,
+        },
+        Rule {
+            name: "reduce-map-fusion",
+            kind: RuleKind::Algorithmic,
+            apply: reduce_map_fusion,
+        },
+        Rule {
+            name: "split-join",
+            kind: RuleKind::Algorithmic,
+            apply: split_join,
+        },
+        Rule {
+            name: "partial-reduce",
+            kind: RuleKind::Algorithmic,
+            apply: partial_reduce,
+        },
+        Rule {
+            name: "iterate-decomposition",
+            kind: RuleKind::Algorithmic,
+            apply: iterate_decomposition,
+        },
+        Rule {
+            name: "split-join-id",
+            kind: RuleKind::Algorithmic,
+            apply: split_join_id,
+        },
+        Rule {
+            name: "transpose-transpose-id",
+            kind: RuleKind::Algorithmic,
+            apply: transpose_transpose_id,
+        },
+        Rule {
+            name: "gather-scatter-id",
+            kind: RuleKind::Algorithmic,
+            apply: gather_scatter_id,
+        },
+        Rule {
+            name: "map-join-promotion",
+            kind: RuleKind::Algorithmic,
+            apply: map_join_promotion,
+        },
+        Rule {
+            name: "split-map-promotion",
+            kind: RuleKind::Algorithmic,
+            apply: split_map_promotion,
+        },
+        Rule {
+            name: "reduceSeq-mapSeq-fusion",
+            kind: RuleKind::Algorithmic,
+            apply: reduce_seq_map_seq_fusion,
+        },
+        // ----------------------------------------------------------- lowering
+        Rule {
+            name: "map-to-mapSeq",
+            kind: RuleKind::Lowering,
+            apply: map_to_map_seq,
+        },
+        Rule {
+            name: "map-to-mapGlb",
+            kind: RuleKind::Lowering,
+            apply: map_to_map_glb,
+        },
+        Rule {
+            name: "map-to-mapWrg-mapLcl",
+            kind: RuleKind::Lowering,
+            apply: map_to_wrg_lcl,
+        },
+        Rule {
+            name: "map-to-mapLcl",
+            kind: RuleKind::Lowering,
+            apply: map_to_map_lcl,
+        },
+        Rule {
+            name: "map-vectorise",
+            kind: RuleKind::Lowering,
+            apply: map_vectorise,
+        },
+        Rule {
+            name: "reduce-to-reduceSeq",
+            kind: RuleKind::Lowering,
+            apply: reduce_to_reduce_seq,
+        },
+        Rule {
+            name: "wrap-toLocal",
+            kind: RuleKind::Lowering,
+            apply: wrap_to_local,
+        },
+        Rule {
+            name: "wrap-toGlobal",
+            kind: RuleKind::Lowering,
+            apply: wrap_to_global,
+        },
+        Rule {
+            name: "wrap-toPrivate",
+            kind: RuleKind::Lowering,
+            apply: wrap_to_private,
+        },
+    ];
+    RULES
+}
+
+// ---------------------------------------------------------------------- helpers
+
+/// Matches `map(f)(x)`, returning the mapped function and input.
+fn as_map(site: &TermExpr) -> Option<(&TermFun, &TermExpr)> {
+    match site {
+        TermExpr::Apply {
+            f: TermFun::Map(g),
+            args,
+        } if args.len() == 1 => Some((g, &args[0])),
+        _ => None,
+    }
+}
+
+/// `λx. outer(inner(x))`.
+fn composed(outer: &TermFun, inner: &TermFun, fresh: &mut FreshNames) -> TermFun {
+    let x = fresh.next("x");
+    TermFun::Lambda {
+        params: vec![x.clone()],
+        body: Box::new(TermExpr::apply1(
+            outer.clone(),
+            TermExpr::apply1(inner.clone(), TermExpr::Param(x)),
+        )),
+    }
+}
+
+/// `map(f)` with the nested function eta-wrapped when it is itself a pattern (keeping the
+/// invariant that pattern applications stay visible to the traversal).
+fn map_of(f: TermFun, fresh: &mut FreshNames) -> TermFun {
+    TermFun::Map(Box::new(f.eta(fresh)))
+}
+
+/// Does the subtree introduce work-item/work-group parallelism already?
+fn fun_contains_parallel(f: &TermFun) -> bool {
+    match f {
+        TermFun::MapGlb(..) | TermFun::MapWrg(..) | TermFun::MapLcl(..) => true,
+        TermFun::Lambda { body, .. } => expr_contains_parallel(body),
+        other => other.nested().is_some_and(fun_contains_parallel),
+    }
+}
+
+fn expr_contains_parallel(e: &TermExpr) -> bool {
+    match e {
+        TermExpr::Literal(_) | TermExpr::Param(_) => false,
+        TermExpr::Apply { f, args } => {
+            fun_contains_parallel(f) || args.iter().any(expr_contains_parallel)
+        }
+    }
+}
+
+// ---------------------------------------------------------------- algorithmic rules
+
+/// `map f ∘ map g` → `map (f ∘ g)`.
+fn map_fusion(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, inner)) = as_map(site) else {
+        return Vec::new();
+    };
+    let Some((g, x)) = as_map(inner) else {
+        return Vec::new();
+    };
+    vec![TermExpr::apply1(
+        TermFun::Map(Box::new(composed(f, g, cx.fresh))),
+        x.clone(),
+    )]
+}
+
+/// `reduce(f, z) ∘ map(g)` → `reduce(λ(acc, x). f(acc, g(x)), z)` — and the same for the
+/// lowered `reduceSeq`/`mapSeq` pair via [`reduce_seq_map_seq_fusion`].
+fn reduce_map_fusion(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::Reduce(op),
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [init, input] = args.as_slice() else {
+        return Vec::new();
+    };
+    let Some((g, x)) = as_map(input) else {
+        return Vec::new();
+    };
+    vec![TermExpr::Apply {
+        f: TermFun::Reduce(Box::new(fused_reduction_operator(op, g, cx.fresh))),
+        args: vec![init.clone(), x.clone()],
+    }]
+}
+
+/// `reduceSeq(f, z) ∘ mapSeq(g)` → `reduceSeq(λ(acc, x). f(acc, g(x)), z)` (Section 4.2 of
+/// the rewrite paper: the fusion that avoids materialising the mapped array).
+fn reduce_seq_map_seq_fusion(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::ReduceSeq(op),
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [init, input] = args.as_slice() else {
+        return Vec::new();
+    };
+    let TermExpr::Apply {
+        f: TermFun::MapSeq(g),
+        args: inner_args,
+    } = input
+    else {
+        return Vec::new();
+    };
+    let [x] = inner_args.as_slice() else {
+        return Vec::new();
+    };
+    vec![TermExpr::Apply {
+        f: TermFun::ReduceSeq(Box::new(fused_reduction_operator(op, g, cx.fresh))),
+        args: vec![init.clone(), x.clone()],
+    }]
+}
+
+/// `λ(acc, x). op(acc, g(x))`.
+fn fused_reduction_operator(op: &TermFun, g: &TermFun, fresh: &mut FreshNames) -> TermFun {
+    let acc = fresh.next("acc");
+    let x = fresh.next("x");
+    TermFun::Lambda {
+        params: vec![acc.clone(), x.clone()],
+        body: Box::new(TermExpr::Apply {
+            f: op.clone(),
+            args: vec![
+                TermExpr::Param(acc),
+                TermExpr::apply1(g.clone(), TermExpr::Param(x)),
+            ],
+        }),
+    }
+}
+
+/// `map f` → `join ∘ map(map f) ∘ split n`, for every `n` that divides the input length.
+fn split_join(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, x)) = as_map(site) else {
+        return Vec::new();
+    };
+    let Some((_, len)) = cx.arg0_array() else {
+        return Vec::new();
+    };
+    cx.dividing_splits(&len)
+        .into_iter()
+        .map(|c| {
+            let inner = map_of(TermFun::Map(Box::new(f.clone())), cx.fresh);
+            TermExpr::apply1(
+                TermFun::Join,
+                TermExpr::apply1(
+                    inner,
+                    TermExpr::apply1(TermFun::Split(ArithExpr::cst(c)), x.clone()),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `reduce(f, z)` → `reduce(f, z) ∘ join ∘ map(reduce(f, z)) ∘ split n` (partial reduction).
+///
+/// Side conditions: the operator must be a user function *declared* associative and
+/// commutative ([`lift_ir::UserFun::is_assoc_commutative`]) and the literal initialiser must
+/// be neutral for it ([`is_neutral_init`]). Both matter: fusion synthesises fold operators
+/// like `λ(acc, x). acc + x*x` which have the right *type* but reorder incorrectly (partial
+/// sums get squared again), and a non-neutral initialiser such as `reduce(add, 1.0)` would
+/// be re-added once per chunk.
+fn partial_reduce(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::Reduce(op),
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [init, x] = args.as_slice() else {
+        return Vec::new();
+    };
+    match op.as_ref() {
+        TermFun::UserFun(uf) if uf.is_assoc_commutative() && is_neutral_init(uf, init) => {}
+        _ => return Vec::new(),
+    }
+    let Some((_, len)) = cx
+        .arg_types
+        .get(1)
+        .and_then(|t| t.as_ref()?.as_array().map(|(e, l)| (e.clone(), l.clone())))
+    else {
+        return Vec::new();
+    };
+    cx.dividing_splits(&len)
+        .into_iter()
+        .map(|c| {
+            let chunk = cx.fresh.next("chunk");
+            let per_chunk = TermFun::Lambda {
+                params: vec![chunk.clone()],
+                body: Box::new(TermExpr::Apply {
+                    f: TermFun::Reduce(op.clone()),
+                    args: vec![init.clone(), TermExpr::Param(chunk)],
+                }),
+            };
+            TermExpr::Apply {
+                f: TermFun::Reduce(op.clone()),
+                args: vec![
+                    init.clone(),
+                    TermExpr::apply1(
+                        TermFun::Join,
+                        TermExpr::apply1(
+                            TermFun::Map(Box::new(per_chunk)),
+                            TermExpr::apply1(TermFun::Split(ArithExpr::cst(c)), x.clone()),
+                        ),
+                    ),
+                ],
+            }
+        })
+        .collect()
+}
+
+/// `iterate n f` → `f ∘ iterate (n-1) f` (and `iterate 0 f` → `id`).
+fn iterate_decomposition(site: &TermExpr, _cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::Iterate(n, g),
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [x] = args.as_slice() else {
+        return Vec::new();
+    };
+    match n {
+        0 => vec![x.clone()],
+        1 => vec![TermExpr::apply1((**g).clone(), x.clone())],
+        n => vec![TermExpr::apply1(
+            (**g).clone(),
+            TermExpr::apply1(TermFun::Iterate(n - 1, g.clone()), x.clone()),
+        )],
+    }
+}
+
+/// `join ∘ split n` → `id` (requires `n` to divide the length, which holds by construction
+/// when the inner type is derivable and the outer length matches).
+fn split_join_id(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::Join,
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [TermExpr::Apply {
+        f: TermFun::Split(c),
+        args: inner,
+    }] = args.as_slice()
+    else {
+        return Vec::new();
+    };
+    let [x] = inner.as_slice() else {
+        return Vec::new();
+    };
+    // The split input's length must be provably divisible by the chunk, otherwise
+    // `join(split_c(x))` drops the remainder and is not the identity.
+    let Some(c) = c.as_cst() else {
+        return Vec::new();
+    };
+    let x_len = infer_type(x, cx.env).and_then(|t| t.as_array().map(|(_, l)| l.clone()));
+    match x_len {
+        Some(len) if divides(c, &len) => vec![x.clone()],
+        _ => Vec::new(),
+    }
+}
+
+/// `transpose ∘ transpose` → `id`.
+fn transpose_transpose_id(site: &TermExpr, _cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::Transpose,
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [TermExpr::Apply {
+        f: TermFun::Transpose,
+        args: inner,
+    }] = args.as_slice()
+    else {
+        return Vec::new();
+    };
+    match inner.as_slice() {
+        [x] => vec![x.clone()],
+        _ => Vec::new(),
+    }
+}
+
+/// `scatter f ∘ gather f` → `id` and `gather f ∘ scatter f` → `id`.
+fn gather_scatter_id(site: &TermExpr, _cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply { f: outer, args } = site else {
+        return Vec::new();
+    };
+    let [TermExpr::Apply {
+        f: inner,
+        args: inner_args,
+    }] = args.as_slice()
+    else {
+        return Vec::new();
+    };
+    let [x] = inner_args.as_slice() else {
+        return Vec::new();
+    };
+    match (outer, inner) {
+        (TermFun::Scatter(a), TermFun::Gather(b)) | (TermFun::Gather(a), TermFun::Scatter(b))
+            if a == b =>
+        {
+            vec![x.clone()]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// `map f ∘ join` → `join ∘ map(map f)`.
+fn map_join_promotion(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, input)) = as_map(site) else {
+        return Vec::new();
+    };
+    let TermExpr::Apply {
+        f: TermFun::Join,
+        args: inner,
+    } = input
+    else {
+        return Vec::new();
+    };
+    let [x] = inner.as_slice() else {
+        return Vec::new();
+    };
+    let mapped = map_of(TermFun::Map(Box::new(f.clone())), cx.fresh);
+    vec![TermExpr::apply1(
+        TermFun::Join,
+        TermExpr::apply1(mapped, x.clone()),
+    )]
+}
+
+/// `split n ∘ map f` → `map(map f) ∘ split n`.
+fn split_map_promotion(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::Split(c),
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [input] = args.as_slice() else {
+        return Vec::new();
+    };
+    let Some((f, x)) = as_map(input) else {
+        return Vec::new();
+    };
+    let mapped = map_of(TermFun::Map(Box::new(f.clone())), cx.fresh);
+    vec![TermExpr::apply1(
+        mapped,
+        TermExpr::apply1(TermFun::Split(c.clone()), x.clone()),
+    )]
+}
+
+// ------------------------------------------------------------------ lowering rules
+
+/// `map` → `mapSeq` (legal anywhere).
+fn map_to_map_seq(site: &TermExpr, _cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, x)) = as_map(site) else {
+        return Vec::new();
+    };
+    vec![TermExpr::apply1(
+        TermFun::MapSeq(Box::new(f.clone())),
+        x.clone(),
+    )]
+}
+
+/// `map` → `mapGlb⁰`: only outside any other map, and only when the mapped function does not
+/// already contain work-item parallelism.
+fn map_to_map_glb(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, x)) = as_map(site) else {
+        return Vec::new();
+    };
+    if !cx.context.is_top_level() || fun_contains_parallel(f) {
+        return Vec::new();
+    }
+    vec![TermExpr::apply1(
+        TermFun::MapGlb(0, Box::new(f.clone())),
+        x.clone(),
+    )]
+}
+
+/// `map f` → `join ∘ mapWrg⁰(mapLcl⁰ f) ∘ split n`: the work-group lowering.
+fn map_to_wrg_lcl(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, x)) = as_map(site) else {
+        return Vec::new();
+    };
+    if !cx.context.is_top_level() || fun_contains_parallel(f) {
+        return Vec::new();
+    }
+    let Some((_, len)) = cx.arg0_array() else {
+        return Vec::new();
+    };
+    cx.dividing_splits(&len)
+        .into_iter()
+        .map(|c| {
+            let t = cx.fresh.next("tile");
+            let wrg_fun = TermFun::Lambda {
+                params: vec![t.clone()],
+                body: Box::new(TermExpr::apply1(
+                    TermFun::MapLcl(0, Box::new(f.clone())),
+                    TermExpr::Param(t),
+                )),
+            };
+            TermExpr::apply1(
+                TermFun::Join,
+                TermExpr::apply1(
+                    TermFun::MapWrg(0, Box::new(wrg_fun)),
+                    TermExpr::apply1(TermFun::Split(ArithExpr::cst(c)), x.clone()),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `map` → `mapLcl⁰`: only directly inside a `mapWrg`.
+fn map_to_map_lcl(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, x)) = as_map(site) else {
+        return Vec::new();
+    };
+    if !cx.context.inside_wrg || cx.context.inside_lcl || fun_contains_parallel(f) {
+        return Vec::new();
+    }
+    vec![TermExpr::apply1(
+        TermFun::MapLcl(0, Box::new(f.clone())),
+        x.clone(),
+    )]
+}
+
+/// `map f` → `asScalar ∘ map(mapVec f) ∘ asVector w` for unary scalar user functions over
+/// float arrays whose length the width divides.
+fn map_vectorise(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, x)) = as_map(site) else {
+        return Vec::new();
+    };
+    let TermFun::UserFun(uf) = f else {
+        return Vec::new();
+    };
+    if uf.arity() != 1 || uf.param_types() != [Type::float()] || *uf.return_type() != Type::float()
+    {
+        return Vec::new();
+    }
+    let Some((elem, len)) = cx.arg0_array() else {
+        return Vec::new();
+    };
+    if !elem.is_scalar() {
+        return Vec::new();
+    }
+    let widths: Vec<usize> = cx
+        .options
+        .vector_widths
+        .iter()
+        .copied()
+        .filter(|w| *w > 1 && divides(*w as i64, &len))
+        .collect();
+    widths
+        .into_iter()
+        .map(|w| {
+            let lanes = map_of(TermFun::MapVec(Box::new(f.clone())), cx.fresh);
+            TermExpr::apply1(
+                TermFun::AsScalar,
+                TermExpr::apply1(lanes, TermExpr::apply1(TermFun::AsVector(w), x.clone())),
+            )
+        })
+        .collect()
+}
+
+/// `reduce` → `reduceSeq` (legal anywhere; the sequential reduction is the only reduction
+/// primitive the backend provides, exactly as in the paper).
+fn reduce_to_reduce_seq(site: &TermExpr, _cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::Reduce(op),
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    vec![TermExpr::Apply {
+        f: TermFun::ReduceSeq(op.clone()),
+        args: args.clone(),
+    }]
+}
+
+/// Wraps a lowered computation in a memory-placement pattern.
+fn wrap_in(site: &TermExpr, wrap: fn(Box<TermFun>) -> TermFun) -> Vec<TermExpr> {
+    let TermExpr::Apply { f, args } = site else {
+        return Vec::new();
+    };
+    match f {
+        TermFun::MapSeq(_) | TermFun::ReduceSeq(_) | TermFun::MapVec(_) => {
+            vec![TermExpr::Apply {
+                f: wrap(Box::new(f.clone())),
+                args: args.clone(),
+            }]
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// `mapSeq/reduceSeq f` → `toLocal(…)`: stage the result in local memory (inside a work
+/// group only).
+fn wrap_to_local(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    if !cx.context.in_work_group() {
+        return Vec::new();
+    }
+    wrap_in(site, TermFun::ToLocal)
+}
+
+/// `mapSeq/reduceSeq f` → `toGlobal(…)`: write the result to global memory (inside a work
+/// group, where the default would be local).
+fn wrap_to_global(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    if !cx.context.in_work_group() {
+        return Vec::new();
+    }
+    wrap_in(site, TermFun::ToGlobal)
+}
+
+/// `mapSeq/reduceSeq f` → `toPrivate(…)`: stage the result in private memory. Allowed in any
+/// context — private staging is useful even in purely sequential single-work-item kernels.
+fn wrap_to_private(site: &TermExpr, _cx: &mut RuleCx) -> Vec<TermExpr> {
+    wrap_in(site, TermFun::ToPrivate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Term;
+    use crate::traversal::{get, replace, sites};
+    use lift_interp::{evaluate, Value};
+    use lift_ir::{Program, Type, UserFun};
+
+    fn high_level_square_sum(n: usize) -> Program {
+        let mut p = Program::new("square_sum");
+        let mult = p.user_fun(UserFun::mult());
+        let sq = p.lambda(&["v"], |p, params| p.apply(mult, [params[0], params[0]]));
+        let add = p.user_fun(UserFun::add());
+        let m = p.map(sq);
+        let red = p.reduce(add, 0.0);
+        p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+            let mapped = p.apply1(m, params[0]);
+            p.apply1(red, mapped)
+        });
+        p
+    }
+
+    /// Applies `rule` at the first site it matches and checks semantics are preserved.
+    fn check_preserves(program: &Program, rule_name: &str, input: &[f32]) -> bool {
+        let term = Term::from_program(program).expect("converts");
+        let rule = all_rules()
+            .iter()
+            .find(|r| r.name == rule_name)
+            .expect("rule exists");
+        let options = RuleOptions {
+            split_sizes: vec![2, 4],
+            vector_widths: vec![2],
+        };
+        let mut fresh = term.fresh.clone();
+        for site in sites(&term) {
+            let Some(expr) = get(&term.body, &site.location) else {
+                continue;
+            };
+            let mut cx = RuleCx {
+                context: site.context,
+                arg_types: &site.arg_types,
+                env: &site.env,
+                options: &options,
+                fresh: &mut fresh,
+            };
+            let rewrites = rule.applications(expr, &mut cx);
+            if rewrites.is_empty() {
+                continue;
+            }
+            for replacement in rewrites {
+                let new_body = replace(&term.body, &site.location, replacement).expect("replace");
+                let derived = Term {
+                    name: term.name.clone(),
+                    params: term.params.clone(),
+                    body: new_body,
+                    fresh: fresh.clone(),
+                }
+                .to_program();
+                let mut typed = derived.clone();
+                lift_ir::infer_types(&mut typed).expect("derived program typechecks");
+                let args = [Value::from_f32_slice(input)];
+                let before = evaluate(program, &args)
+                    .expect("original runs")
+                    .flatten_f32();
+                let after = evaluate(&derived, &args)
+                    .expect("derived runs")
+                    .flatten_f32();
+                assert_eq!(before, after, "rule `{rule_name}` changed semantics");
+            }
+            return true;
+        }
+        false
+    }
+
+    #[test]
+    fn lowering_rules_preserve_semantics_on_square_sum() {
+        let p = high_level_square_sum(8);
+        let input: Vec<f32> = (0..8).map(|i| i as f32 * 0.5).collect();
+        for rule in ["map-to-mapSeq", "map-to-mapGlb", "reduce-to-reduceSeq"] {
+            assert!(check_preserves(&p, rule, &input), "rule {rule} never fired");
+        }
+    }
+
+    #[test]
+    fn fusion_and_promotion_rules_preserve_semantics() {
+        let p = high_level_square_sum(8);
+        let input: Vec<f32> = (0..8).map(|i| i as f32 - 3.0).collect();
+        for rule in ["reduce-map-fusion", "partial-reduce", "split-join"] {
+            assert!(check_preserves(&p, rule, &input), "rule {rule} never fired");
+        }
+    }
+
+    #[test]
+    fn divisibility_is_arith_checked() {
+        assert!(divides(4, &ArithExpr::cst(16)));
+        assert!(!divides(3, &ArithExpr::cst(16)));
+        // A symbolic length cannot be proven divisible…
+        assert!(!divides(4, &ArithExpr::size_var("N")));
+        // …but a length constructed as a multiple can.
+        assert!(divides(4, &(ArithExpr::size_var("N") * 4)));
+    }
+
+    #[test]
+    fn partial_reduce_requires_a_neutral_initialiser() {
+        // reduce(add, 1.0): associative operator but a non-neutral initialiser — the rule
+        // must not fire (each chunk would re-add the 1.0).
+        let n = 8usize;
+        let mut p = Program::new("shifted_sum");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce(add, 1.0);
+        p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+            p.apply1(red, params[0])
+        });
+        let term = Term::from_program(&p).expect("converts");
+        let rule = all_rules()
+            .iter()
+            .find(|r| r.name == "partial-reduce")
+            .expect("rule exists");
+        let options = RuleOptions {
+            split_sizes: vec![2, 4],
+            vector_widths: vec![4],
+        };
+        let mut fresh = term.fresh.clone();
+        for site in sites(&term) {
+            let Some(expr) = get(&term.body, &site.location) else {
+                continue;
+            };
+            let mut cx = RuleCx {
+                context: site.context,
+                arg_types: &site.arg_types,
+                env: &site.env,
+                options: &options,
+                fresh: &mut fresh,
+            };
+            assert!(
+                rule.applications(expr, &mut cx).is_empty(),
+                "partial reduction fired with a non-neutral initialiser"
+            );
+        }
+        // Sanity: the same program with a neutral initialiser does admit the rule.
+        let input: Vec<f32> = (0..n).map(|i| i as f32).collect();
+        assert!(
+            check_preserves(&high_level_square_sum(8), "partial-reduce", &input),
+            "partial reduction should fire for reduce(add, 0.0)"
+        );
+    }
+
+    #[test]
+    fn map_to_map_lcl_requires_wrg_context() {
+        let p = high_level_square_sum(8);
+        let term = Term::from_program(&p).expect("converts");
+        let rule = all_rules()
+            .iter()
+            .find(|r| r.name == "map-to-mapLcl")
+            .expect("rule exists");
+        let options = RuleOptions::default();
+        let mut fresh = term.fresh.clone();
+        for site in sites(&term) {
+            let Some(expr) = get(&term.body, &site.location) else {
+                continue;
+            };
+            let mut cx = RuleCx {
+                context: site.context,
+                arg_types: &site.arg_types,
+                env: &site.env,
+                options: &options,
+                fresh: &mut fresh,
+            };
+            assert!(
+                rule.applications(expr, &mut cx).is_empty(),
+                "mapLcl lowering fired outside a work group"
+            );
+        }
+    }
+}

@@ -1,0 +1,821 @@
+//! A tree-shaped mirror of the arena-based Lift IR.
+//!
+//! Rewrite rules are far easier to express over recursive trees than over arena ids: a rule
+//! matches a subtree and returns a replacement subtree, and substitution is a purely
+//! functional rebuild along a path. This module defines that tree form ([`TermExpr`] /
+//! [`TermFun`]) together with lossless conversions from and to [`lift_ir::Program`].
+//!
+//! Two normalisations happen during conversion:
+//!
+//! * **Eta-expansion** ([`TermFun::eta`]): a pattern nested directly inside another pattern
+//!   (e.g. the inner `map` of `map(map f)`) is wrapped in a lambda, so every rewritable
+//!   pattern application appears as a [`TermExpr::Apply`] node that the traversal of
+//!   [`crate::traversal`] can reach.
+//! * **Eta-contraction** (in [`Term::to_program`]): the inverse, so converting back produces
+//!   the same compact nesting the seed programs use and the code generator is tested with.
+//!
+//! Parameter names are made globally unique during conversion (mangled with the originating
+//! arena id) so the named tree representation cannot capture variables.
+
+use std::collections::HashMap;
+
+use lift_arith::ArithExpr;
+use lift_ir::{
+    ExprId, ExprKind, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder, Type, UserFun,
+};
+
+/// Errors raised while converting between the arena IR and the tree form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TermError {
+    /// The program has no root lambda.
+    MissingRoot,
+    /// A root parameter has no declared type.
+    UntypedRootParam(String),
+    /// An expression referenced a parameter that is not in scope.
+    UnboundParam(String),
+}
+
+impl std::fmt::Display for TermError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TermError::MissingRoot => write!(f, "the program has no root lambda"),
+            TermError::UntypedRootParam(name) => {
+                write!(f, "root parameter `{name}` has no declared type")
+            }
+            TermError::UnboundParam(name) => write!(f, "parameter `{name}` is not in scope"),
+        }
+    }
+}
+
+impl std::error::Error for TermError {}
+
+/// A function in tree form: lambdas, user functions and the predefined patterns.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TermFun {
+    /// An anonymous function.
+    Lambda {
+        /// Parameter names (globally unique after conversion).
+        params: Vec<String>,
+        /// The body.
+        body: Box<TermExpr>,
+    },
+    /// A user-defined scalar function.
+    UserFun(UserFun),
+    /// High-level `map`.
+    Map(Box<TermFun>),
+    /// High-level `reduce`.
+    Reduce(Box<TermFun>),
+    /// `mapSeq`.
+    MapSeq(Box<TermFun>),
+    /// `mapGlb^dim`.
+    MapGlb(u8, Box<TermFun>),
+    /// `mapWrg^dim`.
+    MapWrg(u8, Box<TermFun>),
+    /// `mapLcl^dim`.
+    MapLcl(u8, Box<TermFun>),
+    /// `mapVec`.
+    MapVec(Box<TermFun>),
+    /// `reduceSeq`.
+    ReduceSeq(Box<TermFun>),
+    /// `iterate^n`.
+    Iterate(u64, Box<TermFun>),
+    /// `toGlobal`.
+    ToGlobal(Box<TermFun>),
+    /// `toLocal`.
+    ToLocal(Box<TermFun>),
+    /// `toPrivate`.
+    ToPrivate(Box<TermFun>),
+    /// The identity pattern.
+    Id,
+    /// `split^chunk`.
+    Split(ArithExpr),
+    /// `join`.
+    Join,
+    /// `gather`.
+    Gather(Reorder),
+    /// `scatter`.
+    Scatter(Reorder),
+    /// `transpose`.
+    Transpose,
+    /// `zip` of `arity` arrays.
+    Zip(usize),
+    /// Tuple projection.
+    Get(usize),
+    /// `slide(size, step)`.
+    Slide(ArithExpr, ArithExpr),
+    /// `asVector^width`.
+    AsVector(usize),
+    /// `asScalar`.
+    AsScalar,
+}
+
+impl TermFun {
+    /// The nested function of a pattern, if it has one.
+    pub fn nested(&self) -> Option<&TermFun> {
+        match self {
+            TermFun::Map(f)
+            | TermFun::Reduce(f)
+            | TermFun::MapSeq(f)
+            | TermFun::MapGlb(_, f)
+            | TermFun::MapWrg(_, f)
+            | TermFun::MapLcl(_, f)
+            | TermFun::MapVec(f)
+            | TermFun::ReduceSeq(f)
+            | TermFun::Iterate(_, f)
+            | TermFun::ToGlobal(f)
+            | TermFun::ToLocal(f)
+            | TermFun::ToPrivate(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Mutable access to the nested function of a pattern.
+    pub fn nested_mut(&mut self) -> Option<&mut TermFun> {
+        match self {
+            TermFun::Map(f)
+            | TermFun::Reduce(f)
+            | TermFun::MapSeq(f)
+            | TermFun::MapGlb(_, f)
+            | TermFun::MapWrg(_, f)
+            | TermFun::MapLcl(_, f)
+            | TermFun::MapVec(f)
+            | TermFun::ReduceSeq(f)
+            | TermFun::Iterate(_, f)
+            | TermFun::ToGlobal(f)
+            | TermFun::ToLocal(f)
+            | TermFun::ToPrivate(f) => Some(f),
+            _ => None,
+        }
+    }
+
+    /// Eta-expands `self` into callable position: lambdas and user functions are returned
+    /// unchanged; patterns are wrapped in `λx. pattern(x)` (or `λ(a, x). pattern(a, x)` for
+    /// the binary reductions), so the pattern application becomes a rewritable expression.
+    pub fn eta(self, fresh: &mut FreshNames) -> TermFun {
+        match self {
+            TermFun::Lambda { .. } | TermFun::UserFun(_) => self,
+            TermFun::Reduce(_) | TermFun::ReduceSeq(_) => {
+                let a = fresh.next("acc");
+                let x = fresh.next("xs");
+                TermFun::Lambda {
+                    params: vec![a.clone(), x.clone()],
+                    body: Box::new(TermExpr::Apply {
+                        f: self,
+                        args: vec![TermExpr::Param(a), TermExpr::Param(x)],
+                    }),
+                }
+            }
+            _ => {
+                let x = fresh.next("x");
+                TermFun::Lambda {
+                    params: vec![x.clone()],
+                    body: Box::new(TermExpr::Apply {
+                        f: self,
+                        args: vec![TermExpr::Param(x)],
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// An expression in tree form.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TermExpr {
+    /// A compile-time constant.
+    Literal(Literal),
+    /// A reference to an enclosing lambda (or root) parameter.
+    Param(String),
+    /// Application of a function to arguments.
+    Apply {
+        /// The applied function.
+        f: TermFun,
+        /// The argument expressions.
+        args: Vec<TermExpr>,
+    },
+}
+
+impl TermExpr {
+    /// Convenience: apply a unary function.
+    pub fn apply1(f: TermFun, arg: TermExpr) -> TermExpr {
+        TermExpr::Apply { f, args: vec![arg] }
+    }
+
+    /// Number of nodes in this expression (used to curb exploding candidates).
+    pub fn size(&self) -> usize {
+        match self {
+            TermExpr::Literal(_) | TermExpr::Param(_) => 1,
+            TermExpr::Apply { f, args } => {
+                1 + fun_size(f) + args.iter().map(TermExpr::size).sum::<usize>()
+            }
+        }
+    }
+}
+
+fn fun_size(f: &TermFun) -> usize {
+    match f {
+        TermFun::Lambda { body, .. } => 1 + body.size(),
+        other => match other.nested() {
+            Some(inner) => 1 + fun_size(inner),
+            None => 1,
+        },
+    }
+}
+
+/// A generator of fresh parameter names.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FreshNames {
+    counter: usize,
+}
+
+impl FreshNames {
+    /// Returns a new name with the given prefix; the `#` separator cannot occur in
+    /// user-written names, so generated names never collide with converted ones.
+    pub fn next(&mut self, prefix: &str) -> String {
+        let n = self.counter;
+        self.counter += 1;
+        format!("{prefix}#r{n}")
+    }
+}
+
+/// A whole program in tree form: name, typed root parameters and the body.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Term {
+    /// Program name (becomes the kernel name after code generation).
+    pub name: String,
+    /// The root lambda's parameters with their declared types.
+    pub params: Vec<(String, Type)>,
+    /// The root lambda's body.
+    pub body: TermExpr,
+    /// Fresh-name state shared by all rewrites of this term.
+    pub fresh: FreshNames,
+}
+
+impl Term {
+    /// Converts an arena [`Program`] into tree form.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TermError`] if the program has no root or a root parameter is untyped.
+    pub fn from_program(program: &Program) -> Result<Term, TermError> {
+        let root = program.root().ok_or(TermError::MissingRoot)?;
+        let (param_ids, body_id) = match program.decl(root) {
+            FunDecl::Lambda { params, body } => (params.clone(), *body),
+            _ => return Err(TermError::MissingRoot),
+        };
+        let mut cx = FromProgram {
+            program,
+            names: HashMap::new(),
+        };
+        let mut params = Vec::with_capacity(param_ids.len());
+        for id in &param_ids {
+            let name = cx.bind(*id);
+            match &program.expr(*id).ty {
+                Some(t) => params.push((name, t.clone())),
+                None => return Err(TermError::UntypedRootParam(name)),
+            }
+        }
+        let body = beta_normalize(&cx.expr(body_id)?);
+        Ok(Term {
+            name: program.name().to_string(),
+            params,
+            body,
+            fresh: FreshNames::default(),
+        })
+    }
+
+    /// Converts the tree form back into an arena [`Program`] (with eta-redexes contracted so
+    /// nested patterns regain their compact form).
+    pub fn to_program(&self) -> Program {
+        let mut program = Program::new(self.name.clone());
+        let mut cx = ToProgram {
+            program: &mut program,
+            scope: Vec::new(),
+        };
+        let mut param_ids = Vec::with_capacity(self.params.len());
+        for (name, ty) in &self.params {
+            let id = cx.program.param(display_name(name), ty.clone());
+            cx.scope.push((name.clone(), id));
+            param_ids.push(id);
+        }
+        let body = cx.expr(&self.body);
+        let root = program.add_decl(FunDecl::Lambda {
+            params: param_ids,
+            body,
+        });
+        program.set_root(root);
+        program
+    }
+
+    /// Pretty-prints by round-tripping through the arena printer (the paper's notation).
+    pub fn pretty(&self) -> String {
+        self.to_program().to_string()
+    }
+}
+
+/// Beta-normalises an expression: inlines applications of lambdas (`(λx. b)(a)` → `b[x:=a]`)
+/// whenever no work can be duplicated — every parameter is used at most once, or its argument
+/// is a bare parameter or literal. Parameter names are globally unique, so substitution is
+/// trivially capture-avoiding.
+///
+/// The builder DSL wraps patterns in lambdas (e.g. `reduce(f, init)` becomes
+/// `λxs. reduce(f)(init, xs)` and `compose` chains become nested unary lambdas), which hides
+/// pattern adjacency from rules like map fusion. Normalising makes `reduce ∘ map` and
+/// `map ∘ map` adjacency structural.
+pub fn beta_normalize(e: &TermExpr) -> TermExpr {
+    match e {
+        TermExpr::Literal(_) | TermExpr::Param(_) => e.clone(),
+        TermExpr::Apply { f, args } => {
+            let args: Vec<TermExpr> = args.iter().map(beta_normalize).collect();
+            let f = normalize_fun(f);
+            if let TermFun::Lambda { params, body } = &f {
+                let cheap = |a: &TermExpr| matches!(a, TermExpr::Param(_) | TermExpr::Literal(_));
+                let inlinable = params.len() == args.len()
+                    && params
+                        .iter()
+                        .zip(&args)
+                        .all(|(p, a)| cheap(a) || count_uses(body, p) <= 1);
+                if inlinable {
+                    let mut inlined = (**body).clone();
+                    let bindings: HashMap<&String, &TermExpr> = params.iter().zip(&args).collect();
+                    substitute(&mut inlined, &bindings);
+                    return beta_normalize(&inlined);
+                }
+            }
+            TermExpr::Apply { f, args }
+        }
+    }
+}
+
+fn normalize_fun(f: &TermFun) -> TermFun {
+    match f {
+        TermFun::Lambda { params, body } => TermFun::Lambda {
+            params: params.clone(),
+            body: Box::new(beta_normalize(body)),
+        },
+        other => {
+            let mut out = other.clone();
+            if let Some(nested) = out.nested_mut() {
+                *nested = normalize_fun(nested);
+            }
+            out
+        }
+    }
+}
+
+fn count_uses(e: &TermExpr, name: &str) -> usize {
+    match e {
+        TermExpr::Literal(_) => 0,
+        TermExpr::Param(n) => usize::from(n == name),
+        TermExpr::Apply { f, args } => {
+            count_uses_fun(f, name) + args.iter().map(|a| count_uses(a, name)).sum::<usize>()
+        }
+    }
+}
+
+fn count_uses_fun(f: &TermFun, name: &str) -> usize {
+    match f {
+        TermFun::Lambda { body, .. } => count_uses(body, name),
+        other => other.nested().map_or(0, |g| count_uses_fun(g, name)),
+    }
+}
+
+fn substitute(e: &mut TermExpr, bindings: &HashMap<&String, &TermExpr>) {
+    match e {
+        TermExpr::Literal(_) => {}
+        TermExpr::Param(n) => {
+            if let Some(v) = bindings.get(n) {
+                *e = (*v).clone();
+            }
+        }
+        TermExpr::Apply { f, args } => {
+            substitute_fun(f, bindings);
+            for a in args {
+                substitute(a, bindings);
+            }
+        }
+    }
+}
+
+fn substitute_fun(f: &mut TermFun, bindings: &HashMap<&String, &TermExpr>) {
+    match f {
+        TermFun::Lambda { body, .. } => substitute(body, bindings),
+        other => {
+            if let Some(g) = other.nested_mut() {
+                substitute_fun(g, bindings);
+            }
+        }
+    }
+}
+
+/// Strips the uniqueness suffix for display.
+fn display_name(name: &str) -> String {
+    match name.split_once('#') {
+        Some((base, _)) => base.to_string(),
+        None => name.to_string(),
+    }
+}
+
+struct FromProgram<'a> {
+    program: &'a Program,
+    names: HashMap<ExprId, String>,
+}
+
+impl FromProgram<'_> {
+    /// Assigns (or retrieves) the unique name of a parameter expression.
+    fn bind(&mut self, id: ExprId) -> String {
+        if let Some(n) = self.names.get(&id) {
+            return n.clone();
+        }
+        let base = match &self.program.expr(id).kind {
+            ExprKind::Param { name } => name.clone(),
+            _ => "p".to_string(),
+        };
+        let unique = format!("{base}#{}", id.index());
+        self.names.insert(id, unique.clone());
+        unique
+    }
+
+    fn expr(&mut self, id: ExprId) -> Result<TermExpr, TermError> {
+        match self.program.expr(id).kind.clone() {
+            ExprKind::Literal(l) => Ok(TermExpr::Literal(l)),
+            ExprKind::Param { .. } => Ok(TermExpr::Param(self.bind(id))),
+            ExprKind::FunCall { f, args } => {
+                let f = self.fun(f)?;
+                let args = args
+                    .iter()
+                    .map(|a| self.expr(*a))
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(TermExpr::Apply { f, args })
+            }
+        }
+    }
+
+    /// Converts a nested function position, eta-expanding patterns nested in patterns.
+    fn nested_fun(&mut self, id: FunDeclId) -> Result<Box<TermFun>, TermError> {
+        let f = self.fun(id)?;
+        Ok(Box::new(match f {
+            TermFun::Lambda { .. } | TermFun::UserFun(_) => f,
+            pattern => {
+                // Use the arena ids for the synthetic parameter names: decl ids are unique
+                // within the source program, so `#e{id}` cannot collide with `#{expr_id}`.
+                let unique = format!("x#e{}", id.index());
+                if matches!(pattern, TermFun::Reduce(_) | TermFun::ReduceSeq(_)) {
+                    let acc = format!("acc#e{}", id.index());
+                    TermFun::Lambda {
+                        params: vec![acc.clone(), unique.clone()],
+                        body: Box::new(TermExpr::Apply {
+                            f: pattern,
+                            args: vec![TermExpr::Param(acc), TermExpr::Param(unique)],
+                        }),
+                    }
+                } else {
+                    TermFun::Lambda {
+                        params: vec![unique.clone()],
+                        body: Box::new(TermExpr::Apply {
+                            f: pattern,
+                            args: vec![TermExpr::Param(unique)],
+                        }),
+                    }
+                }
+            }
+        }))
+    }
+
+    fn fun(&mut self, id: FunDeclId) -> Result<TermFun, TermError> {
+        match self.program.decl(id).clone() {
+            FunDecl::Lambda { params, body } => {
+                let names = params.iter().map(|p| self.bind(*p)).collect();
+                let body = self.expr(body)?;
+                Ok(TermFun::Lambda {
+                    params: names,
+                    body: Box::new(body),
+                })
+            }
+            FunDecl::UserFun(uf) => Ok(TermFun::UserFun(uf)),
+            FunDecl::Pattern(p) => Ok(match p {
+                Pattern::Map { f } => TermFun::Map(self.nested_fun(f)?),
+                Pattern::Reduce { f } => TermFun::Reduce(self.nested_fun(f)?),
+                Pattern::MapSeq { f } => TermFun::MapSeq(self.nested_fun(f)?),
+                Pattern::MapGlb { dim, f } => TermFun::MapGlb(dim, self.nested_fun(f)?),
+                Pattern::MapWrg { dim, f } => TermFun::MapWrg(dim, self.nested_fun(f)?),
+                Pattern::MapLcl { dim, f } => TermFun::MapLcl(dim, self.nested_fun(f)?),
+                Pattern::MapVec { f } => TermFun::MapVec(self.nested_fun(f)?),
+                Pattern::ReduceSeq { f } => TermFun::ReduceSeq(self.nested_fun(f)?),
+                Pattern::Iterate { n, f } => TermFun::Iterate(n, self.nested_fun(f)?),
+                Pattern::ToGlobal { f } => TermFun::ToGlobal(self.nested_fun(f)?),
+                Pattern::ToLocal { f } => TermFun::ToLocal(self.nested_fun(f)?),
+                Pattern::ToPrivate { f } => TermFun::ToPrivate(self.nested_fun(f)?),
+                Pattern::Id => TermFun::Id,
+                Pattern::Split { chunk } => TermFun::Split(chunk),
+                Pattern::Join => TermFun::Join,
+                Pattern::Gather { reorder } => TermFun::Gather(reorder),
+                Pattern::Scatter { reorder } => TermFun::Scatter(reorder),
+                Pattern::Transpose => TermFun::Transpose,
+                Pattern::Zip { arity } => TermFun::Zip(arity),
+                Pattern::Get { index } => TermFun::Get(index),
+                Pattern::Slide { size, step } => TermFun::Slide(size, step),
+                Pattern::AsVector { width } => TermFun::AsVector(width),
+                Pattern::AsScalar => TermFun::AsScalar,
+            }),
+        }
+    }
+}
+
+struct ToProgram<'a> {
+    program: &'a mut Program,
+    /// Lexical scope stack mapping unique names to arena param ids.
+    scope: Vec<(String, ExprId)>,
+}
+
+impl ToProgram<'_> {
+    fn lookup(&self, name: &str) -> ExprId {
+        self.scope
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, id)| *id)
+            .unwrap_or_else(|| panic!("parameter `{name}` is not in scope"))
+    }
+
+    fn expr(&mut self, e: &TermExpr) -> ExprId {
+        match e {
+            TermExpr::Literal(Literal::Float(v)) => self.program.literal_f32(*v),
+            TermExpr::Literal(Literal::Int(v)) => self.program.literal_i64(*v),
+            TermExpr::Param(name) => self.lookup(name),
+            TermExpr::Apply { f, args } => {
+                let f = self.fun(f);
+                let args: Vec<ExprId> = args.iter().map(|a| self.expr(a)).collect();
+                self.program.apply(f, args)
+            }
+        }
+    }
+
+    /// Converts a function in nested position, contracting eta-redexes (`λx. p(x)` → `p`).
+    ///
+    /// Contraction requires that the parameters do not *also* occur free inside `p` itself
+    /// (e.g. `λx. mapSeq(λy. add(x, y))(x)` must keep its binder, or `x` becomes unbound).
+    fn nested(&mut self, f: &TermFun) -> FunDeclId {
+        if let TermFun::Lambda { params, body } = f {
+            if let TermExpr::Apply { f: inner, args } = body.as_ref() {
+                let direct = params.len() == args.len()
+                    && params.iter().zip(args).all(|(p, a)| match a {
+                        TermExpr::Param(n) => n == p,
+                        _ => false,
+                    })
+                    && !matches!(inner, TermFun::Lambda { .. })
+                    && params.iter().all(|p| count_uses_fun(inner, p) == 0);
+                if direct {
+                    return self.fun(inner);
+                }
+            }
+        }
+        self.fun(f)
+    }
+
+    fn fun(&mut self, f: &TermFun) -> FunDeclId {
+        match f {
+            TermFun::Lambda { params, body } => {
+                let mut ids = Vec::with_capacity(params.len());
+                for name in params {
+                    let id = self.program.untyped_param(display_name(name));
+                    self.scope.push((name.clone(), id));
+                    ids.push(id);
+                }
+                let body = self.expr(body);
+                self.scope.truncate(self.scope.len() - params.len());
+                self.program.add_decl(FunDecl::Lambda { params: ids, body })
+            }
+            TermFun::UserFun(uf) => self.program.user_fun(uf.clone()),
+            TermFun::Map(g) => {
+                let g = self.nested(g);
+                self.program.map(g)
+            }
+            TermFun::Reduce(g) => {
+                let g = self.nested(g);
+                self.program.reduce_pattern(g)
+            }
+            TermFun::MapSeq(g) => {
+                let g = self.nested(g);
+                self.program.map_seq(g)
+            }
+            TermFun::MapGlb(dim, g) => {
+                let g = self.nested(g);
+                self.program.map_glb(*dim, g)
+            }
+            TermFun::MapWrg(dim, g) => {
+                let g = self.nested(g);
+                self.program.map_wrg(*dim, g)
+            }
+            TermFun::MapLcl(dim, g) => {
+                let g = self.nested(g);
+                self.program.map_lcl(*dim, g)
+            }
+            TermFun::MapVec(g) => {
+                let g = self.nested(g);
+                self.program.map_vec(g)
+            }
+            TermFun::ReduceSeq(g) => {
+                let g = self.nested(g);
+                self.program.reduce_seq_pattern(g)
+            }
+            TermFun::Iterate(n, g) => {
+                let g = self.nested(g);
+                self.program.iterate(*n, g)
+            }
+            TermFun::ToGlobal(g) => {
+                let g = self.nested(g);
+                self.program.to_global(g)
+            }
+            TermFun::ToLocal(g) => {
+                let g = self.nested(g);
+                self.program.to_local(g)
+            }
+            TermFun::ToPrivate(g) => {
+                let g = self.nested(g);
+                self.program.to_private(g)
+            }
+            TermFun::Id => self.program.id_pattern(),
+            TermFun::Split(chunk) => self.program.split(chunk.clone()),
+            TermFun::Join => self.program.join(),
+            TermFun::Gather(r) => self.program.gather(r.clone()),
+            TermFun::Scatter(r) => self.program.scatter(r.clone()),
+            TermFun::Transpose => self.program.transpose(),
+            TermFun::Zip(arity) => self.program.zip(*arity),
+            TermFun::Get(index) => self.program.get(*index),
+            TermFun::Slide(size, step) => self.program.slide(size.clone(), step.clone()),
+            TermFun::AsVector(width) => self.program.as_vector(*width),
+            TermFun::AsScalar => self.program.as_scalar(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_interp::{evaluate, Value};
+
+    fn high_level_dot(n: usize) -> Program {
+        let mut p = Program::new("dot");
+        let mult = p.user_fun(UserFun::mult_pair());
+        let add = p.user_fun(UserFun::add());
+        let m = p.map(mult);
+        let red = p.reduce(add, 0.0);
+        let z = p.zip2();
+        p.with_root(
+            vec![
+                ("x", Type::array(Type::float(), n)),
+                ("y", Type::array(Type::float(), n)),
+            ],
+            |p, params| {
+                let zipped = p.apply(z, [params[0], params[1]]);
+                let mapped = p.apply1(m, zipped);
+                p.apply1(red, mapped)
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn round_trip_preserves_semantics() {
+        let p = high_level_dot(8);
+        let term = Term::from_program(&p).expect("converts");
+        let q = term.to_program();
+        let x = Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0]);
+        let y = Value::from_f32_slice(&[8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0]);
+        let a = evaluate(&p, &[x.clone(), y.clone()]).unwrap().flatten_f32();
+        let b = evaluate(&q, &[x, y]).unwrap().flatten_f32();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip_contracts_eta_redexes() {
+        // map(map f) converts to an eta-expanded tree and back to the compact nesting.
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let inner = p.map_seq(id);
+        let outer = p.map_seq(inner);
+        p.with_root(
+            vec![("x", Type::array(Type::array(Type::float(), 2usize), 3usize))],
+            |p, params| p.apply1(outer, params[0]),
+        );
+        let term = Term::from_program(&p).expect("converts");
+        // The eta-expanded tree exposes the inner pattern application…
+        let TermExpr::Apply {
+            f: TermFun::MapSeq(nested),
+            ..
+        } = &term.body
+        else {
+            panic!("expected a mapSeq application, got {:?}", term.body);
+        };
+        assert!(matches!(nested.as_ref(), TermFun::Lambda { .. }));
+        // …and the round trip restores the compact form.
+        let q = term.to_program();
+        assert_eq!(p.to_string(), q.to_string());
+    }
+
+    #[test]
+    fn eta_contraction_keeps_binders_captured_inside_the_pattern() {
+        // outer = mapSeq(λx. mapSeq(λy. add(x, y))(x)): the nested lambda's parameter is
+        // captured inside the inner pattern's function, so `λx. P(x)` must NOT contract.
+        let mut p = Program::new("capture");
+        let add = p.user_fun(UserFun::add());
+        let lam = p.lambda(&["x"], |p, params| {
+            let x = params[0];
+            let inner = p.lambda(&["y"], |p, ps| p.apply(add, [x, ps[0]]));
+            let ms = p.map_seq(inner);
+            p.apply1(ms, x)
+        });
+        let outer = p.map_seq(lam);
+        p.with_root(
+            vec![(
+                "xs",
+                Type::array(Type::array(Type::float(), 2usize), 3usize),
+            )],
+            |p, params| p.apply1(outer, params[0]),
+        );
+        let term = Term::from_program(&p).expect("converts");
+        let q = term.to_program(); // must not panic on an unbound parameter
+                                   // The capturing lambda must survive the round trip un-contracted.
+        assert_eq!(p.to_string(), q.to_string());
+        let FunDecl::Pattern(Pattern::MapSeq { f }) = q.decl(match q.decl(q.root().unwrap()) {
+            FunDecl::Lambda { body, .. } => match &q.expr(*body).kind {
+                ExprKind::FunCall { f, .. } => *f,
+                other => panic!("expected a call, got {other:?}"),
+            },
+            _ => unreachable!(),
+        }) else {
+            panic!("expected the outer mapSeq");
+        };
+        assert!(
+            matches!(q.decl(*f), FunDecl::Lambda { .. }),
+            "the capturing lambda was eta-contracted away"
+        );
+    }
+
+    #[test]
+    fn listing1_round_trips_through_the_tree_form() {
+        // The full Listing 1 program exercises compose lambdas, iterate, toLocal/toGlobal.
+        let p = lift_benchmark_dot(256);
+        let term = Term::from_program(&p).expect("converts");
+        let q = term.to_program();
+        let x: Vec<f32> = (0..256).map(|i| (i % 7) as f32).collect();
+        let y: Vec<f32> = (0..256).map(|i| (i % 5) as f32 * 0.5).collect();
+        let a = evaluate(&p, &[Value::from_f32_slice(&x), Value::from_f32_slice(&y)])
+            .unwrap()
+            .flatten_f32();
+        let b = evaluate(&q, &[Value::from_f32_slice(&x), Value::from_f32_slice(&y)])
+            .unwrap()
+            .flatten_f32();
+        assert_eq!(a, b);
+    }
+
+    /// A local copy of the Listing 1 builder (the benchmarks crate depends on this one's
+    /// siblings, so the test rebuilds the program instead of importing it).
+    fn lift_benchmark_dot(n: usize) -> Program {
+        let mut p = Program::new("partialDot");
+        let mult_add = p.user_fun(UserFun::mult_and_sum_up_pair());
+        let add = p.user_fun(UserFun::add());
+        let red1 = p.reduce_seq(mult_add, 0.0);
+        let copy_l1 = p.copy_to_local();
+        let step1_f = p.compose(&[copy_l1, red1]);
+        let step1_map = p.map_lcl(0, step1_f);
+        let s2a = p.split(2usize);
+        let j1 = p.join();
+        let step1 = p.compose(&[j1, step1_map, s2a]);
+
+        let red2 = p.reduce_seq(add, 0.0);
+        let copy_l2 = p.copy_to_local();
+        let step2_f = p.compose(&[copy_l2, red2]);
+        let step2_map = p.map_lcl(0, step2_f);
+        let s2b = p.split(2usize);
+        let j2 = p.join();
+        let iter_body = p.compose(&[j2, step2_map, s2b]);
+        let step2 = p.iterate(6, iter_body);
+
+        let copy_g = p.copy_to_global();
+        let m_copy = p.map_lcl(0, copy_g);
+        let s1 = p.split(1usize);
+        let j3 = p.join();
+        let step3 = p.compose(&[j3, m_copy, s1]);
+
+        let wg_body = p.compose(&[step3, step2, step1]);
+        let wg = p.map_wrg(0, wg_body);
+        let s128 = p.split(128usize);
+        let jout = p.join();
+        let z = p.zip2();
+        p.with_root(
+            vec![
+                ("x", Type::array(Type::float(), n)),
+                ("y", Type::array(Type::float(), n)),
+            ],
+            |p, params| {
+                let zipped = p.apply(z, [params[0], params[1]]);
+                let split = p.apply1(s128, zipped);
+                let mapped = p.apply1(wg, split);
+                p.apply1(jout, mapped)
+            },
+        );
+        p
+    }
+}

@@ -1,0 +1,488 @@
+//! Location-based traversal over term trees.
+//!
+//! A [`Location`] addresses a subexpression of a [`Term`] body: a sequence of steps that
+//! either descend into an argument of an application ([`Step::Arg`]) or into the body of the
+//! lambda found in an application's function position after unwrapping a number of pattern
+//! layers ([`Step::Body`]). [`sites`] enumerates every application together with the
+//! [`NestContext`] of enclosing parallel patterns (which decides which lowering rules are
+//! legal there) and the types of its arguments (used e.g. for arithmetically checked
+//! divisibility of `split` factors).
+
+use std::collections::HashMap;
+
+use lift_arith::ArithExpr;
+use lift_ir::Type;
+
+use crate::term::{Term, TermExpr, TermFun};
+
+/// One step of a [`Location`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Step {
+    /// Descend into the i-th argument of an application.
+    Arg(usize),
+    /// Descend into the body of the lambda in the application's function position, after
+    /// unwrapping `peel` pattern layers (`peel == 0` means the function is itself a lambda).
+    Body {
+        /// Number of pattern layers to unwrap before reaching the lambda.
+        peel: usize,
+    },
+}
+
+/// A path from the root body to a subexpression.
+pub type Location = Vec<Step>;
+
+/// Renders a location compactly, e.g. `.arg0.body.arg1`.
+pub fn format_location(loc: &[Step]) -> String {
+    if loc.is_empty() {
+        return "@root".to_string();
+    }
+    let mut out = String::new();
+    for step in loc {
+        match step {
+            Step::Arg(i) => out.push_str(&format!(".arg{i}")),
+            Step::Body { peel: 0 } => out.push_str(".body"),
+            Step::Body { peel } => out.push_str(&format!(".fun{peel}.body")),
+        }
+    }
+    out
+}
+
+/// The parallel patterns enclosing a rewrite site.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NestContext {
+    /// Inside the function of a `mapGlb`.
+    pub inside_glb: bool,
+    /// Inside the function of a `mapWrg`.
+    pub inside_wrg: bool,
+    /// Inside the function of a `mapLcl`.
+    pub inside_lcl: bool,
+    /// Inside a sequential region (`mapSeq`, `mapVec` or a reduction operator).
+    pub inside_seq: bool,
+    /// Inside the function of a high-level `map`/`reduce` whose parallelism is undecided.
+    pub inside_pending: bool,
+}
+
+impl NestContext {
+    /// No enclosing map at all: the only place where work-item/work-group parallelism may be
+    /// introduced.
+    pub fn is_top_level(&self) -> bool {
+        !self.inside_glb
+            && !self.inside_wrg
+            && !self.inside_lcl
+            && !self.inside_seq
+            && !self.inside_pending
+    }
+
+    /// Inside a work group (where `toLocal` placement is meaningful).
+    pub fn in_work_group(&self) -> bool {
+        self.inside_wrg || self.inside_lcl
+    }
+
+    /// Inside any map or reduction function.
+    pub fn in_any_map(&self) -> bool {
+        self.inside_glb
+            || self.inside_wrg
+            || self.inside_lcl
+            || self.inside_seq
+            || self.inside_pending
+    }
+}
+
+/// Parameter-name → type environment at a site.
+pub type TypeEnv = HashMap<String, Type>;
+
+/// A rewritable application site.
+#[derive(Clone, Debug)]
+pub struct Site {
+    /// Where the application lives.
+    pub location: Location,
+    /// The enclosing parallel patterns.
+    pub context: NestContext,
+    /// The types of the application's arguments, where derivable.
+    pub arg_types: Vec<Option<Type>>,
+    /// The parameter types in scope at the site (for [`infer_type`] queries by rules).
+    pub env: TypeEnv,
+}
+
+/// Enumerates every application site of the term, pre-order.
+pub fn sites(term: &Term) -> Vec<Site> {
+    let mut env: TypeEnv = term.params.iter().cloned().collect();
+    let mut out = Vec::new();
+    let mut loc = Vec::new();
+    walk_expr(
+        &term.body,
+        &mut env,
+        &mut loc,
+        NestContext::default(),
+        Some(&mut out),
+    );
+    out
+}
+
+/// Infers the type of an expression under the given environment (best effort: returns `None`
+/// where the lightweight tree-level rules cannot decide; the arena type checker remains the
+/// authoritative gate for every derived program).
+pub fn infer_type(e: &TermExpr, env: &TypeEnv) -> Option<Type> {
+    let mut env = env.clone();
+    let mut loc = Vec::new();
+    walk_expr(e, &mut env, &mut loc, NestContext::default(), None)
+}
+
+/// Returns the subexpression at `loc`.
+pub fn get<'a>(e: &'a TermExpr, loc: &[Step]) -> Option<&'a TermExpr> {
+    let Some((step, rest)) = loc.split_first() else {
+        return Some(e);
+    };
+    let TermExpr::Apply { f, args } = e else {
+        return None;
+    };
+    match step {
+        Step::Arg(i) => get(args.get(*i)?, rest),
+        Step::Body { peel } => {
+            let mut cur = f;
+            for _ in 0..*peel {
+                cur = cur.nested()?;
+            }
+            match cur {
+                TermFun::Lambda { body, .. } => get(body, rest),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Returns a copy of `root` with the subexpression at `loc` replaced.
+pub fn replace(root: &TermExpr, loc: &[Step], replacement: TermExpr) -> Option<TermExpr> {
+    let mut out = root.clone();
+    *get_mut(&mut out, loc)? = replacement;
+    Some(out)
+}
+
+fn get_mut<'a>(e: &'a mut TermExpr, loc: &[Step]) -> Option<&'a mut TermExpr> {
+    let Some((step, rest)) = loc.split_first() else {
+        return Some(e);
+    };
+    let TermExpr::Apply { f, args } = e else {
+        return None;
+    };
+    match step {
+        Step::Arg(i) => get_mut(args.get_mut(*i)?, rest),
+        Step::Body { peel } => {
+            let mut cur = f;
+            for _ in 0..*peel {
+                cur = cur.nested_mut()?;
+            }
+            match cur {
+                TermFun::Lambda { body, .. } => get_mut(body, rest),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Walks an expression, recording application sites and returning the expression's type where
+/// derivable. `out == None` turns the walk into a pure type query.
+fn walk_expr(
+    e: &TermExpr,
+    env: &mut TypeEnv,
+    loc: &mut Location,
+    ctx: NestContext,
+    mut out: Option<&mut Vec<Site>>,
+) -> Option<Type> {
+    match e {
+        TermExpr::Literal(l) => Some(l.ty()),
+        TermExpr::Param(name) => env.get(name).cloned(),
+        TermExpr::Apply { f, args } => {
+            let mut arg_types = Vec::with_capacity(args.len());
+            for (i, a) in args.iter().enumerate() {
+                loc.push(Step::Arg(i));
+                let t = walk_expr(a, env, loc, ctx, out.as_deref_mut());
+                loc.pop();
+                arg_types.push(t);
+            }
+            if let Some(recorder) = out.as_deref_mut() {
+                recorder.push(Site {
+                    location: loc.clone(),
+                    context: ctx,
+                    arg_types: arg_types.clone(),
+                    env: env.clone(),
+                });
+            }
+            walk_fun(f, &arg_types, env, loc, ctx, out, 0)
+        }
+    }
+}
+
+/// Walks a function position applied to arguments of the given types.
+#[allow(clippy::too_many_lines)]
+fn walk_fun(
+    f: &TermFun,
+    arg_types: &[Option<Type>],
+    env: &mut TypeEnv,
+    loc: &mut Location,
+    ctx: NestContext,
+    out: Option<&mut Vec<Site>>,
+    peel: usize,
+) -> Option<Type> {
+    let array_of = |t: &Option<Type>| -> Option<(Type, ArithExpr)> {
+        t.as_ref()?.as_array().map(|(e, l)| (e.clone(), l.clone()))
+    };
+    match f {
+        TermFun::Lambda { params, body } => {
+            let saved: Vec<Option<Type>> = params.iter().map(|p| env.get(p).cloned()).collect();
+            for (p, t) in params.iter().zip(arg_types) {
+                match t {
+                    Some(t) => {
+                        env.insert(p.clone(), t.clone());
+                    }
+                    None => {
+                        env.remove(p);
+                    }
+                }
+            }
+            loc.push(Step::Body { peel });
+            let result = walk_expr(body, env, loc, ctx, out);
+            loc.pop();
+            for (p, old) in params.iter().zip(saved) {
+                match old {
+                    Some(t) => {
+                        env.insert(p.clone(), t);
+                    }
+                    None => {
+                        env.remove(p);
+                    }
+                }
+            }
+            result
+        }
+        TermFun::UserFun(uf) => Some(uf.return_type().clone()),
+        TermFun::Map(g)
+        | TermFun::MapSeq(g)
+        | TermFun::MapGlb(_, g)
+        | TermFun::MapWrg(_, g)
+        | TermFun::MapLcl(_, g) => {
+            let elem_len = array_of(&arg_types[0]);
+            let mut inner = ctx;
+            match f {
+                TermFun::Map(_) => inner.inside_pending = true,
+                TermFun::MapSeq(_) => inner.inside_seq = true,
+                TermFun::MapGlb(..) => inner.inside_glb = true,
+                TermFun::MapWrg(..) => inner.inside_wrg = true,
+                TermFun::MapLcl(..) => inner.inside_lcl = true,
+                _ => unreachable!(),
+            }
+            let elem = elem_len.as_ref().map(|(e, _)| e.clone());
+            let out_elem = walk_fun(g, &[elem], env, loc, inner, out, peel + 1)?;
+            let (_, len) = elem_len?;
+            Some(Type::array(out_elem, len))
+        }
+        TermFun::MapVec(g) => {
+            let mut inner = ctx;
+            inner.inside_seq = true;
+            let lane = match arg_types[0].as_ref() {
+                Some(Type::Vector(kind, _)) => Some(Type::Scalar(*kind)),
+                _ => None,
+            };
+            let out_lane = walk_fun(g, &[lane], env, loc, inner, out, peel + 1)?;
+            match (arg_types[0].as_ref(), out_lane) {
+                (Some(Type::Vector(_, width)), Type::Scalar(kind)) => {
+                    Some(Type::Vector(kind, *width))
+                }
+                _ => None,
+            }
+        }
+        TermFun::Reduce(g) | TermFun::ReduceSeq(g) => {
+            let mut inner = ctx;
+            inner.inside_seq = true;
+            let init = arg_types.first().cloned().flatten();
+            let elem = arg_types.get(1).and_then(array_of).map(|(e, _)| e);
+            walk_fun(g, &[init.clone(), elem], env, loc, inner, out, peel + 1);
+            init.map(|t| Type::array(t, 1usize))
+        }
+        TermFun::Iterate(n, g) => {
+            // Walk the body once to record its sites; iterate the type function only for
+            // small n (the paper's programs use constants like 6).
+            let mut current = arg_types[0].clone();
+            let first = walk_fun(g, &[current.clone()], env, loc, ctx, out, peel + 1);
+            if *n == 0 {
+                return current;
+            }
+            current = first;
+            for _ in 1..*n {
+                current = walk_fun(g, &[current.clone()], env, loc, ctx, None, peel + 1);
+            }
+            current
+        }
+        TermFun::ToGlobal(g) | TermFun::ToLocal(g) | TermFun::ToPrivate(g) => {
+            walk_fun(g, arg_types, env, loc, ctx, out, peel + 1)
+        }
+        TermFun::Id => arg_types[0].clone(),
+        TermFun::Split(chunk) => {
+            let (elem, len) = array_of(&arg_types[0])?;
+            Some(Type::array(
+                Type::array(elem, chunk.clone()),
+                len / chunk.clone(),
+            ))
+        }
+        TermFun::Join => {
+            let (row, outer) = array_of(&arg_types[0])?;
+            let (elem, inner) = row.as_array()?;
+            Some(Type::array(elem.clone(), outer * inner.clone()))
+        }
+        TermFun::Gather(_) | TermFun::Scatter(_) => arg_types[0].clone(),
+        TermFun::Transpose => {
+            let (row, n) = array_of(&arg_types[0])?;
+            let (elem, m) = row.as_array()?;
+            Some(Type::array(Type::array(elem.clone(), n), m.clone()))
+        }
+        TermFun::Zip(arity) => {
+            let mut elems = Vec::with_capacity(*arity);
+            let mut len = None;
+            for t in arg_types {
+                let (e, l) = array_of(t)?;
+                elems.push(e);
+                len.get_or_insert(l);
+            }
+            Some(Type::array(Type::Tuple(elems), len?))
+        }
+        TermFun::Get(index) => match arg_types[0].as_ref()? {
+            Type::Tuple(elems) => elems.get(*index).cloned(),
+            _ => None,
+        },
+        TermFun::Slide(size, step) => {
+            let (elem, len) = array_of(&arg_types[0])?;
+            let windows = (len - size.clone()) / step.clone() + 1;
+            Some(Type::array(Type::array(elem, size.clone()), windows))
+        }
+        TermFun::AsVector(width) => {
+            let (elem, len) = array_of(&arg_types[0])?;
+            match elem {
+                Type::Scalar(kind) => Some(Type::array(
+                    Type::Vector(kind, *width),
+                    len / ArithExpr::cst(*width as i64),
+                )),
+                _ => None,
+            }
+        }
+        TermFun::AsScalar => {
+            let (elem, len) = array_of(&arg_types[0])?;
+            match elem {
+                Type::Vector(kind, width) => Some(Type::array(
+                    Type::Scalar(kind),
+                    len * ArithExpr::cst(width as i64),
+                )),
+                _ => None,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_ir::{Program, Type, UserFun};
+
+    fn sample() -> Term {
+        // join(map(reduce(add,0))(split 4 (map(mult)(zip(x, y)))))
+        let mut p = Program::new("t");
+        let mult = p.user_fun(UserFun::mult_pair());
+        let add = p.user_fun(UserFun::add());
+        let m1 = p.map(mult);
+        let red = p.reduce(add, 0.0);
+        let m2 = p.map(red);
+        let s = p.split(4usize);
+        let j = p.join();
+        let z = p.zip2();
+        p.with_root(
+            vec![
+                ("x", Type::array(Type::float(), 16usize)),
+                ("y", Type::array(Type::float(), 16usize)),
+            ],
+            |p, params| {
+                let zipped = p.apply(z, [params[0], params[1]]);
+                let mapped = p.apply1(m1, zipped);
+                let split = p.apply1(s, mapped);
+                let outer = p.apply1(m2, split);
+                p.apply1(j, outer)
+            },
+        );
+        Term::from_program(&p).expect("converts")
+    }
+
+    #[test]
+    fn sites_enumerate_nested_applications() {
+        let term = sample();
+        let all = sites(&term);
+        // join, map(reduce), reduce-in-lambda (eta), split, map(mult), zip at least.
+        assert!(all.len() >= 6, "found only {} sites", all.len());
+        // Every location round-trips through get().
+        for site in &all {
+            assert!(
+                get(&term.body, &site.location).is_some(),
+                "dangling location {:?}",
+                site.location
+            );
+        }
+    }
+
+    #[test]
+    fn argument_types_are_derived() {
+        let term = sample();
+        let all = sites(&term);
+        // The split site sees the 16 mapped floats; the inner map site sees 16 pairs.
+        let split_site = all
+            .iter()
+            .find(|s| {
+                matches!(
+                    get(&term.body, &s.location),
+                    Some(TermExpr::Apply {
+                        f: TermFun::Split(_),
+                        ..
+                    })
+                )
+            })
+            .expect("split site");
+        let ty = split_site.arg_types[0].clone().expect("typed");
+        let (elem, len) = ty.as_array().expect("array");
+        assert_eq!(*len, lift_arith::ArithExpr::cst(16));
+        assert_eq!(*elem, Type::float());
+        let map_site = all
+            .iter()
+            .find(|s| {
+                matches!(
+                    get(&term.body, &s.location),
+                    Some(TermExpr::Apply { f: TermFun::Map(g), .. })
+                        if matches!(g.as_ref(), TermFun::UserFun(_))
+                )
+            })
+            .expect("map(mult) site");
+        let ty = map_site.arg_types[0].clone().expect("typed");
+        let (elem, _) = ty.as_array().expect("array");
+        assert!(matches!(elem, Type::Tuple(_)));
+    }
+
+    #[test]
+    fn contexts_mark_pending_high_level_maps() {
+        let term = sample();
+        let all = sites(&term);
+        // The eta-expanded reduce application inside map(reduce) is in pending context.
+        let pending: Vec<_> = all.iter().filter(|s| s.context.inside_pending).collect();
+        assert!(!pending.is_empty(), "no pending-context sites found");
+        assert!(all.iter().any(|s| s.context.is_top_level()));
+    }
+
+    #[test]
+    fn replace_swaps_the_target_subtree() {
+        let term = sample();
+        let all = sites(&term);
+        let target = &all[1];
+        let replaced = replace(
+            &term.body,
+            &target.location,
+            TermExpr::Param("swapped#0".into()),
+        )
+        .expect("replaces");
+        let seen = get(&replaced, &target.location).expect("still addressable");
+        assert_eq!(*seen, TermExpr::Param("swapped#0".into()));
+    }
+}

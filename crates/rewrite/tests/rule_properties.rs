@@ -1,0 +1,203 @@
+//! Property tests for the rewrite rules: *every* applicable rule application must preserve
+//! both types (the derived program re-typechecks) and semantics (the reference interpreter
+//! computes the same result on random inputs).
+
+use lift_arith::ArithExpr;
+use lift_interp::{evaluate, Value};
+use lift_ir::prelude::*;
+use lift_rewrite::{all_rules, beta_normalize, RuleCx, RuleOptions, Term};
+use lift_rewrite::{sites, traversal};
+use proptest::prelude::*;
+
+/// The high-level programs the properties are checked on.
+#[derive(Clone, Copy, Debug)]
+enum Subject {
+    /// `join ∘ map(reduce(+,0)) ∘ split 16 ∘ map(×) ∘ zip` over 64 elements.
+    PartialDot,
+    /// `reduce(+, 0) ∘ map(square)` over 32 elements.
+    SquareSum,
+    /// `map(id) ∘ gather(reverse) ∘ join ∘ split 4` over 32 elements (layout-heavy).
+    Layout,
+}
+
+fn build(subject: Subject) -> (Program, Vec<Vec<f32>>) {
+    match subject {
+        Subject::PartialDot => {
+            let n = 64;
+            let mut p = Program::new("pdot");
+            let mult = p.user_fun(UserFun::mult_pair());
+            let add = p.user_fun(UserFun::add());
+            let m1 = p.map(mult);
+            let red = p.reduce(add, 0.0);
+            let m2 = p.map(red);
+            let s = p.split(16usize);
+            let j = p.join();
+            let z = p.zip2();
+            p.with_root(
+                vec![
+                    ("x", Type::array(Type::float(), n)),
+                    ("y", Type::array(Type::float(), n)),
+                ],
+                |p, params| {
+                    let zipped = p.apply(z, [params[0], params[1]]);
+                    let mapped = p.apply1(m1, zipped);
+                    let split = p.apply1(s, mapped);
+                    let outer = p.apply1(m2, split);
+                    p.apply1(j, outer)
+                },
+            );
+            (p, vec![vec![0.0; n], vec![0.0; n]])
+        }
+        Subject::SquareSum => {
+            let n = 32;
+            let mut p = Program::new("sqsum");
+            let mult = p.user_fun(UserFun::mult());
+            let sq = p.lambda(&["v"], |p, params| p.apply(mult, [params[0], params[0]]));
+            let add = p.user_fun(UserFun::add());
+            let m = p.map(sq);
+            let red = p.reduce(add, 0.0);
+            p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+                let mapped = p.apply1(m, params[0]);
+                p.apply1(red, mapped)
+            });
+            (p, vec![vec![0.0; n]])
+        }
+        Subject::Layout => {
+            let n = 32;
+            let mut p = Program::new("layout");
+            let id = p.user_fun(UserFun::id_float());
+            let m = p.map(id);
+            let g = p.gather(Reorder::Reverse);
+            let s = p.split(4usize);
+            let j = p.join();
+            p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+                let split = p.apply1(s, params[0]);
+                let joined = p.apply1(j, split);
+                let gathered = p.apply1(g, joined);
+                p.apply1(m, gathered)
+            });
+            (p, vec![vec![0.0; n]])
+        }
+    }
+}
+
+fn fill_inputs(shapes: &[Vec<f32>], seed: u32) -> Vec<Vec<f32>> {
+    shapes
+        .iter()
+        .enumerate()
+        .map(|(k, buf)| {
+            (0..buf.len())
+                .map(|i| {
+                    let h = (i as u32)
+                        .wrapping_mul(31)
+                        .wrapping_add(seed)
+                        .wrapping_add(k as u32 * 7919);
+                    ((h % 16) as f32) * 0.25 - 2.0
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Applies up to `choices.len()` randomly chosen rule applications, checking type and
+/// semantics preservation after every step.
+fn random_derivation_preserves(subject: Subject, choices: &[usize], seed: u32) {
+    let (program, shapes) = build(subject);
+    let inputs = fill_inputs(&shapes, seed);
+    let values: Vec<Value> = inputs.iter().map(|b| Value::from_f32_slice(b)).collect();
+    let reference = evaluate(&program, &values)
+        .expect("the starting program evaluates")
+        .flatten_f32();
+
+    let options = RuleOptions {
+        split_sizes: vec![2, 4],
+        vector_widths: vec![2, 4],
+    };
+    let mut term = Term::from_program(&program).expect("term conversion");
+    for &choice in choices {
+        // Enumerate every (site, rule, rewrite) triple currently applicable.
+        let mut rewrites = Vec::new();
+        let mut fresh = term.fresh.clone();
+        for site in sites(&term) {
+            let Some(site_expr) = traversal::get(&term.body, &site.location) else {
+                continue;
+            };
+            for rule in all_rules() {
+                let results = {
+                    let mut cx = RuleCx {
+                        context: site.context,
+                        arg_types: &site.arg_types,
+                        env: &site.env,
+                        options: &options,
+                        fresh: &mut fresh,
+                    };
+                    rule.applications(site_expr, &mut cx)
+                };
+                for r in results {
+                    rewrites.push((site.location.clone(), rule.name, r));
+                }
+            }
+        }
+        if rewrites.is_empty() {
+            break;
+        }
+        let (location, rule_name, replacement) = rewrites.swap_remove(choice % rewrites.len());
+        let body =
+            traversal::replace(&term.body, &location, replacement).expect("location stays valid");
+        term = Term {
+            name: term.name.clone(),
+            params: term.params.clone(),
+            body: beta_normalize(&body),
+            fresh,
+        };
+
+        // Type preservation: the derived program must re-typecheck.
+        let mut derived = term.to_program();
+        prop_assert!(
+            infer_types(&mut derived).is_ok(),
+            "rule `{rule_name}` produced an ill-typed program:\n{derived}"
+        );
+        // Semantics preservation: the interpreter result must be unchanged.
+        let out = evaluate(&derived, &values);
+        prop_assert!(
+            out.is_ok(),
+            "rule `{rule_name}` produced a program the interpreter rejects:\n{derived}"
+        );
+        let out = out.unwrap().flatten_f32();
+        prop_assert_eq!(
+            &out,
+            &reference,
+            "rule `{}` changed the program's semantics:\n{}",
+            rule_name,
+            derived
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any sequence of rule applications preserves types and interpreter semantics.
+    #[test]
+    fn every_rule_application_preserves_types_and_semantics(
+        subject in prop_oneof![
+            Just(Subject::PartialDot),
+            Just(Subject::SquareSum),
+            Just(Subject::Layout),
+        ],
+        c0 in 0usize..1000,
+        c1 in 0usize..1000,
+        c2 in 0usize..1000,
+        c3 in 0usize..1000,
+        seed in 0u32..1000,
+    ) {
+        random_derivation_preserves(subject, &[c0, c1, c2, c3], seed);
+    }
+
+    /// The arithmetic divisibility side condition matches concrete arithmetic.
+    #[test]
+    fn divisibility_check_is_sound(len in 1i64..4096, c in 1i64..64) {
+        let checked = lift_rewrite::divides(c, &ArithExpr::cst(len));
+        prop_assert_eq!(checked, len % c == 0);
+    }
+}

@@ -104,8 +104,16 @@ mod tests {
 
     #[test]
     fn merge_adds_all_fields() {
-        let mut a = CostCounters { flops: 1, barriers: 2, ..Default::default() };
-        let b = CostCounters { flops: 3, global_accesses: 5, ..Default::default() };
+        let mut a = CostCounters {
+            flops: 1,
+            barriers: 2,
+            ..Default::default()
+        };
+        let b = CostCounters {
+            flops: 3,
+            global_accesses: 5,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.flops, 4);
         assert_eq!(a.barriers, 2);
@@ -115,8 +123,15 @@ mod tests {
     #[test]
     fn div_mod_heavy_kernels_cost_more() {
         let device = DeviceProfile::nvidia();
-        let cheap = CostCounters { int_ops: 1000, ..Default::default() };
-        let pricey = CostCounters { int_ops: 1000, div_mod_ops: 1000, ..Default::default() };
+        let cheap = CostCounters {
+            int_ops: 1000,
+            ..Default::default()
+        };
+        let pricey = CostCounters {
+            int_ops: 1000,
+            div_mod_ops: 1000,
+            ..Default::default()
+        };
         assert!(pricey.estimated_time(&device) > 5.0 * cheap.estimated_time(&device));
     }
 
@@ -140,7 +155,10 @@ mod tests {
     #[test]
     fn estimated_time_is_never_negative() {
         let device = DeviceProfile::amd();
-        let counters = CostCounters { vector_accesses: 1_000_000, ..Default::default() };
+        let counters = CostCounters {
+            vector_accesses: 1_000_000,
+            ..Default::default()
+        };
         assert!(counters.estimated_time(&device) >= 0.0);
     }
 }

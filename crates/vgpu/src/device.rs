@@ -20,12 +20,18 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// A one-dimensional launch.
     pub fn d1(global: usize, local: usize) -> LaunchConfig {
-        LaunchConfig { global: [global, 1, 1], local: [local, 1, 1] }
+        LaunchConfig {
+            global: [global, 1, 1],
+            local: [local, 1, 1],
+        }
     }
 
     /// A two-dimensional launch.
     pub fn d2(global: (usize, usize), local: (usize, usize)) -> LaunchConfig {
-        LaunchConfig { global: [global.0, global.1, 1], local: [local.0, local.1, 1] }
+        LaunchConfig {
+            global: [global.0, global.1, 1],
+            local: [local.0, local.1, 1],
+        }
     }
 
     /// Number of work groups per dimension.
@@ -35,14 +41,14 @@ impl LaunchConfig {
     /// Panics if any local size is zero or does not divide the global size.
     pub fn num_groups(&self) -> [usize; 3] {
         let mut out = [0; 3];
-        for d in 0..3 {
+        for (d, slot) in out.iter_mut().enumerate() {
             assert!(self.local[d] > 0, "local size must be positive");
             assert_eq!(
                 self.global[d] % self.local[d],
                 0,
                 "global size must be a multiple of the local size"
             );
-            out[d] = self.global[d] / self.local[d];
+            *slot = self.global[d] / self.local[d];
         }
         out
     }

@@ -71,7 +71,10 @@ impl fmt::Display for VgpuError {
             }
             VgpuError::NotAPointer(e) => write!(f, "expression is not a pointer: {e}"),
             VgpuError::OutOfBounds { space, index, len } => {
-                write!(f, "out-of-bounds {space} access at index {index} (length {len})")
+                write!(
+                    f,
+                    "out-of-bounds {space} access at index {index} (length {len})"
+                )
             }
             VgpuError::SymbolicLength(e) => write!(f, "cannot resolve symbolic length `{e}`"),
             VgpuError::InvalidStore(e) => write!(f, "cannot store value: {e}"),
@@ -134,7 +137,11 @@ impl VirtualGpu {
                     global.push(data);
                     params.insert(
                         param.name.clone(),
-                        GpuValue::Ptr(Ptr { space: AddrSpace::Global, buffer: idx, offset: 0 }),
+                        GpuValue::Ptr(Ptr {
+                            space: AddrSpace::Global,
+                            buffer: idx,
+                            offset: 0,
+                        }),
                     );
                 }
                 KernelArg::Int(v) => {
@@ -156,7 +163,12 @@ impl VirtualGpu {
             access_log: Vec::new(),
         };
         exec.run()?;
-        Ok(LaunchResult { buffers: exec.global, report: ExecutionReport { counters: exec.counters } })
+        Ok(LaunchResult {
+            buffers: exec.global,
+            report: ExecutionReport {
+                counters: exec.counters,
+            },
+        })
     }
 }
 
@@ -277,7 +289,13 @@ impl<'a> Exec<'a> {
                 Ok(())
             }
             CStmt::Block(stmts) => self.exec_block(stmts, group, threads, mask),
-            CStmt::Decl { ty: _, name, addr, array_len, init } => {
+            CStmt::Decl {
+                ty: _,
+                name,
+                addr,
+                array_len,
+                init,
+            } => {
                 match array_len {
                     Some(len_expr) => {
                         let len = self.resolve_len(len_expr)?;
@@ -344,7 +362,11 @@ impl<'a> Exec<'a> {
                 self.flush_accesses();
                 Ok(())
             }
-            CStmt::If { cond, then, otherwise } => {
+            CStmt::If {
+                cond,
+                then,
+                otherwise,
+            } => {
                 let mut then_mask = vec![false; threads.len()];
                 let mut else_mask = vec![false; threads.len()];
                 for i in 0..threads.len() {
@@ -367,7 +389,13 @@ impl<'a> Exec<'a> {
                 }
                 Ok(())
             }
-            CStmt::For { var, init, cond, step, body } => {
+            CStmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => {
                 for i in 0..threads.len() {
                     if !self.active(threads, mask, i) {
                         continue;
@@ -543,7 +571,11 @@ impl<'a> Exec<'a> {
             return Ok(v.clone());
         }
         if let Some(idx) = group.local_names.get(name) {
-            return Ok(GpuValue::Ptr(Ptr { space: AddrSpace::Local, buffer: *idx, offset: 0 }));
+            return Ok(GpuValue::Ptr(Ptr {
+                space: AddrSpace::Local,
+                buffer: *idx,
+                offset: 0,
+            }));
         }
         if let Some(v) = self.params.get(name) {
             return Ok(v.clone());
@@ -555,8 +587,14 @@ impl<'a> Exec<'a> {
         // Pointer arithmetic and comparison.
         if let Some(p) = a.as_ptr() {
             return Ok(match op {
-                CBinOp::Add => GpuValue::Ptr(Ptr { offset: p.offset + b.as_i64(), ..p }),
-                CBinOp::Sub => GpuValue::Ptr(Ptr { offset: p.offset - b.as_i64(), ..p }),
+                CBinOp::Add => GpuValue::Ptr(Ptr {
+                    offset: p.offset + b.as_i64(),
+                    ..p
+                }),
+                CBinOp::Sub => GpuValue::Ptr(Ptr {
+                    offset: p.offset - b.as_i64(),
+                    ..p
+                }),
                 CBinOp::Eq => GpuValue::Bool(Some(p) == b.as_ptr()),
                 CBinOp::Ne => GpuValue::Bool(Some(p) != b.as_ptr()),
                 _ => return Err(VgpuError::NotAPointer("invalid pointer operation".into())),
@@ -593,7 +631,11 @@ impl<'a> Exec<'a> {
                     if y == 0 {
                         return Err(VgpuError::DivisionByZero);
                     }
-                    GpuValue::Int(if op == CBinOp::Div { x.div_euclid(y) } else { x.rem_euclid(y) })
+                    GpuValue::Int(if op == CBinOp::Div {
+                        x.div_euclid(y)
+                    } else {
+                        x.rem_euclid(y)
+                    })
                 }
                 _ => {
                     self.counters.int_ops += 1;
@@ -644,7 +686,13 @@ impl<'a> Exec<'a> {
                 .ok_or_else(|| VgpuError::NotAPointer(name.to_string()))?;
             let mut lanes = Vec::with_capacity(width);
             for lane in 0..width {
-                lanes.push(self.load(ptr, idx * width as i64 + lane as i64, group, thread, width)?);
+                lanes.push(self.load(
+                    ptr,
+                    idx * width as i64 + lane as i64,
+                    group,
+                    thread,
+                    width,
+                )?);
             }
             self.counters.vector_accesses += width as u64;
             return Ok(GpuValue::Vector(lanes));
@@ -661,7 +709,14 @@ impl<'a> Exec<'a> {
                 other => vec![other; width],
             };
             for (lane, v) in lanes.iter().enumerate() {
-                self.store(ptr, idx * width as i64 + lane as i64, v.as_f64(), group, thread, width)?;
+                self.store(
+                    ptr,
+                    idx * width as i64 + lane as i64,
+                    v.as_f64(),
+                    group,
+                    thread,
+                    width,
+                )?;
             }
             self.counters.vector_accesses += width as u64;
             return Ok(GpuValue::Int(0));
@@ -685,7 +740,11 @@ impl<'a> Exec<'a> {
                 let a = self.eval(&args[0], group, thread)?.as_f64();
                 let b = self.eval(&args[1], group, thread)?.as_f64();
                 self.counters.flops += 1;
-                let out = if name.ends_with("min") { a.min(b) } else { a.max(b) };
+                let out = if name.ends_with("min") {
+                    a.min(b)
+                } else {
+                    a.max(b)
+                };
                 return Ok(GpuValue::Float(out));
             }
             "mad" | "fma" => {
@@ -714,8 +773,11 @@ impl<'a> Exec<'a> {
             values.push(self.eval(a, group, thread)?);
         }
         // Bind parameters with save/restore so nested calls and loop variables are preserved.
-        let saved: Vec<Option<GpuValue>> =
-            fun.params.iter().map(|(n, _)| thread.env.get(n).cloned()).collect();
+        let saved: Vec<Option<GpuValue>> = fun
+            .params
+            .iter()
+            .map(|(n, _)| thread.env.get(n).cloned())
+            .collect();
         for ((n, _), v) in fun.params.iter().zip(values) {
             thread.env.insert(n.clone(), v);
         }
@@ -778,9 +840,14 @@ impl<'a> Exec<'a> {
         let value = match ptr.space {
             AddrSpace::Global => {
                 let buf = &self.global[ptr.buffer];
-                let slot = usize::try_from(addr).ok().filter(|a| *a < buf.len()).ok_or(
-                    VgpuError::OutOfBounds { space: "global", index: addr, len: buf.len() },
-                )?;
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .filter(|a| *a < buf.len())
+                    .ok_or(VgpuError::OutOfBounds {
+                        space: "global",
+                        index: addr,
+                        len: buf.len(),
+                    })?;
                 self.counters.global_accesses += 1;
                 self.access_log.push(Access {
                     thread: thread.linear,
@@ -792,17 +859,27 @@ impl<'a> Exec<'a> {
             }
             AddrSpace::Local => {
                 let buf = &group.local[ptr.buffer];
-                let slot = usize::try_from(addr).ok().filter(|a| *a < buf.len()).ok_or(
-                    VgpuError::OutOfBounds { space: "local", index: addr, len: buf.len() },
-                )?;
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .filter(|a| *a < buf.len())
+                    .ok_or(VgpuError::OutOfBounds {
+                        space: "local",
+                        index: addr,
+                        len: buf.len(),
+                    })?;
                 self.counters.local_accesses += 1;
                 buf[slot]
             }
             AddrSpace::Private => {
                 let buf = &thread.private[ptr.buffer];
-                let slot = usize::try_from(addr).ok().filter(|a| *a < buf.len()).ok_or(
-                    VgpuError::OutOfBounds { space: "private", index: addr, len: buf.len() },
-                )?;
+                let slot = usize::try_from(addr)
+                    .ok()
+                    .filter(|a| *a < buf.len())
+                    .ok_or(VgpuError::OutOfBounds {
+                        space: "private",
+                        index: addr,
+                        len: buf.len(),
+                    })?;
                 self.counters.private_accesses += 1;
                 buf[slot]
             }
@@ -824,10 +901,13 @@ impl<'a> Exec<'a> {
             AddrSpace::Global => {
                 let buf = &mut self.global[ptr.buffer];
                 let len = buf.len();
-                let slot = usize::try_from(addr)
-                    .ok()
-                    .filter(|a| *a < len)
-                    .ok_or(VgpuError::OutOfBounds { space: "global", index: addr, len })?;
+                let slot = usize::try_from(addr).ok().filter(|a| *a < len).ok_or(
+                    VgpuError::OutOfBounds {
+                        space: "global",
+                        index: addr,
+                        len,
+                    },
+                )?;
                 buf[slot] = value as f32;
                 self.counters.global_accesses += 1;
                 self.access_log.push(Access {
@@ -840,20 +920,26 @@ impl<'a> Exec<'a> {
             AddrSpace::Local => {
                 let buf = &mut group.local[ptr.buffer];
                 let len = buf.len();
-                let slot = usize::try_from(addr)
-                    .ok()
-                    .filter(|a| *a < len)
-                    .ok_or(VgpuError::OutOfBounds { space: "local", index: addr, len })?;
+                let slot = usize::try_from(addr).ok().filter(|a| *a < len).ok_or(
+                    VgpuError::OutOfBounds {
+                        space: "local",
+                        index: addr,
+                        len,
+                    },
+                )?;
                 buf[slot] = value as f32;
                 self.counters.local_accesses += 1;
             }
             AddrSpace::Private => {
                 let buf = &mut thread.private[ptr.buffer];
                 let len = buf.len();
-                let slot = usize::try_from(addr)
-                    .ok()
-                    .filter(|a| *a < len)
-                    .ok_or(VgpuError::OutOfBounds { space: "private", index: addr, len })?;
+                let slot = usize::try_from(addr).ok().filter(|a| *a < len).ok_or(
+                    VgpuError::OutOfBounds {
+                        space: "private",
+                        index: addr,
+                        len,
+                    },
+                )?;
                 buf[slot] = value as f32;
                 self.counters.private_accesses += 1;
             }
@@ -968,9 +1054,9 @@ fn field_index(field: &str) -> usize {
 }
 
 fn vector_width(name: &str, prefix: &str) -> Option<usize> {
-    name.strip_prefix(prefix).and_then(|rest| rest.parse::<usize>().ok()).filter(|w| {
-        matches!(w, 2 | 4 | 8 | 16)
-    })
+    name.strip_prefix(prefix)
+        .and_then(|rest| rest.parse::<usize>().ok())
+        .filter(|w| matches!(w, 2 | 4 | 8 | 16))
 }
 
 #[cfg(test)]
@@ -1032,9 +1118,20 @@ mod tests {
     fn argument_count_is_checked() {
         let m = copy_kernel();
         let err = VirtualGpu::new()
-            .launch(&m, "copy", LaunchConfig::d1(16, 16), vec![KernelArg::zeros(16)])
+            .launch(
+                &m,
+                "copy",
+                LaunchConfig::d1(16, 16),
+                vec![KernelArg::zeros(16)],
+            )
             .unwrap_err();
-        assert_eq!(err, VgpuError::ArgumentMismatch { expected: 2, found: 1 });
+        assert_eq!(
+            err,
+            VgpuError::ArgumentMismatch {
+                expected: 2,
+                found: 1
+            }
+        );
     }
 
     #[test]
@@ -1048,7 +1145,16 @@ mod tests {
                 vec![KernelArg::Buffer(vec![0.0; 8]), KernelArg::zeros(64)],
             )
             .unwrap_err();
-        assert!(matches!(err, VgpuError::OutOfBounds { space: "global", .. }), "{err:?}");
+        assert!(
+            matches!(
+                err,
+                VgpuError::OutOfBounds {
+                    space: "global",
+                    ..
+                }
+            ),
+            "{err:?}"
+        );
     }
 
     #[test]
@@ -1092,8 +1198,9 @@ mod tests {
                             "add".into(),
                             vec![
                                 CExpr::var("acc"),
-                                CExpr::var("in")
-                                    .at(CExpr::global_id(0).mul(CExpr::int(4)).add(CExpr::var("i"))),
+                                CExpr::var("in").at(CExpr::global_id(0)
+                                    .mul(CExpr::int(4))
+                                    .add(CExpr::var("i"))),
                             ],
                         ),
                     }],
@@ -1113,7 +1220,9 @@ mod tests {
                 vec![KernelArg::Buffer(input), KernelArg::zeros(8)],
             )
             .expect("runs");
-        let expected: Vec<f32> = (0..8).map(|g| (0..4).map(|i| (g * 4 + i) as f32).sum()).collect();
+        let expected: Vec<f32> = (0..8)
+            .map(|g| (0..4).map(|i| (g * 4 + i) as f32).sum())
+            .collect();
         assert_eq!(result.buffers[1], expected);
         assert!(result.report.counters.loop_iterations >= 32);
         assert!(result.report.counters.flops >= 32);
@@ -1150,8 +1259,7 @@ mod tests {
                 CStmt::Barrier(Fence::local()),
                 CStmt::Assign {
                     lhs: CExpr::var("out").at(CExpr::global_id(0)),
-                    rhs: CExpr::var("tmp")
-                        .at(CExpr::int(7).sub(CExpr::local_id(0))),
+                    rhs: CExpr::var("tmp").at(CExpr::int(7).sub(CExpr::local_id(0))),
                 },
             ],
         });
@@ -1195,9 +1303,17 @@ mod tests {
             }],
         });
         let result = VirtualGpu::new()
-            .launch(&m, "half", LaunchConfig::d1(8, 8), vec![KernelArg::zeros(8)])
+            .launch(
+                &m,
+                "half",
+                LaunchConfig::d1(8, 8),
+                vec![KernelArg::zeros(8)],
+            )
             .expect("runs");
-        assert_eq!(result.buffers[0], vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]);
+        assert_eq!(
+            result.buffers[0],
+            vec![1.0, 1.0, 1.0, 1.0, 2.0, 2.0, 2.0, 2.0]
+        );
     }
 
     #[test]
@@ -1326,7 +1442,12 @@ mod tests {
             ],
         });
         let result = VirtualGpu::new()
-            .launch(&m, "priv", LaunchConfig::d1(4, 2), vec![KernelArg::zeros(4)])
+            .launch(
+                &m,
+                "priv",
+                LaunchConfig::d1(4, 2),
+                vec![KernelArg::zeros(4)],
+            )
             .expect("runs");
         assert_eq!(result.buffers[0], vec![0.0, 2.0, 4.0, 6.0]);
         assert!(result.report.counters.private_accesses > 0);

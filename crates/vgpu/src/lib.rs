@@ -25,3 +25,15 @@ pub use cost::{CostCounters, ExecutionReport};
 pub use device::{DeviceProfile, LaunchConfig};
 pub use exec::{LaunchResult, VgpuError, VirtualGpu};
 pub use memory::{GpuValue, KernelArg, Ptr};
+
+/// The workspace-wide tolerance policy for comparing a kernel's output buffer against a
+/// reference: element-wise `|a - e| <= 2e-3 * (1 + |e|)` and equal lengths. Shared by the
+/// benchmark runner, the rewrite exploration's correctness gate and the integration tests so
+/// the acceptance threshold cannot drift between them.
+pub fn outputs_match(actual: &[f32], expected: &[f32]) -> bool {
+    actual.len() == expected.len()
+        && actual
+            .iter()
+            .zip(expected)
+            .all(|(a, e)| (a - e).abs() <= 2e-3 * (1.0 + e.abs()))
+}

@@ -96,7 +96,10 @@ impl GpuValue {
 
     /// Returns `true` if the value is numeric (float, int or bool).
     pub fn is_scalar(&self) -> bool {
-        matches!(self, GpuValue::Float(_) | GpuValue::Int(_) | GpuValue::Bool(_))
+        matches!(
+            self,
+            GpuValue::Float(_) | GpuValue::Int(_) | GpuValue::Bool(_)
+        )
     }
 }
 
@@ -116,7 +119,11 @@ mod tests {
 
     #[test]
     fn pointer_round_trip() {
-        let p = Ptr { space: AddrSpace::Local, buffer: 1, offset: 16 };
+        let p = Ptr {
+            space: AddrSpace::Local,
+            buffer: 1,
+            offset: 16,
+        };
         let v = GpuValue::Ptr(p);
         assert_eq!(v.as_ptr(), Some(p));
         assert!(!v.is_scalar());

@@ -16,7 +16,10 @@ fn main() {
     let launch = LaunchConfig::d1(n / 2, 64);
     let options = CompilationOptions::all_optimisations().with_launch(launch.global, launch.local);
     let kernel = compile(&program, &options).expect("compiles");
-    println!("== Generated kernel (compare with Figure 7) ==\n{}", kernel.source());
+    println!(
+        "== Generated kernel (compare with Figure 7) ==\n{}",
+        kernel.source()
+    );
 
     // Prepare inputs and launch.
     let x: Vec<f32> = (0..n).map(|i| ((i % 17) as f32) * 0.25).collect();
@@ -25,7 +28,11 @@ fn main() {
     for p in &kernel.params {
         match p {
             KernelParamInfo::Input { index, .. } => {
-                args.push(KernelArg::Buffer(if *index == 0 { x.clone() } else { y.clone() }));
+                args.push(KernelArg::Buffer(if *index == 0 {
+                    x.clone()
+                } else {
+                    y.clone()
+                }));
             }
             KernelParamInfo::Output { .. } => args.push(KernelArg::zeros(n / 128)),
             KernelParamInfo::Size { .. } | KernelParamInfo::ScalarInput { .. } => {

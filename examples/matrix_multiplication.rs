@@ -15,12 +15,15 @@ fn main() {
         ("MM (NVIDIA mapping)", mm::nvidia_case(ProblemSize::Small)),
     ] {
         println!("== {label} ==");
-        let generated = run_lift(&case, &CompilationOptions::all_optimisations())
-            .expect("compiles and runs");
+        let generated =
+            run_lift(&case, &CompilationOptions::all_optimisations()).expect("compiles and runs");
         let reference = run_reference(&case).expect("reference runs");
         assert!(generated.correct, "generated kernel must be correct");
         assert!(reference.correct, "reference kernel must be correct");
-        println!("  generated kernel: {} source lines", generated.source_lines);
+        println!(
+            "  generated kernel: {} source lines",
+            generated.source_lines
+        );
         for device in &devices {
             let rel = relative_performance(&generated, &reference, device);
             println!(

@@ -11,7 +11,10 @@ use lift::vgpu::DeviceProfile;
 
 fn main() {
     let case = convolution::case(ProblemSize::Small);
-    println!("17-point convolution over {} output elements\n", case.expected.len());
+    println!(
+        "17-point convolution over {} output elements\n",
+        case.expected.len()
+    );
 
     let device = DeviceProfile::nvidia();
     let reference = run_reference(&case).expect("reference runs");
@@ -22,8 +25,14 @@ fn main() {
 
     for (label, options) in [
         ("no optimisations       ", CompilationOptions::none()),
-        ("barrier + control flow ", CompilationOptions::without_array_access_simplification()),
-        ("+ array simplification ", CompilationOptions::all_optimisations()),
+        (
+            "barrier + control flow ",
+            CompilationOptions::without_array_access_simplification(),
+        ),
+        (
+            "+ array simplification ",
+            CompilationOptions::all_optimisations(),
+        ),
     ] {
         let outcome = run_lift(&case, &options).expect("compiles and runs");
         assert!(outcome.correct);

@@ -12,6 +12,8 @@
 //! * [`vgpu`] — a virtual GPU that executes OpenCL ASTs and reports an analytical cost,
 //! * [`codegen`] — the Lift compiler of Section 5 (views, memory allocation, barrier
 //!   elimination, control-flow simplification, kernel generation),
+//! * [`rewrite`] — the rewrite-rule engine deriving low-level OpenCL programs from
+//!   high-level `map`/`reduce` expressions, with cost-guided exploration,
 //! * [`benchmarks`] — the twelve evaluation programs of Table 1.
 //!
 //! # Quickstart
@@ -32,6 +34,7 @@ pub use lift_codegen as codegen;
 pub use lift_interp as interp;
 pub use lift_ir as ir;
 pub use lift_ocl as ocl;
+pub use lift_rewrite as rewrite;
 pub use lift_vgpu as vgpu;
 
 /// Commonly used items, re-exported for convenience.

@@ -16,15 +16,18 @@ fn all_benchmarks_generate_correct_kernels() {
             "{}: generated kernel output does not match the host reference",
             case.info.name
         );
-        assert!(outcome.source_lines > 0, "{}: empty kernel source", case.info.name);
+        assert!(
+            outcome.source_lines > 0,
+            "{}: empty kernel source",
+            case.info.name
+        );
     }
 }
 
 #[test]
 fn all_reference_kernels_are_correct() {
     for case in all_benchmarks(ProblemSize::Small) {
-        let outcome =
-            run_reference(&case).unwrap_or_else(|e| panic!("{}: {e}", case.info.name));
+        let outcome = run_reference(&case).unwrap_or_else(|e| panic!("{}: {e}", case.info.name));
         assert!(
             outcome.correct,
             "{}: reference kernel output does not match the host reference",
@@ -47,7 +50,12 @@ fn optimisation_levels_do_not_change_results() {
             CompilationOptions::none(),
         ] {
             let outcome = run_lift(&case, &options).unwrap();
-            assert!(outcome.correct, "{} at level {}", case.info.name, options.label());
+            assert!(
+                outcome.correct,
+                "{} at level {}",
+                case.info.name,
+                options.label()
+            );
             assert_eq!(
                 outcome.output, reference.output,
                 "{}: optimisations changed the numerical result",

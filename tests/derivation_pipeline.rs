@@ -1,0 +1,144 @@
+//! Differential test for the whole derivation pipeline: a high-level `map`/`reduce` program
+//! is lowered by the `lift-rewrite` exploration, and an explored variant is compiled with
+//! `lift-codegen` and executed on the `lift-vgpu` virtual GPU with inputs the exploration has
+//! never seen. The result must agree with the reference interpreter — both for the original
+//! high-level program and for the derived variant itself (the rules are semantics-preserving,
+//! so the two references coincide).
+
+use lift::codegen::{compile, CompilationOptions, KernelParamInfo};
+use lift::interp::{evaluate, Value};
+use lift::ir::prelude::*;
+use lift::rewrite::{explore, ExplorationConfig, RuleOptions};
+use lift::vgpu::{KernelArg, LaunchConfig, VirtualGpu};
+use proptest::prelude::*;
+
+/// High-level partial dot product over `n` elements in chunks of 32.
+fn high_level_dot(n: usize) -> Program {
+    let mut p = Program::new("dot");
+    let mult = p.user_fun(UserFun::mult_pair());
+    let add = p.user_fun(UserFun::add());
+    let m1 = p.map(mult);
+    let red = p.reduce(add, 0.0);
+    let m2 = p.map(red);
+    let s = p.split(32usize);
+    let j = p.join();
+    let z = p.zip2();
+    p.with_root(
+        vec![
+            ("x", Type::array(Type::float(), n)),
+            ("y", Type::array(Type::float(), n)),
+        ],
+        |p, params| {
+            let zipped = p.apply(z, [params[0], params[1]]);
+            let mapped = p.apply1(m1, zipped);
+            let split = p.apply1(s, mapped);
+            let outer = p.apply1(m2, split);
+            p.apply1(j, outer)
+        },
+    );
+    p
+}
+
+fn run_variant_on_vgpu(program: &Program, inputs: &[Vec<f32>], launch: LaunchConfig) -> Vec<f32> {
+    let options = CompilationOptions::all_optimisations().with_launch(launch.global, launch.local);
+    let kernel = compile(program, &options).expect("derived variant compiles");
+    let out_len = kernel
+        .output_len
+        .evaluate(&Default::default())
+        .expect("constant output length") as usize;
+    let mut args = Vec::new();
+    let mut out_idx = 0;
+    let mut buffers = 0;
+    for p in &kernel.params {
+        match p {
+            KernelParamInfo::Input { index, .. } => {
+                args.push(KernelArg::Buffer(inputs[*index].clone()));
+                buffers += 1;
+            }
+            KernelParamInfo::ScalarInput { index, .. } => {
+                args.push(KernelArg::Float(inputs[*index][0]));
+            }
+            KernelParamInfo::Output { .. } => {
+                out_idx = buffers;
+                args.push(KernelArg::zeros(out_len));
+                buffers += 1;
+            }
+            KernelParamInfo::Size { .. } => args.push(KernelArg::Int(0)),
+        }
+    }
+    let result = VirtualGpu::new()
+        .launch(&kernel.module, &kernel.kernel_name, launch, args)
+        .expect("derived variant executes");
+    result.buffers[out_idx].clone()
+}
+
+const LAUNCH: LaunchConfig = LaunchConfig {
+    global: [16, 1, 1],
+    local: [4, 1, 1],
+};
+
+/// The exploration is deterministic and independent of the proptest inputs, so it runs once
+/// and every generated case reuses the result.
+fn explored() -> &'static lift::rewrite::Exploration {
+    static EXPLORATION: std::sync::OnceLock<lift::rewrite::Exploration> =
+        std::sync::OnceLock::new();
+    EXPLORATION.get_or_init(|| {
+        let program = high_level_dot(128);
+        let config = ExplorationConfig {
+            max_depth: 4,
+            beam_width: 32,
+            rule_options: RuleOptions {
+                split_sizes: vec![2],
+                vector_widths: vec![4],
+            },
+            launch: LAUNCH,
+            best_n: 8,
+            ..ExplorationConfig::default()
+        };
+        explore(&program, &config).expect("exploration runs")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Every explored variant agrees with the interpreter on inputs the exploration never saw.
+    #[test]
+    fn explored_variants_agree_with_the_interpreter_on_fresh_inputs(
+        seed in 0u32..10_000,
+        variant_choice in 0usize..8,
+    ) {
+        let n = 128;
+        let program = high_level_dot(n);
+        let launch = LAUNCH;
+        let result = explored();
+        prop_assert!(
+            result.variants.len() >= 2,
+            "expected at least two validated variants, got {}",
+            result.variants.len()
+        );
+        let variant = &result.variants[variant_choice % result.variants.len()];
+
+        // Fresh random inputs, different from the exploration's deterministic ones.
+        let x: Vec<f32> =
+            (0..n).map(|i| (((i as u32 * 37 + seed) % 23) as f32) * 0.25 - 2.5).collect();
+        let y: Vec<f32> =
+            (0..n).map(|i| (((i as u32 * 53 + seed) % 19) as f32) * 0.25 - 2.0).collect();
+        let values = [Value::from_f32_slice(&x), Value::from_f32_slice(&y)];
+
+        // The interpreter agrees between the original and the derived program…
+        let original = evaluate(&program, &values).expect("original runs").flatten_f32();
+        let derived =
+            evaluate(&variant.program, &values).expect("variant runs").flatten_f32();
+        prop_assert_eq!(&original, &derived, "derivation changed interpreter semantics");
+
+        // …and the compiled variant on the virtual GPU agrees with both.
+        let gpu = run_variant_on_vgpu(&variant.program, &[x, y], launch);
+        prop_assert!(
+            lift::vgpu::outputs_match(&gpu, &original),
+            "vgpu output {:?}… disagrees with interpreter {:?}…",
+            &gpu[..4.min(gpu.len())],
+            &original[..4.min(original.len())]
+        );
+    }
+}

@@ -112,7 +112,12 @@ fn run_compiled(program: &Program, input: &[f32], simplify: bool) -> Vec<f32> {
         }
     }
     let result = VirtualGpu::new()
-        .launch(&kernel.module, &kernel.kernel_name, LaunchConfig::d1(input.len(), 32), args)
+        .launch(
+            &kernel.module,
+            &kernel.kernel_name,
+            LaunchConfig::d1(input.len(), 32),
+            args,
+        )
         .expect("pipeline executes");
     result.buffers[out_index].clone()
 }

@@ -1,0 +1,129 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no network access, so this workspace vendors a minimal
+//! implementation of the `rand` API surface the repository uses: [`rngs::StdRng`],
+//! [`SeedableRng::seed_from_u64`] and [`Rng::gen_range`] over half-open ranges. The
+//! generator is splitmix64 — statistically fine for test workload generation and, like
+//! the real `StdRng::seed_from_u64`, fully deterministic.
+
+use std::ops::Range;
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// Returns the next pseudo-random word.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Seeding support, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Sampling support, mirroring `rand::Rng`.
+pub trait Rng: RngCore {
+    /// Samples a value uniformly from the half-open range `lo..hi`.
+    fn gen_range<T: SampleUniform>(&mut self, range: Range<T>) -> T {
+        T::sample(self.next_u64(), &range)
+    }
+}
+
+impl<R: RngCore> Rng for R {}
+
+/// Types that can be sampled uniformly from a `Range`.
+pub trait SampleUniform: Sized {
+    /// Maps a uniformly random word into the range.
+    fn sample(word: u64, range: &Range<Self>) -> Self;
+}
+
+macro_rules! impl_sample_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample(word: u64, range: &Range<Self>) -> Self {
+                assert!(range.start < range.end, "cannot sample empty range");
+                let span = (range.end as i128 - range.start as i128) as u128;
+                (range.start as i128 + (word as u128 % span) as i128) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl SampleUniform for f32 {
+    fn sample(word: u64, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = (word >> 40) as f32 / (1u64 << 24) as f32; // 24 mantissa bits in [0, 1)
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+impl SampleUniform for f64 {
+    fn sample(word: u64, range: &Range<Self>) -> Self {
+        assert!(range.start < range.end, "cannot sample empty range");
+        let unit = (word >> 11) as f64 / (1u64 << 53) as f64;
+        range.start + unit * (range.end - range.start)
+    }
+}
+
+/// The standard generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic pseudo-random generator (splitmix64).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng {
+                state: seed.wrapping_add(0x9e3779b97f4a7c15),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_and_in_range() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            let x: f32 = a.gen_range(-1.0f32..1.0);
+            let y: f32 = b.gen_range(-1.0f32..1.0);
+            assert_eq!(x, y);
+            assert!((-1.0..1.0).contains(&x));
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        let xs: Vec<f32> = (0..16).map(|_| a.gen_range(0.0f32..1.0)).collect();
+        let ys: Vec<f32> = (0..16).map(|_| c.gen_range(0.0f32..1.0)).collect();
+        assert_ne!(xs, ys);
+    }
+
+    #[test]
+    fn integer_ranges() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let v: usize = r.gen_range(3usize..9);
+            assert!((3..9).contains(&v));
+            let w: i64 = r.gen_range(-5i64..5);
+            assert!((-5..5).contains(&w));
+        }
+    }
+}
