@@ -1,0 +1,27 @@
+//! Criterion bench for the rewrite-space exploration driver: the dot-product search of the
+//! paper's running example at two candidate budgets. This is the hot path every auto-tuning
+//! item on the roadmap multiplies, so its throughput (see also `explore_stats` and
+//! `BENCH_explore.json`) is tracked as a first-class number.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lift_bench::explore_config;
+use lift_benchmarks::dot_product;
+use lift_rewrite::explore;
+
+fn exploration(c: &mut Criterion) {
+    let program = dot_product::high_level_program(512);
+    let mut group = c.benchmark_group("explore/partial-dot");
+    group.sample_size(10);
+    for max_candidates in [500usize, 4000] {
+        let config = explore_config(max_candidates);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(max_candidates),
+            &config,
+            |b, config| b.iter(|| explore(&program, config).expect("exploration runs")),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, exploration);
+criterion_main!(benches);

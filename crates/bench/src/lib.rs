@@ -9,7 +9,8 @@
 //!   optimisation levels and two device profiles (Figure 8).
 
 use lift_benchmarks::runner::RunOutcome;
-use lift_vgpu::DeviceProfile;
+use lift_rewrite::{ExplorationConfig, RuleOptions};
+use lift_vgpu::{DeviceProfile, LaunchConfig};
 
 /// Formats a relative-performance number the way the Figure 8 bars are read.
 pub fn format_relative(rel: f64) -> String {
@@ -28,6 +29,25 @@ pub fn geometric_mean(values: &[f64]) -> f64 {
 /// Convenience: estimated time of an outcome on a device.
 pub fn time_on(outcome: &RunOutcome, device: &DeviceProfile) -> f64 {
     outcome.estimated_time(device)
+}
+
+/// The canonical exploration configuration used by the `explore` bench and the
+/// `explore_stats` binary: the dot-product search whose throughput the performance
+/// trajectory (`BENCH_explore.json`) tracks. Keep this stable across PRs so the
+/// candidates/sec numbers stay comparable.
+pub fn explore_config(max_candidates: usize) -> ExplorationConfig {
+    ExplorationConfig {
+        max_depth: 5,
+        beam_width: 48,
+        max_candidates,
+        rule_options: RuleOptions {
+            split_sizes: vec![2, 4],
+            vector_widths: vec![4],
+        },
+        launch: LaunchConfig::d1(16, 4),
+        best_n: 4,
+        ..ExplorationConfig::default()
+    }
 }
 
 #[cfg(test)]

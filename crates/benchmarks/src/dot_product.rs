@@ -68,6 +68,43 @@ pub fn lift_program(n: usize) -> Program {
     p
 }
 
+/// Builds the *high-level* partial dot product — Listing 1 before any implementation
+/// choices are made: `join ∘ map(reduce(add, 0)) ∘ split 128 ∘ map(mult) ∘ zip`.
+///
+/// This is the input program of the rewrite-based derivation: it contains only the
+/// backend-agnostic `map`/`reduce` patterns, and `lift-rewrite` explores the rule space to
+/// lower it to OpenCL-specific variants (of which [`lift_program`] is a hand-derived one).
+pub fn high_level_program(n: usize) -> Program {
+    assert!(
+        n.is_multiple_of(128),
+        "the Listing 1 kernel processes chunks of 128 elements"
+    );
+    let mut p = Program::new("partial_dot");
+    let mult = p.user_fun(UserFun::mult_pair());
+    let add = p.user_fun(UserFun::add());
+    let m1 = p.map(mult);
+    let red = p.reduce(add, 0.0);
+    let m2 = p.map(red);
+    let s = p.split(128usize);
+    let j = p.join();
+    let z = p.zip2();
+    let n_expr = ArithExpr::cst(n as i64);
+    p.with_root(
+        vec![
+            ("x", Type::array(Type::float(), n_expr.clone())),
+            ("y", Type::array(Type::float(), n_expr)),
+        ],
+        |p, params| {
+            let zipped = p.apply(z, [params[0], params[1]]);
+            let mapped = p.apply1(m1, zipped);
+            let split = p.apply1(s, mapped);
+            let outer = p.apply1(m2, split);
+            p.apply1(j, outer)
+        },
+    );
+    p
+}
+
 /// Host reference: the per-work-group partial sums.
 pub fn host_reference(x: &[f32], y: &[f32]) -> Vec<f32> {
     x.chunks(128)

@@ -1,16 +1,37 @@
 //! Cost-guided exploration of the rewrite space.
 //!
 //! Starting from a (typically high-level) program, the driver repeatedly applies rewrite
-//! rules at every site under a depth/width budget, re-typechecks every derived program, and
-//! keeps a beam of the most promising candidates (those with the fewest remaining high-level
-//! patterns, then the smallest). Fully lowered candidates are compiled with `lift-codegen`,
-//! executed on the `lift-vgpu` virtual GPU with deterministic inputs, checked against the
-//! reference interpreter's result for the *original* program (the rules are
-//! semantics-preserving, so any disagreement disqualifies a variant), and scored with the
-//! analytical cost model of the selected [`DeviceProfile`]. The best `N` variants are
-//! returned together with their derivation chains, ready for code generation.
+//! rules at every site under a depth/width budget and keeps a beam of the most promising
+//! candidates (those with the fewest remaining high-level patterns, then the smallest).
+//! Fully lowered candidates are compiled with `lift-codegen`, executed on the `lift-vgpu`
+//! virtual GPU with deterministic inputs, checked against the reference interpreter's result
+//! for the *original* program (the rules are semantics-preserving, so any disagreement
+//! disqualifies a variant), and scored with the analytical cost model of the selected
+//! [`DeviceProfile`]. The best `N` variants are returned together with their derivation
+//! chains, ready for code generation.
+//!
+//! # The hot path
+//!
+//! Exploration throughput is what every auto-tuning feature multiplies, so the driver is
+//! built to touch each candidate as lightly as possible:
+//!
+//! * candidates are deduped by an 8-byte canonical structural hash ([`Term::dedup_key`])
+//!   instead of retaining full pretty-printed renderings,
+//! * candidates are type-checked directly on the tree form ([`crate::typecheck`]); the
+//!   arena conversion and `infer_types` run only for the few candidates that reach scoring,
+//! * per-site rule applicability is cached across depth levels (keyed by the raw structural
+//!   hash of the subtree plus its context and types), so rules that cannot fire at an
+//!   unchanged subtree are not re-attempted for every beam candidate containing it,
+//! * frontier expansion and the compile+validate+score stage fan out over
+//!   [`std::thread::scope`] workers ([`ExplorationConfig::threads`]) with a deterministic
+//!   in-order merge, so results are identical to the sequential run,
+//! * identical kernels (several derivations frequently lower to byte-identical OpenCL) are
+//!   executed on the virtual GPU once and their counters shared, and
+//! * beam selection keeps the best `beam_width` candidates with a bounded binary heap
+//!   instead of sorting the whole frontier expansion.
 
-use std::collections::HashSet;
+use std::collections::{BinaryHeap, HashMap, HashSet};
+use std::sync::Mutex;
 
 use lift_arith::Environment;
 use lift_codegen::{compile, CompilationOptions, KernelParamInfo};
@@ -19,8 +40,16 @@ use lift_ir::{infer_types, Program, Type, TypeError};
 use lift_vgpu::{outputs_match, CostCounters, DeviceProfile, KernelArg, LaunchConfig, VirtualGpu};
 
 use crate::rules::{all_rules, RuleCx, RuleKind, RuleOptions};
-use crate::term::{Term, TermError};
-use crate::traversal::{format_location, get, replace, sites};
+use crate::term::{
+    beta_normalize, raw_expr_hash, StableHasher, Term, TermError, TermExpr, TermFun,
+};
+use crate::traversal::{format_location, get, replace, sites, NestContext, Site};
+use crate::typecheck::typecheck;
+
+/// The 8-byte candidate-dedup key (see [`Term::dedup_key`]). The `seen` set of an
+/// exploration holds one of these per enumerated distinct candidate — nothing else — which
+/// bounds its payload memory to `8 bytes × candidates`.
+pub type DedupKey = u64;
 
 /// Budgets and knobs for the exploration.
 #[derive(Clone, Debug)]
@@ -45,6 +74,10 @@ pub struct ExplorationConfig {
     pub device: DeviceProfile,
     /// Bindings for symbolic sizes (empty for fully constant programs).
     pub sizes: Environment,
+    /// Worker threads for frontier expansion and candidate scoring: `0` uses the machine's
+    /// available parallelism, `1` runs sequentially. The merge is deterministic, so every
+    /// setting produces identical results.
+    pub threads: usize,
 }
 
 impl Default for ExplorationConfig {
@@ -60,6 +93,7 @@ impl Default for ExplorationConfig {
             compile_options: CompilationOptions::all_optimisations(),
             device: DeviceProfile::nvidia(),
             sizes: Environment::new(),
+            threads: 0,
         }
     }
 }
@@ -99,12 +133,17 @@ pub struct Exploration {
     pub explored: usize,
     /// Candidates rejected because the derived program failed to re-typecheck.
     pub rejected_typecheck: usize,
+    /// Well-typed candidates discarded as structural duplicates of earlier ones.
+    pub dedup_hits: usize,
     /// Fully lowered candidates that failed to compile.
     pub rejected_compile: usize,
     /// Fully lowered candidates whose execution disagreed with the interpreter.
     pub rejected_incorrect: usize,
     /// Distinct fully lowered candidates that reached scoring.
     pub lowered: usize,
+    /// Distinct kernels actually executed on the virtual GPU (identical kernel sources are
+    /// executed once and share their counters).
+    pub executed_kernels: usize,
 }
 
 /// Errors from the exploration driver.
@@ -147,9 +186,52 @@ struct Candidate {
     term: Term,
     steps: Vec<DerivationStep>,
     high_level_left: usize,
-    /// The typechecked arena form of `term` (reused by scoring instead of re-deriving it).
-    program: Program,
+    /// Cached `term.body.size()` (used by the size gate and beam selection).
+    size: usize,
 }
+
+/// Everything produced for one enumerated rewrite, in deterministic enumeration order. The
+/// per-candidate work (replace, normalise, typecheck, hash) happens in the expansion workers;
+/// the budget, statistics and dedup decisions happen in the sequential merge, so the parallel
+/// run is byte-identical to the sequential one.
+enum Outcome {
+    /// The rewrite was enumerated but produced no candidate (replacement failed to apply or
+    /// the term outgrew `max_term_size`). Counted against the candidate budget, like always.
+    Skipped,
+    /// The derived term failed the (term-level) typecheck.
+    IllTyped,
+    /// A well-typed derived candidate and its dedup key.
+    Derived(Box<Candidate>, DedupKey),
+}
+
+/// Cache key for per-site rule applicability: the raw structural hash of the site subtree
+/// (unique names — sound under alpha-variation), its nesting context, and a hash of the
+/// argument/environment types the rules may consult. Sites with equal keys present every
+/// rule with literally the same input, so a rule that produced no rewrites once can be
+/// skipped at every later occurrence of the subtree (beam candidates overwhelmingly share
+/// unchanged subtrees across depth levels).
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+struct SiteKey {
+    expr: u64,
+    ctx: NestContext,
+    types: u64,
+}
+
+fn site_key(site_expr: &TermExpr, site: &Site) -> SiteKey {
+    use std::hash::{Hash, Hasher};
+    let mut h = StableHasher::new();
+    for t in &site.arg_types {
+        t.hash(&mut h);
+    }
+    h.write_u64(site.env_hash);
+    SiteKey {
+        expr: raw_expr_hash(site_expr),
+        ctx: site.context,
+        types: h.finish(),
+    }
+}
+
+type RuleCache = Mutex<HashMap<SiteKey, u32>>;
 
 /// Explores the rewrite space of `program` and returns the validated, cost-ranked variants.
 ///
@@ -170,124 +252,262 @@ pub fn explore(program: &Program, config: &ExplorationConfig) -> Result<Explorat
         .flatten_f32();
 
     let root = Term::from_program(&typed)?;
+    let workers = worker_count(config);
     let mut stats = Exploration::default();
-    let mut seen: HashSet<String> = HashSet::new();
+    let mut seen: HashSet<DedupKey> = HashSet::new();
     let mut complete: Vec<Candidate> = Vec::new();
+    let rule_cache: RuleCache = Mutex::new(HashMap::new());
 
-    let mut start_program = root.to_program();
-    infer_types(&mut start_program)?;
     let start = Candidate {
-        high_level_left: high_level_count(&start_program),
-        term: root,
+        high_level_left: high_level_count(&root.body),
+        size: root.body.size(),
         steps: Vec::new(),
-        program: start_program,
+        term: root,
     };
-    seen.insert(start.program.to_string());
+    seen.insert(start.term.dedup_key());
     if start.high_level_left == 0 {
         complete.push(start.clone());
     }
     let mut frontier = vec![start];
 
     'search: for _depth in 0..config.max_depth {
+        // The merge below consumes at most `remaining` outcomes before the budget trips
+        // (the outcome that reaches the cap is counted but not processed — hence max(1)),
+        // so expansion never derives/typechecks work the merge cannot consume.
+        let remaining = config.max_candidates.saturating_sub(stats.explored).max(1);
+        let expansions = expand_frontier(&frontier, config, &rule_cache, workers, remaining);
         let mut next: Vec<Candidate> = Vec::new();
-        for cand in &frontier {
-            for site in sites(&cand.term) {
-                let Some(site_expr) = get(&cand.term.body, &site.location) else {
-                    continue;
-                };
-                for rule in all_rules() {
-                    let mut fresh = cand.term.fresh.clone();
-                    let rewrites = {
-                        let mut cx = RuleCx {
-                            context: site.context,
-                            arg_types: &site.arg_types,
-                            env: &site.env,
-                            options: &config.rule_options,
-                            fresh: &mut fresh,
-                        };
-                        rule.applications(site_expr, &mut cx)
-                    };
-                    for replacement in rewrites {
-                        stats.explored += 1;
-                        if stats.explored >= config.max_candidates {
-                            break 'search;
-                        }
-                        let Some(body) = replace(&cand.term.body, &site.location, replacement)
-                        else {
-                            continue;
-                        };
-                        let term = Term {
-                            name: cand.term.name.clone(),
-                            params: cand.term.params.clone(),
-                            body: crate::term::beta_normalize(&body),
-                            fresh: fresh.clone(),
-                        };
-                        if term.body.size() > config.max_term_size {
-                            continue;
-                        }
-                        let mut derived = term.to_program();
-                        if infer_types(&mut derived).is_err() {
-                            stats.rejected_typecheck += 1;
-                            continue;
-                        }
-                        let key = derived.to_string();
+        for outcomes in expansions {
+            for outcome in outcomes {
+                stats.explored += 1;
+                if stats.explored >= config.max_candidates {
+                    break 'search;
+                }
+                match outcome {
+                    Outcome::Skipped => {}
+                    Outcome::IllTyped => stats.rejected_typecheck += 1,
+                    Outcome::Derived(cand, key) => {
                         if !seen.insert(key) {
+                            stats.dedup_hits += 1;
                             continue;
                         }
-                        let mut steps = cand.steps.clone();
-                        steps.push(DerivationStep {
-                            rule: rule.name,
-                            kind: rule.kind,
-                            location: format_location(&site.location),
-                        });
-                        let next_cand = Candidate {
-                            high_level_left: high_level_count(&derived),
-                            term,
-                            steps,
-                            program: derived,
-                        };
-                        if next_cand.high_level_left == 0 {
-                            complete.push(next_cand.clone());
+                        if cand.high_level_left == 0 {
+                            complete.push((*cand).clone());
                         }
-                        next.push(next_cand);
+                        next.push(*cand);
                     }
                 }
             }
         }
-        // Beam selection: lowering progress first, then smaller terms.
-        next.sort_by_key(|c| (c.high_level_left, c.term.body.size()));
-        next.truncate(config.beam_width);
         if next.is_empty() {
             break;
         }
-        frontier = next;
+        // Beam selection: lowering progress first, then smaller terms (heap-based select-k,
+        // equivalent to a stable sort by `(high_level_left, size)` plus truncation).
+        frontier = select_beam(next, config.beam_width);
+        if frontier.is_empty() {
+            break;
+        }
     }
 
     stats.lowered = complete.len();
-    let mut variants: Vec<Variant> = Vec::new();
-    for cand in complete {
-        match score(&cand, &inputs, &reference, config) {
-            Ok(v) => variants.push(v),
-            Err(ScoreError::Compile) => stats.rejected_compile += 1,
-            Err(ScoreError::Incorrect) => stats.rejected_incorrect += 1,
-        }
-    }
-    variants.sort_by(|a, b| {
-        a.estimated_time
-            .partial_cmp(&b.estimated_time)
-            .unwrap_or(std::cmp::Ordering::Equal)
-    });
-    variants.truncate(config.best_n);
-    stats.variants = variants;
+    score_all(&complete, &inputs, &reference, config, workers, &mut stats);
     Ok(stats)
 }
 
-fn high_level_count(program: &Program) -> usize {
-    program
-        .reachable_decls()
+fn worker_count(config: &ExplorationConfig) -> usize {
+    match config.threads {
+        0 => std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get),
+        n => n,
+    }
+}
+
+/// Expands every frontier candidate, fanning out over `workers` scoped threads. The result
+/// vector is in frontier order regardless of scheduling, and each inner vector is in the
+/// deterministic site-major, rule-minor enumeration order.
+///
+/// `remaining` is the number of outcomes the merge can still consume before the candidate
+/// budget trips. A single candidate's outcomes beyond that count can never be consumed, so
+/// each expansion stops there; the sequential path additionally stops expanding further
+/// candidates once earlier ones have already filled the budget (their outcomes are consumed
+/// first, in frontier order).
+fn expand_frontier(
+    frontier: &[Candidate],
+    config: &ExplorationConfig,
+    cache: &RuleCache,
+    workers: usize,
+    remaining: usize,
+) -> Vec<Vec<Outcome>> {
+    if workers <= 1 || frontier.len() <= 1 {
+        let mut out = Vec::with_capacity(frontier.len());
+        let mut produced = 0usize;
+        for c in frontier {
+            if produced >= remaining {
+                break;
+            }
+            let outcomes = expand(c, config, cache, remaining - produced);
+            produced += outcomes.len();
+            out.push(outcomes);
+        }
+        return out;
+    }
+    let chunk = frontier.len().div_ceil(workers);
+    std::thread::scope(|s| {
+        let handles: Vec<_> = frontier
+            .chunks(chunk)
+            .map(|part| {
+                s.spawn(move || {
+                    part.iter()
+                        .map(|c| expand(c, config, cache, remaining))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        let mut out = Vec::with_capacity(frontier.len());
+        for h in handles {
+            out.extend(h.join().expect("expansion worker panicked"));
+        }
+        out
+    })
+}
+
+/// Applies every rule at every site of one candidate, producing an [`Outcome`] per rewrite
+/// (at most `limit` of them — exactly one outcome is pushed per enumerated rewrite, so the
+/// cut-off point is deterministic).
+fn expand(
+    cand: &Candidate,
+    config: &ExplorationConfig,
+    cache: &RuleCache,
+    limit: usize,
+) -> Vec<Outcome> {
+    let rules = all_rules();
+    debug_assert!(rules.len() <= 32, "rule-applicability mask is a u32");
+    let mut out = Vec::new();
+    for site in sites(&cand.term) {
+        if out.len() >= limit {
+            break;
+        }
+        let Some(site_expr) = get(&cand.term.body, &site.location) else {
+            continue;
+        };
+        let key = site_key(site_expr, &site);
+        let cached_mask = cache.lock().expect("rule cache lock").get(&key).copied();
+        let mut mask: u32 = 0;
+        let mut truncated = false;
+        for (rule_index, rule) in rules.iter().enumerate() {
+            if out.len() >= limit {
+                truncated = true;
+                break;
+            }
+            if let Some(m) = cached_mask {
+                if m & (1 << rule_index) == 0 {
+                    continue;
+                }
+            }
+            let mut fresh = cand.term.fresh;
+            let rewrites = {
+                let mut cx = RuleCx {
+                    context: site.context,
+                    arg_types: &site.arg_types,
+                    env: &site.env,
+                    options: &config.rule_options,
+                    fresh: &mut fresh,
+                };
+                rule.applications(site_expr, &mut cx)
+            };
+            if !rewrites.is_empty() {
+                mask |= 1 << rule_index;
+            }
+            for replacement in rewrites {
+                if out.len() >= limit {
+                    truncated = true;
+                    break;
+                }
+                let Some(body) = replace(&cand.term.body, &site.location, replacement) else {
+                    out.push(Outcome::Skipped);
+                    continue;
+                };
+                let term = Term {
+                    name: cand.term.name.clone(),
+                    params: cand.term.params.clone(),
+                    body: beta_normalize(&body),
+                    fresh,
+                };
+                let size = term.body.size();
+                if size > config.max_term_size {
+                    out.push(Outcome::Skipped);
+                    continue;
+                }
+                if typecheck(&term).is_err() {
+                    out.push(Outcome::IllTyped);
+                    continue;
+                }
+                let dedup = term.dedup_key();
+                let mut steps = cand.steps.clone();
+                steps.push(DerivationStep {
+                    rule: rule.name,
+                    kind: rule.kind,
+                    location: format_location(&site.location),
+                });
+                out.push(Outcome::Derived(
+                    Box::new(Candidate {
+                        high_level_left: high_level_count(&term.body),
+                        size,
+                        term,
+                        steps,
+                    }),
+                    dedup,
+                ));
+            }
+        }
+        // A mask recorded from a truncated rule sweep would be incomplete — never cache it.
+        if cached_mask.is_none() && !truncated {
+            cache.lock().expect("rule cache lock").insert(key, mask);
+        }
+    }
+    out
+}
+
+/// Keeps the `width` best candidates by `(high_level_left, size)` in stable order, using a
+/// bounded max-heap instead of sorting the whole expansion.
+fn select_beam(next: Vec<Candidate>, width: usize) -> Vec<Candidate> {
+    let mut heap: BinaryHeap<(usize, usize, usize)> = BinaryHeap::with_capacity(width + 1);
+    for (idx, c) in next.iter().enumerate() {
+        let key = (c.high_level_left, c.size, idx);
+        if heap.len() < width {
+            heap.push(key);
+        } else if let Some(top) = heap.peek() {
+            if key < *top {
+                heap.pop();
+                heap.push(key);
+            }
+        }
+    }
+    let mut selected = heap.into_vec();
+    selected.sort_unstable();
+    let mut slots: Vec<Option<Candidate>> = next.into_iter().map(Some).collect();
+    selected
         .into_iter()
-        .filter(|d| matches!(program.decl(*d), lift_ir::FunDecl::Pattern(p) if p.is_high_level()))
-        .count()
+        .map(|(_, _, idx)| slots[idx].take().expect("beam indices are unique"))
+        .collect()
+}
+
+/// Counts the high-level (`map`/`reduce`) pattern occurrences in a term body — the tree-form
+/// equivalent of counting reachable high-level `FunDecl::Pattern`s in the arena program.
+fn high_level_count(e: &TermExpr) -> usize {
+    fn count_fun(f: &TermFun) -> usize {
+        match f {
+            TermFun::Lambda { body, .. } => high_level_count(body),
+            TermFun::Map(g) | TermFun::Reduce(g) => 1 + count_fun(g),
+            other => other.nested().map_or(0, count_fun),
+        }
+    }
+    match e {
+        TermExpr::Literal(_) | TermExpr::Param(_) => 0,
+        TermExpr::Apply { f, args } => {
+            count_fun(f) + args.iter().map(high_level_count).sum::<usize>()
+        }
+    }
 }
 
 enum ScoreError {
@@ -353,13 +573,113 @@ fn value_of_type(ty: &Type, sizes: &Environment, state: &mut u32) -> Option<Valu
     }
 }
 
-fn score(
-    cand: &Candidate,
+/// A complete candidate compiled and readied for execution.
+struct PreparedScore {
+    program: Program,
+    module: lift_ocl::Module,
+    kernel_name: String,
+    kernel_source: String,
+    args: Vec<KernelArg>,
+    output_buffer_index: usize,
+    /// Hash of (kernel source, arguments): candidates with equal keys execute identically,
+    /// so the virtual GPU runs each distinct key once.
+    exec_key: u64,
+}
+
+/// Compiles, deduplicates, executes, validates and ranks the complete candidates.
+fn score_all(
+    complete: &[Candidate],
     inputs: &[PreparedInput],
     reference: &[f32],
     config: &ExplorationConfig,
-) -> Result<Variant, ScoreError> {
-    let program = cand.program.clone();
+    workers: usize,
+    stats: &mut Exploration,
+) {
+    // Stage 1 (cheap, serial): arena conversion + compilation + argument marshalling.
+    let prepared: Vec<Result<PreparedScore, ScoreError>> = complete
+        .iter()
+        .map(|cand| prepare_score(cand, inputs, config))
+        .collect();
+
+    // Stage 2: execute each distinct kernel once, fanning out over scoped threads. The job
+    // list is in first-occurrence order and the results are merged by key, so scheduling
+    // cannot influence the outcome.
+    let mut exec_seen: HashSet<u64> = HashSet::new();
+    let jobs: Vec<&PreparedScore> = prepared
+        .iter()
+        .filter_map(|p| p.as_ref().ok())
+        .filter(|p| exec_seen.insert(p.exec_key))
+        .collect();
+    stats.executed_kernels = jobs.len();
+    let run = |p: &PreparedScore| -> (u64, Result<CostCounters, ScoreError>) {
+        let result =
+            VirtualGpu::new().launch(&p.module, &p.kernel_name, config.launch, p.args.clone());
+        let verdict = match result {
+            Err(_) => Err(ScoreError::Incorrect),
+            Ok(result) => {
+                if outputs_match(&result.buffers[p.output_buffer_index], reference) {
+                    Ok(result.report.counters)
+                } else {
+                    Err(ScoreError::Incorrect)
+                }
+            }
+        };
+        (p.exec_key, verdict)
+    };
+    let executed: HashMap<u64, Result<CostCounters, ScoreError>> =
+        if workers <= 1 || jobs.len() <= 1 {
+            jobs.iter().map(|p| run(p)).collect()
+        } else {
+            let chunk = jobs.len().div_ceil(workers);
+            std::thread::scope(|s| {
+                let handles: Vec<_> = jobs
+                    .chunks(chunk)
+                    .map(|part| s.spawn(move || part.iter().map(|p| run(p)).collect::<Vec<_>>()))
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("scoring worker panicked"))
+                    .collect()
+            })
+        };
+
+    // Stage 3 (serial): per-candidate verdicts in candidate order.
+    let mut variants: Vec<Variant> = Vec::new();
+    for (cand, prep) in complete.iter().zip(prepared) {
+        match prep {
+            Err(ScoreError::Compile) => stats.rejected_compile += 1,
+            Err(ScoreError::Incorrect) => stats.rejected_incorrect += 1,
+            Ok(p) => match executed.get(&p.exec_key) {
+                Some(Ok(counters)) => variants.push(Variant {
+                    program: p.program,
+                    derivation: cand.steps.clone(),
+                    kernel_source: p.kernel_source,
+                    counters: *counters,
+                    estimated_time: counters.estimated_time(&config.device),
+                }),
+                _ => stats.rejected_incorrect += 1,
+            },
+        }
+    }
+    variants.sort_by(|a, b| {
+        a.estimated_time
+            .partial_cmp(&b.estimated_time)
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    variants.truncate(config.best_n);
+    stats.variants = variants;
+}
+
+fn prepare_score(
+    cand: &Candidate,
+    inputs: &[PreparedInput],
+    config: &ExplorationConfig,
+) -> Result<PreparedScore, ScoreError> {
+    use std::hash::Hasher;
+    let mut program = cand.term.to_program();
+    // The term-level checker already accepted this candidate; the arena inference fills in
+    // the type annotations code generation reads.
+    infer_types(&mut program).map_err(|_| ScoreError::Compile)?;
     let options = config
         .compile_options
         .clone()
@@ -394,20 +714,36 @@ fn score(
         }
     }
 
-    let result = VirtualGpu::new()
-        .launch(&kernel.module, &kernel.kernel_name, config.launch, args)
-        .map_err(|_| ScoreError::Incorrect)?;
-    let output = &result.buffers[output_buffer_index];
-    if !outputs_match(output, reference) {
-        return Err(ScoreError::Incorrect);
+    let kernel_source = kernel.source();
+    let mut h = StableHasher::new();
+    h.write(kernel_source.as_bytes());
+    for arg in &args {
+        match arg {
+            KernelArg::Buffer(data) => {
+                h.write_u8(0);
+                h.write_usize(data.len());
+                for v in data {
+                    h.write_u32(v.to_bits());
+                }
+            }
+            KernelArg::Float(v) => {
+                h.write_u8(1);
+                h.write_u32(v.to_bits());
+            }
+            KernelArg::Int(v) => {
+                h.write_u8(2);
+                h.write_i64(*v);
+            }
+        }
     }
-    let counters = result.report.counters;
-    Ok(Variant {
+    Ok(PreparedScore {
         program,
-        derivation: cand.steps.clone(),
-        kernel_source: kernel.source(),
-        counters,
-        estimated_time: counters.estimated_time(&config.device),
+        module: kernel.module,
+        kernel_name: kernel.kernel_name,
+        kernel_source,
+        args,
+        output_buffer_index,
+        exec_key: h.finish(),
     })
 }
 
@@ -486,11 +822,20 @@ mod tests {
         for pair in result.variants.windows(2) {
             assert!(pair[0].estimated_time <= pair[1].estimated_time);
         }
+        // Kernel-level execution dedup never runs more kernels than complete candidates.
+        assert!(result.executed_kernels <= result.lowered);
     }
 
     #[test]
     fn exploration_rejects_untypeable_input() {
         let p = Program::new("empty");
         assert!(explore(&p, &ExplorationConfig::default()).is_err());
+    }
+
+    #[test]
+    fn dedup_keys_are_eight_bytes() {
+        // The `seen` set retains exactly one `DedupKey` per distinct candidate: its payload
+        // memory is bounded by 8 bytes × candidates, not by candidate renderings.
+        assert_eq!(std::mem::size_of::<DedupKey>(), 8);
     }
 }

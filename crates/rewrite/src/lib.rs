@@ -46,8 +46,14 @@ pub mod explore;
 pub mod rules;
 pub mod term;
 pub mod traversal;
+pub mod typecheck;
 
-pub use explore::{explore, DerivationStep, Exploration, ExplorationConfig, ExploreError, Variant};
+pub use explore::{
+    explore, DedupKey, DerivationStep, Exploration, ExplorationConfig, ExploreError, Variant,
+};
 pub use rules::{all_rules, divides, Rule, RuleCx, RuleKind, RuleOptions};
-pub use term::{beta_normalize, Term, TermError, TermExpr, TermFun};
-pub use traversal::{format_location, infer_type, sites, Location, NestContext, Site, Step};
+pub use term::{beta_normalize, raw_expr_hash, StableHasher, Term, TermError, TermExpr, TermFun};
+pub use traversal::{
+    format_location, get, infer_type, replace, sites, Location, NestContext, Site, Step,
+};
+pub use typecheck::typecheck;

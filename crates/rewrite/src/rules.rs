@@ -804,7 +804,7 @@ mod tests {
             split_sizes: vec![2, 4],
             vector_widths: vec![2],
         };
-        let mut fresh = term.fresh.clone();
+        let mut fresh = term.fresh;
         for site in sites(&term) {
             let Some(expr) = get(&term.body, &site.location) else {
                 continue;
@@ -826,7 +826,7 @@ mod tests {
                     name: term.name.clone(),
                     params: term.params.clone(),
                     body: new_body,
-                    fresh: fresh.clone(),
+                    fresh,
                 }
                 .to_program();
                 let mut typed = derived.clone();
@@ -893,7 +893,7 @@ mod tests {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
         };
-        let mut fresh = term.fresh.clone();
+        let mut fresh = term.fresh;
         for site in sites(&term) {
             let Some(expr) = get(&term.body, &site.location) else {
                 continue;
@@ -927,7 +927,7 @@ mod tests {
             .find(|r| r.name == "map-to-mapLcl")
             .expect("rule exists");
         let options = RuleOptions::default();
-        let mut fresh = term.fresh.clone();
+        let mut fresh = term.fresh;
         for site in sites(&term) {
             let Some(expr) = get(&term.body, &site.location) else {
                 continue;

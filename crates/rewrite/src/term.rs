@@ -223,7 +223,7 @@ fn fun_size(f: &TermFun) -> usize {
 }
 
 /// A generator of fresh parameter names.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct FreshNames {
     counter: usize,
 }
@@ -413,6 +413,406 @@ fn display_name(name: &str) -> String {
     match name.split_once('#') {
         Some((base, _)) => base.to_string(),
         None => name.to_string(),
+    }
+}
+
+/// The display prefix of a unique name, without allocating.
+fn display_prefix(name: &str) -> &str {
+    match name.split_once('#') {
+        Some((base, _)) => base,
+        None => name,
+    }
+}
+
+// ------------------------------------------------------------------ structural hashing
+//
+// The exploration driver dedups candidates by a 64-bit *canonical* structural hash instead of
+// retaining every candidate's full pretty-printed `Program` string. To keep the dedup
+// semantics identical to the old string key, the hash walks the term applying exactly the two
+// normalisations `to_program()` + pretty-printing apply:
+//
+// * parameter names are hashed by their *display* prefix (the `#id` uniqueness suffix is
+//   stripped by `to_program`, so alpha-variants that print identically hash identically), and
+// * eta-redexes in pattern-nested position (`λx. p(x)` where `p` is not a lambda and does not
+//   capture `x`) are contracted on the fly, mirroring [`ToProgram::nested`].
+//
+// Everything the printed form distinguishes, the hash distinguishes (plus a little more:
+// reorder functions and zip arities, which the printer elides but no rewrite rule varies
+// independently of the surrounding structure).
+
+/// A deterministic 64-bit FNV-1a hasher. The dedup keys must be stable across runs, threads
+/// and processes (they are compared against a baseline and merged deterministically from
+/// worker threads), so the randomly-seeded std `RandomState` is not usable here.
+#[derive(Clone, Debug)]
+pub struct StableHasher(u64);
+
+impl Default for StableHasher {
+    fn default() -> Self {
+        StableHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl StableHasher {
+    /// Creates a hasher with the FNV offset basis.
+    pub fn new() -> StableHasher {
+        StableHasher::default()
+    }
+}
+
+impl std::hash::Hasher for StableHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for b in bytes {
+            self.0 = (self.0 ^ u64::from(*b)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+}
+
+impl StableHasher {
+    /// Hashes a string with a length prefix, so sequences of variable-length names are
+    /// unambiguous (`["x", "xx"]` must not collide with `["xx", "x"]`).
+    fn write_str(&mut self, s: &str) {
+        use std::hash::Hasher;
+        self.write_usize(s.len());
+        self.write(s.as_bytes());
+    }
+}
+
+impl Term {
+    /// The candidate-dedup key: a canonical structural hash combined with the term size.
+    ///
+    /// Two terms whose [`Term::to_program`] conversions pretty-print identically receive the
+    /// same key, so deduping on this 8-byte key keeps exactly the candidate set the old
+    /// `HashSet<String>` of full renderings kept — without materialising the arena program
+    /// or the string.
+    pub fn dedup_key(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = StableHasher::new();
+        h.write_str(&self.name);
+        for (name, ty) in &self.params {
+            h.write_str(display_prefix(name));
+            ty.hash(&mut h);
+        }
+        hash_expr_canon(&self.body, &mut h);
+        h.write_usize(self.body.size());
+        h.finish()
+    }
+}
+
+/// Hashes the *raw* structure of an expression (unique parameter names, no eta-contraction).
+/// This is the sound cache key for per-site rule applicability: two sites with equal raw
+/// hashes (and equal contexts/types) present rules with literally the same input.
+pub fn raw_expr_hash(e: &TermExpr) -> u64 {
+    use std::hash::Hasher;
+    let mut h = StableHasher::new();
+    hash_expr_raw(e, &mut h);
+    h.finish()
+}
+
+fn hash_expr_canon(e: &TermExpr, h: &mut StableHasher) {
+    use std::hash::Hasher;
+    match e {
+        TermExpr::Literal(Literal::Float(v)) => {
+            h.write_u8(0);
+            h.write_u32(v.to_bits());
+        }
+        TermExpr::Literal(Literal::Int(v)) => {
+            h.write_u8(1);
+            h.write_i64(*v);
+        }
+        TermExpr::Param(name) => {
+            h.write_u8(2);
+            h.write_str(display_prefix(name));
+        }
+        TermExpr::Apply { f, args } => {
+            h.write_u8(3);
+            hash_fun_canon(f, h);
+            h.write_usize(args.len());
+            for a in args {
+                hash_expr_canon(a, h);
+            }
+        }
+    }
+}
+
+/// Mirrors [`ToProgram::nested`]: contracts `λx. p(x)` to `p` before hashing, under exactly
+/// the conditions the converter contracts it.
+fn hash_nested_canon(f: &TermFun, h: &mut StableHasher) {
+    if let TermFun::Lambda { params, body } = f {
+        if let TermExpr::Apply { f: inner, args } = body.as_ref() {
+            let direct = params.len() == args.len()
+                && params.iter().zip(args).all(|(p, a)| match a {
+                    TermExpr::Param(n) => n == p,
+                    _ => false,
+                })
+                && !matches!(inner, TermFun::Lambda { .. })
+                && params.iter().all(|p| count_uses_fun(inner, p) == 0);
+            if direct {
+                hash_fun_canon(inner, h);
+                return;
+            }
+        }
+    }
+    hash_fun_canon(f, h);
+}
+
+#[allow(clippy::too_many_lines)]
+fn hash_fun_canon(f: &TermFun, h: &mut StableHasher) {
+    use std::hash::{Hash, Hasher};
+    match f {
+        TermFun::Lambda { params, body } => {
+            h.write_u8(10);
+            h.write_usize(params.len());
+            for p in params {
+                h.write_str(display_prefix(p));
+            }
+            hash_expr_canon(body, h);
+        }
+        TermFun::UserFun(uf) => {
+            h.write_u8(11);
+            h.write_str(uf.name());
+            h.write_usize(uf.arity());
+        }
+        TermFun::Map(g) => {
+            h.write_u8(12);
+            hash_nested_canon(g, h);
+        }
+        TermFun::Reduce(g) => {
+            h.write_u8(13);
+            hash_nested_canon(g, h);
+        }
+        TermFun::MapSeq(g) => {
+            h.write_u8(14);
+            hash_nested_canon(g, h);
+        }
+        TermFun::MapGlb(dim, g) => {
+            h.write_u8(15);
+            h.write_u8(*dim);
+            hash_nested_canon(g, h);
+        }
+        TermFun::MapWrg(dim, g) => {
+            h.write_u8(16);
+            h.write_u8(*dim);
+            hash_nested_canon(g, h);
+        }
+        TermFun::MapLcl(dim, g) => {
+            h.write_u8(17);
+            h.write_u8(*dim);
+            hash_nested_canon(g, h);
+        }
+        TermFun::MapVec(g) => {
+            h.write_u8(18);
+            hash_nested_canon(g, h);
+        }
+        TermFun::ReduceSeq(g) => {
+            h.write_u8(19);
+            hash_nested_canon(g, h);
+        }
+        TermFun::Iterate(n, g) => {
+            h.write_u8(20);
+            h.write_u64(*n);
+            hash_nested_canon(g, h);
+        }
+        TermFun::ToGlobal(g) => {
+            h.write_u8(21);
+            hash_nested_canon(g, h);
+        }
+        TermFun::ToLocal(g) => {
+            h.write_u8(22);
+            hash_nested_canon(g, h);
+        }
+        TermFun::ToPrivate(g) => {
+            h.write_u8(23);
+            hash_nested_canon(g, h);
+        }
+        TermFun::Id => h.write_u8(24),
+        TermFun::Split(chunk) => {
+            h.write_u8(25);
+            chunk.hash(h);
+        }
+        TermFun::Join => h.write_u8(26),
+        TermFun::Gather(r) => {
+            h.write_u8(27);
+            hash_reorder(r, h);
+        }
+        TermFun::Scatter(r) => {
+            h.write_u8(28);
+            hash_reorder(r, h);
+        }
+        TermFun::Transpose => h.write_u8(29),
+        TermFun::Zip(arity) => {
+            h.write_u8(30);
+            h.write_usize(*arity);
+        }
+        TermFun::Get(index) => {
+            h.write_u8(31);
+            h.write_usize(*index);
+        }
+        TermFun::Slide(size, step) => {
+            h.write_u8(32);
+            size.hash(h);
+            step.hash(h);
+        }
+        TermFun::AsVector(width) => {
+            h.write_u8(33);
+            h.write_usize(*width);
+        }
+        TermFun::AsScalar => h.write_u8(34),
+    }
+}
+
+fn hash_reorder(r: &Reorder, h: &mut StableHasher) {
+    use std::hash::{Hash, Hasher};
+    match r {
+        Reorder::Identity => h.write_u8(0),
+        Reorder::Reverse => h.write_u8(1),
+        Reorder::Stride(s) => {
+            h.write_u8(2);
+            s.hash(h);
+        }
+    }
+}
+
+fn hash_expr_raw(e: &TermExpr, h: &mut StableHasher) {
+    use std::hash::Hasher;
+    match e {
+        TermExpr::Literal(Literal::Float(v)) => {
+            h.write_u8(0);
+            h.write_u32(v.to_bits());
+        }
+        TermExpr::Literal(Literal::Int(v)) => {
+            h.write_u8(1);
+            h.write_i64(*v);
+        }
+        TermExpr::Param(name) => {
+            h.write_u8(2);
+            h.write_str(name);
+        }
+        TermExpr::Apply { f, args } => {
+            h.write_u8(3);
+            hash_fun_raw(f, h);
+            h.write_usize(args.len());
+            for a in args {
+                hash_expr_raw(a, h);
+            }
+        }
+    }
+}
+
+fn hash_fun_raw(f: &TermFun, h: &mut StableHasher) {
+    use std::hash::{Hash, Hasher};
+    match f {
+        TermFun::Lambda { params, body } => {
+            h.write_u8(10);
+            h.write_usize(params.len());
+            for p in params {
+                h.write_str(p);
+            }
+            hash_expr_raw(body, h);
+        }
+        // Rules may inspect the whole user-function definition (e.g. `partial-reduce` probes
+        // the body for neutrality of the initialiser), so the raw hash covers all of it.
+        TermFun::UserFun(uf) => {
+            h.write_u8(11);
+            h.write_str(uf.name());
+            for t in uf.param_types() {
+                t.hash(h);
+            }
+            uf.return_type().hash(h);
+            h.write_u8(u8::from(uf.is_assoc_commutative()));
+            hash_scalar_expr(uf.body(), h);
+        }
+        other => match other.nested() {
+            Some(g) => {
+                hash_fun_tag(other, h);
+                hash_fun_raw(g, h);
+            }
+            // Leaf patterns carry no names and no nested function: the canonical walk
+            // already hashes their full structure.
+            None => hash_fun_canon(other, h),
+        },
+    }
+}
+
+fn hash_scalar_expr(e: &lift_ir::ScalarExpr, h: &mut StableHasher) {
+    use lift_ir::ScalarExpr;
+    use std::hash::Hasher;
+    match e {
+        ScalarExpr::Param(i) => {
+            h.write_u8(0);
+            h.write_usize(*i);
+        }
+        ScalarExpr::Get(inner, i) => {
+            h.write_u8(1);
+            hash_scalar_expr(inner, h);
+            h.write_usize(*i);
+        }
+        ScalarExpr::Tuple(es) => {
+            h.write_u8(2);
+            h.write_usize(es.len());
+            for e in es {
+                hash_scalar_expr(e, h);
+            }
+        }
+        ScalarExpr::ConstFloat(v) => {
+            h.write_u8(3);
+            h.write_u64(v.to_bits());
+        }
+        ScalarExpr::ConstInt(v) => {
+            h.write_u8(4);
+            h.write_i64(*v);
+        }
+        ScalarExpr::Bin(op, a, b) => {
+            h.write_u8(5);
+            h.write_u8(*op as u8);
+            hash_scalar_expr(a, h);
+            hash_scalar_expr(b, h);
+        }
+        ScalarExpr::Un(op, a) => {
+            h.write_u8(6);
+            h.write_u8(*op as u8);
+            hash_scalar_expr(a, h);
+        }
+        ScalarExpr::Select(c, a, b) => {
+            h.write_u8(7);
+            hash_scalar_expr(c, h);
+            hash_scalar_expr(a, h);
+            hash_scalar_expr(b, h);
+        }
+    }
+}
+
+fn hash_fun_tag(f: &TermFun, h: &mut StableHasher) {
+    use std::hash::Hasher;
+    match f {
+        TermFun::Map(_) => h.write_u8(12),
+        TermFun::Reduce(_) => h.write_u8(13),
+        TermFun::MapSeq(_) => h.write_u8(14),
+        TermFun::MapGlb(dim, _) => {
+            h.write_u8(15);
+            h.write_u8(*dim);
+        }
+        TermFun::MapWrg(dim, _) => {
+            h.write_u8(16);
+            h.write_u8(*dim);
+        }
+        TermFun::MapLcl(dim, _) => {
+            h.write_u8(17);
+            h.write_u8(*dim);
+        }
+        TermFun::MapVec(_) => h.write_u8(18),
+        TermFun::ReduceSeq(_) => h.write_u8(19),
+        TermFun::Iterate(n, _) => {
+            h.write_u8(20);
+            h.write_u64(*n);
+        }
+        TermFun::ToGlobal(_) => h.write_u8(21),
+        TermFun::ToLocal(_) => h.write_u8(22),
+        TermFun::ToPrivate(_) => h.write_u8(23),
+        _ => unreachable!("only patterns with a nested function reach hash_fun_tag"),
     }
 }
 

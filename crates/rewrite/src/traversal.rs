@@ -9,14 +9,15 @@
 //! divisibility of `split` factors).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use lift_arith::ArithExpr;
 use lift_ir::Type;
 
-use crate::term::{Term, TermExpr, TermFun};
+use crate::term::{StableHasher, Term, TermExpr, TermFun};
 
 /// One step of a [`Location`].
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum Step {
     /// Descend into the i-th argument of an application.
     Arg(usize),
@@ -48,7 +49,7 @@ pub fn format_location(loc: &[Step]) -> String {
 }
 
 /// The parallel patterns enclosing a rewrite site.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
 pub struct NestContext {
     /// Inside the function of a `mapGlb`.
     pub inside_glb: bool,
@@ -101,17 +102,71 @@ pub struct Site {
     /// The types of the application's arguments, where derivable.
     pub arg_types: Vec<Option<Type>>,
     /// The parameter types in scope at the site (for [`infer_type`] queries by rules).
-    pub env: TypeEnv,
+    /// Shared between all sites of the same lambda scope — enumerating sites does not clone
+    /// the environment per site.
+    pub env: Arc<TypeEnv>,
+    /// A deterministic structural hash of `env` (name → type bindings, order-independent),
+    /// computed once per lambda scope. Used by the exploration driver's rule-applicability
+    /// cache so keying on the environment does not require re-hashing it per site.
+    pub env_hash: u64,
+}
+
+/// Hashes a type environment deterministically (sorted by name).
+fn env_hash_of(env: &TypeEnv) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut entries: Vec<_> = env.iter().collect();
+    entries.sort_unstable_by_key(|(n, _)| n.as_str());
+    let mut h = StableHasher::new();
+    for (n, t) in entries {
+        h.write_usize(n.len());
+        h.write(n.as_bytes());
+        t.hash(&mut h);
+    }
+    h.finish()
+}
+
+/// A scope: the shared environment map plus its precomputed hash.
+#[derive(Clone)]
+struct Scope {
+    env: Arc<TypeEnv>,
+    hash: u64,
+}
+
+impl Scope {
+    fn new(env: TypeEnv) -> Scope {
+        let hash = env_hash_of(&env);
+        Scope {
+            env: Arc::new(env),
+            hash,
+        }
+    }
+
+    /// A child scope with the lambda parameters bound (or unbound, for untypeable
+    /// arguments) — the only place environments change during a walk.
+    fn bind(&self, params: &[String], arg_types: &[Option<Type>]) -> Scope {
+        let mut env = (*self.env).clone();
+        for (p, t) in params.iter().zip(arg_types) {
+            match t {
+                Some(t) => {
+                    env.insert(p.clone(), t.clone());
+                }
+                None => {
+                    env.remove(p);
+                }
+            }
+        }
+        Scope::new(env)
+    }
 }
 
 /// Enumerates every application site of the term, pre-order.
 pub fn sites(term: &Term) -> Vec<Site> {
-    let mut env: TypeEnv = term.params.iter().cloned().collect();
+    let scope = Scope::new(term.params.iter().cloned().collect());
     let mut out = Vec::new();
     let mut loc = Vec::new();
     walk_expr(
         &term.body,
-        &mut env,
+        &scope,
         &mut loc,
         NestContext::default(),
         Some(&mut out),
@@ -123,9 +178,14 @@ pub fn sites(term: &Term) -> Vec<Site> {
 /// where the lightweight tree-level rules cannot decide; the arena type checker remains the
 /// authoritative gate for every derived program).
 pub fn infer_type(e: &TermExpr, env: &TypeEnv) -> Option<Type> {
-    let mut env = env.clone();
+    let scope = Scope {
+        env: Arc::new(env.clone()),
+        // The hash is only consumed through recorded sites, and a pure type query records
+        // none.
+        hash: 0,
+    };
     let mut loc = Vec::new();
-    walk_expr(e, &mut env, &mut loc, NestContext::default(), None)
+    walk_expr(e, &scope, &mut loc, NestContext::default(), None)
 }
 
 /// Returns the subexpression at `loc`.
@@ -184,19 +244,19 @@ fn get_mut<'a>(e: &'a mut TermExpr, loc: &[Step]) -> Option<&'a mut TermExpr> {
 /// derivable. `out == None` turns the walk into a pure type query.
 fn walk_expr(
     e: &TermExpr,
-    env: &mut TypeEnv,
+    scope: &Scope,
     loc: &mut Location,
     ctx: NestContext,
     mut out: Option<&mut Vec<Site>>,
 ) -> Option<Type> {
     match e {
         TermExpr::Literal(l) => Some(l.ty()),
-        TermExpr::Param(name) => env.get(name).cloned(),
+        TermExpr::Param(name) => scope.env.get(name).cloned(),
         TermExpr::Apply { f, args } => {
             let mut arg_types = Vec::with_capacity(args.len());
             for (i, a) in args.iter().enumerate() {
                 loc.push(Step::Arg(i));
-                let t = walk_expr(a, env, loc, ctx, out.as_deref_mut());
+                let t = walk_expr(a, scope, loc, ctx, out.as_deref_mut());
                 loc.pop();
                 arg_types.push(t);
             }
@@ -205,10 +265,11 @@ fn walk_expr(
                     location: loc.clone(),
                     context: ctx,
                     arg_types: arg_types.clone(),
-                    env: env.clone(),
+                    env: Arc::clone(&scope.env),
+                    env_hash: scope.hash,
                 });
             }
-            walk_fun(f, &arg_types, env, loc, ctx, out, 0)
+            walk_fun(f, &arg_types, scope, loc, ctx, out, 0)
         }
     }
 }
@@ -218,7 +279,7 @@ fn walk_expr(
 fn walk_fun(
     f: &TermFun,
     arg_types: &[Option<Type>],
-    env: &mut TypeEnv,
+    scope: &Scope,
     loc: &mut Location,
     ctx: NestContext,
     out: Option<&mut Vec<Site>>,
@@ -229,30 +290,10 @@ fn walk_fun(
     };
     match f {
         TermFun::Lambda { params, body } => {
-            let saved: Vec<Option<Type>> = params.iter().map(|p| env.get(p).cloned()).collect();
-            for (p, t) in params.iter().zip(arg_types) {
-                match t {
-                    Some(t) => {
-                        env.insert(p.clone(), t.clone());
-                    }
-                    None => {
-                        env.remove(p);
-                    }
-                }
-            }
+            let inner = scope.bind(params, arg_types);
             loc.push(Step::Body { peel });
-            let result = walk_expr(body, env, loc, ctx, out);
+            let result = walk_expr(body, &inner, loc, ctx, out);
             loc.pop();
-            for (p, old) in params.iter().zip(saved) {
-                match old {
-                    Some(t) => {
-                        env.insert(p.clone(), t);
-                    }
-                    None => {
-                        env.remove(p);
-                    }
-                }
-            }
             result
         }
         TermFun::UserFun(uf) => Some(uf.return_type().clone()),
@@ -272,7 +313,7 @@ fn walk_fun(
                 _ => unreachable!(),
             }
             let elem = elem_len.as_ref().map(|(e, _)| e.clone());
-            let out_elem = walk_fun(g, &[elem], env, loc, inner, out, peel + 1)?;
+            let out_elem = walk_fun(g, &[elem], scope, loc, inner, out, peel + 1)?;
             let (_, len) = elem_len?;
             Some(Type::array(out_elem, len))
         }
@@ -283,7 +324,7 @@ fn walk_fun(
                 Some(Type::Vector(kind, _)) => Some(Type::Scalar(*kind)),
                 _ => None,
             };
-            let out_lane = walk_fun(g, &[lane], env, loc, inner, out, peel + 1)?;
+            let out_lane = walk_fun(g, &[lane], scope, loc, inner, out, peel + 1)?;
             match (arg_types[0].as_ref(), out_lane) {
                 (Some(Type::Vector(_, width)), Type::Scalar(kind)) => {
                     Some(Type::Vector(kind, *width))
@@ -296,25 +337,25 @@ fn walk_fun(
             inner.inside_seq = true;
             let init = arg_types.first().cloned().flatten();
             let elem = arg_types.get(1).and_then(array_of).map(|(e, _)| e);
-            walk_fun(g, &[init.clone(), elem], env, loc, inner, out, peel + 1);
+            walk_fun(g, &[init.clone(), elem], scope, loc, inner, out, peel + 1);
             init.map(|t| Type::array(t, 1usize))
         }
         TermFun::Iterate(n, g) => {
             // Walk the body once to record its sites; iterate the type function only for
             // small n (the paper's programs use constants like 6).
             let mut current = arg_types[0].clone();
-            let first = walk_fun(g, &[current.clone()], env, loc, ctx, out, peel + 1);
+            let first = walk_fun(g, &[current.clone()], scope, loc, ctx, out, peel + 1);
             if *n == 0 {
                 return current;
             }
             current = first;
             for _ in 1..*n {
-                current = walk_fun(g, &[current.clone()], env, loc, ctx, None, peel + 1);
+                current = walk_fun(g, &[current.clone()], scope, loc, ctx, None, peel + 1);
             }
             current
         }
         TermFun::ToGlobal(g) | TermFun::ToLocal(g) | TermFun::ToPrivate(g) => {
-            walk_fun(g, arg_types, env, loc, ctx, out, peel + 1)
+            walk_fun(g, arg_types, scope, loc, ctx, out, peel + 1)
         }
         TermFun::Id => arg_types[0].clone(),
         TermFun::Split(chunk) => {

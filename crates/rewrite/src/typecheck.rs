@@ -1,0 +1,401 @@
+//! Type checking directly on the tree term representation.
+//!
+//! The exploration driver derives thousands of candidate terms per search; converting each
+//! one to an arena [`lift_ir::Program`] just to run [`lift_ir::infer_types`] dominated the
+//! enumeration cost. This module re-states the typing rules of Section 5.1 over
+//! [`TermExpr`]/[`TermFun`] so candidates are checked *in place*: the arena round-trip now
+//! happens only for candidates that survive dedup, complete lowering, and reach the scoring
+//! stage (where the arena form is needed for code generation anyway).
+//!
+//! The checker reuses [`lift_ir::Type`] and [`lift_ir::TypeError`] and mirrors the arena
+//! checker rule for rule — `typecheck(term)` accepts exactly when
+//! `infer_types(&mut term.to_program())` accepts (a differential test in the exploration
+//! test-suite pins this equivalence on every candidate of a representative search).
+
+use lift_arith::ArithExpr;
+use lift_ir::{Type, TypeError};
+
+use crate::term::{Term, TermExpr, TermFun};
+
+/// Infers the result type of the term's body, or the first inconsistency found.
+///
+/// # Errors
+///
+/// Returns the same [`TypeError`] the arena checker reports for the converted program.
+pub fn typecheck(term: &Term) -> Result<Type, TypeError> {
+    let mut scope: Vec<(&str, Type)> = term
+        .params
+        .iter()
+        .map(|(n, t)| (n.as_str(), t.clone()))
+        .collect();
+    check_expr(&term.body, &mut scope)
+}
+
+fn check_expr<'t>(e: &'t TermExpr, scope: &mut Vec<(&'t str, Type)>) -> Result<Type, TypeError> {
+    match e {
+        TermExpr::Literal(l) => Ok(l.ty()),
+        TermExpr::Param(name) => scope
+            .iter()
+            .rev()
+            .find(|(n, _)| *n == name)
+            .map(|(_, t)| t.clone())
+            .ok_or_else(|| TypeError::UntypedParam { name: name.clone() }),
+        TermExpr::Apply { f, args } => {
+            let mut arg_types = Vec::with_capacity(args.len());
+            for a in args {
+                arg_types.push(check_expr(a, scope)?);
+            }
+            check_call(f, &arg_types, scope)
+        }
+    }
+}
+
+/// The pretty name of a function, used in error messages (mirrors `Pattern::name`).
+fn fun_name(f: &TermFun) -> String {
+    match f {
+        TermFun::Lambda { .. } => "lambda".into(),
+        TermFun::UserFun(uf) => uf.name().to_string(),
+        TermFun::Map(_) => "map".into(),
+        TermFun::Reduce(_) => "reduce".into(),
+        TermFun::MapSeq(_) => "mapSeq".into(),
+        TermFun::MapGlb(dim, _) => format!("mapGlb{dim}"),
+        TermFun::MapWrg(dim, _) => format!("mapWrg{dim}"),
+        TermFun::MapLcl(dim, _) => format!("mapLcl{dim}"),
+        TermFun::MapVec(_) => "mapVec".into(),
+        TermFun::ReduceSeq(_) => "reduceSeq".into(),
+        TermFun::Id => "id".into(),
+        TermFun::Iterate(n, _) => format!("iterate{n}"),
+        TermFun::Split(chunk) => format!("split{chunk}"),
+        TermFun::Join => "join".into(),
+        TermFun::Gather(_) => "gather".into(),
+        TermFun::Scatter(_) => "scatter".into(),
+        TermFun::Transpose => "transpose".into(),
+        TermFun::Zip(_) => "zip".into(),
+        TermFun::Get(index) => format!("get{index}"),
+        TermFun::Slide(size, step) => format!("slide({size},{step})"),
+        TermFun::ToGlobal(_) => "toGlobal".into(),
+        TermFun::ToLocal(_) => "toLocal".into(),
+        TermFun::ToPrivate(_) => "toPrivate".into(),
+        TermFun::AsVector(width) => format!("asVector{width}"),
+        TermFun::AsScalar => "asScalar".into(),
+    }
+}
+
+/// The call arity of a function in tree form (mirrors `Pattern::arity`).
+fn arity(f: &TermFun) -> usize {
+    match f {
+        TermFun::Reduce(_) | TermFun::ReduceSeq(_) => 2,
+        TermFun::Zip(arity) => *arity,
+        _ => 1,
+    }
+}
+
+/// Infers the result type of calling `f` with arguments of the given types (the tree-form
+/// mirror of the arena checker's `infer_call` + `infer_pattern`).
+#[allow(clippy::too_many_lines)]
+fn check_call<'t>(
+    f: &'t TermFun,
+    arg_types: &[Type],
+    scope: &mut Vec<(&'t str, Type)>,
+) -> Result<Type, TypeError> {
+    // The memory-placement wrappers are transparent: arity checking is deferred to the
+    // nested call, exactly as in the arena checker.
+    let transparent = matches!(
+        f,
+        TermFun::ToGlobal(_) | TermFun::ToLocal(_) | TermFun::ToPrivate(_)
+    );
+    match f {
+        TermFun::Lambda { params, body } => {
+            if params.len() != arg_types.len() {
+                return Err(TypeError::WrongArity {
+                    function: "lambda".into(),
+                    expected: params.len(),
+                    found: arg_types.len(),
+                });
+            }
+            let base = scope.len();
+            for (p, t) in params.iter().zip(arg_types) {
+                scope.push((p.as_str(), t.clone()));
+            }
+            let result = check_expr(body, scope);
+            scope.truncate(base);
+            return result;
+        }
+        TermFun::UserFun(uf) => {
+            if uf.arity() != arg_types.len() {
+                return Err(TypeError::WrongArity {
+                    function: uf.name().to_string(),
+                    expected: uf.arity(),
+                    found: arg_types.len(),
+                });
+            }
+            for (expected, found) in uf.param_types().iter().zip(arg_types) {
+                if expected != found {
+                    return Err(TypeError::Mismatch {
+                        context: format!("call to user function `{}`", uf.name()),
+                        expected: expected.to_string(),
+                        found: found.to_string(),
+                    });
+                }
+            }
+            return Ok(uf.return_type().clone());
+        }
+        _ => {}
+    }
+
+    let expect_arity = arity(f);
+    if !transparent && arg_types.len() != expect_arity {
+        return Err(TypeError::WrongArity {
+            function: fun_name(f),
+            expected: expect_arity,
+            found: arg_types.len(),
+        });
+    }
+    let array_of = |f: &TermFun, t: &Type| -> Result<(Type, ArithExpr), TypeError> {
+        match t.as_array() {
+            Some((elem, len)) => Ok((elem.clone(), len.clone())),
+            None => Err(TypeError::NotAnArray {
+                pattern: fun_name(f),
+                found: t.to_string(),
+            }),
+        }
+    };
+
+    match f {
+        TermFun::Lambda { .. } | TermFun::UserFun(_) => unreachable!("handled above"),
+        TermFun::Map(g)
+        | TermFun::MapSeq(g)
+        | TermFun::MapGlb(_, g)
+        | TermFun::MapWrg(_, g)
+        | TermFun::MapLcl(_, g) => {
+            let (elem, len) = array_of(f, &arg_types[0])?;
+            let out_elem = check_call(g, &[elem], scope)?;
+            Ok(Type::array(out_elem, len))
+        }
+        TermFun::MapVec(g) => match &arg_types[0] {
+            Type::Vector(kind, width) => {
+                let out = check_call(g, &[Type::Scalar(*kind)], scope)?;
+                match out {
+                    Type::Scalar(out_kind) => Ok(Type::Vector(out_kind, *width)),
+                    other => Err(TypeError::Mismatch {
+                        context: "mapVec function result".into(),
+                        expected: "a scalar".into(),
+                        found: other.to_string(),
+                    }),
+                }
+            }
+            other => Err(TypeError::Mismatch {
+                context: "mapVec argument".into(),
+                expected: "a vector".into(),
+                found: other.to_string(),
+            }),
+        },
+        TermFun::Reduce(g) | TermFun::ReduceSeq(g) => {
+            let init = arg_types[0].clone();
+            let (elem, _len) = array_of(f, &arg_types[1])?;
+            let acc = check_call(g, &[init.clone(), elem], scope)?;
+            if acc != init {
+                return Err(TypeError::Mismatch {
+                    context: format!("{} accumulator", fun_name(f)),
+                    expected: init.to_string(),
+                    found: acc.to_string(),
+                });
+            }
+            Ok(Type::array(acc, 1usize))
+        }
+        TermFun::Id => Ok(arg_types[0].clone()),
+        TermFun::Iterate(n, g) => {
+            let mut current = arg_types[0].clone();
+            for _ in 0..*n {
+                current = check_call(g, &[current], scope)?;
+            }
+            Ok(current)
+        }
+        TermFun::Split(chunk) => {
+            let (elem, len) = array_of(f, &arg_types[0])?;
+            let outer = len / chunk.clone();
+            Ok(Type::array(Type::array(elem, chunk.clone()), outer))
+        }
+        TermFun::Join => {
+            let (elem, outer) = array_of(f, &arg_types[0])?;
+            let (inner_elem, inner) = array_of(f, &elem)?;
+            Ok(Type::array(inner_elem, outer * inner))
+        }
+        TermFun::Gather(_) | TermFun::Scatter(_) => Ok(arg_types[0].clone()),
+        TermFun::Transpose => {
+            let (row, n) = array_of(f, &arg_types[0])?;
+            let (elem, m) = array_of(f, &row)?;
+            Ok(Type::array(Type::array(elem, n), m))
+        }
+        TermFun::Zip(_) => {
+            let mut elems = Vec::with_capacity(arg_types.len());
+            let mut len: Option<ArithExpr> = None;
+            for t in arg_types {
+                let (elem, l) = array_of(f, t)?;
+                match &len {
+                    None => len = Some(l),
+                    Some(first) => {
+                        if *first != l {
+                            return Err(TypeError::ZipLengthMismatch {
+                                first: first.to_string(),
+                                other: l.to_string(),
+                            });
+                        }
+                    }
+                }
+                elems.push(elem);
+            }
+            Ok(Type::array(
+                Type::Tuple(elems),
+                len.expect("zip has at least one argument"),
+            ))
+        }
+        TermFun::Get(index) => match &arg_types[0] {
+            Type::Tuple(elems) => {
+                elems
+                    .get(*index)
+                    .cloned()
+                    .ok_or(TypeError::TupleIndexOutOfRange {
+                        index: *index,
+                        arity: elems.len(),
+                    })
+            }
+            other => Err(TypeError::Mismatch {
+                context: "get".into(),
+                expected: "a tuple".into(),
+                found: other.to_string(),
+            }),
+        },
+        TermFun::Slide(size, step) => {
+            let (elem, len) = array_of(f, &arg_types[0])?;
+            let windows = (len - size.clone()) / step.clone() + 1;
+            Ok(Type::array(Type::array(elem, size.clone()), windows))
+        }
+        TermFun::ToGlobal(g) | TermFun::ToLocal(g) | TermFun::ToPrivate(g) => {
+            check_call(g, arg_types, scope)
+        }
+        TermFun::AsVector(width) => {
+            let (elem, len) = array_of(f, &arg_types[0])?;
+            match elem {
+                Type::Scalar(kind) => Ok(Type::array(
+                    Type::Vector(kind, *width),
+                    len / ArithExpr::cst(*width as i64),
+                )),
+                other => Err(TypeError::Mismatch {
+                    context: "asVector".into(),
+                    expected: "an array of scalars".into(),
+                    found: other.to_string(),
+                }),
+            }
+        }
+        TermFun::AsScalar => {
+            let (elem, len) = array_of(f, &arg_types[0])?;
+            match elem {
+                Type::Vector(kind, width) => Ok(Type::array(
+                    Type::Scalar(kind),
+                    len * ArithExpr::cst(width as i64),
+                )),
+                other => Err(TypeError::Mismatch {
+                    context: "asScalar".into(),
+                    expected: "an array of vectors".into(),
+                    found: other.to_string(),
+                }),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_ir::{infer_types, Program, UserFun};
+
+    fn term_of(p: &Program) -> Term {
+        let mut typed = p.clone();
+        infer_types(&mut typed).expect("input types");
+        Term::from_program(&typed).expect("converts")
+    }
+
+    #[test]
+    fn term_checker_accepts_what_the_arena_checker_accepts() {
+        let mut p = Program::new("dot");
+        let mult = p.user_fun(UserFun::mult_pair());
+        let add = p.user_fun(UserFun::add());
+        let m = p.map(mult);
+        let red = p.reduce(add, 0.0);
+        let z = p.zip2();
+        p.with_root(
+            vec![
+                ("x", Type::array(Type::float(), 16usize)),
+                ("y", Type::array(Type::float(), 16usize)),
+            ],
+            |p, params| {
+                let zipped = p.apply(z, [params[0], params[1]]);
+                let mapped = p.apply1(m, zipped);
+                p.apply1(red, mapped)
+            },
+        );
+        let term = term_of(&p);
+        let ty = typecheck(&term).expect("term typechecks");
+        // reduce produces a singleton array.
+        assert_eq!(ty, Type::array(Type::float(), 1usize));
+    }
+
+    #[test]
+    fn term_checker_rejects_zip_length_mismatch() {
+        let mut p = Program::new("bad");
+        let z = p.zip2();
+        p.with_root(
+            vec![
+                ("x", Type::array(Type::float(), 8usize)),
+                ("y", Type::array(Type::float(), 9usize)),
+            ],
+            |p, params| p.apply(z, [params[0], params[1]]),
+        );
+        // The arena checker rejects this program, so the term checker must too. The term is
+        // built by hand because `Term::from_program` requires typed root parameters only.
+        let term = Term::from_program(&p).expect("converts");
+        let err = typecheck(&term).unwrap_err();
+        assert!(matches!(err, TypeError::ZipLengthMismatch { .. }), "{err}");
+        assert!(infer_types(&mut p.clone()).is_err());
+    }
+
+    #[test]
+    fn term_checker_rejects_wrong_reduction_operator() {
+        let mut p = Program::new("bad");
+        // mult_pair has the wrong shape for a reduction operator.
+        let bad = p.user_fun(UserFun::mult_pair());
+        let pattern = p.reduce_seq_pattern(bad);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 8usize))],
+            |p, params| {
+                let init = p.literal_f32(0.0);
+                p.apply(pattern, [init, params[0]])
+            },
+        );
+        let term = Term::from_program(&p).expect("converts");
+        assert!(typecheck(&term).is_err());
+        assert!(infer_types(&mut p.clone()).is_err());
+    }
+
+    #[test]
+    fn transparent_wrappers_defer_arity() {
+        // toPrivate(reduceSeq(add)) is called with two arguments.
+        let mut p = Program::new("wrapped");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce_seq_pattern(add);
+        let wrapped = p.to_private(red);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 8usize))],
+            |p, params| {
+                let init = p.literal_f32(0.0);
+                p.apply(wrapped, [init, params[0]])
+            },
+        );
+        let term = term_of(&p);
+        assert_eq!(
+            typecheck(&term).expect("term typechecks"),
+            Type::array(Type::float(), 1usize)
+        );
+    }
+}

@@ -1,0 +1,174 @@
+//! Regression tests for the exploration hot path: the parallel driver must be
+//! indistinguishable from the sequential one, the canonical structural hash must agree with
+//! the pretty-printed rendering it replaced as the dedup key, and the term-level type
+//! checker must agree with the arena checker it replaced as the enumeration gate.
+
+use std::collections::HashSet;
+
+use lift_benchmarks::dot_product;
+use lift_ir::{infer_types, Program};
+use lift_rewrite::{
+    all_rules, explore, get, replace, sites, typecheck, ExplorationConfig, RuleCx, RuleOptions,
+    Term,
+};
+use lift_vgpu::LaunchConfig;
+
+fn search_config(threads: usize) -> ExplorationConfig {
+    ExplorationConfig {
+        max_depth: 5,
+        beam_width: 48,
+        max_candidates: 4000,
+        rule_options: RuleOptions {
+            split_sizes: vec![2, 4],
+            vector_widths: vec![4],
+        },
+        launch: LaunchConfig::d1(16, 4),
+        best_n: 4,
+        threads,
+        ..ExplorationConfig::default()
+    }
+}
+
+#[test]
+fn parallel_exploration_equals_sequential_exploration() {
+    let program = dot_product::high_level_program(512);
+    let sequential = explore(&program, &search_config(1)).expect("sequential runs");
+    let parallel = explore(&program, &search_config(4)).expect("parallel runs");
+
+    // Identical statistics…
+    assert_eq!(sequential.explored, parallel.explored);
+    assert_eq!(sequential.rejected_typecheck, parallel.rejected_typecheck);
+    assert_eq!(sequential.dedup_hits, parallel.dedup_hits);
+    assert_eq!(sequential.rejected_compile, parallel.rejected_compile);
+    assert_eq!(sequential.rejected_incorrect, parallel.rejected_incorrect);
+    assert_eq!(sequential.lowered, parallel.lowered);
+    assert_eq!(sequential.executed_kernels, parallel.executed_kernels);
+
+    // …and an identical variant list: same programs, same derivation chains (rule names and
+    // locations, in order), same estimated times, in the same order.
+    assert_eq!(sequential.variants.len(), parallel.variants.len());
+    assert!(!sequential.variants.is_empty(), "search found variants");
+    for (s, p) in sequential.variants.iter().zip(&parallel.variants) {
+        assert_eq!(s.program.to_string(), p.program.to_string());
+        assert_eq!(s.kernel_source, p.kernel_source);
+        assert_eq!(s.estimated_time, p.estimated_time);
+        let s_steps: Vec<_> = s.derivation.iter().map(|d| (d.rule, &d.location)).collect();
+        let p_steps: Vec<_> = p.derivation.iter().map(|d| (d.rule, &d.location)).collect();
+        assert_eq!(s_steps, p_steps);
+    }
+}
+
+/// Enumerates every term derivable from `term` by one rule application, in the driver's
+/// site-major, rule-minor order.
+fn derive_once(term: &Term, options: &RuleOptions) -> Vec<Term> {
+    let mut out = Vec::new();
+    for site in sites(term) {
+        let Some(site_expr) = get(&term.body, &site.location) else {
+            continue;
+        };
+        for rule in all_rules() {
+            let mut fresh = term.fresh;
+            let rewrites = {
+                let mut cx = RuleCx {
+                    context: site.context,
+                    arg_types: &site.arg_types,
+                    env: &site.env,
+                    options,
+                    fresh: &mut fresh,
+                };
+                rule.applications(site_expr, &mut cx)
+            };
+            for replacement in rewrites {
+                let Some(body) = replace(&term.body, &site.location, replacement) else {
+                    continue;
+                };
+                out.push(Term {
+                    name: term.name.clone(),
+                    params: term.params.clone(),
+                    body: lift_rewrite::beta_normalize(&body),
+                    fresh,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// All candidates reachable from the dot-product program within two rule applications —
+/// a few hundred terms covering every rule family.
+fn two_level_candidates() -> Vec<Term> {
+    let mut program = dot_product::high_level_program(512);
+    infer_types(&mut program).expect("input types");
+    let root = Term::from_program(&program).expect("converts");
+    let options = RuleOptions {
+        split_sizes: vec![2, 4],
+        vector_widths: vec![4],
+    };
+    let mut all = vec![root.clone()];
+    let depth1 = derive_once(&root, &options);
+    for t in depth1.iter().take(40) {
+        all.extend(derive_once(t, &options));
+    }
+    all.extend(depth1);
+    all
+}
+
+#[test]
+fn structural_hash_equality_implies_rendering_equality() {
+    // The dedup key replaced `Program::to_string()` in a `HashSet<String>`; soundness of
+    // that replacement is exactly this implication (the converse — distinct renderings get
+    // distinct keys — is what makes the dedup no coarser than before, checked here too).
+    let candidates = two_level_candidates();
+    assert!(candidates.len() > 200, "generator produced a real corpus");
+    let mut by_key: std::collections::HashMap<u64, String> = std::collections::HashMap::new();
+    let mut renderings: HashSet<String> = HashSet::new();
+    let mut distinct_keys: HashSet<u64> = HashSet::new();
+    for term in &candidates {
+        let key = term.dedup_key();
+        let rendering = render(term);
+        match by_key.get(&key) {
+            Some(existing) => assert_eq!(
+                existing, &rendering,
+                "hash collision: same key, different renderings"
+            ),
+            None => {
+                by_key.insert(key, rendering.clone());
+            }
+        }
+        renderings.insert(rendering);
+        distinct_keys.insert(key);
+    }
+    assert_eq!(
+        renderings.len(),
+        distinct_keys.len(),
+        "the key must be exactly as discriminating as the rendering"
+    );
+}
+
+#[test]
+fn term_typechecker_agrees_with_arena_typechecker() {
+    // The enumeration gate switched from arena `infer_types` (after `to_program`) to the
+    // term-level checker; the two must agree on every candidate the search can produce.
+    let candidates = two_level_candidates();
+    let mut accepted = 0usize;
+    for term in &candidates {
+        let term_verdict = typecheck(term).is_ok();
+        let mut program = term.to_program();
+        let arena_verdict = infer_types(&mut program).is_ok();
+        assert_eq!(
+            term_verdict,
+            arena_verdict,
+            "typechecker disagreement on:\n{}",
+            render(term)
+        );
+        accepted += usize::from(term_verdict);
+    }
+    assert!(accepted > 100, "corpus contains many well-typed candidates");
+}
+
+fn render(term: &Term) -> String {
+    let mut program: Program = term.to_program();
+    // Render after inference, like the old dedup key did (inference only annotates).
+    let _ = infer_types(&mut program);
+    program.to_string()
+}

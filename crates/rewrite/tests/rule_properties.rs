@@ -117,7 +117,7 @@ fn random_derivation_preserves(subject: Subject, choices: &[usize], seed: u32) {
     for &choice in choices {
         // Enumerate every (site, rule, rewrite) triple currently applicable.
         let mut rewrites = Vec::new();
-        let mut fresh = term.fresh.clone();
+        let mut fresh = term.fresh;
         for site in sites(&term) {
             let Some(site_expr) = traversal::get(&term.body, &site.location) else {
                 continue;

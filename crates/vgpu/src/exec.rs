@@ -9,12 +9,24 @@
 //! While executing, the interpreter counts the dynamic events the cost model charges for:
 //! arithmetic, index computations (with divisions/modulos counted separately), global/local
 //! memory traffic with a coalescing analysis per SIMD group, barriers and loop overhead.
+//!
+//! # Execution strategy
+//!
+//! Launching first *lowers* the kernel into a slot-indexed form ([`SStmt`]/[`SExpr`]): every
+//! identifier (parameter, declaration, loop variable, user-function parameter) is interned
+//! to a dense slot, call targets (work-item builtins, `vload`/`vstore`, math builtins, user
+//! functions) are resolved once, and comments disappear. The interpreter then runs the
+//! lowered form with plain vector indexing for variable access — the innermost loop performs
+//! no string hashing, no name-based dispatch and no AST cloning. Exploration executes
+//! thousands of candidate kernels per search, which makes this path the throughput limit of
+//! the whole rewrite engine.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 
 use lift_arith::ArithExpr;
-use lift_ocl::{AddrSpace, CBinOp, CExpr, CStmt, CUnOp, Kernel, Module};
+use lift_ocl::{AddrSpace, CBinOp, CExpr, CStmt, CType, CUnOp, Module};
 
 use crate::cost::{CostCounters, ExecutionReport};
 use crate::device::LaunchConfig;
@@ -24,6 +36,31 @@ use crate::memory::{GpuValue, KernelArg, Ptr};
 const COALESCE_GROUP: usize = 32;
 /// Number of consecutive `float` elements that form one memory transaction segment.
 const SEGMENT_ELEMS: i64 = 32;
+
+/// A fast word-at-a-time FxHash-style hasher for the few remaining string-keyed maps (name
+/// interning during lowering, symbolic-length parameters). DoS resistance is pointless for
+/// compiler-generated identifiers.
+#[derive(Clone, Copy, Default)]
+struct FastHash(u64);
+
+impl Hasher for FastHash {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut buf = [0u8; 8];
+            buf[..chunk.len()].copy_from_slice(chunk);
+            self.0 = (self.0 ^ u64::from_le_bytes(buf))
+                .rotate_left(5)
+                .wrapping_mul(0x517c_c1b7_2722_0a95);
+        }
+    }
+}
+
+/// A string-keyed map with the fast hasher.
+type VarMap<V> = HashMap<String, V, BuildHasherDefault<FastHash>>;
 
 /// Errors raised while launching or executing a kernel.
 #[derive(Clone, Debug, PartialEq)]
@@ -128,41 +165,55 @@ impl VirtualGpu {
             });
         }
 
+        // Lower once: intern names to slots, resolve call targets, drop comments.
+        let mut lowerer = Lowerer::new(module);
+        let param_slots: Vec<usize> = kernel
+            .params
+            .iter()
+            .map(|p| lowerer.slot(&p.name))
+            .collect();
+        let body = lowerer.lower_block(&kernel.body);
+        let functions: Vec<std::rc::Rc<SFunction>> = lowerer
+            .functions
+            .into_iter()
+            .map(|f| std::rc::Rc::new(f.expect("function lowering completed")))
+            .collect();
+        let names = lowerer.names;
+
         let mut global: Vec<Vec<f32>> = Vec::new();
-        let mut params: HashMap<String, GpuValue> = HashMap::new();
-        for (param, arg) in kernel.params.iter().zip(args) {
-            match arg {
+        let mut params: Vec<Option<GpuValue>> = vec![None; names.len()];
+        let mut params_by_name: VarMap<GpuValue> = VarMap::default();
+        for ((param, slot), arg) in kernel.params.iter().zip(param_slots).zip(args) {
+            let value = match arg {
                 KernelArg::Buffer(data) => {
                     let idx = global.len();
                     global.push(data);
-                    params.insert(
-                        param.name.clone(),
-                        GpuValue::Ptr(Ptr {
-                            space: AddrSpace::Global,
-                            buffer: idx,
-                            offset: 0,
-                        }),
-                    );
+                    GpuValue::Ptr(Ptr {
+                        space: AddrSpace::Global,
+                        buffer: idx,
+                        offset: 0,
+                    })
                 }
-                KernelArg::Int(v) => {
-                    params.insert(param.name.clone(), GpuValue::Int(v));
-                }
-                KernelArg::Float(v) => {
-                    params.insert(param.name.clone(), GpuValue::Float(f64::from(v)));
-                }
-            }
+                KernelArg::Int(v) => GpuValue::Int(v),
+                KernelArg::Float(v) => GpuValue::Float(f64::from(v)),
+            };
+            params_by_name.insert(param.name.clone(), value.clone());
+            params[slot] = Some(value);
         }
 
         let mut exec = Exec {
-            module,
-            kernel,
             config,
             global,
             params,
+            params_by_name,
+            functions,
+            names,
             counters: CostCounters::default(),
             access_log: Vec::new(),
+            seg_scratch: Vec::new(),
+            simd_counts: Vec::new(),
         };
-        exec.run()?;
+        exec.run(&body)?;
         Ok(LaunchResult {
             buffers: exec.global,
             report: ExecutionReport {
@@ -171,6 +222,389 @@ impl VirtualGpu {
         })
     }
 }
+
+// --------------------------------------------------------------------- lowered kernel form
+
+/// The work-item functions of OpenCL.
+#[derive(Clone, Copy)]
+enum WorkItemFn {
+    GlobalId,
+    LocalId,
+    GroupId,
+    GlobalSize,
+    LocalSize,
+    NumGroups,
+}
+
+/// Unary math builtins (charged 4 flops, like a special-function unit).
+#[derive(Clone, Copy)]
+enum Math1 {
+    Sqrt,
+    Rsqrt,
+    Fabs,
+    Exp,
+    Log,
+    Floor,
+}
+
+/// Binary math builtins (charged 1 flop).
+#[derive(Clone, Copy)]
+enum Math2 {
+    Min,
+    Max,
+}
+
+/// How a cast behaves at runtime.
+#[derive(Clone, Copy)]
+enum CastKind {
+    Int,
+    Float,
+    Bool,
+    Keep,
+}
+
+/// A lowered index expression: [`ArithExpr`] with variables resolved to slots.
+enum SIndex {
+    Cst(i64),
+    Var(usize),
+    Sum(Vec<SIndex>),
+    Prod(Vec<SIndex>),
+    IntDiv(Box<SIndex>, Box<SIndex>),
+    Mod(Box<SIndex>, Box<SIndex>),
+    Pow(Box<SIndex>, u32),
+}
+
+/// A lowered expression: variables are slots, call targets are resolved.
+enum SExpr {
+    Int(i64),
+    Float(f64),
+    Var(usize),
+    Index(SIndex),
+    Bin(CBinOp, Box<SExpr>, Box<SExpr>),
+    Un(CUnOp, Box<SExpr>),
+    WorkItem(WorkItemFn, Box<SExpr>),
+    VLoad(usize, Box<SExpr>, Box<SExpr>),
+    VStore(usize, Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    Math1(Math1, Box<SExpr>),
+    Math2(Math2, Box<SExpr>, Box<SExpr>),
+    Mad(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    CallFun(usize, Vec<SExpr>),
+    UnknownCall(String),
+    ArrayAccess(Box<SExpr>, Box<SExpr>),
+    Field(Box<SExpr>, usize, String),
+    Cast(CastKind, Box<SExpr>),
+    Ternary(Box<SExpr>, Box<SExpr>, Box<SExpr>),
+    StructLit(Vec<SExpr>),
+    VectorLit(Vec<SExpr>),
+}
+
+/// A lowered assignment target.
+enum SLhs {
+    Var(usize),
+    Array(SExpr, SExpr),
+    FieldOfVar(usize, usize),
+    Invalid(String),
+}
+
+/// A lowered statement. Comments are dropped during lowering.
+enum SStmt {
+    Return,
+    Barrier,
+    Block(Vec<SStmt>),
+    DeclLocalArray {
+        slot: usize,
+        len: ArithExpr,
+    },
+    DeclPrivateArray {
+        slot: usize,
+        len: ArithExpr,
+    },
+    DeclScalar {
+        slot: usize,
+        init: Option<SExpr>,
+    },
+    Assign {
+        lhs: SLhs,
+        rhs: SExpr,
+    },
+    Expr(SExpr),
+    If {
+        cond: SExpr,
+        then: Vec<SStmt>,
+        otherwise: Option<Vec<SStmt>>,
+    },
+    For {
+        slot: usize,
+        init: SExpr,
+        cond: SExpr,
+        step: SExpr,
+        body: Vec<SStmt>,
+    },
+}
+
+/// A lowered user function.
+struct SFunction {
+    params: Vec<usize>,
+    body: SExpr,
+}
+
+struct Lowerer<'m> {
+    module: &'m Module,
+    slots: VarMap<usize>,
+    names: Vec<String>,
+    /// `None` marks a function whose body is still being lowered (recursion-safe).
+    functions: Vec<Option<SFunction>>,
+    fn_slots: VarMap<usize>,
+}
+
+impl<'m> Lowerer<'m> {
+    fn new(module: &'m Module) -> Lowerer<'m> {
+        Lowerer {
+            module,
+            slots: VarMap::default(),
+            names: Vec::new(),
+            functions: Vec::new(),
+            fn_slots: VarMap::default(),
+        }
+    }
+
+    fn slot(&mut self, name: &str) -> usize {
+        if let Some(&s) = self.slots.get(name) {
+            return s;
+        }
+        let s = self.names.len();
+        self.names.push(name.to_string());
+        self.slots.insert(name.to_string(), s);
+        s
+    }
+
+    fn lower_block(&mut self, stmts: &[CStmt]) -> Vec<SStmt> {
+        stmts.iter().filter_map(|s| self.lower_stmt(s)).collect()
+    }
+
+    fn lower_stmt(&mut self, stmt: &CStmt) -> Option<SStmt> {
+        Some(match stmt {
+            CStmt::Comment(_) => return None,
+            CStmt::Return => SStmt::Return,
+            CStmt::Barrier(_) => SStmt::Barrier,
+            CStmt::Block(stmts) => SStmt::Block(self.lower_block(stmts)),
+            CStmt::Decl {
+                ty: _,
+                name,
+                addr,
+                array_len,
+                init,
+            } => {
+                let slot = self.slot(name);
+                match array_len {
+                    Some(len) => {
+                        if matches!(addr, Some(AddrSpace::Local)) {
+                            SStmt::DeclLocalArray {
+                                slot,
+                                len: len.clone(),
+                            }
+                        } else {
+                            SStmt::DeclPrivateArray {
+                                slot,
+                                len: len.clone(),
+                            }
+                        }
+                    }
+                    None => SStmt::DeclScalar {
+                        slot,
+                        init: init.as_ref().map(|e| self.lower_expr(e)),
+                    },
+                }
+            }
+            CStmt::Assign { lhs, rhs } => SStmt::Assign {
+                lhs: self.lower_lhs(lhs),
+                rhs: self.lower_expr(rhs),
+            },
+            CStmt::Expr(e) => SStmt::Expr(self.lower_expr(e)),
+            CStmt::If {
+                cond,
+                then,
+                otherwise,
+            } => SStmt::If {
+                cond: self.lower_expr(cond),
+                then: self.lower_block(then),
+                otherwise: otherwise.as_ref().map(|b| self.lower_block(b)),
+            },
+            CStmt::For {
+                var,
+                init,
+                cond,
+                step,
+                body,
+            } => SStmt::For {
+                slot: self.slot(var),
+                init: self.lower_expr(init),
+                cond: self.lower_expr(cond),
+                step: self.lower_expr(step),
+                body: self.lower_block(body),
+            },
+        })
+    }
+
+    fn lower_lhs(&mut self, lhs: &CExpr) -> SLhs {
+        match lhs {
+            CExpr::Var(name) => SLhs::Var(self.slot(name)),
+            CExpr::ArrayAccess(arr, idx) => SLhs::Array(self.lower_expr(arr), self.lower_expr(idx)),
+            CExpr::Field(obj, field) => match &**obj {
+                CExpr::Var(name) => SLhs::FieldOfVar(self.slot(name), field_index(field)),
+                _ => SLhs::Invalid(lift_ocl::print_expr(lhs)),
+            },
+            other => SLhs::Invalid(lift_ocl::print_expr(other)),
+        }
+    }
+
+    fn lower_index(&mut self, a: &ArithExpr) -> SIndex {
+        match a {
+            ArithExpr::Cst(c) => SIndex::Cst(*c),
+            ArithExpr::Var(v) => SIndex::Var(self.slot(v.name())),
+            ArithExpr::Sum(ts) => SIndex::Sum(ts.iter().map(|t| self.lower_index(t)).collect()),
+            ArithExpr::Prod(fs) => SIndex::Prod(fs.iter().map(|f| self.lower_index(f)).collect()),
+            ArithExpr::IntDiv(a, b) => {
+                SIndex::IntDiv(Box::new(self.lower_index(a)), Box::new(self.lower_index(b)))
+            }
+            ArithExpr::Mod(a, b) => {
+                SIndex::Mod(Box::new(self.lower_index(a)), Box::new(self.lower_index(b)))
+            }
+            ArithExpr::Pow(b, e) => SIndex::Pow(Box::new(self.lower_index(b)), *e),
+        }
+    }
+
+    fn lower_expr(&mut self, e: &CExpr) -> SExpr {
+        match e {
+            CExpr::IntLit(v) => SExpr::Int(*v),
+            CExpr::FloatLit(v) => SExpr::Float(*v),
+            CExpr::Var(name) => SExpr::Var(self.slot(name)),
+            CExpr::Index(a) => SExpr::Index(self.lower_index(a)),
+            CExpr::Bin(op, a, b) => SExpr::Bin(
+                *op,
+                Box::new(self.lower_expr(a)),
+                Box::new(self.lower_expr(b)),
+            ),
+            CExpr::Un(op, a) => SExpr::Un(*op, Box::new(self.lower_expr(a))),
+            CExpr::Call(name, args) => self.lower_call(name, args),
+            CExpr::ArrayAccess(arr, idx) => SExpr::ArrayAccess(
+                Box::new(self.lower_expr(arr)),
+                Box::new(self.lower_expr(idx)),
+            ),
+            CExpr::Field(obj, field) => SExpr::Field(
+                Box::new(self.lower_expr(obj)),
+                field_index(field),
+                field.clone(),
+            ),
+            CExpr::Cast(ty, inner) => {
+                let kind = match ty {
+                    CType::Int => CastKind::Int,
+                    CType::Float | CType::Double => CastKind::Float,
+                    CType::Bool => CastKind::Bool,
+                    _ => CastKind::Keep,
+                };
+                SExpr::Cast(kind, Box::new(self.lower_expr(inner)))
+            }
+            CExpr::Ternary(c, t, o) => SExpr::Ternary(
+                Box::new(self.lower_expr(c)),
+                Box::new(self.lower_expr(t)),
+                Box::new(self.lower_expr(o)),
+            ),
+            CExpr::StructLit(_, fields) => {
+                SExpr::StructLit(fields.iter().map(|f| self.lower_expr(f)).collect())
+            }
+            CExpr::VectorLit(_, elems) => {
+                SExpr::VectorLit(elems.iter().map(|e| self.lower_expr(e)).collect())
+            }
+        }
+    }
+
+    /// Resolves a call target, in the same precedence order the string-dispatching
+    /// interpreter used: work-item functions, vector loads/stores, math builtins, then
+    /// user functions defined in the module.
+    fn lower_call(&mut self, name: &str, args: &[CExpr]) -> SExpr {
+        let wi = match name {
+            "get_global_id" => Some(WorkItemFn::GlobalId),
+            "get_local_id" => Some(WorkItemFn::LocalId),
+            "get_group_id" => Some(WorkItemFn::GroupId),
+            "get_global_size" => Some(WorkItemFn::GlobalSize),
+            "get_local_size" => Some(WorkItemFn::LocalSize),
+            "get_num_groups" => Some(WorkItemFn::NumGroups),
+            _ => None,
+        };
+        if let Some(kind) = wi {
+            return SExpr::WorkItem(kind, Box::new(self.lower_expr(&args[0])));
+        }
+        if let Some(width) = vector_width(name, "vload") {
+            return SExpr::VLoad(
+                width,
+                Box::new(self.lower_expr(&args[0])),
+                Box::new(self.lower_expr(&args[1])),
+            );
+        }
+        if let Some(width) = vector_width(name, "vstore") {
+            return SExpr::VStore(
+                width,
+                Box::new(self.lower_expr(&args[0])),
+                Box::new(self.lower_expr(&args[1])),
+                Box::new(self.lower_expr(&args[2])),
+            );
+        }
+        let m1 = match name {
+            "sqrt" | "native_sqrt" => Some(Math1::Sqrt),
+            "rsqrt" => Some(Math1::Rsqrt),
+            "fabs" => Some(Math1::Fabs),
+            "exp" => Some(Math1::Exp),
+            "log" => Some(Math1::Log),
+            "floor" => Some(Math1::Floor),
+            _ => None,
+        };
+        if let Some(kind) = m1 {
+            return SExpr::Math1(kind, Box::new(self.lower_expr(&args[0])));
+        }
+        let m2 = match name {
+            "fmin" | "min" => Some(Math2::Min),
+            "fmax" | "max" => Some(Math2::Max),
+            _ => None,
+        };
+        if let Some(kind) = m2 {
+            return SExpr::Math2(
+                kind,
+                Box::new(self.lower_expr(&args[0])),
+                Box::new(self.lower_expr(&args[1])),
+            );
+        }
+        if name == "mad" || name == "fma" {
+            return SExpr::Mad(
+                Box::new(self.lower_expr(&args[0])),
+                Box::new(self.lower_expr(&args[1])),
+                Box::new(self.lower_expr(&args[2])),
+            );
+        }
+        match self.lower_function(name) {
+            Some(idx) => SExpr::CallFun(idx, args.iter().map(|a| self.lower_expr(a)).collect()),
+            None => SExpr::UnknownCall(name.to_string()),
+        }
+    }
+
+    /// Lowers a module function on demand (arity mismatches are reported when the call is
+    /// executed, as before).
+    fn lower_function(&mut self, name: &str) -> Option<usize> {
+        if let Some(&idx) = self.fn_slots.get(name) {
+            return Some(idx);
+        }
+        let fun = self.module.function(name)?;
+        let idx = self.functions.len();
+        self.functions.push(None);
+        self.fn_slots.insert(name.to_string(), idx);
+        let params: Vec<usize> = fun.params.iter().map(|(n, _)| self.slot(n)).collect();
+        let body = self.lower_expr(&fun.body);
+        self.functions[idx] = Some(SFunction { params, body });
+        Some(idx)
+    }
+}
+
+// --------------------------------------------------------------------------- execution
 
 /// One recorded global-memory access, used for the coalescing analysis.
 struct Access {
@@ -184,7 +618,8 @@ struct Access {
 struct Group {
     id: [usize; 3],
     local: Vec<Vec<f32>>,
-    local_names: HashMap<String, usize>,
+    /// slot → local buffer index, for slots declared as local arrays.
+    local_slots: Vec<Option<usize>>,
 }
 
 /// Per-work-item state.
@@ -192,32 +627,42 @@ struct Thread {
     lid: [usize; 3],
     gid: [usize; 3],
     linear: usize,
-    env: HashMap<String, GpuValue>,
+    /// slot → value; `None` falls through to local arrays, then kernel parameters.
+    vals: Vec<Option<GpuValue>>,
     private: Vec<Vec<f32>>,
     returned: bool,
 }
 
-struct Exec<'a> {
-    module: &'a Module,
-    kernel: &'a Kernel,
+struct Exec {
     config: LaunchConfig,
     global: Vec<Vec<f32>>,
-    params: HashMap<String, GpuValue>,
+    /// slot → kernel-argument value.
+    params: Vec<Option<GpuValue>>,
+    /// Name-keyed arguments, for resolving symbolic array lengths.
+    params_by_name: VarMap<GpuValue>,
+    functions: Vec<std::rc::Rc<SFunction>>,
+    /// slot → name, for error messages.
+    names: Vec<String>,
     counters: CostCounters,
     access_log: Vec<Access>,
+    /// Reused scratch for the coalescing analysis: `(simd group, buffer, segment)` triples.
+    seg_scratch: Vec<(usize, usize, i64)>,
+    /// Reused scratch: access counts per SIMD group.
+    simd_counts: Vec<(usize, usize)>,
 }
 
-impl<'a> Exec<'a> {
-    fn run(&mut self) -> Result<(), VgpuError> {
+impl Exec {
+    fn run(&mut self, body: &[SStmt]) -> Result<(), VgpuError> {
         let groups = self.config.num_groups();
         let local = self.config.local;
+        let nslots = self.names.len();
         for gz in 0..groups[2] {
             for gy in 0..groups[1] {
                 for gx in 0..groups[0] {
                     let mut group = Group {
                         id: [gx, gy, gz],
                         local: Vec::new(),
-                        local_names: HashMap::new(),
+                        local_slots: vec![None; nslots],
                     };
                     let mut threads = Vec::with_capacity(local.iter().product());
                     for lz in 0..local[2] {
@@ -232,7 +677,7 @@ impl<'a> Exec<'a> {
                                         gz * local[2] + lz,
                                     ],
                                     linear,
-                                    env: HashMap::new(),
+                                    vals: vec![None; nslots],
                                     private: Vec::new(),
                                     returned: false,
                                 });
@@ -242,8 +687,7 @@ impl<'a> Exec<'a> {
                     self.counters.work_groups += 1;
                     self.counters.work_items += threads.len() as u64;
                     let mask = vec![true; threads.len()];
-                    let body = self.kernel.body.clone();
-                    self.exec_block(&body, &mut group, &mut threads, &mask)?;
+                    self.exec_block(body, &mut group, &mut threads, &mask)?;
                 }
             }
         }
@@ -252,7 +696,7 @@ impl<'a> Exec<'a> {
 
     fn exec_block(
         &mut self,
-        stmts: &[CStmt],
+        stmts: &[SStmt],
         group: &mut Group,
         threads: &mut Vec<Thread>,
         mask: &[bool],
@@ -269,14 +713,13 @@ impl<'a> Exec<'a> {
 
     fn exec_stmt(
         &mut self,
-        stmt: &CStmt,
+        stmt: &SStmt,
         group: &mut Group,
         threads: &mut Vec<Thread>,
         mask: &[bool],
     ) -> Result<(), VgpuError> {
         match stmt {
-            CStmt::Comment(_) => Ok(()),
-            CStmt::Return => {
+            SStmt::Return => {
                 for i in 0..threads.len() {
                     if mask[i] {
                         threads[i].returned = true;
@@ -284,64 +727,52 @@ impl<'a> Exec<'a> {
                 }
                 Ok(())
             }
-            CStmt::Barrier(_) => {
+            SStmt::Barrier => {
                 self.counters.barriers += 1;
                 Ok(())
             }
-            CStmt::Block(stmts) => self.exec_block(stmts, group, threads, mask),
-            CStmt::Decl {
-                ty: _,
-                name,
-                addr,
-                array_len,
-                init,
-            } => {
-                match array_len {
-                    Some(len_expr) => {
-                        let len = self.resolve_len(len_expr)?;
-                        if matches!(addr, Some(AddrSpace::Local)) {
-                            // One allocation shared by the work group.
-                            let idx = group.local.len();
-                            group.local.push(vec![0.0; len]);
-                            group.local_names.insert(name.clone(), idx);
-                        } else {
-                            // A private array per work item (register blocking).
-                            for i in 0..threads.len() {
-                                if !self.active(threads, mask, i) {
-                                    continue;
-                                }
-                                let t = &mut threads[i];
-                                let idx = t.private.len();
-                                t.private.push(vec![0.0; len]);
-                                t.env.insert(
-                                    name.clone(),
-                                    GpuValue::Ptr(Ptr {
-                                        space: AddrSpace::Private,
-                                        buffer: idx,
-                                        offset: 0,
-                                    }),
-                                );
-                            }
-                        }
-                        Ok(())
-                    }
-                    None => {
-                        for i in 0..threads.len() {
-                            if !self.active(threads, mask, i) {
-                                continue;
-                            }
-                            let value = match init {
-                                Some(e) => self.eval(e, group, &mut threads[i])?,
-                                None => GpuValue::Float(0.0),
-                            };
-                            threads[i].env.insert(name.clone(), value);
-                        }
-                        self.flush_accesses();
-                        Ok(())
-                    }
-                }
+            SStmt::Block(stmts) => self.exec_block(stmts, group, threads, mask),
+            SStmt::DeclLocalArray { slot, len } => {
+                // One allocation shared by the work group.
+                let len = self.resolve_len(len)?;
+                let idx = group.local.len();
+                group.local.push(vec![0.0; len]);
+                group.local_slots[*slot] = Some(idx);
+                Ok(())
             }
-            CStmt::Assign { lhs, rhs } => {
+            SStmt::DeclPrivateArray { slot, len } => {
+                // A private array per work item (register blocking).
+                let len = self.resolve_len(len)?;
+                for i in 0..threads.len() {
+                    if !self.active(threads, mask, i) {
+                        continue;
+                    }
+                    let t = &mut threads[i];
+                    let idx = t.private.len();
+                    t.private.push(vec![0.0; len]);
+                    t.vals[*slot] = Some(GpuValue::Ptr(Ptr {
+                        space: AddrSpace::Private,
+                        buffer: idx,
+                        offset: 0,
+                    }));
+                }
+                Ok(())
+            }
+            SStmt::DeclScalar { slot, init } => {
+                for i in 0..threads.len() {
+                    if !self.active(threads, mask, i) {
+                        continue;
+                    }
+                    let value = match init {
+                        Some(e) => self.eval(e, group, &mut threads[i])?,
+                        None => GpuValue::Float(0.0),
+                    };
+                    threads[i].vals[*slot] = Some(value);
+                }
+                self.flush_accesses();
+                Ok(())
+            }
+            SStmt::Assign { lhs, rhs } => {
                 for i in 0..threads.len() {
                     if !self.active(threads, mask, i) {
                         continue;
@@ -352,7 +783,7 @@ impl<'a> Exec<'a> {
                 self.flush_accesses();
                 Ok(())
             }
-            CStmt::Expr(e) => {
+            SStmt::Expr(e) => {
                 for i in 0..threads.len() {
                     if !self.active(threads, mask, i) {
                         continue;
@@ -362,7 +793,7 @@ impl<'a> Exec<'a> {
                 self.flush_accesses();
                 Ok(())
             }
-            CStmt::If {
+            SStmt::If {
                 cond,
                 then,
                 otherwise,
@@ -389,8 +820,8 @@ impl<'a> Exec<'a> {
                 }
                 Ok(())
             }
-            CStmt::For {
-                var,
+            SStmt::For {
+                slot,
                 init,
                 cond,
                 step,
@@ -401,7 +832,7 @@ impl<'a> Exec<'a> {
                         continue;
                     }
                     let v = self.eval(init, group, &mut threads[i])?;
-                    threads[i].env.insert(var.clone(), v);
+                    threads[i].vals[*slot] = Some(v);
                 }
                 self.flush_accesses();
                 loop {
@@ -429,14 +860,12 @@ impl<'a> Exec<'a> {
                             continue;
                         }
                         let s = self.eval(step, group, &mut threads[i])?;
-                        let current = threads[i]
-                            .env
-                            .get(var)
-                            .cloned()
-                            .ok_or_else(|| VgpuError::UnknownVariable(var.clone()))?;
+                        let current = threads[i].vals[*slot]
+                            .as_ref()
+                            .ok_or_else(|| VgpuError::UnknownVariable(self.names[*slot].clone()))?;
                         let next = GpuValue::Int(current.as_i64() + s.as_i64());
                         self.counters.int_ops += 1;
-                        threads[i].env.insert(var.clone(), next);
+                        threads[i].vals[*slot] = Some(next);
                     }
                     self.flush_accesses();
                 }
@@ -446,7 +875,7 @@ impl<'a> Exec<'a> {
     }
 
     fn resolve_len(&self, e: &ArithExpr) -> Result<usize, VgpuError> {
-        let lookup = |name: &str| self.params.get(name).map(GpuValue::as_i64);
+        let lookup = |name: &str| self.params_by_name.get(name).map(GpuValue::as_i64);
         let v = e
             .evaluate_with(&lookup)
             .map_err(|_| VgpuError::SymbolicLength(e.to_string()))?;
@@ -455,28 +884,51 @@ impl<'a> Exec<'a> {
 
     // ------------------------------------------------------------------ expression evaluation
 
+    /// Resolves a variable slot: thread values shadow local arrays, which shadow kernel
+    /// parameters (the same precedence the name-based environments had).
+    fn lookup_var(
+        &self,
+        slot: usize,
+        group: &Group,
+        thread: &Thread,
+    ) -> Result<GpuValue, VgpuError> {
+        if let Some(v) = &thread.vals[slot] {
+            return Ok(v.clone());
+        }
+        if let Some(idx) = group.local_slots[slot] {
+            return Ok(GpuValue::Ptr(Ptr {
+                space: AddrSpace::Local,
+                buffer: idx,
+                offset: 0,
+            }));
+        }
+        if let Some(v) = &self.params[slot] {
+            return Ok(v.clone());
+        }
+        Err(VgpuError::UnknownVariable(self.names[slot].clone()))
+    }
+
+    #[allow(clippy::too_many_lines)]
     fn eval(
         &mut self,
-        e: &CExpr,
+        e: &SExpr,
         group: &mut Group,
         thread: &mut Thread,
     ) -> Result<GpuValue, VgpuError> {
         match e {
-            CExpr::IntLit(v) => Ok(GpuValue::Int(*v)),
-            CExpr::FloatLit(v) => Ok(GpuValue::Float(*v)),
-            CExpr::Var(name) => self.lookup_var(name, group, thread),
-            CExpr::Index(a) => {
-                self.counters.int_ops += (a.op_count() - a.div_mod_count()) as u64;
-                self.counters.div_mod_ops += a.div_mod_count() as u64;
-                let v = self.eval_index(a, thread)?;
+            SExpr::Int(v) => Ok(GpuValue::Int(*v)),
+            SExpr::Float(v) => Ok(GpuValue::Float(*v)),
+            SExpr::Var(slot) => self.lookup_var(*slot, group, thread),
+            SExpr::Index(a) => {
+                let v = self.eval_index_counting(a, thread)?;
                 Ok(GpuValue::Int(v))
             }
-            CExpr::Bin(op, a, b) => {
+            SExpr::Bin(op, a, b) => {
                 let a = self.eval(a, group, thread)?;
                 let b = self.eval(b, group, thread)?;
                 self.eval_bin(*op, a, b)
             }
-            CExpr::Un(op, a) => {
+            SExpr::Un(op, a) => {
                 let v = self.eval(a, group, thread)?;
                 Ok(match op {
                     CUnOp::Neg => {
@@ -492,36 +944,158 @@ impl<'a> Exec<'a> {
                     }
                 })
             }
-            CExpr::Call(name, args) => self.eval_call(name, args, group, thread),
-            CExpr::ArrayAccess(arr, idx) => {
+            SExpr::WorkItem(kind, dim) => {
+                let dim = self.eval(dim, group, thread)?.as_i64() as usize;
+                let groups = self.config.num_groups();
+                let v = match kind {
+                    WorkItemFn::GlobalId => thread.gid[dim],
+                    WorkItemFn::LocalId => thread.lid[dim],
+                    WorkItemFn::GroupId => group.id[dim],
+                    WorkItemFn::GlobalSize => self.config.global[dim],
+                    WorkItemFn::LocalSize => self.config.local[dim],
+                    WorkItemFn::NumGroups => groups[dim],
+                };
+                Ok(GpuValue::Int(v as i64))
+            }
+            SExpr::VLoad(width, idx, ptr) => {
+                let idx = self.eval(idx, group, thread)?.as_i64();
+                let ptr = self
+                    .eval(ptr, group, thread)?
+                    .as_ptr()
+                    .ok_or_else(|| VgpuError::NotAPointer(format!("vload{width}")))?;
+                let mut lanes = Vec::with_capacity(*width);
+                for lane in 0..*width {
+                    lanes.push(self.load(
+                        ptr,
+                        idx * *width as i64 + lane as i64,
+                        group,
+                        thread,
+                        *width,
+                    )?);
+                }
+                self.counters.vector_accesses += *width as u64;
+                Ok(GpuValue::Vector(lanes))
+            }
+            SExpr::VStore(width, value, idx, ptr) => {
+                let value = self.eval(value, group, thread)?;
+                let idx = self.eval(idx, group, thread)?.as_i64();
+                let ptr = self
+                    .eval(ptr, group, thread)?
+                    .as_ptr()
+                    .ok_or_else(|| VgpuError::NotAPointer(format!("vstore{width}")))?;
+                let lanes = match value {
+                    GpuValue::Vector(lanes) => lanes,
+                    other => vec![other; *width],
+                };
+                for (lane, v) in lanes.iter().enumerate() {
+                    self.store(
+                        ptr,
+                        idx * *width as i64 + lane as i64,
+                        v.as_f64(),
+                        group,
+                        thread,
+                        *width,
+                    )?;
+                }
+                self.counters.vector_accesses += *width as u64;
+                Ok(GpuValue::Int(0))
+            }
+            SExpr::Math1(kind, a) => {
+                let v = self.eval(a, group, thread)?.as_f64();
+                self.counters.flops += 4;
+                let out = match kind {
+                    Math1::Sqrt => v.sqrt(),
+                    Math1::Rsqrt => 1.0 / v.sqrt(),
+                    Math1::Fabs => v.abs(),
+                    Math1::Exp => v.exp(),
+                    Math1::Log => v.ln(),
+                    Math1::Floor => v.floor(),
+                };
+                Ok(GpuValue::Float(out))
+            }
+            SExpr::Math2(kind, a, b) => {
+                let a = self.eval(a, group, thread)?.as_f64();
+                let b = self.eval(b, group, thread)?.as_f64();
+                self.counters.flops += 1;
+                let out = match kind {
+                    Math2::Min => a.min(b),
+                    Math2::Max => a.max(b),
+                };
+                Ok(GpuValue::Float(out))
+            }
+            SExpr::Mad(a, b, c) => {
+                let a = self.eval(a, group, thread)?.as_f64();
+                let b = self.eval(b, group, thread)?.as_f64();
+                let c = self.eval(c, group, thread)?.as_f64();
+                self.counters.flops += 2;
+                Ok(GpuValue::Float(a * b + c))
+            }
+            SExpr::CallFun(idx, args) => {
+                let fun = std::rc::Rc::clone(&self.functions[*idx]);
+                if fun.params.len() != args.len() {
+                    return Err(VgpuError::ArgumentMismatch {
+                        expected: fun.params.len(),
+                        found: args.len(),
+                    });
+                }
+                let mut values = Vec::with_capacity(args.len());
+                for a in args {
+                    values.push(self.eval(a, group, thread)?);
+                }
+                // Bind parameters with save/restore so nested calls and loop variables are
+                // preserved (moving shadowed values out instead of cloning them).
+                let saved: Vec<Option<GpuValue>> =
+                    fun.params.iter().map(|s| thread.vals[*s].take()).collect();
+                for (s, v) in fun.params.iter().zip(values) {
+                    thread.vals[*s] = Some(v);
+                }
+                let result = self.eval(&fun.body, group, thread);
+                for (s, old) in fun.params.iter().zip(saved) {
+                    thread.vals[*s] = old;
+                }
+                result
+            }
+            SExpr::UnknownCall(name) => Err(VgpuError::UnknownFunction(name.clone())),
+            SExpr::ArrayAccess(arr, idx) => {
                 let ptr = self
                     .eval(arr, group, thread)?
                     .as_ptr()
-                    .ok_or_else(|| VgpuError::NotAPointer(lift_ocl::print_expr(arr)))?;
+                    .ok_or_else(|| VgpuError::NotAPointer("array expression".to_string()))?;
                 let idx = self.eval(idx, group, thread)?.as_i64();
                 self.load(ptr, idx, group, thread, 1)
             }
-            CExpr::Field(obj, field) => {
+            SExpr::Field(obj, idx, field) => {
+                // Fast path for `var._i`: project the field straight out of the thread
+                // state instead of cloning the whole struct value first.
+                if let SExpr::Var(slot) = &**obj {
+                    if let Some(GpuValue::Struct(fields) | GpuValue::Vector(fields)) =
+                        &thread.vals[*slot]
+                    {
+                        return fields
+                            .get(*idx)
+                            .cloned()
+                            .ok_or_else(|| VgpuError::UnknownVariable(format!("field {field}")));
+                    }
+                }
                 let v = self.eval(obj, group, thread)?;
-                let idx = field_index(field);
                 match v {
                     GpuValue::Struct(fields) | GpuValue::Vector(fields) => fields
-                        .get(idx)
+                        .get(*idx)
                         .cloned()
                         .ok_or_else(|| VgpuError::UnknownVariable(format!("field {field}"))),
                     other => Ok(other),
                 }
             }
-            CExpr::Cast(ty, inner) => {
+            SExpr::Cast(kind, inner) => {
                 let v = self.eval(inner, group, thread)?;
-                Ok(match ty {
-                    lift_ocl::CType::Int => GpuValue::Int(v.as_i64()),
-                    lift_ocl::CType::Float | lift_ocl::CType::Double => GpuValue::Float(v.as_f64()),
-                    lift_ocl::CType::Bool => GpuValue::Bool(v.as_bool()),
-                    _ => v,
+                Ok(match kind {
+                    CastKind::Int => GpuValue::Int(v.as_i64()),
+                    CastKind::Float => GpuValue::Float(v.as_f64()),
+                    CastKind::Bool => GpuValue::Bool(v.as_bool()),
+                    CastKind::Keep => v,
                 })
             }
-            CExpr::Ternary(c, t, other) => {
+            SExpr::Ternary(c, t, other) => {
                 let c = self.eval(c, group, thread)?.as_bool();
                 self.counters.int_ops += 1;
                 if c {
@@ -530,14 +1104,14 @@ impl<'a> Exec<'a> {
                     self.eval(other, group, thread)
                 }
             }
-            CExpr::StructLit(_, fields) => {
+            SExpr::StructLit(fields) => {
                 let mut out = Vec::with_capacity(fields.len());
                 for f in fields {
                     out.push(self.eval(f, group, thread)?);
                 }
                 Ok(GpuValue::Struct(out))
             }
-            CExpr::VectorLit(_, elems) => {
+            SExpr::VectorLit(elems) => {
                 let mut out = Vec::with_capacity(elems.len());
                 for e in elems {
                     out.push(self.eval(e, group, thread)?);
@@ -547,40 +1121,55 @@ impl<'a> Exec<'a> {
         }
     }
 
-    fn eval_index(&self, a: &ArithExpr, thread: &Thread) -> Result<i64, VgpuError> {
-        let lookup = |name: &str| {
-            thread
-                .env
-                .get(name)
+    /// Evaluates an index expression while charging the cost counters in the same walk
+    /// (the counts match `ArithExpr::op_count`/`div_mod_count`, which a naive implementation
+    /// would recompute with two extra tree walks per evaluation — this runs per memory
+    /// access in the innermost interpretation loop).
+    fn eval_index_counting(&mut self, a: &SIndex, thread: &Thread) -> Result<i64, VgpuError> {
+        match a {
+            SIndex::Cst(c) => Ok(*c),
+            SIndex::Var(slot) => thread.vals[*slot]
+                .as_ref()
                 .map(GpuValue::as_i64)
-                .or_else(|| self.params.get(name).map(GpuValue::as_i64))
-        };
-        a.evaluate_with(&lookup).map_err(|err| match err {
-            lift_arith::EvalError::UnboundVariable(v) => VgpuError::UnknownVariable(v),
-            lift_arith::EvalError::DivisionByZero => VgpuError::DivisionByZero,
-        })
-    }
-
-    fn lookup_var(
-        &self,
-        name: &str,
-        group: &Group,
-        thread: &Thread,
-    ) -> Result<GpuValue, VgpuError> {
-        if let Some(v) = thread.env.get(name) {
-            return Ok(v.clone());
+                .or_else(|| self.params[*slot].as_ref().map(GpuValue::as_i64))
+                .ok_or_else(|| VgpuError::UnknownVariable(self.names[*slot].clone())),
+            SIndex::Sum(ts) => {
+                self.counters.int_ops += ts.len().saturating_sub(1) as u64;
+                let mut acc = 0i64;
+                for t in ts {
+                    acc += self.eval_index_counting(t, thread)?;
+                }
+                Ok(acc)
+            }
+            SIndex::Prod(fs) => {
+                self.counters.int_ops += fs.len().saturating_sub(1) as u64;
+                let mut acc = 1i64;
+                for f in fs {
+                    acc *= self.eval_index_counting(f, thread)?;
+                }
+                Ok(acc)
+            }
+            SIndex::IntDiv(a, b) => {
+                self.counters.div_mod_ops += 1;
+                let b = self.eval_index_counting(b, thread)?;
+                if b == 0 {
+                    return Err(VgpuError::DivisionByZero);
+                }
+                Ok(self.eval_index_counting(a, thread)?.div_euclid(b))
+            }
+            SIndex::Mod(a, b) => {
+                self.counters.div_mod_ops += 1;
+                let b = self.eval_index_counting(b, thread)?;
+                if b == 0 {
+                    return Err(VgpuError::DivisionByZero);
+                }
+                Ok(self.eval_index_counting(a, thread)?.rem_euclid(b))
+            }
+            SIndex::Pow(b, e) => {
+                self.counters.int_ops += u64::from(e.saturating_sub(1));
+                Ok(self.eval_index_counting(b, thread)?.pow(*e))
+            }
         }
-        if let Some(idx) = group.local_names.get(name) {
-            return Ok(GpuValue::Ptr(Ptr {
-                space: AddrSpace::Local,
-                buffer: *idx,
-                offset: 0,
-            }));
-        }
-        if let Some(v) = self.params.get(name) {
-            return Ok(v.clone());
-        }
-        Err(VgpuError::UnknownVariable(name.to_string()))
     }
 
     fn eval_bin(&mut self, op: CBinOp, a: GpuValue, b: GpuValue) -> Result<GpuValue, VgpuError> {
@@ -664,166 +1253,6 @@ impl<'a> Exec<'a> {
                 GpuValue::Bool(compare(op, x, y))
             }
         })
-    }
-
-    fn eval_call(
-        &mut self,
-        name: &str,
-        args: &[CExpr],
-        group: &mut Group,
-        thread: &mut Thread,
-    ) -> Result<GpuValue, VgpuError> {
-        // OpenCL work-item functions.
-        if let Some(builtin) = self.work_item_builtin(name, args, group, thread)? {
-            return Ok(builtin);
-        }
-        // Vector loads/stores.
-        if let Some(width) = vector_width(name, "vload") {
-            let idx = self.eval(&args[0], group, thread)?.as_i64();
-            let ptr = self
-                .eval(&args[1], group, thread)?
-                .as_ptr()
-                .ok_or_else(|| VgpuError::NotAPointer(name.to_string()))?;
-            let mut lanes = Vec::with_capacity(width);
-            for lane in 0..width {
-                lanes.push(self.load(
-                    ptr,
-                    idx * width as i64 + lane as i64,
-                    group,
-                    thread,
-                    width,
-                )?);
-            }
-            self.counters.vector_accesses += width as u64;
-            return Ok(GpuValue::Vector(lanes));
-        }
-        if let Some(width) = vector_width(name, "vstore") {
-            let value = self.eval(&args[0], group, thread)?;
-            let idx = self.eval(&args[1], group, thread)?.as_i64();
-            let ptr = self
-                .eval(&args[2], group, thread)?
-                .as_ptr()
-                .ok_or_else(|| VgpuError::NotAPointer(name.to_string()))?;
-            let lanes = match value {
-                GpuValue::Vector(lanes) => lanes,
-                other => vec![other; width],
-            };
-            for (lane, v) in lanes.iter().enumerate() {
-                self.store(
-                    ptr,
-                    idx * width as i64 + lane as i64,
-                    v.as_f64(),
-                    group,
-                    thread,
-                    width,
-                )?;
-            }
-            self.counters.vector_accesses += width as u64;
-            return Ok(GpuValue::Int(0));
-        }
-        // Math builtins.
-        match name {
-            "sqrt" | "native_sqrt" | "rsqrt" | "fabs" | "exp" | "log" | "floor" => {
-                let v = self.eval(&args[0], group, thread)?.as_f64();
-                self.counters.flops += 4;
-                let out = match name {
-                    "sqrt" | "native_sqrt" => v.sqrt(),
-                    "rsqrt" => 1.0 / v.sqrt(),
-                    "fabs" => v.abs(),
-                    "exp" => v.exp(),
-                    "log" => v.ln(),
-                    _ => v.floor(),
-                };
-                return Ok(GpuValue::Float(out));
-            }
-            "fmin" | "min" | "fmax" | "max" => {
-                let a = self.eval(&args[0], group, thread)?.as_f64();
-                let b = self.eval(&args[1], group, thread)?.as_f64();
-                self.counters.flops += 1;
-                let out = if name.ends_with("min") {
-                    a.min(b)
-                } else {
-                    a.max(b)
-                };
-                return Ok(GpuValue::Float(out));
-            }
-            "mad" | "fma" => {
-                let a = self.eval(&args[0], group, thread)?.as_f64();
-                let b = self.eval(&args[1], group, thread)?.as_f64();
-                let c = self.eval(&args[2], group, thread)?.as_f64();
-                self.counters.flops += 2;
-                return Ok(GpuValue::Float(a * b + c));
-            }
-            _ => {}
-        }
-        // User functions defined in the module.
-        let fun = self
-            .module
-            .function(name)
-            .ok_or_else(|| VgpuError::UnknownFunction(name.to_string()))?
-            .clone();
-        if fun.params.len() != args.len() {
-            return Err(VgpuError::ArgumentMismatch {
-                expected: fun.params.len(),
-                found: args.len(),
-            });
-        }
-        let mut values = Vec::with_capacity(args.len());
-        for a in args {
-            values.push(self.eval(a, group, thread)?);
-        }
-        // Bind parameters with save/restore so nested calls and loop variables are preserved.
-        let saved: Vec<Option<GpuValue>> = fun
-            .params
-            .iter()
-            .map(|(n, _)| thread.env.get(n).cloned())
-            .collect();
-        for ((n, _), v) in fun.params.iter().zip(values) {
-            thread.env.insert(n.clone(), v);
-        }
-        let result = self.eval(&fun.body, group, thread);
-        for ((n, _), old) in fun.params.iter().zip(saved) {
-            match old {
-                Some(v) => {
-                    thread.env.insert(n.clone(), v);
-                }
-                None => {
-                    thread.env.remove(n);
-                }
-            }
-        }
-        result
-    }
-
-    fn work_item_builtin(
-        &mut self,
-        name: &str,
-        args: &[CExpr],
-        group: &mut Group,
-        thread: &mut Thread,
-    ) -> Result<Option<GpuValue>, VgpuError> {
-        let dims = [
-            "get_global_id",
-            "get_local_id",
-            "get_group_id",
-            "get_global_size",
-            "get_local_size",
-            "get_num_groups",
-        ];
-        if !dims.contains(&name) {
-            return Ok(None);
-        }
-        let dim = self.eval(&args[0], group, thread)?.as_i64() as usize;
-        let groups = self.config.num_groups();
-        let v = match name {
-            "get_global_id" => thread.gid[dim],
-            "get_local_id" => thread.lid[dim],
-            "get_group_id" => group.id[dim],
-            "get_global_size" => self.config.global[dim],
-            "get_local_size" => self.config.local[dim],
-            _ => groups[dim],
-        };
-        Ok(Some(GpuValue::Int(v as i64)))
     }
 
     // ------------------------------------------------------------------ memory
@@ -949,78 +1378,84 @@ impl<'a> Exec<'a> {
 
     fn assign(
         &mut self,
-        lhs: &CExpr,
+        lhs: &SLhs,
         value: GpuValue,
         group: &mut Group,
         thread: &mut Thread,
     ) -> Result<(), VgpuError> {
         match lhs {
-            CExpr::Var(name) => {
-                thread.env.insert(name.clone(), value);
+            SLhs::Var(slot) => {
+                thread.vals[*slot] = Some(value);
                 Ok(())
             }
-            CExpr::ArrayAccess(arr, idx) => {
+            SLhs::Array(arr, idx) => {
                 let ptr = self
                     .eval(arr, group, thread)?
                     .as_ptr()
-                    .ok_or_else(|| VgpuError::NotAPointer(lift_ocl::print_expr(arr)))?;
+                    .ok_or_else(|| VgpuError::NotAPointer("array expression".to_string()))?;
                 let idx = self.eval(idx, group, thread)?.as_i64();
                 if !value.is_scalar() {
-                    return Err(VgpuError::InvalidStore(lift_ocl::print_expr(lhs)));
+                    return Err(VgpuError::InvalidStore("array element".to_string()));
                 }
                 self.store(ptr, idx, value.as_f64(), group, thread, 1)
             }
-            CExpr::Field(obj, field) => {
-                // Field assignment only supports struct-valued variables.
-                if let CExpr::Var(name) = &**obj {
-                    let idx = field_index(field);
-                    let mut current = thread
-                        .env
-                        .get(name)
-                        .cloned()
-                        .unwrap_or(GpuValue::Struct(vec![GpuValue::Float(0.0); idx + 1]));
-                    if let GpuValue::Struct(fields) | GpuValue::Vector(fields) = &mut current {
-                        if fields.len() <= idx {
-                            fields.resize(idx + 1, GpuValue::Float(0.0));
-                        }
-                        fields[idx] = value;
+            SLhs::FieldOfVar(slot, idx) => {
+                let mut current = thread.vals[*slot]
+                    .take()
+                    .unwrap_or(GpuValue::Struct(vec![GpuValue::Float(0.0); idx + 1]));
+                if let GpuValue::Struct(fields) | GpuValue::Vector(fields) = &mut current {
+                    if fields.len() <= *idx {
+                        fields.resize(idx + 1, GpuValue::Float(0.0));
                     }
-                    thread.env.insert(name.clone(), current);
-                    Ok(())
-                } else {
-                    Err(VgpuError::InvalidStore(lift_ocl::print_expr(lhs)))
+                    fields[*idx] = value;
                 }
+                thread.vals[*slot] = Some(current);
+                Ok(())
             }
-            other => Err(VgpuError::InvalidStore(lift_ocl::print_expr(other))),
+            SLhs::Invalid(rendering) => Err(VgpuError::InvalidStore(rendering.clone())),
         }
     }
 
     /// Groups the global accesses of the last lock-step statement execution into memory
     /// transactions per SIMD group and charges uncoalesced accesses.
+    ///
+    /// Runs after every statement execution, so it reuses pre-allocated scratch vectors
+    /// (linear dedup over a handful of distinct segments) instead of building hash
+    /// containers.
     fn flush_accesses(&mut self) {
         if self.access_log.is_empty() {
             return;
         }
+        self.seg_scratch.clear();
+        self.simd_counts.clear();
         let log = std::mem::take(&mut self.access_log);
-        use std::collections::HashSet;
-        let mut per_simd: HashMap<usize, HashSet<(usize, i64)>> = HashMap::new();
-        let mut per_simd_count: HashMap<usize, usize> = HashMap::new();
         for access in &log {
             let simd_group = access.thread / COALESCE_GROUP;
-            let segments = per_simd.entry(simd_group).or_default();
             // A vector access may straddle two segments; charge both.
-            segments.insert((access.buffer, access.addr.div_euclid(SEGMENT_ELEMS)));
-            let last = access.addr + access.width.max(1) as i64 - 1;
-            segments.insert((access.buffer, last.div_euclid(SEGMENT_ELEMS)));
-            *per_simd_count.entry(simd_group).or_default() += 1;
+            let first = access.addr.div_euclid(SEGMENT_ELEMS);
+            let last = (access.addr + access.width.max(1) as i64 - 1).div_euclid(SEGMENT_ELEMS);
+            let first_entry = (simd_group, access.buffer, first);
+            if !self.seg_scratch.contains(&first_entry) {
+                self.seg_scratch.push(first_entry);
+            }
+            let last_entry = (simd_group, access.buffer, last);
+            if last != first && !self.seg_scratch.contains(&last_entry) {
+                self.seg_scratch.push(last_entry);
+            }
+            match self.simd_counts.iter_mut().find(|(g, _)| *g == simd_group) {
+                Some((_, c)) => *c += 1,
+                None => self.simd_counts.push((simd_group, 1)),
+            }
         }
-        for (simd_group, segments) in per_simd {
-            let accesses = per_simd_count[&simd_group];
+        // Hand the (emptied) log buffer back so its capacity is reused.
+        self.access_log = log;
+        self.access_log.clear();
+        let segments = &self.seg_scratch;
+        for &(simd_group, accesses) in &self.simd_counts {
             let ideal = accesses.div_ceil(COALESCE_GROUP).max(1);
-            let transactions = segments.len() as u64;
-            self.counters.global_transactions += transactions;
-            self.counters.uncoalesced_accesses +=
-                (transactions as usize).saturating_sub(ideal) as u64;
+            let transactions = segments.iter().filter(|(g, _, _)| *g == simd_group).count();
+            self.counters.global_transactions += transactions as u64;
+            self.counters.uncoalesced_accesses += transactions.saturating_sub(ideal) as u64;
         }
     }
 }
@@ -1058,11 +1493,10 @@ fn vector_width(name: &str, prefix: &str) -> Option<usize> {
         .and_then(|rest| rest.parse::<usize>().ok())
         .filter(|w| matches!(w, 2 | 4 | 8 | 16))
 }
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use lift_ocl::{CFunction, CType, Fence, KernelParam};
+    use lift_ocl::{CFunction, CType, Fence, Kernel, KernelParam};
 
     fn copy_kernel() -> Module {
         let mut m = Module::new();
@@ -1084,6 +1518,23 @@ mod tests {
             }],
         });
         m
+    }
+
+    #[test]
+    fn launch_inputs_and_results_are_send_and_sync() {
+        // The exploration driver scores candidates from scoped worker threads: everything a
+        // launch consumes or produces must cross (or be shared across) thread boundaries.
+        // Execution-internal state (`Exec`, threads, lowered functions) is thread-local and
+        // deliberately exempt.
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<VirtualGpu>();
+        assert_send_sync::<Module>();
+        assert_send_sync::<KernelArg>();
+        assert_send_sync::<LaunchResult>();
+        assert_send_sync::<VgpuError>();
+        assert_send_sync::<LaunchConfig>();
+        assert_send_sync::<crate::DeviceProfile>();
+        assert_send_sync::<crate::CostCounters>();
     }
 
     #[test]
