@@ -9,8 +9,8 @@
 //! * named [`Var`]iables carrying value [`Range`] information (e.g. a work-group id is known
 //!   to lie in `[0, M)`),
 //! * the algebraic simplification rules (1)–(6) of Section 5.3 which exploit those ranges,
-//! * bounds analysis ([`ArithExpr::lower_bound`], [`ArithExpr::upper_bound`]) used to decide
-//!   the side conditions of the rules,
+//! * bounds analysis (the crate-internal `lower_bound`/`upper_bound` of `bounds`) used to
+//!   decide the side conditions of the rules,
 //! * substitution and concrete evaluation (used by tests and by the virtual GPU), and
 //! * pretty printing to OpenCL C syntax.
 //!

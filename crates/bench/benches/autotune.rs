@@ -1,0 +1,34 @@
+//! Criterion bench for the auto-tuner: a small exhaustive tuning run of the dot-product
+//! workload, exercising the shared-enumeration fast path (many launches per rule search).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lift_tuner::{tune, Strategy, TuningConfig, TuningSpace, Workload};
+use lift_vgpu::{DeviceProfile, LaunchConfig};
+
+fn autotune(c: &mut Criterion) {
+    let workload = Workload::dot_product();
+    let device = DeviceProfile::nvidia();
+    let space = TuningSpace {
+        split_sets: vec![vec![2, 4]],
+        width_sets: vec![vec![4]],
+        launches: vec![
+            LaunchConfig::d1(16, 4),
+            LaunchConfig::d1(32, 8),
+            LaunchConfig::d1(64, 16),
+            LaunchConfig::d1(64, 64),
+        ],
+    };
+    let mut config = TuningConfig::new(device, space, Strategy::Exhaustive);
+    config.base.max_candidates = 1000;
+    config.base.beam_width = 24;
+
+    let mut group = c.benchmark_group("autotune/partial-dot");
+    group.sample_size(10);
+    group.bench_function("exhaustive-4-launches", |b| {
+        b.iter(|| tune(&workload.program, &config).expect("tuning runs"))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, autotune);
+criterion_main!(benches);

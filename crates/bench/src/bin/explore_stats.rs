@@ -2,8 +2,9 @@
 //!
 //! Runs the cost-guided exploration on the high-level partial dot product (Listing 1 before
 //! implementation choices) at `max_candidates = 4000`, prints candidates/sec, and writes a
-//! machine-readable `BENCH_explore.json` next to the current working directory so CI can
-//! archive the number per PR.
+//! machine-readable `BENCH_explore.json` (override the path with `--json-out <path>`) so CI
+//! can archive the number per PR and the `perf_gate` binary can compare it against the
+//! committed baseline.
 //!
 //! The `BASELINE_CANDIDATES_PER_SEC` constant records the throughput of the pre-optimisation
 //! engine (string-keyed dedup, per-candidate arena round-trip and re-typecheck, serial
@@ -13,6 +14,7 @@
 use std::time::Instant;
 
 use lift_bench::explore_config;
+use lift_bench::schema::{json_out_arg, write_json, Json};
 use lift_benchmarks::dot_product;
 use lift_rewrite::explore;
 
@@ -22,11 +24,12 @@ use lift_rewrite::explore;
 const BASELINE_CANDIDATES_PER_SEC: f64 = 4772.0;
 
 fn main() {
+    let out_path = json_out_arg("BENCH_explore.json");
     let program = dot_product::high_level_program(512);
-    let mut report = String::from("{\n");
+    let mut pairs: Vec<(String, Json)> = Vec::new();
 
-    for (i, max_candidates) in [500usize, 4000].iter().enumerate() {
-        let config = explore_config(*max_candidates);
+    for max_candidates in [500usize, 4000] {
+        let config = explore_config(max_candidates);
         let start = Instant::now();
         let result = explore(&program, &config).expect("exploration runs");
         let wall = start.elapsed();
@@ -45,44 +48,39 @@ fn main() {
             println!("  t={:10.1}  {}", v.estimated_time, chain.join(" ; "));
         }
 
-        if i > 0 {
-            report.push_str(",\n");
-        }
-        let chains: Vec<String> = result
+        let derivations: Vec<Json> = result
             .variants
             .iter()
             .map(|v| {
-                let steps: Vec<String> = v
-                    .derivation
-                    .iter()
-                    .map(|s| format!("\"{} @ {}\"", s.rule, s.location))
-                    .collect();
-                format!("[{}]", steps.join(", "))
+                Json::Arr(
+                    v.derivation
+                        .iter()
+                        .map(|s| Json::str(format!("{} @ {}", s.rule, s.location)))
+                        .collect(),
+                )
             })
             .collect();
-        report.push_str(&format!(
-            "  \"max_candidates_{max_candidates}\": {{\n    \"explored\": {},\n    \
-             \"wall_ms\": {wall_ms:.3},\n    \"candidates_per_sec\": {cps:.1},\n    \
-             \"variants\": {},\n    \"best_estimated_time\": {},\n    \
-             \"best_derivations\": [{}]\n  }}",
-            result.explored,
-            result.variants.len(),
-            result
-                .variants
-                .first()
-                .map_or("null".to_string(), |v| format!("{:.3}", v.estimated_time)),
-            chains.join(", "),
+        pairs.push((
+            format!("max_candidates_{max_candidates}"),
+            Json::obj([
+                ("explored", Json::num(result.explored as f64)),
+                ("wall_ms", Json::num(wall_ms)),
+                ("candidates_per_sec", Json::num(cps)),
+                ("variants", Json::num(result.variants.len() as f64)),
+                (
+                    "best_estimated_time",
+                    Json::opt_num(result.variants.first().map(|v| v.estimated_time)),
+                ),
+                ("best_derivations", Json::Arr(derivations)),
+            ]),
         ));
-        if *max_candidates == 4000 {
-            let speedup = if BASELINE_CANDIDATES_PER_SEC > 0.0 {
-                cps / BASELINE_CANDIDATES_PER_SEC
-            } else {
-                1.0
-            };
-            report.push_str(&format!(
-                ",\n  \"baseline_candidates_per_sec\": {BASELINE_CANDIDATES_PER_SEC:.1},\n  \
-                 \"speedup_over_baseline\": {speedup:.2}"
+        if max_candidates == 4000 {
+            let speedup = cps / BASELINE_CANDIDATES_PER_SEC;
+            pairs.push((
+                "baseline_candidates_per_sec".to_string(),
+                Json::num(BASELINE_CANDIDATES_PER_SEC),
             ));
+            pairs.push(("speedup_over_baseline".to_string(), Json::num(speedup)));
             println!(
                 "speedup over pre-optimisation baseline ({BASELINE_CANDIDATES_PER_SEC:.0} \
                  candidates/sec): {speedup:.2}x"
@@ -90,7 +88,6 @@ fn main() {
         }
     }
 
-    report.push_str("\n}\n");
-    std::fs::write("BENCH_explore.json", &report).expect("write BENCH_explore.json");
-    println!("wrote BENCH_explore.json");
+    write_json(&out_path, &Json::Obj(pairs).render());
+    println!("wrote {}", out_path.display());
 }

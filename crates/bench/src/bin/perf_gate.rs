@@ -1,0 +1,170 @@
+//! The CI performance-regression gate.
+//!
+//! Compares freshly generated `BENCH_explore.json` / `BENCH_autotune.json` reports against
+//! the baselines committed in the repository and fails (exit code 1) when a tracked number
+//! regresses by more than the threshold (default 25%):
+//!
+//! * exploration throughput (`candidates_per_sec` at `max_candidates = 4000`) must not drop
+//!   below `baseline × (1 − threshold)`,
+//! * every `(workload, device)` tuned best-time in the baseline must still exist and must
+//!   not exceed `baseline × (1 + threshold)` — estimated times come from the deterministic
+//!   cost model, so this comparison is machine-independent.
+//!
+//! ```text
+//! perf_gate --baseline-explore BENCH_explore.json --current-explore target/BENCH_explore.json \
+//!           --baseline-autotune BENCH_autotune.json --current-autotune target/BENCH_autotune.json \
+//!           [--threshold 0.25]
+//! ```
+
+use std::collections::HashMap;
+use std::process::ExitCode;
+
+use lift_bench::schema::{parse, Json};
+
+struct Args {
+    baseline_explore: String,
+    current_explore: String,
+    baseline_autotune: String,
+    current_autotune: String,
+    threshold: f64,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline_explore: "BENCH_explore.json".into(),
+        current_explore: "target/BENCH_explore.json".into(),
+        baseline_autotune: "BENCH_autotune.json".into(),
+        current_autotune: "target/BENCH_autotune.json".into(),
+        threshold: 0.25,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--baseline-explore" => args.baseline_explore = value()?,
+            "--current-explore" => args.current_explore = value()?,
+            "--baseline-autotune" => args.baseline_autotune = value()?,
+            "--current-autotune" => args.current_autotune = value()?,
+            "--threshold" => {
+                args.threshold = value()?
+                    .parse()
+                    .map_err(|e| format!("invalid threshold: {e}"))?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+fn load(path: &str) -> Result<Json, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("read {path}: {e}"))?;
+    parse(&text).map_err(|e| format!("parse {path}: {e}"))
+}
+
+fn explore_throughput(doc: &Json, path: &str) -> Result<f64, String> {
+    doc.get("max_candidates_4000")
+        .and_then(|s| s.get("candidates_per_sec"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{path}: missing max_candidates_4000.candidates_per_sec"))
+}
+
+/// `(workload, device) → tuned_best_time` for every entry that has one.
+fn tuned_times(doc: &Json, path: &str) -> Result<HashMap<(String, String), f64>, String> {
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{path}: missing results[]"))?;
+    let mut out = HashMap::new();
+    for entry in results {
+        let workload = entry
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: entry without workload"))?;
+        let device = entry
+            .get("device")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{path}: entry without device"))?;
+        if let Some(time) = entry.get("tuned_best_time").and_then(Json::as_f64) {
+            out.insert((workload.to_string(), device.to_string()), time);
+        }
+    }
+    Ok(out)
+}
+
+fn run(args: &Args) -> Result<bool, String> {
+    let mut ok = true;
+
+    // 1. Exploration throughput: lower is a regression. This number is wall-clock based and
+    //    therefore machine-dependent — the committed baseline must be refreshed (re-run
+    //    `explore_stats` and commit the JSON) whenever the reference machine class changes,
+    //    and the 25% threshold absorbs normal runner-to-runner variance.
+    let baseline = explore_throughput(&load(&args.baseline_explore)?, &args.baseline_explore)?;
+    let current = explore_throughput(&load(&args.current_explore)?, &args.current_explore)?;
+    let floor = baseline * (1.0 - args.threshold);
+    let verdict = if current >= floor { "ok" } else { "FAIL" };
+    println!(
+        "[{verdict}] exploration throughput: {current:.0} candidates/sec \
+         (baseline {baseline:.0}, floor {floor:.0})"
+    );
+    ok &= current >= floor;
+
+    // 2. Tuned best-times: higher is a regression (deterministic cost model, so any drift
+    //    beyond the threshold is a real change in generated code or search quality).
+    let baseline_times = tuned_times(&load(&args.baseline_autotune)?, &args.baseline_autotune)?;
+    let current_times = tuned_times(&load(&args.current_autotune)?, &args.current_autotune)?;
+    let mut keys: Vec<_> = baseline_times.keys().collect();
+    keys.sort();
+    for key in keys {
+        let baseline = baseline_times[key];
+        let ceiling = baseline * (1.0 + args.threshold);
+        match current_times.get(key) {
+            None => {
+                println!(
+                    "[FAIL] autotune {}/{}: missing from current report",
+                    key.0, key.1
+                );
+                ok = false;
+            }
+            Some(&current) => {
+                let verdict = if current <= ceiling { "ok" } else { "FAIL" };
+                println!(
+                    "[{verdict}] autotune {}/{}: tuned best {current:.1} \
+                     (baseline {baseline:.1}, ceiling {ceiling:.1})",
+                    key.0, key.1
+                );
+                ok &= current <= ceiling;
+            }
+        }
+    }
+    Ok(ok)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&args) {
+        Ok(true) => {
+            println!(
+                "perf gate passed (threshold {:.0}%)",
+                args.threshold * 100.0
+            );
+            ExitCode::SUCCESS
+        }
+        Ok(false) => {
+            eprintln!(
+                "perf gate FAILED: a tracked number regressed by more than {:.0}%",
+                args.threshold * 100.0
+            );
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("perf_gate: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -6,7 +6,16 @@
 //! * `figure6` — the array-index simplification example (Figure 6),
 //! * `figure7` — the generated dot-product kernel (Figure 7),
 //! * `figure8` — relative performance of generated vs hand-written kernels under the three
-//!   optimisation levels and two device profiles (Figure 8).
+//!   optimisation levels and two device profiles (Figure 8),
+//! * `explore_stats` — exploration-throughput probe writing `BENCH_explore.json`,
+//! * `autotune_stats` — the auto-tuning trajectory writing `BENCH_autotune.json`,
+//! * `perf_gate` — CI gate comparing the two JSON reports against committed baselines.
+//!
+//! The [`schema`] module defines the shared JSON output format (writer and parser) and the
+//! `--json-out` flag handling; [`report`] builds the `BENCH_autotune.json` document.
+
+pub mod report;
+pub mod schema;
 
 use lift_benchmarks::runner::RunOutcome;
 use lift_rewrite::{ExplorationConfig, RuleOptions};
@@ -48,6 +57,48 @@ pub fn explore_config(max_candidates: usize) -> ExplorationConfig {
         best_n: 4,
         ..ExplorationConfig::default()
     }
+}
+
+/// The canonical auto-tuning strategy per workload, sized for the serial virtual GPU: a
+/// seeded random sample plus a short hill climb. Fixed seeds make `BENCH_autotune.json`
+/// reproducible (same seed ⇒ identical trajectory).
+pub fn autotune_strategy(workload: &lift_tuner::Workload) -> lift_tuner::Strategy {
+    let seed = 0x11f7;
+    match workload.name {
+        "dot_product" => lift_tuner::Strategy::RandomHillClimb {
+            seed,
+            samples: 8,
+            max_steps: 4,
+        },
+        "matrix_multiply" => lift_tuner::Strategy::RandomHillClimb {
+            seed,
+            samples: 6,
+            max_steps: 3,
+        },
+        // N-Body kernels are the most expensive to execute on the serial virtual GPU, so
+        // its walk gets the smallest sample budget.
+        _ => lift_tuner::Strategy::RandomHillClimb {
+            seed,
+            samples: 3,
+            max_steps: 2,
+        },
+    }
+}
+
+/// The canonical tuning configuration of the `autotune_stats` binary for one workload on one
+/// device — shared with the determinism test so both pin the same run.
+pub fn autotune_config(
+    workload: &lift_tuner::Workload,
+    device: &DeviceProfile,
+) -> lift_tuner::TuningConfig {
+    let mut config = lift_tuner::TuningConfig::new(
+        device.clone(),
+        workload.space_for(device),
+        autotune_strategy(workload),
+    );
+    config.base.max_candidates = 3000;
+    config.base.beam_width = 48;
+    config
 }
 
 #[cfg(test)]

@@ -1,0 +1,197 @@
+//! Builders for the machine-readable reports the harness binaries write.
+//!
+//! Everything that varies between two runs with identical inputs (wall-clock, throughput,
+//! timestamps) enters through explicit parameters, so rendering a result twice with the same
+//! timing values is byte-identical — the property the autotune determinism test pins down.
+
+use lift_tuner::{Strategy, TuningResult};
+
+use crate::schema::Json;
+
+/// Renders a [`Strategy`] for the report.
+pub fn strategy_label(strategy: &Strategy) -> String {
+    match strategy {
+        Strategy::Exhaustive => "exhaustive".to_string(),
+        Strategy::RandomHillClimb {
+            seed,
+            samples,
+            max_steps,
+        } => format!("hill-climb(seed={seed}, samples={samples}, max_steps={max_steps})"),
+    }
+}
+
+/// Builds one `results[]` entry of `BENCH_autotune.json`.
+///
+/// `default_best_time` is the best estimated time of the *default-configuration*
+/// exploration (`ExplorationConfig::default()` with the same device) — the baseline the
+/// tuned point must beat. `wall_ms` is the measured tuning wall-clock; pass a fixed value to
+/// obtain timestamp-independent output.
+pub fn autotune_entry(
+    workload: &str,
+    strategy: &Strategy,
+    default_best_time: Option<f64>,
+    result: &TuningResult,
+    wall_ms: f64,
+) -> Json {
+    let best = result.best_point.as_ref().zip(result.best_variant.as_ref());
+    let improvement = match (default_best_time, &result.best_variant) {
+        (Some(d), Some(b)) if b.estimated_time > 0.0 => Some(d / b.estimated_time),
+        _ => None,
+    };
+    let points_per_sec = if wall_ms > 0.0 {
+        result.points_evaluated as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("workload", Json::str(workload)),
+        ("device", Json::str(&result.device)),
+        ("strategy", Json::str(strategy_label(strategy))),
+        ("default_best_time", Json::opt_num(default_best_time)),
+        (
+            "tuned_best_time",
+            Json::opt_num(result.best_variant.as_ref().map(|b| b.estimated_time)),
+        ),
+        ("improvement", Json::opt_num(improvement)),
+        (
+            "points_evaluated",
+            Json::num(result.points_evaluated as f64),
+        ),
+        ("enumerations", Json::num(result.enumerations as f64)),
+        (
+            "enumeration_cache_hits",
+            Json::num(result.enumeration_cache_hits as f64),
+        ),
+        ("wall_ms", Json::num(wall_ms)),
+        ("points_per_sec", Json::num(points_per_sec)),
+        (
+            "best",
+            best.map_or(Json::Null, |(point, variant)| {
+                Json::obj([
+                    (
+                        "split_sizes",
+                        Json::Arr(
+                            point
+                                .rule_options
+                                .split_sizes
+                                .iter()
+                                .map(|s| Json::num(*s as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "vector_widths",
+                        Json::Arr(
+                            point
+                                .rule_options
+                                .vector_widths
+                                .iter()
+                                .map(|w| Json::num(*w as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "global",
+                        Json::Arr(
+                            point
+                                .launch
+                                .global
+                                .iter()
+                                .map(|g| Json::num(*g as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "local",
+                        Json::Arr(
+                            point
+                                .launch
+                                .local
+                                .iter()
+                                .map(|l| Json::num(*l as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "derivation",
+                        Json::Arr(variant.derivation.iter().map(Json::str).collect()),
+                    ),
+                ])
+            }),
+        ),
+        (
+            "trajectory",
+            Json::Arr(
+                result
+                    .trajectory
+                    .iter()
+                    .map(|entry| {
+                        Json::obj([
+                            (
+                                "global",
+                                Json::num(entry.point.launch.total_work_items() as f64),
+                            ),
+                            (
+                                "local",
+                                Json::num(entry.point.launch.work_group_size() as f64),
+                            ),
+                            (
+                                "split_sizes",
+                                Json::Arr(
+                                    entry
+                                        .point
+                                        .rule_options
+                                        .split_sizes
+                                        .iter()
+                                        .map(|s| Json::num(*s as f64))
+                                        .collect(),
+                                ),
+                            ),
+                            ("best_time", Json::opt_num(entry.best_time)),
+                            ("variants", Json::num(entry.variants as f64)),
+                            ("improved", Json::Bool(entry.improved)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ])
+}
+
+/// Assembles the complete `BENCH_autotune.json` document from per-run entries.
+pub fn autotune_report(entries: Vec<Json>) -> Json {
+    Json::obj([
+        ("schema", Json::str("lift-autotune/v1")),
+        ("results", Json::Arr(entries)),
+    ])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn entries_without_variants_render_null_fields() {
+        let result = TuningResult {
+            device: "nvidia-titan-black".into(),
+            best_point: None,
+            best_variant: None,
+            trajectory: Vec::new(),
+            points_evaluated: 0,
+            enumerations: 0,
+            enumeration_cache_hits: 0,
+        };
+        let entry = autotune_entry("empty", &Strategy::Exhaustive, None, &result, 0.0);
+        assert_eq!(
+            entry.get("tuned_best_time"),
+            Some(&crate::schema::Json::Null)
+        );
+        assert_eq!(entry.get("best"), Some(&crate::schema::Json::Null));
+        let doc = autotune_report(vec![entry]);
+        let parsed = crate::schema::parse(&doc.render()).expect("round-trips");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("lift-autotune/v1")
+        );
+    }
+}

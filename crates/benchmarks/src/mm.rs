@@ -141,6 +141,54 @@ pub fn nvidia_lift_program(m: usize, k: usize, n: usize) -> Program {
     p
 }
 
+/// The *high-level* matrix multiplication — the paper's Section 3 expression before any
+/// implementation choices: `A ↦ map(λarow. join(map(λbcol. reduce(add, 0) ∘ map(×) ∘
+/// zip(arow, bcol))(transpose B)))(A)`.
+///
+/// It contains only backend-agnostic `map`/`reduce` patterns; `lift-rewrite` lowers it (and
+/// `lift-tuner` searches the parameter space) to OpenCL variants such as
+/// [`amd_lift_program`]/[`nvidia_lift_program`].
+pub fn high_level_program(m: usize, k: usize, n: usize) -> Program {
+    let mut p = Program::new("mm");
+    let mult = p.user_fun(UserFun::mult_pair());
+    let add = p.user_fun(UserFun::add());
+    let m_expr = ArithExpr::cst(m as i64);
+    let k_expr = ArithExpr::cst(k as i64);
+    let n_expr = ArithExpr::cst(n as i64);
+    p.with_root(
+        vec![
+            (
+                "A",
+                Type::array(Type::array(Type::float(), k_expr.clone()), m_expr),
+            ),
+            ("B", Type::array(Type::array(Type::float(), n_expr), k_expr)),
+        ],
+        |p, params| {
+            let b = params[1];
+            let per_row = p.lambda(&["arow"], |p, row_params| {
+                let arow = row_params[0];
+                let per_col = p.lambda(&["bcol"], |p, col_params| {
+                    let z = p.zip2();
+                    let zipped = p.apply(z, [arow, col_params[0]]);
+                    let products = p.map(mult);
+                    let mapped = p.apply1(products, zipped);
+                    let red = p.reduce(add, 0.0);
+                    p.apply1(red, mapped)
+                });
+                let inner = p.map(per_col);
+                let t = p.transpose();
+                let j = p.join();
+                let bt = p.apply1(t, b);
+                let cols = p.apply1(inner, bt);
+                p.apply1(j, cols)
+            });
+            let outer = p.map(per_row);
+            p.apply1(outer, params[0])
+        },
+    );
+    p
+}
+
 /// Hand-written reference kernel: one output element per (2D) work item, flat indexing.
 fn reference_kernel(name: &str) -> Kernel {
     let row = CExpr::global_id(0);
@@ -265,7 +313,11 @@ mod tests {
         let a = random_matrix(1, m, k, -1.0, 1.0);
         let b = random_matrix(2, k, n, -1.0, 1.0);
         let expected = host_reference(&a, &b, m, k, n);
-        for program in [amd_lift_program(m, k, n), nvidia_lift_program(m, k, n)] {
+        for program in [
+            amd_lift_program(m, k, n),
+            nvidia_lift_program(m, k, n),
+            high_level_program(m, k, n),
+        ] {
             let out = evaluate(
                 &program,
                 &[

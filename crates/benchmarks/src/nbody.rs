@@ -132,6 +132,38 @@ pub fn amd_lift_program(n: usize) -> Program {
     p
 }
 
+/// The *high-level* N-Body program: `pos ↦ join(map(λpi. reduce(λ(acc, pj).
+/// interaction(acc, pj, pi), 0)(pos))(pos))` — only backend-agnostic `map`/`reduce`
+/// patterns, no work-group structure and no memory placement.
+///
+/// `lift-rewrite` lowers it to variants like [`amd_lift_program`] (flat `mapGlb`) and
+/// `lift-tuner` searches the launch/parameter space per device.
+pub fn high_level_program(n: usize) -> Program {
+    let mut p = Program::new("nbody");
+    let interact = p.user_fun(interaction());
+    let n_expr = ArithExpr::cst(n as i64);
+    p.with_root(
+        vec![("pos", Type::array(Type::float(), n_expr.clone()))],
+        |p, params| {
+            let positions = params[0];
+            let per_body = p.lambda(&["pi"], |p, body_params| {
+                let pi = body_params[0];
+                let red_f = p.lambda(&["acc", "pj"], |p, red_params| {
+                    p.apply(interact, [red_params[0], red_params[1], pi])
+                });
+                let reduce = p.reduce_pattern(red_f);
+                let init = p.literal_f32(0.0);
+                p.apply(reduce, [init, positions])
+            });
+            let m = p.map(per_body);
+            let j = p.join();
+            let mapped = p.apply1(m, positions);
+            p.apply1(j, mapped)
+        },
+    );
+    p
+}
+
 /// Hand-written NVIDIA-style reference kernel: local-memory tiling of the source bodies.
 fn nvidia_reference_kernel(n: usize) -> Kernel {
     let gid = CExpr::global_id(0);
@@ -327,7 +359,11 @@ mod tests {
         let n = 128;
         let positions = random_floats(3, n, -1.0, 1.0);
         let expected = host_reference(&positions);
-        for program in [nvidia_lift_program(n), amd_lift_program(n)] {
+        for program in [
+            nvidia_lift_program(n),
+            amd_lift_program(n),
+            high_level_program(n),
+        ] {
             let out = evaluate(&program, &[Value::from_f32_slice(&positions)])
                 .expect("interpreter")
                 .flatten_f32();

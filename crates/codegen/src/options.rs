@@ -6,6 +6,8 @@
 //! launch configuration the kernel is specialised for (Lift kernels are compiled for a known
 //! work-group size, which is what enables the control-flow simplification of Section 5.5).
 
+use lift_vgpu::DeviceProfile;
+
 /// Which code-generator optimisations are enabled.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct CompilationOptions {
@@ -51,6 +53,26 @@ impl CompilationOptions {
         CompilationOptions {
             array_access_simplification: false,
             ..Self::all_optimisations()
+        }
+    }
+
+    /// All optimisations, with a launch configuration derived from the device instead of the
+    /// historical hard-coded `[128,1,1]`/`[1024,1,1]`: one full-occupancy work group per
+    /// compute unit, capped by the device's work-group limit. This is the *default* starting
+    /// point only — `lift-tuner` searches the launch space per device and is the single
+    /// source of tuned launch configurations.
+    pub fn for_device(device: &DeviceProfile) -> CompilationOptions {
+        let local = device
+            .max_work_group_size
+            .min(device.max_work_item_sizes[0])
+            .clamp(1, 128);
+        let global = local * device.compute_units.max(1);
+        CompilationOptions {
+            array_access_simplification: true,
+            barrier_elimination: true,
+            control_flow_simplification: true,
+            local_size: [local, 1, 1],
+            global_size: [global, 1, 1],
         }
     }
 
@@ -127,6 +149,21 @@ mod tests {
             "barrier+cf"
         );
         assert_eq!(CompilationOptions::none().label(), "none");
+    }
+
+    #[test]
+    fn for_device_respects_the_device_limits() {
+        for device in [DeviceProfile::nvidia(), DeviceProfile::amd()] {
+            let o = CompilationOptions::for_device(&device);
+            assert!(o.array_access_simplification);
+            let launch = lift_vgpu::LaunchConfig {
+                global: o.global_size,
+                local: o.local_size,
+            };
+            assert_eq!(device.validate_launch(&launch), Ok(()));
+            // One work group per compute unit.
+            assert_eq!(o.num_groups()[0], device.compute_units);
+        }
     }
 
     #[test]

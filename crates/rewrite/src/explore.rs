@@ -17,7 +17,7 @@
 //!
 //! * candidates are deduped by an 8-byte canonical structural hash ([`Term::dedup_key`])
 //!   instead of retaining full pretty-printed renderings,
-//! * candidates are type-checked directly on the tree form ([`crate::typecheck`]); the
+//! * candidates are type-checked directly on the tree form ([`crate::typecheck()`]); the
 //!   arena conversion and `infer_types` run only for the few candidates that reach scoring,
 //! * per-site rule applicability is cached across depth levels (keyed by the raw structural
 //!   hash of the subtree plus its context and types), so rules that cannot fire at an
@@ -37,7 +37,9 @@ use lift_arith::Environment;
 use lift_codegen::{compile, CompilationOptions, KernelParamInfo};
 use lift_interp::{evaluate_with_sizes, Value};
 use lift_ir::{infer_types, Program, Type, TypeError};
-use lift_vgpu::{outputs_match, CostCounters, DeviceProfile, KernelArg, LaunchConfig, VirtualGpu};
+use lift_vgpu::{
+    outputs_match, CostCounters, DeviceProfile, KernelArg, LaunchConfig, LaunchError, VirtualGpu,
+};
 
 use crate::rules::{all_rules, RuleCx, RuleKind, RuleOptions};
 use crate::term::{
@@ -155,6 +157,8 @@ pub enum ExploreError {
     Type(TypeError),
     /// The reference interpreter could not evaluate the input program.
     Reference(String),
+    /// The configured launch is invalid for the configured device profile.
+    Launch(LaunchError),
 }
 
 impl std::fmt::Display for ExploreError {
@@ -163,6 +167,9 @@ impl std::fmt::Display for ExploreError {
             ExploreError::Term(e) => write!(f, "cannot build rewrite term: {e}"),
             ExploreError::Type(e) => write!(f, "input program does not typecheck: {e}"),
             ExploreError::Reference(e) => write!(f, "reference evaluation failed: {e}"),
+            ExploreError::Launch(e) => {
+                write!(f, "launch configuration is invalid for the device: {e}")
+            }
         }
     }
 }
@@ -181,7 +188,7 @@ impl From<TypeError> for ExploreError {
     }
 }
 
-#[derive(Clone)]
+#[derive(Clone, Debug)]
 struct Candidate {
     term: Term,
     steps: Vec<DerivationStep>,
@@ -233,14 +240,86 @@ fn site_key(site_expr: &TermExpr, site: &Site) -> SiteKey {
 
 type RuleCache = Mutex<HashMap<SiteKey, u32>>;
 
+/// The launch-independent half of an exploration: the fully lowered candidates found by the
+/// rule search, together with the deterministic inputs and the reference output.
+///
+/// The rule search only depends on the *search* knobs of the [`ExplorationConfig`]
+/// (`max_depth`, `beam_width`, `max_candidates`, `max_term_size`, `rule_options`) — not on
+/// the launch configuration, compiler options or device profile, which only matter when
+/// candidates are compiled and executed. [`Enumerated::score`] runs that second half, so an
+/// auto-tuner sweeping launch configurations enumerates once per `RuleOptions` and re-scores
+/// the shared candidate set per launch instead of repeating the whole search.
+#[derive(Clone, Debug)]
+pub struct Enumerated {
+    complete: Vec<Candidate>,
+    inputs: Vec<PreparedInput>,
+    reference: Vec<f32>,
+    search: Exploration,
+}
+
+impl Enumerated {
+    /// Number of distinct fully lowered candidates the search found.
+    pub fn lowered(&self) -> usize {
+        self.complete.len()
+    }
+
+    /// Compiles, validates and ranks the enumerated candidates under the launch
+    /// configuration, compiler options and device profile of `config` (the search knobs of
+    /// `config` are ignored — they were consumed by [`enumerate`]).
+    ///
+    /// The `sizes` environment must bind the same symbolic sizes as the enumerating call:
+    /// the deterministic inputs and the reference output were generated from it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Launch`] if `config.launch` is invalid for `config.device`.
+    /// Failures of individual candidates are counted in the [`Exploration`] statistics.
+    pub fn score(&self, config: &ExplorationConfig) -> Result<Exploration, ExploreError> {
+        config
+            .device
+            .validate_launch(&config.launch)
+            .map_err(ExploreError::Launch)?;
+        let workers = worker_count(config);
+        let mut stats = self.search.clone();
+        score_all(
+            &self.complete,
+            &self.inputs,
+            &self.reference,
+            config,
+            workers,
+            &mut stats,
+        );
+        Ok(stats)
+    }
+}
+
 /// Explores the rewrite space of `program` and returns the validated, cost-ranked variants.
+///
+/// Equivalent to [`enumerate`] followed by [`Enumerated::score`] with the same
+/// configuration; callers that sweep launch configurations should use the two-phase API
+/// directly and share the [`Enumerated`] across launches.
 ///
 /// # Errors
 ///
 /// Returns an [`ExploreError`] if the *input* program is invalid (does not typecheck, cannot
-/// be converted, or cannot be evaluated by the reference interpreter). Failures of derived
-/// candidates are not errors — they are counted in the [`Exploration`] statistics.
+/// be converted, or cannot be evaluated by the reference interpreter) or the launch is
+/// invalid for the device. Failures of derived candidates are not errors — they are counted
+/// in the [`Exploration`] statistics.
 pub fn explore(program: &Program, config: &ExplorationConfig) -> Result<Exploration, ExploreError> {
+    enumerate(program, config)?.score(config)
+}
+
+/// Runs the rule-search phase of an exploration: beam search over rule applications,
+/// term-level typechecking and structural dedup, collecting every fully lowered candidate.
+///
+/// # Errors
+///
+/// Returns an [`ExploreError`] if the *input* program is invalid (does not typecheck, cannot
+/// be converted, or cannot be evaluated by the reference interpreter).
+pub fn enumerate(
+    program: &Program,
+    config: &ExplorationConfig,
+) -> Result<Enumerated, ExploreError> {
     let mut typed = program.clone();
     infer_types(&mut typed)?;
 
@@ -311,8 +390,12 @@ pub fn explore(program: &Program, config: &ExplorationConfig) -> Result<Explorat
     }
 
     stats.lowered = complete.len();
-    score_all(&complete, &inputs, &reference, config, workers, &mut stats);
-    Ok(stats)
+    Ok(Enumerated {
+        complete,
+        inputs,
+        reference,
+        search: stats,
+    })
 }
 
 fn worker_count(config: &ExplorationConfig) -> usize {
@@ -516,6 +599,7 @@ enum ScoreError {
 }
 
 /// One prepared root-parameter input: the interpreter value and its flat buffer form.
+#[derive(Clone, Debug)]
 struct PreparedInput {
     value: Value,
     buffer: Vec<f32>,
@@ -612,8 +696,13 @@ fn score_all(
         .collect();
     stats.executed_kernels = jobs.len();
     let run = |p: &PreparedScore| -> (u64, Result<CostCounters, ScoreError>) {
-        let result =
-            VirtualGpu::new().launch(&p.module, &p.kernel_name, config.launch, p.args.clone());
+        let result = VirtualGpu::new().launch_on(
+            &config.device,
+            &p.module,
+            &p.kernel_name,
+            config.launch,
+            p.args.clone(),
+        );
         let verdict = match result {
             Err(_) => Err(ScoreError::Incorrect),
             Ok(result) => {
@@ -824,6 +913,52 @@ mod tests {
         }
         // Kernel-level execution dedup never runs more kernels than complete candidates.
         assert!(result.executed_kernels <= result.lowered);
+    }
+
+    #[test]
+    fn two_phase_api_matches_explore_and_shares_enumeration_across_launches() {
+        let program = high_level_partial_dot(512);
+        let config = ExplorationConfig {
+            max_depth: 5,
+            beam_width: 32,
+            max_candidates: 1500,
+            rule_options: RuleOptions {
+                split_sizes: vec![2, 4],
+                vector_widths: vec![4],
+            },
+            launch: LaunchConfig::d1(16, 4),
+            best_n: 3,
+            ..ExplorationConfig::default()
+        };
+        let enumerated = enumerate(&program, &config).expect("enumeration runs");
+        assert!(enumerated.lowered() > 0);
+        let scored = enumerated.score(&config).expect("scoring runs");
+        let direct = explore(&program, &config).expect("exploration runs");
+        assert_eq!(scored.explored, direct.explored);
+        assert_eq!(scored.lowered, direct.lowered);
+        assert_eq!(scored.variants.len(), direct.variants.len());
+        for (a, b) in scored.variants.iter().zip(&direct.variants) {
+            assert_eq!(a.kernel_source, b.kernel_source);
+            assert_eq!(a.estimated_time, b.estimated_time);
+        }
+        // Re-scoring the same enumeration under a different launch produces different
+        // estimated times without re-running the search.
+        let wider = ExplorationConfig {
+            launch: LaunchConfig::d1(128, 32),
+            ..config.clone()
+        };
+        let rescored = enumerated.score(&wider).expect("re-scoring runs");
+        assert_eq!(rescored.explored, scored.explored);
+        assert!(!rescored.variants.is_empty());
+        // An invalid launch for the device is a typed error, not a silent mis-scoring.
+        let invalid = ExplorationConfig {
+            launch: LaunchConfig::d1(4096, 2048),
+            ..config
+        };
+        assert!(matches!(
+            enumerated.score(&invalid),
+            Err(ExploreError::Launch(_))
+        ));
     }
 
     #[test]

@@ -14,7 +14,7 @@
 //!   divisibility, partial reduction, iterate decomposition, data-layout identities) and the
 //!   OpenCL lowering rules (`map` → `mapGlb` / `mapWrg ∘ mapLcl` / `mapSeq` / vectorised
 //!   `mapVec`, `reduce` → `reduceSeq`, `toLocal`/`toGlobal`/`toPrivate` placement),
-//! * [`explore`] — the exploration driver: applies rules under a depth/width budget,
+//! * [`mod@explore`] — the exploration driver: applies rules under a depth/width budget,
 //!   re-typechecks every derived program, validates fully lowered candidates against the
 //!   reference interpreter on the virtual GPU and ranks them with the analytical cost model.
 //!
@@ -49,7 +49,8 @@ pub mod traversal;
 pub mod typecheck;
 
 pub use explore::{
-    explore, DedupKey, DerivationStep, Exploration, ExplorationConfig, ExploreError, Variant,
+    enumerate, explore, DedupKey, DerivationStep, Enumerated, Exploration, ExplorationConfig,
+    ExploreError, Variant,
 };
 pub use rules::{all_rules, divides, Rule, RuleCx, RuleKind, RuleOptions};
 pub use term::{beta_normalize, raw_expr_hash, StableHasher, Term, TermError, TermExpr, TermFun};

@@ -36,7 +36,7 @@ pub enum RuleKind {
 }
 
 /// Numeric knobs the parameterised rules draw from.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RuleOptions {
     /// Candidate `split` factors (checked for divisibility against the array length).
     pub split_sizes: Vec<i64>,

@@ -1,0 +1,43 @@
+//! # Auto-tuning over rewrite parameters and launch configurations
+//!
+//! The paper's performance results (Sections 6–7) do not come from clever rule application
+//! alone: for every benchmark and every device the authors *search* the space of
+//! parameterised derivations — split factors, vector widths and work-group/global launch
+//! configurations. This crate supplies that layer on top of `lift-rewrite`:
+//!
+//! * [`TuningSpace`] — the grid of `(RuleOptions, LaunchConfig)` points, with a
+//!   device-aware constructor that only proposes launches the device accepts,
+//! * [`Strategy`] — exhaustive grid walk for small spaces, seeded random sampling plus
+//!   axis-wise hill-climbing for large ones; both fully deterministic for a given seed,
+//! * [`tune`] — the driver: every visited point runs rule search → compilation (with the
+//!   point's launch threaded into the compiler options) → virtual-GPU execution with
+//!   correctness validation → the device cost model. Points sharing rule options share one
+//!   rule search through [`lift_rewrite::Enumerated`], so launch sweeps are cheap,
+//! * [`Workload`] — the high-level benchmark programs the `autotune_stats` binary tracks.
+//!
+//! ```
+//! use lift_tuner::{tune, Strategy, TuningConfig, Workload};
+//! use lift_vgpu::DeviceProfile;
+//!
+//! let workload = Workload::dot_product();
+//! let device = DeviceProfile::nvidia();
+//! let mut config = TuningConfig::new(
+//!     device.clone(),
+//!     workload.space_for(&device),
+//!     Strategy::RandomHillClimb { seed: 1, samples: 4, max_steps: 4 },
+//! );
+//! config.base.max_candidates = 400; // keep the doctest fast
+//! let result = tune(&workload.program, &config).expect("tuning runs");
+//! assert!(result.points_evaluated > 0);
+//! assert!(result.enumerations <= result.points_evaluated);
+//! ```
+
+pub mod search;
+pub mod space;
+pub mod tuner;
+pub mod workloads;
+
+pub use search::Strategy;
+pub use space::{PointIndex, TuningPoint, TuningSpace};
+pub use tuner::{tune, BestVariant, TrajectoryEntry, TuneError, TuningConfig, TuningResult};
+pub use workloads::Workload;

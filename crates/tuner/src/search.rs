@@ -1,0 +1,172 @@
+//! Search strategies over a [`TuningSpace`].
+//!
+//! Both strategies are deterministic: the exhaustive grid walks indices in their canonical
+//! order, and the random strategy draws every sample from a [`rand::rngs::StdRng`] seeded by
+//! the caller, so the same seed visits the same points in the same order on every run (the
+//! property the `BENCH_autotune.json` determinism test pins down).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::space::{PointIndex, TuningSpace};
+use crate::tuner::TuneError;
+
+/// How the tuner walks the space.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Strategy {
+    /// Evaluate every point of the grid. Right for small spaces (hundreds of points).
+    Exhaustive,
+    /// Evaluate `samples` seeded-random points, then steepest-descent hill-climb from the
+    /// best one along the grid axes for at most `max_steps` moves. Right for large spaces
+    /// where the exhaustive grid is too expensive.
+    RandomHillClimb {
+        /// PRNG seed; equal seeds reproduce the identical search.
+        seed: u64,
+        /// Number of random starting samples.
+        samples: usize,
+        /// Maximum hill-climbing moves after sampling.
+        max_steps: usize,
+    },
+}
+
+/// Walks `space` according to `strategy`, calling `eval` for every visited index. `eval`
+/// returns the objective (lower is better, `None` = infeasible) and is expected to memoise:
+/// strategies may revisit indices.
+pub(crate) fn drive(
+    strategy: &Strategy,
+    space: &TuningSpace,
+    eval: &mut dyn FnMut(PointIndex) -> Result<Option<f64>, TuneError>,
+) -> Result<(), TuneError> {
+    match strategy {
+        Strategy::Exhaustive => {
+            for index in space.indices() {
+                eval(index)?;
+            }
+            Ok(())
+        }
+        Strategy::RandomHillClimb {
+            seed,
+            samples,
+            max_steps,
+        } => {
+            let mut rng = StdRng::seed_from_u64(*seed);
+            let [s, w, l] = space.dims();
+            let mut best: Option<(f64, PointIndex)> = None;
+            for _ in 0..*samples {
+                let index = PointIndex {
+                    split_set: rng.gen_range(0..s),
+                    width_set: rng.gen_range(0..w),
+                    launch: rng.gen_range(0..l),
+                };
+                if let Some(t) = eval(index)? {
+                    if best.is_none_or(|(bt, _)| t < bt) {
+                        best = Some((t, index));
+                    }
+                }
+            }
+            let Some((mut best_time, mut at)) = best else {
+                return Ok(());
+            };
+            for _ in 0..*max_steps {
+                let mut moved = false;
+                for neighbour in space.neighbours(at) {
+                    if let Some(t) = eval(neighbour)? {
+                        if t < best_time {
+                            best_time = t;
+                            at = neighbour;
+                            moved = true;
+                        }
+                    }
+                }
+                if !moved {
+                    break;
+                }
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_vgpu::DeviceProfile;
+
+    fn toy_space() -> TuningSpace {
+        TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64)
+    }
+
+    /// A synthetic smooth objective with its optimum at the last launch index.
+    fn objective(index: PointIndex, space: &TuningSpace) -> f64 {
+        (space.launches.len() - 1 - index.launch) as f64 * 10.0
+            + index.split_set as f64
+            + index.width_set as f64
+    }
+
+    #[test]
+    fn exhaustive_visits_every_point_once_in_order() {
+        let space = toy_space();
+        let mut visited = Vec::new();
+        drive(&Strategy::Exhaustive, &space, &mut |i| {
+            visited.push(i);
+            Ok(Some(objective(i, &space)))
+        })
+        .unwrap();
+        assert_eq!(visited, space.indices().collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn hill_climb_reaches_the_optimum_of_a_smooth_objective() {
+        let space = toy_space();
+        let mut best_seen = f64::INFINITY;
+        let strategy = Strategy::RandomHillClimb {
+            seed: 7,
+            samples: 4,
+            max_steps: 64,
+        };
+        drive(&strategy, &space, &mut |i| {
+            let t = objective(i, &space);
+            best_seen = best_seen.min(t);
+            Ok(Some(t))
+        })
+        .unwrap();
+        assert_eq!(best_seen, 0.0, "hill climb converged to the grid optimum");
+    }
+
+    #[test]
+    fn equal_seeds_visit_identical_point_sequences() {
+        let space = toy_space();
+        let strategy = Strategy::RandomHillClimb {
+            seed: 42,
+            samples: 6,
+            max_steps: 8,
+        };
+        let mut runs = Vec::new();
+        for _ in 0..2 {
+            let mut visited = Vec::new();
+            drive(&strategy, &space, &mut |i| {
+                visited.push(i);
+                Ok(Some(objective(i, &space)))
+            })
+            .unwrap();
+            runs.push(visited);
+        }
+        assert_eq!(runs[0], runs[1]);
+        // A different seed visits a different sample prefix.
+        let mut other = Vec::new();
+        drive(
+            &Strategy::RandomHillClimb {
+                seed: 43,
+                samples: 6,
+                max_steps: 8,
+            },
+            &space,
+            &mut |i| {
+                other.push(i);
+                Ok(Some(objective(i, &space)))
+            },
+        )
+        .unwrap();
+        assert_ne!(runs[0][..6], other[..6]);
+    }
+}

@@ -1,0 +1,225 @@
+//! The tuning space: the grid of `(RuleOptions, LaunchConfig)` points a search walks.
+//!
+//! The space is a cartesian product of three independent dimensions — candidate `split_sizes`
+//! sets, candidate `vector_widths` sets and launch configurations — indexed by a
+//! [`PointIndex`]. The first two dimensions parameterise the *rule search* (they change which
+//! derivations exist at all), the third only parameterises *scoring* (how candidates are
+//! compiled and executed), which is exactly the boundary the two-phase
+//! [`lift_rewrite::enumerate`]/[`lift_rewrite::Enumerated::score`] API exposes: points that
+//! share rule options share one enumeration.
+
+use lift_rewrite::RuleOptions;
+use lift_vgpu::{DeviceProfile, LaunchConfig};
+
+/// A coordinate in the tuning grid.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PointIndex {
+    /// Index into [`TuningSpace::split_sets`].
+    pub split_set: usize,
+    /// Index into [`TuningSpace::width_sets`].
+    pub width_set: usize,
+    /// Index into [`TuningSpace::launches`].
+    pub launch: usize,
+}
+
+/// One concrete `(RuleOptions, LaunchConfig)` tuning point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuningPoint {
+    /// Where the point sits in the grid.
+    pub index: PointIndex,
+    /// The rule knobs the rewrite exploration runs with.
+    pub rule_options: RuleOptions,
+    /// The launch configuration candidates are compiled for and executed with.
+    pub launch: LaunchConfig,
+}
+
+/// The searchable grid of rule parameters and launch configurations.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuningSpace {
+    /// Candidate `RuleOptions::split_sizes` sets.
+    pub split_sets: Vec<Vec<i64>>,
+    /// Candidate `RuleOptions::vector_widths` sets.
+    pub width_sets: Vec<Vec<usize>>,
+    /// Candidate launch configurations (all valid for the target device).
+    pub launches: Vec<LaunchConfig>,
+}
+
+impl TuningSpace {
+    /// A default one-dimensional space for a device and a problem of `parallelism` parallel
+    /// elements: work-group sizes from 8 up to the device limit, and global sizes from one
+    /// work group up to 8× the problem size (tiled `mapWrg` derivations put the extra work
+    /// groups to use even when the outer map is narrower), capped at 512 to bound the cost
+    /// of evaluating a point on the serial virtual GPU. Every launch validates on `device`.
+    pub fn d1_for_device(device: &DeviceProfile, parallelism: usize) -> TuningSpace {
+        let global_cap = parallelism.saturating_mul(8).min(512.max(parallelism));
+        let mut launches = Vec::new();
+        for local in [8usize, 16, 32, 64, 128, 256, 512] {
+            if local > device.max_work_group_size
+                || local > device.max_work_item_sizes[0]
+                || local > global_cap
+            {
+                continue;
+            }
+            let mut groups = 1;
+            while local * groups <= global_cap && groups <= 64 {
+                launches.push(LaunchConfig::d1(local * groups, local));
+                groups *= 2;
+            }
+        }
+        if launches.is_empty() {
+            // Degenerate problems still get one valid single-group launch.
+            let side = parallelism.clamp(1, device.max_work_group_size);
+            launches.push(LaunchConfig::d1(side, side));
+        }
+        TuningSpace {
+            split_sets: vec![vec![2, 4], vec![4, 8], vec![2, 4, 8], vec![8, 16]],
+            width_sets: vec![vec![4], vec![2, 4]],
+            launches,
+        }
+    }
+
+    /// Grid dimensions: `[split_sets, width_sets, launches]`.
+    pub fn dims(&self) -> [usize; 3] {
+        [
+            self.split_sets.len(),
+            self.width_sets.len(),
+            self.launches.len(),
+        ]
+    }
+
+    /// Total number of points in the grid.
+    pub fn len(&self) -> usize {
+        self.dims().iter().product()
+    }
+
+    /// Whether the grid contains no points.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Materialises the point at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn point(&self, index: PointIndex) -> TuningPoint {
+        TuningPoint {
+            index,
+            rule_options: RuleOptions {
+                split_sizes: self.split_sets[index.split_set].clone(),
+                vector_widths: self.width_sets[index.width_set].clone(),
+            },
+            launch: self.launches[index.launch],
+        }
+    }
+
+    /// All indices in deterministic (split-major, width, launch-minor) order.
+    pub fn indices(&self) -> impl Iterator<Item = PointIndex> + '_ {
+        let [s, w, l] = self.dims();
+        (0..s).flat_map(move |split_set| {
+            (0..w).flat_map(move |width_set| {
+                (0..l).map(move |launch| PointIndex {
+                    split_set,
+                    width_set,
+                    launch,
+                })
+            })
+        })
+    }
+
+    /// The (up to six) axis neighbours of `index`: one step along each dimension.
+    pub fn neighbours(&self, index: PointIndex) -> Vec<PointIndex> {
+        let [s, w, l] = self.dims();
+        let mut out = Vec::with_capacity(6);
+        if index.split_set > 0 {
+            out.push(PointIndex {
+                split_set: index.split_set - 1,
+                ..index
+            });
+        }
+        if index.split_set + 1 < s {
+            out.push(PointIndex {
+                split_set: index.split_set + 1,
+                ..index
+            });
+        }
+        if index.width_set > 0 {
+            out.push(PointIndex {
+                width_set: index.width_set - 1,
+                ..index
+            });
+        }
+        if index.width_set + 1 < w {
+            out.push(PointIndex {
+                width_set: index.width_set + 1,
+                ..index
+            });
+        }
+        if index.launch > 0 {
+            out.push(PointIndex {
+                launch: index.launch - 1,
+                ..index
+            });
+        }
+        if index.launch + 1 < l {
+            out.push(PointIndex {
+                launch: index.launch + 1,
+                ..index
+            });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_space_only_contains_valid_launches() {
+        for device in [DeviceProfile::nvidia(), DeviceProfile::amd()] {
+            for parallelism in [1usize, 7, 16, 64, 512] {
+                let space = TuningSpace::d1_for_device(&device, parallelism);
+                assert!(!space.is_empty());
+                for launch in &space.launches {
+                    assert_eq!(device.validate_launch(launch), Ok(()), "{launch:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn amd_space_excludes_work_groups_beyond_256() {
+        let space = TuningSpace::d1_for_device(&DeviceProfile::amd(), 4096);
+        assert!(space.launches.iter().all(|l| l.work_group_size() <= 256));
+        // The NVIDIA space for the same problem is strictly larger.
+        let nv = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 4096);
+        assert!(nv.launches.len() > space.launches.len());
+    }
+
+    #[test]
+    fn indices_enumerate_the_whole_grid_in_order() {
+        let space = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64);
+        let all: Vec<PointIndex> = space.indices().collect();
+        assert_eq!(all.len(), space.len());
+        let mut sorted = all.clone();
+        sorted.sort();
+        sorted.dedup();
+        assert_eq!(sorted, all, "enumeration is sorted and duplicate-free");
+    }
+
+    #[test]
+    fn neighbours_stay_in_bounds_and_differ_in_one_coordinate() {
+        let space = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64);
+        let [s, w, l] = space.dims();
+        for index in space.indices() {
+            for n in space.neighbours(index) {
+                assert!(n.split_set < s && n.width_set < w && n.launch < l);
+                let moved = usize::from(n.split_set != index.split_set)
+                    + usize::from(n.width_set != index.width_set)
+                    + usize::from(n.launch != index.launch);
+                assert_eq!(moved, 1);
+            }
+        }
+    }
+}

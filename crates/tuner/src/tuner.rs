@@ -1,0 +1,238 @@
+//! The tuning driver: walks a [`TuningSpace`] with a [`Strategy`], evaluating every visited
+//! `(RuleOptions, LaunchConfig)` point through the two-phase exploration API and tracking
+//! the best validated variant.
+//!
+//! Evaluation of one point runs `rewrite` (rule search) → `codegen` (compilation with the
+//! point's launch threaded into the [`CompilationOptions`]) → `vgpu` (execution, correctness
+//! validation against the interpreter, cost counters) → the device cost model. Points that
+//! share rule options share one [`Enumerated`] candidate set — the launch only affects
+//! scoring — so a launch sweep re-uses the expensive rule search instead of repeating it.
+
+use std::collections::HashMap;
+
+use lift_codegen::CompilationOptions;
+use lift_ir::Program;
+use lift_rewrite::{enumerate, Enumerated, ExplorationConfig, ExploreError};
+use lift_vgpu::DeviceProfile;
+
+use crate::search::{drive, Strategy};
+use crate::space::{PointIndex, TuningPoint, TuningSpace};
+
+/// Errors from the tuning driver.
+#[derive(Clone, Debug)]
+pub enum TuneError {
+    /// The tuning space contains no points.
+    EmptySpace,
+    /// The underlying exploration rejected the input program.
+    Explore(ExploreError),
+}
+
+impl std::fmt::Display for TuneError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TuneError::EmptySpace => write!(f, "the tuning space contains no points"),
+            TuneError::Explore(e) => write!(f, "exploration failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TuneError {}
+
+impl From<ExploreError> for TuneError {
+    fn from(e: ExploreError) -> Self {
+        TuneError::Explore(e)
+    }
+}
+
+/// Everything the tuner needs: the target device, the space, the strategy and the base
+/// exploration budgets (whose `rule_options`, `launch`, `device` and `compile_options`
+/// launch sizes are overridden per point).
+#[derive(Clone, Debug)]
+pub struct TuningConfig {
+    /// The device profile tuned for (cost model, launch limits).
+    pub device: DeviceProfile,
+    /// The grid of candidate rule options and launches.
+    pub space: TuningSpace,
+    /// How the grid is walked.
+    pub strategy: Strategy,
+    /// Search budgets shared by every point (depth, beam, candidate cap, threads, sizes).
+    pub base: ExplorationConfig,
+}
+
+impl TuningConfig {
+    /// A configuration with the default exploration budgets, compiler options derived from
+    /// the device ([`CompilationOptions::for_device`]) and the given space and strategy.
+    pub fn new(device: DeviceProfile, space: TuningSpace, strategy: Strategy) -> TuningConfig {
+        let base = ExplorationConfig {
+            compile_options: CompilationOptions::for_device(&device),
+            device: device.clone(),
+            ..ExplorationConfig::default()
+        };
+        TuningConfig {
+            device,
+            space,
+            strategy,
+            base,
+        }
+    }
+}
+
+/// The best validated variant found at the best point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BestVariant {
+    /// Estimated execution time under the tuned device's cost model.
+    pub estimated_time: f64,
+    /// The derivation chain (`rule @ location` per step).
+    pub derivation: Vec<String>,
+    /// The generated OpenCL kernel source.
+    pub kernel_source: String,
+}
+
+/// One evaluated point, in evaluation order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrajectoryEntry {
+    /// The evaluated point.
+    pub point: TuningPoint,
+    /// Estimated time of the point's best validated variant (`None`: no variant survived).
+    pub best_time: Option<f64>,
+    /// Fully lowered candidates the point's exploration produced.
+    pub lowered: usize,
+    /// Validated variants the point's exploration returned.
+    pub variants: usize,
+    /// Whether this point improved on every earlier point.
+    pub improved: bool,
+}
+
+/// The outcome of one tuning run.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TuningResult {
+    /// Name of the tuned device profile.
+    pub device: String,
+    /// The best point found, if any point produced a validated variant.
+    pub best_point: Option<TuningPoint>,
+    /// The best variant at [`TuningResult::best_point`].
+    pub best_variant: Option<BestVariant>,
+    /// Every distinct evaluated point, in evaluation order.
+    pub trajectory: Vec<TrajectoryEntry>,
+    /// Number of distinct points evaluated.
+    pub points_evaluated: usize,
+    /// Rule searches actually run (one per distinct `RuleOptions` visited).
+    pub enumerations: usize,
+    /// Point evaluations that re-used a cached rule search.
+    pub enumeration_cache_hits: usize,
+}
+
+struct Evaluator<'a> {
+    program: &'a Program,
+    config: &'a TuningConfig,
+    /// One rule search per `(split_set, width_set)` — launches share it.
+    enumerated: HashMap<(usize, usize), Enumerated>,
+    /// Memoised objective per visited index (strategies may revisit).
+    memo: HashMap<PointIndex, Option<f64>>,
+    result: TuningResult,
+}
+
+impl Evaluator<'_> {
+    fn eval(&mut self, index: PointIndex) -> Result<Option<f64>, TuneError> {
+        if let Some(cached) = self.memo.get(&index) {
+            return Ok(*cached);
+        }
+        let point = self.config.space.point(index);
+        let key = (index.split_set, index.width_set);
+        // `config.launch` is the single source of the launch: scoring threads it into the
+        // compiler options itself (see `ExplorationConfig::compile_options`).
+        let config = ExplorationConfig {
+            rule_options: point.rule_options.clone(),
+            launch: point.launch,
+            device: self.config.device.clone(),
+            ..self.config.base.clone()
+        };
+        if !self.enumerated.contains_key(&key) {
+            self.result.enumerations += 1;
+            let enumerated = enumerate(self.program, &config)?;
+            self.enumerated.insert(key, enumerated);
+        } else {
+            self.result.enumeration_cache_hits += 1;
+        }
+        let enumerated = &self.enumerated[&key];
+        let scored = match enumerated.score(&config) {
+            Ok(scored) => scored,
+            // A launch the device rejects is an infeasible point, not a failed tuning run.
+            Err(ExploreError::Launch(_)) => {
+                self.memo.insert(index, None);
+                self.result.points_evaluated += 1;
+                self.result.trajectory.push(TrajectoryEntry {
+                    point,
+                    best_time: None,
+                    lowered: 0,
+                    variants: 0,
+                    improved: false,
+                });
+                return Ok(None);
+            }
+            Err(e) => return Err(e.into()),
+        };
+        let best_time = scored.variants.first().map(|v| v.estimated_time);
+        let improved = match (best_time, &self.result.best_variant) {
+            (Some(t), Some(best)) => t < best.estimated_time,
+            (Some(_), None) => true,
+            (None, _) => false,
+        };
+        if improved {
+            let v = &scored.variants[0];
+            self.result.best_point = Some(point.clone());
+            self.result.best_variant = Some(BestVariant {
+                estimated_time: v.estimated_time,
+                derivation: v
+                    .derivation
+                    .iter()
+                    .map(|s| format!("{} @ {}", s.rule, s.location))
+                    .collect(),
+                kernel_source: v.kernel_source.clone(),
+            });
+        }
+        self.result.points_evaluated += 1;
+        self.result.trajectory.push(TrajectoryEntry {
+            point,
+            best_time,
+            lowered: scored.lowered,
+            variants: scored.variants.len(),
+            improved,
+        });
+        self.memo.insert(index, best_time);
+        Ok(best_time)
+    }
+}
+
+/// Tunes `program` over `config.space` and returns the best `(RuleOptions, LaunchConfig)`
+/// point, its best variant, and the full evaluation trajectory.
+///
+/// # Errors
+///
+/// Returns [`TuneError::EmptySpace`] for an empty space and [`TuneError::Explore`] when the
+/// input program itself is invalid (an individual infeasible point is recorded in the
+/// trajectory instead).
+pub fn tune(program: &Program, config: &TuningConfig) -> Result<TuningResult, TuneError> {
+    if config.space.is_empty() {
+        return Err(TuneError::EmptySpace);
+    }
+    let mut evaluator = Evaluator {
+        program,
+        config,
+        enumerated: HashMap::new(),
+        memo: HashMap::new(),
+        result: TuningResult {
+            device: config.device.name.clone(),
+            best_point: None,
+            best_variant: None,
+            trajectory: Vec::new(),
+            points_evaluated: 0,
+            enumerations: 0,
+            enumeration_cache_hits: 0,
+        },
+    };
+    drive(&config.strategy, &config.space, &mut |index| {
+        evaluator.eval(index)
+    })?;
+    Ok(evaluator.result)
+}

@@ -1,0 +1,82 @@
+//! The tuned workloads: high-level programs from `lift-benchmarks` paired with the problem
+//! parallelism the launch space is sized for.
+
+use lift_benchmarks::{dot_product, mm, nbody};
+use lift_ir::Program;
+use lift_vgpu::DeviceProfile;
+
+use crate::space::TuningSpace;
+
+/// A named high-level program the auto-tuner can be pointed at.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Stable name used in reports (`BENCH_autotune.json` keys).
+    pub name: &'static str,
+    /// The high-level (backend-agnostic `map`/`reduce`) program.
+    pub program: Program,
+    /// Number of data-parallel elements, used to size the launch space (see
+    /// [`TuningSpace::d1_for_device`] for how global sizes derive from it).
+    pub parallelism: usize,
+}
+
+impl Workload {
+    /// The partial dot product of Listing 1 (`n = 512`).
+    pub fn dot_product() -> Workload {
+        Workload {
+            name: "dot_product",
+            program: dot_product::high_level_program(512),
+            parallelism: 512,
+        }
+    }
+
+    /// Matrix multiplication (`16 × 16 × 16`).
+    pub fn matrix_multiply() -> Workload {
+        Workload {
+            name: "matrix_multiply",
+            program: mm::high_level_program(16, 16, 16),
+            parallelism: 16,
+        }
+    }
+
+    /// The one-dimensional N-Body simulation (`n = 48`; interactions scale quadratically
+    /// with the body count, and the virtual GPU executes them serially).
+    pub fn nbody() -> Workload {
+        Workload {
+            name: "nbody",
+            program: nbody::high_level_program(48),
+            parallelism: 48,
+        }
+    }
+
+    /// The three workloads the `autotune_stats` trajectory tracks.
+    pub fn all() -> Vec<Workload> {
+        vec![
+            Workload::dot_product(),
+            Workload::matrix_multiply(),
+            Workload::nbody(),
+        ]
+    }
+
+    /// The default tuning space for this workload on `device`.
+    pub fn space_for(&self, device: &DeviceProfile) -> TuningSpace {
+        TuningSpace::d1_for_device(device, self.parallelism)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workloads_are_high_level_and_well_typed() {
+        for workload in Workload::all() {
+            let mut program = workload.program.clone();
+            lift_ir::infer_types(&mut program).unwrap_or_else(|e| panic!("{}: {e}", workload.name));
+            assert!(
+                program.first_high_level_pattern().is_some(),
+                "{}: expected an unlowered high-level program",
+                workload.name
+            );
+        }
+    }
+}

@@ -1,0 +1,163 @@
+//! Property and determinism tests for the auto-tuner.
+//!
+//! * Every `(RuleOptions, launch)` point the tuner visits must reproduce as a standalone
+//!   exploration whose variants validate on the virtual GPU against the interpreter — and,
+//!   independently of the exploration's own gate, every returned variant must agree with the
+//!   original program under the reference interpreter (the rules are semantics-preserving).
+//! * The same seed must produce the identical tuning result, which is what makes the
+//!   `BENCH_autotune.json` trajectory reproducible.
+
+use lift_benchmarks::dot_product;
+use lift_interp::evaluate;
+use lift_rewrite::{explore, ExplorationConfig};
+use lift_tuner::{tune, Strategy, TuningConfig, TuningSpace, Workload};
+use lift_vgpu::{outputs_match, DeviceProfile};
+use proptest::prelude::*;
+
+/// A deliberately small configuration so each proptest case stays fast.
+fn small_config(device: DeviceProfile, strategy: Strategy) -> TuningConfig {
+    // Virtual-GPU execution time scales with the global size, so the test space keeps to
+    // small launches (the behaviour under test does not depend on launch magnitude).
+    let mut launches = TuningSpace::d1_for_device(&device, 256).launches;
+    launches.retain(|l| l.total_work_items() <= 64);
+    let space = TuningSpace {
+        split_sets: vec![vec![2, 4], vec![4, 8]],
+        width_sets: vec![vec![4]],
+        launches,
+    };
+    let mut config = TuningConfig::new(device, space, strategy);
+    config.base.max_depth = 5;
+    config.base.beam_width = 24;
+    config.base.max_candidates = 600;
+    config.base.best_n = 2;
+    config
+}
+
+/// The exploration configuration the tuner used for one visited point (`launch` is the
+/// single source of the launch — scoring threads it into the compiler options itself).
+fn point_config(base: &TuningConfig, point: &lift_tuner::TuningPoint) -> ExplorationConfig {
+    ExplorationConfig {
+        rule_options: point.rule_options.clone(),
+        launch: point.launch,
+        device: base.device.clone(),
+        ..base.base.clone()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn visited_points_reproduce_as_validating_explorations(seed in 0u64..1_000) {
+        let program = dot_product::high_level_program(256);
+        let reference = {
+            let mut typed = program.clone();
+            lift_ir::infer_types(&mut typed).expect("typechecks");
+            typed
+        };
+        let config = small_config(
+            DeviceProfile::nvidia(),
+            Strategy::RandomHillClimb { seed, samples: 3, max_steps: 1 },
+        );
+        let result = tune(&program, &config).expect("tuning runs");
+        prop_assert!(result.points_evaluated > 0);
+
+        // Re-validating a point is as expensive as evaluating it, so spot-check a prefix of
+        // the trajectory (it covers the random samples) rather than every entry.
+        for entry in result.trajectory.iter().take(3) {
+            // Re-run the exact point as a standalone exploration (no shared caches): the
+            // tuner's recorded objective must reproduce, and the exploration's variants all
+            // passed the vgpu-vs-interpreter gate by construction.
+            let scored = explore(&program, &point_config(&config, &entry.point))
+                .expect("point reproduces");
+            prop_assert_eq!(
+                scored.variants.first().map(|v| v.estimated_time),
+                entry.best_time
+            );
+            prop_assert_eq!(scored.variants.len(), entry.variants);
+            // Independent semantic check: every variant program agrees with the original
+            // high-level program under the reference interpreter on fresh inputs.
+            let inputs = [
+                lift_interp::Value::from_f32_slice(
+                    &(0..256).map(|i| (i % 17) as f32 * 0.25 - 2.0).collect::<Vec<_>>(),
+                ),
+                lift_interp::Value::from_f32_slice(
+                    &(0..256).map(|i| (i % 13) as f32 * 0.25 - 1.5).collect::<Vec<_>>(),
+                ),
+            ];
+            let expected = evaluate(&reference, &inputs).expect("reference runs").flatten_f32();
+            for variant in &scored.variants {
+                let got = evaluate(&variant.program, &inputs)
+                    .expect("variant runs")
+                    .flatten_f32();
+                prop_assert!(
+                    outputs_match(&got, &expected),
+                    "variant diverged from the original program"
+                );
+                prop_assert!(variant.kernel_source.contains("kernel void"));
+            }
+        }
+    }
+
+    #[test]
+    fn equal_seeds_produce_identical_results(seed in 0u64..1_000) {
+        let workload = Workload::dot_product();
+        let make = || {
+            let config = small_config(
+                DeviceProfile::amd(),
+                Strategy::RandomHillClimb { seed, samples: 4, max_steps: 1 },
+            );
+            tune(&workload.program, &config).expect("tuning runs")
+        };
+        let a = make();
+        let b = make();
+        prop_assert_eq!(a, b);
+    }
+}
+
+#[test]
+fn exhaustive_tuning_beats_the_default_configuration_on_dot_product() {
+    // The acceptance criterion of the auto-tuning issue: the tuner finds a point strictly
+    // better than the default-config exploration best.
+    let workload = Workload::dot_product();
+    let device = DeviceProfile::nvidia();
+    let default_best = explore(
+        &workload.program,
+        &ExplorationConfig {
+            device: device.clone(),
+            ..ExplorationConfig::default()
+        },
+    )
+    .expect("default exploration runs")
+    .variants
+    .first()
+    .map(|v| v.estimated_time)
+    .expect("default exploration finds a variant");
+
+    // A trimmed space keeps the exhaustive walk fast (virtual-GPU time scales with the
+    // global size) while still sweeping the launch dimension the default configuration
+    // fixes at [64]/[16] — the tuned winner sits at a *smaller* launch than the default.
+    let mut launches = workload.space_for(&device).launches;
+    launches.retain(|l| l.total_work_items() <= 128);
+    let space = TuningSpace {
+        split_sets: vec![vec![2, 4], vec![8, 16]],
+        width_sets: vec![vec![4]],
+        launches,
+    };
+    let mut config = TuningConfig::new(device.clone(), space, Strategy::Exhaustive);
+    config.base.max_candidates = 3000;
+    config.base.beam_width = 48;
+    let result = tune(&workload.program, &config).expect("tuning runs");
+    let tuned = result
+        .best_variant
+        .as_ref()
+        .expect("tuning finds a variant")
+        .estimated_time;
+    assert!(
+        tuned < default_best,
+        "tuned {tuned} is not strictly better than default {default_best}"
+    );
+    // The launch sweep shared enumerations: far fewer rule searches than points.
+    assert!(result.enumerations < result.points_evaluated);
+    assert!(result.enumeration_cache_hits > 0);
+}

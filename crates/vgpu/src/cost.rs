@@ -39,10 +39,19 @@ pub struct CostCounters {
     pub work_items: u64,
     /// Work groups that executed the kernel.
     pub work_groups: u64,
+    /// Lock-step statement rows executed, summed over all work groups. In SIMT execution a
+    /// row costs the same wall-clock whether one thread or the whole group is active, so row
+    /// counts measure *time*, where the event counters above measure *work*.
+    pub lockstep_rows: u64,
+    /// Lock-step rows of the busiest single work group — the critical path of the launch.
+    pub group_span_rows: u64,
 }
 
 impl CostCounters {
-    /// Adds another set of counters to this one.
+    /// Merges the counters of work executed *concurrently* with this one (the work groups
+    /// of a single launch): event counts add, and the critical path is the busiest group of
+    /// either side (`group_span_rows` takes the max). Summing *sequential* launches needs
+    /// spans added, not maxed — aggregate those at the `estimated_time` level instead.
     pub fn merge(&mut self, other: &CostCounters) {
         self.flops += other.flops;
         self.int_ops += other.int_ops;
@@ -57,13 +66,27 @@ impl CostCounters {
         self.loop_iterations += other.loop_iterations;
         self.work_items += other.work_items;
         self.work_groups += other.work_groups;
+        self.lockstep_rows += other.lockstep_rows;
+        self.group_span_rows = self.group_span_rows.max(other.group_span_rows);
     }
 
-    /// Estimates the execution time (in arbitrary "cycle" units) on the given device.
+    /// Estimates the execution time (in arbitrary "cycle" units) on the given device using a
+    /// work–span (Brent's law) model: `T ≈ W/P + S`.
     ///
-    /// Work is assumed to be perfectly distributed over the device's compute units; the
-    /// constant factor is irrelevant because every experiment reports performance *relative*
-    /// to a baseline executed under the same model.
+    /// `W` is the device-weighted sum of all counted events, spread over the device's lanes
+    /// (`compute_units × simd_width`). `S` is the critical path: work groups execute rows in
+    /// lock step, so a group's wall-clock is its row count regardless of how many threads
+    /// are active per row, and the launch cannot finish before its busiest group (or before
+    /// `rows / compute_units` when there are more groups than compute units). The span is
+    /// priced at the launch's average device-cost per row.
+    ///
+    /// The span term is what makes launch configurations a meaningful auto-tuning dimension:
+    /// a launch with too few busy work items concentrates rows in one group and is charged
+    /// for the serialisation, while padding a launch with idle work items shortens nothing
+    /// because idle threads do not reduce the busiest group's row count. Comparisons between
+    /// kernels executed under the same launch are unaffected in spirit: both terms derive
+    /// from the same counters, and the constant factor is irrelevant because experiments
+    /// report performance *relative* to a baseline under the same model.
     pub fn estimated_time(&self, device: &DeviceProfile) -> f64 {
         let compute = self.flops as f64 * device.flop_cost
             + self.int_ops as f64 * device.int_op_cost
@@ -79,8 +102,19 @@ impl CostCounters {
             + self.private_accesses as f64 * device.private_access_cost
             - vector_discount;
         let sync = self.barriers as f64 * device.barrier_cost;
-        let parallelism = device.compute_units as f64 * device.simd_width as f64;
-        (compute + memory + sync).max(0.0) / parallelism
+        let total = (compute + memory + sync).max(0.0);
+        let lanes = (device.compute_units * device.simd_width) as f64;
+        let work_term = total / lanes;
+        let span_term = if self.lockstep_rows > 0 {
+            // Critical path in rows: the busiest group, or the group-level queue when more
+            // groups exist than compute units — priced at the average cost per row.
+            let span_rows = (self.group_span_rows as f64)
+                .max(self.lockstep_rows as f64 / device.compute_units as f64);
+            total * span_rows / self.lockstep_rows as f64
+        } else {
+            0.0
+        };
+        work_term + span_term
     }
 }
 
@@ -150,6 +184,59 @@ mod tests {
             ..Default::default()
         };
         assert!(scattered.estimated_time(&device) > 5.0 * coalesced.estimated_time(&device));
+    }
+
+    #[test]
+    fn serialised_launches_are_charged_for_their_critical_path() {
+        let device = DeviceProfile::nvidia();
+        // The same total work: once concentrated in a single work group (one group executes
+        // every row), once spread over many groups in parallel.
+        let serialised = CostCounters {
+            flops: 10_000,
+            lockstep_rows: 10_000,
+            group_span_rows: 10_000,
+            ..Default::default()
+        };
+        let parallel = CostCounters {
+            flops: 10_000,
+            lockstep_rows: 10_000,
+            group_span_rows: 1_000,
+            ..Default::default()
+        };
+        assert!(serialised.estimated_time(&device) > 5.0 * parallel.estimated_time(&device));
+        // With more groups than compute units, the queueing term takes over: shrinking the
+        // busiest group below rows/compute_units changes nothing.
+        let queued = CostCounters {
+            flops: 10_000,
+            lockstep_rows: 10_000,
+            group_span_rows: 10_000 / device.compute_units as u64 / 2,
+            ..Default::default()
+        };
+        let queued_smaller_span = CostCounters {
+            group_span_rows: 1,
+            ..queued
+        };
+        assert_eq!(
+            queued.estimated_time(&device),
+            queued_smaller_span.estimated_time(&device)
+        );
+    }
+
+    #[test]
+    fn merge_takes_the_max_group_span() {
+        let mut a = CostCounters {
+            lockstep_rows: 10,
+            group_span_rows: 8,
+            ..Default::default()
+        };
+        let b = CostCounters {
+            lockstep_rows: 20,
+            group_span_rows: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.lockstep_rows, 30);
+        assert_eq!(a.group_span_rows, 8);
     }
 
     #[test]

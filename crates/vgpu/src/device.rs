@@ -9,13 +9,80 @@
 //! optimisations on vs off) behave like the paper's Figure 8.
 
 /// A work-group/ND-range launch configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct LaunchConfig {
     /// Global work size per dimension.
     pub global: [usize; 3],
     /// Local (work-group) size per dimension.
     pub local: [usize; 3],
 }
+
+/// Why a [`LaunchConfig`] is invalid for a device (see [`DeviceProfile::validate_launch`]).
+///
+/// Before this typed validation existed, a too-large work group simply executed and the cost
+/// counters silently described a machine with no occupancy limits; launches that violate the
+/// device are now rejected up front.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LaunchError {
+    /// A global or local size is zero in some dimension.
+    ZeroSize {
+        /// The offending dimension (0, 1 or 2).
+        dim: usize,
+    },
+    /// The local size does not divide the global size in some dimension.
+    NotDivisible {
+        /// The offending dimension (0, 1 or 2).
+        dim: usize,
+        /// The global size in that dimension.
+        global: usize,
+        /// The local size in that dimension.
+        local: usize,
+    },
+    /// The work group (product of the local sizes) exceeds the device maximum.
+    WorkGroupTooLarge {
+        /// The requested work-group size.
+        requested: usize,
+        /// The device's maximum work-group size.
+        max: usize,
+    },
+    /// A single dimension of the local size exceeds the device's per-dimension maximum.
+    LocalDimTooLarge {
+        /// The offending dimension (0, 1 or 2).
+        dim: usize,
+        /// The requested local size in that dimension.
+        requested: usize,
+        /// The device's maximum for that dimension.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LaunchError::ZeroSize { dim } => {
+                write!(f, "launch size is zero in dimension {dim}")
+            }
+            LaunchError::NotDivisible { dim, global, local } => write!(
+                f,
+                "local size {local} does not divide global size {global} in dimension {dim}"
+            ),
+            LaunchError::WorkGroupTooLarge { requested, max } => write!(
+                f,
+                "work-group size {requested} exceeds the device maximum of {max}"
+            ),
+            LaunchError::LocalDimTooLarge {
+                dim,
+                requested,
+                max,
+            } => write!(
+                f,
+                "local size {requested} in dimension {dim} exceeds the device maximum of {max}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LaunchError {}
 
 impl LaunchConfig {
     /// A one-dimensional launch.
@@ -73,6 +140,10 @@ pub struct DeviceProfile {
     pub simd_width: usize,
     /// Number of compute units able to execute work groups concurrently.
     pub compute_units: usize,
+    /// Maximum work-group size (product of the local sizes) the device accepts.
+    pub max_work_group_size: usize,
+    /// Maximum local size per dimension (`CL_DEVICE_MAX_WORK_ITEM_SIZES`).
+    pub max_work_item_sizes: [usize; 3],
     /// Cost of a floating-point operation.
     pub flop_cost: f64,
     /// Cost of a simple integer operation (add, mul, compare).
@@ -104,6 +175,8 @@ impl DeviceProfile {
             name: "nvidia-titan-black".into(),
             simd_width: 32,
             compute_units: 15,
+            max_work_group_size: 1024,
+            max_work_item_sizes: [1024, 1024, 64],
             flop_cost: 1.0,
             int_op_cost: 1.0,
             div_mod_cost: 18.0,
@@ -124,6 +197,8 @@ impl DeviceProfile {
             name: "amd-r9-295x2".into(),
             simd_width: 64,
             compute_units: 44,
+            max_work_group_size: 256,
+            max_work_item_sizes: [256, 256, 256],
             flop_cost: 1.0,
             int_op_cost: 1.1,
             div_mod_cost: 28.0,
@@ -135,6 +210,42 @@ impl DeviceProfile {
             loop_overhead: 2.5,
             vector_access_discount: 0.7,
         }
+    }
+
+    /// Checks that `launch` is executable on this device: positive sizes, local sizes that
+    /// divide the global sizes, per-dimension local limits and the total work-group limit.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as a [`LaunchError`].
+    pub fn validate_launch(&self, launch: &LaunchConfig) -> Result<(), LaunchError> {
+        for dim in 0..3 {
+            if launch.global[dim] == 0 || launch.local[dim] == 0 {
+                return Err(LaunchError::ZeroSize { dim });
+            }
+            if !launch.global[dim].is_multiple_of(launch.local[dim]) {
+                return Err(LaunchError::NotDivisible {
+                    dim,
+                    global: launch.global[dim],
+                    local: launch.local[dim],
+                });
+            }
+            if launch.local[dim] > self.max_work_item_sizes[dim] {
+                return Err(LaunchError::LocalDimTooLarge {
+                    dim,
+                    requested: launch.local[dim],
+                    max: self.max_work_item_sizes[dim],
+                });
+            }
+        }
+        let wg = launch.work_group_size();
+        if wg > self.max_work_group_size {
+            return Err(LaunchError::WorkGroupTooLarge {
+                requested: wg,
+                max: self.max_work_group_size,
+            });
+        }
+        Ok(())
     }
 }
 
@@ -157,6 +268,54 @@ mod tests {
     #[should_panic(expected = "multiple of the local size")]
     fn non_divisible_launch_is_rejected() {
         LaunchConfig::d1(100, 32).num_groups();
+    }
+
+    #[test]
+    fn launch_validation_catches_each_violation() {
+        let nv = DeviceProfile::nvidia();
+        assert_eq!(nv.validate_launch(&LaunchConfig::d1(1024, 128)), Ok(()));
+        assert_eq!(
+            nv.validate_launch(&LaunchConfig::d1(0, 1)),
+            Err(LaunchError::ZeroSize { dim: 0 })
+        );
+        assert_eq!(
+            nv.validate_launch(&LaunchConfig {
+                global: [64, 1, 1],
+                local: [64, 0, 1],
+            }),
+            Err(LaunchError::ZeroSize { dim: 1 })
+        );
+        assert_eq!(
+            nv.validate_launch(&LaunchConfig::d1(100, 32)),
+            Err(LaunchError::NotDivisible {
+                dim: 0,
+                global: 100,
+                local: 32,
+            })
+        );
+        // 2048 work items exceed the Titan Black's 1024 limit.
+        assert_eq!(
+            nv.validate_launch(&LaunchConfig::d1(4096, 2048)),
+            Err(LaunchError::LocalDimTooLarge {
+                dim: 0,
+                requested: 2048,
+                max: 1024,
+            })
+        );
+        assert_eq!(
+            nv.validate_launch(&LaunchConfig::d2((2048, 64), (1024, 2))),
+            Err(LaunchError::WorkGroupTooLarge {
+                requested: 2048,
+                max: 1024,
+            })
+        );
+        // The same 512-item work group is fine on NVIDIA but too large for the AMD profile.
+        let big = LaunchConfig::d1(1024, 512);
+        assert_eq!(nv.validate_launch(&big), Ok(()));
+        assert!(matches!(
+            DeviceProfile::amd().validate_launch(&big),
+            Err(LaunchError::LocalDimTooLarge { .. })
+        ));
     }
 
     #[test]

@@ -29,7 +29,7 @@ use lift_arith::ArithExpr;
 use lift_ocl::{AddrSpace, CBinOp, CExpr, CStmt, CType, CUnOp, Module};
 
 use crate::cost::{CostCounters, ExecutionReport};
-use crate::device::LaunchConfig;
+use crate::device::{DeviceProfile, LaunchConfig, LaunchError};
 use crate::memory::{GpuValue, KernelArg, Ptr};
 
 /// Number of consecutive work items considered for memory-coalescing analysis.
@@ -95,6 +95,9 @@ pub enum VgpuError {
     InvalidStore(String),
     /// Integer division or modulo by zero while evaluating an index expression.
     DivisionByZero,
+    /// The launch configuration violates the target device's limits
+    /// (see [`DeviceProfile::validate_launch`]).
+    InvalidLaunch(LaunchError),
 }
 
 impl fmt::Display for VgpuError {
@@ -116,6 +119,7 @@ impl fmt::Display for VgpuError {
             VgpuError::SymbolicLength(e) => write!(f, "cannot resolve symbolic length `{e}`"),
             VgpuError::InvalidStore(e) => write!(f, "cannot store value: {e}"),
             VgpuError::DivisionByZero => write!(f, "division by zero in index expression"),
+            VgpuError::InvalidLaunch(e) => write!(f, "invalid launch configuration: {e}"),
         }
     }
 }
@@ -140,6 +144,30 @@ impl VirtualGpu {
     /// Creates a virtual GPU.
     pub fn new() -> VirtualGpu {
         VirtualGpu
+    }
+
+    /// Launches `kernel_name` from `module` like [`VirtualGpu::launch`], after checking that
+    /// `config` respects the limits of `device` (work-group size, per-dimension local sizes,
+    /// divisibility). A launch a real driver would refuse is rejected with
+    /// [`VgpuError::InvalidLaunch`] instead of silently executing with cost counters that
+    /// describe a machine without occupancy limits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VgpuError::InvalidLaunch`] for configurations that violate the device, and
+    /// any [`VgpuError`] of [`VirtualGpu::launch`] otherwise.
+    pub fn launch_on(
+        &self,
+        device: &DeviceProfile,
+        module: &Module,
+        kernel_name: &str,
+        config: LaunchConfig,
+        args: Vec<KernelArg>,
+    ) -> Result<LaunchResult, VgpuError> {
+        device
+            .validate_launch(&config)
+            .map_err(VgpuError::InvalidLaunch)?;
+        self.launch(module, kernel_name, config, args)
     }
 
     /// Launches `kernel_name` from `module` over the given ND-range.
@@ -687,7 +715,12 @@ impl Exec {
                     self.counters.work_groups += 1;
                     self.counters.work_items += threads.len() as u64;
                     let mask = vec![true; threads.len()];
+                    let rows_before = self.counters.lockstep_rows;
                     self.exec_block(body, &mut group, &mut threads, &mask)?;
+                    // The group executed in lock step: its wall-clock is its row count, and
+                    // the launch cannot finish before its busiest group.
+                    let group_rows = self.counters.lockstep_rows - rows_before;
+                    self.counters.group_span_rows = self.counters.group_span_rows.max(group_rows);
                 }
             }
         }
@@ -718,6 +751,11 @@ impl Exec {
         threads: &mut Vec<Thread>,
         mask: &[bool],
     ) -> Result<(), VgpuError> {
+        // Every statement is one lock-step row for the whole group (blocks only recurse and
+        // loop iterations charge one row per round below).
+        if !matches!(stmt, SStmt::Block(_)) {
+            self.counters.lockstep_rows += 1;
+        }
         match stmt {
             SStmt::Return => {
                 for i in 0..threads.len() {
@@ -836,6 +874,8 @@ impl Exec {
                 }
                 self.flush_accesses();
                 loop {
+                    // One row per round: the group-wide condition check.
+                    self.counters.lockstep_rows += 1;
                     let mut iter_mask = vec![false; threads.len()];
                     let mut any = false;
                     for i in 0..threads.len() {

@@ -22,7 +22,7 @@ mod exec;
 mod memory;
 
 pub use cost::{CostCounters, ExecutionReport};
-pub use device::{DeviceProfile, LaunchConfig};
+pub use device::{DeviceProfile, LaunchConfig, LaunchError};
 pub use exec::{LaunchResult, VgpuError, VirtualGpu};
 pub use memory::{GpuValue, KernelArg, Ptr};
 

@@ -14,6 +14,8 @@
 //!   elimination, control-flow simplification, kernel generation),
 //! * [`rewrite`] — the rewrite-rule engine deriving low-level OpenCL programs from
 //!   high-level `map`/`reduce` expressions, with cost-guided exploration,
+//! * [`tuner`] — auto-tuning over split factors, vector widths and launch configurations
+//!   per device profile, on top of the rewrite exploration,
 //! * [`benchmarks`] — the twelve evaluation programs of Table 1.
 //!
 //! # Quickstart
@@ -35,6 +37,7 @@ pub use lift_interp as interp;
 pub use lift_ir as ir;
 pub use lift_ocl as ocl;
 pub use lift_rewrite as rewrite;
+pub use lift_tuner as tuner;
 pub use lift_vgpu as vgpu;
 
 /// Commonly used items, re-exported for convenience.
