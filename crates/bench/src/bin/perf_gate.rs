@@ -2,23 +2,30 @@
 //!
 //! Compares freshly generated `BENCH_explore.json` / `BENCH_autotune.json` reports against
 //! the baselines committed in the repository and fails (exit code 1) when a tracked number
-//! regresses by more than the threshold (default 25%):
+//! regresses by more than the threshold (default 25%). The checks live in
+//! [`lift_bench::gate`]; this binary only parses flags, loads the files and prints the
+//! verdict lines:
 //!
 //! * exploration throughput (`candidates_per_sec` at `max_candidates = 4000`) must not drop
 //!   below `baseline × (1 − threshold)`,
 //! * every `(workload, device)` tuned best-time in the baseline must still exist and must
 //!   not exceed `baseline × (1 + threshold)` — estimated times come from the deterministic
-//!   cost model, so this comparison is machine-independent.
+//!   cost model, so this comparison is machine-independent,
+//! * a workload present only in the *current* report (newly added, baseline not yet
+//!   committed) is reported as `[new]` and never trips the gate.
 //!
 //! ```text
 //! perf_gate --baseline-explore BENCH_explore.json --current-explore target/BENCH_explore.json \
 //!           --baseline-autotune BENCH_autotune.json --current-autotune target/BENCH_autotune.json \
 //!           [--threshold 0.25]
 //! ```
+//!
+//! `--threshold` must be a fraction in `[0, 1]`; anything else (negative, NaN, > 1) is a
+//! usage error — such a value would make the gate pass or fail vacuously.
 
-use std::collections::HashMap;
 use std::process::ExitCode;
 
+use lift_bench::gate::{check_reports, validate_threshold};
 use lift_bench::schema::{parse, Json};
 
 struct Args {
@@ -49,6 +56,7 @@ fn parse_args() -> Result<Args, String> {
                 args.threshold = value()?
                     .parse()
                     .map_err(|e| format!("invalid threshold: {e}"))?;
+                validate_threshold(args.threshold).map_err(|e| format!("usage error: {e}"))?;
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -61,82 +69,18 @@ fn load(path: &str) -> Result<Json, String> {
     parse(&text).map_err(|e| format!("parse {path}: {e}"))
 }
 
-fn explore_throughput(doc: &Json, path: &str) -> Result<f64, String> {
-    doc.get("max_candidates_4000")
-        .and_then(|s| s.get("candidates_per_sec"))
-        .and_then(Json::as_f64)
-        .ok_or_else(|| format!("{path}: missing max_candidates_4000.candidates_per_sec"))
-}
-
-/// `(workload, device) → tuned_best_time` for every entry that has one.
-fn tuned_times(doc: &Json, path: &str) -> Result<HashMap<(String, String), f64>, String> {
-    let results = doc
-        .get("results")
-        .and_then(Json::as_arr)
-        .ok_or_else(|| format!("{path}: missing results[]"))?;
-    let mut out = HashMap::new();
-    for entry in results {
-        let workload = entry
-            .get("workload")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("{path}: entry without workload"))?;
-        let device = entry
-            .get("device")
-            .and_then(Json::as_str)
-            .ok_or_else(|| format!("{path}: entry without device"))?;
-        if let Some(time) = entry.get("tuned_best_time").and_then(Json::as_f64) {
-            out.insert((workload.to_string(), device.to_string()), time);
-        }
-    }
-    Ok(out)
-}
-
 fn run(args: &Args) -> Result<bool, String> {
-    let mut ok = true;
-
-    // 1. Exploration throughput: lower is a regression. This number is wall-clock based and
-    //    therefore machine-dependent — the committed baseline must be refreshed (re-run
-    //    `explore_stats` and commit the JSON) whenever the reference machine class changes,
-    //    and the 25% threshold absorbs normal runner-to-runner variance.
-    let baseline = explore_throughput(&load(&args.baseline_explore)?, &args.baseline_explore)?;
-    let current = explore_throughput(&load(&args.current_explore)?, &args.current_explore)?;
-    let floor = baseline * (1.0 - args.threshold);
-    let verdict = if current >= floor { "ok" } else { "FAIL" };
-    println!(
-        "[{verdict}] exploration throughput: {current:.0} candidates/sec \
-         (baseline {baseline:.0}, floor {floor:.0})"
-    );
-    ok &= current >= floor;
-
-    // 2. Tuned best-times: higher is a regression (deterministic cost model, so any drift
-    //    beyond the threshold is a real change in generated code or search quality).
-    let baseline_times = tuned_times(&load(&args.baseline_autotune)?, &args.baseline_autotune)?;
-    let current_times = tuned_times(&load(&args.current_autotune)?, &args.current_autotune)?;
-    let mut keys: Vec<_> = baseline_times.keys().collect();
-    keys.sort();
-    for key in keys {
-        let baseline = baseline_times[key];
-        let ceiling = baseline * (1.0 + args.threshold);
-        match current_times.get(key) {
-            None => {
-                println!(
-                    "[FAIL] autotune {}/{}: missing from current report",
-                    key.0, key.1
-                );
-                ok = false;
-            }
-            Some(&current) => {
-                let verdict = if current <= ceiling { "ok" } else { "FAIL" };
-                println!(
-                    "[{verdict}] autotune {}/{}: tuned best {current:.1} \
-                     (baseline {baseline:.1}, ceiling {ceiling:.1})",
-                    key.0, key.1
-                );
-                ok &= current <= ceiling;
-            }
-        }
+    let outcome = check_reports(
+        &load(&args.baseline_explore)?,
+        &load(&args.current_explore)?,
+        &load(&args.baseline_autotune)?,
+        &load(&args.current_autotune)?,
+        args.threshold,
+    )?;
+    for line in &outcome.lines {
+        println!("{}", line.message);
     }
-    Ok(ok)
+    Ok(outcome.passed())
 }
 
 fn main() -> ExitCode {

@@ -1,0 +1,287 @@
+//! The CI performance-regression gate logic (used by the `perf_gate` binary).
+//!
+//! Compares freshly generated `BENCH_explore.json` / `BENCH_autotune.json` reports against
+//! committed baselines and reports a failure when a tracked number regresses by more than
+//! the threshold:
+//!
+//! * exploration throughput must not drop below `baseline × (1 − threshold)`,
+//! * every `(workload, device)` tuned best-time present in the *baseline* must still exist
+//!   and must not exceed `baseline × (1 + threshold)`.
+//!
+//! Workloads present only in the *current* report (a newly added benchmark whose baseline
+//! has not been committed yet) are reported informationally and never trip the gate — the
+//! gate protects committed numbers, it does not demand prescience from the baseline.
+
+use std::collections::HashMap;
+
+use crate::schema::Json;
+
+/// Validates a `--threshold` value: it is a regression *fraction*, so it must be a finite
+/// number in `[0, 1]` (0 = any regression fails, 1 = a 100% regression is tolerated).
+///
+/// # Errors
+///
+/// Returns a usage message for NaN, infinite, negative or greater-than-one values — a
+/// threshold outside this range would make the gate pass or fail vacuously.
+pub fn validate_threshold(threshold: f64) -> Result<(), String> {
+    if !threshold.is_finite() || !(0.0..=1.0).contains(&threshold) {
+        return Err(format!(
+            "--threshold must be a fraction within [0.0, 1.0], got `{threshold}`"
+        ));
+    }
+    Ok(())
+}
+
+/// One line of the gate's verdict, in report order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateLine {
+    /// Whether this line passed (informational lines always pass).
+    pub ok: bool,
+    /// The rendered verdict line.
+    pub message: String,
+}
+
+/// The gate's overall outcome.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateOutcome {
+    /// Per-check verdict lines.
+    pub lines: Vec<GateLine>,
+}
+
+impl GateOutcome {
+    /// Whether every check passed.
+    pub fn passed(&self) -> bool {
+        self.lines.iter().all(|l| l.ok)
+    }
+}
+
+fn explore_throughput(doc: &Json, label: &str) -> Result<f64, String> {
+    doc.get("max_candidates_4000")
+        .and_then(|s| s.get("candidates_per_sec"))
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("{label}: missing max_candidates_4000.candidates_per_sec"))
+}
+
+/// `(workload, device) → tuned_best_time` for every entry that has one.
+fn tuned_times(doc: &Json, label: &str) -> Result<HashMap<(String, String), f64>, String> {
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or_else(|| format!("{label}: missing results[]"))?;
+    let mut out = HashMap::new();
+    for entry in results {
+        let workload = entry
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: entry without workload"))?;
+        let device = entry
+            .get("device")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("{label}: entry without device"))?;
+        if let Some(time) = entry.get("tuned_best_time").and_then(Json::as_f64) {
+            out.insert((workload.to_string(), device.to_string()), time);
+        }
+    }
+    Ok(out)
+}
+
+/// Runs every gate check over the four parsed reports.
+///
+/// # Errors
+///
+/// Returns a message when a report is structurally invalid (missing fields) or the
+/// threshold is out of range; regressions are *not* errors — they are failing lines in the
+/// returned [`GateOutcome`].
+pub fn check_reports(
+    baseline_explore: &Json,
+    current_explore: &Json,
+    baseline_autotune: &Json,
+    current_autotune: &Json,
+    threshold: f64,
+) -> Result<GateOutcome, String> {
+    validate_threshold(threshold)?;
+    let mut lines = Vec::new();
+
+    // 1. Exploration throughput: lower is a regression. This number is wall-clock based and
+    //    therefore machine-dependent — the committed baseline must be refreshed (re-run
+    //    `explore_stats` and commit the JSON) whenever the reference machine class changes,
+    //    and the threshold absorbs normal runner-to-runner variance.
+    let baseline = explore_throughput(baseline_explore, "baseline explore report")?;
+    let current = explore_throughput(current_explore, "current explore report")?;
+    let floor = baseline * (1.0 - threshold);
+    let ok = current >= floor;
+    lines.push(GateLine {
+        ok,
+        message: format!(
+            "[{}] exploration throughput: {current:.0} candidates/sec \
+             (baseline {baseline:.0}, floor {floor:.0})",
+            if ok { "ok" } else { "FAIL" }
+        ),
+    });
+
+    // 2. Tuned best-times: higher is a regression (deterministic cost model, so any drift
+    //    beyond the threshold is a real change in generated code or search quality).
+    let baseline_times = tuned_times(baseline_autotune, "baseline autotune report")?;
+    let current_times = tuned_times(current_autotune, "current autotune report")?;
+    let mut keys: Vec<_> = baseline_times.keys().collect();
+    keys.sort();
+    for key in keys {
+        let baseline = baseline_times[key];
+        let ceiling = baseline * (1.0 + threshold);
+        match current_times.get(key) {
+            None => lines.push(GateLine {
+                ok: false,
+                message: format!(
+                    "[FAIL] autotune {}/{}: missing from current report",
+                    key.0, key.1
+                ),
+            }),
+            Some(&current) => {
+                let ok = current <= ceiling;
+                lines.push(GateLine {
+                    ok,
+                    message: format!(
+                        "[{}] autotune {}/{}: tuned best {current:.1} \
+                         (baseline {baseline:.1}, ceiling {ceiling:.1})",
+                        if ok { "ok" } else { "FAIL" },
+                        key.0,
+                        key.1
+                    ),
+                });
+            }
+        }
+    }
+
+    // 3. Workloads only in the current report never trip the gate: a new workload's first
+    //    baseline is committed by the PR that adds it.
+    let mut new_keys: Vec<_> = current_times
+        .keys()
+        .filter(|k| !baseline_times.contains_key(*k))
+        .collect();
+    new_keys.sort();
+    for key in new_keys {
+        lines.push(GateLine {
+            ok: true,
+            message: format!(
+                "[new] autotune {}/{}: {:.1} (no committed baseline yet)",
+                key.0, key.1, current_times[key]
+            ),
+        });
+    }
+
+    Ok(GateOutcome { lines })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::parse;
+
+    fn explore_doc(cps: f64) -> Json {
+        parse(&format!(
+            r#"{{"max_candidates_4000": {{"candidates_per_sec": {cps}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    fn autotune_doc(entries: &[(&str, &str, f64)]) -> Json {
+        let results: Vec<String> = entries
+            .iter()
+            .map(|(w, d, t)| {
+                format!(r#"{{"workload": "{w}", "device": "{d}", "tuned_best_time": {t}}}"#)
+            })
+            .collect();
+        parse(&format!(r#"{{"results": [{}]}}"#, results.join(","))).unwrap()
+    }
+
+    #[test]
+    fn threshold_range_is_validated() {
+        assert!(validate_threshold(0.0).is_ok());
+        assert!(validate_threshold(0.25).is_ok());
+        assert!(validate_threshold(1.0).is_ok());
+        for bad in [-0.1, 1.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            assert!(validate_threshold(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn check_reports_rejects_invalid_thresholds_up_front() {
+        let e = explore_doc(100.0);
+        let a = autotune_doc(&[]);
+        assert!(check_reports(&e, &e, &a, &a, f64::NAN).is_err());
+        assert!(check_reports(&e, &e, &a, &a, -1.0).is_err());
+        assert!(check_reports(&e, &e, &a, &a, 2.0).is_err());
+    }
+
+    #[test]
+    fn regressions_beyond_the_threshold_fail() {
+        let baseline = autotune_doc(&[("dot", "nv", 100.0)]);
+        let regressed = autotune_doc(&[("dot", "nv", 130.0)]);
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(100.0),
+            &baseline,
+            &regressed,
+            0.25,
+        )
+        .unwrap();
+        assert!(!outcome.passed());
+        // Within the threshold passes.
+        let near = autotune_doc(&[("dot", "nv", 120.0)]);
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(100.0),
+            &baseline,
+            &near,
+            0.25,
+        )
+        .unwrap();
+        assert!(outcome.passed());
+        // Throughput drops fail too.
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(50.0),
+            &baseline,
+            &near,
+            0.25,
+        )
+        .unwrap();
+        assert!(!outcome.passed());
+    }
+
+    #[test]
+    fn a_workload_missing_from_the_current_report_fails() {
+        let baseline = autotune_doc(&[("dot", "nv", 100.0)]);
+        let current = autotune_doc(&[]);
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(100.0),
+            &baseline,
+            &current,
+            0.25,
+        )
+        .unwrap();
+        assert!(!outcome.passed());
+    }
+
+    #[test]
+    fn a_new_workload_only_in_the_current_report_does_not_trip_the_gate() {
+        // The committed baseline predates the two-stage workload; the gate reports it as
+        // new and still passes.
+        let baseline = autotune_doc(&[("dot", "nv", 100.0)]);
+        let current = autotune_doc(&[("dot", "nv", 100.0), ("dot_two_stage", "nv", 900.0)]);
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(100.0),
+            &baseline,
+            &current,
+            0.25,
+        )
+        .unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.lines);
+        assert!(outcome
+            .lines
+            .iter()
+            .any(|l| l.ok && l.message.contains("[new] autotune dot_two_stage/nv")));
+    }
+}

@@ -12,8 +12,10 @@
 //! * `perf_gate` — CI gate comparing the two JSON reports against committed baselines.
 //!
 //! The [`schema`] module defines the shared JSON output format (writer and parser) and the
-//! `--json-out` flag handling; [`report`] builds the `BENCH_autotune.json` document.
+//! `--json-out` flag handling; [`report`] builds the `BENCH_autotune.json` document;
+//! [`gate`] implements the regression checks behind `perf_gate`.
 
+pub mod gate;
 pub mod report;
 pub mod schema;
 
@@ -73,6 +75,13 @@ pub fn autotune_strategy(workload: &lift_tuner::Workload) -> lift_tuner::Strateg
         "matrix_multiply" => lift_tuner::Strategy::RandomHillClimb {
             seed,
             samples: 6,
+            max_steps: 3,
+        },
+        // The two-stage dot product has a small launch grid (8 chunks of parallelism) but
+        // candidates execute over 1024 elements; a short walk covers it.
+        "dot_product_two_stage" => lift_tuner::Strategy::RandomHillClimb {
+            seed,
+            samples: 4,
             max_steps: 3,
         },
         // N-Body kernels are the most expensive to execute on the serial virtual GPU, so

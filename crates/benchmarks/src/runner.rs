@@ -6,8 +6,8 @@
 //! expected output and returns the cost-model counters from which Figure 8's relative
 //! performance is computed.
 
-use lift_codegen::{compile, CodegenError, CompilationOptions, CompiledKernel, KernelParamInfo};
-use lift_vgpu::{CostCounters, DeviceProfile, KernelArg, VgpuError, VirtualGpu};
+use lift_codegen::{compile, CodegenError, CompilationOptions, CompiledKernel};
+use lift_vgpu::{CostCounters, DeviceProfile, VgpuError, VirtualGpu};
 
 use crate::BenchmarkCase;
 
@@ -88,37 +88,9 @@ pub fn run_lift(
     options: &CompilationOptions,
 ) -> Result<RunOutcome, RunnerError> {
     let kernel = compile_case(case, options)?;
-    let out_len = kernel
-        .output_len
-        .evaluate(&case.sizes)
-        .map_err(|e| RunnerError::OutputLength(e.to_string()))? as usize;
-
-    let mut args = Vec::new();
-    let mut output_buffer_index = 0;
-    let mut buffers_so_far = 0;
-    for p in &kernel.params {
-        match p {
-            KernelParamInfo::Input { index, .. } => {
-                args.push(KernelArg::Buffer(case.inputs[*index].clone()));
-                buffers_so_far += 1;
-            }
-            KernelParamInfo::ScalarInput { index, .. } => {
-                args.push(KernelArg::Float(case.inputs[*index][0]));
-            }
-            KernelParamInfo::Output { .. } => {
-                output_buffer_index = buffers_so_far;
-                args.push(KernelArg::zeros(out_len));
-                buffers_so_far += 1;
-            }
-            KernelParamInfo::Size { name } => {
-                let v = case
-                    .sizes
-                    .get(name)
-                    .ok_or_else(|| RunnerError::OutputLength(format!("unbound size `{name}`")))?;
-                args.push(KernelArg::Int(v));
-            }
-        }
-    }
+    let (args, output_buffer_index) = kernel
+        .bind_args(&case.inputs, &case.sizes)
+        .map_err(RunnerError::OutputLength)?;
 
     let result =
         VirtualGpu::new().launch(&kernel.module, &kernel.kernel_name, case.launch, args)?;

@@ -115,11 +115,15 @@ fn infer_call(
                 spaces,
             ),
             Pattern::ReduceSeq { f } => {
-                // The reduction writes into the memory of its initialiser (args[0]).
+                // The reduction writes into the memory of its initialiser (args[0]) unless a
+                // `to*` wrapper requested a space explicitly — `toGlobal(reduceSeq(…))` is
+                // how a work item publishes its partial result to global memory for a
+                // following device-wide stage.
                 let init_space = arg_spaces.first().copied().unwrap_or(AddressSpace::Private);
+                let target = write_to.unwrap_or(init_space);
                 let elem_spaces = vec![init_space, *arg_spaces.get(1).unwrap_or(&init_space)];
-                infer_call(program, *f, args, &elem_spaces, Some(init_space), spaces);
-                init_space
+                infer_call(program, *f, args, &elem_spaces, Some(target), spaces);
+                target
             }
             Pattern::MapSeq { f }
             | Pattern::MapGlb { f, .. }
@@ -219,6 +223,41 @@ mod tests {
         lift_ir::infer_types(&mut p).unwrap();
         let spaces = infer_address_spaces(&p);
         assert_eq!(spaces[&p.root_body()], AddressSpace::Global);
+    }
+
+    #[test]
+    fn to_global_overrides_a_reduction_write_space() {
+        // mapGlb(toGlobal(reduceSeq(add, 0))) over split chunks: each work item publishes
+        // its partial sum to global memory (the producer half of a two-stage reduction).
+        let mut p = Program::new("t");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce_seq(add, 0.0);
+        let red_global = p.to_global(red);
+        let glb = p.map_glb(0, red_global);
+        let s = p.split(16usize);
+        p.with_root(vec![("x", float_array(64usize))], |p, params| {
+            let split = p.apply1(s, params[0]);
+            p.apply1(glb, split)
+        });
+        lift_ir::infer_types(&mut p).unwrap();
+        let spaces = infer_address_spaces(&p);
+        assert_eq!(spaces[&p.root_body()], AddressSpace::Global);
+    }
+
+    #[test]
+    fn unwrapped_reduction_still_writes_where_its_initialiser_lives() {
+        let mut p = Program::new("t");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce_seq(add, 0.0);
+        let glb = p.map_glb(0, red);
+        let s = p.split(16usize);
+        p.with_root(vec![("x", float_array(64usize))], |p, params| {
+            let split = p.apply1(s, params[0]);
+            p.apply1(glb, split)
+        });
+        lift_ir::infer_types(&mut p).unwrap();
+        let spaces = infer_address_spaces(&p);
+        assert_eq!(spaces[&p.root_body()], AddressSpace::Private);
     }
 
     #[test]

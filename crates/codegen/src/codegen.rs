@@ -38,6 +38,11 @@ pub enum CodegenError {
     Unsupported(String),
     /// The program has no root lambda.
     MissingRoot,
+    /// Address-space inference produced no space for an intermediate that must be
+    /// materialised. Before this variant existed the generator silently fell back to
+    /// private memory, which can place a large array intermediate in per-thread registers
+    /// without any diagnosis.
+    MissingAddressSpace(String),
 }
 
 impl std::fmt::Display for CodegenError {
@@ -47,6 +52,9 @@ impl std::fmt::Display for CodegenError {
             CodegenError::View(e) => write!(f, "view error: {e}"),
             CodegenError::Unsupported(what) => write!(f, "unsupported program shape: {what}"),
             CodegenError::MissingRoot => write!(f, "the program has no root lambda"),
+            CodegenError::MissingAddressSpace(what) => {
+                write!(f, "no address space inferred for an intermediate: {what}")
+            }
         }
     }
 }
@@ -87,6 +95,15 @@ pub enum KernelParamInfo {
         /// Kernel parameter name.
         name: String,
     },
+    /// A global temporary buffer carrying an intermediate across the kernels of a
+    /// multi-kernel sequence. The host allocates it (see
+    /// [`CompiledProgram::temp_buffers`]) and passes it to *every* kernel of the sequence.
+    Temp {
+        /// Kernel parameter name.
+        name: String,
+        /// Index of the corresponding entry in [`CompiledProgram::temp_buffers`].
+        index: usize,
+    },
     /// A size variable (array length) passed as an `int`.
     Size {
         /// Kernel parameter name (the variable name, e.g. `N`).
@@ -113,25 +130,250 @@ impl CompiledKernel {
         lift_ocl::print_module(&self.module)
     }
 
-    /// Number of non-empty source lines (the code-size metric of Table 1).
+    /// Number of non-empty, non-comment source lines (the code-size metric of Table 1).
     pub fn line_count(&self) -> usize {
-        self.source()
-            .lines()
-            .filter(|l| !l.trim().is_empty())
-            .count()
+        count_code_lines(&self.source())
+    }
+
+    /// Marshals launch arguments for the kernel's parameter list (see
+    /// [`CompiledProgram::bind_args`]; single-kernel programs have no temporaries).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an input is missing or a length cannot be evaluated.
+    pub fn bind_args(
+        &self,
+        inputs: &[Vec<f32>],
+        sizes: &lift_arith::Environment,
+    ) -> Result<(Vec<lift_vgpu::KernelArg>, usize), String> {
+        bind_launch_args(&self.params, &[], &self.output_len, inputs, sizes)
     }
 }
 
-/// Compiles a Lift program into an OpenCL kernel.
+/// Counts non-empty, non-comment lines: comment lines (the host-ABI block of multi-kernel
+/// modules, `//` annotations) are not code and must not skew the Table 1 code-size metric.
+fn count_code_lines(source: &str) -> usize {
+    source
+        .lines()
+        .map(str::trim)
+        .filter(|l| {
+            !l.is_empty() && !l.starts_with("//") && !l.starts_with("/*") && !l.starts_with('*')
+        })
+        .count()
+}
+
+/// Marshals launch arguments for a compiled parameter list: input buffers are cloned from
+/// `inputs` (indexed by root parameter), the output and every temporary are zero-filled to
+/// their evaluated lengths, and size parameters are bound from `sizes`. Returns the
+/// arguments and the index of the output among the *buffer* arguments (the index into
+/// [`lift_vgpu::LaunchResult::buffers`] / [`lift_vgpu::SequenceResult::buffers`]).
+fn bind_launch_args(
+    params: &[KernelParamInfo],
+    temps: &[TempBufferInfo],
+    output_len: &ArithExpr,
+    inputs: &[Vec<f32>],
+    sizes: &lift_arith::Environment,
+) -> Result<(Vec<lift_vgpu::KernelArg>, usize), String> {
+    use lift_vgpu::KernelArg;
+    let as_len = |e: &ArithExpr, what: &str| -> Result<usize, String> {
+        let v = e
+            .evaluate(sizes)
+            .map_err(|err| format!("cannot evaluate {what}: {err}"))?;
+        usize::try_from(v).map_err(|_| format!("negative {what}: {v}"))
+    };
+    let out_len = as_len(output_len, "output length")?;
+    let mut args = Vec::with_capacity(params.len());
+    let mut output_index = None;
+    let mut buffers = 0usize;
+    for p in params {
+        match p {
+            KernelParamInfo::Input { index, name } => {
+                let data = inputs
+                    .get(*index)
+                    .ok_or_else(|| format!("missing input {index} for `{name}`"))?;
+                args.push(KernelArg::Buffer(data.clone()));
+                buffers += 1;
+            }
+            KernelParamInfo::ScalarInput { index, name } => {
+                let v = inputs
+                    .get(*index)
+                    .and_then(|d| d.first())
+                    .ok_or_else(|| format!("missing scalar input {index} for `{name}`"))?;
+                args.push(KernelArg::Float(*v));
+            }
+            KernelParamInfo::Output { .. } => {
+                output_index = Some(buffers);
+                args.push(KernelArg::zeros(out_len));
+                buffers += 1;
+            }
+            KernelParamInfo::Temp { index, name } => {
+                let temp = temps
+                    .get(*index)
+                    .ok_or_else(|| format!("missing temp buffer {index} for `{name}`"))?;
+                let len = as_len(&temp.elem_count, "temp buffer length")?;
+                args.push(KernelArg::zeros(len));
+                buffers += 1;
+            }
+            KernelParamInfo::Size { name } => {
+                let v = sizes
+                    .get(name)
+                    .ok_or_else(|| format!("unbound size `{name}`"))?;
+                args.push(KernelArg::Int(v));
+            }
+        }
+    }
+    let output_index = output_index.ok_or_else(|| "no output parameter".to_string())?;
+    Ok((args, output_index))
+}
+
+/// One kernel of a compiled multi-kernel program, in launch order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct KernelStage {
+    /// The kernel name within the module.
+    pub name: String,
+    /// Whether the kernel body reads work-item ids. A sequential stage computes the same
+    /// result in every thread, so the host launches it with a single work item.
+    pub parallel: bool,
+}
+
+/// A global temporary buffer the host must allocate for a multi-kernel program.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TempBufferInfo {
+    /// The kernel parameter name every kernel binds the buffer to.
+    pub name: String,
+    /// Number of elements (symbolic in the size variables).
+    pub elem_count: ArithExpr,
+}
+
+/// The result of compiling a Lift program that may span several kernels.
+///
+/// Programs whose intermediates live in global memory are split at each device-wide
+/// synchronisation point into a *sequence* of kernels: the producer stage writes the
+/// intermediate to a host-allocated global temporary, the kernel boundary provides the
+/// device-wide barrier OpenCL lacks, and the consumer stage reads it back. All kernels share
+/// one parameter list ([`CompiledProgram::params`]: inputs, output, temporaries, sizes), so
+/// the host passes the same arguments to every stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CompiledProgram {
+    /// The generated OpenCL module (structs, user functions, one kernel per stage).
+    pub module: Module,
+    /// The kernels in launch order.
+    pub kernels: Vec<KernelStage>,
+    /// Global temporaries shared by the stages (empty for single-kernel programs).
+    pub temp_buffers: Vec<TempBufferInfo>,
+    /// The shared kernel parameters, in order.
+    pub params: Vec<KernelParamInfo>,
+    /// The number of elements of the output buffer (symbolic in the size variables).
+    pub output_len: ArithExpr,
+}
+
+impl CompiledProgram {
+    /// The OpenCL C source of the whole module.
+    pub fn source(&self) -> String {
+        lift_ocl::print_module(&self.module)
+    }
+
+    /// Number of non-empty, non-comment source lines (the code-size metric of Table 1).
+    ///
+    /// Comment lines are excluded so the host-ABI documentation block of multi-kernel
+    /// modules does not inflate the code size relative to single-kernel programs.
+    pub fn line_count(&self) -> usize {
+        count_code_lines(&self.source())
+    }
+
+    /// Whether the program compiled to more than one kernel.
+    pub fn is_multi_kernel(&self) -> bool {
+        self.kernels.len() > 1
+    }
+
+    /// Marshals launch arguments for the shared parameter list of the kernel sequence.
+    /// Returns the arguments (pass the same vector to every stage via
+    /// [`lift_vgpu::VirtualGpu::launch_sequence`]) and the index of the output among the
+    /// *buffer* arguments.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when an input is missing or a length cannot be evaluated.
+    pub fn bind_args(
+        &self,
+        inputs: &[Vec<f32>],
+        sizes: &lift_arith::Environment,
+    ) -> Result<(Vec<lift_vgpu::KernelArg>, usize), String> {
+        bind_launch_args(
+            &self.params,
+            &self.temp_buffers,
+            &self.output_len,
+            inputs,
+            sizes,
+        )
+    }
+
+    /// The per-stage launch plan for an execution under `launch`: parallel stages use the
+    /// requested ND-range, sequential stages run as a single work item.
+    pub fn launch_plan(&self, launch: lift_vgpu::LaunchConfig) -> Vec<lift_vgpu::KernelLaunchSpec> {
+        self.kernels
+            .iter()
+            .map(|k| lift_vgpu::KernelLaunchSpec {
+                kernel: k.name.clone(),
+                launch: if k.parallel {
+                    launch
+                } else {
+                    lift_vgpu::LaunchConfig::d1(1, 1)
+                },
+            })
+            .collect()
+    }
+}
+
+/// Compiles a Lift program into a single OpenCL kernel.
+///
+/// This is the single-kernel entry point: programs whose intermediates force a split into
+/// several kernels (global-memory intermediates) are rejected — use [`compile_program`] for
+/// those. For every program this function accepts, the result is identical to the sole
+/// kernel of [`compile_program`].
 ///
 /// # Errors
 ///
-/// Returns a [`CodegenError`] if the program is ill-typed or uses an unsupported combination
-/// of patterns.
+/// Returns a [`CodegenError`] if the program is ill-typed, uses an unsupported combination
+/// of patterns, or compiles to more than one kernel.
 pub fn compile(
     program: &Program,
     options: &CompilationOptions,
 ) -> Result<CompiledKernel, CodegenError> {
+    let compiled = compile_program(program, options)?;
+    if compiled.is_multi_kernel() {
+        return Err(CodegenError::Unsupported(format!(
+            "the program compiles to {} kernels (its global-memory intermediates split it \
+             at device-wide synchronisation points); use `compile_program` and execute the \
+             kernel sequence",
+            compiled.kernels.len()
+        )));
+    }
+    let kernel_name = compiled.kernels[0].name.clone();
+    Ok(CompiledKernel {
+        module: compiled.module,
+        kernel_name,
+        params: compiled.params,
+        output_len: compiled.output_len,
+    })
+}
+
+/// Compiles a Lift program into a sequence of one or more OpenCL kernels.
+///
+/// Intermediates placed in global memory (via `toGlobal` or address-space inference) are
+/// materialised into host-allocated temporaries, and the program is split after each such
+/// producer: the kernel boundary is the device-wide synchronisation point. Single-kernel
+/// programs compile exactly as with [`compile`].
+///
+/// # Errors
+///
+/// Returns a [`CodegenError`] if the program is ill-typed or uses an unsupported combination
+/// of patterns (e.g. a global intermediate nested inside a pattern, where no device-wide
+/// synchronisation is possible).
+pub fn compile_program(
+    program: &Program,
+    options: &CompilationOptions,
+) -> Result<CompiledProgram, CodegenError> {
     if let Some(name) = program.first_high_level_pattern() {
         return Err(CodegenError::Unsupported(format!(
             "high-level pattern `{name}` must be lowered to an OpenCL-specific pattern \
@@ -150,9 +392,17 @@ pub fn compile(
         decls: Vec::new(),
         views: HashMap::new(),
         counter: 0,
+        nesting: 0,
+        temp_buffers: Vec::new(),
+        segment_decls: Vec::new(),
     };
     generator.generate()
 }
+
+/// Marker statement separating two kernels in the top-level statement stream. It is emitted
+/// only at nesting depth zero and consumed by [`Generator::generate`]'s segment split, so it
+/// never appears in a finished kernel.
+const KERNEL_SPLIT_MARKER: &str = "__lift_kernel_split__";
 
 struct Generator {
     program: Program,
@@ -163,6 +413,15 @@ struct Generator {
     decls: Vec<CStmt>,
     views: HashMap<ExprId, View>,
     counter: usize,
+    /// Depth of enclosing pattern bodies (map/reduce/iterate loops). Kernel splits are only
+    /// legal at depth zero: a split inside a loop body would need a device-wide barrier
+    /// *within* a kernel, which OpenCL does not have.
+    nesting: usize,
+    /// Global temporaries allocated so far: `(parameter name, value type)`.
+    temp_buffers: Vec<(String, Type)>,
+    /// Per-finished-segment declaration groups (one entry is pushed at every kernel split;
+    /// the declarations of the final segment are taken from `decls` at the end).
+    segment_decls: Vec<Vec<CStmt>>,
 }
 
 impl Generator {
@@ -176,7 +435,7 @@ impl Generator {
         }
     }
 
-    fn generate(mut self) -> Result<CompiledKernel, CodegenError> {
+    fn generate(mut self) -> Result<CompiledProgram, CodegenError> {
         if self.program.root().is_none() {
             return Err(CodegenError::MissingRoot);
         }
@@ -184,7 +443,8 @@ impl Generator {
         let body = self.program.root_body();
         let body_type = self.program.type_of(body).clone();
 
-        // Kernel parameters: inputs, output, then the size variables.
+        // Kernel parameters: inputs, output, temporaries (discovered during generation),
+        // then the size variables.
         let mut params = Vec::new();
         let mut kernel_params = Vec::new();
         let mut size_vars: Vec<String> = Vec::new();
@@ -235,6 +495,34 @@ impl Generator {
         });
         let output_len = body_type.element_count();
 
+        let out_view = View::memory(out_name, AddressSpace::Global, array_dims(&body_type));
+        let body_stmts = self.gen_expr(body, &out_view)?;
+        self.segment_decls.push(std::mem::take(&mut self.decls));
+
+        // Temporary-buffer parameters (shared by every kernel of the sequence).
+        let mut temp_buffers = Vec::new();
+        for (index, (name, ty)) in self.temp_buffers.iter().enumerate() {
+            let elem_count = ty.element_count();
+            collect_size_vars(ty, &mut size_vars);
+            kernel_params.push(KernelParam {
+                name: name.clone(),
+                ty: CType::pointer(scalar_ctype(ty.innermost()), AddrSpace::Global),
+            });
+            params.push(KernelParamInfo::Temp {
+                name: name.clone(),
+                index,
+            });
+            self.module.temp_buffers.push(lift_ocl::TempBufferDecl {
+                name: name.clone(),
+                elem: scalar_ctype(ty.innermost()),
+                len: elem_count.clone(),
+            });
+            temp_buffers.push(TempBufferInfo {
+                name: name.clone(),
+                elem_count,
+            });
+        }
+
         size_vars.sort();
         size_vars.dedup();
         for s in &size_vars {
@@ -245,21 +533,80 @@ impl Generator {
             params.push(KernelParamInfo::Size { name: s.clone() });
         }
 
-        let out_view = View::memory(out_name, AddressSpace::Global, array_dims(&body_type));
-        let body_stmts = self.gen_expr(body, &out_view)?;
+        // Split the top-level statement stream into kernel bodies at the split markers
+        // (one marker was emitted after each global-temporary producer).
+        let mut segments: Vec<Vec<CStmt>> = vec![Vec::new()];
+        for stmt in body_stmts {
+            if matches!(&stmt, CStmt::Comment(c) if c == KERNEL_SPLIT_MARKER) {
+                segments.push(Vec::new());
+            } else {
+                segments
+                    .last_mut()
+                    .expect("segments is non-empty")
+                    .push(stmt);
+            }
+        }
+        // Every marker snapshots one declaration group; a mismatch means a marker was
+        // buried below the top level (which the nesting guard forbids) and zipping the two
+        // lists would silently drop a kernel body — make it a hard error, not a debug
+        // assertion.
+        if segments.len() != self.segment_decls.len() {
+            return Err(CodegenError::Unsupported(format!(
+                "internal error: {} kernel segments but {} declaration groups — a kernel \
+                 split marker escaped the top-level statement stream",
+                segments.len(),
+                self.segment_decls.len()
+            )));
+        }
 
-        let mut kernel_body = std::mem::take(&mut self.decls);
-        kernel_body.extend(body_stmts);
-        let kernel_name = self.program.name().to_string();
-        self.module.kernels.push(Kernel {
-            name: kernel_name.clone(),
-            params: kernel_params,
-            body: kernel_body,
-        });
+        // A value in private or local memory does not survive a kernel boundary: reject any
+        // derivation whose later stage reads a declaration of an earlier one.
+        let mut earlier_decls: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for (i, segment) in segments.iter().enumerate() {
+            let decls = &self.segment_decls[i];
+            if i > 0 {
+                if let Some(name) = segment
+                    .iter()
+                    .chain(decls.iter())
+                    .find_map(|s| stmt_reference_in(s, &earlier_decls))
+                {
+                    return Err(CodegenError::Unsupported(format!(
+                        "intermediate `{name}` lives in private or local memory but is \
+                         consumed after a device-wide synchronisation point; it must be \
+                         staged in global memory (toGlobal) to cross the kernel boundary"
+                    )));
+                }
+            }
+            for s in decls.iter().chain(segment.iter()) {
+                collect_decl_names(s, &mut earlier_decls);
+            }
+        }
 
-        Ok(CompiledKernel {
+        let base_name = self.program.name().to_string();
+        let multi = segments.len() > 1;
+        let mut kernels = Vec::new();
+        for (i, (decls, segment)) in self.segment_decls.drain(..).zip(segments).enumerate() {
+            let mut kernel_body = decls;
+            kernel_body.extend(segment);
+            let name = if multi {
+                format!("{base_name}_k{i}")
+            } else {
+                base_name.clone()
+            };
+            let kernel = Kernel {
+                name: name.clone(),
+                params: kernel_params.clone(),
+                body: kernel_body,
+            };
+            let parallel = kernel.uses_work_items();
+            self.module.kernels.push(kernel);
+            kernels.push(KernelStage { name, parallel });
+        }
+
+        Ok(CompiledProgram {
             module: self.module,
-            kernel_name,
+            kernels,
+            temp_buffers,
             params,
             output_len,
         })
@@ -483,26 +830,74 @@ impl Generator {
 
     /// Allocates a buffer (or scalar variable) for the value of `expr`, generates the code
     /// producing it, and returns a view of the new storage.
+    ///
+    /// A global-memory intermediate becomes a host-allocated temporary shared by a kernel
+    /// *sequence*: the producing code ends the current kernel (the kernel boundary is the
+    /// device-wide synchronisation point) and the consumer reads the temporary in the next
+    /// one.
     fn materialise(&mut self, expr: ExprId, stmts: &mut Vec<CStmt>) -> Result<View, CodegenError> {
         let ty = self.program.type_of(expr).clone();
-        let space = *self.spaces.get(&expr).unwrap_or(&AddressSpace::Private);
+        let space = match self.spaces.get(&expr) {
+            Some(space) => *space,
+            // A scalar always fits a register; anything larger without an inferred space
+            // is a compiler bug upstream — refuse instead of silently spilling a large
+            // array into per-thread private memory.
+            None if ty.is_scalar() => AddressSpace::Private,
+            None => {
+                return Err(CodegenError::MissingAddressSpace(format!(
+                    "an intermediate of type `{ty}` must be materialised, but address-space \
+                     inference did not visit it"
+                )))
+            }
+        };
+        if space == AddressSpace::Global {
+            return self.materialise_global(expr, &ty, stmts);
+        }
         let view = self.allocate(&ty, space)?;
         let code = self.gen_expr(expr, &view)?;
         stmts.extend(code);
         Ok(view)
     }
 
-    /// Allocates storage of the given type in the given address space and returns its view.
-    fn allocate(&mut self, ty: &Type, space: AddressSpace) -> Result<View, CodegenError> {
-        let elem_count = ty.element_count();
-        let scalar = elem_count.as_cst() == Some(1) && ty.array_depth() <= 1;
-        if space == AddressSpace::Global {
+    /// Materialises `expr` into a global temporary and splits the program: the producing
+    /// code ends the current kernel, and everything generated afterwards belongs to the
+    /// next kernel of the sequence.
+    fn materialise_global(
+        &mut self,
+        expr: ExprId,
+        ty: &Type,
+        stmts: &mut Vec<CStmt>,
+    ) -> Result<View, CodegenError> {
+        if self.nesting > 0 {
             return Err(CodegenError::Unsupported(
-                "intermediate results in global memory are not supported; use toLocal or \
-                 toPrivate for intermediate storage"
+                "a global-memory intermediate inside a nested pattern would need a \
+                 device-wide barrier within a kernel, which OpenCL does not have; only \
+                 top-level pipeline stages can be split into separate kernels"
                     .into(),
             ));
         }
+        if !ty.is_array() {
+            return Err(CodegenError::Unsupported(format!(
+                "a non-array intermediate of type `{ty}` cannot be staged in global memory"
+            )));
+        }
+        let name = self.fresh("tmp_g");
+        self.temp_buffers.push((name.clone(), ty.clone()));
+        let view = View::memory(name, AddressSpace::Global, array_dims(ty));
+        let code = self.gen_expr(expr, &view)?;
+        stmts.extend(code);
+        // Device-wide synchronisation point: end the current kernel here.
+        stmts.push(CStmt::Comment(KERNEL_SPLIT_MARKER.into()));
+        self.segment_decls.push(std::mem::take(&mut self.decls));
+        Ok(view)
+    }
+
+    /// Allocates storage of the given type in local or private memory and returns its view
+    /// (global intermediates go through [`Generator::materialise_global`] instead).
+    fn allocate(&mut self, ty: &Type, space: AddressSpace) -> Result<View, CodegenError> {
+        let elem_count = ty.element_count();
+        let scalar = elem_count.as_cst() == Some(1) && ty.array_depth() <= 1;
+        debug_assert_ne!(space, AddressSpace::Global, "handled by materialise_global");
         let ctype = scalar_ctype(ty.innermost());
         if scalar {
             let name = self.fresh("acc");
@@ -679,7 +1074,10 @@ impl Generator {
 
         let elem_view = input.clone().access(loop_var.clone());
         let elem_dest = dest.clone().access(loop_var.clone());
-        let body = self.gen_apply(f, &[elem_view], &[elem_ty], &elem_dest)?;
+        self.nesting += 1;
+        let body = self.gen_apply(f, &[elem_view], &[elem_ty], &elem_dest);
+        self.nesting -= 1;
+        let body = body?;
 
         let mut stmts = Vec::new();
         match (kind, len.as_cst(), parallel_width) {
@@ -836,12 +1234,15 @@ impl Generator {
             ArithExpr::var_in_range(&var, 0, len.clone())
         };
         let elem_view = input_view.clone().access(loop_var.clone());
+        self.nesting += 1;
         let body = self.gen_apply(
             f,
             &[acc_view.clone(), elem_view],
             &[init_ty.clone(), elem_ty],
             &acc_view,
-        )?;
+        );
+        self.nesting -= 1;
+        let body = body?;
         if collapse {
             stmts.extend(body);
         } else {
@@ -916,6 +1317,17 @@ impl Generator {
                 ))
             }
         };
+        if space == AddressSpace::Global {
+            // The double-buffered loop would have to declare its second buffer in global
+            // memory, which a kernel cannot allocate (and its barriers would only
+            // synchronise one work group). This silently produced an invalid kernel-local
+            // `global` array before; it is a typed error now.
+            return Err(CodegenError::Unsupported(
+                "`iterate` over a global-memory buffer is not supported; stage the data in \
+                 local or private memory first (e.g. with toLocal)"
+                    .into(),
+            ));
+        }
         let input_name = match &input_view {
             View::Memory { name, .. } => name.clone(),
             _ => unreachable!("checked above"),
@@ -966,7 +1378,10 @@ impl Generator {
             space,
             vec![size_var.clone() / ArithExpr::cst(factor)],
         );
-        let mut body = self.gen_apply(body_fun, &[body_in_view], &[body_in_ty], &body_out_view)?;
+        self.nesting += 1;
+        let body = self.gen_apply(body_fun, &[body_in_view], &[body_in_ty], &body_out_view);
+        self.nesting -= 1;
+        let mut body = body?;
         body.push(CStmt::Barrier(Fence::local()));
         body.push(CStmt::Assign {
             lhs: CExpr::var(&size_name),
@@ -1342,6 +1757,89 @@ fn scalar_to_cexpr(body: &ScalarExpr, params: &[String]) -> CExpr {
     }
 }
 
+/// Collects every name declared by the statement (top-level declarations, block-scoped
+/// declarations and loop variables) into `out`.
+fn collect_decl_names(stmt: &CStmt, out: &mut std::collections::HashSet<String>) {
+    match stmt {
+        CStmt::Decl { name, .. } => {
+            out.insert(name.clone());
+        }
+        CStmt::Block(body) => {
+            for s in body {
+                collect_decl_names(s, out);
+            }
+        }
+        CStmt::For { var, body, .. } => {
+            out.insert(var.clone());
+            for s in body {
+                collect_decl_names(s, out);
+            }
+        }
+        CStmt::If {
+            then, otherwise, ..
+        } => {
+            for s in then.iter().chain(otherwise.iter().flatten()) {
+                collect_decl_names(s, out);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Returns the first variable referenced by the statement that is contained in `names`
+/// (used to detect a kernel reading a declaration of an earlier kernel).
+fn stmt_reference_in(stmt: &CStmt, names: &std::collections::HashSet<String>) -> Option<String> {
+    let in_expr = |e: &CExpr| expr_reference_in(e, names);
+    match stmt {
+        CStmt::Comment(_) | CStmt::Return | CStmt::Barrier(_) => None,
+        CStmt::Decl { init, .. } => init.as_ref().and_then(in_expr),
+        CStmt::Assign { lhs, rhs } => in_expr(lhs).or_else(|| in_expr(rhs)),
+        CStmt::Expr(e) => in_expr(e),
+        CStmt::Block(body) => body.iter().find_map(|s| stmt_reference_in(s, names)),
+        CStmt::For {
+            init,
+            cond,
+            step,
+            body,
+            ..
+        } => in_expr(init)
+            .or_else(|| in_expr(cond))
+            .or_else(|| in_expr(step))
+            .or_else(|| body.iter().find_map(|s| stmt_reference_in(s, names))),
+        CStmt::If {
+            cond,
+            then,
+            otherwise,
+        } => in_expr(cond).or_else(|| {
+            then.iter()
+                .chain(otherwise.iter().flatten())
+                .find_map(|s| stmt_reference_in(s, names))
+        }),
+    }
+}
+
+fn expr_reference_in(e: &CExpr, names: &std::collections::HashSet<String>) -> Option<String> {
+    match e {
+        CExpr::IntLit(_) | CExpr::FloatLit(_) => None,
+        CExpr::Var(n) => names.contains(n).then(|| n.clone()),
+        CExpr::Index(a) => a
+            .vars()
+            .into_iter()
+            .find(|v| names.contains(v.name()))
+            .map(|v| v.name().to_string()),
+        CExpr::Bin(_, a, b) | CExpr::ArrayAccess(a, b) => {
+            expr_reference_in(a, names).or_else(|| expr_reference_in(b, names))
+        }
+        CExpr::Un(_, a) | CExpr::Field(a, _) | CExpr::Cast(_, a) => expr_reference_in(a, names),
+        CExpr::Call(_, args) | CExpr::StructLit(_, args) | CExpr::VectorLit(_, args) => {
+            args.iter().find_map(|a| expr_reference_in(a, names))
+        }
+        CExpr::Ternary(c, t, o) => expr_reference_in(c, names)
+            .or_else(|| expr_reference_in(t, names))
+            .or_else(|| expr_reference_in(o, names)),
+    }
+}
+
 fn collect_size_vars(ty: &Type, out: &mut Vec<String>) {
     match ty {
         Type::Array(elem, len) => {
@@ -1356,5 +1854,151 @@ fn collect_size_vars(ty: &Type, out: &mut Vec<String>) {
             }
         }
         _ => {}
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_ir::UserFun;
+
+    /// `reduceSeq(add, 0)(mapSeq(id)(x))` — the mapped array must be materialised before
+    /// the reduction reads it.
+    fn reduce_of_map(n: usize) -> Program {
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let add = p.user_fun(UserFun::add());
+        let m = p.map_seq(id);
+        let red = p.reduce_seq(add, 0.0);
+        p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+            let mapped = p.apply1(m, params[0]);
+            p.apply1(red, mapped)
+        });
+        p
+    }
+
+    #[test]
+    fn missing_address_space_is_an_explicit_error() {
+        // Regression: `materialise` used to fall back to private memory silently when
+        // address-space inference had not visited the expression, which could place a large
+        // array intermediate in per-thread registers. Driving the generator with an *empty*
+        // space map pins the typed error.
+        let mut program = reduce_of_map(16);
+        lift_ir::infer_types(&mut program).expect("typechecks");
+        let options = CompilationOptions::all_optimisations();
+        let generator = Generator {
+            program,
+            spaces: AddressSpaces::new(), // deliberately empty: no inference results
+            options: options.clone(),
+            builder: AccessBuilder::new(options.array_access_simplification),
+            module: Module::new(),
+            decls: Vec::new(),
+            views: HashMap::new(),
+            counter: 0,
+            nesting: 0,
+            temp_buffers: Vec::new(),
+            segment_decls: Vec::new(),
+        };
+        let err = generator
+            .generate()
+            .expect_err("must not fall back to private");
+        assert!(
+            matches!(err, CodegenError::MissingAddressSpace(_)),
+            "{err:?}"
+        );
+        // The same program compiles fine with real address-space inference (as a two-stage
+        // sequence: the mapped array is inferred global, so the reduction becomes a second
+        // kernel).
+        let compiled =
+            compile_program(&reduce_of_map(16), &CompilationOptions::all_optimisations())
+                .expect("compiles with real inference");
+        assert_eq!(compiled.kernels.len(), 2);
+    }
+
+    #[test]
+    fn nested_global_intermediate_is_a_typed_error() {
+        // toGlobal(mapSeq(id)) *inside* a mapGlb element: the consumer sits in the same
+        // nested scope, so no device-wide synchronisation point exists between producer and
+        // consumer — splitting is impossible and the error says so.
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let add = p.user_fun(UserFun::add());
+        let copy = p.map_seq(id);
+        let copy_global = p.to_global(copy);
+        let red = p.reduce_seq(add, 0.0);
+        let per_chunk = p.compose(&[red, copy_global]);
+        let glb = p.map_glb(0, per_chunk);
+        let s = p.split(16usize);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 64usize))],
+            |p, params| {
+                let split = p.apply1(s, params[0]);
+                p.apply1(glb, split)
+            },
+        );
+        let err = compile_program(&p, &CompilationOptions::all_optimisations())
+            .expect_err("nested global intermediates cannot be split");
+        assert!(
+            matches!(&err, CodegenError::Unsupported(m) if m.contains("device-wide barrier")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn iterate_over_a_global_buffer_is_a_typed_error() {
+        // Regression: this used to emit a kernel-local `global` array declaration for the
+        // iterate's second buffer — invalid OpenCL, silently mis-executed by the virtual
+        // GPU as private memory.
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let m = p.map_seq(id);
+        let it = p.iterate(2, m);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 8usize))],
+            |p, params| p.apply1(it, params[0]),
+        );
+        let err = compile_program(&p, &CompilationOptions::all_optimisations())
+            .expect_err("iterate over a global buffer");
+        assert!(
+            matches!(&err, CodegenError::Unsupported(m) if m.contains("iterate")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn top_level_global_intermediate_splits_into_two_kernels() {
+        // mapGlb(toGlobal(reduceSeq)) feeding a kernel-level reduceSeq: the canonical
+        // two-stage shape. (The full pipeline version lives in tests/multi_kernel.rs; this
+        // pins the codegen-level contract.)
+        let mut p = Program::new("two_stage");
+        let add = p.user_fun(UserFun::add());
+        let red1 = p.reduce_seq(add, 0.0);
+        let red1_global = p.to_global(red1);
+        let glb = p.map_glb(0, red1_global);
+        let red2 = p.reduce_seq(add, 0.0);
+        let s = p.split(16usize);
+        let j = p.join();
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 64usize))],
+            |p, params| {
+                let split = p.apply1(s, params[0]);
+                let partials = p.apply1(glb, split);
+                let joined = p.apply1(j, partials);
+                p.apply1(red2, joined)
+            },
+        );
+        let compiled = compile_program(&p, &CompilationOptions::all_optimisations())
+            .expect("two-stage program compiles");
+        assert_eq!(compiled.kernels.len(), 2);
+        assert_eq!(compiled.temp_buffers.len(), 1);
+        assert!(compiled.kernels[0].parallel);
+        assert!(!compiled.kernels[1].parallel);
+        // Both kernels share the parameter list, including the temporary.
+        let tmp = &compiled.temp_buffers[0].name;
+        for kernel in &compiled.module.kernels {
+            assert!(kernel.params.iter().any(|param| &param.name == tmp));
+        }
+        // No split marker leaks into the printed source.
+        assert!(!compiled.source().contains(KERNEL_SPLIT_MARKER));
     }
 }

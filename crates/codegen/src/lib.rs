@@ -38,6 +38,9 @@ pub mod options;
 pub mod view;
 
 pub use address_space::{infer_address_spaces, AddressSpaces};
-pub use codegen::{compile, CodegenError, CompiledKernel, KernelParamInfo};
+pub use codegen::{
+    compile, compile_program, CodegenError, CompiledKernel, CompiledProgram, KernelParamInfo,
+    KernelStage, TempBufferInfo,
+};
 pub use options::CompilationOptions;
 pub use view::{resolve, AccessBuilder, Resolved, View, ViewError};

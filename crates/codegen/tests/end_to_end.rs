@@ -2,10 +2,10 @@
 //! the results are compared against the reference interpreter.
 
 use lift_arith::{ArithExpr, Environment};
-use lift_codegen::{compile, CompilationOptions, CompiledKernel, KernelParamInfo};
+use lift_codegen::{compile, CompilationOptions, CompiledKernel};
 use lift_interp::{evaluate_with_sizes, Value};
 use lift_ir::prelude::*;
-use lift_vgpu::{KernelArg, LaunchConfig, LaunchResult, VirtualGpu};
+use lift_vgpu::{LaunchConfig, LaunchResult, VirtualGpu};
 
 /// Launches a compiled kernel with the given input arrays and size bindings.
 fn run_kernel(
@@ -14,39 +14,7 @@ fn run_kernel(
     sizes: &Environment,
     config: LaunchConfig,
 ) -> (Vec<f32>, LaunchResult) {
-    let out_len = kernel
-        .output_len
-        .evaluate(sizes)
-        .expect("output length must be resolvable") as usize;
-    let mut args = Vec::new();
-    let mut out_slot = None;
-    for p in &kernel.params {
-        match p {
-            KernelParamInfo::Input { index, .. } => {
-                args.push(KernelArg::Buffer(inputs[*index].clone()));
-            }
-            KernelParamInfo::ScalarInput { index, .. } => {
-                args.push(KernelArg::Float(inputs[*index][0]));
-            }
-            KernelParamInfo::Output { .. } => {
-                out_slot = Some(args.len());
-                args.push(KernelArg::zeros(out_len));
-            }
-            KernelParamInfo::Size { name } => {
-                args.push(KernelArg::Int(sizes.get(name).expect("size binding")));
-            }
-        }
-    }
-    // Count how many buffers precede the output to find its index in `buffers`.
-    let buffer_index = kernel.params[..out_slot.expect("kernel has an output")]
-        .iter()
-        .filter(|p| {
-            matches!(
-                p,
-                KernelParamInfo::Input { .. } | KernelParamInfo::Output { .. }
-            )
-        })
-        .count();
+    let (args, buffer_index) = kernel.bind_args(inputs, sizes).expect("arguments bind");
     let result = VirtualGpu::new()
         .launch(&kernel.module, &kernel.kernel_name, config, args)
         .expect("kernel executes");

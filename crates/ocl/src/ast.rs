@@ -412,6 +412,65 @@ pub struct Kernel {
     pub body: Vec<CStmt>,
 }
 
+impl Kernel {
+    /// Whether the kernel body reads any work-item function (`get_global_id`, …).
+    ///
+    /// A kernel that never consults the work-item ids computes the same result in every
+    /// thread, so the host may launch it with a single work item; stages of a multi-kernel
+    /// sequence use this to pick per-kernel launch dimensions.
+    pub fn uses_work_items(&self) -> bool {
+        fn expr(e: &CExpr) -> bool {
+            match e {
+                CExpr::IntLit(_) | CExpr::FloatLit(_) | CExpr::Var(_) | CExpr::Index(_) => false,
+                CExpr::Bin(_, a, b) | CExpr::ArrayAccess(a, b) => expr(a) || expr(b),
+                CExpr::Un(_, a) | CExpr::Field(a, _) | CExpr::Cast(_, a) => expr(a),
+                CExpr::Call(name, args) => {
+                    matches!(
+                        name.as_str(),
+                        "get_global_id"
+                            | "get_local_id"
+                            | "get_group_id"
+                            | "get_global_size"
+                            | "get_local_size"
+                            | "get_num_groups"
+                    ) || args.iter().any(expr)
+                }
+                CExpr::Ternary(a, b, c) => expr(a) || expr(b) || expr(c),
+                CExpr::StructLit(_, es) | CExpr::VectorLit(_, es) => es.iter().any(expr),
+            }
+        }
+        fn stmt(s: &CStmt) -> bool {
+            match s {
+                CStmt::Comment(_) | CStmt::Return => false,
+                // A barrier only matters when more than one work item runs, and barriers
+                // are only emitted around work-item parallel code — treat as sequential.
+                CStmt::Barrier(_) => false,
+                CStmt::Decl { init, .. } => init.as_ref().is_some_and(expr),
+                CStmt::Assign { lhs, rhs } => expr(lhs) || expr(rhs),
+                CStmt::Expr(e) => expr(e),
+                CStmt::Block(b) => b.iter().any(stmt),
+                CStmt::For {
+                    init,
+                    cond,
+                    step,
+                    body,
+                    ..
+                } => expr(init) || expr(cond) || expr(step) || body.iter().any(stmt),
+                CStmt::If {
+                    cond,
+                    then,
+                    otherwise,
+                } => {
+                    expr(cond)
+                        || then.iter().any(stmt)
+                        || otherwise.as_ref().is_some_and(|b| b.iter().any(stmt))
+                }
+            }
+        }
+        self.body.iter().any(stmt)
+    }
+}
+
 /// A non-kernel function (generated from a user function).
 #[derive(Clone, Debug, PartialEq)]
 pub struct CFunction {
@@ -434,6 +493,22 @@ pub struct StructDef {
     pub fields: Vec<(String, CType)>,
 }
 
+/// A host-allocated global buffer shared by the kernels of a multi-kernel module.
+///
+/// Multi-kernel modules (a program split at device-wide synchronisation points) communicate
+/// through global temporaries that outlive any single kernel. OpenCL has no module-level
+/// buffer declarations, so these are part of the host ABI: the host allocates one buffer of
+/// `len` elements per entry and passes it to every kernel of the sequence under `name`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TempBufferDecl {
+    /// The kernel-parameter name every kernel of the sequence binds the buffer to.
+    pub name: String,
+    /// Element type of the buffer.
+    pub elem: CType,
+    /// Number of elements (symbolic in the size variables).
+    pub len: ArithExpr,
+}
+
 /// A whole OpenCL translation unit: struct definitions, helper functions and kernels.
 #[derive(Clone, Debug, Default, PartialEq)]
 pub struct Module {
@@ -443,6 +518,9 @@ pub struct Module {
     pub functions: Vec<CFunction>,
     /// Kernels.
     pub kernels: Vec<Kernel>,
+    /// Host-allocated global temporaries shared by multi-kernel sequences (empty for
+    /// ordinary single-kernel modules).
+    pub temp_buffers: Vec<TempBufferDecl>,
 }
 
 impl Module {

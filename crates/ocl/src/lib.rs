@@ -35,7 +35,7 @@ pub mod printer;
 
 pub use ast::{
     AddrSpace, CBinOp, CExpr, CFunction, CStmt, CType, CUnOp, Fence, Kernel, KernelParam, Module,
-    StructDef,
+    StructDef, TempBufferDecl,
 };
 pub use printer::{
     print_expr, print_function, print_kernel, print_module, print_stmt, print_struct,

@@ -9,8 +9,23 @@ use crate::ast::{
 };
 
 /// Renders a whole module (structs, helper functions, kernels) as OpenCL C source.
+///
+/// Multi-kernel modules start with a comment block documenting the host ABI: the global
+/// temporaries the host must allocate and pass to every kernel of the sequence.
 pub fn print_module(module: &Module) -> String {
     let mut out = String::new();
+    if !module.temp_buffers.is_empty() {
+        out.push_str("/* host ABI: allocate and pass to every kernel of the sequence:\n");
+        for t in &module.temp_buffers {
+            out.push_str(&format!(
+                " *   global {} {}[{}];\n",
+                t.elem.name(),
+                t.name,
+                t.len
+            ));
+        }
+        out.push_str(" */\n");
+    }
     for s in &module.structs {
         out.push_str(&print_struct(s));
         out.push('\n');

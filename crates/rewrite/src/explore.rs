@@ -34,11 +34,12 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Mutex;
 
 use lift_arith::Environment;
-use lift_codegen::{compile, CompilationOptions, KernelParamInfo};
+use lift_codegen::{compile_program, CompilationOptions};
 use lift_interp::{evaluate_with_sizes, Value};
 use lift_ir::{infer_types, Program, Type, TypeError};
 use lift_vgpu::{
-    outputs_match, CostCounters, DeviceProfile, KernelArg, LaunchConfig, LaunchError, VirtualGpu,
+    estimated_sequence_time, outputs_match, CostCounters, DeviceProfile, KernelArg,
+    KernelLaunchSpec, LaunchConfig, LaunchError, VirtualGpu,
 };
 
 use crate::rules::{all_rules, RuleCx, RuleKind, RuleOptions};
@@ -118,11 +119,15 @@ pub struct Variant {
     pub program: Program,
     /// The rules that produced it, in application order.
     pub derivation: Vec<DerivationStep>,
-    /// The generated OpenCL kernel source.
+    /// The generated OpenCL source of the whole module (one kernel per stage).
     pub kernel_source: String,
-    /// Dynamic cost counters from the virtual-GPU execution.
+    /// Number of kernels the program compiled to (1 for ordinary single-kernel variants;
+    /// more when global-memory intermediates split the program into a sequence).
+    pub kernel_count: usize,
+    /// Dynamic cost counters summed over all stages of the virtual-GPU execution.
     pub counters: CostCounters,
-    /// Estimated execution time under the configured device profile (lower is better).
+    /// Estimated execution time under the configured device profile (lower is better):
+    /// per-stage work–span times summed plus one launch overhead per kernel.
     pub estimated_time: f64,
 }
 
@@ -661,7 +666,8 @@ fn value_of_type(ty: &Type, sizes: &Environment, state: &mut u32) -> Option<Valu
 struct PreparedScore {
     program: Program,
     module: lift_ocl::Module,
-    kernel_name: String,
+    /// The kernel sequence in launch order (one entry for single-kernel candidates).
+    stages: Vec<KernelLaunchSpec>,
     kernel_source: String,
     args: Vec<KernelArg>,
     output_buffer_index: usize,
@@ -695,19 +701,22 @@ fn score_all(
         .filter(|p| exec_seen.insert(p.exec_key))
         .collect();
     stats.executed_kernels = jobs.len();
-    let run = |p: &PreparedScore| -> (u64, Result<CostCounters, ScoreError>) {
-        let result = VirtualGpu::new().launch_on(
+    // What one execution yields: merged counters, the sequence's estimated time, stages.
+    type Scored = (CostCounters, f64, usize);
+    let run = |p: &PreparedScore| -> (u64, Result<Scored, ScoreError>) {
+        let result = VirtualGpu::new().launch_sequence_on(
             &config.device,
             &p.module,
-            &p.kernel_name,
-            config.launch,
+            &p.stages,
             p.args.clone(),
         );
         let verdict = match result {
             Err(_) => Err(ScoreError::Incorrect),
             Ok(result) => {
                 if outputs_match(&result.buffers[p.output_buffer_index], reference) {
-                    Ok(result.report.counters)
+                    let stage_counters = result.stage_counters();
+                    let time = estimated_sequence_time(&stage_counters, &config.device);
+                    Ok((result.merged_counters(), time, p.stages.len()))
                 } else {
                     Err(ScoreError::Incorrect)
                 }
@@ -715,22 +724,21 @@ fn score_all(
         };
         (p.exec_key, verdict)
     };
-    let executed: HashMap<u64, Result<CostCounters, ScoreError>> =
-        if workers <= 1 || jobs.len() <= 1 {
-            jobs.iter().map(|p| run(p)).collect()
-        } else {
-            let chunk = jobs.len().div_ceil(workers);
-            std::thread::scope(|s| {
-                let handles: Vec<_> = jobs
-                    .chunks(chunk)
-                    .map(|part| s.spawn(move || part.iter().map(|p| run(p)).collect::<Vec<_>>()))
-                    .collect();
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("scoring worker panicked"))
-                    .collect()
-            })
-        };
+    let executed: HashMap<u64, Result<Scored, ScoreError>> = if workers <= 1 || jobs.len() <= 1 {
+        jobs.iter().map(|p| run(p)).collect()
+    } else {
+        let chunk = jobs.len().div_ceil(workers);
+        std::thread::scope(|s| {
+            let handles: Vec<_> = jobs
+                .chunks(chunk)
+                .map(|part| s.spawn(move || part.iter().map(|p| run(p)).collect::<Vec<_>>()))
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("scoring worker panicked"))
+                .collect()
+        })
+    };
 
     // Stage 3 (serial): per-candidate verdicts in candidate order.
     let mut variants: Vec<Variant> = Vec::new();
@@ -739,12 +747,13 @@ fn score_all(
             Err(ScoreError::Compile) => stats.rejected_compile += 1,
             Err(ScoreError::Incorrect) => stats.rejected_incorrect += 1,
             Ok(p) => match executed.get(&p.exec_key) {
-                Some(Ok(counters)) => variants.push(Variant {
+                Some(Ok((counters, time, kernel_count))) => variants.push(Variant {
                     program: p.program,
                     derivation: cand.steps.clone(),
                     kernel_source: p.kernel_source,
+                    kernel_count: *kernel_count,
                     counters: *counters,
-                    estimated_time: counters.estimated_time(&config.device),
+                    estimated_time: *time,
                 }),
                 _ => stats.rejected_incorrect += 1,
             },
@@ -773,37 +782,14 @@ fn prepare_score(
         .compile_options
         .clone()
         .with_launch(config.launch.global, config.launch.local);
-    let kernel = compile(&program, &options).map_err(|_| ScoreError::Compile)?;
-    let out_len = kernel
-        .output_len
-        .evaluate(&config.sizes)
-        .map_err(|_| ScoreError::Compile)? as usize;
+    let compiled = compile_program(&program, &options).map_err(|_| ScoreError::Compile)?;
+    let input_buffers: Vec<Vec<f32>> = inputs.iter().map(|i| i.buffer.clone()).collect();
+    let (args, output_buffer_index) = compiled
+        .bind_args(&input_buffers, &config.sizes)
+        .map_err(|_| ScoreError::Compile)?;
 
-    let mut args = Vec::new();
-    let mut output_buffer_index = 0;
-    let mut buffers = 0;
-    for p in &kernel.params {
-        match p {
-            KernelParamInfo::Input { index, .. } => {
-                args.push(KernelArg::Buffer(inputs[*index].buffer.clone()));
-                buffers += 1;
-            }
-            KernelParamInfo::ScalarInput { index, .. } => {
-                args.push(KernelArg::Float(inputs[*index].buffer[0]));
-            }
-            KernelParamInfo::Output { .. } => {
-                output_buffer_index = buffers;
-                args.push(KernelArg::zeros(out_len));
-                buffers += 1;
-            }
-            KernelParamInfo::Size { name } => {
-                let v = config.sizes.get(name).ok_or(ScoreError::Compile)?;
-                args.push(KernelArg::Int(v));
-            }
-        }
-    }
-
-    let kernel_source = kernel.source();
+    let stages = compiled.launch_plan(config.launch);
+    let kernel_source = compiled.source();
     let mut h = StableHasher::new();
     h.write(kernel_source.as_bytes());
     for arg in &args {
@@ -827,8 +813,8 @@ fn prepare_score(
     }
     Ok(PreparedScore {
         program,
-        module: kernel.module,
-        kernel_name: kernel.kernel_name,
+        module: compiled.module,
+        stages,
         kernel_source,
         args,
         output_buffer_index,

@@ -756,10 +756,12 @@ fn wrap_to_local(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
     wrap_in(site, TermFun::ToLocal)
 }
 
-/// `mapSeq/reduceSeq f` → `toGlobal(…)`: write the result to global memory (inside a work
-/// group, where the default would be local).
+/// `mapSeq/reduceSeq f` → `toGlobal(…)`: write the result to global memory. Inside a work
+/// group (where the default would be local), and inside a `mapGlb` — a work item publishing
+/// its partial result to global memory is how a first kernel feeds a second, device-wide
+/// stage (the kernel boundary is the device-wide synchronisation point).
 fn wrap_to_global(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
-    if !cx.context.in_work_group() {
+    if !cx.context.in_work_group() && !cx.context.inside_glb {
         return Vec::new();
     }
     wrap_in(site, TermFun::ToGlobal)

@@ -48,12 +48,28 @@ impl Workload {
         }
     }
 
-    /// The three workloads the `autotune_stats` trajectory tracks.
+    /// The *full* dot product (`n = 1024`): partial sums reduced to a single value. The
+    /// final reduction needs a device-wide synchronisation point, so lowering it either
+    /// serialises into one kernel or derives the two-stage schedule (`mapGlb` partial sums
+    /// staged in global memory feeding a second kernel-level reduce) that compiles to a
+    /// multi-kernel sequence — the single- vs multi-stage trade-off the launch-overhead
+    /// cost term makes the tuner weigh.
+    pub fn dot_product_two_stage() -> Workload {
+        Workload {
+            name: "dot_product_two_stage",
+            program: dot_product::high_level_full_program(1024),
+            // Stage 1 parallelism: one work item per 128-element chunk.
+            parallelism: 1024 / 128,
+        }
+    }
+
+    /// The workloads the `autotune_stats` trajectory tracks.
     pub fn all() -> Vec<Workload> {
         vec![
             Workload::dot_product(),
             Workload::matrix_multiply(),
             Workload::nbody(),
+            Workload::dot_product_two_stage(),
         ]
     }
 

@@ -132,6 +132,19 @@ impl ExecutionReport {
     }
 }
 
+/// Estimated execution time of a *sequence* of kernel launches (a multi-kernel program).
+///
+/// Sequential launches compose by addition — each stage's work–span time is summed, not
+/// merged (merging would take the max of the per-stage critical paths, which models
+/// *concurrent* work groups, see [`CostCounters::merge`]) — plus the device's fixed
+/// [`DeviceProfile::launch_overhead`] once per stage. A single-stage sequence therefore
+/// costs its kernel time plus one launch overhead, so single- and multi-kernel programs
+/// are compared under the same model.
+pub fn estimated_sequence_time(stages: &[CostCounters], device: &DeviceProfile) -> f64 {
+    stages.iter().map(|c| c.estimated_time(device)).sum::<f64>()
+        + stages.len() as f64 * device.launch_overhead
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

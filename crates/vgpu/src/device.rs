@@ -165,6 +165,13 @@ pub struct DeviceProfile {
     pub loop_overhead: f64,
     /// Discount factor applied to vectorised memory operations (0.0–1.0; lower is cheaper).
     pub vector_access_discount: f64,
+    /// Fixed cost per kernel launch (driver dispatch + device-wide synchronisation).
+    ///
+    /// Multi-kernel programs pay this once per stage, which is what makes the single- vs
+    /// multi-stage decision a real trade-off for the auto-tuner: splitting buys parallelism
+    /// in the first stage but pays an extra launch for every device-wide synchronisation
+    /// point.
+    pub launch_overhead: f64,
 }
 
 impl DeviceProfile {
@@ -187,6 +194,7 @@ impl DeviceProfile {
             barrier_cost: 20.0,
             loop_overhead: 2.0,
             vector_access_discount: 0.85,
+            launch_overhead: 800.0,
         }
     }
 
@@ -209,6 +217,7 @@ impl DeviceProfile {
             barrier_cost: 30.0,
             loop_overhead: 2.5,
             vector_access_discount: 0.7,
+            launch_overhead: 1200.0,
         }
     }
 

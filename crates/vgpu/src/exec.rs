@@ -98,6 +98,18 @@ pub enum VgpuError {
     /// The launch configuration violates the target device's limits
     /// (see [`DeviceProfile::validate_launch`]).
     InvalidLaunch(LaunchError),
+    /// A `barrier()` was reached by only part of a work group (it sits inside a
+    /// lane-divergent branch or loop). OpenCL leaves this undefined; a real device would
+    /// hang or corrupt memory, so the virtual GPU reports it instead of silently
+    /// synchronising whichever subset happened to arrive.
+    DivergentBarrier {
+        /// The work-group id in which the divergent barrier executed.
+        group: [usize; 3],
+        /// Work items of the group that reached the barrier.
+        arrived: usize,
+        /// Live (non-returned) work items of the group.
+        expected: usize,
+    },
 }
 
 impl fmt::Display for VgpuError {
@@ -120,6 +132,15 @@ impl fmt::Display for VgpuError {
             VgpuError::InvalidStore(e) => write!(f, "cannot store value: {e}"),
             VgpuError::DivisionByZero => write!(f, "division by zero in index expression"),
             VgpuError::InvalidLaunch(e) => write!(f, "invalid launch configuration: {e}"),
+            VgpuError::DivergentBarrier {
+                group,
+                arrived,
+                expected,
+            } => write!(
+                f,
+                "barrier reached by only {arrived} of {expected} work items of group \
+                 {group:?} (undefined behaviour in OpenCL)"
+            ),
         }
     }
 }
@@ -134,6 +155,58 @@ pub struct LaunchResult {
     pub buffers: Vec<Vec<f32>>,
     /// Dynamic execution counters.
     pub report: ExecutionReport,
+}
+
+/// One stage of a multi-kernel launch plan: which kernel to run and under which ND-range.
+///
+/// Multi-kernel programs (see `lift-codegen`'s `CompiledProgram`) share a single argument
+/// list across every kernel of the sequence, so a stage needs no per-stage argument mapping —
+/// only the kernel name and its launch dimensions (a sequential stage typically runs as a
+/// single work item).
+#[derive(Clone, Debug, PartialEq)]
+pub struct KernelLaunchSpec {
+    /// Name of the kernel in the module.
+    pub kernel: String,
+    /// The ND-range this stage is launched with.
+    pub launch: LaunchConfig,
+}
+
+/// The result of executing a kernel sequence: the final state of the shared buffer pool and
+/// one execution report per stage.
+#[derive(Clone, Debug, PartialEq)]
+pub struct SequenceResult {
+    /// Global buffers after the last stage, in the order the buffer arguments were passed.
+    pub buffers: Vec<Vec<f32>>,
+    /// Per-stage execution reports, in launch order.
+    pub reports: Vec<ExecutionReport>,
+}
+
+impl SequenceResult {
+    /// Per-stage cost counters, in launch order.
+    pub fn stage_counters(&self) -> Vec<CostCounters> {
+        self.reports.iter().map(|r| r.counters).collect()
+    }
+
+    /// Counters summed over all stages (for reporting; use [`SequenceResult::estimated_time`]
+    /// for ranking — sequential spans add, they do not merge).
+    pub fn merged_counters(&self) -> CostCounters {
+        let mut total = CostCounters::default();
+        let mut span = 0;
+        for r in &self.reports {
+            span += r.counters.group_span_rows;
+            total.merge(&r.counters);
+        }
+        // Sequential stages cannot overlap: the critical path is the sum of the per-stage
+        // critical paths, not their maximum.
+        total.group_span_rows = span;
+        total
+    }
+
+    /// Estimated execution time of the whole sequence on `device`: the per-stage work–span
+    /// times summed, plus one [`DeviceProfile::launch_overhead`] per stage.
+    pub fn estimated_time(&self, device: &DeviceProfile) -> f64 {
+        crate::cost::estimated_sequence_time(&self.stage_counters(), device)
+    }
 }
 
 /// The virtual GPU.
@@ -168,6 +241,78 @@ impl VirtualGpu {
             .validate_launch(&config)
             .map_err(VgpuError::InvalidLaunch)?;
         self.launch(module, kernel_name, config, args)
+    }
+
+    /// Executes a sequence of kernels against a persistent pool of arguments.
+    ///
+    /// Every stage receives the *whole* pool in order (the shared-signature ABI of
+    /// multi-kernel programs: unused parameters are harmless), and the buffers a stage
+    /// modifies are visible to the following stages — this is how global-memory
+    /// intermediates flow across the device-wide synchronisation points a kernel boundary
+    /// represents.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first stage's [`VgpuError`], if any.
+    pub fn launch_sequence(
+        &self,
+        module: &Module,
+        stages: &[KernelLaunchSpec],
+        mut pool: Vec<KernelArg>,
+    ) -> Result<SequenceResult, VgpuError> {
+        let mut reports = Vec::with_capacity(stages.len());
+        for stage in stages {
+            // Move the buffers into the stage's arguments (the launch returns every global
+            // buffer), so a sequence never copies buffer contents between stages.
+            let args: Vec<KernelArg> = pool
+                .iter_mut()
+                .map(|a| match a {
+                    KernelArg::Buffer(b) => KernelArg::Buffer(std::mem::take(b)),
+                    KernelArg::Int(v) => KernelArg::Int(*v),
+                    KernelArg::Float(v) => KernelArg::Float(*v),
+                })
+                .collect();
+            let result = self.launch(module, &stage.kernel, stage.launch, args)?;
+            let mut buffers = result.buffers.into_iter();
+            for arg in pool.iter_mut() {
+                if let KernelArg::Buffer(b) = arg {
+                    *b = buffers
+                        .next()
+                        .expect("launch returns one buffer per buffer arg");
+                }
+            }
+            reports.push(result.report);
+        }
+        let buffers = pool
+            .into_iter()
+            .filter_map(|a| match a {
+                KernelArg::Buffer(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        Ok(SequenceResult { buffers, reports })
+    }
+
+    /// Like [`VirtualGpu::launch_sequence`], after validating every stage's launch against
+    /// the limits of `device`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VgpuError::InvalidLaunch`] if any stage's launch violates the device, and
+    /// any [`VgpuError`] of the execution otherwise.
+    pub fn launch_sequence_on(
+        &self,
+        device: &DeviceProfile,
+        module: &Module,
+        stages: &[KernelLaunchSpec],
+        pool: Vec<KernelArg>,
+    ) -> Result<SequenceResult, VgpuError> {
+        for stage in stages {
+            device
+                .validate_launch(&stage.launch)
+                .map_err(VgpuError::InvalidLaunch)?;
+        }
+        self.launch_sequence(module, stages, pool)
     }
 
     /// Launches `kernel_name` from `module` over the given ND-range.
@@ -766,6 +911,21 @@ impl Exec {
                 Ok(())
             }
             SStmt::Barrier => {
+                // OpenCL requires a barrier to be reached by every live work item of the
+                // group. A barrier under a lane-divergent branch or loop is undefined
+                // behaviour on real hardware — report it instead of silently synchronising
+                // the subset that arrived.
+                let arrived = (0..threads.len())
+                    .filter(|&i| self.active(threads, mask, i))
+                    .count();
+                let expected = threads.iter().filter(|t| !t.returned).count();
+                if arrived != expected {
+                    return Err(VgpuError::DivergentBarrier {
+                        group: group.id,
+                        arrived,
+                        expected,
+                    });
+                }
                 self.counters.barriers += 1;
                 Ok(())
             }
@@ -1894,6 +2054,190 @@ mod tests {
         );
         assert!(strided.report.counters.uncoalesced_accesses > 0);
         assert_eq!(coalesced.report.counters.uncoalesced_accesses, 0);
+    }
+
+    #[test]
+    fn divergent_barrier_is_a_typed_error() {
+        // barrier() inside a lane-dependent branch: undefined behaviour in OpenCL, a typed
+        // error here.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "bad".into(),
+            params: vec![KernelParam {
+                name: "out".into(),
+                ty: CType::pointer(CType::Float, AddrSpace::Global),
+            }],
+            body: vec![CStmt::If {
+                cond: CExpr::local_id(0).lt(CExpr::int(4)),
+                then: vec![CStmt::Barrier(Fence::local())],
+                otherwise: None,
+            }],
+        });
+        let err = VirtualGpu::new()
+            .launch(&m, "bad", LaunchConfig::d1(8, 8), vec![KernelArg::zeros(8)])
+            .unwrap_err();
+        assert_eq!(
+            err,
+            VgpuError::DivergentBarrier {
+                group: [0, 0, 0],
+                arrived: 4,
+                expected: 8,
+            }
+        );
+    }
+
+    #[test]
+    fn group_uniform_branch_barrier_is_fine() {
+        // The same barrier guarded by a *group-uniform* condition is well-defined: every
+        // work item of a group takes the same branch.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "ok".into(),
+            params: vec![KernelParam {
+                name: "out".into(),
+                ty: CType::pointer(CType::Float, AddrSpace::Global),
+            }],
+            body: vec![CStmt::If {
+                cond: CExpr::group_id(0).lt(CExpr::int(1)),
+                then: vec![CStmt::Barrier(Fence::local())],
+                otherwise: None,
+            }],
+        });
+        let result = VirtualGpu::new()
+            .launch(&m, "ok", LaunchConfig::d1(16, 8), vec![KernelArg::zeros(8)])
+            .expect("uniform barrier executes");
+        assert_eq!(result.report.counters.barriers, 1);
+    }
+
+    #[test]
+    fn barrier_in_a_divergent_loop_is_a_typed_error() {
+        // Threads loop a lane-dependent number of rounds; a barrier in the body is reached
+        // by progressively fewer threads.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "loopy".into(),
+            params: vec![KernelParam {
+                name: "out".into(),
+                ty: CType::pointer(CType::Float, AddrSpace::Global),
+            }],
+            body: vec![CStmt::For {
+                var: "i".into(),
+                init: CExpr::int(0),
+                cond: CExpr::var("i").lt(CExpr::local_id(0)),
+                step: CExpr::int(1),
+                body: vec![CStmt::Barrier(Fence::local())],
+            }],
+        });
+        let err = VirtualGpu::new()
+            .launch(
+                &m,
+                "loopy",
+                LaunchConfig::d1(4, 4),
+                vec![KernelArg::zeros(4)],
+            )
+            .unwrap_err();
+        assert!(matches!(err, VgpuError::DivergentBarrier { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn kernel_sequence_shares_buffers_across_stages() {
+        // Stage 1 (parallel): tmp[gid] = in[gid] * 2. Stage 2 (single item): out[0] = sum(tmp).
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "scale".into(),
+            params: vec![
+                KernelParam {
+                    name: "in".into(),
+                    ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "tmp".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+            ],
+            body: vec![CStmt::Assign {
+                lhs: CExpr::var("tmp").at(CExpr::global_id(0)),
+                rhs: CExpr::var("in")
+                    .at(CExpr::global_id(0))
+                    .mul(CExpr::float(2.0)),
+            }],
+        });
+        m.kernels.push(Kernel {
+            name: "sum".into(),
+            // Same signature: the shared-pool ABI passes every argument to every stage.
+            params: m.kernels[0].params.clone(),
+            body: vec![
+                CStmt::Decl {
+                    ty: CType::Float,
+                    name: "acc".into(),
+                    addr: None,
+                    array_len: None,
+                    init: Some(CExpr::float(0.0)),
+                },
+                CStmt::For {
+                    var: "i".into(),
+                    init: CExpr::int(0),
+                    cond: CExpr::var("i").lt(CExpr::int(8)),
+                    step: CExpr::int(1),
+                    body: vec![CStmt::Assign {
+                        lhs: CExpr::var("acc"),
+                        rhs: CExpr::var("acc").add(CExpr::var("tmp").at(CExpr::var("i"))),
+                    }],
+                },
+                CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::int(0)),
+                    rhs: CExpr::var("acc"),
+                },
+            ],
+        });
+        assert!(m.kernels[0].uses_work_items());
+        assert!(!m.kernels[1].uses_work_items());
+
+        let input: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let pool = vec![
+            KernelArg::Buffer(input),
+            KernelArg::zeros(1),
+            KernelArg::zeros(8),
+        ];
+        let stages = vec![
+            KernelLaunchSpec {
+                kernel: "scale".into(),
+                launch: LaunchConfig::d1(8, 4),
+            },
+            KernelLaunchSpec {
+                kernel: "sum".into(),
+                launch: LaunchConfig::d1(1, 1),
+            },
+        ];
+        let device = crate::DeviceProfile::nvidia();
+        let result = VirtualGpu::new()
+            .launch_sequence_on(&device, &m, &stages, pool)
+            .expect("sequence runs");
+        // 2 * (0 + 1 + ... + 7) = 56.
+        assert_eq!(result.buffers[1], vec![56.0]);
+        assert_eq!(result.reports.len(), 2);
+        // Sequential composition: the sequence costs the stage times plus one launch
+        // overhead per stage.
+        let split: f64 = result
+            .reports
+            .iter()
+            .map(|r| r.estimated_time(&device))
+            .sum();
+        let expected = split + 2.0 * device.launch_overhead;
+        assert!((result.estimated_time(&device) - expected).abs() < 1e-9);
+        // Merged counters sum the per-stage spans (sequential stages cannot overlap).
+        assert_eq!(
+            result.merged_counters().group_span_rows,
+            result
+                .reports
+                .iter()
+                .map(|r| r.counters.group_span_rows)
+                .sum::<u64>()
+        );
     }
 
     #[test]

@@ -21,9 +21,9 @@ mod device;
 mod exec;
 mod memory;
 
-pub use cost::{CostCounters, ExecutionReport};
+pub use cost::{estimated_sequence_time, CostCounters, ExecutionReport};
 pub use device::{DeviceProfile, LaunchConfig, LaunchError};
-pub use exec::{LaunchResult, VgpuError, VirtualGpu};
+pub use exec::{KernelLaunchSpec, LaunchResult, SequenceResult, VgpuError, VirtualGpu};
 pub use memory::{GpuValue, KernelArg, Ptr};
 
 /// The workspace-wide tolerance policy for comparing a kernel's output buffer against a

@@ -4,8 +4,8 @@
 //! Run with `cargo run --release --example dot_product`.
 
 use lift::benchmarks::dot_product;
-use lift::codegen::{compile, CompilationOptions, KernelParamInfo};
-use lift::vgpu::{DeviceProfile, KernelArg, LaunchConfig, VirtualGpu};
+use lift::codegen::{compile, CompilationOptions};
+use lift::vgpu::{DeviceProfile, LaunchConfig, VirtualGpu};
 
 fn main() {
     let n = 16 * 1024;
@@ -24,22 +24,9 @@ fn main() {
     // Prepare inputs and launch.
     let x: Vec<f32> = (0..n).map(|i| ((i % 17) as f32) * 0.25).collect();
     let y: Vec<f32> = (0..n).map(|i| ((i % 29) as f32) - 14.0).collect();
-    let mut args = Vec::new();
-    for p in &kernel.params {
-        match p {
-            KernelParamInfo::Input { index, .. } => {
-                args.push(KernelArg::Buffer(if *index == 0 {
-                    x.clone()
-                } else {
-                    y.clone()
-                }));
-            }
-            KernelParamInfo::Output { .. } => args.push(KernelArg::zeros(n / 128)),
-            KernelParamInfo::Size { .. } | KernelParamInfo::ScalarInput { .. } => {
-                args.push(KernelArg::Int(n as i64));
-            }
-        }
-    }
+    let (args, out_idx) = kernel
+        .bind_args(&[x.clone(), y.clone()], &Default::default())
+        .expect("arguments bind");
     let result = VirtualGpu::new()
         .launch(&kernel.module, &kernel.kernel_name, launch, args)
         .expect("runs");
@@ -47,7 +34,7 @@ fn main() {
     // The kernel produces one partial sum per work group; finish the reduction on the host,
     // exactly as the paper does ("we omit a second kernel which sums up all intermediate
     // results").
-    let partials = &result.buffers[2];
+    let partials = &result.buffers[out_idx];
     let total: f32 = partials.iter().sum();
     let expected: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
     println!("dot product = {total} (host reference {expected})");

@@ -5,11 +5,11 @@
 //! high-level program and for the derived variant itself (the rules are semantics-preserving,
 //! so the two references coincide).
 
-use lift::codegen::{compile, CompilationOptions, KernelParamInfo};
+use lift::codegen::{compile_program, CompilationOptions};
 use lift::interp::{evaluate, Value};
 use lift::ir::prelude::*;
 use lift::rewrite::{explore, ExplorationConfig, RuleOptions};
-use lift::vgpu::{KernelArg, LaunchConfig, VirtualGpu};
+use lift::vgpu::{LaunchConfig, VirtualGpu};
 use proptest::prelude::*;
 
 /// High-level partial dot product over `n` elements in chunks of 32.
@@ -41,33 +41,12 @@ fn high_level_dot(n: usize) -> Program {
 
 fn run_variant_on_vgpu(program: &Program, inputs: &[Vec<f32>], launch: LaunchConfig) -> Vec<f32> {
     let options = CompilationOptions::all_optimisations().with_launch(launch.global, launch.local);
-    let kernel = compile(program, &options).expect("derived variant compiles");
-    let out_len = kernel
-        .output_len
-        .evaluate(&Default::default())
-        .expect("constant output length") as usize;
-    let mut args = Vec::new();
-    let mut out_idx = 0;
-    let mut buffers = 0;
-    for p in &kernel.params {
-        match p {
-            KernelParamInfo::Input { index, .. } => {
-                args.push(KernelArg::Buffer(inputs[*index].clone()));
-                buffers += 1;
-            }
-            KernelParamInfo::ScalarInput { index, .. } => {
-                args.push(KernelArg::Float(inputs[*index][0]));
-            }
-            KernelParamInfo::Output { .. } => {
-                out_idx = buffers;
-                args.push(KernelArg::zeros(out_len));
-                buffers += 1;
-            }
-            KernelParamInfo::Size { .. } => args.push(KernelArg::Int(0)),
-        }
-    }
+    let compiled = compile_program(program, &options).expect("derived variant compiles");
+    let (args, out_idx) = compiled
+        .bind_args(inputs, &Default::default())
+        .expect("arguments bind");
     let result = VirtualGpu::new()
-        .launch(&kernel.module, &kernel.kernel_name, launch, args)
+        .launch_sequence(&compiled.module, &compiled.launch_plan(launch), args)
         .expect("derived variant executes");
     result.buffers[out_idx].clone()
 }

@@ -8,10 +8,10 @@
 //! the kind of view compositions whose index generation (Section 5.3) is the subtle part of
 //! the compiler.
 
-use lift::codegen::{compile, CompilationOptions, KernelParamInfo};
+use lift::codegen::{compile, CompilationOptions};
 use lift::interp::{evaluate, Value};
 use lift::ir::prelude::*;
-use lift::vgpu::{KernelArg, LaunchConfig, VirtualGpu};
+use lift::vgpu::{LaunchConfig, VirtualGpu};
 use lift_arith::ArithExpr;
 use proptest::prelude::*;
 
@@ -92,25 +92,9 @@ fn run_compiled(program: &Program, input: &[f32], simplify: bool) -> Vec<f32> {
     }
     .with_launch_1d(input.len(), 32);
     let kernel = compile(program, &options).expect("pipeline compiles");
-    let mut args = Vec::new();
-    let mut out_index = 0;
-    let mut buffers = 0;
-    for p in &kernel.params {
-        match p {
-            KernelParamInfo::Input { .. } => {
-                args.push(KernelArg::Buffer(input.to_vec()));
-                buffers += 1;
-            }
-            KernelParamInfo::Output { .. } => {
-                out_index = buffers;
-                args.push(KernelArg::zeros(input.len()));
-                buffers += 1;
-            }
-            KernelParamInfo::ScalarInput { .. } | KernelParamInfo::Size { .. } => {
-                args.push(KernelArg::Int(input.len() as i64));
-            }
-        }
-    }
+    let (args, out_index) = kernel
+        .bind_args(&[input.to_vec()], &Default::default())
+        .expect("arguments bind");
     let result = VirtualGpu::new()
         .launch(
             &kernel.module,
