@@ -44,6 +44,13 @@ pub(crate) fn lower_bound(e: &ArithExpr) -> Option<ArithExpr> {
                 None
             }
         }
+        // min(a, b) >= min(lb(a), lb(b)); only the constant case is decidable here.
+        ArithExpr::Min(a, b) => match (lower_bound(a)?.as_cst(), lower_bound(b)?.as_cst()) {
+            (Some(x), Some(y)) => Some(ArithExpr::Cst(x.min(y))),
+            _ => None,
+        },
+        // max(a, b) >= lb of either side; prefer whichever is derivable.
+        ArithExpr::Max(a, b) => lower_bound(a).or_else(|| lower_bound(b)),
     }
 }
 
@@ -97,6 +104,13 @@ pub(crate) fn upper_bound(e: &ArithExpr) -> Option<ArithExpr> {
                 None
             }
         }
+        // min(a, b) <= ub of either side; prefer whichever is derivable.
+        ArithExpr::Min(a, b) => upper_bound(a).or_else(|| upper_bound(b)),
+        // max(a, b) <= max(ub(a), ub(b)); only the constant case is decidable here.
+        ArithExpr::Max(a, b) => match (upper_bound(a)?.as_cst(), upper_bound(b)?.as_cst()) {
+            (Some(x), Some(y)) => Some(ArithExpr::Cst(x.max(y))),
+            _ => None,
+        },
     }
 }
 
@@ -160,6 +174,8 @@ pub(crate) fn is_non_negative(e: &ArithExpr) -> bool {
             }
         }
         ArithExpr::IntDiv(x, y) | ArithExpr::Mod(x, y) => is_non_negative(x) && is_non_negative(y),
+        ArithExpr::Min(a, b) => is_non_negative(a) && is_non_negative(b),
+        ArithExpr::Max(a, b) => is_non_negative(a) || is_non_negative(b),
         ArithExpr::Pow(b, e) => is_non_negative(b) || e % 2 == 0,
     }
 }

@@ -30,6 +30,11 @@ pub enum ArithExpr {
     Mod(Box<ArithExpr>, Box<ArithExpr>),
     /// A power with a constant non-negative exponent.
     Pow(Box<ArithExpr>, u32),
+    /// The smaller of two expressions (OpenCL's integer `min` builtin). Used by the `pad`
+    /// boundary views to clamp indices into range.
+    Min(Box<ArithExpr>, Box<ArithExpr>),
+    /// The larger of two expressions (OpenCL's integer `max` builtin).
+    Max(Box<ArithExpr>, Box<ArithExpr>),
 }
 
 /// The inclusive-lower / exclusive-upper value range of a [`Var`].
@@ -220,6 +225,18 @@ impl ArithExpr {
         simplify::make_mod(self, m)
     }
 
+    /// The smaller of `self` and `other`, folding constants and using the range analysis to
+    /// drop the comparison when one side is provably no larger than the other.
+    pub fn min_of(self, other: ArithExpr) -> Self {
+        simplify::make_min(self, other)
+    }
+
+    /// The larger of `self` and `other`, folding constants and using the range analysis to
+    /// drop the comparison when one side is provably no smaller than the other.
+    pub fn max_of(self, other: ArithExpr) -> Self {
+        simplify::make_max(self, other)
+    }
+
     /// Collects all variables appearing in the expression.
     pub fn vars(&self) -> Vec<Var> {
         let mut out = Vec::new();
@@ -238,7 +255,10 @@ impl ArithExpr {
                     t.collect_vars(out);
                 }
             }
-            ArithExpr::IntDiv(a, b) | ArithExpr::Mod(a, b) => {
+            ArithExpr::IntDiv(a, b)
+            | ArithExpr::Mod(a, b)
+            | ArithExpr::Min(a, b)
+            | ArithExpr::Max(a, b) => {
                 a.collect_vars(out);
                 b.collect_vars(out);
             }
@@ -260,7 +280,10 @@ impl ArithExpr {
             ArithExpr::Sum(ts) | ArithExpr::Prod(ts) => {
                 1 + ts.iter().map(|t| t.node_count()).sum::<usize>()
             }
-            ArithExpr::IntDiv(a, b) | ArithExpr::Mod(a, b) => 1 + a.node_count() + b.node_count(),
+            ArithExpr::IntDiv(a, b)
+            | ArithExpr::Mod(a, b)
+            | ArithExpr::Min(a, b)
+            | ArithExpr::Max(a, b) => 1 + a.node_count() + b.node_count(),
             ArithExpr::Pow(b, _) => 1 + b.node_count(),
         }
     }
@@ -274,7 +297,10 @@ impl ArithExpr {
             ArithExpr::Sum(ts) | ArithExpr::Prod(ts) => {
                 ts.len().saturating_sub(1) + ts.iter().map(|t| t.op_count()).sum::<usize>()
             }
-            ArithExpr::IntDiv(a, b) | ArithExpr::Mod(a, b) => 1 + a.op_count() + b.op_count(),
+            ArithExpr::IntDiv(a, b)
+            | ArithExpr::Mod(a, b)
+            | ArithExpr::Min(a, b)
+            | ArithExpr::Max(a, b) => 1 + a.op_count() + b.op_count(),
             ArithExpr::Pow(b, e) => (*e as usize).saturating_sub(1) + b.op_count(),
         }
     }
@@ -290,6 +316,7 @@ impl ArithExpr {
             ArithExpr::IntDiv(a, b) | ArithExpr::Mod(a, b) => {
                 1 + a.div_mod_count() + b.div_mod_count()
             }
+            ArithExpr::Min(a, b) | ArithExpr::Max(a, b) => a.div_mod_count() + b.div_mod_count(),
             ArithExpr::Pow(b, _) => b.div_mod_count(),
         }
     }

@@ -116,6 +116,23 @@ impl CPrinter {
                 let repeated = vec![base; *e as usize];
                 (repeated.join(" * "), Prec::Mul)
             }
+            // OpenCL C provides integer `min`/`max` builtins; a call is an atom.
+            ArithExpr::Min(a, b) => (
+                format!(
+                    "min({}, {})",
+                    self.print_prec(a, Prec::Add),
+                    self.print_prec(b, Prec::Add)
+                ),
+                Prec::Atom,
+            ),
+            ArithExpr::Max(a, b) => (
+                format!(
+                    "max({}, {})",
+                    self.print_prec(a, Prec::Add),
+                    self.print_prec(b, Prec::Add)
+                ),
+                Prec::Atom,
+            ),
         };
         if prec < outer {
             format!("({s})")

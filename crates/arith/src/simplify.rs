@@ -419,6 +419,75 @@ pub(crate) fn make_mod(x: ArithExpr, m: ArithExpr) -> ArithExpr {
     ArithExpr::Mod(Box::new(x), Box::new(m))
 }
 
+/// Returns `true` when `a <= b` is provable: the difference folds to a non-negative
+/// constant, or the bounds analysis closes the gap (`ub(a) <= b`, `a <= lb(b)` or
+/// `ub(a) <= lb(b)`).
+pub(crate) fn is_at_most(a: &ArithExpr, b: &ArithExpr) -> bool {
+    if a == b {
+        return true;
+    }
+    let non_negative = |e: ArithExpr| matches!(e.as_cst(), Some(c) if c >= 0);
+    let gap = |lo: &ArithExpr, hi: &ArithExpr| {
+        make_sum(vec![
+            hi.clone(),
+            make_prod(vec![ArithExpr::Cst(-1), lo.clone()]),
+        ])
+    };
+    if non_negative(gap(a, b)) {
+        return true;
+    }
+    let ub_a = bounds::upper_bound(a);
+    let lb_b = bounds::lower_bound(b);
+    if let Some(ub_a) = &ub_a {
+        if non_negative(gap(ub_a, b)) {
+            return true;
+        }
+    }
+    if let Some(lb_b) = &lb_b {
+        if non_negative(gap(a, lb_b)) {
+            return true;
+        }
+    }
+    if let (Some(ub_a), Some(lb_b)) = (&ub_a, &lb_b) {
+        if non_negative(gap(ub_a, lb_b)) {
+            return true;
+        }
+    }
+    false
+}
+
+/// Builds a normalised `min`: constants fold, equal sides collapse, and a provable ordering
+/// (via the range analysis) drops the comparison entirely. The remaining node keeps its
+/// operands in canonical order so `min(a, b)` and `min(b, a)` compare equal.
+pub(crate) fn make_min(a: ArithExpr, b: ArithExpr) -> ArithExpr {
+    if let (Some(x), Some(y)) = (a.as_cst(), b.as_cst()) {
+        return ArithExpr::Cst(x.min(y));
+    }
+    if is_at_most(&a, &b) {
+        return a;
+    }
+    if is_at_most(&b, &a) {
+        return b;
+    }
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    ArithExpr::Min(Box::new(lo), Box::new(hi))
+}
+
+/// Builds a normalised `max` (the dual of [`make_min`]).
+pub(crate) fn make_max(a: ArithExpr, b: ArithExpr) -> ArithExpr {
+    if let (Some(x), Some(y)) = (a.as_cst(), b.as_cst()) {
+        return ArithExpr::Cst(x.max(y));
+    }
+    if is_at_most(&a, &b) {
+        return b;
+    }
+    if is_at_most(&b, &a) {
+        return a;
+    }
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    ArithExpr::Max(Box::new(lo), Box::new(hi))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -560,6 +629,26 @@ mod tests {
     fn exact_div_of_sum() {
         let e = n() * 2 + m() * n();
         assert_eq!(exact_div(&e, &n()), Some(A::cst(2) + m()));
+    }
+
+    #[test]
+    fn min_max_fold_and_use_ranges() {
+        let n = n();
+        let l = lid(n.clone());
+        // Constants fold.
+        assert_eq!(make_min(A::cst(3), A::cst(5)), A::cst(3));
+        assert_eq!(make_max(A::cst(3), A::cst(5)), A::cst(5));
+        // Equal sides collapse.
+        assert_eq!(make_min(n.clone(), n.clone()), n.clone());
+        // l_id in [0, N): max(0, l_id) = l_id and min(l_id, N - 1) = l_id.
+        assert_eq!(make_max(A::cst(0), l.clone()), l);
+        assert_eq!(make_min(l.clone(), n.clone() - 1), l);
+        // Unprovable comparisons keep a canonical node regardless of argument order.
+        let x = A::var("x");
+        let a = make_min(x.clone(), n.clone());
+        let b = make_min(n.clone(), x.clone());
+        assert_eq!(a, b);
+        assert!(matches!(a, ArithExpr::Min(_, _)));
     }
 
     #[test]

@@ -123,6 +123,8 @@ impl ArithExpr {
                 }
             }
             ArithExpr::Pow(b, e) => Ok(b.evaluate(env)?.pow(*e)),
+            ArithExpr::Min(a, b) => Ok(a.evaluate(env)?.min(b.evaluate(env)?)),
+            ArithExpr::Max(a, b) => Ok(a.evaluate(env)?.max(b.evaluate(env)?)),
         }
     }
 
@@ -171,6 +173,8 @@ impl ArithExpr {
                 Ok(a.evaluate_with(lookup)?.rem_euclid(b))
             }
             ArithExpr::Pow(b, e) => Ok(b.evaluate_with(lookup)?.pow(*e)),
+            ArithExpr::Min(a, b) => Ok(a.evaluate_with(lookup)?.min(b.evaluate_with(lookup)?)),
+            ArithExpr::Max(a, b) => Ok(a.evaluate_with(lookup)?.max(b.evaluate_with(lookup)?)),
         }
     }
 
@@ -194,6 +198,8 @@ impl ArithExpr {
             ArithExpr::IntDiv(a, b) => a.substitute_all(map).div(b.substitute_all(map)),
             ArithExpr::Mod(a, b) => a.substitute_all(map).modulo(b.substitute_all(map)),
             ArithExpr::Pow(b, e) => b.substitute_all(map).pow(*e),
+            ArithExpr::Min(a, b) => a.substitute_all(map).min_of(b.substitute_all(map)),
+            ArithExpr::Max(a, b) => a.substitute_all(map).max_of(b.substitute_all(map)),
         }
     }
 }

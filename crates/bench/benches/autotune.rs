@@ -11,6 +11,7 @@ fn autotune(c: &mut Criterion) {
     let space = TuningSpace {
         split_sets: vec![vec![2, 4]],
         width_sets: vec![vec![4]],
+        tile_sets: vec![vec![]],
         launches: vec![
             LaunchConfig::d1(16, 4),
             LaunchConfig::d1(32, 8),

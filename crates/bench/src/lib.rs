@@ -54,6 +54,7 @@ pub fn explore_config(max_candidates: usize) -> ExplorationConfig {
         rule_options: RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
+            tile_sizes: vec![],
         },
         launch: LaunchConfig::d1(16, 4),
         best_n: 4,
@@ -84,6 +85,18 @@ pub fn autotune_strategy(workload: &lift_tuner::Workload) -> lift_tuner::Strateg
             samples: 4,
             max_steps: 3,
         },
+        // The stencil workloads add the tile dimension; a few extra samples let the walk
+        // compare tile sizes as well as launches.
+        "convolution_1d" => lift_tuner::Strategy::RandomHillClimb {
+            seed,
+            samples: 6,
+            max_steps: 3,
+        },
+        "jacobi_2d" => lift_tuner::Strategy::RandomHillClimb {
+            seed,
+            samples: 4,
+            max_steps: 2,
+        },
         // N-Body kernels are the most expensive to execute on the serial virtual GPU, so
         // its walk gets the smallest sample budget.
         _ => lift_tuner::Strategy::RandomHillClimb {
@@ -107,6 +120,13 @@ pub fn autotune_config(
     );
     config.base.max_candidates = 3000;
     config.base.beam_width = 48;
+    // The 2D Jacobi pipeline needs ~9 lowering steps (five layout maps plus the compute
+    // maps and the reduction), which exceeds the default search depth.
+    if workload.name == "jacobi_2d" {
+        config.base.max_depth = 10;
+        config.base.max_candidates = 6000;
+        config.base.beam_width = 32;
+    }
     config
 }
 

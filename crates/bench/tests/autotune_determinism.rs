@@ -14,6 +14,7 @@ fn small_run(seed: u64) -> lift_tuner::TuningResult {
     let space = TuningSpace {
         split_sets: vec![vec![2, 4], vec![4, 8]],
         width_sets: vec![vec![4]],
+        tile_sets: vec![vec![]],
         launches,
     };
     let strategy = Strategy::RandomHillClimb {

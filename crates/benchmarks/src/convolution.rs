@@ -40,6 +40,45 @@ pub fn host_reference(input: &[f32], weights: &[f32]) -> Vec<f32> {
         .collect()
 }
 
+/// The *high-level* convolution — the program before any implementation choices:
+/// `join ∘ map(λw. reduce(add, 0)(map(mult)(zip(w, weights)))) ∘ slide filter 1`.
+///
+/// This is the input of the rewrite-based derivation: `lift-rewrite` lowers the maps and
+/// the reduction, and its stencil rule family (overlapped tiling with `toLocal` staging)
+/// re-derives the paper's Section 3.2 work-group kernel — the same shape as the
+/// hand-lowered [`lift_program`] — with the tile size exposed as a tuning knob.
+pub fn high_level_program(n_out: usize, filter: usize) -> Program {
+    let mut p = Program::new("convolution");
+    let mult = p.user_fun(UserFun::mult_pair());
+    let add = p.user_fun(UserFun::add());
+    let in_len = ArithExpr::cst((n_out + filter - 1) as i64);
+    let w_len = ArithExpr::cst(filter as i64);
+    p.with_root(
+        vec![
+            ("input", Type::array(Type::float(), in_len)),
+            ("weights", Type::array(Type::float(), w_len)),
+        ],
+        |p, params| {
+            let weights = params[1];
+            let m_in = p.map(mult);
+            let red = p.reduce(add, 0.0);
+            let per_window = p.lambda(&["window"], |p, lp| {
+                let z = p.zip2();
+                let zipped = p.apply(z, [lp[0], weights]);
+                let mapped = p.apply1(m_in, zipped);
+                p.apply1(red, mapped)
+            });
+            let mw = p.map(per_window);
+            let slide = p.slide(filter, 1usize);
+            let j = p.join();
+            let windows = p.apply1(slide, params[0]);
+            let mapped = p.apply1(mw, windows);
+            p.apply1(j, mapped)
+        },
+    );
+    p
+}
+
 /// The Lift program:
 /// `join . mapWrg(join . mapLcl(reduceSeq(multAndSumUp, 0) . zip(weights)) ) . split L . slide 17 1`.
 pub fn lift_program(n_out: usize, filter: usize, wg: usize) -> Program {
@@ -153,6 +192,34 @@ pub fn case(size: ProblemSize) -> BenchmarkCase {
 mod tests {
     use super::*;
     use lift_interp::{evaluate, Value};
+
+    #[test]
+    fn high_level_program_matches_host_reference_and_hand_lowered_kernel() {
+        let n_out = 48;
+        let input = random_floats(7, n_out + FILTER - 1, -1.0, 1.0);
+        let weights = random_floats(8, FILTER, -0.5, 0.5);
+        let args = [
+            Value::from_f32_slice(&input),
+            Value::from_f32_slice(&weights),
+        ];
+        let high = evaluate(&high_level_program(n_out, FILTER), &args)
+            .expect("high-level program runs")
+            .flatten_f32();
+        let hand = evaluate(&lift_program(n_out, FILTER, 16), &args)
+            .expect("hand-lowered program runs")
+            .flatten_f32();
+        let expected = host_reference(&input, &weights);
+        assert_eq!(high.len(), expected.len());
+        for ((a, b), e) in high.iter().zip(&hand).zip(&expected) {
+            assert!((a - e).abs() < 1e-3 * (1.0 + e.abs()), "{a} vs host {e}");
+            assert!((a - b).abs() < 1e-3 * (1.0 + b.abs()), "{a} vs hand {b}");
+        }
+        // The high-level program still contains undecided maps/reduces for the rule
+        // engine to lower.
+        assert!(high_level_program(n_out, FILTER)
+            .first_high_level_pattern()
+            .is_some());
+    }
 
     #[test]
     fn interpreter_matches_host_reference() {

@@ -27,6 +27,7 @@
 pub mod blas;
 pub mod convolution;
 pub mod dot_product;
+pub mod jacobi;
 pub mod kmeans;
 pub mod md;
 pub mod mm;

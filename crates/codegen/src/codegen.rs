@@ -25,7 +25,7 @@ use lift_ocl::{
 
 use crate::address_space::{infer_address_spaces, AddressSpaces};
 use crate::options::CompilationOptions;
-use crate::view::{resolve, AccessBuilder, Resolved, View, ViewError};
+use crate::view::{resolve, AccessBuilder, LayoutOp, Resolved, View, ViewError};
 
 /// Errors produced by the compiler.
 #[derive(Clone, Debug, PartialEq)]
@@ -693,7 +693,10 @@ impl Generator {
                 Pattern::ToGlobal { f } | Pattern::ToLocal { f } | Pattern::ToPrivate { f } => {
                     self.gen_call(expr, f, args, dest)
                 }
-                Pattern::Slide { .. } | Pattern::Zip { .. } | Pattern::Get { .. } => {
+                Pattern::Slide { .. }
+                | Pattern::Pad { .. }
+                | Pattern::Zip { .. }
+                | Pattern::Get { .. } => {
                     Err(CodegenError::Unsupported(format!(
                         "`{}` cannot appear as the final producer of a value; it is a read-side pattern",
                         pattern.name()
@@ -786,6 +789,16 @@ impl Generator {
                             step,
                         }
                     }
+                    Pattern::Pad { left, mode, .. } => {
+                        let arg_ty = self.program.type_of(args[0]).clone();
+                        let len = outer_len(&arg_ty)?;
+                        let (base, _) = self.read_view(args[0], stmts)?;
+                        View::Layout {
+                            base: Box::new(base),
+                            skip: 0,
+                            ops: vec![LayoutOp::Pad { left, len, mode }],
+                        }
+                    }
                     Pattern::Zip { .. } => {
                         let mut bases = Vec::with_capacity(args.len());
                         for a in args {
@@ -819,13 +832,161 @@ impl Generator {
                         stmts.extend(code);
                         result_view
                     }
-                    _ => self.materialise(expr, stmts)?,
+                    // A map (of any flavour) whose function is purely a layout chain moves
+                    // no data: it becomes a view transformation of the dimensions below the
+                    // mapped ones instead of a loop-and-materialise. This is what makes 2D
+                    // stencil compositions (`slide2d` = map(transpose) ∘ slide ∘ map(slide),
+                    // `pad2d` = map(pad) ∘ pad) — and their map-fused forms such as
+                    // `mapSeq(λx. slide(pad(x)))` — compile without intermediate buffers.
+                    pattern => {
+                        let nested = match &pattern {
+                            Pattern::MapSeq { f }
+                            | Pattern::MapGlb { f, .. }
+                            | Pattern::MapWrg { f, .. }
+                            | Pattern::MapLcl { f, .. } => Some(*f),
+                            _ => None,
+                        };
+                        let mapped = nested.and_then(|f| {
+                            let elem_ty = self.program.type_of(args[0]).as_array()?.0.clone();
+                            let (base, _) = self.read_view(args[0], stmts).ok()?;
+                            self.layout_fun_view(f, &elem_ty, 1, base)
+                        });
+                        match mapped {
+                            Some(view) => view,
+                            None => self.materialise(expr, stmts)?,
+                        }
+                    }
                 },
                 _ => self.materialise(expr, stmts)?,
             },
         };
         self.views.insert(expr, view.clone());
         Ok((view, ty))
+    }
+
+    /// The [`LayoutOp`] of a pure layout pattern applied to a value of type `arg_ty`, or
+    /// `None` when the pattern is not a layout transformation.
+    fn layout_op(&self, p: &Pattern, arg_ty: &Type) -> Option<LayoutOp> {
+        match p {
+            Pattern::Slide { step, .. } => Some(LayoutOp::Slide { step: step.clone() }),
+            Pattern::Split { chunk } => Some(LayoutOp::Split {
+                chunk: chunk.clone(),
+            }),
+            Pattern::Join => {
+                let inner = inner_len(arg_ty).ok()?;
+                Some(LayoutOp::Join { inner })
+            }
+            Pattern::Transpose => Some(LayoutOp::Transpose),
+            Pattern::Gather { reorder } => {
+                let len = outer_len(arg_ty).ok()?;
+                Some(LayoutOp::Reorder {
+                    reorder: reorder.clone(),
+                    len,
+                })
+            }
+            Pattern::Scatter { reorder } => {
+                // Reading through a scatter is reading through the inverse permutation.
+                let len = outer_len(arg_ty).ok()?;
+                let inverse = invert_reorder(reorder, &len).ok()?;
+                Some(LayoutOp::Reorder {
+                    reorder: inverse,
+                    len,
+                })
+            }
+            Pattern::Pad { left, mode, .. } => {
+                let len = outer_len(arg_ty).ok()?;
+                Some(LayoutOp::Pad {
+                    left: left.clone(),
+                    len,
+                    mode: *mode,
+                })
+            }
+            _ => None,
+        }
+    }
+
+    /// Builds the view of applying function `f` (element-wise, `skip` mapped dimensions
+    /// below the surface) to the data viewed by `base`, **iff** `f` is a pure layout
+    /// function: a layout pattern, a further map of one, or a lambda whose body is a chain
+    /// of layout applications of its parameter (the shape map fusion produces, e.g.
+    /// `λx. slide(pad(x))`).
+    ///
+    /// `elem_ty` is the type of the values `f` is applied to, which supplies the dimension
+    /// extents some ops need (`join`'s inner length, `pad`'s un-padded length, …).
+    fn layout_fun_view(
+        &self,
+        f: FunDeclId,
+        elem_ty: &Type,
+        skip: usize,
+        base: View,
+    ) -> Option<View> {
+        match self.program.decl(f) {
+            FunDecl::Pattern(p) => match p {
+                Pattern::MapSeq { f }
+                | Pattern::MapGlb { f, .. }
+                | Pattern::MapWrg { f, .. }
+                | Pattern::MapLcl { f, .. } => {
+                    let (inner_elem, _) = elem_ty.as_array()?;
+                    self.layout_fun_view(*f, inner_elem, skip + 1, base)
+                }
+                Pattern::Id => Some(base),
+                p => {
+                    let op = self.layout_op(p, elem_ty)?;
+                    Some(View::Layout {
+                        base: Box::new(base),
+                        skip,
+                        ops: vec![op],
+                    })
+                }
+            },
+            FunDecl::Lambda { params, body } => {
+                let [param] = params.as_slice() else {
+                    return None;
+                };
+                self.layout_expr_view(*body, *param, skip, base)
+            }
+            FunDecl::UserFun(_) => None,
+        }
+    }
+
+    /// The lambda-body recursion of [`Generator::layout_fun_view`]: a chain of unary layout
+    /// applications terminating at `param`. Views wrap from the inside out, so the
+    /// outermost application ends up as the outermost [`View::Layout`] node — the order the
+    /// view walk consumes them in.
+    fn layout_expr_view(&self, e: ExprId, param: ExprId, skip: usize, base: View) -> Option<View> {
+        match &self.program.expr(e).kind {
+            ExprKind::Param { .. } if e == param => Some(base),
+            ExprKind::FunCall { f, args } => {
+                let [arg] = args.as_slice() else {
+                    return None;
+                };
+                let (f, arg) = (*f, *arg);
+                let arg_ty = self.program.expr(arg).ty.clone()?;
+                let inner = self.layout_expr_view(arg, param, skip, base)?;
+                match self.program.decl(f) {
+                    FunDecl::Pattern(p) => match p {
+                        Pattern::MapSeq { f }
+                        | Pattern::MapGlb { f, .. }
+                        | Pattern::MapWrg { f, .. }
+                        | Pattern::MapLcl { f, .. } => {
+                            let (inner_elem, _) = arg_ty.as_array()?;
+                            self.layout_fun_view(*f, inner_elem, skip + 1, inner)
+                        }
+                        Pattern::Id => Some(inner),
+                        p => {
+                            let op = self.layout_op(p, &arg_ty)?;
+                            Some(View::Layout {
+                                base: Box::new(inner),
+                                skip,
+                                ops: vec![op],
+                            })
+                        }
+                    },
+                    _ => None,
+                }
+            }
+            _ => None,
+        }
     }
 
     /// Allocates a buffer (or scalar variable) for the value of `expr`, generates the code
@@ -1628,6 +1789,7 @@ fn view_space(view: &View) -> AddressSpace {
         | View::Reorder { base, .. }
         | View::Transpose { base }
         | View::Slide { base, .. }
+        | View::Layout { base, .. }
         | View::TupleComponent { base, .. }
         | View::AsVector { base, .. }
         | View::AsScalar { base, .. } => view_space(base),

@@ -13,7 +13,7 @@
 use std::fmt;
 
 use lift_arith::ArithExpr;
-use lift_ir::{AddressSpace, Literal, Reorder};
+use lift_ir::{AddressSpace, Literal, PadMode, Reorder};
 
 /// How array accesses are combined into index expressions.
 ///
@@ -81,6 +81,141 @@ impl AccessBuilder {
                 let quot = self.div(n.clone(), s.clone());
                 let left = self.mul(self.rem(i.clone(), s.clone()), quot);
                 self.add(left, self.div(i, s.clone()))
+            }
+        }
+    }
+
+    fn min(&self, a: ArithExpr, b: ArithExpr) -> ArithExpr {
+        if self.simplify {
+            a.min_of(b)
+        } else {
+            ArithExpr::Min(Box::new(a), Box::new(b))
+        }
+    }
+
+    fn max(&self, a: ArithExpr, b: ArithExpr) -> ArithExpr {
+        if self.simplify {
+            a.max_of(b)
+        } else {
+            ArithExpr::Max(Box::new(a), Box::new(b))
+        }
+    }
+
+    /// The source index a read at padded position `j` resolves to: the boundary-remapping
+    /// arithmetic of the `pad` pattern (Section 3.2's stencil boundary handling), expressed
+    /// with OpenCL's integer `min`/`max` builtins so no branches are emitted and — by
+    /// construction — no index leaves `[0, n)`.
+    fn pad(&self, mode: PadMode, j: ArithExpr, left: &ArithExpr, n: &ArithExpr) -> ArithExpr {
+        let shifted = self.sub(j, left.clone());
+        match mode {
+            // clamp(s, 0, n-1) = min(max(s, 0), n - 1).
+            PadMode::Clamp => self.min(
+                self.max(shifted, ArithExpr::cst(0)),
+                self.sub(n.clone(), ArithExpr::cst(1)),
+            ),
+            // One reflection at either end: min(max(s, -1 - s), 2n - 1 - s) equals
+            //   -1 - s   for s < 0,
+            //   s        for 0 <= s < n,
+            //   2n-1 - s for s >= n
+            // (valid while the pad amounts do not exceed the array length, which the
+            // interpreter checks).
+            PadMode::Mirror => {
+                let reflected_low = self.sub(ArithExpr::cst(-1), shifted.clone());
+                let reflected_high = self.sub(
+                    self.sub(self.mul(ArithExpr::cst(2), n.clone()), ArithExpr::cst(1)),
+                    shifted.clone(),
+                );
+                self.min(self.max(shifted, reflected_low), reflected_high)
+            }
+            // Euclidean remainder, emitted as the C-safe double-mod form because `%`
+            // truncates towards zero for the negative left-hand sides a left pad produces.
+            // The raw `Mod` nodes are built directly: the smart constructor would collapse
+            // `(s mod n + n) mod n` to `s mod n`, which is only equivalent under the
+            // *euclidean* semantics of the virtual GPU, not in printed OpenCL C.
+            PadMode::Wrap => {
+                let inner = ArithExpr::Mod(Box::new(shifted), Box::new(n.clone()));
+                ArithExpr::Mod(Box::new(self.add(inner, n.clone())), Box::new(n.clone()))
+            }
+        }
+    }
+}
+
+/// One layout transformation applied below some number of outer dimensions — the data of a
+/// [`View::Layout`] node. `map(slide(…))`, `map(transpose)` and friends do not produce code:
+/// their effect on the index stack is identical to the un-mapped pattern, just applied to
+/// the dimensions *below* the mapped ones.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LayoutOp {
+    /// The value is `split chunk` of the base.
+    Split {
+        /// The chunk size.
+        chunk: ArithExpr,
+    },
+    /// The value is `join` of the base, whose inner dimension has the given extent.
+    Join {
+        /// The extent of the joined (inner) dimension.
+        inner: ArithExpr,
+    },
+    /// The dimension is read through a permutation.
+    Reorder {
+        /// The permutation.
+        reorder: Reorder,
+        /// The extent of the permuted dimension.
+        len: ArithExpr,
+    },
+    /// The value is the transposition of the base.
+    Transpose,
+    /// The value is `slide size step` of the base.
+    Slide {
+        /// The window step.
+        step: ArithExpr,
+    },
+    /// The value is `pad left right mode` of the base.
+    Pad {
+        /// Number of elements prepended.
+        left: ArithExpr,
+        /// The length of the *un-padded* dimension.
+        len: ArithExpr,
+        /// The boundary mode.
+        mode: PadMode,
+    },
+}
+
+impl LayoutOp {
+    /// Applies the op's index transformation to the access stack (outermost remaining
+    /// dimension on top) — the same algebra the dedicated [`View`] variants implement,
+    /// shared so [`View::Layout`] can run it below `skip` untouched dimensions.
+    fn apply(&self, builder: &AccessBuilder, stack: &mut Vec<ArithExpr>) {
+        let pop = |stack: &mut Vec<ArithExpr>| stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
+        match self {
+            LayoutOp::Split { chunk } => {
+                let outer = pop(stack);
+                let inner = pop(stack);
+                stack.push(builder.add(builder.mul(outer, chunk.clone()), inner));
+            }
+            LayoutOp::Join { inner } => {
+                let idx = pop(stack);
+                stack.push(builder.rem(idx.clone(), inner.clone()));
+                stack.push(builder.div(idx, inner.clone()));
+            }
+            LayoutOp::Reorder { reorder, len } => {
+                let idx = pop(stack);
+                stack.push(builder.reorder(reorder, idx, len));
+            }
+            LayoutOp::Transpose => {
+                let a = pop(stack);
+                let b = pop(stack);
+                stack.push(a);
+                stack.push(b);
+            }
+            LayoutOp::Slide { step } => {
+                let window = pop(stack);
+                let offset = pop(stack);
+                stack.push(builder.add(builder.mul(window, step.clone()), offset));
+            }
+            LayoutOp::Pad { left, len, mode } => {
+                let idx = pop(stack);
+                stack.push(builder.pad(*mode, idx, left, len));
             }
         }
     }
@@ -157,6 +292,17 @@ pub enum View {
         base: Box<View>,
         /// The component index.
         index: usize,
+    },
+    /// One or more [`LayoutOp`]s applied `skip` dimensions below the surface: the view of
+    /// `mapⁿ(op)` (any map flavour — mapped layout patterns move no data, so they generate
+    /// no loops), with `skip == 0` for a direct application such as the `pad` pattern.
+    Layout {
+        /// The view of the un-transformed value.
+        base: Box<View>,
+        /// How many outer dimensions the ops sit below (the number of enclosing maps).
+        skip: usize,
+        /// The transformations, outermost first.
+        ops: Vec<LayoutOp>,
     },
     /// The viewed value reinterprets the base scalars as vectors of the given width.
     AsVector {
@@ -311,34 +457,51 @@ fn walk(
             tuple_stack.push(*index);
             walk(base, builder, array_stack, tuple_stack, vector_width)
         }
+        // The dedicated layout variants share their index algebra with the mapped form:
+        // each is exactly its `LayoutOp` applied at the surface (`skip == 0`).
         View::Split { base, chunk } => {
-            let outer = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
-            let inner = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
-            array_stack.push(builder.add(builder.mul(outer, chunk.clone()), inner));
+            LayoutOp::Split {
+                chunk: chunk.clone(),
+            }
+            .apply(builder, array_stack);
             walk(base, builder, array_stack, tuple_stack, vector_width)
         }
         View::Join { base, inner } => {
-            let idx = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
-            array_stack.push(builder.rem(idx.clone(), inner.clone()));
-            array_stack.push(builder.div(idx, inner.clone()));
+            LayoutOp::Join {
+                inner: inner.clone(),
+            }
+            .apply(builder, array_stack);
             walk(base, builder, array_stack, tuple_stack, vector_width)
         }
         View::Reorder { base, reorder, len } => {
-            let idx = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
-            array_stack.push(builder.reorder(reorder, idx, len));
+            LayoutOp::Reorder {
+                reorder: reorder.clone(),
+                len: len.clone(),
+            }
+            .apply(builder, array_stack);
             walk(base, builder, array_stack, tuple_stack, vector_width)
         }
         View::Transpose { base } => {
-            let a = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
-            let b = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
-            array_stack.push(a);
-            array_stack.push(b);
+            LayoutOp::Transpose.apply(builder, array_stack);
             walk(base, builder, array_stack, tuple_stack, vector_width)
         }
         View::Slide { base, step } => {
-            let window = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
-            let offset = array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0));
-            array_stack.push(builder.add(builder.mul(window, step.clone()), offset));
+            LayoutOp::Slide { step: step.clone() }.apply(builder, array_stack);
+            walk(base, builder, array_stack, tuple_stack, vector_width)
+        }
+        View::Layout { base, skip, ops } => {
+            // Set the `skip` outer dimensions aside, run the ops on the dimensions below,
+            // then restore the outer indices in their original order.
+            let mut saved = Vec::with_capacity(*skip);
+            for _ in 0..*skip {
+                saved.push(array_stack.pop().unwrap_or_else(|| ArithExpr::cst(0)));
+            }
+            for op in ops {
+                op.apply(builder, array_stack);
+            }
+            while let Some(idx) = saved.pop() {
+                array_stack.push(idx);
+            }
             walk(base, builder, array_stack, tuple_stack, vector_width)
         }
         View::Zip { bases } => {
@@ -545,6 +708,107 @@ mod tests {
         let elem = slid.access(w.clone()).access(j.clone());
         match resolve(&elem, &simplifying()).unwrap() {
             Resolved::MemoryAccess { index, .. } => assert_eq!(index, w + j),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pad_clamp_emits_min_max_index_arithmetic() {
+        // A padded read at position j reads in[min(max(j - 1, 0), N - 1)].
+        let j = ArithExpr::var_in_range("j", 0, n() + 2);
+        let input = mem("in", vec![n()]);
+        let padded = View::Layout {
+            base: Box::new(input),
+            skip: 0,
+            ops: vec![LayoutOp::Pad {
+                left: ArithExpr::cst(1),
+                len: n(),
+                mode: PadMode::Clamp,
+            }],
+        };
+        let elem = padded.access(j.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => {
+                assert_eq!(
+                    index,
+                    (j - 1).max_of(ArithExpr::cst(0)).min_of(n() - 1),
+                    "clamped index"
+                );
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pad_wrap_emits_a_c_safe_double_mod() {
+        let j = ArithExpr::var_in_range("j", 0, n() + 2);
+        let input = mem("in", vec![n()]);
+        let padded = View::Layout {
+            base: Box::new(input),
+            skip: 0,
+            ops: vec![LayoutOp::Pad {
+                left: ArithExpr::cst(1),
+                len: n(),
+                mode: PadMode::Wrap,
+            }],
+        };
+        let elem = padded.access(j);
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => {
+                // Both mods survive: under C's truncating `%` the inner mod alone would go
+                // negative for the left pad.
+                assert_eq!(index.div_mod_count(), 2, "index {index}");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mapped_slide_applies_below_the_outer_dimension() {
+        // map(slide(3, 1))(x)[i][w][e] reads x[i][w + e].
+        let m = ArithExpr::size_var("M");
+        let i = ArithExpr::var_in_range("i", 0, n());
+        let w = ArithExpr::var_in_range("w", 0, m.clone() - 2);
+        let e = ArithExpr::var_in_range("e", 0, ArithExpr::cst(3));
+        let matrix = mem("a", vec![n(), m.clone()]);
+        let slid_rows = View::Layout {
+            base: Box::new(matrix),
+            skip: 1,
+            ops: vec![LayoutOp::Slide {
+                step: ArithExpr::cst(1),
+            }],
+        };
+        let elem = slid_rows
+            .access(i.clone())
+            .access(w.clone())
+            .access(e.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => {
+                assert_eq!(index, i * m + w + e);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mapped_transpose_swaps_the_inner_dimensions() {
+        // map(transpose)(x)[i][a][b] reads x[i][b][a].
+        let k = ArithExpr::size_var("K");
+        let m = ArithExpr::size_var("M");
+        let i = ArithExpr::var_in_range("i", 0, n());
+        let a = ArithExpr::var_in_range("a", 0, m.clone());
+        let b = ArithExpr::var_in_range("b", 0, k.clone());
+        let cube = mem("c", vec![n(), k.clone(), m.clone()]);
+        let t_rows = View::Layout {
+            base: Box::new(cube),
+            skip: 1,
+            ops: vec![LayoutOp::Transpose],
+        };
+        let elem = t_rows.access(i.clone()).access(a.clone()).access(b.clone());
+        match resolve(&elem, &simplifying()).unwrap() {
+            Resolved::MemoryAccess { index, .. } => {
+                assert_eq!(index, (i * k.clone() + b) * m + a);
+            }
             other => panic!("unexpected {other:?}"),
         }
     }

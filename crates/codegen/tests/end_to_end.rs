@@ -412,3 +412,123 @@ fn results_are_identical_across_optimisation_levels() {
     assert_eq!(outputs[0], outputs[1]);
     assert_eq!(outputs[1], outputs[2]);
 }
+
+// ------------------------------------------------------------------------ padded stencils
+
+/// A hand-lowered boundary-handled 3-point stencil:
+/// `mapGlb(reduceSeq(add, 0)) ∘ slide(3, 1) ∘ pad(1, 1, mode)`.
+fn padded_stencil(n: usize, mode: PadMode) -> Program {
+    let mut p = Program::new("stencil3");
+    let add = p.user_fun(UserFun::add());
+    let red = p.reduce_seq(add, 0.0);
+    let glb = p.map_glb(0, red);
+    let pad = p.pad(1usize, 1usize, mode);
+    let s = p.slide(3usize, 1usize);
+    p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+        let padded = p.apply1(pad, params[0]);
+        let windows = p.apply1(s, padded);
+        p.apply1(glb, windows)
+    });
+    p
+}
+
+#[test]
+fn padded_stencil_matches_the_interpreter_for_every_mode() {
+    let n = 32;
+    let input: Vec<f32> = (0..n).map(|i| (i as f32 * 0.5) - 3.0).collect();
+    for mode in [PadMode::Clamp, PadMode::Mirror, PadMode::Wrap] {
+        let p = padded_stencil(n, mode);
+        let expected =
+            evaluate_with_sizes(&p, &[Value::from_f32_slice(&input)], &Environment::new())
+                .expect("interpreter runs")
+                .flatten_f32();
+
+        let options = CompilationOptions::all_optimisations().with_launch_1d(n, 8);
+        let kernel = compile(&p, &options).expect("compiles");
+        // The pad view emits branch-free min/max (or double-mod) index arithmetic; the
+        // virtual GPU's bounds checker rejects any out-of-range access, so a successful
+        // run proves there are none.
+        let (out, _) = run_kernel(
+            &kernel,
+            std::slice::from_ref(&input),
+            &Environment::new(),
+            LaunchConfig::d1(n, 8),
+        );
+        assert_close(&out, &expected);
+    }
+}
+
+#[test]
+fn pad_as_final_producer_is_a_typed_error() {
+    let mut p = Program::new("bad");
+    let pad = p.pad(1usize, 1usize, PadMode::Clamp);
+    p.with_root(
+        vec![("x", Type::array(Type::float(), 8usize))],
+        |p, params| p.apply1(pad, params[0]),
+    );
+    let err = compile(&p, &CompilationOptions::all_optimisations()).unwrap_err();
+    assert!(
+        err.to_string().contains("read-side pattern"),
+        "unexpected error: {err}"
+    );
+}
+
+/// A hand-lowered 2D 5-point stencil over a padded grid: the `slide2d`/`pad2d` compositions
+/// with their high-level maps already lowered to `mapSeq`, so the mapped layout patterns
+/// compile as views (no intermediate buffers) and only the compute maps emit loops.
+#[test]
+fn two_dimensional_padded_stencil_compiles_as_views() {
+    let (rows, cols) = (6usize, 8usize);
+    let mut p = Program::new("stencil2d");
+    let add = p.user_fun(UserFun::add());
+    // Per 3×3 window: sum of all 9 elements (join flattens the window).
+    let red = p.reduce_seq(add, 0.0);
+    let j = p.join();
+    let window_sum = p.compose(&[red, j]);
+    let inner_map = p.map_seq(window_sum);
+    let row_map = p.map_glb(0, inner_map);
+    // pad2d, lowered: mapSeq(pad) ∘ pad.
+    let pad_rows = p.pad(1usize, 1usize, PadMode::Clamp);
+    let pad_cols = p.pad(1usize, 1usize, PadMode::Clamp);
+    let m_pad = p.map_seq(pad_cols);
+    // slide2d, lowered: mapSeq(transpose) ∘ slide ∘ mapSeq(slide).
+    let slide_cols = p.slide(3usize, 1usize);
+    let m_slide = p.map_seq(slide_cols);
+    let slide_rows = p.slide(3usize, 1usize);
+    let t = p.transpose();
+    let m_t = p.map_seq(t);
+    p.with_root(
+        vec![("grid", Type::array(Type::array(Type::float(), cols), rows))],
+        |p, params| {
+            let padded_rows = p.apply1(pad_rows, params[0]);
+            let padded = p.apply1(m_pad, padded_rows);
+            let row_windows = p.apply1(m_slide, padded);
+            let grouped = p.apply1(slide_rows, row_windows);
+            let neighbourhoods = p.apply1(m_t, grouped);
+            p.apply1(row_map, neighbourhoods)
+        },
+    );
+
+    let input: Vec<f32> = (0..rows * cols).map(|i| (i % 7) as f32 - 2.0).collect();
+    let grid = Value::from_f32_matrix(&input, rows, cols);
+    let expected = evaluate_with_sizes(&p, &[grid], &Environment::new())
+        .expect("interpreter runs")
+        .flatten_f32();
+
+    let options = CompilationOptions::all_optimisations().with_launch_1d(rows, 2);
+    let kernel = compile(&p, &options).expect("compiles");
+    // The mapped layout patterns must not have materialised anything: the kernel contains
+    // no temporary arrays, just the compute loops reading through the views.
+    assert!(
+        !kernel.source().contains("tmp"),
+        "layout maps materialised a buffer:\n{}",
+        kernel.source()
+    );
+    let (out, _) = run_kernel(
+        &kernel,
+        std::slice::from_ref(&input),
+        &Environment::new(),
+        LaunchConfig::d1(rows, 2),
+    );
+    assert_close(&out, &expected);
+}

@@ -330,11 +330,45 @@ impl<'a> Interpreter<'a> {
                         context: "slide window".into(),
                     });
                 }
+                // The same side condition the type checker enforces: the step must divide
+                // the slack exactly, so the greedy window walk below and the type-level
+                // window count `(len - size)/step + 1` agree. A regression test pins the
+                // two layers against each other.
+                if !(xs.len() - size).is_multiple_of(step) {
+                    return Err(InterpError::NotDivisible {
+                        len: xs.len() - size,
+                        chunk: step,
+                    });
+                }
                 let mut out = Vec::new();
                 let mut start = 0;
                 while start + size <= xs.len() {
                     out.push(Value::Array(xs[start..start + size].to_vec()));
                     start += step;
+                }
+                Ok(Value::Array(out))
+            }
+            Pattern::Pad { left, right, mode } => {
+                let xs = self.expect_array(args.remove(0), "pad input")?;
+                let left = self.eval_size(left)?;
+                let right = self.eval_size(right)?;
+                let n = xs.len() as i64;
+                if n == 0 {
+                    return Err(InterpError::ShapeMismatch {
+                        context: "pad of an empty array".into(),
+                    });
+                }
+                // Clamp and wrap handle any amount; a mirror reflection only reaches one
+                // array length past either end.
+                if *mode == lift_ir::PadMode::Mirror && (left as i64 > n || right as i64 > n) {
+                    return Err(InterpError::ShapeMismatch {
+                        context: "mirror pad wider than the array".into(),
+                    });
+                }
+                let mut out = Vec::with_capacity(left + xs.len() + right);
+                for j in 0..(left + xs.len() + right) as i64 {
+                    let src = mode.source_index(j - left as i64, n);
+                    out.push(xs[src as usize].clone());
                 }
                 Ok(Value::Array(out))
             }
@@ -593,6 +627,102 @@ mod tests {
         assert_eq!(windows.len(), 3);
         assert_eq!(windows[0].flatten_f32(), vec![1.0, 2.0, 3.0]);
         assert_eq!(windows[2].flatten_f32(), vec![3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn slide_with_indivisible_step_fails_in_both_layers() {
+        // Regression for the latent slide window-count disagreement: the type checker
+        // computes `(n - size)/step + 1` windows while the interpreter slides greedily.
+        // Both layers now reject a step that does not divide the slack, with the same
+        // boundary: (6-3) % 2 != 0 fails, (7-3) % 2 == 0 passes.
+        let mut p = Program::new("t");
+        let s = p.slide(3usize, 2usize);
+        p.with_root(vec![("x", float_array(6usize))], |p, params| {
+            p.apply1(s, params[0])
+        });
+        let type_err = lift_ir::infer_types(&mut p.clone()).unwrap_err();
+        assert!(
+            matches!(type_err, lift_ir::TypeError::SlideIndivisible { .. }),
+            "{type_err}"
+        );
+        let interp_err = evaluate(&p, &[Value::from_f32_slice(&[0.0; 6])]).unwrap_err();
+        assert_eq!(interp_err, InterpError::NotDivisible { len: 3, chunk: 2 });
+
+        let mut p = Program::new("t2");
+        let s = p.slide(3usize, 2usize);
+        p.with_root(vec![("x", float_array(7usize))], |p, params| {
+            p.apply1(s, params[0])
+        });
+        lift_ir::infer_types(&mut p.clone()).expect("divisible slide types");
+        let out = evaluate(
+            &p,
+            &[Value::from_f32_slice(&[1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0])],
+        )
+        .unwrap();
+        let windows = out.as_array().unwrap();
+        assert_eq!(windows.len(), 3); // matches the type-level (7-3)/2 + 1
+        assert_eq!(windows[2].flatten_f32(), vec![5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn pad_modes_replicate_boundary_elements() {
+        use lift_ir::PadMode;
+        let data = [1.0, 2.0, 3.0, 4.0];
+        let run = |mode: PadMode, left: usize, right: usize| {
+            let mut p = Program::new("t");
+            let pad = p.pad(left, right, mode);
+            p.with_root(vec![("x", float_array(data.len()))], |p, params| {
+                p.apply1(pad, params[0])
+            });
+            evaluate(&p, &[Value::from_f32_slice(&data)])
+                .unwrap()
+                .flatten_f32()
+        };
+        assert_eq!(
+            run(PadMode::Clamp, 2, 2),
+            vec![1.0, 1.0, 1.0, 2.0, 3.0, 4.0, 4.0, 4.0]
+        );
+        assert_eq!(
+            run(PadMode::Mirror, 2, 2),
+            vec![2.0, 1.0, 1.0, 2.0, 3.0, 4.0, 4.0, 3.0]
+        );
+        assert_eq!(
+            run(PadMode::Wrap, 2, 2),
+            vec![3.0, 4.0, 1.0, 2.0, 3.0, 4.0, 1.0, 2.0]
+        );
+        // Asymmetric amounts pad each side independently.
+        assert_eq!(run(PadMode::Clamp, 1, 0), vec![1.0, 1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn pad_then_slide_is_a_boundary_handled_stencil() {
+        use lift_ir::PadMode;
+        // pad(1,1,clamp) then slide(3,1) over [1,2,3]: windows centred on every element.
+        let mut p = Program::new("t");
+        let pad = p.pad(1usize, 1usize, PadMode::Clamp);
+        let s = p.slide(3usize, 1usize);
+        p.with_root(vec![("x", float_array(3usize))], |p, params| {
+            let padded = p.apply1(pad, params[0]);
+            p.apply1(s, padded)
+        });
+        let out = evaluate(&p, &[Value::from_f32_slice(&[1.0, 2.0, 3.0])]).unwrap();
+        let windows = out.as_array().unwrap();
+        assert_eq!(windows.len(), 3);
+        assert_eq!(windows[0].flatten_f32(), vec![1.0, 1.0, 2.0]);
+        assert_eq!(windows[1].flatten_f32(), vec![1.0, 2.0, 3.0]);
+        assert_eq!(windows[2].flatten_f32(), vec![2.0, 3.0, 3.0]);
+    }
+
+    #[test]
+    fn mirror_pad_wider_than_the_array_is_rejected() {
+        use lift_ir::PadMode;
+        let mut p = Program::new("t");
+        let pad = p.pad(3usize, 0usize, PadMode::Mirror);
+        p.with_root(vec![("x", float_array(2usize))], |p, params| {
+            p.apply1(pad, params[0])
+        });
+        let err = evaluate(&p, &[Value::from_f32_slice(&[1.0, 2.0])]).unwrap_err();
+        assert!(matches!(err, InterpError::ShapeMismatch { .. }));
     }
 
     #[test]

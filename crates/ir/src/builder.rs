@@ -7,7 +7,9 @@
 
 use lift_arith::ArithExpr;
 
-use crate::node::{ExprId, ExprKind, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder};
+use crate::node::{
+    ExprId, ExprKind, FunDecl, FunDeclId, Literal, PadMode, Pattern, Program, Reorder,
+};
 use crate::scalar::UserFun;
 use crate::types::Type;
 
@@ -213,6 +215,54 @@ impl Program {
             size: size.into(),
             step: step.into(),
         }))
+    }
+
+    /// `pad(left, right, mode)`: extend an array at both ends with boundary elements.
+    pub fn pad(
+        &mut self,
+        left: impl Into<ArithExpr>,
+        right: impl Into<ArithExpr>,
+        mode: PadMode,
+    ) -> FunDeclId {
+        self.add_decl(FunDecl::Pattern(Pattern::Pad {
+            left: left.into(),
+            right: right.into(),
+            mode,
+        }))
+    }
+
+    /// Two-dimensional sliding window: `slide2d(size, step)` over `[[T]_m]_n` yields one
+    /// `size × size` neighbourhood per window position,
+    /// `[[ [[T]_size]_size ]_wm]_wn`. It is the composition
+    /// `map(transpose) ∘ slide(size, step) ∘ map(slide(size, step))`: the inner `map(slide)`
+    /// windows every row, the outer `slide` groups runs of rows, and the `map(transpose)`
+    /// re-nests each group so both window dimensions sit innermost.
+    pub fn slide2d(&mut self, size: impl Into<ArithExpr>, step: impl Into<ArithExpr>) -> FunDeclId {
+        let size = size.into();
+        let step = step.into();
+        let inner = self.slide(size.clone(), step.clone());
+        let rows = self.map(inner);
+        let outer = self.slide(size, step);
+        let t = self.transpose();
+        let mt = self.map(t);
+        self.compose(&[mt, outer, rows])
+    }
+
+    /// Two-dimensional padding: `pad2d(left, right, mode)` pads the rows (outer dimension)
+    /// and every column (inner dimension) with the same amounts,
+    /// `map(pad(l, r, mode)) ∘ pad(l, r, mode)`.
+    pub fn pad2d(
+        &mut self,
+        left: impl Into<ArithExpr>,
+        right: impl Into<ArithExpr>,
+        mode: PadMode,
+    ) -> FunDeclId {
+        let left = left.into();
+        let right = right.into();
+        let rows = self.pad(left.clone(), right.clone(), mode);
+        let cols = self.pad(left, right, mode);
+        let mc = self.map(cols);
+        self.compose(&[mc, rows])
     }
 
     // ---------------------------------------------------------------- address space patterns

@@ -48,16 +48,18 @@ pub mod typecheck;
 pub mod types;
 
 pub use node::{
-    ExprId, ExprKind, ExprNode, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder,
+    ExprId, ExprKind, ExprNode, FunDecl, FunDeclId, Literal, PadMode, Pattern, Program, Reorder,
 };
 pub use scalar::{BinOp, ScalarExpr, UnOp, UserFun, UserFunError};
-pub use typecheck::{infer_call_types, infer_types, TypeError};
+pub use typecheck::{
+    check_pad_width, check_slide_divisibility, infer_call_types, infer_types, TypeError,
+};
 pub use types::{AddressSpace, ScalarKind, Type};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
     pub use crate::node::{
-        ExprId, ExprKind, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder,
+        ExprId, ExprKind, FunDecl, FunDeclId, Literal, PadMode, Pattern, Program, Reorder,
     };
     pub use crate::scalar::{BinOp, ScalarExpr, UnOp, UserFun};
     pub use crate::typecheck::{infer_call_types, infer_types, TypeError};

@@ -125,6 +125,50 @@ impl Reorder {
     }
 }
 
+/// How `pad` materialises the elements beyond the ends of its input array.
+///
+/// All three modes replicate *existing* elements (no new values are invented), which is what
+/// makes `pad` commute with `map`: boundary handling for stencils reduces to reading an
+/// interior element through a remapped index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum PadMode {
+    /// Repeat the nearest edge element: `x[-1] = x[0]`, `x[n] = x[n-1]`.
+    Clamp,
+    /// Reflect across the boundary (edge element included): `x[-1] = x[0]`, `x[-2] = x[1]`,
+    /// `x[n] = x[n-1]`.
+    Mirror,
+    /// Wrap around periodically: `x[-1] = x[n-1]`, `x[n] = x[0]`.
+    Wrap,
+}
+
+impl PadMode {
+    /// A short name used in pretty printing (`padClamp`, …).
+    pub fn name(self) -> &'static str {
+        match self {
+            PadMode::Clamp => "Clamp",
+            PadMode::Mirror => "Mirror",
+            PadMode::Wrap => "Wrap",
+        }
+    }
+
+    /// The source index a padded read at `j - left` resolves to, over a host array of
+    /// length `n` (the reference semantics shared by the interpreter and the tests).
+    pub fn source_index(self, shifted: i64, n: i64) -> i64 {
+        match self {
+            PadMode::Clamp => shifted.clamp(0, n - 1),
+            PadMode::Mirror => {
+                let j = if shifted < 0 { -1 - shifted } else { shifted };
+                if j >= n {
+                    2 * n - 1 - j
+                } else {
+                    j
+                }
+            }
+            PadMode::Wrap => shifted.rem_euclid(n),
+        }
+    }
+}
+
 /// The predefined patterns of the Lift IL (Section 3.2).
 #[derive(Clone, Debug, PartialEq)]
 pub enum Pattern {
@@ -224,6 +268,17 @@ pub enum Pattern {
         /// Window step.
         step: ArithExpr,
     },
+    /// Extend an array at both ends with boundary elements: `[T]_n -> [T]_{l+n+r}` (stencil
+    /// boundary handling). Like `slide`, it is a read-side pattern: no data is copied, reads
+    /// through the pad remap their index into the underlying array.
+    Pad {
+        /// Number of elements prepended.
+        left: ArithExpr,
+        /// Number of elements appended.
+        right: ArithExpr,
+        /// How out-of-range indices map back into the array.
+        mode: PadMode,
+    },
     /// Write the result of `f` to global memory.
     ToGlobal {
         /// The wrapped function.
@@ -304,6 +359,9 @@ impl Pattern {
             Pattern::Zip { .. } => "zip".into(),
             Pattern::Get { index } => format!("get{index}"),
             Pattern::Slide { size, step } => format!("slide({size},{step})"),
+            Pattern::Pad { left, right, mode } => {
+                format!("pad{}({left},{right})", mode.name())
+            }
             Pattern::ToGlobal { .. } => "toGlobal".into(),
             Pattern::ToLocal { .. } => "toLocal".into(),
             Pattern::ToPrivate { .. } => "toPrivate".into(),

@@ -60,6 +60,31 @@ pub enum TypeError {
         /// The parameter name.
         name: String,
     },
+    /// A mirror `pad` whose amounts are not provably within one array length. A single
+    /// reflection only reaches `n` elements past either end; beyond that the emitted index
+    /// formula would leave the buffer, so — like the slide side condition below — the
+    /// obligation is discharged at the type level where every layer can rely on it.
+    MirrorPadTooWide {
+        /// The pad amounts.
+        left: String,
+        /// The pad amounts.
+        right: String,
+        /// The array length.
+        len: String,
+    },
+    /// `slide(size, step)` over an array whose length does not satisfy
+    /// `(len - size) mod step == 0` provably. The window-count type `(len - size)/step + 1`
+    /// and the interpreter's greedy window enumeration only provably agree (and compose with
+    /// the divisibility-based simplification rules) when the step divides the slack exactly,
+    /// so anything else is rejected up front instead of mis-counting windows downstream.
+    SlideIndivisible {
+        /// The array length.
+        len: String,
+        /// The window size.
+        size: String,
+        /// The window step.
+        step: String,
+    },
     /// The program has no root lambda.
     MissingRoot,
 }
@@ -101,6 +126,22 @@ impl fmt::Display for TypeError {
             }
             TypeError::UntypedParam { name } => {
                 write!(f, "parameter `{name}` was used before receiving a type")
+            }
+            TypeError::MirrorPadTooWide { left, right, len } => {
+                write!(
+                    f,
+                    "padMirror({left},{right}) over an array of length {len}: a mirror \
+                     reflection only reaches one array length past either end, and the pad \
+                     amounts are not provably within it"
+                )
+            }
+            TypeError::SlideIndivisible { len, size, step } => {
+                write!(
+                    f,
+                    "slide({size},{step}) over an array of length {len}: the step must \
+                     divide len - size exactly (`({len} - {size}) mod {step}` does not \
+                     provably normalise to 0)"
+                )
             }
             TypeError::MissingRoot => write!(f, "the program has no root lambda"),
         }
@@ -213,6 +254,54 @@ pub(crate) fn infer_call(
             Ok(uf.return_type().clone())
         }
         FunDecl::Pattern(p) => infer_pattern(program, &p, arg_types),
+    }
+}
+
+/// The arith-checked `slide` side condition: `(len - size) mod step` must provably
+/// normalise to the constant 0 (a step of 1 always passes because `x mod 1` folds to 0).
+/// This is the same kind of proof obligation the split-join rewrite rule discharges for its
+/// split factor, stated once at the type level so *both* the type-level window count
+/// `(len - size)/step + 1` and the interpreter's greedy window walk describe the same set of
+/// windows.
+pub fn check_slide_divisibility(
+    len: &ArithExpr,
+    size: &ArithExpr,
+    step: &ArithExpr,
+) -> Result<(), TypeError> {
+    let slack = len.clone() - size.clone();
+    if (slack % step.clone()).is_cst(0) {
+        Ok(())
+    } else {
+        Err(TypeError::SlideIndivisible {
+            len: len.to_string(),
+            size: size.to_string(),
+            step: step.to_string(),
+        })
+    }
+}
+
+/// The mirror-`pad` side condition: a single reflection only reaches `len` elements past
+/// either end, so both pad amounts must be provably `<= len` (clamp and wrap handle any
+/// amount). Provability uses the `max` smart constructor: `max(amount, len)` collapsing to
+/// `len` is exactly the range analysis proving `amount <= len`.
+pub fn check_pad_width(
+    left: &ArithExpr,
+    right: &ArithExpr,
+    mode: crate::node::PadMode,
+    len: &ArithExpr,
+) -> Result<(), TypeError> {
+    if mode != crate::node::PadMode::Mirror {
+        return Ok(());
+    }
+    let fits = |amount: &ArithExpr| amount.clone().max_of(len.clone()) == *len;
+    if fits(left) && fits(right) {
+        Ok(())
+    } else {
+        Err(TypeError::MirrorPadTooWide {
+            left: left.to_string(),
+            right: right.to_string(),
+            len: len.to_string(),
+        })
     }
 }
 
@@ -353,8 +442,14 @@ fn infer_pattern(
         },
         Pattern::Slide { size, step } => {
             let (elem, len) = array_of(pattern, &arg_types[0])?;
+            check_slide_divisibility(&len, size, step)?;
             let windows = (len - size.clone()) / step.clone() + 1;
             Ok(Type::array(Type::array(elem, size.clone()), windows))
+        }
+        Pattern::Pad { left, right, mode } => {
+            let (elem, len) = array_of(pattern, &arg_types[0])?;
+            check_pad_width(left, right, *mode, &len)?;
+            Ok(Type::array(elem, left.clone() + len + right.clone()))
         }
         Pattern::ToGlobal { f } | Pattern::ToLocal { f } | Pattern::ToPrivate { f } => {
             infer_call(program, *f, arg_types)
@@ -561,6 +656,153 @@ mod tests {
         let (inner, windows) = t.as_array().expect("array");
         assert_eq!(*windows, (n - 3) / 1 + 1);
         assert_eq!(*inner, float_array(3usize));
+    }
+
+    #[test]
+    fn slide_with_indivisible_step_is_a_typed_error() {
+        // slide(3, 2) over [float]_6: (6 - 3) mod 2 = 1, so the type-level window count
+        // (floor quotient) and the greedy window walk would describe different coverage of
+        // the array; the checker rejects it. (The matching interpreter check is pinned in
+        // `lift-interp`.)
+        let mut p = Program::new("t");
+        let s = p.slide(3usize, 2usize);
+        p.with_root(vec![("x", float_array(6usize))], |p, params| {
+            p.apply1(s, params[0])
+        });
+        let err = infer_types(&mut p).unwrap_err();
+        assert!(matches!(err, TypeError::SlideIndivisible { .. }), "{err}");
+        assert!(err.to_string().contains("mod 2"), "{err}");
+
+        // A divisible step passes: slide(3, 2) over [float]_7 has (7-3) mod 2 = 0.
+        let mut p = Program::new("t2");
+        let s = p.slide(3usize, 2usize);
+        p.with_root(vec![("x", float_array(7usize))], |p, params| {
+            p.apply1(s, params[0])
+        });
+        infer_types(&mut p).expect("divisible slide types");
+        let t = p.type_of(p.root_body()).clone();
+        let (_, windows) = t.as_array().expect("array");
+        assert_eq!(*windows, ArithExpr::cst(3));
+
+        // A symbolic length with step 1 still passes ((N - 3) mod 1 folds to 0).
+        let mut p = Program::new("t3");
+        let s = p.slide(3usize, 1usize);
+        p.with_root(
+            vec![("x", float_array(ArithExpr::size_var("N")))],
+            |p, params| p.apply1(s, params[0]),
+        );
+        infer_types(&mut p).expect("unit-step slide types");
+    }
+
+    #[test]
+    fn pad_extends_the_length() {
+        use crate::node::PadMode;
+        // Clamp and wrap pad any symbolic length; mirror needs the amounts provably within
+        // one array length, so it is checked on a concrete one.
+        let n = ArithExpr::size_var("N");
+        for mode in [PadMode::Clamp, PadMode::Wrap] {
+            let mut p = Program::new("t");
+            let pad = p.pad(2usize, 3usize, mode);
+            p.with_root(vec![("x", float_array(n.clone()))], |p, params| {
+                p.apply1(pad, params[0])
+            });
+            infer_types(&mut p).expect("pad types");
+            assert_eq!(*p.type_of(p.root_body()), float_array(n.clone() + 5));
+        }
+        let mut p = Program::new("t");
+        let pad = p.pad(2usize, 3usize, PadMode::Mirror);
+        p.with_root(vec![("x", float_array(8usize))], |p, params| {
+            p.apply1(pad, params[0])
+        });
+        infer_types(&mut p).expect("mirror pad types");
+        assert_eq!(*p.type_of(p.root_body()), float_array(13usize));
+    }
+
+    #[test]
+    fn mirror_pad_wider_than_the_array_is_a_typed_error() {
+        use crate::node::PadMode;
+        // A single reflection only reaches one array length past either end; the checker
+        // rejects pad amounts beyond it (the interpreter enforces the same bound), so the
+        // out-of-range mirror index formula can never be emitted.
+        let mut p = Program::new("t");
+        let pad = p.pad(3usize, 0usize, PadMode::Mirror);
+        p.with_root(vec![("x", float_array(2usize))], |p, params| {
+            p.apply1(pad, params[0])
+        });
+        let err = infer_types(&mut p).unwrap_err();
+        assert!(matches!(err, TypeError::MirrorPadTooWide { .. }), "{err}");
+
+        // Clamp and wrap handle any amount.
+        for mode in [PadMode::Clamp, PadMode::Wrap] {
+            let mut p = Program::new("t2");
+            let pad = p.pad(3usize, 5usize, mode);
+            p.with_root(vec![("x", float_array(2usize))], |p, params| {
+                p.apply1(pad, params[0])
+            });
+            infer_types(&mut p).expect("clamp/wrap pads of any width type");
+        }
+
+        // A symbolic length admits a provably-smaller constant amount (1 <= N for a size
+        // variable) but rejects what cannot be proven.
+        let n = ArithExpr::size_var("N");
+        let mut p = Program::new("t3");
+        let pad = p.pad(1usize, 1usize, PadMode::Mirror);
+        p.with_root(vec![("x", float_array(n.clone()))], |p, params| {
+            p.apply1(pad, params[0])
+        });
+        infer_types(&mut p).expect("mirror pad of 1 over [float]_N types");
+        let mut p = Program::new("t4");
+        let pad = p.pad(2usize, 0usize, PadMode::Mirror);
+        p.with_root(vec![("x", float_array(n))], |p, params| {
+            p.apply1(pad, params[0])
+        });
+        assert!(matches!(
+            infer_types(&mut p).unwrap_err(),
+            TypeError::MirrorPadTooWide { .. }
+        ));
+    }
+
+    #[test]
+    fn pad_then_slide_covers_every_input_position() {
+        // pad(1, 1) then slide(3, 1): [float]_N -> [float]_{N+2} -> N windows of 3 — the
+        // canonical boundary-handled stencil shape.
+        let n = ArithExpr::size_var("N");
+        let mut p = Program::new("t");
+        let pad = p.pad(1usize, 1usize, crate::node::PadMode::Clamp);
+        let s = p.slide(3usize, 1usize);
+        p.with_root(vec![("x", float_array(n.clone()))], |p, params| {
+            let padded = p.apply1(pad, params[0]);
+            p.apply1(s, padded)
+        });
+        infer_types(&mut p).expect("types");
+        let t = p.type_of(p.root_body()).clone();
+        let (inner, windows) = t.as_array().expect("array");
+        assert_eq!(*windows, n);
+        assert_eq!(*inner, float_array(3usize));
+    }
+
+    #[test]
+    fn slide2d_produces_square_neighbourhoods() {
+        use crate::node::PadMode;
+        // pad2d(1,1) then slide2d(3,1) over an 4×6 grid: one 3×3 window per grid point.
+        let mut p = Program::new("t");
+        let pad = p.pad2d(1usize, 1usize, PadMode::Clamp);
+        let s2 = p.slide2d(3usize, 1usize);
+        p.with_root(
+            vec![("x", Type::array(float_array(6usize), 4usize))],
+            |p, params| {
+                let padded = p.apply1(pad, params[0]);
+                p.apply1(s2, padded)
+            },
+        );
+        infer_types(&mut p).expect("types");
+        assert_eq!(
+            *p.type_of(p.root_body()),
+            Type::array(
+                Type::array(Type::array(float_array(3usize), 3usize), 6usize),
+                4usize
+            )
+        );
     }
 
     #[test]

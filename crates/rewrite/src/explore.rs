@@ -864,6 +864,7 @@ mod tests {
             rule_options: RuleOptions {
                 split_sizes: vec![2, 4],
                 vector_widths: vec![4],
+                tile_sizes: vec![],
             },
             launch: LaunchConfig::d1(16, 4),
             best_n: 4,
@@ -911,6 +912,7 @@ mod tests {
             rule_options: RuleOptions {
                 split_sizes: vec![2, 4],
                 vector_widths: vec![4],
+                tile_sizes: vec![],
             },
             launch: LaunchConfig::d1(16, 4),
             best_n: 3,

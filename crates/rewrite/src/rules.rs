@@ -42,6 +42,11 @@ pub struct RuleOptions {
     pub split_sizes: Vec<i64>,
     /// Candidate vector widths for the vectorisation rule.
     pub vector_widths: Vec<usize>,
+    /// Candidate stencil tile sizes — windows per tile for the overlapped-tiling rules
+    /// (checked for divisibility against the window count, like `split_sizes`). Exposed as
+    /// a tuning dimension: the best tile balances local-memory footprint against the number
+    /// of work groups.
+    pub tile_sizes: Vec<i64>,
 }
 
 impl Default for RuleOptions {
@@ -49,6 +54,7 @@ impl Default for RuleOptions {
         RuleOptions {
             split_sizes: vec![2, 4, 8],
             vector_widths: vec![4],
+            tile_sizes: vec![32, 64],
         }
     }
 }
@@ -85,6 +91,19 @@ impl RuleCx<'_> {
             .iter()
             .copied()
             .filter(|c| *c > 1 && divides(*c, len))
+            .collect()
+    }
+
+    /// Stencil tile sizes (windows per tile) that provably divide the window count without
+    /// degenerating into "one tile covers everything".
+    fn dividing_tiles(&self, window_count: &ArithExpr) -> Vec<i64> {
+        self.options
+            .tile_sizes
+            .iter()
+            .copied()
+            .filter(|v| {
+                *v > 1 && divides(*v, window_count) && window_count.as_cst().is_none_or(|w| *v < w)
+            })
             .collect()
     }
 }
@@ -193,6 +212,32 @@ pub fn all_rules() -> &'static [Rule] {
             name: "reduceSeq-mapSeq-fusion",
             kind: RuleKind::Algorithmic,
             apply: reduce_seq_map_seq_fusion,
+        },
+        // ------------------------------------------------------------- stencil
+        Rule {
+            name: "slide-tiling",
+            kind: RuleKind::Algorithmic,
+            apply: slide_tiling,
+        },
+        Rule {
+            name: "pad-map-commute",
+            kind: RuleKind::Algorithmic,
+            apply: pad_map_commute,
+        },
+        Rule {
+            name: "pad-pad-merge",
+            kind: RuleKind::Algorithmic,
+            apply: pad_pad_merge,
+        },
+        Rule {
+            name: "reduce-to-iterate",
+            kind: RuleKind::Algorithmic,
+            apply: reduce_to_iterate,
+        },
+        Rule {
+            name: "stencil-wrg-tiling",
+            kind: RuleKind::Lowering,
+            apply: stencil_wrg_tiling,
         },
         // ----------------------------------------------------------- lowering
         Rule {
@@ -378,6 +423,9 @@ fn fused_reduction_operator(op: &TermFun, g: &TermFun, fresh: &mut FreshNames) -
 
 /// `map f` → `join ∘ map(map f) ∘ split n`, for every `n` that divides the input length.
 fn split_join(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    if cx.context.inside_iterate {
+        return Vec::new();
+    }
     let Some((f, x)) = as_map(site) else {
         return Vec::new();
     };
@@ -408,6 +456,9 @@ fn split_join(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
 /// sums get squared again), and a non-neutral initialiser such as `reduce(add, 1.0)` would
 /// be re-added once per chunk.
 fn partial_reduce(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    if cx.context.inside_iterate {
+        return Vec::new();
+    }
     let TermExpr::Apply {
         f: TermFun::Reduce(op),
         args,
@@ -602,6 +653,253 @@ fn split_map_promotion(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
     )]
 }
 
+// ------------------------------------------------------------------- stencil rules
+
+/// Matches `slide(size, 1)(x)` with a constant window size, returning `(size, x)`.
+fn as_unit_step_slide(site: &TermExpr) -> Option<(i64, &TermExpr)> {
+    let TermExpr::Apply {
+        f: TermFun::Slide(size, step),
+        args,
+    } = site
+    else {
+        return None;
+    };
+    let [x] = args.as_slice() else {
+        return None;
+    };
+    if !step.is_cst(1) {
+        return None;
+    }
+    size.as_cst().map(|s| (s, x))
+}
+
+/// Overlapped tiling (the stencil analogue of split-join):
+/// `slide n 1` → `join ∘ map(slide n 1) ∘ slide (n+v-1) v` for every tile size `v` that
+/// divides the window count. The outer slide carves the input into tiles of `v` windows
+/// (each `n+v-1` elements long, overlapping its neighbours by `n-1`), the mapped inner
+/// slide re-creates the windows per tile, and `join` restores the original window order.
+fn slide_tiling(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    if cx.context.inside_iterate {
+        return Vec::new();
+    }
+    let Some((size, x)) = as_unit_step_slide(site) else {
+        return Vec::new();
+    };
+    let Some((_, len)) = cx.arg0_array() else {
+        return Vec::new();
+    };
+    let window_count = len - ArithExpr::cst(size) + 1;
+    cx.dividing_tiles(&window_count)
+        .into_iter()
+        .map(|v| {
+            let inner = map_of(
+                TermFun::Slide(ArithExpr::cst(size), ArithExpr::cst(1)),
+                cx.fresh,
+            );
+            TermExpr::apply1(
+                TermFun::Join,
+                TermExpr::apply1(
+                    inner,
+                    TermExpr::apply1(
+                        TermFun::Slide(ArithExpr::cst(size + v - 1), ArithExpr::cst(v)),
+                        x.clone(),
+                    ),
+                ),
+            )
+        })
+        .collect()
+}
+
+/// `map f ∘ pad l r` → `pad l r ∘ map f`: every padded element is a copy of an input
+/// element, so mapping before or after padding reads the same values — but mapping first
+/// does the work once per *input* element instead of once per padded element, and moves the
+/// pad next to a `slide` where the tiling rules can see it.
+fn pad_map_commute(site: &TermExpr, _cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, input)) = as_map(site) else {
+        return Vec::new();
+    };
+    let TermExpr::Apply {
+        f: TermFun::Pad(left, right, mode),
+        args: inner,
+    } = input
+    else {
+        return Vec::new();
+    };
+    let [x] = inner.as_slice() else {
+        return Vec::new();
+    };
+    vec![TermExpr::apply1(
+        TermFun::Pad(left.clone(), right.clone(), *mode),
+        TermExpr::apply1(TermFun::Map(Box::new(f.clone())), x.clone()),
+    )]
+}
+
+/// `padClamp(a, b) ∘ padClamp(c, d)` → `padClamp(a+c, b+d)`. Clamp is the only mode where
+/// re-padding keeps replicating the same edge element; mirror and wrap walk further into
+/// the array on the second application, so the rule is restricted to clamp.
+fn pad_pad_merge(site: &TermExpr, _cx: &mut RuleCx) -> Vec<TermExpr> {
+    let TermExpr::Apply {
+        f: TermFun::Pad(a, b, lift_ir::PadMode::Clamp),
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [TermExpr::Apply {
+        f: TermFun::Pad(c, d, lift_ir::PadMode::Clamp),
+        args: inner,
+    }] = args.as_slice()
+    else {
+        return Vec::new();
+    };
+    let [x] = inner.as_slice() else {
+        return Vec::new();
+    };
+    vec![TermExpr::apply1(
+        TermFun::Pad(
+            a.clone() + c.clone(),
+            b.clone() + d.clone(),
+            lift_ir::PadMode::Clamp,
+        ),
+        x.clone(),
+    )]
+}
+
+/// The tree-reduction rule of Listing 1: `reduce(f, z)` over an array of constant length
+/// `2^k` → `iterate^k (join ∘ map(reduce(f, z)) ∘ split 2)` — every iteration halves the
+/// array by reducing adjacent pairs, which is the shape that lowers to the work-group
+/// tree reduction (`mapLcl` over pairs) of the paper's dot-product kernel.
+///
+/// Side conditions as for partial reduction: the operator must be declared
+/// associative-commutative and the initialiser neutral (it is re-applied once per pair per
+/// level).
+fn reduce_to_iterate(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    if cx.context.inside_iterate {
+        return Vec::new();
+    }
+    let TermExpr::Apply {
+        f: TermFun::Reduce(op),
+        args,
+    } = site
+    else {
+        return Vec::new();
+    };
+    let [init, x] = args.as_slice() else {
+        return Vec::new();
+    };
+    match op.as_ref() {
+        TermFun::UserFun(uf) if uf.is_assoc_commutative() && is_neutral_init(uf, init) => {}
+        _ => return Vec::new(),
+    }
+    let Some(len) = cx
+        .arg_types
+        .get(1)
+        .and_then(|t| t.as_ref()?.as_array().map(|(_, l)| l.clone()))
+        .and_then(|l| l.as_cst())
+    else {
+        return Vec::new();
+    };
+    // Constant power of two, large enough to be worth a tree and small enough to unroll the
+    // iterate's type computation.
+    if !(4..=4096).contains(&len) || (len as u64).count_ones() != 1 {
+        return Vec::new();
+    }
+    let k = u64::from(len.trailing_zeros());
+    let pair = cx.fresh.next("pair");
+    let halve_pairs = TermFun::Lambda {
+        params: vec![pair.clone()],
+        body: Box::new(TermExpr::Apply {
+            f: TermFun::Reduce(op.clone()),
+            args: vec![init.clone(), TermExpr::Param(pair)],
+        }),
+    };
+    let level = cx.fresh.next("level");
+    let halve = TermFun::Lambda {
+        params: vec![level.clone()],
+        body: Box::new(TermExpr::apply1(
+            TermFun::Join,
+            TermExpr::apply1(
+                TermFun::Map(Box::new(halve_pairs)),
+                TermExpr::apply1(TermFun::Split(ArithExpr::cst(2)), TermExpr::Param(level)),
+            ),
+        )),
+    };
+    vec![TermExpr::apply1(
+        TermFun::Iterate(k, Box::new(halve)),
+        x.clone(),
+    )]
+}
+
+/// The work-group lowering of an overlapped-tiled stencil, in one step:
+///
+/// `map f ∘ slide n 1` → `join ∘ mapWrg⁰(mapLcl⁰ f ∘ slide n 1 ∘ toLocal(mapLcl⁰ id)) ∘
+/// slide (n+v-1) v`
+///
+/// Each work group loads one overlapping tile of `n+v-1` input elements into local memory
+/// (one cooperative `mapLcl` copy, so every element crosses the global-memory bus once per
+/// tile instead of once per window), re-creates the tile's `v` windows with a local `slide`,
+/// and computes one window per local work item. `v` comes from
+/// [`RuleOptions::tile_sizes`], so the auto-tuner searches the tile size jointly with the
+/// launch configuration.
+fn stencil_wrg_tiling(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, input)) = as_map(site) else {
+        return Vec::new();
+    };
+    if cx.context.inside_iterate || !cx.context.is_top_level() || fun_contains_parallel(f) {
+        return Vec::new();
+    }
+    let Some((size, x)) = as_unit_step_slide(input) else {
+        return Vec::new();
+    };
+    // The cooperative copy is a float copy: the slide input must be a float array.
+    let Some((elem, _)) = cx.arg0_array() else {
+        return Vec::new();
+    };
+    if !elem
+        .as_array()
+        .is_some_and(|(window_elem, _)| *window_elem == Type::float())
+    {
+        return Vec::new();
+    }
+    let Some(len) = infer_type(x, cx.env).and_then(|t| t.as_array().map(|(_, l)| l.clone())) else {
+        return Vec::new();
+    };
+    let window_count = len - ArithExpr::cst(size) + 1;
+    cx.dividing_tiles(&window_count)
+        .into_iter()
+        .map(|v| {
+            let tile = cx.fresh.next("tile");
+            let copy = TermExpr::apply1(
+                TermFun::ToLocal(Box::new(TermFun::MapLcl(
+                    0,
+                    Box::new(TermFun::UserFun(lift_ir::UserFun::id_float())),
+                ))),
+                TermExpr::Param(tile.clone()),
+            );
+            let local_windows = TermExpr::apply1(
+                TermFun::Slide(ArithExpr::cst(size), ArithExpr::cst(1)),
+                copy,
+            );
+            let per_window =
+                TermExpr::apply1(TermFun::MapLcl(0, Box::new(f.clone())), local_windows);
+            let wrg_fun = TermFun::Lambda {
+                params: vec![tile],
+                body: Box::new(per_window),
+            };
+            TermExpr::apply1(
+                TermFun::Join,
+                TermExpr::apply1(
+                    TermFun::MapWrg(0, Box::new(wrg_fun)),
+                    TermExpr::apply1(
+                        TermFun::Slide(ArithExpr::cst(size + v - 1), ArithExpr::cst(v)),
+                        x.clone(),
+                    ),
+                ),
+            )
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------------ lowering rules
 
 /// `map` → `mapSeq` (legal anywhere).
@@ -635,7 +933,7 @@ fn map_to_wrg_lcl(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
     let Some((f, x)) = as_map(site) else {
         return Vec::new();
     };
-    if !cx.context.is_top_level() || fun_contains_parallel(f) {
+    if cx.context.inside_iterate || !cx.context.is_top_level() || fun_contains_parallel(f) {
         return Vec::new();
     }
     let Some((_, len)) = cx.arg0_array() else {
@@ -680,6 +978,9 @@ fn map_to_map_lcl(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
 /// `map f` → `asScalar ∘ map(mapVec f) ∘ asVector w` for unary scalar user functions over
 /// float arrays whose length the width divides.
 fn map_vectorise(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    if cx.context.inside_iterate {
+        return Vec::new();
+    }
     let Some((f, x)) = as_map(site) else {
         return Vec::new();
     };
@@ -805,6 +1106,7 @@ mod tests {
         let options = RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![2],
+            tile_sizes: vec![2, 4],
         };
         let mut fresh = term.fresh;
         for site in sites(&term) {
@@ -865,6 +1167,152 @@ mod tests {
         }
     }
 
+    /// `map(λw. reduce(add, 0)(w)) ∘ slide(3, 1)`: a 3-point sum stencil over `n` inputs
+    /// (`n - 2` windows), the canonical target of the stencil rule family.
+    fn high_level_stencil(n: usize) -> Program {
+        let mut p = Program::new("stencil_sum");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce(add, 0.0);
+        let m = p.map(red);
+        let s = p.slide(3usize, 1usize);
+        p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+            let windows = p.apply1(s, params[0]);
+            p.apply1(m, windows)
+        });
+        p
+    }
+
+    fn padded_map(n: usize, mode: lift_ir::PadMode) -> Program {
+        let mut p = Program::new("padded");
+        let mult = p.user_fun(UserFun::mult());
+        let sq = p.lambda(&["v"], |p, params| p.apply(mult, [params[0], params[0]]));
+        let m = p.map(sq);
+        let pad = p.pad(1usize, 2usize, mode);
+        p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+            let padded = p.apply1(pad, params[0]);
+            p.apply1(m, padded)
+        });
+        p
+    }
+
+    #[test]
+    fn stencil_rules_preserve_semantics() {
+        // 10 inputs -> 8 windows: tile sizes 2 and 4 both divide the window count.
+        let p = high_level_stencil(10);
+        let input: Vec<f32> = (0..10).map(|i| i as f32 * 0.5 - 2.0).collect();
+        for rule in ["slide-tiling", "stencil-wrg-tiling"] {
+            assert!(check_preserves(&p, rule, &input), "rule {rule} never fired");
+        }
+    }
+
+    #[test]
+    fn pad_rules_preserve_semantics_for_every_mode() {
+        use lift_ir::PadMode;
+        let input: Vec<f32> = (0..6).map(|i| i as f32 - 2.5).collect();
+        for mode in [PadMode::Clamp, PadMode::Mirror, PadMode::Wrap] {
+            assert!(
+                check_preserves(&padded_map(6, mode), "pad-map-commute", &input),
+                "pad-map-commute never fired for {mode:?}"
+            );
+        }
+        // The merge rule needs two stacked clamp pads.
+        let mut p = Program::new("stacked");
+        let idf = p.user_fun(UserFun::id_float());
+        let m = p.map(idf);
+        let outer = p.pad(1usize, 1usize, PadMode::Clamp);
+        let inner = p.pad(2usize, 1usize, PadMode::Clamp);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 5usize))],
+            |p, params| {
+                let once = p.apply1(inner, params[0]);
+                let twice = p.apply1(outer, once);
+                p.apply1(m, twice)
+            },
+        );
+        assert!(
+            check_preserves(&p, "pad-pad-merge", &[1.0, 2.0, 3.0, 4.0, 5.0]),
+            "pad-pad-merge never fired"
+        );
+    }
+
+    #[test]
+    fn pad_pad_merge_is_restricted_to_clamp() {
+        use lift_ir::PadMode;
+        // Mirror pads do not merge: pad(1,1) ∘ pad(1,1) reflects deeper into the array
+        // than pad(2,2) would. The rule must not fire.
+        let mut p = Program::new("stacked_mirror");
+        let idf = p.user_fun(UserFun::id_float());
+        let m = p.map(idf);
+        let outer = p.pad(1usize, 1usize, PadMode::Mirror);
+        let inner = p.pad(1usize, 1usize, PadMode::Mirror);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 4usize))],
+            |p, params| {
+                let once = p.apply1(inner, params[0]);
+                let twice = p.apply1(outer, once);
+                p.apply1(m, twice)
+            },
+        );
+        let term = Term::from_program(&p).expect("converts");
+        let rule = all_rules()
+            .iter()
+            .find(|r| r.name == "pad-pad-merge")
+            .expect("rule exists");
+        let options = RuleOptions::default();
+        let mut fresh = term.fresh;
+        for site in sites(&term) {
+            let Some(expr) = get(&term.body, &site.location) else {
+                continue;
+            };
+            let mut cx = RuleCx {
+                context: site.context,
+                arg_types: &site.arg_types,
+                env: &site.env,
+                options: &options,
+                fresh: &mut fresh,
+            };
+            assert!(
+                rule.applications(expr, &mut cx).is_empty(),
+                "pad-pad-merge fired for mirror pads"
+            );
+        }
+    }
+
+    #[test]
+    fn reduce_to_iterate_builds_a_halving_tree() {
+        let mut p = Program::new("tree_sum");
+        let add = p.user_fun(UserFun::add());
+        let red = p.reduce(add, 0.0);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 16usize))],
+            |p, params| p.apply1(red, params[0]),
+        );
+        let input: Vec<f32> = (0..16).map(|i| i as f32 * 0.25).collect();
+        assert!(
+            check_preserves(&p, "reduce-to-iterate", &input),
+            "reduce-to-iterate never fired"
+        );
+        // Non-power-of-two lengths do not admit the rule.
+        let mut q = Program::new("tree_sum12");
+        let add = q.user_fun(UserFun::add());
+        let red = q.reduce(add, 0.0);
+        q.with_root(
+            vec![("x", Type::array(Type::float(), 12usize))],
+            |q, params| q.apply1(red, params[0]),
+        );
+        assert!(!check_preserves(&q, "reduce-to-iterate", &[0.0; 12]));
+    }
+
+    #[test]
+    fn stencil_tiling_fires_only_for_dividing_tiles() {
+        // 9 inputs -> 7 windows: neither 2 nor 4 divides 7, so no tiling applies.
+        assert!(!check_preserves(
+            &high_level_stencil(9),
+            "slide-tiling",
+            &[0.0; 9]
+        ));
+    }
+
     #[test]
     fn divisibility_is_arith_checked() {
         assert!(divides(4, &ArithExpr::cst(16)));
@@ -894,6 +1342,7 @@ mod tests {
         let options = RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
+            tile_sizes: vec![2, 4],
         };
         let mut fresh = term.fresh;
         for site in sites(&term) {

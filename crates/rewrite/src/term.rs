@@ -21,7 +21,8 @@ use std::collections::HashMap;
 
 use lift_arith::ArithExpr;
 use lift_ir::{
-    ExprId, ExprKind, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder, Type, UserFun,
+    ExprId, ExprKind, FunDecl, FunDeclId, Literal, PadMode, Pattern, Program, Reorder, Type,
+    UserFun,
 };
 
 /// Errors raised while converting between the arena IR and the tree form.
@@ -103,6 +104,8 @@ pub enum TermFun {
     Get(usize),
     /// `slide(size, step)`.
     Slide(ArithExpr, ArithExpr),
+    /// `pad(left, right, mode)`.
+    Pad(ArithExpr, ArithExpr, PadMode),
     /// `asVector^width`.
     AsVector(usize),
     /// `asScalar`.
@@ -656,6 +659,12 @@ fn hash_fun_canon(f: &TermFun, h: &mut StableHasher) {
             size.hash(h);
             step.hash(h);
         }
+        TermFun::Pad(left, right, mode) => {
+            h.write_u8(35);
+            left.hash(h);
+            right.hash(h);
+            h.write_u8(*mode as u8);
+        }
         TermFun::AsVector(width) => {
             h.write_u8(33);
             h.write_usize(*width);
@@ -915,6 +924,7 @@ impl FromProgram<'_> {
                 Pattern::Zip { arity } => TermFun::Zip(arity),
                 Pattern::Get { index } => TermFun::Get(index),
                 Pattern::Slide { size, step } => TermFun::Slide(size, step),
+                Pattern::Pad { left, right, mode } => TermFun::Pad(left, right, mode),
                 Pattern::AsVector { width } => TermFun::AsVector(width),
                 Pattern::AsScalar => TermFun::AsScalar,
             }),
@@ -1044,6 +1054,7 @@ impl ToProgram<'_> {
             TermFun::Zip(arity) => self.program.zip(*arity),
             TermFun::Get(index) => self.program.get(*index),
             TermFun::Slide(size, step) => self.program.slide(size.clone(), step.clone()),
+            TermFun::Pad(left, right, mode) => self.program.pad(left.clone(), right.clone(), *mode),
             TermFun::AsVector(width) => self.program.as_vector(*width),
             TermFun::AsScalar => self.program.as_scalar(),
         }

@@ -61,6 +61,12 @@ pub struct NestContext {
     pub inside_seq: bool,
     /// Inside the function of a high-level `map`/`reduce` whose parallelism is undecided.
     pub inside_pending: bool,
+    /// Inside the body of an `iterate` that runs more than once. The body executes at a
+    /// *different array length* every iteration, but sites are recorded with the first
+    /// iteration's types — so rules whose rewrite bakes in a constant derived from the
+    /// argument length (split-join, partial reduction, tiling, vectorisation) must not fire
+    /// here: a factor that divides the first length need not divide the later ones.
+    pub inside_iterate: bool,
 }
 
 impl NestContext {
@@ -342,9 +348,15 @@ fn walk_fun(
         }
         TermFun::Iterate(n, g) => {
             // Walk the body once to record its sites; iterate the type function only for
-            // small n (the paper's programs use constants like 6).
+            // small n (the paper's programs use constants like 6). The body runs at a
+            // different length every iteration, so length-specialising rules are fenced off
+            // via `inside_iterate` whenever it runs more than once.
+            let mut inner = ctx;
+            if *n > 1 {
+                inner.inside_iterate = true;
+            }
             let mut current = arg_types[0].clone();
-            let first = walk_fun(g, &[current.clone()], scope, loc, ctx, out, peel + 1);
+            let first = walk_fun(g, &[current.clone()], scope, loc, inner, out, peel + 1);
             if *n == 0 {
                 return current;
             }
@@ -392,8 +404,16 @@ fn walk_fun(
         },
         TermFun::Slide(size, step) => {
             let (elem, len) = array_of(&arg_types[0])?;
+            // Mirror the typed side condition: an indivisible step means the site is not
+            // usefully typeable (the arena checker will reject any such candidate).
+            lift_ir::check_slide_divisibility(&len, size, step).ok()?;
             let windows = (len - size.clone()) / step.clone() + 1;
             Some(Type::array(Type::array(elem, size.clone()), windows))
+        }
+        TermFun::Pad(left, right, mode) => {
+            let (elem, len) = array_of(&arg_types[0])?;
+            lift_ir::check_pad_width(left, right, *mode, &len).ok()?;
+            Some(Type::array(elem, left.clone() + len + right.clone()))
         }
         TermFun::AsVector(width) => {
             let (elem, len) = array_of(&arg_types[0])?;

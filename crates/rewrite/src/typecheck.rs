@@ -73,6 +73,7 @@ fn fun_name(f: &TermFun) -> String {
         TermFun::Zip(_) => "zip".into(),
         TermFun::Get(index) => format!("get{index}"),
         TermFun::Slide(size, step) => format!("slide({size},{step})"),
+        TermFun::Pad(left, right, mode) => format!("pad{}({left},{right})", mode.name()),
         TermFun::ToGlobal(_) => "toGlobal".into(),
         TermFun::ToLocal(_) => "toLocal".into(),
         TermFun::ToPrivate(_) => "toPrivate".into(),
@@ -268,8 +269,14 @@ fn check_call<'t>(
         },
         TermFun::Slide(size, step) => {
             let (elem, len) = array_of(f, &arg_types[0])?;
+            lift_ir::check_slide_divisibility(&len, size, step)?;
             let windows = (len - size.clone()) / step.clone() + 1;
             Ok(Type::array(Type::array(elem, size.clone()), windows))
+        }
+        TermFun::Pad(left, right, mode) => {
+            let (elem, len) = array_of(f, &arg_types[0])?;
+            lift_ir::check_pad_width(left, right, *mode, &len)?;
+            Ok(Type::array(elem, left.clone() + len + right.clone()))
         }
         TermFun::ToGlobal(g) | TermFun::ToLocal(g) | TermFun::ToPrivate(g) => {
             check_call(g, arg_types, scope)

@@ -21,6 +21,7 @@ fn search_config(threads: usize) -> ExplorationConfig {
         rule_options: RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
+            tile_sizes: vec![],
         },
         launch: LaunchConfig::d1(16, 4),
         best_n: 4,
@@ -103,6 +104,7 @@ fn two_level_candidates() -> Vec<Term> {
     let options = RuleOptions {
         split_sizes: vec![2, 4],
         vector_widths: vec![4],
+        tile_sizes: vec![2, 4],
     };
     let mut all = vec![root.clone()];
     let depth1 = derive_once(&root, &options);

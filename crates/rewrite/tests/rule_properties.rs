@@ -18,6 +18,9 @@ enum Subject {
     SquareSum,
     /// `map(id) ∘ gather(reverse) ∘ join ∘ split 4` over 32 elements (layout-heavy).
     Layout,
+    /// `map(reduce(+, 0)) ∘ slide(3, 1) ∘ pad(1, 1, clamp)` over 18 elements — the
+    /// boundary-handled stencil shape the overlapped-tiling and pad rules target.
+    Stencil,
 }
 
 fn build(subject: Subject) -> (Program, Vec<Vec<f32>>) {
@@ -78,6 +81,21 @@ fn build(subject: Subject) -> (Program, Vec<Vec<f32>>) {
             });
             (p, vec![vec![0.0; n]])
         }
+        Subject::Stencil => {
+            let n = 18;
+            let mut p = Program::new("stencil");
+            let add = p.user_fun(UserFun::add());
+            let red = p.reduce(add, 0.0);
+            let m = p.map(red);
+            let pad = p.pad(1usize, 1usize, PadMode::Clamp);
+            let s = p.slide(3usize, 1usize);
+            p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+                let padded = p.apply1(pad, params[0]);
+                let windows = p.apply1(s, padded);
+                p.apply1(m, windows)
+            });
+            (p, vec![vec![0.0; n]])
+        }
     }
 }
 
@@ -112,6 +130,7 @@ fn random_derivation_preserves(subject: Subject, choices: &[usize], seed: u32) {
     let options = RuleOptions {
         split_sizes: vec![2, 4],
         vector_widths: vec![2, 4],
+        tile_sizes: vec![2, 4],
     };
     let mut term = Term::from_program(&program).expect("term conversion");
     for &choice in choices {
@@ -184,6 +203,7 @@ proptest! {
             Just(Subject::PartialDot),
             Just(Subject::SquareSum),
             Just(Subject::Layout),
+            Just(Subject::Stencil),
         ],
         c0 in 0usize..1000,
         c1 in 0usize..1000,

@@ -50,12 +50,13 @@ pub(crate) fn drive(
             max_steps,
         } => {
             let mut rng = StdRng::seed_from_u64(*seed);
-            let [s, w, l] = space.dims();
+            let [s, w, t, l] = space.dims();
             let mut best: Option<(f64, PointIndex)> = None;
             for _ in 0..*samples {
                 let index = PointIndex {
                     split_set: rng.gen_range(0..s),
                     width_set: rng.gen_range(0..w),
+                    tile_set: rng.gen_range(0..t),
                     launch: rng.gen_range(0..l),
                 };
                 if let Some(t) = eval(index)? {

@@ -18,6 +18,8 @@ pub struct PointIndex {
     pub split_set: usize,
     /// Index into [`TuningSpace::width_sets`].
     pub width_set: usize,
+    /// Index into [`TuningSpace::tile_sets`].
+    pub tile_set: usize,
     /// Index into [`TuningSpace::launches`].
     pub launch: usize,
 }
@@ -40,6 +42,8 @@ pub struct TuningSpace {
     pub split_sets: Vec<Vec<i64>>,
     /// Candidate `RuleOptions::vector_widths` sets.
     pub width_sets: Vec<Vec<usize>>,
+    /// Candidate `RuleOptions::tile_sizes` sets (stencil windows per work-group tile).
+    pub tile_sets: Vec<Vec<i64>>,
     /// Candidate launch configurations (all valid for the target device).
     pub launches: Vec<LaunchConfig>,
 }
@@ -74,15 +78,28 @@ impl TuningSpace {
         TuningSpace {
             split_sets: vec![vec![2, 4], vec![4, 8], vec![2, 4, 8], vec![8, 16]],
             width_sets: vec![vec![4], vec![2, 4]],
+            // The singleton default keeps non-stencil workloads' grids small; stencil
+            // workloads override this with real tile candidates (see
+            // `TuningSpace::with_tile_sets`).
+            tile_sets: vec![vec![]],
             launches,
         }
     }
 
-    /// Grid dimensions: `[split_sets, width_sets, launches]`.
-    pub fn dims(&self) -> [usize; 3] {
+    /// Replaces the tile-size dimension (builder-style), turning the stencil tile size into
+    /// a searched axis.
+    pub fn with_tile_sets(mut self, tile_sets: Vec<Vec<i64>>) -> TuningSpace {
+        assert!(!tile_sets.is_empty(), "at least one tile set is required");
+        self.tile_sets = tile_sets;
+        self
+    }
+
+    /// Grid dimensions: `[split_sets, width_sets, tile_sets, launches]`.
+    pub fn dims(&self) -> [usize; 4] {
         [
             self.split_sets.len(),
             self.width_sets.len(),
+            self.tile_sets.len(),
             self.launches.len(),
         ]
     }
@@ -108,29 +125,45 @@ impl TuningSpace {
             rule_options: RuleOptions {
                 split_sizes: self.split_sets[index.split_set].clone(),
                 vector_widths: self.width_sets[index.width_set].clone(),
+                tile_sizes: self.tile_sets[index.tile_set].clone(),
             },
             launch: self.launches[index.launch],
         }
     }
 
-    /// All indices in deterministic (split-major, width, launch-minor) order.
+    /// All indices in deterministic (split-major, width, tile, launch-minor) order.
     pub fn indices(&self) -> impl Iterator<Item = PointIndex> + '_ {
-        let [s, w, l] = self.dims();
+        let [s, w, t, l] = self.dims();
         (0..s).flat_map(move |split_set| {
             (0..w).flat_map(move |width_set| {
-                (0..l).map(move |launch| PointIndex {
-                    split_set,
-                    width_set,
-                    launch,
+                (0..t).flat_map(move |tile_set| {
+                    (0..l).map(move |launch| PointIndex {
+                        split_set,
+                        width_set,
+                        tile_set,
+                        launch,
+                    })
                 })
             })
         })
     }
 
-    /// The (up to six) axis neighbours of `index`: one step along each dimension.
+    /// The (up to eight) axis neighbours of `index`: one step along each dimension.
     pub fn neighbours(&self, index: PointIndex) -> Vec<PointIndex> {
-        let [s, w, l] = self.dims();
-        let mut out = Vec::with_capacity(6);
+        let [s, w, t, l] = self.dims();
+        let mut out = Vec::with_capacity(8);
+        if index.tile_set > 0 {
+            out.push(PointIndex {
+                tile_set: index.tile_set - 1,
+                ..index
+            });
+        }
+        if index.tile_set + 1 < t {
+            out.push(PointIndex {
+                tile_set: index.tile_set + 1,
+                ..index
+            });
+        }
         if index.split_set > 0 {
             out.push(PointIndex {
                 split_set: index.split_set - 1,
@@ -210,13 +243,15 @@ mod tests {
 
     #[test]
     fn neighbours_stay_in_bounds_and_differ_in_one_coordinate() {
-        let space = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64);
-        let [s, w, l] = space.dims();
+        let space = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64)
+            .with_tile_sets(vec![vec![8], vec![8, 16]]);
+        let [s, w, t, l] = space.dims();
         for index in space.indices() {
             for n in space.neighbours(index) {
-                assert!(n.split_set < s && n.width_set < w && n.launch < l);
+                assert!(n.split_set < s && n.width_set < w && n.tile_set < t && n.launch < l);
                 let moved = usize::from(n.split_set != index.split_set)
                     + usize::from(n.width_set != index.width_set)
+                    + usize::from(n.tile_set != index.tile_set)
                     + usize::from(n.launch != index.launch);
                 assert_eq!(moved, 1);
             }

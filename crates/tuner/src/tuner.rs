@@ -125,8 +125,8 @@ pub struct TuningResult {
 struct Evaluator<'a> {
     program: &'a Program,
     config: &'a TuningConfig,
-    /// One rule search per `(split_set, width_set)` — launches share it.
-    enumerated: HashMap<(usize, usize), Enumerated>,
+    /// One rule search per `(split_set, width_set, tile_set)` — launches share it.
+    enumerated: HashMap<(usize, usize, usize), Enumerated>,
     /// Memoised objective per visited index (strategies may revisit).
     memo: HashMap<PointIndex, Option<f64>>,
     result: TuningResult,
@@ -138,7 +138,7 @@ impl Evaluator<'_> {
             return Ok(*cached);
         }
         let point = self.config.space.point(index);
-        let key = (index.split_set, index.width_set);
+        let key = (index.split_set, index.width_set, index.tile_set);
         // `config.launch` is the single source of the launch: scoring threads it into the
         // compiler options itself (see `ExplorationConfig::compile_options`).
         let config = ExplorationConfig {

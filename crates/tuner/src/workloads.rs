@@ -1,7 +1,7 @@
 //! The tuned workloads: high-level programs from `lift-benchmarks` paired with the problem
 //! parallelism the launch space is sized for.
 
-use lift_benchmarks::{dot_product, mm, nbody};
+use lift_benchmarks::{convolution, dot_product, jacobi, mm, nbody};
 use lift_ir::Program;
 use lift_vgpu::DeviceProfile;
 
@@ -17,6 +17,9 @@ pub struct Workload {
     /// Number of data-parallel elements, used to size the launch space (see
     /// [`TuningSpace::d1_for_device`] for how global sizes derive from it).
     pub parallelism: usize,
+    /// Candidate `RuleOptions::tile_sizes` sets for the stencil workloads (empty for
+    /// workloads without a tiling dimension — the space keeps its singleton default).
+    pub tile_sets: Vec<Vec<i64>>,
 }
 
 impl Workload {
@@ -26,6 +29,7 @@ impl Workload {
             name: "dot_product",
             program: dot_product::high_level_program(512),
             parallelism: 512,
+            tile_sets: Vec::new(),
         }
     }
 
@@ -35,6 +39,7 @@ impl Workload {
             name: "matrix_multiply",
             program: mm::high_level_program(16, 16, 16),
             parallelism: 16,
+            tile_sets: Vec::new(),
         }
     }
 
@@ -45,6 +50,31 @@ impl Workload {
             name: "nbody",
             program: nbody::high_level_program(48),
             parallelism: 48,
+            tile_sets: Vec::new(),
+        }
+    }
+
+    /// The 17-point 1D convolution over 256 outputs, derived from its high-level stencil
+    /// program. The tile dimension searches the overlapped-tiling rules' windows-per-tile
+    /// knob (all candidates divide the 256-window count).
+    pub fn convolution_1d() -> Workload {
+        Workload {
+            name: "convolution_1d",
+            program: convolution::high_level_program(256, convolution::FILTER),
+            parallelism: 256,
+            tile_sets: vec![vec![16], vec![16, 32], vec![32, 64]],
+        }
+    }
+
+    /// The 2D 5-point Jacobi stencil over an `8 × 12` grid (`pad2d` + `slide2d`), derived
+    /// automatically through the mapped-layout views. Parallelism counts the grid rows (the
+    /// outer map).
+    pub fn jacobi_2d() -> Workload {
+        Workload {
+            name: "jacobi_2d",
+            program: jacobi::high_level_program(8, 12),
+            parallelism: 8,
+            tile_sets: vec![vec![2], vec![4], vec![2, 4]],
         }
     }
 
@@ -60,6 +90,7 @@ impl Workload {
             program: dot_product::high_level_full_program(1024),
             // Stage 1 parallelism: one work item per 128-element chunk.
             parallelism: 1024 / 128,
+            tile_sets: Vec::new(),
         }
     }
 
@@ -70,12 +101,19 @@ impl Workload {
             Workload::matrix_multiply(),
             Workload::nbody(),
             Workload::dot_product_two_stage(),
+            Workload::convolution_1d(),
+            Workload::jacobi_2d(),
         ]
     }
 
     /// The default tuning space for this workload on `device`.
     pub fn space_for(&self, device: &DeviceProfile) -> TuningSpace {
-        TuningSpace::d1_for_device(device, self.parallelism)
+        let space = TuningSpace::d1_for_device(device, self.parallelism);
+        if self.tile_sets.is_empty() {
+            space
+        } else {
+            space.with_tile_sets(self.tile_sets.clone())
+        }
     }
 }
 

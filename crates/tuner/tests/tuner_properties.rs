@@ -23,6 +23,7 @@ fn small_config(device: DeviceProfile, strategy: Strategy) -> TuningConfig {
     let space = TuningSpace {
         split_sets: vec![vec![2, 4], vec![4, 8]],
         width_sets: vec![vec![4]],
+        tile_sets: vec![vec![]],
         launches,
     };
     let mut config = TuningConfig::new(device, space, strategy);
@@ -142,6 +143,7 @@ fn exhaustive_tuning_beats_the_default_configuration_on_dot_product() {
     let space = TuningSpace {
         split_sets: vec![vec![2, 4], vec![8, 16]],
         width_sets: vec![vec![4]],
+        tile_sets: vec![vec![]],
         launches,
     };
     let mut config = TuningConfig::new(device.clone(), space, Strategy::Exhaustive);

@@ -96,7 +96,8 @@ impl CostCounters {
             * device.global_transaction_cost
             * (1.0 - device.vector_access_discount)
             / device.simd_width as f64;
-        let memory = self.global_transactions as f64 * device.global_transaction_cost
+        let memory = self.global_accesses as f64 * device.global_access_cost
+            + self.global_transactions as f64 * device.global_transaction_cost
             + self.uncoalesced_accesses as f64 * device.uncoalesced_penalty
             + self.local_accesses as f64 * device.local_access_cost
             + self.private_accesses as f64 * device.private_access_cost

@@ -151,6 +151,12 @@ pub struct DeviceProfile {
     /// Cost of an integer division or modulo; these are the operations array-access
     /// simplification removes (Section 7.4).
     pub div_mod_cost: f64,
+    /// Issue cost charged per individual global-memory access, *on top of* the per-segment
+    /// transaction cost. A perfectly coalesced warp still executes one load instruction per
+    /// thread and occupies the LSU/bus for it — this term is what makes redundant
+    /// overlapping reads (each stencil element fetched once per window it appears in)
+    /// genuinely more expensive than staging the tile in local memory once.
+    pub global_access_cost: f64,
     /// Cost of one coalesced global-memory transaction (per SIMD group and segment).
     pub global_transaction_cost: f64,
     /// Additional cost charged per *uncoalesced* global access.
@@ -187,9 +193,10 @@ impl DeviceProfile {
             flop_cost: 1.0,
             int_op_cost: 1.0,
             div_mod_cost: 18.0,
+            global_access_cost: 2.0,
             global_transaction_cost: 32.0,
             uncoalesced_penalty: 8.0,
-            local_access_cost: 2.0,
+            local_access_cost: 1.0,
             private_access_cost: 0.25,
             barrier_cost: 20.0,
             loop_overhead: 2.0,
@@ -210,9 +217,10 @@ impl DeviceProfile {
             flop_cost: 1.0,
             int_op_cost: 1.1,
             div_mod_cost: 28.0,
+            global_access_cost: 1.6,
             global_transaction_cost: 36.0,
             uncoalesced_penalty: 6.0,
-            local_access_cost: 2.5,
+            local_access_cost: 1.5,
             private_access_cost: 0.25,
             barrier_cost: 30.0,
             loop_overhead: 2.5,

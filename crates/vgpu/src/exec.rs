@@ -445,6 +445,8 @@ enum SIndex {
     IntDiv(Box<SIndex>, Box<SIndex>),
     Mod(Box<SIndex>, Box<SIndex>),
     Pow(Box<SIndex>, u32),
+    Min(Box<SIndex>, Box<SIndex>),
+    Max(Box<SIndex>, Box<SIndex>),
 }
 
 /// A lowered expression: variables are slots, call targets are resolved.
@@ -644,6 +646,12 @@ impl<'m> Lowerer<'m> {
                 SIndex::Mod(Box::new(self.lower_index(a)), Box::new(self.lower_index(b)))
             }
             ArithExpr::Pow(b, e) => SIndex::Pow(Box::new(self.lower_index(b)), *e),
+            ArithExpr::Min(a, b) => {
+                SIndex::Min(Box::new(self.lower_index(a)), Box::new(self.lower_index(b)))
+            }
+            ArithExpr::Max(a, b) => {
+                SIndex::Max(Box::new(self.lower_index(a)), Box::new(self.lower_index(b)))
+            }
         }
     }
 
@@ -1368,6 +1376,18 @@ impl Exec {
             SIndex::Pow(b, e) => {
                 self.counters.int_ops += u64::from(e.saturating_sub(1));
                 Ok(self.eval_index_counting(b, thread)?.pow(*e))
+            }
+            SIndex::Min(a, b) => {
+                self.counters.int_ops += 1;
+                Ok(self
+                    .eval_index_counting(a, thread)?
+                    .min(self.eval_index_counting(b, thread)?))
+            }
+            SIndex::Max(a, b) => {
+                self.counters.int_ops += 1;
+                Ok(self
+                    .eval_index_counting(a, thread)?
+                    .max(self.eval_index_counting(b, thread)?))
             }
         }
     }

@@ -52,6 +52,7 @@ fn main() {
         rule_options: RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
+            tile_sizes: vec![],
         },
         launch: LaunchConfig::d1(32, 8),
         device: DeviceProfile::nvidia(),

@@ -69,6 +69,7 @@ fn explored() -> &'static lift::rewrite::Exploration {
             rule_options: RuleOptions {
                 split_sizes: vec![2],
                 vector_widths: vec![4],
+                tile_sizes: vec![],
             },
             launch: LAUNCH,
             best_n: 8,

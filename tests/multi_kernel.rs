@@ -108,6 +108,7 @@ fn rewrite_derives_the_two_stage_schedule_without_hand_lowering() {
         rule_options: RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
+            tile_sizes: vec![],
         },
         launch: LaunchConfig::d1(8, 4),
         best_n: 16,
@@ -192,6 +193,7 @@ fn explored_single_kernel_variants_are_byte_identical_on_both_paths() {
         rule_options: RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
+            tile_sizes: vec![],
         },
         launch: LaunchConfig::d1(16, 4),
         // The cost model now often prefers multi-kernel schedules; keep enough variants to

@@ -1,0 +1,293 @@
+//! End-to-end tests of the stencil subsystem: `pad` boundary handling through the whole
+//! pipeline (ir → interp → codegen → vgpu), automatic derivation of the convolution and
+//! Jacobi kernels by the rewrite engine, and the overlapped-tiling (`toLocal`-staged)
+//! variant winning the cost-guided search with a tuner-searched tile size.
+
+use lift::arith::Environment;
+use lift::benchmarks::{convolution, jacobi};
+use lift::codegen::{compile, CompilationOptions};
+use lift::interp::{evaluate, Value};
+use lift::ir::{PadMode, Program, Type, UserFun};
+use lift::rewrite::{explore, ExplorationConfig, RuleOptions};
+use lift::vgpu::{DeviceProfile, LaunchConfig, VirtualGpu};
+use lift_bench::autotune_config;
+use lift_tuner::{tune, Workload};
+use proptest::prelude::*;
+
+// --------------------------------------------------------------- pad property tests
+
+/// `mapGlb(reduceSeq(add, 0)) ∘ slide(3, 1) ∘ pad(left, right, mode)`: a boundary-handled
+/// 3-point sum whose output covers every padded window.
+fn padded_stencil(n: usize, left: usize, right: usize, mode: PadMode) -> Program {
+    let mut p = Program::new("padded_stencil");
+    let add = p.user_fun(UserFun::add());
+    let red = p.reduce_seq(add, 0.0);
+    let glb = p.map_glb(0, red);
+    let pad = p.pad(left, right, mode);
+    let s = p.slide(3usize, 1usize);
+    p.with_root(vec![("x", Type::array(Type::float(), n))], |p, params| {
+        let padded = p.apply1(pad, params[0]);
+        let windows = p.apply1(s, padded);
+        p.apply1(glb, windows)
+    });
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For every pad mode and random sizes/offsets, the vgpu-executed compiled kernel
+    /// agrees with the interpreter — and executes without a single out-of-bounds read (the
+    /// virtual GPU fails the launch on any OOB access, so a successful run is the proof).
+    #[test]
+    fn pad_modes_agree_between_interpreter_and_vgpu(
+        n in 6usize..40,
+        left in 0usize..4,
+        right in 0usize..4,
+        mode_pick in 0u8..3,
+        seed in 0u32..1000,
+    ) {
+        let mode = [PadMode::Clamp, PadMode::Mirror, PadMode::Wrap][mode_pick as usize];
+        // n >= 6 > left/right, so a mirror reflection stays within one array length and
+        // the padded array always admits at least one window.
+
+        let program = padded_stencil(n, left, right, mode);
+        let input: Vec<f32> = (0..n)
+            .map(|i| {
+                let h = (i as u32).wrapping_mul(2654435761).wrapping_add(seed);
+                ((h >> 7) % 17) as f32 * 0.25 - 2.0
+            })
+            .collect();
+        let expected = evaluate(&program, &[Value::from_f32_slice(&input)])
+            .expect("interpreter runs")
+            .flatten_f32();
+
+        let out_len = n + left + right - 2;
+        let local = [1usize, 2, 4][(seed % 3) as usize].min(out_len.max(1));
+        let global = out_len.div_ceil(local) * local;
+        let options =
+            CompilationOptions::all_optimisations().with_launch_1d(global, local);
+        let kernel = compile(&program, &options).expect("compiles");
+        let (args, buffer_index) = kernel
+            .bind_args(std::slice::from_ref(&input), &Environment::new())
+            .expect("arguments bind");
+        // Any out-of-bounds access fails the launch with `VgpuError::OutOfBounds`.
+        let result = VirtualGpu::new()
+            .launch(
+                &kernel.module,
+                &kernel.kernel_name,
+                LaunchConfig::d1(global, local),
+                args,
+            )
+            .expect("vgpu executes the padded stencil without out-of-bounds accesses");
+        let out = &result.buffers[buffer_index];
+        prop_assert_eq!(out.len(), expected.len());
+        for (i, (a, e)) in out.iter().zip(&expected).enumerate() {
+            prop_assert!(
+                (a - e).abs() <= 1e-3 * (1.0 + e.abs()),
+                "element {}: vgpu {} vs interpreter {}",
+                i, a, e
+            );
+        }
+    }
+}
+
+// ------------------------------------------------------- automatic stencil derivation
+
+fn conv_exploration_config(tile_sizes: Vec<i64>) -> ExplorationConfig {
+    ExplorationConfig {
+        max_depth: 5,
+        beam_width: 64,
+        max_candidates: 4000,
+        rule_options: RuleOptions {
+            split_sizes: vec![16, 32],
+            vector_widths: vec![4],
+            tile_sizes,
+        },
+        launch: LaunchConfig::d1(128, 16),
+        best_n: 12,
+        device: DeviceProfile::nvidia(),
+        ..ExplorationConfig::default()
+    }
+}
+
+/// The rule engine re-derives the paper's Section 3.2 convolution kernel — the
+/// `mapWrg(mapLcl(reduceSeq ∘ zip(weights))) ∘ split ∘ slide` shape of the hand-lowered
+/// [`convolution::lift_program`] — from the high-level stencil program, and every returned
+/// variant is a validated implementation of the same convolution.
+#[test]
+fn exploration_rederives_the_section32_convolution_kernel() {
+    let n_out = 128;
+    let program = convolution::high_level_program(n_out, convolution::FILTER);
+    let result = explore(&program, &conv_exploration_config(vec![])).expect("exploration runs");
+    assert!(!result.variants.is_empty(), "no validated variants");
+
+    // Differential check against the host reference: every variant is validated against
+    // the interpreter by the explorer; spot-check the best one against the host too.
+    let input: Vec<f32> = (0..n_out + convolution::FILTER - 1)
+        .map(|i| ((i % 11) as f32) * 0.25 - 1.0)
+        .collect();
+    let weights: Vec<f32> = (0..convolution::FILTER)
+        .map(|i| ((i % 5) as f32) * 0.1 - 0.2)
+        .collect();
+    let expected = convolution::host_reference(&input, &weights);
+    for v in &result.variants {
+        let out = evaluate(
+            &v.program,
+            &[
+                Value::from_f32_slice(&input),
+                Value::from_f32_slice(&weights),
+            ],
+        )
+        .expect("derived variant runs")
+        .flatten_f32();
+        assert_eq!(out.len(), expected.len());
+        for (a, e) in out.iter().zip(&expected) {
+            assert!((a - e).abs() < 1e-3 * (1.0 + e.abs()), "{a} vs {e}");
+        }
+    }
+
+    // The Section 3.2 shape: a work-group kernel over split slide windows.
+    let section32 = result.variants.iter().find(|v| {
+        let rendering = v.program.to_string();
+        v.derivation
+            .iter()
+            .any(|s| s.rule == "map-to-mapWrg-mapLcl")
+            && rendering.contains("mapWrg0(mapLcl0")
+            && rendering.contains("slide(17,1)")
+    });
+    assert!(
+        section32.is_some(),
+        "no mapWrg∘mapLcl∘split∘slide variant was derived; got derivations {:?}",
+        result
+            .variants
+            .iter()
+            .map(|v| v.derivation.iter().map(|s| s.rule).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+    );
+}
+
+/// With tile sizes enabled, the overlapped-tiling rule derives the `toLocal`-staged
+/// work-group kernel: each group cooperatively copies its overlapping tile into local
+/// memory before the per-window reductions.
+#[test]
+fn exploration_derives_the_local_staged_tiled_convolution() {
+    let program = convolution::high_level_program(128, convolution::FILTER);
+    let result =
+        explore(&program, &conv_exploration_config(vec![16, 32])).expect("exploration runs");
+    let staged = result
+        .variants
+        .iter()
+        .find(|v| v.derivation.iter().any(|s| s.rule == "stencil-wrg-tiling"))
+        .expect("the overlapped-tiling derivation validates");
+    let rendering = staged.program.to_string();
+    assert!(rendering.contains("toLocal(mapLcl0(id))"), "{rendering}");
+    // Tile of v windows over a 17-wide filter = slide(v + 16, v).
+    assert!(
+        rendering.contains("slide(32,16)") || rendering.contains("slide(48,32)"),
+        "tile slide missing: {rendering}"
+    );
+    // The staged kernel really stages: its source declares a local array and barriers.
+    assert!(
+        staged.kernel_source.contains("local float"),
+        "{}",
+        staged.kernel_source
+    );
+    assert!(
+        staged.kernel_source.contains("barrier("),
+        "{}",
+        staged.kernel_source
+    );
+}
+
+/// The 2D Jacobi stencil derives automatically from `pad2d`/`slide2d` — the mapped layout
+/// patterns compile as index views — and validates against the host reference.
+#[test]
+fn jacobi_2d_derives_automatically_and_matches_the_host_reference() {
+    let (rows, cols) = (8usize, 12usize);
+    let program = jacobi::high_level_program(rows, cols);
+    let config = ExplorationConfig {
+        max_depth: 10,
+        beam_width: 32,
+        max_candidates: 6000,
+        rule_options: RuleOptions {
+            split_sizes: vec![2, 4],
+            vector_widths: vec![4],
+            tile_sizes: vec![4],
+        },
+        launch: LaunchConfig::d1(8, 4),
+        best_n: 4,
+        device: DeviceProfile::nvidia(),
+        ..ExplorationConfig::default()
+    };
+    let result = explore(&program, &config).expect("exploration runs");
+    assert!(
+        !result.variants.is_empty(),
+        "no validated jacobi variants (lowered {}, compile-rejected {}, incorrect {})",
+        result.lowered,
+        result.rejected_compile,
+        result.rejected_incorrect
+    );
+
+    let grid: Vec<f32> = (0..rows * cols)
+        .map(|i| ((i % 7) as f32) * 0.25 - 0.5)
+        .collect();
+    let expected = jacobi::host_reference(&grid, rows, cols);
+    for v in &result.variants {
+        let out = evaluate(
+            &v.program,
+            &[
+                Value::from_f32_matrix(&grid, rows, cols),
+                Value::from_f32_slice(&jacobi::WEIGHTS),
+            ],
+        )
+        .expect("derived jacobi runs")
+        .flatten_f32();
+        assert_eq!(out.len(), expected.len());
+        for (i, (a, e)) in out.iter().zip(&expected).enumerate() {
+            assert!(
+                (a - e).abs() < 1e-3 * (1.0 + e.abs()),
+                "point {i}: {a} vs {e}"
+            );
+        }
+        // The derived kernels read the padded grid through views: the clamp pad's
+        // branch-free min/max indexing appears in the source.
+        assert!(
+            v.kernel_source.contains("min(") && v.kernel_source.contains("max("),
+            "expected clamped pad indexing in:\n{}",
+            v.kernel_source
+        );
+    }
+}
+
+// ------------------------------------------------------------- the tiled variant wins
+
+/// Acceptance: on the NVIDIA profile, the overlapped-tiling (`toLocal`-staged) variant
+/// wins the joint `(RuleOptions × launch)` search for the 1D convolution, at a
+/// tuner-searched tile size. (On the AMD profile the wider wavefronts amortise the
+/// per-access issue cost further and the unstaged work-group variant keeps winning — the
+/// kind of device-specific outcome the auto-tuner exists to discover.)
+#[test]
+fn staged_tiled_convolution_wins_the_tuned_search_on_nvidia() {
+    let workload = Workload::convolution_1d();
+    let device = DeviceProfile::nvidia();
+    let config = autotune_config(&workload, &device);
+    let result = tune(&workload.program, &config).expect("tuning runs");
+    let best = result.best_variant.as_ref().expect("a best variant exists");
+    assert!(
+        best.derivation
+            .iter()
+            .any(|s| s.contains("stencil-wrg-tiling")),
+        "tuned best is not the overlapped-tiling variant: {:?}",
+        best.derivation
+    );
+    let point = result.best_point.as_ref().expect("a best point exists");
+    assert!(
+        !point.rule_options.tile_sizes.is_empty(),
+        "the winning point carries no searched tile sizes"
+    );
+    assert!(
+        best.kernel_source.contains("local float"),
+        "the winning kernel does not stage its tile in local memory"
+    );
+}
