@@ -14,6 +14,7 @@
 use std::time::Instant;
 
 use lift_bench::explore_config;
+use lift_bench::report::{explore_report, explore_section};
 use lift_bench::schema::{json_out_arg, write_json, Json};
 use lift_benchmarks::dot_product;
 use lift_rewrite::explore;
@@ -26,15 +27,15 @@ const BASELINE_CANDIDATES_PER_SEC: f64 = 4772.0;
 fn main() {
     let out_path = json_out_arg("BENCH_explore.json");
     let program = dot_product::high_level_program(512);
-    let mut pairs: Vec<(String, Json)> = Vec::new();
+    let mut sections: Vec<(String, Json)> = Vec::new();
+    let mut probe_cps = BASELINE_CANDIDATES_PER_SEC;
 
     for max_candidates in [500usize, 4000] {
         let config = explore_config(max_candidates);
         let start = Instant::now();
         let result = explore(&program, &config).expect("exploration runs");
-        let wall = start.elapsed();
-        let wall_ms = wall.as_secs_f64() * 1e3;
-        let cps = result.explored as f64 / wall.as_secs_f64();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let cps = result.explored as f64 / (wall_ms / 1e3);
 
         println!(
             "max_candidates={max_candidates}: explored {} candidates in {wall_ms:.1} ms \
@@ -48,46 +49,21 @@ fn main() {
             println!("  t={:10.1}  {}", v.estimated_time, chain.join(" ; "));
         }
 
-        let derivations: Vec<Json> = result
-            .variants
-            .iter()
-            .map(|v| {
-                Json::Arr(
-                    v.derivation
-                        .iter()
-                        .map(|s| Json::str(format!("{} @ {}", s.rule, s.location)))
-                        .collect(),
-                )
-            })
-            .collect();
-        pairs.push((
+        sections.push((
             format!("max_candidates_{max_candidates}"),
-            Json::obj([
-                ("explored", Json::num(result.explored as f64)),
-                ("wall_ms", Json::num(wall_ms)),
-                ("candidates_per_sec", Json::num(cps)),
-                ("variants", Json::num(result.variants.len() as f64)),
-                (
-                    "best_estimated_time",
-                    Json::opt_num(result.variants.first().map(|v| v.estimated_time)),
-                ),
-                ("best_derivations", Json::Arr(derivations)),
-            ]),
+            explore_section(&result, wall_ms),
         ));
         if max_candidates == 4000 {
-            let speedup = cps / BASELINE_CANDIDATES_PER_SEC;
-            pairs.push((
-                "baseline_candidates_per_sec".to_string(),
-                Json::num(BASELINE_CANDIDATES_PER_SEC),
-            ));
-            pairs.push(("speedup_over_baseline".to_string(), Json::num(speedup)));
+            probe_cps = cps;
             println!(
                 "speedup over pre-optimisation baseline ({BASELINE_CANDIDATES_PER_SEC:.0} \
-                 candidates/sec): {speedup:.2}x"
+                 candidates/sec): {:.2}x",
+                cps / BASELINE_CANDIDATES_PER_SEC
             );
         }
     }
 
-    write_json(&out_path, &Json::Obj(pairs).render());
+    let doc = explore_report(sections, BASELINE_CANDIDATES_PER_SEC, probe_cps);
+    write_json(&out_path, &doc.render());
     println!("wrote {}", out_path.display());
 }

@@ -17,8 +17,13 @@
 //! ```text
 //! perf_gate --baseline-explore BENCH_explore.json --current-explore target/BENCH_explore.json \
 //!           --baseline-autotune BENCH_autotune.json --current-autotune target/BENCH_autotune.json \
-//!           [--threshold 0.25]
+//!           [--telemetry target/BENCH_telemetry.json] [--threshold 0.25]
 //! ```
+//!
+//! `--telemetry` points at a freshly generated `BENCH_telemetry.json` (from
+//! `telemetry_stats`); when given and a check trips, the verdict includes the offending
+//! workload's per-phase wall-time breakdown so the regression is attributable to a phase
+//! (enumerate/typecheck/compile/execute/score) without re-running anything.
 //!
 //! `--threshold` must be a fraction in `[0, 1]`; anything else (negative, NaN, > 1) is a
 //! usage error — such a value would make the gate pass or fail vacuously.
@@ -33,6 +38,7 @@ struct Args {
     current_explore: String,
     baseline_autotune: String,
     current_autotune: String,
+    telemetry: Option<String>,
     threshold: f64,
 }
 
@@ -42,6 +48,7 @@ fn parse_args() -> Result<Args, String> {
         current_explore: "target/BENCH_explore.json".into(),
         baseline_autotune: "BENCH_autotune.json".into(),
         current_autotune: "target/BENCH_autotune.json".into(),
+        telemetry: None,
         threshold: 0.25,
     };
     let mut it = std::env::args().skip(1);
@@ -52,6 +59,7 @@ fn parse_args() -> Result<Args, String> {
             "--current-explore" => args.current_explore = value()?,
             "--baseline-autotune" => args.baseline_autotune = value()?,
             "--current-autotune" => args.current_autotune = value()?,
+            "--telemetry" => args.telemetry = Some(value()?),
             "--threshold" => {
                 args.threshold = value()?
                     .parse()
@@ -70,11 +78,13 @@ fn load(path: &str) -> Result<Json, String> {
 }
 
 fn run(args: &Args) -> Result<bool, String> {
+    let telemetry = args.telemetry.as_deref().map(load).transpose()?;
     let outcome = check_reports(
         &load(&args.baseline_explore)?,
         &load(&args.current_explore)?,
         &load(&args.baseline_autotune)?,
         &load(&args.current_autotune)?,
+        telemetry.as_ref(),
         args.threshold,
     )?;
     for line in &outcome.lines {

@@ -1,0 +1,188 @@
+//! Telemetry statistics for the gated workloads: event counts, per-phase wall-time
+//! breakdowns and the instrumentation-overhead probe.
+//!
+//! Runs the exploration throughput probe (the dot-product search of `explore_stats`) and
+//! the canonical auto-tuning runs with an enabled collector, then writes the
+//! machine-readable `BENCH_telemetry.json` summarising what the instrumentation observed:
+//! per-workload event counts by kind and the per-phase breakdown (`enumerate` /
+//! `typecheck` / `compile` / `execute` / `score`, plus the tuner's `sample` / `climb`).
+//!
+//! Flags:
+//!
+//! * `--json-out <path>` — where to write `BENCH_telemetry.json` (default: working dir),
+//! * `--chrome-trace <path>` — also export the recorded spans as a Chrome `trace_event`
+//!   file loadable in `about://tracing` or Perfetto (one track per workload),
+//! * `--jsonl <path>` — additionally stream every event through the
+//!   [`lift_telemetry::JsonLines`] sink as it is recorded,
+//! * `--max-overhead <fraction>` — re-run the explore probe with the
+//!   [`lift_telemetry::Null`] and [`lift_telemetry::InMemory`] collectors (best of three
+//!   each) and exit non-zero when the measured instrumentation overhead exceeds the
+//!   fraction (CI asserts `0.05`).
+//!
+//! The wall-clock numbers in the report are machine-dependent (CI archives them per PR);
+//! the report *shape* is deterministic and pinned by the report-builder tests.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::time::Instant;
+
+use lift_bench::report::{overhead_section, telemetry_entry, telemetry_report};
+use lift_bench::schema::write_json;
+use lift_bench::{autotune_config, explore_config};
+use lift_benchmarks::dot_product;
+use lift_rewrite::{explore, explore_with};
+use lift_telemetry::{chrome_trace, Collector, InMemory, JsonLines, Tee, TimedEvent};
+use lift_tuner::{tune_with, Workload};
+use lift_vgpu::DeviceProfile;
+
+struct Args {
+    json_out: PathBuf,
+    chrome_trace: Option<PathBuf>,
+    jsonl: Option<PathBuf>,
+    max_overhead: Option<f64>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        json_out: "BENCH_telemetry.json".into(),
+        chrome_trace: None,
+        jsonl: None,
+        max_overhead: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = || it.next().ok_or(format!("missing value for {flag}"));
+        match flag.as_str() {
+            "--json-out" => args.json_out = value()?.into(),
+            "--chrome-trace" => args.chrome_trace = Some(value()?.into()),
+            "--jsonl" => args.jsonl = Some(value()?.into()),
+            "--max-overhead" => {
+                let v: f64 = value()?
+                    .parse()
+                    .map_err(|e| format!("invalid --max-overhead: {e}"))?;
+                if !v.is_finite() || v < 0.0 {
+                    return Err(format!("--max-overhead must be non-negative, got `{v}`"));
+                }
+                args.max_overhead = Some(v);
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(args)
+}
+
+/// Runs `work` with an [`InMemory`] collector (teed into `stream` when present) and
+/// returns the recorded events plus the measured wall-clock in milliseconds.
+fn record(
+    stream: Option<&dyn Collector>,
+    work: impl FnOnce(&dyn Collector),
+) -> (Vec<TimedEvent>, f64) {
+    let mem = InMemory::new();
+    let start = Instant::now();
+    match stream {
+        Some(s) => work(&Tee(&mem, s)),
+        None => work(&mem),
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    (mem.into_events(), wall_ms)
+}
+
+fn summarise(name: &str, events: &[TimedEvent], wall_ms: f64) {
+    let phases: Vec<String> = lift_telemetry::phase_durations(events)
+        .iter()
+        .map(|(phase, us)| format!("{phase}={:.1}ms", *us as f64 / 1e3))
+        .collect();
+    println!(
+        "{name:24} {wall_ms:8.1} ms, {:5} events, {}",
+        events.len(),
+        phases.join(" ")
+    );
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("telemetry_stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stream = args.jsonl.as_ref().map(|path| {
+        JsonLines::create(path).unwrap_or_else(|e| panic!("create {}: {e}", path.display()))
+    });
+    let stream_ref = stream.as_ref().map(|s| s as &dyn Collector);
+
+    let mut entries = Vec::new();
+    let mut tracks: Vec<(String, Vec<TimedEvent>)> = Vec::new();
+
+    // 1. The exploration throughput probe (the same search `explore_stats` gates).
+    let program = dot_product::high_level_program(512);
+    let explore_probe = explore_config(4000);
+    let (events, wall_ms) = record(stream_ref, |collector| {
+        explore_with(&program, &explore_probe, collector).expect("exploration runs");
+    });
+    summarise("explore:dot_product", &events, wall_ms);
+    entries.push(telemetry_entry("explore:dot_product", &events, wall_ms));
+    tracks.push(("explore:dot_product".to_string(), events));
+
+    // 2. The canonical auto-tuning runs (NVIDIA profile; the AMD runs share the same
+    //    instrumentation and phase structure, so one device keeps the probe affordable).
+    let device = DeviceProfile::nvidia();
+    for workload in Workload::all() {
+        let config = autotune_config(&workload, &device);
+        let (events, wall_ms) = record(stream_ref, |collector| {
+            tune_with(&workload.program, &config, collector).expect("tuning runs");
+        });
+        let name = format!("tune:{}", workload.name);
+        summarise(&name, &events, wall_ms);
+        entries.push(telemetry_entry(&name, &events, wall_ms));
+        tracks.push((name, events));
+    }
+
+    // 3. The instrumentation-overhead probe: the explore loop with the default `Null`
+    //    collector against the enabled `InMemory` collector, best of three each.
+    let mut null_ms = f64::INFINITY;
+    let mut collected_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let start = Instant::now();
+        explore(&program, &explore_probe).expect("exploration runs");
+        null_ms = null_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let mem = InMemory::new();
+        let start = Instant::now();
+        explore_with(&program, &explore_probe, &mem).expect("exploration runs");
+        collected_ms = collected_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let overhead = (collected_ms - null_ms) / null_ms;
+    println!(
+        "instrumentation overhead: null {null_ms:.1} ms vs collected {collected_ms:.1} ms \
+         ({:+.1}%)",
+        overhead * 100.0
+    );
+
+    let doc = telemetry_report(entries, Some(overhead_section(null_ms, collected_ms)));
+    write_json(&args.json_out, &doc.render());
+    println!("wrote {}", args.json_out.display());
+
+    if let Some(path) = &args.chrome_trace {
+        let borrowed: Vec<(&str, &[TimedEvent])> = tracks
+            .iter()
+            .map(|(name, events)| (name.as_str(), events.as_slice()))
+            .collect();
+        write_json(path, &chrome_trace(&borrowed));
+        println!("wrote {}", path.display());
+    }
+    drop(stream);
+
+    if let Some(max) = args.max_overhead {
+        if overhead > max {
+            eprintln!(
+                "telemetry_stats: instrumentation overhead {:.1}% exceeds the limit {:.1}%",
+                overhead * 100.0,
+                max * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
+}

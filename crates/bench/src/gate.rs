@@ -62,6 +62,41 @@ fn explore_throughput(doc: &Json, label: &str) -> Result<f64, String> {
         .ok_or_else(|| format!("{label}: missing max_candidates_4000.candidates_per_sec"))
 }
 
+/// Renders the per-phase wall-time breakdown of `workload` from a `BENCH_telemetry.json`
+/// document (`None` when the report has no entry for it). `workload` is the telemetry
+/// entry name, e.g. `explore:dot_product` or `tune:jacobi_2d`.
+fn phase_breakdown(telemetry: &Json, workload: &str) -> Option<String> {
+    let entry = telemetry
+        .get("results")
+        .and_then(Json::as_arr)?
+        .iter()
+        .find(|e| e.get("workload").and_then(Json::as_str) == Some(workload))?;
+    let Json::Obj(phases) = entry.get("phase_us")? else {
+        return None;
+    };
+    let mut parts: Vec<String> = phases
+        .iter()
+        .filter_map(|(name, us)| us.as_f64().map(|us| format!("{name} {:.1}ms", us / 1e3)))
+        .collect();
+    if let Some(wall) = entry.get("wall_ms").and_then(Json::as_f64) {
+        parts.push(format!("wall {wall:.1}ms"));
+    }
+    (!parts.is_empty()).then(|| format!("       {workload} phases: {}", parts.join(", ")))
+}
+
+/// When `line` failed and the telemetry report covers `workload`, appends an informational
+/// line with that workload's per-phase breakdown so the offender is diagnosable from the
+/// gate output alone.
+fn push_breakdown_for_failure(lines: &mut Vec<GateLine>, telemetry: Option<&Json>, workload: &str) {
+    let failed = lines.last().is_some_and(|l| !l.ok);
+    if !failed {
+        return;
+    }
+    if let Some(message) = telemetry.and_then(|t| phase_breakdown(t, workload)) {
+        lines.push(GateLine { ok: true, message });
+    }
+}
+
 /// `(workload, device) → tuned_best_time` for every entry that has one.
 fn tuned_times(doc: &Json, label: &str) -> Result<HashMap<(String, String), f64>, String> {
     let results = doc
@@ -87,6 +122,10 @@ fn tuned_times(doc: &Json, label: &str) -> Result<HashMap<(String, String), f64>
 
 /// Runs every gate check over the four parsed reports.
 ///
+/// `telemetry` is an optional freshly generated `BENCH_telemetry.json` document: when a
+/// check fails and the telemetry report covers the offending workload, the verdict gains an
+/// informational line with that workload's per-phase wall-time breakdown.
+///
 /// # Errors
 ///
 /// Returns a message when a report is structurally invalid (missing fields) or the
@@ -97,6 +136,7 @@ pub fn check_reports(
     current_explore: &Json,
     baseline_autotune: &Json,
     current_autotune: &Json,
+    telemetry: Option<&Json>,
     threshold: f64,
 ) -> Result<GateOutcome, String> {
     validate_threshold(threshold)?;
@@ -118,6 +158,8 @@ pub fn check_reports(
             if ok { "ok" } else { "FAIL" }
         ),
     });
+    // The throughput probe is the dot-product search, so that is the entry to show.
+    push_breakdown_for_failure(&mut lines, telemetry, "explore:dot_product");
 
     // 2. Tuned best-times: higher is a regression (deterministic cost model, so any drift
     //    beyond the threshold is a real change in generated code or search quality).
@@ -150,6 +192,7 @@ pub fn check_reports(
                 });
             }
         }
+        push_breakdown_for_failure(&mut lines, telemetry, &format!("tune:{}", key.0));
     }
 
     // 3. Workloads only in the current report never trip the gate: a new workload's first
@@ -208,9 +251,9 @@ mod tests {
     fn check_reports_rejects_invalid_thresholds_up_front() {
         let e = explore_doc(100.0);
         let a = autotune_doc(&[]);
-        assert!(check_reports(&e, &e, &a, &a, f64::NAN).is_err());
-        assert!(check_reports(&e, &e, &a, &a, -1.0).is_err());
-        assert!(check_reports(&e, &e, &a, &a, 2.0).is_err());
+        assert!(check_reports(&e, &e, &a, &a, None, f64::NAN).is_err());
+        assert!(check_reports(&e, &e, &a, &a, None, -1.0).is_err());
+        assert!(check_reports(&e, &e, &a, &a, None, 2.0).is_err());
     }
 
     #[test]
@@ -222,6 +265,7 @@ mod tests {
             &explore_doc(100.0),
             &baseline,
             &regressed,
+            None,
             0.25,
         )
         .unwrap();
@@ -233,6 +277,7 @@ mod tests {
             &explore_doc(100.0),
             &baseline,
             &near,
+            None,
             0.25,
         )
         .unwrap();
@@ -243,6 +288,7 @@ mod tests {
             &explore_doc(50.0),
             &baseline,
             &near,
+            None,
             0.25,
         )
         .unwrap();
@@ -258,6 +304,7 @@ mod tests {
             &explore_doc(100.0),
             &baseline,
             &current,
+            None,
             0.25,
         )
         .unwrap();
@@ -275,6 +322,7 @@ mod tests {
             &explore_doc(100.0),
             &baseline,
             &current,
+            None,
             0.25,
         )
         .unwrap();
@@ -283,5 +331,54 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.ok && l.message.contains("[new] autotune dot_two_stage/nv")));
+    }
+
+    #[test]
+    fn a_failure_prints_the_offending_workloads_phase_breakdown() {
+        let telemetry = parse(
+            r#"{
+  "schema": "lift-telemetry/v1",
+  "results": [
+    {"workload": "explore:dot_product", "wall_ms": 140.5,
+     "phase_us": {"enumerate": 90000, "typecheck": 8000, "compile": 20000,
+                  "execute": 18000, "score": 500}},
+    {"workload": "tune:dot", "wall_ms": 900,
+     "phase_us": {"sample": 700000, "climb": 150000}}
+  ]
+}"#,
+        )
+        .unwrap();
+        let baseline = autotune_doc(&[("dot", "nv", 100.0)]);
+        let regressed = autotune_doc(&[("dot", "nv", 200.0)]);
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(50.0),
+            &baseline,
+            &regressed,
+            Some(&telemetry),
+            0.25,
+        )
+        .unwrap();
+        assert!(!outcome.passed());
+        // Each failing check is followed by the informational breakdown line.
+        assert!(outcome.lines.iter().any(|l| l.ok
+            && l.message
+                .contains("explore:dot_product phases: enumerate 90.0ms")));
+        assert!(outcome
+            .lines
+            .iter()
+            .any(|l| l.ok && l.message.contains("tune:dot phases: sample 700.0ms")));
+        // Passing checks gain no breakdown lines.
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(100.0),
+            &baseline,
+            &baseline,
+            Some(&telemetry),
+            0.25,
+        )
+        .unwrap();
+        assert!(outcome.passed());
+        assert!(!outcome.lines.iter().any(|l| l.message.contains("phases:")));
     }
 }

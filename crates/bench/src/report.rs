@@ -1,9 +1,14 @@
 //! Builders for the machine-readable reports the harness binaries write.
 //!
-//! Everything that varies between two runs with identical inputs (wall-clock, throughput,
-//! timestamps) enters through explicit parameters, so rendering a result twice with the same
-//! timing values is byte-identical — the property the autotune determinism test pins down.
+//! All three documents — `BENCH_explore.json`, `BENCH_autotune.json` and
+//! `BENCH_telemetry.json` — are assembled here against the shared [`crate::schema`] writer,
+//! so the binaries contain flag handling and measurement only. Everything that varies
+//! between two runs with identical inputs (wall-clock, throughput, timestamps) enters
+//! through explicit parameters, so rendering a result twice with the same timing values is
+//! byte-identical — the property the report determinism tests pin down.
 
+use lift_rewrite::Exploration;
+use lift_telemetry::{counts_by_kind, phase_durations, TimedEvent};
 use lift_tuner::{Strategy, TuningResult};
 
 use crate::schema::Json;
@@ -166,6 +171,103 @@ pub fn autotune_report(entries: Vec<Json>) -> Json {
     ])
 }
 
+/// Builds one `max_candidates_N` section of `BENCH_explore.json`.
+///
+/// `wall_ms` is the measured exploration wall-clock (throughput is derived from it, so
+/// equal inputs render byte-identically).
+pub fn explore_section(result: &Exploration, wall_ms: f64) -> Json {
+    let cps = if wall_ms > 0.0 {
+        result.explored as f64 / (wall_ms / 1e3)
+    } else {
+        0.0
+    };
+    let derivations: Vec<Json> = result
+        .variants
+        .iter()
+        .map(|v| {
+            Json::Arr(
+                v.derivation
+                    .iter()
+                    .map(|s| Json::str(format!("{} @ {}", s.rule, s.location)))
+                    .collect(),
+            )
+        })
+        .collect();
+    Json::obj([
+        ("explored", Json::num(result.explored as f64)),
+        ("wall_ms", Json::num(wall_ms)),
+        ("candidates_per_sec", Json::num(cps)),
+        ("variants", Json::num(result.variants.len() as f64)),
+        (
+            "best_estimated_time",
+            Json::opt_num(result.variants.first().map(|v| v.estimated_time)),
+        ),
+        ("best_derivations", Json::Arr(derivations)),
+    ])
+}
+
+/// Assembles the complete `BENCH_explore.json` document: the named sections in order,
+/// followed by the pre-optimisation baseline and the speedup of `current_cps` over it (the
+/// key order the committed baseline and the gate parser expect).
+pub fn explore_report(sections: Vec<(String, Json)>, baseline_cps: f64, current_cps: f64) -> Json {
+    let mut pairs = sections;
+    pairs.push((
+        "baseline_candidates_per_sec".to_string(),
+        Json::num(baseline_cps),
+    ));
+    pairs.push((
+        "speedup_over_baseline".to_string(),
+        Json::num(current_cps / baseline_cps),
+    ));
+    Json::Obj(pairs)
+}
+
+/// Builds one `results[]` entry of `BENCH_telemetry.json` from a recorded event stream:
+/// total event count, per-kind counts and the per-phase wall-time breakdown
+/// ([`phase_durations`] over the collector's span events).
+pub fn telemetry_entry(workload: &str, events: &[TimedEvent], wall_ms: f64) -> Json {
+    let counts = counts_by_kind(events)
+        .into_iter()
+        .map(|(kind, n)| (kind, Json::num(n as f64)))
+        .collect::<Vec<_>>();
+    let phases = phase_durations(events)
+        .into_iter()
+        .map(|(name, us)| (name, Json::num(us as f64)))
+        .collect::<Vec<_>>();
+    Json::obj([
+        ("workload", Json::str(workload)),
+        ("wall_ms", Json::num(wall_ms)),
+        ("events", Json::num(events.len() as f64)),
+        ("event_counts", Json::obj(counts)),
+        ("phase_us", Json::obj(phases)),
+    ])
+}
+
+/// Builds the `overhead` section of `BENCH_telemetry.json`: the instrumentation cost of an
+/// enabled in-memory collector relative to the default [`lift_telemetry::Null`] collector
+/// on the same workload (best-of-N wall-clocks, measured by `telemetry_stats`).
+pub fn overhead_section(null_ms: f64, collected_ms: f64) -> Json {
+    let fraction = if null_ms > 0.0 {
+        (collected_ms - null_ms) / null_ms
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("null_ms", Json::num(null_ms)),
+        ("collected_ms", Json::num(collected_ms)),
+        ("overhead_fraction", Json::num(fraction)),
+    ])
+}
+
+/// Assembles the complete `BENCH_telemetry.json` document.
+pub fn telemetry_report(entries: Vec<Json>, overhead: Option<Json>) -> Json {
+    Json::obj([
+        ("schema", Json::str("lift-telemetry/v1")),
+        ("results", Json::Arr(entries)),
+        ("overhead", overhead.unwrap_or(Json::Null)),
+    ])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -192,6 +294,87 @@ mod tests {
         assert_eq!(
             parsed.get("schema").and_then(Json::as_str),
             Some("lift-autotune/v1")
+        );
+    }
+
+    #[test]
+    fn explore_report_matches_the_committed_baseline_shape() {
+        let result = Exploration {
+            explored: 973,
+            ..Exploration::default()
+        };
+        let section = explore_section(&result, 203.9);
+        assert_eq!(section.get("explored").and_then(Json::as_f64), Some(973.0));
+        let cps = section
+            .get("candidates_per_sec")
+            .and_then(Json::as_f64)
+            .expect("throughput");
+        assert!((cps - 973.0 / 0.2039).abs() < 1.0);
+        let doc = explore_report(
+            vec![("max_candidates_4000".to_string(), section)],
+            4772.0,
+            cps,
+        );
+        // The gate reads exactly this path.
+        assert!(doc
+            .get("max_candidates_4000")
+            .and_then(|s| s.get("candidates_per_sec"))
+            .is_some());
+        assert!(doc.get("speedup_over_baseline").is_some());
+    }
+
+    #[test]
+    fn telemetry_report_rendering_is_deterministic() {
+        use lift_telemetry::{Event, TimedEvent};
+        let events = vec![
+            TimedEvent {
+                t_us: 0,
+                event: Event::SpanBegin { name: "enumerate" },
+            },
+            TimedEvent {
+                t_us: 120,
+                event: Event::SpanEnd { name: "enumerate" },
+            },
+            TimedEvent {
+                t_us: 130,
+                event: Event::Counter {
+                    name: "executed_kernels",
+                    value: 7.0,
+                },
+            },
+        ];
+        let build = || {
+            telemetry_report(
+                vec![telemetry_entry("dot_product", &events, 1.5)],
+                Some(overhead_section(100.0, 103.0)),
+            )
+            .render()
+        };
+        let text = build();
+        assert_eq!(text, build(), "equal inputs render byte-identically");
+        let parsed = crate::schema::parse(&text).expect("round-trips");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("lift-telemetry/v1")
+        );
+        let entry = &parsed.get("results").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(
+            entry
+                .get("phase_us")
+                .and_then(|p| p.get("enumerate"))
+                .and_then(Json::as_f64),
+            Some(120.0)
+        );
+        assert_eq!(entry.get("events").and_then(Json::as_f64), Some(3.0));
+        let overhead = parsed.get("overhead").expect("overhead section");
+        assert!(
+            (overhead
+                .get("overhead_fraction")
+                .and_then(Json::as_f64)
+                .unwrap()
+                - 0.03)
+                .abs()
+                < 1e-9
         );
     }
 }

@@ -37,16 +37,17 @@ use lift_arith::Environment;
 use lift_codegen::{compile_program, CompilationOptions};
 use lift_interp::{evaluate_with_sizes, Value};
 use lift_ir::{infer_types, Program, Type, TypeError};
+use lift_telemetry::{Collector, Event, Null, RejectReason};
 use lift_vgpu::{
-    estimated_sequence_time, outputs_match, CostCounters, DeviceProfile, KernelArg,
-    KernelLaunchSpec, LaunchConfig, LaunchError, VirtualGpu,
+    estimated_sequence_time, outputs_match, CostCounters, DeviceProfile, ExecutionProfile,
+    KernelArg, KernelLaunchSpec, LaunchConfig, LaunchError, VirtualGpu,
 };
 
 use crate::rules::{all_rules, RuleCx, RuleKind, RuleOptions};
 use crate::term::{
     beta_normalize, raw_expr_hash, StableHasher, Term, TermError, TermExpr, TermFun,
 };
-use crate::traversal::{format_location, get, replace, sites, NestContext, Site};
+use crate::traversal::{format_location, get, replace, sites, Location, NestContext, Site};
 use crate::typecheck::typecheck;
 
 /// The 8-byte candidate-dedup key (see [`Term::dedup_key`]). The `seen` set of an
@@ -81,6 +82,11 @@ pub struct ExplorationConfig {
     /// available parallelism, `1` runs sequentially. The merge is deterministic, so every
     /// setting produces identical results.
     pub threads: usize,
+    /// Emit one [`Event::Rejection`] per rejected rewrite (with its rendered site) to the
+    /// collector. Off by default: rejection sites are rendered per rejected candidate, which
+    /// is the kind of per-event allocation the hot path otherwise never pays. Has no effect
+    /// under a disabled collector.
+    pub trace_rejections: bool,
 }
 
 impl Default for ExplorationConfig {
@@ -97,11 +103,17 @@ impl Default for ExplorationConfig {
             device: DeviceProfile::nvidia(),
             sizes: Environment::new(),
             threads: 0,
+            trace_rejections: false,
         }
     }
 }
 
 /// One applied rule in a derivation chain.
+///
+/// A step carries full provenance: the structured [`Location`] of the rewrite site and the
+/// index of the chosen rewrite among everything the rule offered there, so a recorded chain
+/// can be replayed through the engine ([`crate::provenance::replay`]) to reproduce the exact
+/// variant term, or rendered as a human-readable transcript ([`crate::provenance::explain`]).
 #[derive(Clone, Debug)]
 pub struct DerivationStep {
     /// The rule name.
@@ -110,6 +122,12 @@ pub struct DerivationStep {
     pub kind: RuleKind,
     /// Where it was applied (rendered with [`format_location`]).
     pub location: String,
+    /// The structured location of the rewrite site (what [`DerivationStep::location`]
+    /// renders).
+    pub path: Location,
+    /// Index of the chosen rewrite among the rule's applications at the site (parameterised
+    /// rules offer one rewrite per option, e.g. per dividing split factor).
+    pub alternative: usize,
 }
 
 /// A fully lowered, compiled, validated and scored variant.
@@ -126,9 +144,23 @@ pub struct Variant {
     pub kernel_count: usize,
     /// Dynamic cost counters summed over all stages of the virtual-GPU execution.
     pub counters: CostCounters,
+    /// Per-stage cost counters of the virtual-GPU execution, in launch order (one entry per
+    /// kernel; parallel to `stage_names`).
+    pub stage_counters: Vec<CostCounters>,
+    /// Kernel names in launch order (parallel to `stage_counters`).
+    pub stage_names: Vec<String>,
     /// Estimated execution time under the configured device profile (lower is better):
     /// per-stage work–span times summed plus one launch overhead per kernel.
     pub estimated_time: f64,
+}
+
+impl Variant {
+    /// The structured per-stage execution profile of the variant under `device` — the same
+    /// counters and time model that produced [`Variant::estimated_time`], broken down per
+    /// kernel stage and cost component instead of collapsed into one number.
+    pub fn profile(&self, device: &DeviceProfile) -> ExecutionProfile {
+        ExecutionProfile::from_stages(&self.stage_names, &self.stage_counters, device)
+    }
 }
 
 /// Statistics and results of one exploration.
@@ -207,11 +239,16 @@ struct Candidate {
 /// the budget, statistics and dedup decisions happen in the sequential merge, so the parallel
 /// run is byte-identical to the sequential one.
 enum Outcome {
-    /// The rewrite was enumerated but produced no candidate (replacement failed to apply or
-    /// the term outgrew `max_term_size`). Counted against the candidate budget, like always.
-    Skipped,
-    /// The derived term failed the (term-level) typecheck.
-    IllTyped,
+    /// The rewrite was enumerated but rejected: the replacement failed to apply, the term
+    /// outgrew `max_term_size`, or the derived term failed the (term-level) typecheck.
+    /// Counted against the candidate budget, like always. `site` carries the rendered
+    /// rewrite location only under [`ExplorationConfig::trace_rejections`] with an enabled
+    /// collector — the hot path never renders it.
+    Rejected {
+        rule: &'static str,
+        reason: RejectReason,
+        site: Option<Box<str>>,
+    },
     /// A well-typed derived candidate and its dedup key.
     Derived(Box<Candidate>, DedupKey),
 }
@@ -268,6 +305,14 @@ impl Enumerated {
         self.complete.len()
     }
 
+    /// The fully lowered candidates: each derived term with its derivation chain, in
+    /// discovery order. The chains carry full provenance ([`DerivationStep::path`],
+    /// [`DerivationStep::alternative`]), so [`crate::provenance::replay`] reproduces each
+    /// term exactly.
+    pub fn lowered_candidates(&self) -> impl Iterator<Item = (&Term, &[DerivationStep])> {
+        self.complete.iter().map(|c| (&c.term, c.steps.as_slice()))
+    }
+
     /// Compiles, validates and ranks the enumerated candidates under the launch
     /// configuration, compiler options and device profile of `config` (the search knobs of
     /// `config` are ignored — they were consumed by [`enumerate`]).
@@ -280,6 +325,20 @@ impl Enumerated {
     /// Returns [`ExploreError::Launch`] if `config.launch` is invalid for `config.device`.
     /// Failures of individual candidates are counted in the [`Exploration`] statistics.
     pub fn score(&self, config: &ExplorationConfig) -> Result<Exploration, ExploreError> {
+        self.score_with(config, &Null)
+    }
+
+    /// Like [`Enumerated::score`], but emits phase spans (`typecheck`, `compile`, `execute`,
+    /// `score`) and per-variant events to `collector`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Launch`] if `config.launch` is invalid for `config.device`.
+    pub fn score_with(
+        &self,
+        config: &ExplorationConfig,
+        collector: &dyn Collector,
+    ) -> Result<Exploration, ExploreError> {
         config
             .device
             .validate_launch(&config.launch)
@@ -293,6 +352,7 @@ impl Enumerated {
             config,
             workers,
             &mut stats,
+            collector,
         );
         Ok(stats)
     }
@@ -311,7 +371,22 @@ impl Enumerated {
 /// invalid for the device. Failures of derived candidates are not errors — they are counted
 /// in the [`Exploration`] statistics.
 pub fn explore(program: &Program, config: &ExplorationConfig) -> Result<Exploration, ExploreError> {
-    enumerate(program, config)?.score(config)
+    explore_with(program, config, &Null)
+}
+
+/// Like [`explore`], but emits telemetry events to `collector`: per-round beam statistics,
+/// per-rule fire/reject counts, scoring-phase spans and the ranked variants. With the
+/// default [`Null`] collector this is exactly [`explore`].
+///
+/// # Errors
+///
+/// See [`explore`].
+pub fn explore_with(
+    program: &Program,
+    config: &ExplorationConfig,
+    collector: &dyn Collector,
+) -> Result<Exploration, ExploreError> {
+    enumerate_with(program, config, collector)?.score_with(config, collector)
 }
 
 /// Runs the rule-search phase of an exploration: beam search over rule applications,
@@ -324,6 +399,89 @@ pub fn explore(program: &Program, config: &ExplorationConfig) -> Result<Explorat
 pub fn enumerate(
     program: &Program,
     config: &ExplorationConfig,
+) -> Result<Enumerated, ExploreError> {
+    enumerate_with(program, config, &Null)
+}
+
+/// Per-round telemetry aggregation: everything needed for one [`Event::BeamRound`] plus the
+/// per-rule tallies behind its [`Event::RuleRound`]s. Only touched when the collector is
+/// enabled — the disabled hot path pays one branch per outcome.
+#[derive(Default)]
+struct RoundStats {
+    expanded: u32,
+    derived: u32,
+    dedup_hits: u32,
+    rejected: u32,
+    completed: u32,
+    rules: std::collections::BTreeMap<&'static str, RuleTally>,
+}
+
+#[derive(Default)]
+struct RuleTally {
+    fired: u32,
+    ill_typed: u32,
+    oversize: u32,
+    failed: u32,
+    duplicates: u32,
+}
+
+impl RoundStats {
+    fn tally(&mut self, rule: &'static str) -> &mut RuleTally {
+        self.rules.entry(rule).or_default()
+    }
+
+    /// Emits the round's [`Event::BeamRound`] followed by one [`Event::RuleRound`] per rule
+    /// with activity (in rule-name order — deterministic regardless of worker scheduling).
+    fn emit(&self, collector: &dyn Collector, depth: u32, frontier: u32, kept: u32) {
+        collector.record(Event::BeamRound {
+            depth,
+            frontier,
+            expanded: self.expanded,
+            derived: self.derived,
+            dedup_hits: self.dedup_hits,
+            rejected: self.rejected,
+            completed: self.completed,
+            kept,
+            pruned: self.derived.saturating_sub(kept),
+        });
+        for (rule, t) in &self.rules {
+            collector.record(Event::RuleRound {
+                rule,
+                depth,
+                fired: t.fired,
+                ill_typed: t.ill_typed,
+                oversize: t.oversize,
+                failed: t.failed,
+                duplicates: t.duplicates,
+            });
+        }
+    }
+}
+
+/// Like [`enumerate`], but emits telemetry events to `collector`: an `enumerate` span, one
+/// [`Event::BeamRound`] (+ per-rule [`Event::RuleRound`]s) per depth level, and — under
+/// [`ExplorationConfig::trace_rejections`] — one [`Event::Rejection`] per rejected rewrite.
+/// Events are emitted from the sequential merge only, so they are deterministic for any
+/// thread count.
+///
+/// # Errors
+///
+/// See [`enumerate`].
+pub fn enumerate_with(
+    program: &Program,
+    config: &ExplorationConfig,
+    collector: &dyn Collector,
+) -> Result<Enumerated, ExploreError> {
+    collector.span_begin("enumerate");
+    let result = enumerate_impl(program, config, collector);
+    collector.span_end("enumerate");
+    result
+}
+
+fn enumerate_impl(
+    program: &Program,
+    config: &ExplorationConfig,
+    collector: &dyn Collector,
 ) -> Result<Enumerated, ExploreError> {
     let mut typed = program.clone();
     infer_types(&mut typed)?;
@@ -354,26 +512,80 @@ pub fn enumerate(
     }
     let mut frontier = vec![start];
 
-    'search: for _depth in 0..config.max_depth {
+    let telemetry = collector.enabled();
+    let trace = config.trace_rejections && telemetry;
+
+    for depth in 0..config.max_depth {
         // The merge below consumes at most `remaining` outcomes before the budget trips
         // (the outcome that reaches the cap is counted but not processed — hence max(1)),
         // so expansion never derives/typechecks work the merge cannot consume.
         let remaining = config.max_candidates.saturating_sub(stats.explored).max(1);
-        let expansions = expand_frontier(&frontier, config, &rule_cache, workers, remaining);
+        let expansions = expand_frontier(&frontier, config, &rule_cache, workers, remaining, trace);
+        let frontier_len = frontier.len() as u32;
+        let mut round = RoundStats::default();
         let mut next: Vec<Candidate> = Vec::new();
-        for outcomes in expansions {
+        let mut budget_hit = false;
+        'merge: for outcomes in expansions {
             for outcome in outcomes {
                 stats.explored += 1;
                 if stats.explored >= config.max_candidates {
-                    break 'search;
+                    budget_hit = true;
+                    break 'merge;
                 }
                 match outcome {
-                    Outcome::Skipped => {}
-                    Outcome::IllTyped => stats.rejected_typecheck += 1,
+                    Outcome::Rejected { rule, reason, site } => {
+                        if reason == RejectReason::IllTyped {
+                            stats.rejected_typecheck += 1;
+                        }
+                        if telemetry {
+                            round.expanded += 1;
+                            round.rejected += 1;
+                            let t = round.tally(rule);
+                            t.fired += 1;
+                            match reason {
+                                RejectReason::IllTyped => t.ill_typed += 1,
+                                RejectReason::Oversize => t.oversize += 1,
+                                RejectReason::ReplaceFailed => t.failed += 1,
+                                RejectReason::Duplicate => {}
+                            }
+                            if let Some(site) = site {
+                                collector.record(Event::Rejection {
+                                    rule,
+                                    site: site.into_string(),
+                                    reason,
+                                });
+                            }
+                        }
+                    }
                     Outcome::Derived(cand, key) => {
                         if !seen.insert(key) {
                             stats.dedup_hits += 1;
+                            if telemetry {
+                                round.expanded += 1;
+                                round.dedup_hits += 1;
+                                let last =
+                                    cand.steps.last().expect("derived candidates have steps");
+                                let t = round.tally(last.rule);
+                                t.fired += 1;
+                                t.duplicates += 1;
+                                if trace {
+                                    collector.record(Event::Rejection {
+                                        rule: last.rule,
+                                        site: last.location.clone(),
+                                        reason: RejectReason::Duplicate,
+                                    });
+                                }
+                            }
                             continue;
+                        }
+                        if telemetry {
+                            round.expanded += 1;
+                            round.derived += 1;
+                            let last = cand.steps.last().expect("derived candidates have steps");
+                            round.tally(last.rule).fired += 1;
+                            if cand.high_level_left == 0 {
+                                round.completed += 1;
+                            }
                         }
                         if cand.high_level_left == 0 {
                             complete.push((*cand).clone());
@@ -383,12 +595,25 @@ pub fn enumerate(
                 }
             }
         }
+        if budget_hit {
+            // The budget tripped mid-merge: no beam is selected — mirror that in the event.
+            if telemetry {
+                round.emit(collector, depth as u32, frontier_len, 0);
+            }
+            break;
+        }
         if next.is_empty() {
+            if telemetry {
+                round.emit(collector, depth as u32, frontier_len, 0);
+            }
             break;
         }
         // Beam selection: lowering progress first, then smaller terms (heap-based select-k,
         // equivalent to a stable sort by `(high_level_left, size)` plus truncation).
         frontier = select_beam(next, config.beam_width);
+        if telemetry {
+            round.emit(collector, depth as u32, frontier_len, frontier.len() as u32);
+        }
         if frontier.is_empty() {
             break;
         }
@@ -425,6 +650,7 @@ fn expand_frontier(
     cache: &RuleCache,
     workers: usize,
     remaining: usize,
+    trace: bool,
 ) -> Vec<Vec<Outcome>> {
     if workers <= 1 || frontier.len() <= 1 {
         let mut out = Vec::with_capacity(frontier.len());
@@ -433,7 +659,7 @@ fn expand_frontier(
             if produced >= remaining {
                 break;
             }
-            let outcomes = expand(c, config, cache, remaining - produced);
+            let outcomes = expand(c, config, cache, remaining - produced, trace);
             produced += outcomes.len();
             out.push(outcomes);
         }
@@ -446,7 +672,7 @@ fn expand_frontier(
             .map(|part| {
                 s.spawn(move || {
                     part.iter()
-                        .map(|c| expand(c, config, cache, remaining))
+                        .map(|c| expand(c, config, cache, remaining, trace))
                         .collect::<Vec<_>>()
                 })
             })
@@ -467,6 +693,7 @@ fn expand(
     config: &ExplorationConfig,
     cache: &RuleCache,
     limit: usize,
+    trace: bool,
 ) -> Vec<Outcome> {
     let rules = all_rules();
     debug_assert!(rules.len() <= 32, "rule-applicability mask is a u32");
@@ -506,13 +733,19 @@ fn expand(
             if !rewrites.is_empty() {
                 mask |= 1 << rule_index;
             }
-            for replacement in rewrites {
+            // The rendered rejection site is only paid for under `trace_rejections`.
+            let reject_site = |reason| Outcome::Rejected {
+                rule: rule.name,
+                reason,
+                site: trace.then(|| format_location(&site.location).into_boxed_str()),
+            };
+            for (alternative, replacement) in rewrites.into_iter().enumerate() {
                 if out.len() >= limit {
                     truncated = true;
                     break;
                 }
                 let Some(body) = replace(&cand.term.body, &site.location, replacement) else {
-                    out.push(Outcome::Skipped);
+                    out.push(reject_site(RejectReason::ReplaceFailed));
                     continue;
                 };
                 let term = Term {
@@ -523,11 +756,11 @@ fn expand(
                 };
                 let size = term.body.size();
                 if size > config.max_term_size {
-                    out.push(Outcome::Skipped);
+                    out.push(reject_site(RejectReason::Oversize));
                     continue;
                 }
                 if typecheck(&term).is_err() {
-                    out.push(Outcome::IllTyped);
+                    out.push(reject_site(RejectReason::IllTyped));
                     continue;
                 }
                 let dedup = term.dedup_key();
@@ -536,6 +769,8 @@ fn expand(
                     rule: rule.name,
                     kind: rule.kind,
                     location: format_location(&site.location),
+                    path: site.location.clone(),
+                    alternative,
                 });
                 out.push(Outcome::Derived(
                     Box::new(Candidate {
@@ -676,7 +911,10 @@ struct PreparedScore {
     exec_key: u64,
 }
 
-/// Compiles, deduplicates, executes, validates and ranks the complete candidates.
+/// Compiles, deduplicates, executes, validates and ranks the complete candidates. The four
+/// phases (typecheck → compile → execute → score) are bracketed with collector spans, so a
+/// recorded trace breaks a scoring pass down into the wall time of each.
+#[allow(clippy::too_many_arguments)]
 fn score_all(
     complete: &[Candidate],
     inputs: &[PreparedInput],
@@ -684,16 +922,26 @@ fn score_all(
     config: &ExplorationConfig,
     workers: usize,
     stats: &mut Exploration,
+    collector: &dyn Collector,
 ) {
-    // Stage 1 (cheap, serial): arena conversion + compilation + argument marshalling.
-    let prepared: Vec<Result<PreparedScore, ScoreError>> = complete
-        .iter()
-        .map(|cand| prepare_score(cand, inputs, config))
-        .collect();
+    // Phase 1 (cheap, serial): arena conversion + type inference for every candidate.
+    collector.span_begin("typecheck");
+    let typed: Vec<Result<Program, ScoreError>> =
+        complete.iter().map(typecheck_candidate).collect();
+    collector.span_end("typecheck");
 
-    // Stage 2: execute each distinct kernel once, fanning out over scoped threads. The job
+    // Phase 2 (serial): compilation + argument marshalling.
+    collector.span_begin("compile");
+    let prepared: Vec<Result<PreparedScore, ScoreError>> = typed
+        .into_iter()
+        .map(|t| t.and_then(|program| compile_candidate(program, inputs, config)))
+        .collect();
+    collector.span_end("compile");
+
+    // Phase 3: execute each distinct kernel once, fanning out over scoped threads. The job
     // list is in first-occurrence order and the results are merged by key, so scheduling
     // cannot influence the outcome.
+    collector.span_begin("execute");
     let mut exec_seen: HashSet<u64> = HashSet::new();
     let jobs: Vec<&PreparedScore> = prepared
         .iter()
@@ -701,8 +949,9 @@ fn score_all(
         .filter(|p| exec_seen.insert(p.exec_key))
         .collect();
     stats.executed_kernels = jobs.len();
-    // What one execution yields: merged counters, the sequence's estimated time, stages.
-    type Scored = (CostCounters, f64, usize);
+    // What one execution yields: merged counters, the sequence's estimated time, and the
+    // per-stage counters (for [`Variant::stage_counters`] / execution profiles).
+    type Scored = (CostCounters, f64, Vec<CostCounters>);
     let run = |p: &PreparedScore| -> (u64, Result<Scored, ScoreError>) {
         let result = VirtualGpu::new().launch_sequence_on(
             &config.device,
@@ -716,7 +965,7 @@ fn score_all(
                 if outputs_match(&result.buffers[p.output_buffer_index], reference) {
                     let stage_counters = result.stage_counters();
                     let time = estimated_sequence_time(&stage_counters, &config.device);
-                    Ok((result.merged_counters(), time, p.stages.len()))
+                    Ok((result.merged_counters(), time, stage_counters))
                 } else {
                     Err(ScoreError::Incorrect)
                 }
@@ -739,20 +988,24 @@ fn score_all(
                 .collect()
         })
     };
+    collector.span_end("execute");
 
-    // Stage 3 (serial): per-candidate verdicts in candidate order.
+    // Phase 4 (serial): per-candidate verdicts in candidate order, then ranking.
+    collector.span_begin("score");
     let mut variants: Vec<Variant> = Vec::new();
     for (cand, prep) in complete.iter().zip(prepared) {
         match prep {
             Err(ScoreError::Compile) => stats.rejected_compile += 1,
             Err(ScoreError::Incorrect) => stats.rejected_incorrect += 1,
             Ok(p) => match executed.get(&p.exec_key) {
-                Some(Ok((counters, time, kernel_count))) => variants.push(Variant {
+                Some(Ok((counters, time, stage_counters))) => variants.push(Variant {
                     program: p.program,
                     derivation: cand.steps.clone(),
                     kernel_source: p.kernel_source,
-                    kernel_count: *kernel_count,
+                    kernel_count: stage_counters.len(),
                     counters: *counters,
+                    stage_counters: stage_counters.clone(),
+                    stage_names: p.stages.iter().map(|s| s.kernel.clone()).collect(),
                     estimated_time: *time,
                 }),
                 _ => stats.rejected_incorrect += 1,
@@ -766,18 +1019,37 @@ fn score_all(
     });
     variants.truncate(config.best_n);
     stats.variants = variants;
+    collector.span_end("score");
+    if collector.enabled() {
+        collector.record(Event::Counter {
+            name: "executed_kernels",
+            value: stats.executed_kernels as f64,
+        });
+        for (rank, v) in stats.variants.iter().enumerate() {
+            collector.record(Event::Variant {
+                rank: rank as u32,
+                estimated_time: v.estimated_time,
+                kernels: v.kernel_count as u32,
+                steps: v.derivation.len() as u32,
+            });
+        }
+    }
 }
 
-fn prepare_score(
-    cand: &Candidate,
+/// Phase-1 work for one candidate: arena conversion plus the type inference that fills in
+/// the annotations code generation reads (the term-level checker already accepted it).
+fn typecheck_candidate(cand: &Candidate) -> Result<Program, ScoreError> {
+    let mut program = cand.term.to_program();
+    infer_types(&mut program).map_err(|_| ScoreError::Compile)?;
+    Ok(program)
+}
+
+fn compile_candidate(
+    program: Program,
     inputs: &[PreparedInput],
     config: &ExplorationConfig,
 ) -> Result<PreparedScore, ScoreError> {
     use std::hash::Hasher;
-    let mut program = cand.term.to_program();
-    // The term-level checker already accepted this candidate; the arena inference fills in
-    // the type annotations code generation reads.
-    infer_types(&mut program).map_err(|_| ScoreError::Compile)?;
     let options = config
         .compile_options
         .clone()

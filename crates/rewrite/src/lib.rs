@@ -16,7 +16,8 @@
 //!   `mapVec`, `reduce` → `reduceSeq`, `toLocal`/`toGlobal`/`toPrivate` placement),
 //! * [`mod@explore`] — the exploration driver: applies rules under a depth/width budget,
 //!   re-typechecks every derived program, validates fully lowered candidates against the
-//!   reference interpreter on the virtual GPU and ranks them with the analytical cost model.
+//!   reference interpreter on the virtual GPU and ranks them with the analytical cost model,
+//! * [`mod@provenance`] — replay and transcript rendering for recorded derivation chains.
 //!
 //! ```
 //! use lift_ir::prelude::*;
@@ -41,17 +42,58 @@
 //! // The best variant is fully lowered and compiled to OpenCL.
 //! assert!(result.variants[0].kernel_source.contains("kernel void"));
 //! ```
+//!
+//! # Telemetry
+//!
+//! Every entry point has a `_with` twin taking a [`lift_telemetry::Collector`]
+//! ([`explore_with`], [`enumerate_with`], [`Enumerated::score_with`]): the search then emits
+//! per-round beam statistics (`BeamRound`), per-rule fire/reject counts (`RuleRound`),
+//! scoring-phase spans (`typecheck`/`compile`/`execute`/`score` inside an `enumerate` span)
+//! and the ranked variants. The plain entry points use the `Null` collector, whose disabled
+//! state reduces every instrumentation site to a branch — exploration throughput is
+//! unchanged. Setting [`ExplorationConfig::trace_rejections`] additionally emits one
+//! `Rejection` event (with its rendered site) per rejected rewrite.
+//!
+//! # Reading a derivation transcript
+//!
+//! Each returned [`Variant`] carries its derivation chain: one [`DerivationStep`] per
+//! applied rule, with the rule name, its family (`Algorithmic` identity or OpenCL
+//! `Lowering`), the structured site [`Location`] (rendered like `.arg0.fun1.body`: descend
+//! into argument 0, then into the lambda body behind one pattern layer), and which
+//! `alternative` the rule chose when it offered several (e.g. one per dividing split
+//! factor). [`provenance::replay`] runs a chain back through the engine and reproduces the
+//! exact derived term; [`provenance::explain`] renders the whole walkthrough:
+//!
+//! ```text
+//! derivation of `dot` in 3 steps
+//!
+//! initial program:
+//!     join (map (reduce add 0.0) (split 32 (map mult (zip x y))))
+//!
+//! step 1: apply map-to-mapGlb [Lowering] at .arg0 (alternative 0)
+//!     join (mapGlb (reduce add 0.0) (split 32 (map mult (zip x y))))
+//! ...
+//! ```
+//!
+//! Read it top to bottom: every section shows the whole program *after* that rule fired, so
+//! the transformation at each step is the diff between consecutive sections. The first
+//! lowering decision is usually the interesting one — it fixes how work maps onto the
+//! OpenCL thread hierarchy; everything after refines memory placement and sequential
+//! residue. `examples/explain_dot_product.rs` prints this transcript for the paper's
+//! Listing-1 dot product.
 
 pub mod explore;
+pub mod provenance;
 pub mod rules;
 pub mod term;
 pub mod traversal;
 pub mod typecheck;
 
 pub use explore::{
-    enumerate, explore, DedupKey, DerivationStep, Enumerated, Exploration, ExplorationConfig,
-    ExploreError, Variant,
+    enumerate, enumerate_with, explore, explore_with, DedupKey, DerivationStep, Enumerated,
+    Exploration, ExplorationConfig, ExploreError, Variant,
 };
+pub use provenance::{explain, replay, ExplainedStep, Explanation, ReplayError};
 pub use rules::{all_rules, divides, Rule, RuleCx, RuleKind, RuleOptions};
 pub use term::{beta_normalize, raw_expr_hash, StableHasher, Term, TermError, TermExpr, TermFun};
 pub use traversal::{

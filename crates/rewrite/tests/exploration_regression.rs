@@ -8,9 +8,10 @@ use std::collections::HashSet;
 use lift_benchmarks::dot_product;
 use lift_ir::{infer_types, Program};
 use lift_rewrite::{
-    all_rules, explore, get, replace, sites, typecheck, ExplorationConfig, RuleCx, RuleOptions,
-    Term,
+    all_rules, explore, explore_with, get, replace, sites, typecheck, ExplorationConfig, RuleCx,
+    RuleOptions, Term,
 };
+use lift_telemetry::InMemory;
 use lift_vgpu::LaunchConfig;
 
 fn search_config(threads: usize) -> ExplorationConfig {
@@ -57,6 +58,114 @@ fn parallel_exploration_equals_sequential_exploration() {
         let p_steps: Vec<_> = p.derivation.iter().map(|d| (d.rule, &d.location)).collect();
         assert_eq!(s_steps, p_steps);
     }
+}
+
+/// The exploration outcome reduced to everything observable: statistics, variant programs,
+/// kernels, times and derivation chains.
+fn fingerprint(result: &lift_rewrite::Exploration) -> String {
+    use std::fmt::Write as _;
+    let mut out = format!(
+        "explored={} typecheck={} dedup={} compile={} incorrect={} lowered={} kernels={}\n",
+        result.explored,
+        result.rejected_typecheck,
+        result.dedup_hits,
+        result.rejected_compile,
+        result.rejected_incorrect,
+        result.lowered,
+        result.executed_kernels,
+    );
+    for v in &result.variants {
+        let chain: Vec<String> = v
+            .derivation
+            .iter()
+            .map(|s| format!("{} @ {}", s.rule, s.location))
+            .collect();
+        let _ = writeln!(
+            out,
+            "t={} chain=[{}]\n{}\n{}",
+            v.estimated_time,
+            chain.join("; "),
+            v.program,
+            v.kernel_source
+        );
+    }
+    out
+}
+
+#[test]
+fn an_enabled_collector_does_not_change_exploration_results() {
+    // Telemetry is observability, not behaviour: the default Null-collector path, an
+    // enabled in-memory collector, and an enabled collector with per-rejection tracing must
+    // all produce byte-identical exploration outcomes.
+    let program = dot_product::high_level_program(512);
+    let config = search_config(4);
+    let null_path = explore(&program, &config).expect("null-collector exploration runs");
+
+    let collector = InMemory::new();
+    let collected = explore_with(&program, &config, &collector).expect("collected runs");
+    assert_eq!(fingerprint(&null_path), fingerprint(&collected));
+    let events = collector.into_events();
+    assert!(
+        events
+            .iter()
+            .any(|e| matches!(e.event, lift_telemetry::Event::BeamRound { .. })),
+        "the enabled collector observed beam rounds"
+    );
+    assert!(
+        !events
+            .iter()
+            .any(|e| matches!(e.event, lift_telemetry::Event::Rejection { .. })),
+        "rejection events stay off unless trace_rejections is set"
+    );
+
+    let tracing = InMemory::new();
+    let traced = explore_with(
+        &program,
+        &ExplorationConfig {
+            trace_rejections: true,
+            ..config.clone()
+        },
+        &tracing,
+    )
+    .expect("traced runs");
+    assert_eq!(fingerprint(&null_path), fingerprint(&traced));
+    assert!(
+        tracing
+            .into_events()
+            .iter()
+            .any(|e| matches!(e.event, lift_telemetry::Event::Rejection { .. })),
+        "trace_rejections surfaces per-site rejection events"
+    );
+}
+
+#[test]
+fn null_collector_results_match_the_committed_baseline() {
+    // Pins the Null-collector path to the committed `BENCH_explore.json` numbers (the
+    // candidate count, variant count, best cost and best chain recorded before the
+    // telemetry layer existed): instrumentation must not perturb the search.
+    let program = dot_product::high_level_program(512);
+    let result = explore(&program, &search_config(4)).expect("exploration runs");
+    assert_eq!(result.explored, 1036);
+    assert_eq!(result.variants.len(), 4);
+    let best = &result.variants[0];
+    assert!(
+        (best.estimated_time - 19060.278).abs() < 1e-2,
+        "best estimated time drifted: {}",
+        best.estimated_time
+    );
+    let chain: Vec<String> = best
+        .derivation
+        .iter()
+        .map(|s| format!("{} @ {}", s.rule, s.location))
+        .collect();
+    assert_eq!(
+        chain,
+        [
+            "map-to-mapGlb @ .arg0.arg0.arg0",
+            "reduce-to-reduceSeq @ .arg0.fun1.body",
+            "map-to-mapWrg-mapLcl @ .arg0",
+        ]
+    );
 }
 
 /// Enumerates every term derivable from `term` by one rule application, in the driver's

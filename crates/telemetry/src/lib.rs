@@ -1,0 +1,845 @@
+//! # Derivation telemetry
+//!
+//! A lightweight, zero-dependency structured event layer for the Lift pipeline: spans,
+//! counters and typed events behind the [`Collector`] trait. Every layer of the engine
+//! (rewrite exploration, auto-tuner, virtual GPU, benchmark harness) emits [`Event`]s
+//! describing what it is doing *from the inside* — per-round beam statistics, per-rule
+//! fire/reject counts with typed rejection reasons, tuning-search trajectories, executed
+//! kernel stages — so a search that misses the expected kernel or a tuned point that
+//! regresses can be diagnosed from its transcript instead of from a single final number.
+//!
+//! ## Design constraints
+//!
+//! Instrumentation lives on the exploration hot path (~30k candidates/sec), so the layer is
+//! built around two rules:
+//!
+//! * **Disabled means free.** The default sink is [`Null`], whose [`Collector::enabled`]
+//!   returns `false`. Instrumented code guards every aggregation and every event payload
+//!   construction behind one `enabled()` check per phase — the disabled path costs a branch,
+//!   never an allocation.
+//! * **Events are typed and allocation-light.** Hot-path events ([`Event::BeamRound`],
+//!   [`Event::RuleRound`]) carry only integers and `&'static str` names. Events that carry
+//!   owned strings ([`Event::Rejection`], [`Event::TunerPoint`], …) are emitted off the hot
+//!   path or behind explicit opt-in flags (`trace_rejections`).
+//!
+//! ## Sinks
+//!
+//! * [`Null`] — drops everything; the default everywhere.
+//! * [`InMemory`] — timestamps and buffers events behind a mutex, for tests and in-process
+//!   analysis ([`phase_durations`], [`counts_by_kind`]).
+//! * [`JsonLines`] — streams one JSON object per event to any writer (the
+//!   `telemetry_stats` harness points it at a `.jsonl` file CI archives).
+//! * [`Tee`] — forwards to two sinks (e.g. buffer in memory *and* stream to disk).
+//!
+//! A recorded trace can be exported as a Chrome `trace_event` document with
+//! [`chrome_trace`], inspectable in `about://tracing` or [Perfetto](https://ui.perfetto.dev).
+
+use std::fmt::Write as _;
+use std::io::Write;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Why a derived candidate was rejected by the exploration driver.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum RejectReason {
+    /// The rewritten subtree could not be spliced back into the candidate.
+    ReplaceFailed,
+    /// The derived term exceeded the configured maximum term size.
+    Oversize,
+    /// The derived term failed the term-level typecheck.
+    IllTyped,
+    /// The derived term is a structural duplicate of an earlier candidate.
+    Duplicate,
+}
+
+impl RejectReason {
+    /// Stable lower-snake-case label used in serialized events.
+    pub fn label(self) -> &'static str {
+        match self {
+            RejectReason::ReplaceFailed => "replace_failed",
+            RejectReason::Oversize => "oversize",
+            RejectReason::IllTyped => "ill_typed",
+            RejectReason::Duplicate => "duplicate",
+        }
+    }
+}
+
+/// A typed telemetry event. Variants mirror the pipeline layers that emit them; every
+/// variant is self-describing (no out-of-band schema) so sinks can serialize uniformly.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Event {
+    /// A named phase begins (`enumerate`, `typecheck`, `compile`, `execute`, `score`, …).
+    /// Spans nest; match with the [`Event::SpanEnd`] of the same name.
+    SpanBegin {
+        /// Phase name.
+        name: &'static str,
+    },
+    /// The innermost open span of this name ends.
+    SpanEnd {
+        /// Phase name.
+        name: &'static str,
+    },
+    /// A named scalar measurement (e.g. `executed_kernels`).
+    Counter {
+        /// Counter name.
+        name: &'static str,
+        /// Measured value.
+        value: f64,
+    },
+    /// One depth level of the beam search: how many rewrites were enumerated, what became
+    /// of them, and how hard the beam pruned.
+    BeamRound {
+        /// Depth level (0-based).
+        depth: u32,
+        /// Candidates in the frontier entering this round.
+        frontier: u32,
+        /// Outcomes consumed by the merge this round (counts against the budget).
+        expanded: u32,
+        /// Well-typed, novel candidates that survived into the next frontier.
+        derived: u32,
+        /// Candidates discarded as structural duplicates.
+        dedup_hits: u32,
+        /// Candidates rejected (ill-typed, oversize or failed replacements).
+        rejected: u32,
+        /// Fully lowered candidates collected this round.
+        completed: u32,
+        /// Candidates kept by beam selection.
+        kept: u32,
+        /// Candidates pruned by beam selection (`derived - kept`).
+        pruned: u32,
+    },
+    /// Per-rule outcome counts within one beam round (only rules with activity are
+    /// reported).
+    RuleRound {
+        /// Rule name.
+        rule: &'static str,
+        /// Depth level the counts belong to.
+        depth: u32,
+        /// Rewrites the rule enumerated at matching sites (including ones later rejected —
+        /// the `ill_typed`/`oversize`/`failed`/`duplicates` fields break the total down).
+        fired: u32,
+        /// Rewrites rejected by the term-level typecheck.
+        ill_typed: u32,
+        /// Rewrites rejected for exceeding the maximum term size.
+        oversize: u32,
+        /// Rewrites whose replacement failed to apply.
+        failed: u32,
+        /// Rewrites discarded as structural duplicates.
+        duplicates: u32,
+    },
+    /// One rejected rewrite with its site (only emitted under `trace_rejections`).
+    Rejection {
+        /// The rule whose rewrite was rejected.
+        rule: &'static str,
+        /// Rendered location of the rewrite site.
+        site: String,
+        /// Why it was rejected.
+        reason: RejectReason,
+    },
+    /// A validated variant in the final ranking.
+    Variant {
+        /// Rank (0 = best).
+        rank: u32,
+        /// Estimated execution time under the configured device profile.
+        estimated_time: f64,
+        /// Kernels the variant compiled to.
+        kernels: u32,
+        /// Length of its derivation chain.
+        steps: u32,
+    },
+    /// One evaluated point of a tuning search.
+    TunerPoint {
+        /// Evaluation order (0-based).
+        index: u32,
+        /// Rendered point (rule options and launch).
+        point: String,
+        /// Best validated estimated time at the point (`None`: infeasible / no variant).
+        best_time: Option<f64>,
+        /// Fully lowered candidates at the point.
+        lowered: u32,
+        /// Validated variants at the point.
+        variants: u32,
+        /// Whether the point improved on every earlier point (accepted as new best).
+        improved: bool,
+        /// Whether the point re-used a cached rule search.
+        cache_hit: bool,
+    },
+    /// An accepted hill-climb move of a tuning search.
+    TunerMove {
+        /// Move number (0-based).
+        step: u32,
+        /// Rendered point moved to.
+        to: String,
+        /// Objective after the move.
+        best_time: f64,
+    },
+    /// One executed kernel stage of a virtual-GPU launch.
+    ExecStage {
+        /// Kernel name.
+        kernel: String,
+        /// Estimated stage time under the configured device profile.
+        estimated_time: f64,
+    },
+}
+
+impl Event {
+    /// Stable lower-snake-case kind label (used as the JSON `kind` field and by
+    /// [`counts_by_kind`]).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Event::SpanBegin { .. } => "span_begin",
+            Event::SpanEnd { .. } => "span_end",
+            Event::Counter { .. } => "counter",
+            Event::BeamRound { .. } => "beam_round",
+            Event::RuleRound { .. } => "rule_round",
+            Event::Rejection { .. } => "rejection",
+            Event::Variant { .. } => "variant",
+            Event::TunerPoint { .. } => "tuner_point",
+            Event::TunerMove { .. } => "tuner_move",
+            Event::ExecStage { .. } => "exec_stage",
+        }
+    }
+
+    /// Writes the variant's fields as JSON object members (without the braces), e.g.
+    /// `"name": "enumerate"`. Shared by the JSONL sink and the Chrome-trace `args` objects.
+    fn write_fields(&self, out: &mut String) {
+        match self {
+            Event::SpanBegin { name } | Event::SpanEnd { name } => {
+                field_str(out, "name", name);
+            }
+            Event::Counter { name, value } => {
+                field_str(out, "name", name);
+                field_num(out, "value", *value);
+            }
+            Event::BeamRound {
+                depth,
+                frontier,
+                expanded,
+                derived,
+                dedup_hits,
+                rejected,
+                completed,
+                kept,
+                pruned,
+            } => {
+                field_int(out, "depth", u64::from(*depth));
+                field_int(out, "frontier", u64::from(*frontier));
+                field_int(out, "expanded", u64::from(*expanded));
+                field_int(out, "derived", u64::from(*derived));
+                field_int(out, "dedup_hits", u64::from(*dedup_hits));
+                field_int(out, "rejected", u64::from(*rejected));
+                field_int(out, "completed", u64::from(*completed));
+                field_int(out, "kept", u64::from(*kept));
+                field_int(out, "pruned", u64::from(*pruned));
+            }
+            Event::RuleRound {
+                rule,
+                depth,
+                fired,
+                ill_typed,
+                oversize,
+                failed,
+                duplicates,
+            } => {
+                field_str(out, "rule", rule);
+                field_int(out, "depth", u64::from(*depth));
+                field_int(out, "fired", u64::from(*fired));
+                field_int(out, "ill_typed", u64::from(*ill_typed));
+                field_int(out, "oversize", u64::from(*oversize));
+                field_int(out, "failed", u64::from(*failed));
+                field_int(out, "duplicates", u64::from(*duplicates));
+            }
+            Event::Rejection { rule, site, reason } => {
+                field_str(out, "rule", rule);
+                field_str(out, "site", site);
+                field_str(out, "reason", reason.label());
+            }
+            Event::Variant {
+                rank,
+                estimated_time,
+                kernels,
+                steps,
+            } => {
+                field_int(out, "rank", u64::from(*rank));
+                field_num(out, "estimated_time", *estimated_time);
+                field_int(out, "kernels", u64::from(*kernels));
+                field_int(out, "steps", u64::from(*steps));
+            }
+            Event::TunerPoint {
+                index,
+                point,
+                best_time,
+                lowered,
+                variants,
+                improved,
+                cache_hit,
+            } => {
+                field_int(out, "index", u64::from(*index));
+                field_str(out, "point", point);
+                match best_time {
+                    Some(t) => field_num(out, "best_time", *t),
+                    None => field_raw(out, "best_time", "null"),
+                }
+                field_int(out, "lowered", u64::from(*lowered));
+                field_int(out, "variants", u64::from(*variants));
+                field_raw(out, "improved", if *improved { "true" } else { "false" });
+                field_raw(out, "cache_hit", if *cache_hit { "true" } else { "false" });
+            }
+            Event::TunerMove {
+                step,
+                to,
+                best_time,
+            } => {
+                field_int(out, "step", u64::from(*step));
+                field_str(out, "to", to);
+                field_num(out, "best_time", *best_time);
+            }
+            Event::ExecStage {
+                kernel,
+                estimated_time,
+            } => {
+                field_str(out, "kernel", kernel);
+                field_num(out, "estimated_time", *estimated_time);
+            }
+        }
+    }
+}
+
+fn field_sep(out: &mut String) {
+    if !out.is_empty() {
+        out.push(',');
+    }
+}
+
+fn field_raw(out: &mut String, key: &str, raw: &str) {
+    field_sep(out);
+    let _ = write!(out, "\"{key}\":{raw}");
+}
+
+fn field_int(out: &mut String, key: &str, value: u64) {
+    field_sep(out);
+    let _ = write!(out, "\"{key}\":{value}");
+}
+
+fn field_num(out: &mut String, key: &str, value: f64) {
+    field_sep(out);
+    if value.is_finite() {
+        let _ = write!(out, "\"{key}\":{value}");
+    } else {
+        let _ = write!(out, "\"{key}\":null");
+    }
+}
+
+fn field_str(out: &mut String, key: &str, value: &str) {
+    field_sep(out);
+    let _ = write!(out, "\"{key}\":");
+    write_escaped(out, value);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// An [`Event`] stamped with the microseconds elapsed since its sink was created.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TimedEvent {
+    /// Microseconds since the sink's epoch.
+    pub t_us: u64,
+    /// The event.
+    pub event: Event,
+}
+
+impl TimedEvent {
+    /// Renders the event as one JSON object (no trailing newline), e.g.
+    /// `{"t_us":1234,"kind":"span_begin","name":"enumerate"}`.
+    pub fn to_json_line(&self) -> String {
+        let mut fields = String::new();
+        self.event.write_fields(&mut fields);
+        let mut out = String::with_capacity(fields.len() + 40);
+        let _ = write!(out, "{{\"t_us\":{},\"kind\":", self.t_us);
+        write_escaped(&mut out, self.event.kind());
+        if !fields.is_empty() {
+            out.push(',');
+            out.push_str(&fields);
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// A telemetry sink.
+///
+/// Instrumented code MUST guard any work done purely to *construct* an event payload
+/// (aggregation, rendering, allocation) behind [`Collector::enabled`]; [`Collector::record`]
+/// may then assume the caller checked. The provided `span_*` helpers perform the check
+/// themselves, so phase markers can be dropped into any code path unconditionally.
+pub trait Collector: Sync {
+    /// Whether this sink wants events at all. `false` (the [`Null`] sink) makes every
+    /// instrumentation site a predictable branch.
+    fn enabled(&self) -> bool;
+
+    /// Records one event. Called only when [`Collector::enabled`] returned `true`.
+    fn record(&self, event: Event);
+
+    /// Records a [`Event::SpanBegin`] if enabled.
+    fn span_begin(&self, name: &'static str) {
+        if self.enabled() {
+            self.record(Event::SpanBegin { name });
+        }
+    }
+
+    /// Records a [`Event::SpanEnd`] if enabled.
+    fn span_end(&self, name: &'static str) {
+        if self.enabled() {
+            self.record(Event::SpanEnd { name });
+        }
+    }
+
+    /// Records a [`Event::Counter`] if enabled.
+    fn counter(&self, name: &'static str, value: f64) {
+        if self.enabled() {
+            self.record(Event::Counter { name, value });
+        }
+    }
+}
+
+/// The default sink: drops everything at near-zero cost.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Null;
+
+impl Collector for Null {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&self, _event: Event) {}
+}
+
+/// Buffers timestamped events in memory (behind a mutex), for tests and in-process
+/// analysis.
+#[derive(Debug)]
+pub struct InMemory {
+    epoch: Instant,
+    events: Mutex<Vec<TimedEvent>>,
+}
+
+impl InMemory {
+    /// An empty buffer whose epoch is now.
+    pub fn new() -> InMemory {
+        InMemory {
+            epoch: Instant::now(),
+            events: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A snapshot of the recorded events, in record order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the buffer lock.
+    pub fn events(&self) -> Vec<TimedEvent> {
+        self.events.lock().expect("telemetry buffer lock").clone()
+    }
+
+    /// Consumes the sink and returns the recorded events, in record order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the buffer lock.
+    pub fn into_events(self) -> Vec<TimedEvent> {
+        self.events
+            .into_inner()
+            .expect("telemetry buffer lock poisoned")
+    }
+}
+
+impl Default for InMemory {
+    fn default() -> Self {
+        InMemory::new()
+    }
+}
+
+impl Collector for InMemory {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        let t_us = self.epoch.elapsed().as_micros() as u64;
+        self.events
+            .lock()
+            .expect("telemetry buffer lock")
+            .push(TimedEvent { t_us, event });
+    }
+}
+
+/// Streams one JSON object per event to a writer — the format CI archives and the
+/// `telemetry_stats` harness parses back.
+pub struct JsonLines<W: Write + Send> {
+    epoch: Instant,
+    out: Mutex<W>,
+}
+
+impl<W: Write + Send> JsonLines<W> {
+    /// A sink writing to `out`, with its epoch set to now.
+    pub fn new(out: W) -> JsonLines<W> {
+        JsonLines {
+            epoch: Instant::now(),
+            out: Mutex::new(out),
+        }
+    }
+
+    /// Flushes and returns the writer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a recording thread panicked while holding the writer lock.
+    pub fn into_inner(self) -> W {
+        let mut out = self.out.into_inner().expect("telemetry writer lock");
+        let _ = out.flush();
+        out
+    }
+}
+
+impl JsonLines<std::io::BufWriter<std::fs::File>> {
+    /// A sink writing to the file at `path` (created/truncated), buffered.
+    ///
+    /// # Errors
+    ///
+    /// Returns the I/O error if the file cannot be created.
+    pub fn create(
+        path: &std::path::Path,
+    ) -> std::io::Result<JsonLines<std::io::BufWriter<std::fs::File>>> {
+        Ok(JsonLines::new(std::io::BufWriter::new(
+            std::fs::File::create(path)?,
+        )))
+    }
+}
+
+impl<W: Write + Send> Collector for JsonLines<W> {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&self, event: Event) {
+        let t_us = self.epoch.elapsed().as_micros() as u64;
+        let line = TimedEvent { t_us, event }.to_json_line();
+        let mut out = self.out.lock().expect("telemetry writer lock");
+        let _ = writeln!(out, "{line}");
+    }
+}
+
+/// Forwards every event to two sinks (e.g. buffer in memory *and* stream to disk).
+/// Enabled when either side is.
+pub struct Tee<'a>(pub &'a dyn Collector, pub &'a dyn Collector);
+
+impl Collector for Tee<'_> {
+    fn enabled(&self) -> bool {
+        self.0.enabled() || self.1.enabled()
+    }
+
+    fn record(&self, event: Event) {
+        if self.0.enabled() {
+            self.0.record(event.clone());
+        }
+        if self.1.enabled() {
+            self.1.record(event);
+        }
+    }
+}
+
+/// Total time spent inside each span name, in first-appearance order.
+///
+/// Spans may nest (time inside a nested span counts toward both); an unmatched
+/// [`Event::SpanEnd`] is ignored and an unclosed [`Event::SpanBegin`] contributes nothing.
+pub fn phase_durations(events: &[TimedEvent]) -> Vec<(&'static str, u64)> {
+    let mut totals: Vec<(&'static str, u64)> = Vec::new();
+    let mut open: Vec<(&'static str, u64)> = Vec::new();
+    for e in events {
+        match e.event {
+            Event::SpanBegin { name } => open.push((name, e.t_us)),
+            Event::SpanEnd { name } => {
+                if let Some(pos) = open.iter().rposition(|(n, _)| *n == name) {
+                    let (_, begin) = open.remove(pos);
+                    let elapsed = e.t_us.saturating_sub(begin);
+                    match totals.iter_mut().find(|(n, _)| *n == name) {
+                        Some((_, total)) => *total += elapsed,
+                        None => totals.push((name, elapsed)),
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    totals
+}
+
+/// Event counts per [`Event::kind`], in first-appearance order.
+pub fn counts_by_kind(events: &[TimedEvent]) -> Vec<(&'static str, usize)> {
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for e in events {
+        let kind = e.event.kind();
+        match counts.iter_mut().find(|(k, _)| *k == kind) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((kind, 1)),
+        }
+    }
+    counts
+}
+
+/// Renders one or more event tracks as a Chrome `trace_event` JSON document, loadable in
+/// `about://tracing` or [Perfetto](https://ui.perfetto.dev).
+///
+/// Each `(name, events)` track becomes one thread of a single `lift` process: span
+/// begin/end pairs map to `B`/`E` duration events, everything else to instant events whose
+/// fields appear under `args`. Timestamps are the events' own microsecond stamps, so tracks
+/// recorded by different sinks each start at their own zero.
+pub fn chrome_trace(tracks: &[(&str, &[TimedEvent])]) -> String {
+    let mut out = String::from("{\"traceEvents\":[\n");
+    let mut first = true;
+    let mut push = |line: String, out: &mut String| {
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(&line);
+    };
+    push(
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,\
+         \"args\":{\"name\":\"lift\"}}"
+            .to_string(),
+        &mut out,
+    );
+    for (tid, (track, events)) in tracks.iter().enumerate() {
+        let tid = tid + 1;
+        let mut name = String::new();
+        write_escaped(&mut name, track);
+        push(
+            format!(
+                "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":{tid},\
+                 \"args\":{{\"name\":{name}}}}}"
+            ),
+            &mut out,
+        );
+        for e in *events {
+            let line = match &e.event {
+                Event::SpanBegin { name } => format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"B\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{}}}",
+                    e.t_us
+                ),
+                Event::SpanEnd { name } => format!(
+                    "{{\"name\":\"{name}\",\"ph\":\"E\",\"pid\":1,\"tid\":{tid},\
+                     \"ts\":{}}}",
+                    e.t_us
+                ),
+                other => {
+                    let mut args = String::new();
+                    other.write_fields(&mut args);
+                    format!(
+                        "{{\"name\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"pid\":1,\
+                         \"tid\":{tid},\"ts\":{},\"args\":{{{args}}}}}",
+                        other.kind(),
+                        e.t_us
+                    )
+                }
+            };
+            push(line, &mut out);
+        }
+    }
+    out.push_str("\n]}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_disabled_and_silent() {
+        let null = Null;
+        assert!(!null.enabled());
+        null.record(Event::SpanBegin { name: "x" }); // must not panic
+        null.span_begin("x");
+        null.counter("n", 1.0);
+    }
+
+    #[test]
+    fn in_memory_buffers_events_in_order_with_monotonic_stamps() {
+        let sink = InMemory::new();
+        sink.span_begin("enumerate");
+        sink.record(Event::Counter {
+            name: "executed_kernels",
+            value: 4.0,
+        });
+        sink.span_end("enumerate");
+        let events = sink.into_events();
+        assert_eq!(events.len(), 3);
+        assert_eq!(events[0].event, Event::SpanBegin { name: "enumerate" });
+        assert_eq!(events[2].event, Event::SpanEnd { name: "enumerate" });
+        assert!(events.windows(2).all(|w| w[0].t_us <= w[1].t_us));
+    }
+
+    #[test]
+    fn json_lines_are_valid_self_describing_objects() {
+        let sink = JsonLines::new(Vec::new());
+        sink.record(Event::Rejection {
+            rule: "split-join",
+            site: "@root.\"quoted\"".to_string(),
+            reason: RejectReason::IllTyped,
+        });
+        sink.record(Event::TunerPoint {
+            index: 3,
+            point: "splits=[2] launch=64/16".to_string(),
+            best_time: None,
+            lowered: 0,
+            variants: 0,
+            improved: false,
+            cache_hit: true,
+        });
+        let text = String::from_utf8(sink.into_inner()).expect("utf8");
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].contains("\"kind\":\"rejection\""));
+        assert!(lines[0].contains("\"reason\":\"ill_typed\""));
+        assert!(lines[0].contains("\\\"quoted\\\""), "{}", lines[0]);
+        assert!(lines[1].contains("\"best_time\":null"));
+        assert!(lines[1].contains("\"cache_hit\":true"));
+        for line in lines {
+            assert!(line.starts_with('{') && line.ends_with('}'));
+        }
+    }
+
+    #[test]
+    fn tee_forwards_to_both_sinks() {
+        let a = InMemory::new();
+        let b = InMemory::new();
+        let tee = Tee(&a, &b);
+        assert!(tee.enabled());
+        tee.record(Event::SpanBegin { name: "x" });
+        assert_eq!(a.events().len(), 1);
+        assert_eq!(b.events().len(), 1);
+        // A tee over disabled sinks is disabled.
+        assert!(!Tee(&Null, &Null).enabled());
+    }
+
+    fn at(t_us: u64, event: Event) -> TimedEvent {
+        TimedEvent { t_us, event }
+    }
+
+    #[test]
+    fn phase_durations_handle_nesting_and_repeats() {
+        let events = vec![
+            at(0, Event::SpanBegin { name: "outer" }),
+            at(10, Event::SpanBegin { name: "inner" }),
+            at(30, Event::SpanEnd { name: "inner" }),
+            at(50, Event::SpanEnd { name: "outer" }),
+            at(60, Event::SpanBegin { name: "inner" }),
+            at(100, Event::SpanEnd { name: "inner" }),
+            // Unmatched end is ignored; unclosed begin contributes nothing.
+            at(110, Event::SpanEnd { name: "stray" }),
+            at(120, Event::SpanBegin { name: "open" }),
+        ];
+        let phases = phase_durations(&events);
+        assert_eq!(phases, vec![("inner", 60), ("outer", 50)]);
+    }
+
+    #[test]
+    fn counts_by_kind_preserves_first_appearance_order() {
+        let events = vec![
+            at(0, Event::SpanBegin { name: "a" }),
+            at(
+                1,
+                Event::Counter {
+                    name: "n",
+                    value: 1.0,
+                },
+            ),
+            at(2, Event::SpanEnd { name: "a" }),
+            at(
+                3,
+                Event::Counter {
+                    name: "m",
+                    value: 2.0,
+                },
+            ),
+        ];
+        assert_eq!(
+            counts_by_kind(&events),
+            vec![("span_begin", 1), ("counter", 2), ("span_end", 1)]
+        );
+    }
+
+    #[test]
+    fn chrome_trace_contains_span_pairs_and_instants() {
+        let events = vec![
+            at(0, Event::SpanBegin { name: "enumerate" }),
+            at(
+                5,
+                Event::BeamRound {
+                    depth: 0,
+                    frontier: 1,
+                    expanded: 10,
+                    derived: 8,
+                    dedup_hits: 1,
+                    rejected: 1,
+                    completed: 0,
+                    kept: 8,
+                    pruned: 0,
+                },
+            ),
+            at(9, Event::SpanEnd { name: "enumerate" }),
+        ];
+        let doc = chrome_trace(&[("dot_product", &events)]);
+        assert!(doc.contains("\"traceEvents\""));
+        assert!(doc.contains("\"ph\":\"B\""));
+        assert!(doc.contains("\"ph\":\"E\""));
+        assert!(doc.contains("\"ph\":\"i\""));
+        assert!(doc.contains("\"thread_name\""));
+        assert!(doc.contains("\"frontier\":1"));
+        // Balanced braces at the top level: the document parses as one object.
+        assert_eq!(doc.matches("traceEvents").count(), 1);
+    }
+
+    #[test]
+    fn non_finite_numbers_serialize_as_null() {
+        let line = TimedEvent {
+            t_us: 0,
+            event: Event::Counter {
+                name: "bad",
+                value: f64::NAN,
+            },
+        }
+        .to_json_line();
+        assert!(line.contains("\"value\":null"));
+    }
+
+    #[test]
+    fn f64_serialization_is_json_compatible() {
+        let line = TimedEvent {
+            t_us: 1,
+            event: Event::Variant {
+                rank: 0,
+                estimated_time: 19060.278,
+                kernels: 1,
+                steps: 3,
+            },
+        }
+        .to_json_line();
+        assert!(line.contains("\"estimated_time\":19060.278"), "{line}");
+    }
+}

@@ -39,5 +39,7 @@ pub mod workloads;
 
 pub use search::Strategy;
 pub use space::{PointIndex, TuningPoint, TuningSpace};
-pub use tuner::{tune, BestVariant, TrajectoryEntry, TuneError, TuningConfig, TuningResult};
+pub use tuner::{
+    tune, tune_with, BestVariant, TrajectoryEntry, TuneError, TuningConfig, TuningResult,
+};
 pub use workloads::Workload;

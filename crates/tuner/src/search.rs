@@ -5,6 +5,7 @@
 //! the caller, so the same seed visits the same points in the same order on every run (the
 //! property the `BENCH_autotune.json` determinism test pins down).
 
+use lift_telemetry::{Collector, Event};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -32,10 +33,17 @@ pub enum Strategy {
 /// Walks `space` according to `strategy`, calling `eval` for every visited index. `eval`
 /// returns the objective (lower is better, `None` = infeasible) and is expected to memoise:
 /// strategies may revisit indices.
+///
+/// Telemetry: the sampling and hill-climbing halves of [`Strategy::RandomHillClimb`] run
+/// inside `sample`/`climb` spans, and every accepted move emits an [`Event::TunerMove`]
+/// (rendering the moved-to point through `label`, which is only called when the collector
+/// is enabled).
 pub(crate) fn drive(
     strategy: &Strategy,
     space: &TuningSpace,
     eval: &mut dyn FnMut(PointIndex) -> Result<Option<f64>, TuneError>,
+    label: &dyn Fn(PointIndex) -> String,
+    collector: &dyn Collector,
 ) -> Result<(), TuneError> {
     match strategy {
         Strategy::Exhaustive => {
@@ -52,6 +60,7 @@ pub(crate) fn drive(
             let mut rng = StdRng::seed_from_u64(*seed);
             let [s, w, t, l] = space.dims();
             let mut best: Option<(f64, PointIndex)> = None;
+            collector.span_begin("sample");
             for _ in 0..*samples {
                 let index = PointIndex {
                     split_set: rng.gen_range(0..s),
@@ -65,10 +74,12 @@ pub(crate) fn drive(
                     }
                 }
             }
+            collector.span_end("sample");
             let Some((mut best_time, mut at)) = best else {
                 return Ok(());
             };
-            for _ in 0..*max_steps {
+            collector.span_begin("climb");
+            for step in 0..*max_steps as u32 {
                 let mut moved = false;
                 for neighbour in space.neighbours(at) {
                     if let Some(t) = eval(neighbour)? {
@@ -82,7 +93,15 @@ pub(crate) fn drive(
                 if !moved {
                     break;
                 }
+                if collector.enabled() {
+                    collector.record(Event::TunerMove {
+                        step,
+                        to: label(at),
+                        best_time,
+                    });
+                }
             }
+            collector.span_end("climb");
             Ok(())
         }
     }
@@ -108,10 +127,16 @@ mod tests {
     fn exhaustive_visits_every_point_once_in_order() {
         let space = toy_space();
         let mut visited = Vec::new();
-        drive(&Strategy::Exhaustive, &space, &mut |i| {
-            visited.push(i);
-            Ok(Some(objective(i, &space)))
-        })
+        drive(
+            &Strategy::Exhaustive,
+            &space,
+            &mut |i| {
+                visited.push(i);
+                Ok(Some(objective(i, &space)))
+            },
+            &|i| format!("{i:?}"),
+            &lift_telemetry::Null,
+        )
         .unwrap();
         assert_eq!(visited, space.indices().collect::<Vec<_>>());
     }
@@ -125,11 +150,17 @@ mod tests {
             samples: 4,
             max_steps: 64,
         };
-        drive(&strategy, &space, &mut |i| {
-            let t = objective(i, &space);
-            best_seen = best_seen.min(t);
-            Ok(Some(t))
-        })
+        drive(
+            &strategy,
+            &space,
+            &mut |i| {
+                let t = objective(i, &space);
+                best_seen = best_seen.min(t);
+                Ok(Some(t))
+            },
+            &|i| format!("{i:?}"),
+            &lift_telemetry::Null,
+        )
         .unwrap();
         assert_eq!(best_seen, 0.0, "hill climb converged to the grid optimum");
     }
@@ -145,10 +176,16 @@ mod tests {
         let mut runs = Vec::new();
         for _ in 0..2 {
             let mut visited = Vec::new();
-            drive(&strategy, &space, &mut |i| {
-                visited.push(i);
-                Ok(Some(objective(i, &space)))
-            })
+            drive(
+                &strategy,
+                &space,
+                &mut |i| {
+                    visited.push(i);
+                    Ok(Some(objective(i, &space)))
+                },
+                &|i| format!("{i:?}"),
+                &lift_telemetry::Null,
+            )
             .unwrap();
             runs.push(visited);
         }
@@ -166,6 +203,8 @@ mod tests {
                 other.push(i);
                 Ok(Some(objective(i, &space)))
             },
+            &|i| format!("{i:?}"),
+            &lift_telemetry::Null,
         )
         .unwrap();
         assert_ne!(runs[0][..6], other[..6]);

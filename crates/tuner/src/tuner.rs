@@ -12,11 +12,38 @@ use std::collections::HashMap;
 
 use lift_codegen::CompilationOptions;
 use lift_ir::Program;
-use lift_rewrite::{enumerate, Enumerated, ExplorationConfig, ExploreError};
+use lift_rewrite::{Enumerated, ExplorationConfig, ExploreError};
+use lift_telemetry::{Collector, Event, Null};
 use lift_vgpu::DeviceProfile;
 
 use crate::search::{drive, Strategy};
 use crate::space::{PointIndex, TuningPoint, TuningSpace};
+
+/// Renders a tuning point compactly for telemetry events, e.g.
+/// `splits=[2, 4] widths=[4] tiles=[] launch=64x16`.
+pub(crate) fn point_label(point: &TuningPoint) -> String {
+    format!(
+        "splits={:?} widths={:?} tiles={:?} launch={}",
+        point.rule_options.split_sizes,
+        point.rule_options.vector_widths,
+        point.rule_options.tile_sizes,
+        launch_label(&point.launch)
+    )
+}
+
+fn launch_label(launch: &lift_vgpu::LaunchConfig) -> String {
+    let dims = |d: [usize; 3]| {
+        let mut s = d[0].to_string();
+        for v in &d[1..] {
+            if *v > 1 {
+                s.push('x');
+                s.push_str(&v.to_string());
+            }
+        }
+        s
+    };
+    format!("{}/{}", dims(launch.global), dims(launch.local))
+}
 
 /// Errors from the tuning driver.
 #[derive(Clone, Debug)]
@@ -125,6 +152,7 @@ pub struct TuningResult {
 struct Evaluator<'a> {
     program: &'a Program,
     config: &'a TuningConfig,
+    collector: &'a dyn Collector,
     /// One rule search per `(split_set, width_set, tile_set)` — launches share it.
     enumerated: HashMap<(usize, usize, usize), Enumerated>,
     /// Memoised objective per visited index (strategies may revisit).
@@ -133,6 +161,21 @@ struct Evaluator<'a> {
 }
 
 impl Evaluator<'_> {
+    /// Emits the [`Event::TunerPoint`] for the trajectory entry just pushed.
+    fn record_point(&self, entry: &TrajectoryEntry, cache_hit: bool) {
+        if self.collector.enabled() {
+            self.collector.record(Event::TunerPoint {
+                index: (self.result.points_evaluated - 1) as u32,
+                point: point_label(&entry.point),
+                best_time: entry.best_time,
+                lowered: entry.lowered as u32,
+                variants: entry.variants as u32,
+                improved: entry.improved,
+                cache_hit,
+            });
+        }
+    }
+
     fn eval(&mut self, index: PointIndex) -> Result<Option<f64>, TuneError> {
         if let Some(cached) = self.memo.get(&index) {
             return Ok(*cached);
@@ -147,15 +190,16 @@ impl Evaluator<'_> {
             device: self.config.device.clone(),
             ..self.config.base.clone()
         };
-        if !self.enumerated.contains_key(&key) {
-            self.result.enumerations += 1;
-            let enumerated = enumerate(self.program, &config)?;
-            self.enumerated.insert(key, enumerated);
-        } else {
+        let cache_hit = self.enumerated.contains_key(&key);
+        if cache_hit {
             self.result.enumeration_cache_hits += 1;
+        } else {
+            self.result.enumerations += 1;
+            let enumerated = lift_rewrite::enumerate_with(self.program, &config, self.collector)?;
+            self.enumerated.insert(key, enumerated);
         }
         let enumerated = &self.enumerated[&key];
-        let scored = match enumerated.score(&config) {
+        let scored = match enumerated.score_with(&config, self.collector) {
             Ok(scored) => scored,
             // A launch the device rejects is an infeasible point, not a failed tuning run.
             Err(ExploreError::Launch(_)) => {
@@ -168,6 +212,10 @@ impl Evaluator<'_> {
                     variants: 0,
                     improved: false,
                 });
+                self.record_point(
+                    self.result.trajectory.last().expect("entry just pushed"),
+                    cache_hit,
+                );
                 return Ok(None);
             }
             Err(e) => return Err(e.into()),
@@ -199,6 +247,10 @@ impl Evaluator<'_> {
             variants: scored.variants.len(),
             improved,
         });
+        self.record_point(
+            self.result.trajectory.last().expect("entry just pushed"),
+            cache_hit,
+        );
         self.memo.insert(index, best_time);
         Ok(best_time)
     }
@@ -213,12 +265,30 @@ impl Evaluator<'_> {
 /// input program itself is invalid (an individual infeasible point is recorded in the
 /// trajectory instead).
 pub fn tune(program: &Program, config: &TuningConfig) -> Result<TuningResult, TuneError> {
+    tune_with(program, config, &Null)
+}
+
+/// Like [`tune`], but emits the search trajectory to `collector`: one `TunerPoint` event per
+/// evaluated point (its config, objective, accept/reject and enumeration-cache status),
+/// `sample`/`climb` phase spans and one `TunerMove` event per accepted hill-climb move —
+/// plus everything the underlying explorations emit. With the default
+/// [`lift_telemetry::Null`] collector this is exactly [`tune`].
+///
+/// # Errors
+///
+/// See [`tune`].
+pub fn tune_with(
+    program: &Program,
+    config: &TuningConfig,
+    collector: &dyn Collector,
+) -> Result<TuningResult, TuneError> {
     if config.space.is_empty() {
         return Err(TuneError::EmptySpace);
     }
     let mut evaluator = Evaluator {
         program,
         config,
+        collector,
         enumerated: HashMap::new(),
         memo: HashMap::new(),
         result: TuningResult {
@@ -231,8 +301,12 @@ pub fn tune(program: &Program, config: &TuningConfig) -> Result<TuningResult, Tu
             enumeration_cache_hits: 0,
         },
     };
-    drive(&config.strategy, &config.space, &mut |index| {
-        evaluator.eval(index)
-    })?;
+    drive(
+        &config.strategy,
+        &config.space,
+        &mut |index| evaluator.eval(index),
+        &|index| point_label(&config.space.point(index)),
+        collector,
+    )?;
     Ok(evaluator.result)
 }

@@ -88,6 +88,15 @@ impl CostCounters {
     /// from the same counters, and the constant factor is irrelevant because experiments
     /// report performance *relative* to a baseline under the same model.
     pub fn estimated_time(&self, device: &DeviceProfile) -> f64 {
+        self.time_breakdown(device).time
+    }
+
+    /// The full decomposition behind [`CostCounters::estimated_time`]: the device-weighted
+    /// cost of each event class (compute, memory net of the vector-access discount,
+    /// synchronisation) and the two terms of the work–span model. `estimated_time` *is*
+    /// `time_breakdown(device).time` — one computation, two presentations — so a profile
+    /// never disagrees with the ranking.
+    pub fn time_breakdown(&self, device: &DeviceProfile) -> TimeBreakdown {
         let compute = self.flops as f64 * device.flop_cost
             + self.int_ops as f64 * device.int_op_cost
             + self.div_mod_ops as f64 * device.div_mod_cost
@@ -115,8 +124,36 @@ impl CostCounters {
         } else {
             0.0
         };
-        work_term + span_term
+        TimeBreakdown {
+            compute,
+            memory,
+            sync,
+            work_term,
+            span_term,
+            time: work_term + span_term,
+        }
     }
+}
+
+/// The decomposition of one kernel's estimated time (see [`CostCounters::time_breakdown`]).
+/// All values are in the model's arbitrary "cycle" units.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct TimeBreakdown {
+    /// Device-weighted arithmetic cost (flops, integer ops, divisions, loop overhead).
+    pub compute: f64,
+    /// Device-weighted memory cost (global accesses + transactions + uncoalesced penalty +
+    /// local + private traffic, net of the vector-access discount).
+    pub memory: f64,
+    /// Device-weighted synchronisation cost (barriers).
+    pub sync: f64,
+    /// `W/P`: total weighted events spread over the device's lanes.
+    pub work_term: f64,
+    /// `S`: the critical path — the busiest work group's rows (or the group-level queue),
+    /// priced at the launch's average cost per row.
+    pub span_term: f64,
+    /// The estimated time, `work_term + span_term` (equal to
+    /// [`CostCounters::estimated_time`]).
+    pub time: f64,
 }
 
 /// The result of running a kernel on the virtual GPU.
@@ -144,6 +181,99 @@ impl ExecutionReport {
 pub fn estimated_sequence_time(stages: &[CostCounters], device: &DeviceProfile) -> f64 {
     stages.iter().map(|c| c.estimated_time(device)).sum::<f64>()
         + stages.len() as f64 * device.launch_overhead
+}
+
+/// One kernel stage of an [`ExecutionProfile`]: its raw counters plus their decomposed
+/// estimated time.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StageProfile {
+    /// The kernel's name.
+    pub kernel: String,
+    /// The stage's dynamic event counters.
+    pub counters: CostCounters,
+    /// The decomposition of the stage's estimated time.
+    pub breakdown: TimeBreakdown,
+}
+
+/// A structured profile of a (possibly multi-kernel) virtual-GPU execution: per-stage
+/// counters and time decompositions instead of one opaque total. The totals agree exactly
+/// with [`estimated_sequence_time`] over the same counters, so a profile can always be
+/// cross-checked against the number the exploration or tuner ranked by.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ExecutionProfile {
+    /// The kernel stages, in launch order.
+    pub stages: Vec<StageProfile>,
+    /// Total fixed launch overhead charged (one [`DeviceProfile::launch_overhead`] per
+    /// stage).
+    pub launch_overhead: f64,
+    /// The sequence's estimated time: per-stage times summed plus `launch_overhead`
+    /// (equal to [`estimated_sequence_time`]).
+    pub estimated_time: f64,
+}
+
+impl ExecutionProfile {
+    /// Builds a profile from per-stage kernel names and counters. A missing name (shorter
+    /// `names` slice) falls back to `stage<i>`.
+    pub fn from_stages(
+        names: &[String],
+        stages: &[CostCounters],
+        device: &DeviceProfile,
+    ) -> ExecutionProfile {
+        let profiles: Vec<StageProfile> = stages
+            .iter()
+            .enumerate()
+            .map(|(i, counters)| StageProfile {
+                kernel: names.get(i).cloned().unwrap_or_else(|| format!("stage{i}")),
+                counters: *counters,
+                breakdown: counters.time_breakdown(device),
+            })
+            .collect();
+        ExecutionProfile {
+            launch_overhead: stages.len() as f64 * device.launch_overhead,
+            estimated_time: estimated_sequence_time(stages, device),
+            stages: profiles,
+        }
+    }
+}
+
+impl std::fmt::Display for ExecutionProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "execution profile: {} stage(s), estimated time {:.1} (launch overhead {:.1})",
+            self.stages.len(),
+            self.estimated_time,
+            self.launch_overhead
+        )?;
+        for s in &self.stages {
+            writeln!(
+                f,
+                "  {}: time {:.1} = work {:.1} + span {:.1} (compute {:.1}, memory {:.1}, \
+                 sync {:.1})",
+                s.kernel,
+                s.breakdown.time,
+                s.breakdown.work_term,
+                s.breakdown.span_term,
+                s.breakdown.compute,
+                s.breakdown.memory,
+                s.breakdown.sync
+            )?;
+            writeln!(
+                f,
+                "    {} work items in {} group(s): {} flops, {} global accesses in {} \
+                 transactions ({} uncoalesced), {} local, {} barriers",
+                s.counters.work_items,
+                s.counters.work_groups,
+                s.counters.flops,
+                s.counters.global_accesses,
+                s.counters.global_transactions,
+                s.counters.uncoalesced_accesses,
+                s.counters.local_accesses,
+                s.counters.barriers
+            )?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -251,6 +381,68 @@ mod tests {
         a.merge(&b);
         assert_eq!(a.lockstep_rows, 30);
         assert_eq!(a.group_span_rows, 8);
+    }
+
+    #[test]
+    fn breakdown_time_equals_estimated_time() {
+        for device in [DeviceProfile::nvidia(), DeviceProfile::amd()] {
+            let counters = CostCounters {
+                flops: 1234,
+                int_ops: 567,
+                div_mod_ops: 89,
+                global_accesses: 4096,
+                vector_accesses: 128,
+                global_transactions: 130,
+                uncoalesced_accesses: 17,
+                local_accesses: 256,
+                private_accesses: 512,
+                barriers: 8,
+                loop_iterations: 64,
+                work_items: 256,
+                work_groups: 4,
+                lockstep_rows: 400,
+                group_span_rows: 120,
+            };
+            let b = counters.time_breakdown(&device);
+            // Bit-for-bit: the profile presents the same computation the ranking uses.
+            assert_eq!(b.time, counters.estimated_time(&device));
+            assert_eq!(b.time, b.work_term + b.span_term);
+        }
+    }
+
+    #[test]
+    fn execution_profile_totals_match_the_sequence_model() {
+        let device = DeviceProfile::nvidia();
+        let stages = [
+            CostCounters {
+                flops: 1000,
+                lockstep_rows: 100,
+                group_span_rows: 20,
+                ..Default::default()
+            },
+            CostCounters {
+                global_accesses: 2048,
+                global_transactions: 64,
+                lockstep_rows: 50,
+                group_span_rows: 50,
+                ..Default::default()
+            },
+        ];
+        let names = vec!["k0".to_string()];
+        let profile = ExecutionProfile::from_stages(&names, &stages, &device);
+        assert_eq!(profile.stages.len(), 2);
+        assert_eq!(profile.stages[0].kernel, "k0");
+        // Missing names fall back to a positional label.
+        assert_eq!(profile.stages[1].kernel, "stage1");
+        assert_eq!(
+            profile.estimated_time,
+            estimated_sequence_time(&stages, &device)
+        );
+        assert_eq!(profile.launch_overhead, 2.0 * device.launch_overhead);
+        let rendered = profile.to_string();
+        assert!(rendered.contains("execution profile: 2 stage(s)"));
+        assert!(rendered.contains("k0:"));
+        assert!(rendered.contains("stage1:"));
     }
 
     #[test]

@@ -207,6 +207,19 @@ impl SequenceResult {
     pub fn estimated_time(&self, device: &DeviceProfile) -> f64 {
         crate::cost::estimated_sequence_time(&self.stage_counters(), device)
     }
+
+    /// The structured per-stage profile of the execution: each stage's counters and time
+    /// decomposition under `device`, labelled with the kernel names of the launch plan
+    /// (`stages` should be the plan this result came from). The profile's total equals
+    /// [`SequenceResult::estimated_time`] exactly.
+    pub fn profile(
+        &self,
+        stages: &[KernelLaunchSpec],
+        device: &DeviceProfile,
+    ) -> crate::cost::ExecutionProfile {
+        let names: Vec<String> = stages.iter().map(|s| s.kernel.clone()).collect();
+        crate::cost::ExecutionProfile::from_stages(&names, &self.stage_counters(), device)
+    }
 }
 
 /// The virtual GPU.

@@ -21,7 +21,10 @@ mod device;
 mod exec;
 mod memory;
 
-pub use cost::{estimated_sequence_time, CostCounters, ExecutionReport};
+pub use cost::{
+    estimated_sequence_time, CostCounters, ExecutionProfile, ExecutionReport, StageProfile,
+    TimeBreakdown,
+};
 pub use device::{DeviceProfile, LaunchConfig, LaunchError};
 pub use exec::{KernelLaunchSpec, LaunchResult, SequenceResult, VgpuError, VirtualGpu};
 pub use memory::{GpuValue, KernelArg, Ptr};

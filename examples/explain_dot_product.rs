@@ -1,0 +1,55 @@
+//! Explains a derivation: a step-by-step transcript of how the exploration turned the
+//! high-level dot product into its best OpenCL variant.
+//!
+//! The search records full provenance for every candidate — the ordered rule chain with,
+//! for each step, the structural path of the rewritten site and which of the rule's
+//! parameterised alternatives was taken. [`lift::rewrite::explain`] replays that chain from
+//! the original program and renders the intermediate expression after every application, so
+//! the transcript is not a log of what probably happened but a recipe that provably
+//! rebuilds the variant (the provenance round-trip test pins this for every workload).
+//!
+//! Run with `cargo run --release --example explain_dot_product`.
+
+use lift::benchmarks::dot_product;
+use lift::rewrite::{explain, explore, ExplorationConfig, RuleOptions};
+use lift::vgpu::{DeviceProfile, LaunchConfig};
+
+fn main() {
+    let program = dot_product::high_level_program(1024);
+    println!("== High-level program ==\n{program}");
+
+    let config = ExplorationConfig {
+        max_depth: 5,
+        beam_width: 48,
+        rule_options: RuleOptions {
+            split_sizes: vec![2, 4],
+            vector_widths: vec![4],
+            tile_sizes: vec![],
+        },
+        launch: LaunchConfig::d1(32, 8),
+        device: DeviceProfile::nvidia(),
+        best_n: 3,
+        ..ExplorationConfig::default()
+    };
+    let result = explore(&program, &config).expect("exploration runs");
+    let best = result
+        .variants
+        .first()
+        .expect("the search found a validated variant");
+
+    println!(
+        "explored {} candidates, {} validated variants; best estimated time {:.1} units\n",
+        result.explored,
+        result.variants.len(),
+        best.estimated_time,
+    );
+
+    let explanation =
+        explain(&program, &best.derivation, &config.rule_options).expect("recorded chain replays");
+    println!("{explanation}");
+
+    println!(
+        "== Generated OpenCL kernel of the explained variant ==\n{}",
+        best.kernel_source
+    );
+}
