@@ -6,28 +6,69 @@
 //! can archive the number per PR and the `perf_gate` binary can compare it against the
 //! committed baseline.
 //!
+//! The binary also probes the cost of the virtual GPU's shadow-memory race detector: the
+//! enumerated candidate set is scored once with and once without detection (best of three
+//! each) and the per-probe soundness counts plus the measured overhead are written to a
+//! `BENCH_soundness.json` (`--soundness-out <path>`). `--max-race-overhead <fraction>`
+//! makes the binary exit non-zero when the overhead exceeds the fraction — the CI guard
+//! that keeps the always-on default affordable.
+//!
 //! The `BASELINE_CANDIDATES_PER_SEC` constant records the throughput of the pre-optimisation
 //! engine (string-keyed dedup, per-candidate arena round-trip and re-typecheck, serial
 //! scoring) measured on the same machine class; the JSON reports both so the speedup is
 //! visible without digging through git history.
 
+use std::process::ExitCode;
 use std::time::Instant;
 
 use lift_bench::explore_config;
-use lift_bench::report::{explore_report, explore_section};
-use lift_bench::schema::{json_out_arg, write_json, Json};
+use lift_bench::report::{
+    explore_report, explore_section, race_detector_section, soundness_counts, soundness_report,
+};
+use lift_bench::schema::{json_out_arg, path_arg, write_json, Json};
 use lift_benchmarks::dot_product;
-use lift_rewrite::explore;
+use lift_rewrite::{enumerate, explore, ExplorationConfig};
 
 /// Candidates/sec of the exploration engine before the hash-keyed-dedup/term-typecheck/
 /// kernel-dedup/slotted-vgpu rearchitecture, measured at the commit introducing this probe
 /// (same machine, release build, `max_candidates = 4000`: 973 candidates in 203.9 ms).
 const BASELINE_CANDIDATES_PER_SEC: f64 = 4772.0;
 
-fn main() {
+/// Reads the value of `--max-race-overhead <fraction>`, or `None` when absent.
+fn max_race_overhead_arg() -> Result<Option<f64>, String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--max-race-overhead" {
+            let value = args
+                .next()
+                .ok_or("missing value for --max-race-overhead".to_string())?;
+            let v: f64 = value
+                .parse()
+                .map_err(|e| format!("invalid --max-race-overhead: {e}"))?;
+            if !v.is_finite() || v < 0.0 {
+                return Err(format!(
+                    "--max-race-overhead must be non-negative, got `{v}`"
+                ));
+            }
+            return Ok(Some(v));
+        }
+    }
+    Ok(None)
+}
+
+fn main() -> ExitCode {
     let out_path = json_out_arg("BENCH_explore.json");
+    let soundness_path = path_arg("--soundness-out", "BENCH_soundness.json");
+    let max_race_overhead = match max_race_overhead_arg() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("explore_stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let program = dot_product::high_level_program(512);
     let mut sections: Vec<(String, Json)> = Vec::new();
+    let mut soundness_sections: Vec<(String, Json)> = Vec::new();
     let mut probe_cps = BASELINE_CANDIDATES_PER_SEC;
 
     for max_candidates in [500usize, 4000] {
@@ -53,6 +94,10 @@ fn main() {
             format!("max_candidates_{max_candidates}"),
             explore_section(&result, wall_ms),
         ));
+        soundness_sections.push((
+            format!("max_candidates_{max_candidates}"),
+            soundness_counts(&result.soundness),
+        ));
         if max_candidates == 4000 {
             probe_cps = cps;
             println!(
@@ -66,4 +111,50 @@ fn main() {
     let doc = explore_report(sections, BASELINE_CANDIDATES_PER_SEC, probe_cps);
     write_json(&out_path, &doc.render());
     println!("wrote {}", out_path.display());
+
+    // The race-detector overhead probe: score the same enumerated candidate set with and
+    // without shadow-memory detection (best of three each). Enumeration is shared, so the
+    // comparison isolates exactly the detector's per-access bookkeeping.
+    let probe_config = explore_config(4000);
+    let enumerated = enumerate(&program, &probe_config).expect("enumeration runs");
+    let mut plain_ms = f64::INFINITY;
+    let mut detected_ms = f64::INFINITY;
+    for _ in 0..3 {
+        let plain = ExplorationConfig {
+            detect_races: false,
+            ..probe_config.clone()
+        };
+        let start = Instant::now();
+        enumerated.score(&plain).expect("scoring runs");
+        plain_ms = plain_ms.min(start.elapsed().as_secs_f64() * 1e3);
+
+        let start = Instant::now();
+        enumerated.score(&probe_config).expect("scoring runs");
+        detected_ms = detected_ms.min(start.elapsed().as_secs_f64() * 1e3);
+    }
+    let overhead = (detected_ms - plain_ms) / plain_ms;
+    println!(
+        "race-detector overhead: plain {plain_ms:.1} ms vs detected {detected_ms:.1} ms \
+         ({:+.1}%)",
+        overhead * 100.0
+    );
+
+    let soundness_doc = soundness_report(
+        soundness_sections,
+        race_detector_section(plain_ms, detected_ms),
+    );
+    write_json(&soundness_path, &soundness_doc.render());
+    println!("wrote {}", soundness_path.display());
+
+    if let Some(max) = max_race_overhead {
+        if overhead > max {
+            eprintln!(
+                "explore_stats: race-detector overhead {:.1}% exceeds the limit {:.1}%",
+                overhead * 100.0,
+                max * 100.0
+            );
+            return ExitCode::FAILURE;
+        }
+    }
+    ExitCode::SUCCESS
 }

@@ -97,6 +97,36 @@ fn push_breakdown_for_failure(lines: &mut Vec<GateLine>, telemetry: Option<&Json
     }
 }
 
+/// Sums the `rejection_reasons` maps of every entry in a `BENCH_telemetry.json` document
+/// and renders one informational line (`None` when no entry carries the map). The line
+/// keeps the per-reason taxonomy visible in the gate output — a sudden appearance of
+/// `ownership_violation` / `data_race` counts means the search space grew a racy shape the
+/// soundness layers are rejecting.
+fn rejection_summary(telemetry: &Json) -> Option<String> {
+    let results = telemetry.get("results").and_then(Json::as_arr)?;
+    let mut totals: Vec<(String, f64)> = Vec::new();
+    for entry in results {
+        let Some(Json::Obj(reasons)) = entry.get("rejection_reasons") else {
+            continue;
+        };
+        for (reason, n) in reasons {
+            let Some(n) = n.as_f64() else { continue };
+            match totals.iter_mut().find(|(name, _)| name == reason) {
+                Some((_, total)) => *total += n,
+                None => totals.push((reason.clone(), n)),
+            }
+        }
+    }
+    if totals.is_empty() {
+        return None;
+    }
+    let parts: Vec<String> = totals
+        .iter()
+        .map(|(reason, n)| format!("{reason} {n:.0}"))
+        .collect();
+    Some(format!("[info] rejection reasons: {}", parts.join(", ")))
+}
+
 /// `(workload, device) → tuned_best_time` for every entry that has one.
 fn tuned_times(doc: &Json, label: &str) -> Result<HashMap<(String, String), f64>, String> {
     let results = doc
@@ -210,6 +240,12 @@ pub fn check_reports(
                 key.0, key.1, current_times[key]
             ),
         });
+    }
+
+    // 4. The rejection-reason taxonomy of the telemetry report, summed across workloads
+    //    (informational: makes soundness rejections visible in the gate output).
+    if let Some(message) = telemetry.and_then(rejection_summary) {
+        lines.push(GateLine { ok: true, message });
     }
 
     Ok(GateOutcome { lines })
@@ -331,6 +367,60 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.ok && l.message.contains("[new] autotune dot_two_stage/nv")));
+    }
+
+    #[test]
+    fn the_telemetry_rejection_taxonomy_is_summed_into_an_info_line() {
+        let telemetry = parse(
+            r#"{
+  "schema": "lift-telemetry/v1",
+  "results": [
+    {"workload": "explore:dot_product",
+     "rejection_reasons": {"ill_typed": 10, "ownership_violation": 1, "data_race": 0}},
+    {"workload": "tune:dot",
+     "rejection_reasons": {"ill_typed": 5, "ownership_violation": 2, "data_race": 0}}
+  ]
+}"#,
+        )
+        .unwrap();
+        let autotune = autotune_doc(&[("dot", "nv", 100.0)]);
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(100.0),
+            &autotune,
+            &autotune,
+            Some(&telemetry),
+            0.25,
+        )
+        .unwrap();
+        assert!(outcome.passed());
+        let line = outcome
+            .lines
+            .iter()
+            .find(|l| l.message.starts_with("[info] rejection reasons:"))
+            .expect("rejection summary line");
+        assert!(line.message.contains("ill_typed 15"), "{}", line.message);
+        assert!(
+            line.message.contains("ownership_violation 3"),
+            "{}",
+            line.message
+        );
+        assert!(line.message.contains("data_race 0"), "{}", line.message);
+        // A telemetry report without the map (older schema) adds no line.
+        let old = parse(r#"{"results": [{"workload": "explore:dot_product"}]}"#).unwrap();
+        let outcome = check_reports(
+            &explore_doc(100.0),
+            &explore_doc(100.0),
+            &autotune,
+            &autotune,
+            Some(&old),
+            0.25,
+        )
+        .unwrap();
+        assert!(!outcome
+            .lines
+            .iter()
+            .any(|l| l.message.contains("rejection reasons")));
     }
 
     #[test]

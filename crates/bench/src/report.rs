@@ -8,7 +8,9 @@
 //! byte-identical — the property the report determinism tests pin down.
 
 use lift_rewrite::Exploration;
-use lift_telemetry::{counts_by_kind, phase_durations, TimedEvent};
+use lift_telemetry::{
+    counts_by_kind, phase_durations, Event, RejectReason, SoundnessReport, TimedEvent,
+};
 use lift_tuner::{Strategy, TuningResult};
 
 use crate::schema::Json;
@@ -92,6 +94,17 @@ pub fn autotune_entry(
                                 .vector_widths
                                 .iter()
                                 .map(|w| Json::num(*w as f64))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "tile_sizes",
+                        Json::Arr(
+                            point
+                                .rule_options
+                                .tile_sizes
+                                .iter()
+                                .map(|t| Json::num(*t as f64))
                                 .collect(),
                         ),
                     ),
@@ -203,7 +216,47 @@ pub fn explore_section(result: &Exploration, wall_ms: f64) -> Json {
             Json::opt_num(result.variants.first().map(|v| v.estimated_time)),
         ),
         ("best_derivations", Json::Arr(derivations)),
+        ("soundness", soundness_counts(&result.soundness)),
     ])
+}
+
+/// The fixed-shape per-reason incident counts of a soundness report: one key per
+/// [`RejectReason::SOUNDNESS`] label (zeros included) plus the static/dynamic split, so
+/// serialized summaries have the same keys whether or not anything was rejected.
+pub fn soundness_counts(report: &SoundnessReport) -> Json {
+    let mut pairs: Vec<(&'static str, Json)> = report
+        .counts()
+        .into_iter()
+        .map(|(label, n)| (label, Json::num(n as f64)))
+        .collect();
+    pairs.push(("static", Json::num(report.static_rejections.len() as f64)));
+    pairs.push(("dynamic", Json::num(report.dynamic_rejections.len() as f64)));
+    Json::obj(pairs)
+}
+
+/// Builds the `race_detector` section of `BENCH_soundness.json`: the cost of scoring an
+/// enumeration with the shadow-memory race detector relative to scoring it without
+/// (best-of-N wall-clocks, measured by `explore_stats`).
+pub fn race_detector_section(plain_ms: f64, detected_ms: f64) -> Json {
+    let fraction = if plain_ms > 0.0 {
+        (detected_ms - plain_ms) / plain_ms
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("plain_ms", Json::num(plain_ms)),
+        ("detected_ms", Json::num(detected_ms)),
+        ("overhead_fraction", Json::num(fraction)),
+    ])
+}
+
+/// Assembles the complete `BENCH_soundness.json` document: per-probe soundness sections in
+/// order, then the race-detector overhead section.
+pub fn soundness_report(sections: Vec<(String, Json)>, race_detector: Json) -> Json {
+    let mut pairs = vec![("schema".to_string(), Json::str("lift-soundness/v1"))];
+    pairs.extend(sections);
+    pairs.push(("race_detector".to_string(), race_detector));
+    Json::Obj(pairs)
 }
 
 /// Assembles the complete `BENCH_explore.json` document: the named sections in order,
@@ -234,11 +287,22 @@ pub fn telemetry_entry(workload: &str, events: &[TimedEvent], wall_ms: f64) -> J
         .into_iter()
         .map(|(name, us)| (name, Json::num(us as f64)))
         .collect::<Vec<_>>();
+    let rejections: Vec<(&'static str, Json)> = RejectReason::ALL
+        .iter()
+        .map(|r| {
+            let n = events
+                .iter()
+                .filter(|t| matches!(&t.event, Event::Rejection { reason, .. } if reason == r))
+                .count();
+            (r.label(), Json::num(n as f64))
+        })
+        .collect();
     Json::obj([
         ("workload", Json::str(workload)),
         ("wall_ms", Json::num(wall_ms)),
         ("events", Json::num(events.len() as f64)),
         ("event_counts", Json::obj(counts)),
+        ("rejection_reasons", Json::obj(rejections)),
         ("phase_us", Json::obj(phases)),
     ])
 }

@@ -340,13 +340,21 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
 /// Shared by `explore_stats` and `autotune_stats` so CI steps choose the output location
 /// explicitly instead of relying on hard-coded file names in the working directory.
 pub fn json_out_arg(default: &str) -> std::path::PathBuf {
+    path_arg("--json-out", default)
+}
+
+/// Reads the value of a `<flag> <path>` (or `<flag>=<path>`) command-line argument, or
+/// `default` when absent — the generalisation of [`json_out_arg`] for binaries that write
+/// more than one report (e.g. `explore_stats`'s `--soundness-out`).
+pub fn path_arg(flag: &str, default: &str) -> std::path::PathBuf {
+    let prefix = format!("{flag}=");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
-        if arg == "--json-out" {
+        if arg == flag {
             if let Some(path) = args.next() {
                 return path.into();
             }
-        } else if let Some(path) = arg.strip_prefix("--json-out=") {
+        } else if let Some(path) = arg.strip_prefix(&prefix) {
             return path.into();
         }
     }

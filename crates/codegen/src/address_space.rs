@@ -1,17 +1,32 @@
-//! Address space inference (Algorithm 1 of the paper).
+//! Address space inference (Algorithm 1 of the paper) and the parallelism-ownership pass
+//! built on top of it.
 //!
 //! Every expression of a Lift program is assigned one of the three OpenCL address spaces.
 //! Scalars and literals live in private memory, array parameters in global memory, and the
 //! `toGlobal` / `toLocal` / `toPrivate` wrappers override the address space the wrapped
 //! function writes to. Maps and `iterate` propagate the requested space into their nested
 //! function; `reduceSeq` writes where its initialiser lives.
+//!
+//! A second walk ([`infer_parallelism`]) annotates every expression with the
+//! [`ParallelismLevel`] of its evaluation site: work-group level for the kernel top level
+//! and `mapWrg` bodies (executed uniformly by every work item of a group), work-item level
+//! inside `mapLcl`/`mapGlb` bodies (where data varies per work item), and sequential lanes
+//! below that. The generator consults these levels wherever it allocates a buffer: a
+//! group-shared `__local` array whose producing code runs at work-item level would be
+//! written wholesale by *every* work item with work-item-varying data — a data race — and
+//! is rejected with `CodegenError::OwnershipViolation` instead of being emitted.
 
 use std::collections::HashMap;
 
-use lift_ir::{AddressSpace, ExprId, ExprKind, FunDecl, FunDeclId, Pattern, Program};
+use lift_ir::{
+    AddressSpace, ExprId, ExprKind, FunDecl, FunDeclId, ParallelismLevel, Pattern, Program,
+};
 
 /// The per-expression address spaces computed by [`infer_address_spaces`].
 pub type AddressSpaces = HashMap<ExprId, AddressSpace>;
+
+/// The per-expression parallelism levels computed by [`infer_parallelism`].
+pub type ParallelismLevels = HashMap<ExprId, ParallelismLevel>;
 
 /// Runs address space inference over a typed program.
 ///
@@ -135,6 +150,99 @@ fn infer_call(
             }
             // Data-layout patterns keep the address space of their argument.
             _ => arg_spaces.first().copied().unwrap_or(AddressSpace::Private),
+        },
+    }
+}
+
+/// Runs the parallelism-ownership walk over a typed program: every expression is annotated
+/// with the [`ParallelismLevel`] of the site where its value is produced.
+///
+/// The walk mirrors [`infer_address_spaces`]: arguments are evaluated at the level of the
+/// call that consumes them, `mapLcl`/`mapGlb` bodies execute at work-item level,
+/// `mapWrg` bodies stay at work-group level (the body runs uniformly across the group's
+/// work items until a work-item map partitions it), and sequential patterns
+/// (`mapSeq`/`mapVec`/`reduceSeq`/`iterate`) inside a work-item map descend to a
+/// sequential lane. The memory-placement wrappers are transparent, exactly as in address
+/// space inference.
+pub fn infer_parallelism(program: &Program) -> ParallelismLevels {
+    let mut levels = ParallelismLevels::new();
+    if program.root().is_none() {
+        return levels;
+    }
+    for &p in program.root_params() {
+        levels.insert(p, ParallelismLevel::WorkGroup);
+    }
+    level_expr(
+        program,
+        program.root_body(),
+        ParallelismLevel::WorkGroup,
+        &mut levels,
+    );
+    levels
+}
+
+fn level_expr(
+    program: &Program,
+    expr: ExprId,
+    level: ParallelismLevel,
+    levels: &mut ParallelismLevels,
+) {
+    levels.insert(expr, level);
+    if let ExprKind::FunCall { f, args } = &program.expr(expr).kind {
+        for a in args {
+            level_expr(program, *a, level, levels);
+        }
+        level_call(program, *f, level, levels);
+    }
+}
+
+fn level_call(
+    program: &Program,
+    f: FunDeclId,
+    level: ParallelismLevel,
+    levels: &mut ParallelismLevels,
+) {
+    match program.decl(f) {
+        FunDecl::Lambda { params, body } => {
+            for p in params {
+                // A parameter's binding site; occurrences re-annotate with their own
+                // context when visited.
+                levels.entry(*p).or_insert(level);
+            }
+            level_expr(program, *body, level, levels);
+        }
+        FunDecl::UserFun(_) => {}
+        FunDecl::Pattern(pattern) => match pattern {
+            Pattern::ToGlobal { f } | Pattern::ToLocal { f } | Pattern::ToPrivate { f } => {
+                level_call(program, *f, level, levels);
+            }
+            Pattern::MapGlb { f, .. } | Pattern::MapLcl { f, .. } => {
+                level_call(program, *f, ParallelismLevel::WorkItem, levels);
+            }
+            Pattern::MapWrg { f, .. } => {
+                // A work-group body is still group-uniform; only a nested work-item map
+                // makes data vary per work item. (A mapWrg under a work-item map would be
+                // ill-formed; keep the finer level in that case rather than masking it.)
+                let inner = if level == ParallelismLevel::WorkGroup {
+                    ParallelismLevel::WorkGroup
+                } else {
+                    level
+                };
+                level_call(program, *f, inner, levels);
+            }
+            Pattern::MapSeq { f }
+            | Pattern::MapVec { f }
+            | Pattern::ReduceSeq { f }
+            | Pattern::Iterate { f, .. } => {
+                let inner = if level.is_work_item() {
+                    ParallelismLevel::Sequential
+                } else {
+                    level
+                };
+                level_call(program, *f, inner, levels);
+            }
+            // Data-layout patterns have no nested code.
+            _ => {}
         },
     }
 }
@@ -270,5 +378,47 @@ mod tests {
         lift_ir::infer_types(&mut p).unwrap();
         let spaces = infer_address_spaces(&p);
         assert_eq!(spaces[&p.root_body()], AddressSpace::Global);
+    }
+
+    #[test]
+    fn parallelism_levels_follow_the_map_hierarchy() {
+        use lift_ir::ParallelismLevel;
+
+        // mapWrg⁰(λ tile. mapLcl⁰(λ x. toPrivate(id)(x))(tile)) ∘ split 8: the mapWrg body
+        // runs once per group, the mapLcl body once per work item, and anything nested under
+        // the work item (here the staged copy's argument) is a sequential lane.
+        let mut p = Program::new("t");
+        let id = p.user_fun(UserFun::id_float());
+        let seq_copy = p.map_seq(id);
+        let lcl = p.map_lcl(0, seq_copy);
+        let inner_split = p.split(4usize);
+        let group_body = p.compose(&[lcl, inner_split]);
+        let wrg = p.map_wrg(0, group_body);
+        let s = p.split(8usize);
+        p.with_root(vec![("x", float_array(64usize))], |p, params| {
+            let split = p.apply1(s, params[0]);
+            p.apply1(wrg, split)
+        });
+        lift_ir::infer_types(&mut p).unwrap();
+        let levels = infer_parallelism(&p);
+
+        // The root body (the mapWrg call itself) runs at work-group level.
+        assert_eq!(levels[&p.root_body()], ParallelismLevel::WorkGroup);
+        // The mapWrg's lambda parameter (one tile per group) is work-group owned; the
+        // mapLcl's element parameter is work-item owned.
+        let group_tile = match p.decl(group_body) {
+            lift_ir::FunDecl::Lambda { params, .. } => params[0],
+            other => panic!("expected lambda, got {other:?}"),
+        };
+        assert_eq!(levels[&group_tile], ParallelismLevel::WorkGroup);
+        // Every expression got a level.
+        for (_, level) in levels.iter() {
+            let _ = level.label();
+        }
+        // Work-item and sequential lanes both count as per-work-item writers; the
+        // work-group level does not.
+        assert!(ParallelismLevel::WorkItem.is_work_item());
+        assert!(ParallelismLevel::Sequential.is_work_item());
+        assert!(!ParallelismLevel::WorkGroup.is_work_item());
     }
 }

@@ -16,14 +16,16 @@ use std::collections::HashMap;
 
 use lift_arith::ArithExpr;
 use lift_ir::{
-    AddressSpace, ExprId, ExprKind, FunDecl, FunDeclId, Literal, Pattern, Program, Reorder,
-    ScalarExpr, ScalarKind, Type, TypeError, UserFun,
+    AddressSpace, ExprId, ExprKind, FunDecl, FunDeclId, Literal, ParallelismLevel, Pattern,
+    Program, Reorder, ScalarExpr, ScalarKind, Type, TypeError, UserFun,
 };
 use lift_ocl::{
     AddrSpace, CExpr, CFunction, CStmt, CType, Fence, Kernel, KernelParam, Module, StructDef,
 };
 
-use crate::address_space::{infer_address_spaces, AddressSpaces};
+use crate::address_space::{
+    infer_address_spaces, infer_parallelism, AddressSpaces, ParallelismLevels,
+};
 use crate::options::CompilationOptions;
 use crate::view::{resolve, AccessBuilder, LayoutOp, Resolved, View, ViewError};
 
@@ -43,6 +45,22 @@ pub enum CodegenError {
     /// private memory, which can place a large array intermediate in per-thread registers
     /// without any diagnosis.
     MissingAddressSpace(String),
+    /// The parallelism-ownership pass rejected a write that aliases across work items: a
+    /// buffer owned at `owner_level` (e.g. a group-shared `__local` array) would be
+    /// written wholesale by code executing at the finer `writer_level` (e.g. a `toLocal`
+    /// staging buffer produced *inside* a `mapLcl` body, where every work item writes the
+    /// whole array with work-item-varying data). Emitting such a kernel would compile a
+    /// data race; it is a typed compile-time rejection instead.
+    OwnershipViolation {
+        /// Description of the buffer whose ownership was violated.
+        buffer: String,
+        /// Parallelism level of the offending write.
+        writer_level: ParallelismLevel,
+        /// Parallelism level that owns the buffer.
+        owner_level: ParallelismLevel,
+        /// Rendered producer expression (the write site).
+        site: String,
+    },
 }
 
 impl std::fmt::Display for CodegenError {
@@ -55,6 +73,17 @@ impl std::fmt::Display for CodegenError {
             CodegenError::MissingAddressSpace(what) => {
                 write!(f, "no address space inferred for an intermediate: {what}")
             }
+            CodegenError::OwnershipViolation {
+                buffer,
+                writer_level,
+                owner_level,
+                site,
+            } => write!(
+                f,
+                "parallelism-ownership violation: {buffer} is owned at {owner_level} level \
+                 but written at {writer_level} level (every work item would write the whole \
+                 shared buffer — a data race) at {site}"
+            ),
         }
     }
 }
@@ -383,9 +412,11 @@ pub fn compile_program(
     let mut program = program.clone();
     lift_ir::infer_types(&mut program)?;
     let spaces = infer_address_spaces(&program);
+    let levels = infer_parallelism(&program);
     let generator = Generator {
         program,
         spaces,
+        levels,
         options: options.clone(),
         builder: AccessBuilder::new(options.array_access_simplification),
         module: Module::new(),
@@ -407,6 +438,9 @@ const KERNEL_SPLIT_MARKER: &str = "__lift_kernel_split__";
 struct Generator {
     program: Program,
     spaces: AddressSpaces,
+    /// Parallelism level of each expression's evaluation site (the ownership pass); the
+    /// generator consults it wherever it allocates group-shared storage.
+    levels: ParallelismLevels,
     options: CompilationOptions,
     builder: AccessBuilder,
     module: Module,
@@ -1014,10 +1048,46 @@ impl Generator {
         if space == AddressSpace::Global {
             return self.materialise_global(expr, &ty, stmts);
         }
+        self.check_ownership(expr, &ty, space)?;
         let view = self.allocate(&ty, space)?;
         let code = self.gen_expr(expr, &view)?;
         stmts.extend(code);
         Ok(view)
+    }
+
+    /// The parallelism-ownership check: refuses to allocate a group-shared `__local` array
+    /// whose producing code executes at work-item level. The array is allocated once per
+    /// work group, but the producer would run per work item with work-item-varying data —
+    /// every work item writing the whole buffer is a write-write data race. (Local
+    /// *scalars* compile to per-thread registers and private memory is per-work-item by
+    /// construction, so neither can alias across work items.)
+    fn check_ownership(
+        &self,
+        expr: ExprId,
+        ty: &Type,
+        space: AddressSpace,
+    ) -> Result<(), CodegenError> {
+        if space != AddressSpace::Local {
+            return Ok(());
+        }
+        let scalar = ty.element_count().as_cst() == Some(1) && ty.array_depth() <= 1;
+        if scalar {
+            return Ok(());
+        }
+        let writer_level = self
+            .levels
+            .get(&expr)
+            .copied()
+            .unwrap_or(ParallelismLevel::WorkGroup);
+        if writer_level.is_work_item() {
+            return Err(CodegenError::OwnershipViolation {
+                buffer: format!("a __local intermediate of type `{ty}`"),
+                writer_level,
+                owner_level: ParallelismLevel::owner_of(space),
+                site: render_site(&self.program, expr),
+            });
+        }
+        Ok(())
     }
 
     /// Materialises `expr` into a global temporary and splits the program: the producing
@@ -1188,6 +1258,55 @@ impl Generator {
         }
     }
 
+    /// The distributed-write half of the parallelism-ownership pass (the dual of
+    /// [`Generator::check_ownership`]): a parallel map writes one result cell per work
+    /// item (`mapGlb`/`mapLcl`) or per work group (`mapWrg`), so its destination must be
+    /// shared at least as widely as the map distributes. Writing into narrower memory —
+    /// a `mapGlb` result landing in a per-thread `__private` array, or a `mapWrg` result
+    /// in a per-group `__local` one — leaves every owner holding only its own slice: a
+    /// consumer reading the whole array sees the other cells uninitialised on a real GPU,
+    /// even though the in-order virtual GPU masks it (the dynamic race detector catches
+    /// it as conflicting writes to whatever the garbage feeds).
+    fn check_distribution(
+        &self,
+        kind: MapKind,
+        input_ty: &Type,
+        dest: &View,
+    ) -> Result<(), CodegenError> {
+        let dest_space = view_space(dest);
+        let (name, writer_level, violation) = match kind {
+            MapKind::Seq => return Ok(()),
+            MapKind::Global(_) => (
+                "mapGlb",
+                ParallelismLevel::WorkItem,
+                dest_space != AddressSpace::Global,
+            ),
+            MapKind::WorkGroup(_) => (
+                "mapWrg",
+                ParallelismLevel::WorkGroup,
+                dest_space != AddressSpace::Global,
+            ),
+            MapKind::Local(_) => (
+                "mapLcl",
+                ParallelismLevel::WorkItem,
+                dest_space == AddressSpace::Private,
+            ),
+        };
+        if !violation {
+            return Ok(());
+        }
+        let space = match dest_space {
+            AddressSpace::Local => "__local",
+            _ => "__private",
+        };
+        Err(CodegenError::OwnershipViolation {
+            buffer: format!("the {space} destination of a distributed `{name}`"),
+            writer_level,
+            owner_level: ParallelismLevel::owner_of(dest_space),
+            site: format!("{name} over `{input_ty}`"),
+        })
+    }
+
     fn gen_map_loop(
         &mut self,
         kind: MapKind,
@@ -1200,6 +1319,7 @@ impl Generator {
             .as_array()
             .map(|(e, l)| (e.clone(), l.clone()))
             .ok_or_else(|| CodegenError::Unsupported("map over a non-array value".into()))?;
+        self.check_distribution(kind, input_ty, dest)?;
 
         let (var_base, init, step, parallel_width) = match kind {
             MapKind::Seq => ("i", CExpr::int(0), CExpr::int(1), None),
@@ -1493,6 +1613,10 @@ impl Generator {
             View::Memory { name, .. } => name.clone(),
             _ => unreachable!("checked above"),
         };
+        // The double-buffered loop writes the whole ping/pong pair each sweep, so a local
+        // iterate is only sound where the group executes it uniformly or its body
+        // partitions writes across work items — same ownership rule as `materialise`.
+        self.check_ownership(expr, &Type::array(elem_ty.clone(), in_len.clone()), space)?;
 
         // Second buffer for double buffering.
         let pong = self.fresh("tmp");
@@ -1717,6 +1841,20 @@ enum MapKind {
 }
 
 // ------------------------------------------------------------------------- helpers
+
+/// Renders the producer expression of an ownership violation as one flattened line
+/// (bounded length), so the typed error carries a readable site without a full listing.
+fn render_site(program: &Program, expr: ExprId) -> String {
+    let rendered = lift_ir::pretty::pretty_expr(program, expr, 0);
+    let flat = rendered.split_whitespace().collect::<Vec<_>>().join(" ");
+    if flat.chars().count() > 120 {
+        let mut cut: String = flat.chars().take(120).collect();
+        cut.push('…');
+        cut
+    } else {
+        flat
+    }
+}
 
 fn addr_of(space: AddressSpace) -> AddrSpace {
     match space {
@@ -2051,6 +2189,7 @@ mod tests {
         let generator = Generator {
             program,
             spaces: AddressSpaces::new(), // deliberately empty: no inference results
+            levels: ParallelismLevels::new(),
             options: options.clone(),
             builder: AccessBuilder::new(options.array_access_simplification),
             module: Module::new(),
@@ -2162,5 +2301,210 @@ mod tests {
         }
         // No split marker leaks into the printed source.
         assert!(!compiled.source().contains(KERNEL_SPLIT_MARKER));
+    }
+
+    /// The PR 5 miscompile: per-work-item `toLocal` staging inside a `mapLcl` body. Every
+    /// work item materialises its own tile into a `__local` buffer that is allocated once
+    /// per group, so the work items race on the shared array. This must now be rejected
+    /// statically by the ownership pass, not just filtered by vgpu validation.
+    fn racy_per_item_staging() -> Program {
+        let mut p = Program::new("racy_stage");
+        let id = p.user_fun(UserFun::id_float());
+        let add = p.user_fun(UserFun::add());
+        let copy_lcl = {
+            let m = p.map_seq(id);
+            p.to_local(m)
+        };
+        let red = p.reduce_seq(add, 0.0);
+        let stage_and_reduce = p.lambda(&["t"], |p, params| {
+            let staged = p.apply1(copy_lcl, params[0]);
+            p.apply1(red, staged)
+        });
+        let lcl = p.map_lcl(0, stage_and_reduce);
+        let inner_split = p.split(4usize);
+        let group_body = p.compose(&[lcl, inner_split]);
+        let wrg = p.map_wrg(0, group_body);
+        let s = p.split(16usize);
+        let j = p.join();
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 64usize))],
+            |p, params| {
+                let split = p.apply1(s, params[0]);
+                let mapped = p.apply1(wrg, split);
+                p.apply1(j, mapped)
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn per_work_item_local_staging_is_an_ownership_violation() {
+        let p = racy_per_item_staging();
+        let err = compile_program(&p, &CompilationOptions::all_optimisations())
+            .expect_err("per-work-item local staging must be rejected");
+        match &err {
+            CodegenError::OwnershipViolation {
+                buffer,
+                writer_level,
+                owner_level,
+                site,
+            } => {
+                assert!(buffer.contains("__local"), "{buffer}");
+                assert!(writer_level.is_work_item(), "{writer_level}");
+                assert_eq!(*owner_level, ParallelismLevel::WorkGroup);
+                assert!(site.contains("toLocal"), "{site}");
+            }
+            other => panic!("expected OwnershipViolation, got {other:?}"),
+        }
+        // The rendered message names both levels so rejection telemetry is self-describing.
+        let msg = err.to_string();
+        assert!(msg.contains("work-group"), "{msg}");
+        assert!(msg.contains("data race"), "{msg}");
+    }
+
+    #[test]
+    fn cooperative_local_staging_still_compiles() {
+        // The stencil-wrg-tiling shape: `toLocal(mapLcl id)` applied to the whole tile in
+        // the mapWrg body. The copy is cooperative — each work item writes its own slice of
+        // the shared buffer — so the ownership pass must accept it.
+        let mut p = Program::new("coop_stage");
+        let id = p.user_fun(UserFun::id_float());
+        let copy_coop = {
+            let m = p.map_lcl(0, id);
+            p.to_local(m)
+        };
+        let consume = {
+            let id2 = p.user_fun(UserFun::id_float());
+            p.map_lcl(0, id2)
+        };
+        let group_body = p.compose(&[consume, copy_coop]);
+        let wrg = p.map_wrg(0, group_body);
+        let s = p.split(16usize);
+        let j = p.join();
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 64usize))],
+            |p, params| {
+                let split = p.apply1(s, params[0]);
+                let mapped = p.apply1(wrg, split);
+                p.apply1(j, mapped)
+            },
+        );
+        let compiled = compile_program(&p, &CompilationOptions::all_optimisations())
+            .expect("cooperative staging is sound and must compile");
+        let source = compiled.source();
+        assert!(source.contains("local float"), "{source}");
+        assert!(source.contains("barrier(CLK_LOCAL_MEM_FENCE)"), "{source}");
+    }
+
+    #[test]
+    fn distributed_partials_in_private_memory_are_an_ownership_violation() {
+        // The two-stage shape *without* `toGlobal` on the partials: `mapGlb(reduceSeq)`
+        // feeding a kernel-level reduceSeq. The per-item partial sums inherit the
+        // reduction initialiser's private space, so the distributed map would write one
+        // cell of each thread's own `__private` copy — the consuming reduction then reads
+        // 7 uninitialised cells on a real GPU. The in-order virtual GPU masks the bug
+        // (the last thread sees every partial), which is exactly why it must die at
+        // compile time.
+        let mut p = Program::new("two_stage_private");
+        let add = p.user_fun(UserFun::add());
+        let red1 = p.reduce_seq(add, 0.0);
+        let glb = p.map_glb(0, red1);
+        let red2 = p.reduce_seq(add, 0.0);
+        let s = p.split(16usize);
+        let j = p.join();
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 64usize))],
+            |p, params| {
+                let split = p.apply1(s, params[0]);
+                let partials = p.apply1(glb, split);
+                let joined = p.apply1(j, partials);
+                p.apply1(red2, joined)
+            },
+        );
+        let err = compile_program(&p, &CompilationOptions::all_optimisations())
+            .expect_err("distributed partials in private memory must be rejected");
+        match &err {
+            CodegenError::OwnershipViolation {
+                buffer,
+                writer_level,
+                owner_level,
+                site,
+            } => {
+                assert!(buffer.contains("__private"), "{buffer}");
+                assert!(buffer.contains("mapGlb"), "{buffer}");
+                assert_eq!(*writer_level, ParallelismLevel::WorkItem);
+                assert_eq!(*owner_level, ParallelismLevel::WorkItem);
+                assert!(site.contains("mapGlb"), "{site}");
+            }
+            other => panic!("expected OwnershipViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_distributed_result_in_local_memory_is_an_ownership_violation() {
+        // mapWrg(mapLcl(reduceSeq)) whose per-group results land in `__local` memory via
+        // `toLocal`, consumed by a kernel-level reduction: each group's copy of the buffer
+        // holds only that group's cells, so the cross-group read is garbage everywhere but
+        // group 0's slice.
+        let mut p = Program::new("wrg_local");
+        let add = p.user_fun(UserFun::add());
+        let red1 = p.reduce_seq(add, 0.0);
+        let lcl = p.map_lcl(0, red1);
+        let group_body = {
+            let inner_split = p.split(4usize);
+            let joined = p.compose(&[lcl, inner_split]);
+            p.to_local(joined)
+        };
+        let wrg = p.map_wrg(0, group_body);
+        let red2 = p.reduce_seq(add, 0.0);
+        let s = p.split(16usize);
+        let j = p.join();
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 64usize))],
+            |p, params| {
+                let split = p.apply1(s, params[0]);
+                let partials = p.apply1(wrg, split);
+                let joined = p.apply1(j, partials);
+                let flat = p.apply1(j, joined);
+                p.apply1(red2, flat)
+            },
+        );
+        let err = compile_program(&p, &CompilationOptions::all_optimisations())
+            .expect_err("group-distributed result in local memory must be rejected");
+        match &err {
+            CodegenError::OwnershipViolation { buffer, .. } => {
+                assert!(buffer.contains("__local"), "{buffer}");
+                assert!(buffer.contains("mapWrg"), "{buffer}");
+            }
+            other => panic!("expected OwnershipViolation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn group_uniform_sequential_staging_still_compiles() {
+        // `toLocal(mapSeq id)` directly in the mapWrg body (not under mapLcl): every work
+        // item writes the same values to the shared buffer — redundant, group-uniform, and
+        // race-free in lock-step execution. The pass keys on the *parallelism level* of the
+        // materialisation site (work-group here), so this stays accepted.
+        let mut p = Program::new("uniform_stage");
+        let add = p.user_fun(UserFun::add());
+        let copy_lcl = p.copy_to_local();
+        let red = p.reduce_seq(add, 0.0);
+        let red_global = p.to_global(red);
+        let group_body = p.lambda(&["tile"], |p, params| {
+            let staged = p.apply1(copy_lcl, params[0]);
+            p.apply1(red_global, staged)
+        });
+        let wrg = p.map_wrg(0, group_body);
+        let s = p.split(16usize);
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 64usize))],
+            |p, params| {
+                let split = p.apply1(s, params[0]);
+                p.apply1(wrg, split)
+            },
+        );
+        compile_program(&p, &CompilationOptions::all_optimisations())
+            .expect("group-uniform staging is race-free and must compile");
     }
 }

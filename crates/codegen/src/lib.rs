@@ -37,7 +37,9 @@ pub mod codegen;
 pub mod options;
 pub mod view;
 
-pub use address_space::{infer_address_spaces, AddressSpaces};
+pub use address_space::{
+    infer_address_spaces, infer_parallelism, AddressSpaces, ParallelismLevels,
+};
 pub use codegen::{
     compile, compile_program, CodegenError, CompiledKernel, CompiledProgram, KernelParamInfo,
     KernelStage, TempBufferInfo,

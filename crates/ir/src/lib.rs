@@ -54,7 +54,7 @@ pub use scalar::{BinOp, ScalarExpr, UnOp, UserFun, UserFunError};
 pub use typecheck::{
     check_pad_width, check_slide_divisibility, infer_call_types, infer_types, TypeError,
 };
-pub use types::{AddressSpace, ScalarKind, Type};
+pub use types::{AddressSpace, ParallelismLevel, ScalarKind, Type};
 
 /// Commonly used items, re-exported for convenience.
 pub mod prelude {
@@ -63,5 +63,5 @@ pub mod prelude {
     };
     pub use crate::scalar::{BinOp, ScalarExpr, UnOp, UserFun};
     pub use crate::typecheck::{infer_call_types, infer_types, TypeError};
-    pub use crate::types::{AddressSpace, ScalarKind, Type};
+    pub use crate::types::{AddressSpace, ParallelismLevel, ScalarKind, Type};
 }

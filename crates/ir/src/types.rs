@@ -239,6 +239,66 @@ impl fmt::Display for AddressSpace {
     }
 }
 
+/// The parallelism level at which a piece of code executes (or a buffer is owned).
+///
+/// The OpenCL execution model gives every buffer a natural owner: `__local` arrays belong
+/// to the *work group* and must be written cooperatively (each work item writing its own
+/// slice, as `toLocal(mapLcl id)` does), `__private` values belong to the single *work
+/// item*, and purely sequential code executes within whatever level encloses it. The
+/// codegen ownership pass annotates each expression with the level of its evaluation site
+/// and rejects writes that alias across work items — e.g. a `toLocal` staging buffer
+/// produced *inside* a `mapLcl` body, where every work item would write the whole
+/// group-shared array.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ParallelismLevel {
+    /// Work-group level: code executed uniformly by a whole work group (kernel top level
+    /// or a `mapWrg` body), where cooperative `mapLcl` writes are legal.
+    WorkGroup,
+    /// Work-item level: code inside a `mapLcl`/`mapGlb` body, executed per work item with
+    /// work-item-varying data.
+    WorkItem,
+    /// A sequential lane: code inside `mapSeq`/`reduceSeq`/`iterate` at work-item level —
+    /// still per work item, but with no further parallelism below it.
+    Sequential,
+}
+
+impl ParallelismLevel {
+    /// Stable lower-kebab-case label used in rendered errors and serialized reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            ParallelismLevel::WorkGroup => "work-group",
+            ParallelismLevel::WorkItem => "work-item",
+            ParallelismLevel::Sequential => "sequential-lane",
+        }
+    }
+
+    /// The level that owns buffers allocated in `space`: local memory belongs to the work
+    /// group, private memory to the work item. Global memory is owned above the work
+    /// group (the host partitions it); it reports as work-group-owned here because that is
+    /// the coarsest level a kernel can write from.
+    pub fn owner_of(space: AddressSpace) -> ParallelismLevel {
+        match space {
+            AddressSpace::Global | AddressSpace::Local => ParallelismLevel::WorkGroup,
+            AddressSpace::Private => ParallelismLevel::WorkItem,
+        }
+    }
+
+    /// Whether this level is per-work-item (writes from it alias across work items when
+    /// the target is shared at a coarser level).
+    pub fn is_work_item(self) -> bool {
+        matches!(
+            self,
+            ParallelismLevel::WorkItem | ParallelismLevel::Sequential
+        )
+    }
+}
+
+impl fmt::Display for ParallelismLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

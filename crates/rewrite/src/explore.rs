@@ -34,13 +34,13 @@ use std::collections::{BinaryHeap, HashMap, HashSet};
 use std::sync::Mutex;
 
 use lift_arith::Environment;
-use lift_codegen::{compile_program, CompilationOptions};
+use lift_codegen::{compile_program, CodegenError, CompilationOptions};
 use lift_interp::{evaluate_with_sizes, Value};
 use lift_ir::{infer_types, Program, Type, TypeError};
-use lift_telemetry::{Collector, Event, Null, RejectReason};
+use lift_telemetry::{Collector, Event, Null, RejectReason, SoundnessIncident, SoundnessReport};
 use lift_vgpu::{
     estimated_sequence_time, outputs_match, CostCounters, DeviceProfile, ExecutionProfile,
-    KernelArg, KernelLaunchSpec, LaunchConfig, LaunchError, VirtualGpu,
+    KernelArg, KernelLaunchSpec, LaunchConfig, LaunchError, VgpuError, VirtualGpu,
 };
 
 use crate::rules::{all_rules, RuleCx, RuleKind, RuleOptions};
@@ -87,6 +87,14 @@ pub struct ExplorationConfig {
     /// is the kind of per-event allocation the hot path otherwise never pays. Has no effect
     /// under a disabled collector.
     pub trace_rejections: bool,
+    /// Execute candidates under the virtual GPU's shadow-memory data-race detector
+    /// ([`VirtualGpu::with_race_detection`]), so a racy candidate that the static
+    /// parallelism-ownership pass missed is rejected as a typed
+    /// [`SoundnessIncident::DataRace`] instead of (at best) a silent wrong-output
+    /// rejection. On by default: identical kernels are executed once per exploration
+    /// (see [`Exploration::executed_kernels`]), so the per-access shadow bookkeeping is
+    /// paid a handful of times per search, not per candidate.
+    pub detect_races: bool,
 }
 
 impl Default for ExplorationConfig {
@@ -104,6 +112,7 @@ impl Default for ExplorationConfig {
             sizes: Environment::new(),
             threads: 0,
             trace_rejections: false,
+            detect_races: true,
         }
     }
 }
@@ -178,6 +187,20 @@ pub struct Exploration {
     pub rejected_compile: usize,
     /// Fully lowered candidates whose execution disagreed with the interpreter.
     pub rejected_incorrect: usize,
+    /// Candidates rejected statically by the parallelism-ownership pass (a shared buffer
+    /// written at a finer parallelism level than its owner). The incidents are in
+    /// [`Exploration::soundness`].
+    pub rejected_unsound: usize,
+    /// Candidates rejected because the shadow-memory detector observed a data race during
+    /// execution (only under [`ExplorationConfig::detect_races`]). The incidents are in
+    /// [`Exploration::soundness`].
+    pub rejected_race: usize,
+    /// Candidates rejected because a barrier was reached by only part of a work group.
+    /// The incidents are in [`Exploration::soundness`].
+    pub rejected_divergence: usize,
+    /// The typed incident behind every soundness rejection (static ownership violations
+    /// and dynamic races/divergences), for machine-readable reporting.
+    pub soundness: SoundnessReport,
     /// Distinct fully lowered candidates that reached scoring.
     pub lowered: usize,
     /// Distinct kernels actually executed on the virtual GPU (identical kernel sources are
@@ -546,7 +569,13 @@ fn enumerate_impl(
                                 RejectReason::IllTyped => t.ill_typed += 1,
                                 RejectReason::Oversize => t.oversize += 1,
                                 RejectReason::ReplaceFailed => t.failed += 1,
-                                RejectReason::Duplicate => {}
+                                // Duplicates are tallied on their own path below; the
+                                // soundness reasons are emitted from the scoring phases,
+                                // never from rule enumeration.
+                                RejectReason::Duplicate
+                                | RejectReason::OwnershipViolation
+                                | RejectReason::DataRace
+                                | RejectReason::DivergentBarrier => {}
                             }
                             if let Some(site) = site {
                                 collector.record(Event::Rejection {
@@ -833,9 +862,14 @@ fn high_level_count(e: &TermExpr) -> usize {
     }
 }
 
+#[derive(Clone)]
 enum ScoreError {
     Compile,
     Incorrect,
+    /// The candidate was rejected for a soundness reason — statically by the ownership
+    /// pass, or dynamically by the race detector / barrier-divergence check — and the
+    /// typed incident carries the details.
+    Unsound(SoundnessIncident),
 }
 
 /// One prepared root-parameter input: the interpreter value and its flat buffer form.
@@ -952,14 +986,34 @@ fn score_all(
     // What one execution yields: merged counters, the sequence's estimated time, and the
     // per-stage counters (for [`Variant::stage_counters`] / execution profiles).
     type Scored = (CostCounters, f64, Vec<CostCounters>);
+    let gpu = if config.detect_races {
+        VirtualGpu::with_race_detection()
+    } else {
+        VirtualGpu::new()
+    };
     let run = |p: &PreparedScore| -> (u64, Result<Scored, ScoreError>) {
-        let result = VirtualGpu::new().launch_sequence_on(
-            &config.device,
-            &p.module,
-            &p.stages,
-            p.args.clone(),
-        );
+        let result = gpu.launch_sequence_on(&config.device, &p.module, &p.stages, p.args.clone());
         let verdict = match result {
+            Err(VgpuError::DataRace {
+                buffer,
+                index,
+                writers,
+                epoch,
+            }) => Err(ScoreError::Unsound(SoundnessIncident::DataRace {
+                buffer,
+                index,
+                writers,
+                epoch,
+            })),
+            Err(VgpuError::DivergentBarrier {
+                group,
+                arrived,
+                expected,
+            }) => Err(ScoreError::Unsound(SoundnessIncident::DivergentBarrier {
+                group,
+                arrived,
+                expected,
+            })),
             Err(_) => Err(ScoreError::Incorrect),
             Ok(result) => {
                 if outputs_match(&result.buffers[p.output_buffer_index], reference) {
@@ -995,8 +1049,7 @@ fn score_all(
     let mut variants: Vec<Variant> = Vec::new();
     for (cand, prep) in complete.iter().zip(prepared) {
         match prep {
-            Err(ScoreError::Compile) => stats.rejected_compile += 1,
-            Err(ScoreError::Incorrect) => stats.rejected_incorrect += 1,
+            Err(e) => reject_candidate(stats, collector, cand, e),
             Ok(p) => match executed.get(&p.exec_key) {
                 Some(Ok((counters, time, stage_counters))) => variants.push(Variant {
                     program: p.program,
@@ -1008,7 +1061,8 @@ fn score_all(
                     stage_names: p.stages.iter().map(|s| s.kernel.clone()).collect(),
                     estimated_time: *time,
                 }),
-                _ => stats.rejected_incorrect += 1,
+                Some(Err(e)) => reject_candidate(stats, collector, cand, e.clone()),
+                None => stats.rejected_incorrect += 1,
             },
         }
     }
@@ -1036,6 +1090,39 @@ fn score_all(
     }
 }
 
+/// Counts one rejected candidate. Soundness rejections additionally record the typed
+/// incident on [`Exploration::soundness`] and — under an enabled collector — emit a
+/// first-class [`Event::Rejection`] whose `rule` is the candidate's last derivation step
+/// and whose `site` is the incident's one-line rendering. Unlike rewrite-level rejection
+/// tracing this is not gated on [`ExplorationConfig::trace_rejections`]: soundness
+/// rejections are rare and each one means a miscompile was prevented.
+fn reject_candidate(
+    stats: &mut Exploration,
+    collector: &dyn Collector,
+    cand: &Candidate,
+    error: ScoreError,
+) {
+    match error {
+        ScoreError::Compile => stats.rejected_compile += 1,
+        ScoreError::Incorrect => stats.rejected_incorrect += 1,
+        ScoreError::Unsound(incident) => {
+            match &incident {
+                SoundnessIncident::OwnershipViolation { .. } => stats.rejected_unsound += 1,
+                SoundnessIncident::DataRace { .. } => stats.rejected_race += 1,
+                SoundnessIncident::DivergentBarrier { .. } => stats.rejected_divergence += 1,
+            }
+            if collector.enabled() {
+                collector.record(Event::Rejection {
+                    rule: cand.steps.last().map_or("<input>", |s| s.rule),
+                    site: incident.describe(),
+                    reason: incident.reason(),
+                });
+            }
+            stats.soundness.record(incident);
+        }
+    }
+}
+
 /// Phase-1 work for one candidate: arena conversion plus the type inference that fills in
 /// the annotations code generation reads (the term-level checker already accepted it).
 fn typecheck_candidate(cand: &Candidate) -> Result<Program, ScoreError> {
@@ -1054,7 +1141,22 @@ fn compile_candidate(
         .compile_options
         .clone()
         .with_launch(config.launch.global, config.launch.local);
-    let compiled = compile_program(&program, &options).map_err(|_| ScoreError::Compile)?;
+    let compiled = compile_program(&program, &options).map_err(|e| match e {
+        // The ownership pass's typed rejection survives as a typed incident; every other
+        // compile failure stays an undifferentiated compile rejection.
+        CodegenError::OwnershipViolation {
+            buffer,
+            writer_level,
+            owner_level,
+            site,
+        } => ScoreError::Unsound(SoundnessIncident::OwnershipViolation {
+            buffer,
+            writer_level: writer_level.label(),
+            owner_level: owner_level.label(),
+            site,
+        }),
+        _ => ScoreError::Compile,
+    })?;
     let input_buffers: Vec<Vec<f32>> = inputs.iter().map(|i| i.buffer.clone()).collect();
     let (args, output_buffer_index) = compiled
         .bind_args(&input_buffers, &config.sizes)
@@ -1219,6 +1321,130 @@ mod tests {
             enumerated.score(&invalid),
             Err(ExploreError::Launch(_))
         ));
+    }
+
+    /// The PR-5 miscompile shape: every work item stages the whole tile into `__local`
+    /// through its own `toLocal(mapSeq id)` copy inside the `mapLcl` lambda.
+    fn racy_per_item_staging() -> Program {
+        let mut p = Program::new("racy_stage");
+        let id = p.user_fun(UserFun::id_float());
+        let add = p.user_fun(UserFun::add());
+        let copy_lcl = {
+            let m = p.map_seq(id);
+            p.to_local(m)
+        };
+        let red = p.reduce_seq(add, 0.0);
+        let stage_and_reduce = p.lambda(&["t"], |p, params| {
+            let staged = p.apply1(copy_lcl, params[0]);
+            p.apply1(red, staged)
+        });
+        let lcl = p.map_lcl(0, stage_and_reduce);
+        let inner_split = p.split(4usize);
+        let group_body = p.compose(&[lcl, inner_split]);
+        let wrg = p.map_wrg(0, group_body);
+        let s = p.split(16usize);
+        let j = p.join();
+        p.with_root(
+            vec![("x", Type::array(Type::float(), 64usize))],
+            |p, params| {
+                let split = p.apply1(s, params[0]);
+                let mapped = p.apply1(wrg, split);
+                p.apply1(j, mapped)
+            },
+        );
+        p
+    }
+
+    #[test]
+    fn statically_racy_candidate_is_rejected_with_a_typed_incident() {
+        let program = racy_per_item_staging();
+        let config = ExplorationConfig {
+            max_depth: 1,
+            beam_width: 8,
+            max_candidates: 200,
+            launch: LaunchConfig::d1(16, 4),
+            ..ExplorationConfig::default()
+        };
+        let collector = lift_telemetry::InMemory::new();
+        let result = explore_with(&program, &config, &collector).expect("exploration runs");
+        assert!(
+            result.rejected_unsound >= 1,
+            "the ownership pass should reject the racy input candidate (got {result:?})"
+        );
+        let incident = result
+            .soundness
+            .static_rejections
+            .first()
+            .expect("the static incident is recorded on the report");
+        match incident {
+            SoundnessIncident::OwnershipViolation {
+                buffer,
+                owner_level,
+                site,
+                ..
+            } => {
+                assert!(buffer.contains("__local"), "buffer: {buffer}");
+                assert_eq!(*owner_level, "work-group");
+                assert!(site.contains("toLocal"), "site: {site}");
+            }
+            other => panic!("expected an ownership violation, got {other:?}"),
+        }
+        // The per-reason counts have a fixed shape, ownership violations first.
+        let counts = result.soundness.counts();
+        assert_eq!(counts[0].0, "ownership_violation");
+        assert!(counts[0].1 >= 1);
+        // The rejection is a first-class telemetry event — emitted to any enabled
+        // collector, not gated on `trace_rejections`. The racy candidate is the search
+        // input itself (no derivation steps), so the rule reads `<input>`.
+        assert!(
+            collector.events().iter().any(|t| matches!(
+                &t.event,
+                Event::Rejection {
+                    rule: "<input>",
+                    reason: RejectReason::OwnershipViolation,
+                    ..
+                }
+            )),
+            "expected an ownership-violation Event::Rejection"
+        );
+    }
+
+    #[test]
+    fn race_detection_is_on_by_default_and_does_not_change_winners() {
+        let program = high_level_partial_dot(512);
+        let config = ExplorationConfig {
+            max_depth: 5,
+            beam_width: 32,
+            max_candidates: 1500,
+            rule_options: RuleOptions {
+                split_sizes: vec![2, 4],
+                vector_widths: vec![4],
+                tile_sizes: vec![],
+            },
+            launch: LaunchConfig::d1(16, 4),
+            best_n: 3,
+            ..ExplorationConfig::default()
+        };
+        assert!(config.detect_races);
+        let enumerated = enumerate(&program, &config).expect("enumeration runs");
+        let detected = enumerated.score(&config).expect("scoring runs");
+        let plain = enumerated
+            .score(&ExplorationConfig {
+                detect_races: false,
+                ..config
+            })
+            .expect("scoring runs");
+        // Sound derivations are unaffected by the detector: same winners, same scores,
+        // and nothing was rejected for a dynamic soundness reason.
+        assert!(!detected.variants.is_empty());
+        assert_eq!(detected.variants.len(), plain.variants.len());
+        for (a, b) in detected.variants.iter().zip(&plain.variants) {
+            assert_eq!(a.kernel_source, b.kernel_source);
+            assert_eq!(a.estimated_time, b.estimated_time);
+        }
+        assert_eq!(detected.rejected_race, 0);
+        assert_eq!(detected.rejected_divergence, 0);
+        assert!(detected.soundness.is_clean());
     }
 
     #[test]

@@ -50,6 +50,14 @@ pub enum RejectReason {
     IllTyped,
     /// The derived term is a structural duplicate of an earlier candidate.
     Duplicate,
+    /// The static parallelism-ownership pass found a write aliasing across work items
+    /// (a buffer written at a finer parallelism level than the level that owns it).
+    OwnershipViolation,
+    /// The dynamic shadow-memory detector observed a write-write or unsynchronised
+    /// read-write conflict between two work items.
+    DataRace,
+    /// A barrier was reached by only part of a work group (divergent control flow).
+    DivergentBarrier,
 }
 
 impl RejectReason {
@@ -60,7 +68,177 @@ impl RejectReason {
             RejectReason::Oversize => "oversize",
             RejectReason::IllTyped => "ill_typed",
             RejectReason::Duplicate => "duplicate",
+            RejectReason::OwnershipViolation => "ownership_violation",
+            RejectReason::DataRace => "data_race",
+            RejectReason::DivergentBarrier => "divergent_barrier",
         }
+    }
+
+    /// The soundness-rejection reasons, in report order (the taxonomy the
+    /// [`SoundnessReport`] and the bench soundness summary count by).
+    pub const SOUNDNESS: [RejectReason; 3] = [
+        RejectReason::OwnershipViolation,
+        RejectReason::DataRace,
+        RejectReason::DivergentBarrier,
+    ];
+
+    /// Every rejection reason, in serialization order: the rewrite-level reasons first,
+    /// then [`RejectReason::SOUNDNESS`]. Fixed-shape summaries (the bench reports count
+    /// rejections per label) iterate this so their keys never depend on which rejections
+    /// actually occurred.
+    pub const ALL: [RejectReason; 7] = [
+        RejectReason::ReplaceFailed,
+        RejectReason::Oversize,
+        RejectReason::IllTyped,
+        RejectReason::Duplicate,
+        RejectReason::OwnershipViolation,
+        RejectReason::DataRace,
+        RejectReason::DivergentBarrier,
+    ];
+}
+
+/// One structured soundness incident: either a static ownership violation found at
+/// compile time or a dynamic conflict observed by the virtual GPU. Fields mirror the
+/// typed errors of the layers that detect them (`CodegenError::OwnershipViolation`,
+/// `VgpuError::DataRace`, `VgpuError::DivergentBarrier`) so a rejection stays
+/// machine-readable end to end instead of collapsing into a rendered string.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SoundnessIncident {
+    /// A buffer owned by one parallelism level is written from a finer one.
+    OwnershipViolation {
+        /// The buffer (address space and description) whose ownership was violated.
+        buffer: String,
+        /// Parallelism level of the offending write.
+        writer_level: &'static str,
+        /// Parallelism level that owns the buffer.
+        owner_level: &'static str,
+        /// Rendered location of the write site.
+        site: String,
+    },
+    /// Two work items touched the same cell without a barrier between them.
+    DataRace {
+        /// Name of the racy buffer.
+        buffer: String,
+        /// Element index of the conflicting cell.
+        index: i64,
+        /// The two conflicting work items (flat global ids; earlier access first).
+        writers: [usize; 2],
+        /// Barrier epoch in which the conflict was observed.
+        epoch: u64,
+    },
+    /// A barrier reached by only part of a work group.
+    DivergentBarrier {
+        /// The diverging work group.
+        group: [usize; 3],
+        /// Work items that reached the barrier.
+        arrived: usize,
+        /// Work items the group contains.
+        expected: usize,
+    },
+}
+
+impl SoundnessIncident {
+    /// The rejection reason this incident maps to in [`Event::Rejection`] telemetry.
+    pub fn reason(&self) -> RejectReason {
+        match self {
+            SoundnessIncident::OwnershipViolation { .. } => RejectReason::OwnershipViolation,
+            SoundnessIncident::DataRace { .. } => RejectReason::DataRace,
+            SoundnessIncident::DivergentBarrier { .. } => RejectReason::DivergentBarrier,
+        }
+    }
+
+    /// Whether the incident was found statically (at compile time) rather than observed
+    /// during execution.
+    pub fn is_static(&self) -> bool {
+        matches!(self, SoundnessIncident::OwnershipViolation { .. })
+    }
+
+    /// One-line human-readable rendering (used as the `site` of the emitted
+    /// [`Event::Rejection`]; the structured fields stay available on the report).
+    pub fn describe(&self) -> String {
+        match self {
+            SoundnessIncident::OwnershipViolation {
+                buffer,
+                writer_level,
+                owner_level,
+                site,
+            } => {
+                format!("{buffer} owned by {owner_level} written at {writer_level} level ({site})")
+            }
+            SoundnessIncident::DataRace {
+                buffer,
+                index,
+                writers,
+                epoch,
+            } => format!(
+                "{buffer}[{index}] touched by work items {} and {} in epoch {epoch}",
+                writers[0], writers[1]
+            ),
+            SoundnessIncident::DivergentBarrier {
+                group,
+                arrived,
+                expected,
+            } => format!(
+                "barrier in group ({},{},{}) reached by {arrived} of {expected} work items",
+                group[0], group[1], group[2]
+            ),
+        }
+    }
+}
+
+/// The structured soundness summary of one exploration (or one scored candidate set):
+/// every statically rejected candidate's ownership violation and every dynamically
+/// observed conflict, kept as typed incidents so the explorer, the bench harness and CI
+/// can count and serialize them uniformly.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct SoundnessReport {
+    /// Compile-time rejections (the parallelism-ownership pass).
+    pub static_rejections: Vec<SoundnessIncident>,
+    /// Execution-time rejections (the shadow-memory detector and barrier divergence).
+    pub dynamic_rejections: Vec<SoundnessIncident>,
+}
+
+impl SoundnessReport {
+    /// Records one incident on the side ([`SoundnessIncident::is_static`]) it belongs to.
+    pub fn record(&mut self, incident: SoundnessIncident) {
+        if incident.is_static() {
+            self.static_rejections.push(incident);
+        } else {
+            self.dynamic_rejections.push(incident);
+        }
+    }
+
+    /// Whether no incident of any kind was recorded.
+    pub fn is_clean(&self) -> bool {
+        self.static_rejections.is_empty() && self.dynamic_rejections.is_empty()
+    }
+
+    /// Total incidents recorded.
+    pub fn total(&self) -> usize {
+        self.static_rejections.len() + self.dynamic_rejections.len()
+    }
+
+    /// Incident counts per rejection-reason label, in [`RejectReason::SOUNDNESS`] order
+    /// (reasons with zero incidents included, so serialized summaries have a fixed shape).
+    pub fn counts(&self) -> Vec<(&'static str, usize)> {
+        RejectReason::SOUNDNESS
+            .iter()
+            .map(|reason| {
+                let n = self
+                    .static_rejections
+                    .iter()
+                    .chain(&self.dynamic_rejections)
+                    .filter(|i| i.reason() == *reason)
+                    .count();
+                (reason.label(), n)
+            })
+            .collect()
+    }
+
+    /// Appends every incident of `other`.
+    pub fn merge(&mut self, other: SoundnessReport) {
+        self.static_rejections.extend(other.static_rejections);
+        self.dynamic_rejections.extend(other.dynamic_rejections);
     }
 }
 

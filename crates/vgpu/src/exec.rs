@@ -110,6 +110,24 @@ pub enum VgpuError {
         /// Live (non-returned) work items of the group.
         expected: usize,
     },
+    /// Two work items touched the same memory cell without a synchronising barrier between
+    /// the accesses, and at least one access was a write of a differing value. Reported only
+    /// under [`VirtualGpu::with_race_detection`] — the shadow-memory detector records the
+    /// last writer and reader of every local and global cell together with the barrier
+    /// epoch of the access, and flags write-write and read-write pairs from different work
+    /// items in the same epoch (or, for global buffers, from different work groups, which
+    /// no barrier can ever order within a launch).
+    DataRace {
+        /// Name of the racy buffer (the kernel parameter or `__local` declaration).
+        buffer: String,
+        /// The contested element index.
+        index: i64,
+        /// The two conflicting work items (global linear ids), earlier access first.
+        writers: [usize; 2],
+        /// The barrier epoch of the group in which the conflict surfaced (barriers executed
+        /// since the group started).
+        epoch: u64,
+    },
 }
 
 impl fmt::Display for VgpuError {
@@ -140,6 +158,17 @@ impl fmt::Display for VgpuError {
                 f,
                 "barrier reached by only {arrived} of {expected} work items of group \
                  {group:?} (undefined behaviour in OpenCL)"
+            ),
+            VgpuError::DataRace {
+                buffer,
+                index,
+                writers,
+                epoch,
+            } => write!(
+                f,
+                "data race on `{buffer}[{index}]`: work items {} and {} accessed the cell \
+                 without a barrier between them (barrier epoch {epoch})",
+                writers[0], writers[1]
             ),
         }
     }
@@ -224,12 +253,34 @@ impl SequenceResult {
 
 /// The virtual GPU.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
-pub struct VirtualGpu;
+pub struct VirtualGpu {
+    detect_races: bool,
+}
 
 impl VirtualGpu {
-    /// Creates a virtual GPU.
+    /// Creates a virtual GPU with the data-race detector off (the default — detection costs
+    /// one shadow cell per buffer element and a check per memory access).
     pub fn new() -> VirtualGpu {
-        VirtualGpu
+        VirtualGpu {
+            detect_races: false,
+        }
+    }
+
+    /// Creates a virtual GPU with the shadow-memory data-race detector on: every launch
+    /// tracks the last writer and reader of each local and global cell per barrier epoch and
+    /// fails with [`VgpuError::DataRace`] on unsynchronised conflicting accesses. Stores of
+    /// a bitwise-identical value are treated as no-ops, so redundant group-uniform writes
+    /// (every work item storing the same staged value) do not flag.
+    ///
+    /// Shadow state is per launch: a kernel-sequence stage starts clean, mirroring the
+    /// device-wide synchronisation a kernel boundary provides.
+    pub fn with_race_detection() -> VirtualGpu {
+        VirtualGpu { detect_races: true }
+    }
+
+    /// Whether launches on this virtual GPU run the data-race detector.
+    pub fn race_detection(&self) -> bool {
+        self.detect_races
     }
 
     /// Launches `kernel_name` from `module` like [`VirtualGpu::launch`], after checking that
@@ -367,6 +418,7 @@ impl VirtualGpu {
         let names = lowerer.names;
 
         let mut global: Vec<Vec<f32>> = Vec::new();
+        let mut global_names: Vec<String> = Vec::new();
         let mut params: Vec<Option<GpuValue>> = vec![None; names.len()];
         let mut params_by_name: VarMap<GpuValue> = VarMap::default();
         for ((param, slot), arg) in kernel.params.iter().zip(param_slots).zip(args) {
@@ -374,6 +426,7 @@ impl VirtualGpu {
                 KernelArg::Buffer(data) => {
                     let idx = global.len();
                     global.push(data);
+                    global_names.push(param.name.clone());
                     GpuValue::Ptr(Ptr {
                         space: AddrSpace::Global,
                         buffer: idx,
@@ -387,6 +440,17 @@ impl VirtualGpu {
             params[slot] = Some(value);
         }
 
+        // Shadow state lives for exactly one launch: each stage of a kernel sequence starts
+        // with clean shadow memory, mirroring the device-wide sync of a kernel boundary.
+        let shadow_global: Vec<Vec<ShadowCell>> = if self.detect_races {
+            global
+                .iter()
+                .map(|b| vec![ShadowCell::default(); b.len()])
+                .collect()
+        } else {
+            Vec::new()
+        };
+
         let mut exec = Exec {
             config,
             global,
@@ -398,6 +462,9 @@ impl VirtualGpu {
             access_log: Vec::new(),
             seg_scratch: Vec::new(),
             simd_counts: Vec::new(),
+            detect: self.detect_races,
+            shadow_global,
+            global_names,
         };
         exec.run(&body)?;
         Ok(LaunchResult {
@@ -808,12 +875,37 @@ struct Access {
     width: usize,
 }
 
+/// One shadow-memory cell of the data-race detector: the last work item that wrote and the
+/// last that read the guarded element, each with the barrier epoch of the access. Work items
+/// are stored as `1 + global linear id` so `0` means "untouched / written by the host".
+#[derive(Clone, Copy, Default)]
+struct ShadowCell {
+    writer: usize,
+    writer_group: usize,
+    write_epoch: u64,
+    reader: usize,
+    reader_group: usize,
+    read_epoch: u64,
+}
+
 /// Per-work-group shared state.
 struct Group {
     id: [usize; 3],
+    /// Linear group id (for the cross-group conflict rule on global buffers).
+    linear: usize,
     local: Vec<Vec<f32>>,
     /// slot → local buffer index, for slots declared as local arrays.
     local_slots: Vec<Option<usize>>,
+    /// Barrier epoch: number of barriers the group has executed. Two accesses in the same
+    /// epoch have no barrier between them. Advanced only at *executed* `barrier()`
+    /// statements — never at loop back-edges — so unsynchronised conflicts across loop
+    /// iterations (e.g. the sweeps of a lowered `iterate`) stay in one epoch and are caught.
+    epoch: u64,
+    /// Shadow memory per local buffer (parallel to `local`; empty when detection is off).
+    shadow_local: Vec<Vec<ShadowCell>>,
+    /// Declared names of the local buffers, for race diagnostics (parallel to `local`;
+    /// empty when detection is off).
+    local_names: Vec<String>,
 }
 
 /// Per-work-item state.
@@ -843,6 +935,12 @@ struct Exec {
     seg_scratch: Vec<(usize, usize, i64)>,
     /// Reused scratch: access counts per SIMD group.
     simd_counts: Vec<(usize, usize)>,
+    /// Whether the shadow-memory data-race detector is on for this launch.
+    detect: bool,
+    /// Shadow memory per global buffer (parallel to `global`; empty when detection is off).
+    shadow_global: Vec<Vec<ShadowCell>>,
+    /// Kernel-parameter names of the global buffers, for race diagnostics.
+    global_names: Vec<String>,
 }
 
 impl Exec {
@@ -855,8 +953,12 @@ impl Exec {
                 for gx in 0..groups[0] {
                     let mut group = Group {
                         id: [gx, gy, gz],
+                        linear: gx + groups[0] * (gy + groups[1] * gz),
                         local: Vec::new(),
                         local_slots: vec![None; nslots],
+                        epoch: 0,
+                        shadow_local: Vec::new(),
+                        local_names: Vec::new(),
                     };
                     let mut threads = Vec::with_capacity(local.iter().product());
                     for lz in 0..local[2] {
@@ -948,6 +1050,10 @@ impl Exec {
                     });
                 }
                 self.counters.barriers += 1;
+                // Executed barriers are the *only* place the epoch advances: accesses
+                // separated by anything else (including loop back-edges) stay in the same
+                // epoch and can still conflict.
+                group.epoch += 1;
                 Ok(())
             }
             SStmt::Block(stmts) => self.exec_block(stmts, group, threads, mask),
@@ -957,6 +1063,10 @@ impl Exec {
                 let idx = group.local.len();
                 group.local.push(vec![0.0; len]);
                 group.local_slots[*slot] = Some(idx);
+                if self.detect {
+                    group.shadow_local.push(vec![ShadowCell::default(); len]);
+                    group.local_names.push(self.names[*slot].clone());
+                }
                 Ok(())
             }
             SStmt::DeclPrivateArray { slot, len } => {
@@ -1490,11 +1600,18 @@ impl Exec {
 
     // ------------------------------------------------------------------ memory
 
+    /// Shadow-memory work-item id: `1 + global linear id`, so `0` is free to mean
+    /// "untouched / written by the host".
+    fn thread_uid(&self, thread: &Thread) -> usize {
+        1 + thread.gid[0]
+            + self.config.global[0] * (thread.gid[1] + self.config.global[1] * thread.gid[2])
+    }
+
     fn load(
         &mut self,
         ptr: Ptr,
         idx: i64,
-        group: &Group,
+        group: &mut Group,
         thread: &Thread,
         vector_width: usize,
     ) -> Result<GpuValue, VgpuError> {
@@ -1517,6 +1634,25 @@ impl Exec {
                     addr,
                     width: vector_width,
                 });
+                if self.detect {
+                    let me = self.thread_uid(thread);
+                    let cell = &mut self.shadow_global[ptr.buffer][slot];
+                    if cell.writer != 0
+                        && cell.writer != me
+                        && (cell.writer_group != group.linear || cell.write_epoch == group.epoch)
+                    {
+                        return Err(data_race(
+                            &self.global_names[ptr.buffer],
+                            addr,
+                            cell.writer,
+                            me,
+                            group.epoch,
+                        ));
+                    }
+                    cell.reader = me;
+                    cell.reader_group = group.linear;
+                    cell.read_epoch = group.epoch;
+                }
                 self.global[ptr.buffer][slot]
             }
             AddrSpace::Local => {
@@ -1530,7 +1666,24 @@ impl Exec {
                         len: buf.len(),
                     })?;
                 self.counters.local_accesses += 1;
-                buf[slot]
+                let value = buf[slot];
+                if self.detect {
+                    let me = self.thread_uid(thread);
+                    let cell = &mut group.shadow_local[ptr.buffer][slot];
+                    if cell.writer != 0 && cell.writer != me && cell.write_epoch == group.epoch {
+                        return Err(data_race(
+                            &group.local_names[ptr.buffer],
+                            addr,
+                            cell.writer,
+                            me,
+                            group.epoch,
+                        ));
+                    }
+                    cell.reader = me;
+                    cell.reader_group = group.linear;
+                    cell.read_epoch = group.epoch;
+                }
+                return Ok(GpuValue::Float(f64::from(value)));
             }
             AddrSpace::Private => {
                 let buf = &thread.private[ptr.buffer];
@@ -1570,6 +1723,37 @@ impl Exec {
                         len,
                     },
                 )?;
+                // A store of a bitwise-identical value cannot change the outcome on any
+                // interleaving: treat it as a no-op for race purposes (redundant
+                // group-uniform writes are benign in lock-step execution).
+                if self.detect && (value as f32).to_bits() != buf[slot].to_bits() {
+                    let me = self.thread_uid(thread);
+                    let cell = &mut self.shadow_global[ptr.buffer][slot];
+                    let conflicting_writer = cell.writer != 0
+                        && cell.writer != me
+                        && (cell.writer_group != group.linear || cell.write_epoch == group.epoch);
+                    let conflicting_reader = cell.reader != 0
+                        && cell.reader != me
+                        && (cell.reader_group != group.linear || cell.read_epoch == group.epoch);
+                    if conflicting_writer || conflicting_reader {
+                        let other = if conflicting_writer {
+                            cell.writer
+                        } else {
+                            cell.reader
+                        };
+                        return Err(data_race(
+                            &self.global_names[ptr.buffer],
+                            addr,
+                            other,
+                            me,
+                            group.epoch,
+                        ));
+                    }
+                    cell.writer = me;
+                    cell.writer_group = group.linear;
+                    cell.write_epoch = group.epoch;
+                }
+                let buf = &mut self.global[ptr.buffer];
                 buf[slot] = value as f32;
                 self.counters.global_accesses += 1;
                 self.access_log.push(Access {
@@ -1589,7 +1773,32 @@ impl Exec {
                         len,
                     },
                 )?;
-                buf[slot] = value as f32;
+                if self.detect && (value as f32).to_bits() != buf[slot].to_bits() {
+                    let me = self.thread_uid(thread);
+                    let cell = &mut group.shadow_local[ptr.buffer][slot];
+                    let conflicting_writer =
+                        cell.writer != 0 && cell.writer != me && cell.write_epoch == group.epoch;
+                    let conflicting_reader =
+                        cell.reader != 0 && cell.reader != me && cell.read_epoch == group.epoch;
+                    if conflicting_writer || conflicting_reader {
+                        let other = if conflicting_writer {
+                            cell.writer
+                        } else {
+                            cell.reader
+                        };
+                        return Err(data_race(
+                            &group.local_names[ptr.buffer],
+                            addr,
+                            other,
+                            me,
+                            group.epoch,
+                        ));
+                    }
+                    cell.writer = me;
+                    cell.writer_group = group.linear;
+                    cell.write_epoch = group.epoch;
+                }
+                group.local[ptr.buffer][slot] = value as f32;
                 self.counters.local_accesses += 1;
             }
             AddrSpace::Private => {
@@ -1690,6 +1899,17 @@ impl Exec {
             self.counters.global_transactions += transactions as u64;
             self.counters.uncoalesced_accesses += transactions.saturating_sub(ideal) as u64;
         }
+    }
+}
+
+/// Builds a [`VgpuError::DataRace`] from two shadow-memory uids (`1 + global linear id`),
+/// reporting the plain global linear work-item ids, earlier access first.
+fn data_race(buffer: &str, index: i64, earlier: usize, current: usize, epoch: u64) -> VgpuError {
+    VgpuError::DataRace {
+        buffer: buffer.to_string(),
+        index,
+        writers: [earlier - 1, current - 1],
+        epoch,
     }
 }
 
@@ -2319,5 +2539,313 @@ mod tests {
             .expect("runs");
         assert_eq!(result.buffers[0], vec![0.0, 2.0, 4.0, 6.0]);
         assert!(result.report.counters.private_accesses > 0);
+    }
+
+    // ------------------------------------------------------------- data-race detection
+
+    /// The dynamic mirror of the PR 5 miscompile: every work item stages "its" values into
+    /// the *whole* shared local buffer. With 8 threads per group each cell is written by all
+    /// 8 with differing values.
+    fn per_item_staging_kernel() -> Module {
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "racy".into(),
+            params: vec![
+                KernelParam {
+                    name: "in".into(),
+                    ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+            ],
+            body: vec![
+                CStmt::Decl {
+                    ty: CType::Float,
+                    name: "tmp".into(),
+                    addr: Some(AddrSpace::Local),
+                    array_len: Some(ArithExpr::cst(4)),
+                    init: None,
+                },
+                // for i in 0..4: tmp[i] = in[gid] + i  — per-thread values, shared cells.
+                CStmt::For {
+                    var: "i".into(),
+                    init: CExpr::int(0),
+                    cond: CExpr::var("i").lt(CExpr::int(4)),
+                    step: CExpr::int(1),
+                    body: vec![CStmt::Assign {
+                        lhs: CExpr::var("tmp").at(CExpr::var("i")),
+                        rhs: CExpr::var("in")
+                            .at(CExpr::global_id(0))
+                            .add(CExpr::Cast(CType::Float, Box::new(CExpr::var("i")))),
+                    }],
+                },
+                CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::var("tmp").at(CExpr::int(0)),
+                },
+            ],
+        });
+        m
+    }
+
+    #[test]
+    fn race_detector_flags_per_item_local_staging() {
+        let m = per_item_staging_kernel();
+        let input: Vec<f32> = (0..8).map(|i| i as f32).collect();
+        let args = || vec![KernelArg::Buffer(input.clone()), KernelArg::zeros(8)];
+        // Detector off: executes (with whichever lock-step interleaving the vgpu has) —
+        // this is exactly the "filtered only by output luck" failure mode of PR 5.
+        VirtualGpu::new()
+            .launch(&m, "racy", LaunchConfig::d1(8, 8), args())
+            .expect("runs without detection");
+        // Detector on: the write-write conflict is a typed error.
+        let err = VirtualGpu::with_race_detection()
+            .launch(&m, "racy", LaunchConfig::d1(8, 8), args())
+            .expect_err("per-item staging races");
+        match &err {
+            VgpuError::DataRace {
+                buffer,
+                index,
+                writers,
+                epoch,
+            } => {
+                assert_eq!(buffer, "tmp");
+                assert_eq!(*index, 0);
+                assert_ne!(writers[0], writers[1]);
+                assert_eq!(*epoch, 0);
+            }
+            other => panic!("expected DataRace, got {other:?}"),
+        }
+        assert!(err.to_string().contains("data race on `tmp[0]`"), "{err}");
+    }
+
+    #[test]
+    fn race_detector_accepts_cooperative_staging() {
+        // The reverse-through-local-memory kernel of `local_memory_and_barrier`: each work
+        // item writes only its own cell, a barrier orders the cross-thread reads. The
+        // detector must stay silent and the result must be unchanged.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "reverse".into(),
+            params: vec![
+                KernelParam {
+                    name: "in".into(),
+                    ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+            ],
+            body: vec![
+                CStmt::Decl {
+                    ty: CType::Float,
+                    name: "tmp".into(),
+                    addr: Some(AddrSpace::Local),
+                    array_len: Some(ArithExpr::cst(8)),
+                    init: None,
+                },
+                CStmt::Assign {
+                    lhs: CExpr::var("tmp").at(CExpr::local_id(0)),
+                    rhs: CExpr::var("in").at(CExpr::global_id(0)),
+                },
+                CStmt::Barrier(Fence::local()),
+                CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::var("tmp").at(CExpr::int(7).sub(CExpr::local_id(0))),
+                },
+            ],
+        });
+        let input: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+        let result = VirtualGpu::with_race_detection()
+            .launch(
+                &m,
+                "reverse",
+                LaunchConfig::d1(16, 8),
+                vec![KernelArg::Buffer(input), KernelArg::zeros(16)],
+            )
+            .expect("barrier-synchronised staging is race-free");
+        assert_eq!(
+            result.buffers[1],
+            vec![
+                8.0, 7.0, 6.0, 5.0, 4.0, 3.0, 2.0, 1.0, 16.0, 15.0, 14.0, 13.0, 12.0, 11.0, 10.0,
+                9.0,
+            ]
+        );
+        // Removing the barrier turns the cross-thread read into a read of an unsynchronised
+        // write — a typed race, not a wrong answer.
+        m.kernels[0].body.remove(2);
+        let input: Vec<f32> = (1..=16).map(|i| i as f32).collect();
+        let err = VirtualGpu::with_race_detection()
+            .launch(
+                &m,
+                "reverse",
+                LaunchConfig::d1(16, 8),
+                vec![KernelArg::Buffer(input), KernelArg::zeros(16)],
+            )
+            .expect_err("unsynchronised read-after-write races");
+        assert!(matches!(err, VgpuError::DataRace { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn race_on_second_loop_iteration_only_is_caught() {
+        // Iteration 0 writes each thread's own cell; iteration 1 writes the neighbour's.
+        // There is no barrier, so both iterations are in epoch 0 and the second write
+        // conflicts with the first. A detector that (wrongly) advanced the epoch at the
+        // loop back-edge would see different epochs and miss the race entirely — this is
+        // the false-negative mode the barrier-epoch audit pins down.
+        let loop_body = |with_barrier: bool| {
+            let mut body = vec![CStmt::Assign {
+                lhs: CExpr::var("tmp")
+                    .at(CExpr::local_id(0).add(CExpr::var("i")).rem(CExpr::int(8))),
+                rhs: CExpr::Cast(
+                    CType::Float,
+                    Box::new(CExpr::local_id(0).add(CExpr::int(1))),
+                ),
+            }];
+            if with_barrier {
+                body.push(CStmt::Barrier(Fence::local()));
+            }
+            body
+        };
+        let make = |with_barrier: bool| {
+            let mut m = Module::new();
+            m.kernels.push(Kernel {
+                name: "sweep".into(),
+                params: vec![KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                }],
+                body: vec![
+                    CStmt::Decl {
+                        ty: CType::Float,
+                        name: "tmp".into(),
+                        addr: Some(AddrSpace::Local),
+                        array_len: Some(ArithExpr::cst(8)),
+                        init: None,
+                    },
+                    CStmt::For {
+                        var: "i".into(),
+                        init: CExpr::int(0),
+                        cond: CExpr::var("i").lt(CExpr::int(2)),
+                        step: CExpr::int(1),
+                        body: loop_body(with_barrier),
+                    },
+                    CStmt::Assign {
+                        lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                        rhs: CExpr::var("tmp").at(CExpr::local_id(0)),
+                    },
+                ],
+            });
+            m
+        };
+        let err = VirtualGpu::with_race_detection()
+            .launch(
+                &make(false),
+                "sweep",
+                LaunchConfig::d1(8, 8),
+                vec![KernelArg::zeros(8)],
+            )
+            .expect_err("the second sweep races against the first without a barrier");
+        assert!(
+            matches!(err, VgpuError::DataRace { epoch: 0, .. }),
+            "{err:?}"
+        );
+        // With a barrier per iteration (what lowered `iterate` sweeps emit) the epochs
+        // advance per executed barrier and the same access pattern is race-free.
+        VirtualGpu::with_race_detection()
+            .launch(
+                &make(true),
+                "sweep",
+                LaunchConfig::d1(8, 8),
+                vec![KernelArg::zeros(8)],
+            )
+            .expect("barrier-separated sweeps are race-free");
+    }
+
+    #[test]
+    fn redundant_uniform_writes_are_not_races() {
+        // Every work item stores the same value to the same global cell: bitwise-identical
+        // stores cannot change the outcome under any interleaving, so the detector treats
+        // them as no-ops (this keeps group-uniform `toLocal(mapSeq …)` staging, which the
+        // static ownership pass accepts, dynamically clean as well).
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "uniform".into(),
+            params: vec![KernelParam {
+                name: "out".into(),
+                ty: CType::pointer(CType::Float, AddrSpace::Global),
+            }],
+            body: vec![CStmt::Assign {
+                lhs: CExpr::var("out").at(CExpr::int(0)),
+                rhs: CExpr::float(3.0),
+            }],
+        });
+        let result = VirtualGpu::with_race_detection()
+            .launch(
+                &m,
+                "uniform",
+                LaunchConfig::d1(8, 8),
+                vec![KernelArg::zeros(1)],
+            )
+            .expect("uniform redundant stores are benign");
+        assert_eq!(result.buffers[0], vec![3.0]);
+    }
+
+    #[test]
+    fn cross_group_global_write_conflict_is_flagged() {
+        // Work groups write group-dependent values to the same global cell. No barrier can
+        // order work items of *different* groups within a launch, so this conflicts in any
+        // epoch.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "clash".into(),
+            params: vec![KernelParam {
+                name: "out".into(),
+                ty: CType::pointer(CType::Float, AddrSpace::Global),
+            }],
+            body: vec![CStmt::Assign {
+                lhs: CExpr::var("out").at(CExpr::int(0)),
+                rhs: CExpr::Cast(
+                    CType::Float,
+                    Box::new(CExpr::group_id(0).add(CExpr::int(1))),
+                ),
+            }],
+        });
+        let err = VirtualGpu::with_race_detection()
+            .launch(
+                &m,
+                "clash",
+                LaunchConfig::d1(8, 4),
+                vec![KernelArg::zeros(1)],
+            )
+            .expect_err("conflicting cross-group writes race");
+        match &err {
+            VgpuError::DataRace { buffer, index, .. } => {
+                assert_eq!(buffer, "out");
+                assert_eq!(*index, 0);
+            }
+            other => panic!("expected DataRace, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn race_detection_flag_is_visible() {
+        assert!(!VirtualGpu::new().race_detection());
+        assert!(VirtualGpu::with_race_detection().race_detection());
+        // Shadow state never leaks into results: a clean kernel produces identical buffers
+        // and counters with and without detection.
+        let m = copy_kernel();
+        let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
+        let args = || vec![KernelArg::Buffer(input.clone()), KernelArg::zeros(64)];
+        let plain = VirtualGpu::new()
+            .launch(&m, "copy", LaunchConfig::d1(64, 16), args())
+            .expect("runs");
+        let detected = VirtualGpu::with_race_detection()
+            .launch(&m, "copy", LaunchConfig::d1(64, 16), args())
+            .expect("runs");
+        assert_eq!(plain, detected);
     }
 }
