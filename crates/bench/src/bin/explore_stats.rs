@@ -6,6 +6,13 @@
 //! can archive the number per PR and the `perf_gate` binary can compare it against the
 //! committed baseline.
 //!
+//! `--engine <interpreter|bytecode|auto>` selects the virtual-GPU execution engine the main
+//! throughput probes score on (default `auto`: the bytecode tier with per-kernel
+//! interpreter fallback); the chosen label is recorded in each probe's section. Independent
+//! of that flag, an `engines` section records the per-engine comparison probe — the same
+//! dot-product search on a larger input explored end-to-end once per engine with race
+//! detection on — whose `bytecode_speedup` ratio `perf_gate` holds to a fixed ≥2× floor.
+//!
 //! The binary also probes the cost of the virtual GPU's shadow-memory race detector: the
 //! enumerated candidate set is scored once with and once without detection (best of three
 //! each) and the per-probe soundness counts plus the measured overhead are written to a
@@ -23,16 +30,36 @@ use std::time::Instant;
 
 use lift_bench::explore_config;
 use lift_bench::report::{
-    explore_report, explore_section, race_detector_section, soundness_counts, soundness_report,
+    engine_comparison_section, explore_report, explore_section, race_detector_section,
+    soundness_counts, soundness_report,
 };
 use lift_bench::schema::{json_out_arg, path_arg, write_json, Json};
 use lift_benchmarks::dot_product;
 use lift_rewrite::{enumerate, explore, ExplorationConfig};
+use lift_vgpu::{EngineSelection, LaunchConfig};
 
 /// Candidates/sec of the exploration engine before the hash-keyed-dedup/term-typecheck/
 /// kernel-dedup/slotted-vgpu rearchitecture, measured at the commit introducing this probe
 /// (same machine, release build, `max_candidates = 4000`: 973 candidates in 203.9 ms).
 const BASELINE_CANDIDATES_PER_SEC: f64 = 4772.0;
+
+/// Reads the value of `--engine <interpreter|bytecode|auto>`, or the default selection
+/// (`auto`) when absent. Selects the virtual-GPU engine the main throughput probes score
+/// on; the per-engine comparison probe always runs both engines regardless.
+fn engine_arg() -> Result<EngineSelection, String> {
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--engine" {
+            let value = args
+                .next()
+                .ok_or("missing value for --engine".to_string())?;
+            return EngineSelection::parse(&value).ok_or(format!(
+                "invalid --engine `{value}` (expected interpreter, bytecode or auto)"
+            ));
+        }
+    }
+    Ok(EngineSelection::default())
+}
 
 /// Reads the value of `--max-race-overhead <fraction>`, or `None` when absent.
 fn max_race_overhead_arg() -> Result<Option<f64>, String> {
@@ -66,21 +93,32 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let engine = match engine_arg() {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("explore_stats: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
     let program = dot_product::high_level_program(512);
     let mut sections: Vec<(String, Json)> = Vec::new();
     let mut soundness_sections: Vec<(String, Json)> = Vec::new();
     let mut probe_cps = BASELINE_CANDIDATES_PER_SEC;
 
     for max_candidates in [500usize, 4000] {
-        let config = explore_config(max_candidates);
+        let config = ExplorationConfig {
+            engine,
+            ..explore_config(max_candidates)
+        };
         let start = Instant::now();
         let result = explore(&program, &config).expect("exploration runs");
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;
         let cps = result.explored as f64 / (wall_ms / 1e3);
 
         println!(
-            "max_candidates={max_candidates}: explored {} candidates in {wall_ms:.1} ms \
-             ({cps:.0} candidates/sec), {} variants, best {:?}",
+            "max_candidates={max_candidates} engine={}: explored {} candidates in \
+             {wall_ms:.1} ms ({cps:.0} candidates/sec), {} variants, best {:?}",
+            engine.label(),
             result.explored,
             result.variants.len(),
             result.variants.first().map(|v| v.estimated_time),
@@ -92,7 +130,7 @@ fn main() -> ExitCode {
 
         sections.push((
             format!("max_candidates_{max_candidates}"),
-            explore_section(&result, wall_ms),
+            explore_section(&result, wall_ms, engine.label()),
         ));
         soundness_sections.push((
             format!("max_candidates_{max_candidates}"),
@@ -107,6 +145,42 @@ fn main() -> ExitCode {
             );
         }
     }
+
+    // The per-engine comparison: the same dot-product search on a larger input with a wide
+    // launch (execution-dominated, so the wall-clock tracks the engines rather than the
+    // rule search), explored end-to-end once per engine with race detection on (the
+    // default). Best of three per engine.
+    const ENGINE_PROBE_N: usize = 16 * 1024;
+    let probe_label = format!("dot_product_n{ENGINE_PROBE_N}");
+    let engine_program = dot_product::high_level_program(ENGINE_PROBE_N);
+    let mut engine_walls = [f64::INFINITY; 2];
+    let mut engine_explored = 0usize;
+    for (slot, probe_engine) in [EngineSelection::Interpreter, EngineSelection::Bytecode]
+        .into_iter()
+        .enumerate()
+    {
+        let config = ExplorationConfig {
+            engine: probe_engine,
+            launch: LaunchConfig::d1(ENGINE_PROBE_N / 2, 64),
+            ..explore_config(500)
+        };
+        for _ in 0..3 {
+            let start = Instant::now();
+            let result = explore(&engine_program, &config).expect("exploration runs");
+            engine_walls[slot] = engine_walls[slot].min(start.elapsed().as_secs_f64() * 1e3);
+            engine_explored = result.explored;
+        }
+    }
+    let [interpreter_ms, bytecode_ms] = engine_walls;
+    println!(
+        "engine comparison ({probe_label}): interpreter {interpreter_ms:.1} ms vs bytecode \
+         {bytecode_ms:.1} ms ({:.2}x end-to-end)",
+        interpreter_ms / bytecode_ms
+    );
+    sections.push((
+        "engines".to_string(),
+        engine_comparison_section(&probe_label, engine_explored, interpreter_ms, bytecode_ms),
+    ));
 
     let doc = explore_report(sections, BASELINE_CANDIDATES_PER_SEC, probe_cps);
     write_json(&out_path, &doc.render());

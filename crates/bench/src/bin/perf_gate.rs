@@ -8,6 +8,10 @@
 //!
 //! * exploration throughput (`candidates_per_sec` at `max_candidates = 4000`) must not drop
 //!   below `baseline × (1 − threshold)`,
+//! * the bytecode execution tier must stay at least
+//!   [`lift_bench::gate::BYTECODE_SPEEDUP_FLOOR`]× faster than the slotted interpreter on
+//!   the current report's per-engine comparison probe (the `engines` section written by
+//!   `explore_stats`) — a same-run wall-time ratio, so it is machine-independent,
 //! * every `(workload, device)` tuned best-time in the baseline must still exist and must
 //!   not exceed `baseline × (1 + threshold)` — estimated times come from the deterministic
 //!   cost model, so this comparison is machine-independent,

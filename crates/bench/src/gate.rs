@@ -5,6 +5,8 @@
 //! the threshold:
 //!
 //! * exploration throughput must not drop below `baseline × (1 − threshold)`,
+//! * the bytecode execution tier must stay at least [`BYTECODE_SPEEDUP_FLOOR`]× faster than
+//!   the slotted interpreter on the current report's per-engine comparison probe,
 //! * every `(workload, device)` tuned best-time present in the *baseline* must still exist
 //!   and must not exceed `baseline × (1 + threshold)`.
 //!
@@ -31,6 +33,12 @@ pub fn validate_threshold(threshold: f64) -> Result<(), String> {
     }
     Ok(())
 }
+
+/// Minimum end-to-end speedup of the bytecode execution tier over the slotted interpreter
+/// on the explore report's per-engine comparison probe. Unlike the throughput check this is
+/// a fixed ratio of two wall-times measured in the same run on the same machine, so it is
+/// machine-independent and takes no baseline.
+pub const BYTECODE_SPEEDUP_FLOOR: f64 = 2.0;
 
 /// One line of the gate's verdict, in report order.
 #[derive(Clone, Debug, PartialEq)]
@@ -191,7 +199,37 @@ pub fn check_reports(
     // The throughput probe is the dot-product search, so that is the entry to show.
     push_breakdown_for_failure(&mut lines, telemetry, "explore:dot_product");
 
-    // 2. Tuned best-times: higher is a regression (deterministic cost model, so any drift
+    // 2. The bytecode tier's speedup over the interpreter: both wall-times come from the
+    //    same run of the current report's per-engine probe, so the ratio is machine-
+    //    independent and gated against a fixed floor rather than a committed baseline.
+    //    Reports that predate the probe (no `engines` section) get an informational line —
+    //    the gate protects the numbers a report records, it does not demand new schema
+    //    retroactively.
+    match current_explore.get("engines") {
+        None => lines.push(GateLine {
+            ok: true,
+            message: "[info] engines: current explore report has no per-engine probe".to_string(),
+        }),
+        Some(section) => {
+            let speedup = section
+                .get("bytecode_speedup")
+                .and_then(Json::as_f64)
+                .ok_or("current explore report: engines section without bytecode_speedup")?;
+            let probe = section.get("probe").and_then(Json::as_str).unwrap_or("?");
+            let ok = speedup >= BYTECODE_SPEEDUP_FLOOR;
+            lines.push(GateLine {
+                ok,
+                message: format!(
+                    "[{}] engines ({probe}): bytecode {speedup:.2}x interpreter \
+                     (floor {BYTECODE_SPEEDUP_FLOOR:.1}x)",
+                    if ok { "ok" } else { "FAIL" }
+                ),
+            });
+            push_breakdown_for_failure(&mut lines, telemetry, "explore:dot_product");
+        }
+    }
+
+    // 3. Tuned best-times: higher is a regression (deterministic cost model, so any drift
     //    beyond the threshold is a real change in generated code or search quality).
     let baseline_times = tuned_times(baseline_autotune, "baseline autotune report")?;
     let current_times = tuned_times(current_autotune, "current autotune report")?;
@@ -225,7 +263,7 @@ pub fn check_reports(
         push_breakdown_for_failure(&mut lines, telemetry, &format!("tune:{}", key.0));
     }
 
-    // 3. Workloads only in the current report never trip the gate: a new workload's first
+    // 4. Workloads only in the current report never trip the gate: a new workload's first
     //    baseline is committed by the PR that adds it.
     let mut new_keys: Vec<_> = current_times
         .keys()
@@ -242,7 +280,7 @@ pub fn check_reports(
         });
     }
 
-    // 4. The rejection-reason taxonomy of the telemetry report, summed across workloads
+    // 5. The rejection-reason taxonomy of the telemetry report, summed across workloads
     //    (informational: makes soundness rejections visible in the gate output).
     if let Some(message) = telemetry.and_then(rejection_summary) {
         lines.push(GateLine { ok: true, message });
@@ -329,6 +367,54 @@ mod tests {
         )
         .unwrap();
         assert!(!outcome.passed());
+    }
+
+    fn explore_doc_with_engines(cps: f64, bytecode_speedup: f64) -> Json {
+        parse(&format!(
+            r#"{{"max_candidates_4000": {{"candidates_per_sec": {cps}}},
+                 "engines": {{"probe": "dot_product_n16384", "explored": 137,
+                              "interpreter": {{"wall_ms": 400.0}},
+                              "bytecode": {{"wall_ms": 160.0}},
+                              "bytecode_speedup": {bytecode_speedup}}}}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn the_bytecode_speedup_floor_gates_the_engines_section() {
+        let autotune = autotune_doc(&[("dot", "nv", 100.0)]);
+        let baseline = explore_doc(100.0);
+
+        // At or above the floor passes.
+        let current = explore_doc_with_engines(100.0, 2.5);
+        let outcome = check_reports(&baseline, &current, &autotune, &autotune, None, 0.25).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.lines);
+        assert!(outcome.lines.iter().any(|l| l.ok
+            && l.message
+                .contains("[ok] engines (dot_product_n16384): bytecode 2.50x interpreter")));
+
+        // Below the floor fails.
+        let current = explore_doc_with_engines(100.0, 1.4);
+        let outcome = check_reports(&baseline, &current, &autotune, &autotune, None, 0.25).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome.lines.iter().any(|l| !l.ok
+            && l.message
+                .contains("bytecode 1.40x interpreter (floor 2.0x)")));
+
+        // A current report that predates the probe is informational, never a failure.
+        let outcome =
+            check_reports(&baseline, &baseline, &autotune, &autotune, None, 0.25).unwrap();
+        assert!(outcome.passed());
+        assert!(outcome
+            .lines
+            .iter()
+            .any(|l| l.ok && l.message.contains("[info] engines")));
+
+        // An engines section without the speedup field is structurally invalid.
+        let malformed =
+            parse(r#"{"max_candidates_4000": {"candidates_per_sec": 100.0}, "engines": {}}"#)
+                .unwrap();
+        assert!(check_reports(&baseline, &malformed, &autotune, &autotune, None, 0.25).is_err());
     }
 
     #[test]

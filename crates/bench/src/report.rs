@@ -187,8 +187,9 @@ pub fn autotune_report(entries: Vec<Json>) -> Json {
 /// Builds one `max_candidates_N` section of `BENCH_explore.json`.
 ///
 /// `wall_ms` is the measured exploration wall-clock (throughput is derived from it, so
-/// equal inputs render byte-identically).
-pub fn explore_section(result: &Exploration, wall_ms: f64) -> Json {
+/// equal inputs render byte-identically). `engine` is the virtual-GPU engine label the
+/// probe ran on (`EngineSelection::label`).
+pub fn explore_section(result: &Exploration, wall_ms: f64, engine: &str) -> Json {
     let cps = if wall_ms > 0.0 {
         result.explored as f64 / (wall_ms / 1e3)
     } else {
@@ -207,6 +208,7 @@ pub fn explore_section(result: &Exploration, wall_ms: f64) -> Json {
         })
         .collect();
     Json::obj([
+        ("engine", Json::str(engine)),
         ("explored", Json::num(result.explored as f64)),
         ("wall_ms", Json::num(wall_ms)),
         ("candidates_per_sec", Json::num(cps)),
@@ -232,6 +234,43 @@ pub fn soundness_counts(report: &SoundnessReport) -> Json {
     pairs.push(("static", Json::num(report.static_rejections.len() as f64)));
     pairs.push(("dynamic", Json::num(report.dynamic_rejections.len() as f64)));
     Json::obj(pairs)
+}
+
+/// Builds the `engines` section of `BENCH_explore.json`: end-to-end exploration throughput
+/// of the same execution-dominated probe on each virtual-GPU engine (best-of-N wall-clocks,
+/// race detection on), plus the bytecode tier's speedup over the interpreter — the number
+/// the `perf_gate` bytecode-vs-interpreter floor reads.
+pub fn engine_comparison_section(
+    probe: &str,
+    explored: usize,
+    interpreter_ms: f64,
+    bytecode_ms: f64,
+) -> Json {
+    let cps = |wall_ms: f64| {
+        if wall_ms > 0.0 {
+            explored as f64 / (wall_ms / 1e3)
+        } else {
+            0.0
+        }
+    };
+    let speedup = if bytecode_ms > 0.0 {
+        interpreter_ms / bytecode_ms
+    } else {
+        0.0
+    };
+    let engine = |wall_ms: f64| {
+        Json::obj([
+            ("wall_ms", Json::num(wall_ms)),
+            ("candidates_per_sec", Json::num(cps(wall_ms))),
+        ])
+    };
+    Json::obj([
+        ("probe", Json::str(probe)),
+        ("explored", Json::num(explored as f64)),
+        ("interpreter", engine(interpreter_ms)),
+        ("bytecode", engine(bytecode_ms)),
+        ("bytecode_speedup", Json::num(speedup)),
+    ])
 }
 
 /// Builds the `race_detector` section of `BENCH_soundness.json`: the cost of scoring an
@@ -367,7 +406,7 @@ mod tests {
             explored: 973,
             ..Exploration::default()
         };
-        let section = explore_section(&result, 203.9);
+        let section = explore_section(&result, 203.9, "bytecode");
         assert_eq!(section.get("explored").and_then(Json::as_f64), Some(973.0));
         let cps = section
             .get("candidates_per_sec")

@@ -7,7 +7,7 @@
 //! performance is computed.
 
 use lift_codegen::{compile, CodegenError, CompilationOptions, CompiledKernel};
-use lift_vgpu::{CostCounters, DeviceProfile, VgpuError, VirtualGpu};
+use lift_vgpu::{CostCounters, DeviceProfile, ExecutionRequest, VgpuError};
 
 use crate::BenchmarkCase;
 
@@ -93,7 +93,7 @@ pub fn run_lift(
         .map_err(RunnerError::OutputLength)?;
 
     let result =
-        VirtualGpu::new().launch(&kernel.module, &kernel.kernel_name, case.launch, args)?;
+        ExecutionRequest::new(&kernel.module).launch(&kernel.kernel_name, case.launch, args)?;
     let output = result.buffers[output_buffer_index].clone();
     let correct = outputs_match(&output, &case.expected);
     Ok(RunOutcome {
@@ -106,8 +106,7 @@ pub fn run_lift(
 
 /// Executes the benchmark's hand-written reference kernel.
 pub fn run_reference(case: &BenchmarkCase) -> Result<RunOutcome, RunnerError> {
-    let result = VirtualGpu::new().launch(
-        &case.reference_module,
+    let result = ExecutionRequest::new(&case.reference_module).launch(
         &case.reference_kernel,
         case.launch,
         case.reference_args.clone(),

@@ -317,8 +317,8 @@ impl CompiledProgram {
 
     /// Marshals launch arguments for the shared parameter list of the kernel sequence.
     /// Returns the arguments (pass the same vector to every stage via
-    /// [`lift_vgpu::VirtualGpu::launch_sequence`]) and the index of the output among the
-    /// *buffer* arguments.
+    /// [`lift_vgpu::ExecutionRequest::launch_sequence`]) and the index of the output among
+    /// the *buffer* arguments.
     ///
     /// # Errors
     ///
@@ -338,7 +338,9 @@ impl CompiledProgram {
     }
 
     /// The per-stage launch plan for an execution under `launch`: parallel stages use the
-    /// requested ND-range, sequential stages run as a single work item.
+    /// requested ND-range, sequential stages run as a single work item. Feed the plan to
+    /// [`lift_vgpu::ExecutionRequest::launch_sequence`], which pools the shared buffers
+    /// across stages and picks the execution engine.
     pub fn launch_plan(&self, launch: lift_vgpu::LaunchConfig) -> Vec<lift_vgpu::KernelLaunchSpec> {
         self.kernels
             .iter()

@@ -5,7 +5,7 @@ use lift_arith::{ArithExpr, Environment};
 use lift_codegen::{compile, CompilationOptions, CompiledKernel};
 use lift_interp::{evaluate_with_sizes, Value};
 use lift_ir::prelude::*;
-use lift_vgpu::{LaunchConfig, LaunchResult, VirtualGpu};
+use lift_vgpu::{ExecutionRequest, LaunchConfig, LaunchResult};
 
 /// Launches a compiled kernel with the given input arrays and size bindings.
 fn run_kernel(
@@ -15,8 +15,8 @@ fn run_kernel(
     config: LaunchConfig,
 ) -> (Vec<f32>, LaunchResult) {
     let (args, buffer_index) = kernel.bind_args(inputs, sizes).expect("arguments bind");
-    let result = VirtualGpu::new()
-        .launch(&kernel.module, &kernel.kernel_name, config, args)
+    let result = ExecutionRequest::new(&kernel.module)
+        .launch(&kernel.kernel_name, config, args)
         .expect("kernel executes");
     (result.buffers[buffer_index].clone(), result)
 }

@@ -498,7 +498,9 @@ pub struct StructDef {
 /// Multi-kernel modules (a program split at device-wide synchronisation points) communicate
 /// through global temporaries that outlive any single kernel. OpenCL has no module-level
 /// buffer declarations, so these are part of the host ABI: the host allocates one buffer of
-/// `len` elements per entry and passes it to every kernel of the sequence under `name`.
+/// `len` elements per entry and passes it to every kernel of the sequence under `name`. On
+/// the virtual GPU this is what `ExecutionRequest::launch_sequence` (crate `lift-vgpu`) does
+/// when handed the module's launch plan and bound arguments.
 #[derive(Clone, Debug, PartialEq)]
 pub struct TempBufferDecl {
     /// The kernel-parameter name every kernel of the sequence binds the buffer to.

@@ -39,8 +39,9 @@ use lift_interp::{evaluate_with_sizes, Value};
 use lift_ir::{infer_types, Program, Type, TypeError};
 use lift_telemetry::{Collector, Event, Null, RejectReason, SoundnessIncident, SoundnessReport};
 use lift_vgpu::{
-    estimated_sequence_time, outputs_match, CostCounters, DeviceProfile, ExecutionProfile,
-    KernelArg, KernelLaunchSpec, LaunchConfig, LaunchError, VgpuError, VirtualGpu,
+    estimated_sequence_time, outputs_match, CostCounters, DeviceProfile, EngineSelection,
+    ExecutionProfile, ExecutionRequest, KernelArg, KernelLaunchSpec, LaunchConfig, LaunchError,
+    VgpuError,
 };
 
 use crate::rules::{all_rules, RuleCx, RuleKind, RuleOptions};
@@ -88,13 +89,19 @@ pub struct ExplorationConfig {
     /// under a disabled collector.
     pub trace_rejections: bool,
     /// Execute candidates under the virtual GPU's shadow-memory data-race detector
-    /// ([`VirtualGpu::with_race_detection`]), so a racy candidate that the static
+    /// ([`ExecutionRequest::race_detection`]), so a racy candidate that the static
     /// parallelism-ownership pass missed is rejected as a typed
     /// [`SoundnessIncident::DataRace`] instead of (at best) a silent wrong-output
     /// rejection. On by default: identical kernels are executed once per exploration
     /// (see [`Exploration::executed_kernels`]), so the per-access shadow bookkeeping is
     /// paid a handful of times per search, not per candidate.
     pub detect_races: bool,
+    /// Which virtual-GPU execution tier scores the candidates
+    /// ([`ExecutionRequest::engine`]). The default [`EngineSelection::Auto`] runs the
+    /// bytecode tier (falling back to the interpreter per launch on unsupported
+    /// constructs, reported as [`Event::EngineFallback`] telemetry); results are
+    /// byte-identical across tiers, so this knob only trades throughput.
+    pub engine: EngineSelection,
 }
 
 impl Default for ExplorationConfig {
@@ -113,6 +120,7 @@ impl Default for ExplorationConfig {
             threads: 0,
             trace_rejections: false,
             detect_races: true,
+            engine: EngineSelection::Auto,
         }
     }
 }
@@ -986,13 +994,13 @@ fn score_all(
     // What one execution yields: merged counters, the sequence's estimated time, and the
     // per-stage counters (for [`Variant::stage_counters`] / execution profiles).
     type Scored = (CostCounters, f64, Vec<CostCounters>);
-    let gpu = if config.detect_races {
-        VirtualGpu::with_race_detection()
-    } else {
-        VirtualGpu::new()
-    };
     let run = |p: &PreparedScore| -> (u64, Result<Scored, ScoreError>) {
-        let result = gpu.launch_sequence_on(&config.device, &p.module, &p.stages, p.args.clone());
+        let result = ExecutionRequest::new(&p.module)
+            .on_device(&config.device)
+            .engine(config.engine)
+            .race_detection(config.detect_races)
+            .collector(collector)
+            .launch_sequence(&p.stages, p.args.clone());
         let verdict = match result {
             Err(VgpuError::DataRace {
                 buffer,

@@ -358,6 +358,15 @@ pub enum Event {
         /// Estimated stage time under the configured device profile.
         estimated_time: f64,
     },
+    /// A virtual-GPU execution engine declined a launch and delegated to the interpreter
+    /// (e.g. the bytecode tier met a construct it does not compile). The launch still
+    /// succeeds with identical results; the event records why the faster tier was skipped.
+    EngineFallback {
+        /// Kernel name of the affected launch.
+        kernel: String,
+        /// The construct or condition the engine could not handle.
+        reason: String,
+    },
 }
 
 impl Event {
@@ -375,6 +384,7 @@ impl Event {
             Event::TunerPoint { .. } => "tuner_point",
             Event::TunerMove { .. } => "tuner_move",
             Event::ExecStage { .. } => "exec_stage",
+            Event::EngineFallback { .. } => "engine_fallback",
         }
     }
 
@@ -478,6 +488,10 @@ impl Event {
             } => {
                 field_str(out, "kernel", kernel);
                 field_num(out, "estimated_time", *estimated_time);
+            }
+            Event::EngineFallback { kernel, reason } => {
+                field_str(out, "kernel", kernel);
+                field_str(out, "reason", reason);
             }
         }
     }

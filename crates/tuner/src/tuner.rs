@@ -82,7 +82,9 @@ pub struct TuningConfig {
     pub space: TuningSpace,
     /// How the grid is walked.
     pub strategy: Strategy,
-    /// Search budgets shared by every point (depth, beam, candidate cap, threads, sizes).
+    /// Search budgets and execution options shared by every point (depth, beam, candidate
+    /// cap, threads, sizes, race detection, and the virtual-GPU engine selection — every
+    /// point's scoring runs on `base.engine`).
     pub base: ExplorationConfig,
 }
 

@@ -1,0 +1,332 @@
+//! The engine-agnostic launch API.
+//!
+//! A virtual-GPU launch has two halves: the engine-independent prologue (resolve the kernel,
+//! lower it to the slot-indexed form, bind the arguments — [`crate::exec::prepare`]) and the
+//! actual execution of the lowered body. [`Engine`] abstracts the second half, with two
+//! implementations:
+//!
+//! * [`InterpreterEngine`] — the slotted SIMT tree-walker of `exec.rs` (PR 2), complete and
+//!   the semantic reference.
+//! * [`BytecodeEngine`] — compiles the lowered body once per launch into the flat register
+//!   bytecode of `bytecode.rs` and runs that; counters, buffers and errors are byte-identical
+//!   to the interpreter. Constructs the compiler does not support fall back to the
+//!   interpreter, optionally reporting a telemetry [`Event::EngineFallback`].
+//!
+//! [`ExecutionRequest`] is the builder every caller goes through (the old `VirtualGpu`
+//! methods are deprecated shims over it): it owns the cross-cutting launch options — device
+//! validation, engine selection, race detection, telemetry — so call sites configure a
+//! request once instead of picking one of five ad-hoc entry points.
+//!
+//! ```
+//! # use lift_ocl::*;
+//! # use lift_vgpu::*;
+//! # fn demo(module: &Module, config: LaunchConfig, args: Vec<KernelArg>)
+//! #     -> Result<LaunchResult, VgpuError> {
+//! ExecutionRequest::new(module)
+//!     .engine(EngineSelection::Auto)
+//!     .race_detection(true)
+//!     .launch("kernel_0", config, args)
+//! # }
+//! ```
+
+use lift_ocl::Module;
+use lift_telemetry::{Collector, Event};
+
+use crate::bytecode;
+use crate::device::{DeviceProfile, LaunchConfig};
+use crate::exec::{prepare, KernelLaunchSpec, LaunchResult, Prepared, SequenceResult, VgpuError};
+use crate::memory::KernelArg;
+
+/// A prepared launch: the lowered kernel body with bound arguments and live execution state,
+/// ready for an [`Engine`] to run. Opaque outside the crate; engines receive it mutably and
+/// leave the executed state behind for the request to turn into a [`LaunchResult`].
+pub struct PreparedLaunch {
+    pub(crate) inner: Prepared,
+}
+
+/// An execution tier of the virtual GPU.
+///
+/// Both engines run the same lowered kernel form against the same state and must produce
+/// byte-identical buffers, [`crate::CostCounters`] and [`VgpuError`]s — the differential test
+/// suite holds them to that. An engine may *decline* a launch it cannot handle by executing
+/// it on the interpreter and returning the reason (see [`Engine::execute`]).
+pub trait Engine: Sync {
+    /// Stable engine name, used in telemetry and benchmark records.
+    fn name(&self) -> &'static str;
+
+    /// Executes the prepared launch to completion.
+    ///
+    /// Returns `Ok(None)` when this engine ran the launch itself and `Ok(Some(reason))` when
+    /// it fell back to the reference interpreter (the launch still completed, with identical
+    /// results).
+    ///
+    /// # Errors
+    ///
+    /// Any [`VgpuError`] the kernel raises during execution.
+    fn execute(&self, prepared: &mut PreparedLaunch) -> Result<Option<String>, VgpuError>;
+}
+
+/// The slotted SIMT tree-walking interpreter (the reference tier).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct InterpreterEngine;
+
+impl Engine for InterpreterEngine {
+    fn name(&self) -> &'static str {
+        "interpreter"
+    }
+
+    fn execute(&self, prepared: &mut PreparedLaunch) -> Result<Option<String>, VgpuError> {
+        let Prepared { body, exec } = &mut prepared.inner;
+        exec.run(body)?;
+        Ok(None)
+    }
+}
+
+/// The bytecode tier: compiles the lowered body once per launch into a flat register-file
+/// program with instrumented counter ops, then runs it. Falls back to the interpreter on
+/// constructs the compiler does not support.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct BytecodeEngine;
+
+impl Engine for BytecodeEngine {
+    fn name(&self) -> &'static str {
+        "bytecode"
+    }
+
+    fn execute(&self, prepared: &mut PreparedLaunch) -> Result<Option<String>, VgpuError> {
+        let Prepared { body, exec } = &mut prepared.inner;
+        match bytecode::compile(body, exec) {
+            Ok(program) => {
+                bytecode::run(exec, &program)?;
+                Ok(None)
+            }
+            Err(reason) => {
+                exec.run(body)?;
+                Ok(Some(reason))
+            }
+        }
+    }
+}
+
+/// Which execution tier an [`ExecutionRequest`] (or an exploration / tuning run) uses.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum EngineSelection {
+    /// Always the reference interpreter.
+    Interpreter,
+    /// The bytecode tier (which itself falls back to the interpreter per launch on
+    /// unsupported constructs).
+    Bytecode,
+    /// Let the virtual GPU choose. Currently the bytecode tier — the fastest tier whose
+    /// results are pinned byte-identical to the reference — but callers must not rely on
+    /// which tier runs, only on the results.
+    #[default]
+    Auto,
+}
+
+impl EngineSelection {
+    /// The engine this selection resolves to.
+    pub fn engine(self) -> &'static dyn Engine {
+        match self {
+            EngineSelection::Interpreter => &InterpreterEngine,
+            EngineSelection::Bytecode | EngineSelection::Auto => &BytecodeEngine,
+        }
+    }
+
+    /// Stable lower-snake-case label (used in benchmark JSON and CLI flags).
+    pub fn label(self) -> &'static str {
+        match self {
+            EngineSelection::Interpreter => "interpreter",
+            EngineSelection::Bytecode => "bytecode",
+            EngineSelection::Auto => "auto",
+        }
+    }
+
+    /// Parses a CLI/JSON label (`interpreter` | `bytecode` | `auto`).
+    pub fn parse(s: &str) -> Option<EngineSelection> {
+        match s {
+            "interpreter" => Some(EngineSelection::Interpreter),
+            "bytecode" => Some(EngineSelection::Bytecode),
+            "auto" => Some(EngineSelection::Auto),
+            _ => None,
+        }
+    }
+}
+
+/// A configured virtual-GPU launch: module, engine, device limits, race detection and
+/// telemetry in one builder, executed with [`ExecutionRequest::launch`] (single kernel) or
+/// [`ExecutionRequest::launch_sequence`] (multi-kernel plan over a shared argument pool).
+///
+/// Replaces the five pre-PR 8 `VirtualGpu` entry points (`launch`, `launch_on`,
+/// `launch_sequence`, `launch_sequence_on`, `with_race_detection`), which survive as
+/// deprecated shims over this type.
+#[derive(Clone, Copy)]
+pub struct ExecutionRequest<'a> {
+    module: &'a Module,
+    device: Option<&'a DeviceProfile>,
+    engine: EngineSelection,
+    race_detection: bool,
+    collector: Option<&'a dyn Collector>,
+}
+
+impl<'a> ExecutionRequest<'a> {
+    /// A request against `module` with the defaults: no device validation, engine
+    /// [`EngineSelection::Auto`], race detection off, no telemetry.
+    pub fn new(module: &'a Module) -> ExecutionRequest<'a> {
+        ExecutionRequest {
+            module,
+            device: None,
+            engine: EngineSelection::default(),
+            race_detection: false,
+            collector: None,
+        }
+    }
+
+    /// Validates every launch configuration against the limits of `device` (work-group
+    /// size, per-dimension local sizes, divisibility) before executing, rejecting with
+    /// [`VgpuError::InvalidLaunch`] what a real driver would refuse.
+    pub fn on_device(mut self, device: &'a DeviceProfile) -> ExecutionRequest<'a> {
+        self.device = Some(device);
+        self
+    }
+
+    /// Selects the execution tier (default [`EngineSelection::Auto`]).
+    pub fn engine(mut self, engine: EngineSelection) -> ExecutionRequest<'a> {
+        self.engine = engine;
+        self
+    }
+
+    /// Turns the shadow-memory data-race detector on or off (default off). When on, every
+    /// launch tracks the last writer and reader of each local and global cell per barrier
+    /// epoch and fails with [`VgpuError::DataRace`] on unsynchronised conflicting accesses;
+    /// stores of a bitwise-identical value are treated as no-ops.
+    pub fn race_detection(mut self, on: bool) -> ExecutionRequest<'a> {
+        self.race_detection = on;
+        self
+    }
+
+    /// Attaches a telemetry sink: engine fallbacks are reported as
+    /// [`Event::EngineFallback`].
+    pub fn collector(mut self, collector: &'a dyn Collector) -> ExecutionRequest<'a> {
+        self.collector = Some(collector);
+        self
+    }
+
+    /// Whether launches of this request run the data-race detector.
+    pub fn race_detection_enabled(&self) -> bool {
+        self.race_detection
+    }
+
+    /// The engine selection of this request.
+    pub fn engine_selection(&self) -> EngineSelection {
+        self.engine
+    }
+
+    fn validate(&self, config: &LaunchConfig) -> Result<(), VgpuError> {
+        if let Some(device) = self.device {
+            device
+                .validate_launch(config)
+                .map_err(VgpuError::InvalidLaunch)?;
+        }
+        Ok(())
+    }
+
+    fn run_prepared(
+        &self,
+        kernel_name: &str,
+        mut prepared: PreparedLaunch,
+    ) -> Result<LaunchResult, VgpuError> {
+        let fallback = self.engine.engine().execute(&mut prepared)?;
+        if let (Some(reason), Some(collector)) = (fallback, self.collector) {
+            if collector.enabled() {
+                collector.record(Event::EngineFallback {
+                    kernel: kernel_name.to_string(),
+                    reason,
+                });
+            }
+        }
+        Ok(prepared.inner.finish())
+    }
+
+    /// Launches `kernel_name` over the given ND-range.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`VgpuError`] if the kernel is unknown, the arguments do not match, the
+    /// launch violates the configured device, or the kernel performs an invalid memory
+    /// access (including data races when detection is on).
+    pub fn launch(
+        &self,
+        kernel_name: &str,
+        config: LaunchConfig,
+        args: Vec<KernelArg>,
+    ) -> Result<LaunchResult, VgpuError> {
+        self.validate(&config)?;
+        let prepared = PreparedLaunch {
+            inner: prepare(self.module, kernel_name, config, args, self.race_detection)?,
+        };
+        self.run_prepared(kernel_name, prepared)
+    }
+
+    /// Executes a sequence of kernels against a persistent pool of arguments.
+    ///
+    /// Every stage receives the *whole* pool in order (the shared-signature ABI of
+    /// multi-kernel programs: unused parameters are harmless), and the buffers a stage
+    /// modifies are visible to the following stages — this is how global-memory
+    /// intermediates flow across the device-wide synchronisation points a kernel boundary
+    /// represents. When a device is configured, every stage's launch is validated up front,
+    /// before any stage executes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`VgpuError::InvalidLaunch`] if any stage's launch violates the configured
+    /// device, and the first executing stage's [`VgpuError`] otherwise.
+    pub fn launch_sequence(
+        &self,
+        stages: &[KernelLaunchSpec],
+        mut pool: Vec<KernelArg>,
+    ) -> Result<SequenceResult, VgpuError> {
+        for stage in stages {
+            self.validate(&stage.launch)?;
+        }
+        let mut reports = Vec::with_capacity(stages.len());
+        for stage in stages {
+            // Move the buffers into the stage's arguments (the launch returns every global
+            // buffer), so a sequence never copies buffer contents between stages.
+            let args: Vec<KernelArg> = pool
+                .iter_mut()
+                .map(|a| match a {
+                    KernelArg::Buffer(b) => KernelArg::Buffer(std::mem::take(b)),
+                    KernelArg::Int(v) => KernelArg::Int(*v),
+                    KernelArg::Float(v) => KernelArg::Float(*v),
+                })
+                .collect();
+            let prepared = PreparedLaunch {
+                inner: prepare(
+                    self.module,
+                    &stage.kernel,
+                    stage.launch,
+                    args,
+                    self.race_detection,
+                )?,
+            };
+            let result = self.run_prepared(&stage.kernel, prepared)?;
+            let mut buffers = result.buffers.into_iter();
+            for arg in pool.iter_mut() {
+                if let KernelArg::Buffer(b) = arg {
+                    *b = buffers
+                        .next()
+                        .expect("launch returns one buffer per buffer arg");
+                }
+            }
+            reports.push(result.report);
+        }
+        let buffers = pool
+            .into_iter()
+            .filter_map(|a| match a {
+                KernelArg::Buffer(b) => Some(b),
+                _ => None,
+            })
+            .collect();
+        Ok(SequenceResult { buffers, reports })
+    }
+}

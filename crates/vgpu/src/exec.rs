@@ -274,6 +274,10 @@ impl VirtualGpu {
     ///
     /// Shadow state is per launch: a kernel-sequence stage starts clean, mirroring the
     /// device-wide synchronisation a kernel boundary provides.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `ExecutionRequest::new(module).race_detection(true)` instead"
+    )]
     pub fn with_race_detection() -> VirtualGpu {
         VirtualGpu { detect_races: true }
     }
@@ -293,6 +297,10 @@ impl VirtualGpu {
     ///
     /// Returns [`VgpuError::InvalidLaunch`] for configurations that violate the device, and
     /// any [`VgpuError`] of [`VirtualGpu::launch`] otherwise.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `ExecutionRequest::new(module).on_device(device).launch(..)` instead"
+    )]
     pub fn launch_on(
         &self,
         device: &DeviceProfile,
@@ -301,10 +309,10 @@ impl VirtualGpu {
         config: LaunchConfig,
         args: Vec<KernelArg>,
     ) -> Result<LaunchResult, VgpuError> {
-        device
-            .validate_launch(&config)
-            .map_err(VgpuError::InvalidLaunch)?;
-        self.launch(module, kernel_name, config, args)
+        crate::engine::ExecutionRequest::new(module)
+            .on_device(device)
+            .race_detection(self.detect_races)
+            .launch(kernel_name, config, args)
     }
 
     /// Executes a sequence of kernels against a persistent pool of arguments.
@@ -318,43 +326,19 @@ impl VirtualGpu {
     /// # Errors
     ///
     /// Returns the first stage's [`VgpuError`], if any.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `ExecutionRequest::new(module).launch_sequence(..)` instead"
+    )]
     pub fn launch_sequence(
         &self,
         module: &Module,
         stages: &[KernelLaunchSpec],
-        mut pool: Vec<KernelArg>,
+        pool: Vec<KernelArg>,
     ) -> Result<SequenceResult, VgpuError> {
-        let mut reports = Vec::with_capacity(stages.len());
-        for stage in stages {
-            // Move the buffers into the stage's arguments (the launch returns every global
-            // buffer), so a sequence never copies buffer contents between stages.
-            let args: Vec<KernelArg> = pool
-                .iter_mut()
-                .map(|a| match a {
-                    KernelArg::Buffer(b) => KernelArg::Buffer(std::mem::take(b)),
-                    KernelArg::Int(v) => KernelArg::Int(*v),
-                    KernelArg::Float(v) => KernelArg::Float(*v),
-                })
-                .collect();
-            let result = self.launch(module, &stage.kernel, stage.launch, args)?;
-            let mut buffers = result.buffers.into_iter();
-            for arg in pool.iter_mut() {
-                if let KernelArg::Buffer(b) = arg {
-                    *b = buffers
-                        .next()
-                        .expect("launch returns one buffer per buffer arg");
-                }
-            }
-            reports.push(result.report);
-        }
-        let buffers = pool
-            .into_iter()
-            .filter_map(|a| match a {
-                KernelArg::Buffer(b) => Some(b),
-                _ => None,
-            })
-            .collect();
-        Ok(SequenceResult { buffers, reports })
+        crate::engine::ExecutionRequest::new(module)
+            .race_detection(self.detect_races)
+            .launch_sequence(stages, pool)
     }
 
     /// Like [`VirtualGpu::launch_sequence`], after validating every stage's launch against
@@ -364,6 +348,11 @@ impl VirtualGpu {
     ///
     /// Returns [`VgpuError::InvalidLaunch`] if any stage's launch violates the device, and
     /// any [`VgpuError`] of the execution otherwise.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `ExecutionRequest::new(module).on_device(device).launch_sequence(..)` \
+                instead"
+    )]
     pub fn launch_sequence_on(
         &self,
         device: &DeviceProfile,
@@ -371,12 +360,10 @@ impl VirtualGpu {
         stages: &[KernelLaunchSpec],
         pool: Vec<KernelArg>,
     ) -> Result<SequenceResult, VgpuError> {
-        for stage in stages {
-            device
-                .validate_launch(&stage.launch)
-                .map_err(VgpuError::InvalidLaunch)?;
-        }
-        self.launch_sequence(module, stages, pool)
+        crate::engine::ExecutionRequest::new(module)
+            .on_device(device)
+            .race_detection(self.detect_races)
+            .launch_sequence(stages, pool)
     }
 
     /// Launches `kernel_name` from `module` over the given ND-range.
@@ -385,6 +372,10 @@ impl VirtualGpu {
     ///
     /// Returns a [`VgpuError`] if the kernel is unknown, the arguments do not match, or the
     /// kernel performs an invalid memory access.
+    #[deprecated(
+        since = "0.8.0",
+        note = "use `ExecutionRequest::new(module).launch(..)` instead"
+    )]
     pub fn launch(
         &self,
         module: &Module,
@@ -392,95 +383,123 @@ impl VirtualGpu {
         config: LaunchConfig,
         args: Vec<KernelArg>,
     ) -> Result<LaunchResult, VgpuError> {
-        let kernel = module
-            .kernel(kernel_name)
-            .ok_or_else(|| VgpuError::UnknownKernel(kernel_name.to_string()))?;
-        if kernel.params.len() != args.len() {
-            return Err(VgpuError::ArgumentMismatch {
-                expected: kernel.params.len(),
-                found: args.len(),
-            });
-        }
-
-        // Lower once: intern names to slots, resolve call targets, drop comments.
-        let mut lowerer = Lowerer::new(module);
-        let param_slots: Vec<usize> = kernel
-            .params
-            .iter()
-            .map(|p| lowerer.slot(&p.name))
-            .collect();
-        let body = lowerer.lower_block(&kernel.body);
-        let functions: Vec<std::rc::Rc<SFunction>> = lowerer
-            .functions
-            .into_iter()
-            .map(|f| std::rc::Rc::new(f.expect("function lowering completed")))
-            .collect();
-        let names = lowerer.names;
-
-        let mut global: Vec<Vec<f32>> = Vec::new();
-        let mut global_names: Vec<String> = Vec::new();
-        let mut params: Vec<Option<GpuValue>> = vec![None; names.len()];
-        let mut params_by_name: VarMap<GpuValue> = VarMap::default();
-        for ((param, slot), arg) in kernel.params.iter().zip(param_slots).zip(args) {
-            let value = match arg {
-                KernelArg::Buffer(data) => {
-                    let idx = global.len();
-                    global.push(data);
-                    global_names.push(param.name.clone());
-                    GpuValue::Ptr(Ptr {
-                        space: AddrSpace::Global,
-                        buffer: idx,
-                        offset: 0,
-                    })
-                }
-                KernelArg::Int(v) => GpuValue::Int(v),
-                KernelArg::Float(v) => GpuValue::Float(f64::from(v)),
-            };
-            params_by_name.insert(param.name.clone(), value.clone());
-            params[slot] = Some(value);
-        }
-
-        // Shadow state lives for exactly one launch: each stage of a kernel sequence starts
-        // with clean shadow memory, mirroring the device-wide sync of a kernel boundary.
-        let shadow_global: Vec<Vec<ShadowCell>> = if self.detect_races {
-            global
-                .iter()
-                .map(|b| vec![ShadowCell::default(); b.len()])
-                .collect()
-        } else {
-            Vec::new()
-        };
-
-        let mut exec = Exec {
-            config,
-            global,
-            params,
-            params_by_name,
-            functions,
-            names,
-            counters: CostCounters::default(),
-            access_log: Vec::new(),
-            seg_scratch: Vec::new(),
-            simd_counts: Vec::new(),
-            detect: self.detect_races,
-            shadow_global,
-            global_names,
-        };
-        exec.run(&body)?;
-        Ok(LaunchResult {
-            buffers: exec.global,
-            report: ExecutionReport {
-                counters: exec.counters,
-            },
-        })
+        crate::engine::ExecutionRequest::new(module)
+            .race_detection(self.detect_races)
+            .launch(kernel_name, config, args)
     }
+}
+
+/// A kernel launch lowered to the slot-indexed form with its arguments bound: everything an
+/// execution engine needs to run the kernel body against live state.
+pub(crate) struct Prepared {
+    pub(crate) body: Vec<SStmt>,
+    pub(crate) exec: Exec,
+}
+
+impl Prepared {
+    /// Consumes the executed state into the launch result.
+    pub(crate) fn finish(self) -> LaunchResult {
+        LaunchResult {
+            buffers: self.exec.global,
+            report: ExecutionReport {
+                counters: self.exec.counters,
+            },
+        }
+    }
+}
+
+/// Resolves the kernel, lowers it once (names interned to slots, call targets resolved,
+/// comments dropped) and binds the launch arguments — the engine-independent prologue of
+/// every launch.
+pub(crate) fn prepare(
+    module: &Module,
+    kernel_name: &str,
+    config: LaunchConfig,
+    args: Vec<KernelArg>,
+    detect_races: bool,
+) -> Result<Prepared, VgpuError> {
+    let kernel = module
+        .kernel(kernel_name)
+        .ok_or_else(|| VgpuError::UnknownKernel(kernel_name.to_string()))?;
+    if kernel.params.len() != args.len() {
+        return Err(VgpuError::ArgumentMismatch {
+            expected: kernel.params.len(),
+            found: args.len(),
+        });
+    }
+
+    // Lower once: intern names to slots, resolve call targets, drop comments.
+    let mut lowerer = Lowerer::new(module);
+    let param_slots: Vec<usize> = kernel
+        .params
+        .iter()
+        .map(|p| lowerer.slot(&p.name))
+        .collect();
+    let body = lowerer.lower_block(&kernel.body);
+    let functions: Vec<std::rc::Rc<SFunction>> = lowerer
+        .functions
+        .into_iter()
+        .map(|f| std::rc::Rc::new(f.expect("function lowering completed")))
+        .collect();
+    let names = lowerer.names;
+
+    let mut global: Vec<Vec<f32>> = Vec::new();
+    let mut global_names: Vec<String> = Vec::new();
+    let mut params: Vec<Option<GpuValue>> = vec![None; names.len()];
+    let mut params_by_name: VarMap<GpuValue> = VarMap::default();
+    for ((param, slot), arg) in kernel.params.iter().zip(param_slots).zip(args) {
+        let value = match arg {
+            KernelArg::Buffer(data) => {
+                let idx = global.len();
+                global.push(data);
+                global_names.push(param.name.clone());
+                GpuValue::Ptr(Ptr {
+                    space: AddrSpace::Global,
+                    buffer: idx,
+                    offset: 0,
+                })
+            }
+            KernelArg::Int(v) => GpuValue::Int(v),
+            KernelArg::Float(v) => GpuValue::Float(f64::from(v)),
+        };
+        params_by_name.insert(param.name.clone(), value.clone());
+        params[slot] = Some(value);
+    }
+
+    // Shadow state lives for exactly one launch: each stage of a kernel sequence starts
+    // with clean shadow memory, mirroring the device-wide sync of a kernel boundary.
+    let shadow_global: Vec<Vec<ShadowCell>> = if detect_races {
+        global
+            .iter()
+            .map(|b| vec![ShadowCell::default(); b.len()])
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let exec = Exec {
+        config,
+        global,
+        params,
+        params_by_name,
+        functions,
+        names,
+        counters: CostCounters::default(),
+        access_log: Vec::new(),
+        seg_scratch: Vec::new(),
+        simd_counts: Vec::new(),
+        detect: detect_races,
+        shadow_global,
+        global_names,
+    };
+    Ok(Prepared { body, exec })
 }
 
 // --------------------------------------------------------------------- lowered kernel form
 
 /// The work-item functions of OpenCL.
 #[derive(Clone, Copy)]
-enum WorkItemFn {
+pub(crate) enum WorkItemFn {
     GlobalId,
     LocalId,
     GroupId,
@@ -491,7 +510,7 @@ enum WorkItemFn {
 
 /// Unary math builtins (charged 4 flops, like a special-function unit).
 #[derive(Clone, Copy)]
-enum Math1 {
+pub(crate) enum Math1 {
     Sqrt,
     Rsqrt,
     Fabs,
@@ -502,14 +521,14 @@ enum Math1 {
 
 /// Binary math builtins (charged 1 flop).
 #[derive(Clone, Copy)]
-enum Math2 {
+pub(crate) enum Math2 {
     Min,
     Max,
 }
 
 /// How a cast behaves at runtime.
 #[derive(Clone, Copy)]
-enum CastKind {
+pub(crate) enum CastKind {
     Int,
     Float,
     Bool,
@@ -517,7 +536,7 @@ enum CastKind {
 }
 
 /// A lowered index expression: [`ArithExpr`] with variables resolved to slots.
-enum SIndex {
+pub(crate) enum SIndex {
     Cst(i64),
     Var(usize),
     Sum(Vec<SIndex>),
@@ -530,7 +549,7 @@ enum SIndex {
 }
 
 /// A lowered expression: variables are slots, call targets are resolved.
-enum SExpr {
+pub(crate) enum SExpr {
     Int(i64),
     Float(f64),
     Var(usize),
@@ -554,7 +573,7 @@ enum SExpr {
 }
 
 /// A lowered assignment target.
-enum SLhs {
+pub(crate) enum SLhs {
     Var(usize),
     Array(SExpr, SExpr),
     FieldOfVar(usize, usize),
@@ -562,7 +581,7 @@ enum SLhs {
 }
 
 /// A lowered statement. Comments are dropped during lowering.
-enum SStmt {
+pub(crate) enum SStmt {
     Return,
     Barrier,
     Block(Vec<SStmt>),
@@ -598,12 +617,12 @@ enum SStmt {
 }
 
 /// A lowered user function.
-struct SFunction {
-    params: Vec<usize>,
-    body: SExpr,
+pub(crate) struct SFunction {
+    pub(crate) params: Vec<usize>,
+    pub(crate) body: SExpr,
 }
 
-struct Lowerer<'m> {
+pub(crate) struct Lowerer<'m> {
     module: &'m Module,
     slots: VarMap<usize>,
     names: Vec<String>,
@@ -879,7 +898,7 @@ struct Access {
 /// last that read the guarded element, each with the barrier epoch of the access. Work items
 /// are stored as `1 + global linear id` so `0` means "untouched / written by the host".
 #[derive(Clone, Copy, Default)]
-struct ShadowCell {
+pub(crate) struct ShadowCell {
     writer: usize,
     writer_group: usize,
     write_epoch: u64,
@@ -889,54 +908,54 @@ struct ShadowCell {
 }
 
 /// Per-work-group shared state.
-struct Group {
-    id: [usize; 3],
+pub(crate) struct Group {
+    pub(crate) id: [usize; 3],
     /// Linear group id (for the cross-group conflict rule on global buffers).
-    linear: usize,
-    local: Vec<Vec<f32>>,
+    pub(crate) linear: usize,
+    pub(crate) local: Vec<Vec<f32>>,
     /// slot → local buffer index, for slots declared as local arrays.
-    local_slots: Vec<Option<usize>>,
+    pub(crate) local_slots: Vec<Option<usize>>,
     /// Barrier epoch: number of barriers the group has executed. Two accesses in the same
     /// epoch have no barrier between them. Advanced only at *executed* `barrier()`
     /// statements — never at loop back-edges — so unsynchronised conflicts across loop
     /// iterations (e.g. the sweeps of a lowered `iterate`) stay in one epoch and are caught.
-    epoch: u64,
+    pub(crate) epoch: u64,
     /// Shadow memory per local buffer (parallel to `local`; empty when detection is off).
-    shadow_local: Vec<Vec<ShadowCell>>,
+    pub(crate) shadow_local: Vec<Vec<ShadowCell>>,
     /// Declared names of the local buffers, for race diagnostics (parallel to `local`;
     /// empty when detection is off).
-    local_names: Vec<String>,
+    pub(crate) local_names: Vec<String>,
 }
 
 /// Per-work-item state.
-struct Thread {
-    lid: [usize; 3],
-    gid: [usize; 3],
-    linear: usize,
+pub(crate) struct Thread {
+    pub(crate) lid: [usize; 3],
+    pub(crate) gid: [usize; 3],
+    pub(crate) linear: usize,
     /// slot → value; `None` falls through to local arrays, then kernel parameters.
-    vals: Vec<Option<GpuValue>>,
-    private: Vec<Vec<f32>>,
-    returned: bool,
+    pub(crate) vals: Vec<Option<GpuValue>>,
+    pub(crate) private: Vec<Vec<f32>>,
+    pub(crate) returned: bool,
 }
 
-struct Exec {
-    config: LaunchConfig,
-    global: Vec<Vec<f32>>,
+pub(crate) struct Exec {
+    pub(crate) config: LaunchConfig,
+    pub(crate) global: Vec<Vec<f32>>,
     /// slot → kernel-argument value.
-    params: Vec<Option<GpuValue>>,
+    pub(crate) params: Vec<Option<GpuValue>>,
     /// Name-keyed arguments, for resolving symbolic array lengths.
     params_by_name: VarMap<GpuValue>,
-    functions: Vec<std::rc::Rc<SFunction>>,
+    pub(crate) functions: Vec<std::rc::Rc<SFunction>>,
     /// slot → name, for error messages.
-    names: Vec<String>,
-    counters: CostCounters,
+    pub(crate) names: Vec<String>,
+    pub(crate) counters: CostCounters,
     access_log: Vec<Access>,
     /// Reused scratch for the coalescing analysis: `(simd group, buffer, segment)` triples.
     seg_scratch: Vec<(usize, usize, i64)>,
     /// Reused scratch: access counts per SIMD group.
     simd_counts: Vec<(usize, usize)>,
     /// Whether the shadow-memory data-race detector is on for this launch.
-    detect: bool,
+    pub(crate) detect: bool,
     /// Shadow memory per global buffer (parallel to `global`; empty when detection is off).
     shadow_global: Vec<Vec<ShadowCell>>,
     /// Kernel-parameter names of the global buffers, for race diagnostics.
@@ -944,7 +963,7 @@ struct Exec {
 }
 
 impl Exec {
-    fn run(&mut self, body: &[SStmt]) -> Result<(), VgpuError> {
+    pub(crate) fn run(&mut self, body: &[SStmt]) -> Result<(), VgpuError> {
         let groups = self.config.num_groups();
         let local = self.config.local;
         let nslots = self.names.len();
@@ -1205,7 +1224,7 @@ impl Exec {
         }
     }
 
-    fn resolve_len(&self, e: &ArithExpr) -> Result<usize, VgpuError> {
+    pub(crate) fn resolve_len(&self, e: &ArithExpr) -> Result<usize, VgpuError> {
         let lookup = |name: &str| self.params_by_name.get(name).map(GpuValue::as_i64);
         let v = e
             .evaluate_with(&lookup)
@@ -1607,7 +1626,7 @@ impl Exec {
             + self.config.global[0] * (thread.gid[1] + self.config.global[1] * thread.gid[2])
     }
 
-    fn load(
+    pub(crate) fn load(
         &mut self,
         ptr: Ptr,
         idx: i64,
@@ -1702,7 +1721,7 @@ impl Exec {
         Ok(GpuValue::Float(f64::from(value)))
     }
 
-    fn store(
+    pub(crate) fn store(
         &mut self,
         ptr: Ptr,
         idx: i64,
@@ -1864,7 +1883,7 @@ impl Exec {
     /// Runs after every statement execution, so it reuses pre-allocated scratch vectors
     /// (linear dedup over a handful of distinct segments) instead of building hash
     /// containers.
-    fn flush_accesses(&mut self) {
+    pub(crate) fn flush_accesses(&mut self) {
         if self.access_log.is_empty() {
             return;
         }
@@ -1913,7 +1932,7 @@ fn data_race(buffer: &str, index: i64, earlier: usize, current: usize, epoch: u6
     }
 }
 
-fn compare(op: CBinOp, x: f64, y: f64) -> bool {
+pub(crate) fn compare(op: CBinOp, x: f64, y: f64) -> bool {
     match op {
         CBinOp::Lt => x < y,
         CBinOp::Le => x <= y,
@@ -1946,7 +1965,12 @@ fn vector_width(name: &str, prefix: &str) -> Option<usize> {
         .and_then(|rest| rest.parse::<usize>().ok())
         .filter(|w| matches!(w, 2 | 4 | 8 | 16))
 }
+// The unit tests exercise the launch surface through the deprecated `VirtualGpu` shims on
+// purpose: the shims route through `ExecutionRequest` with `EngineSelection::Auto`, so every
+// one of these assertions doubles as differential coverage of the bytecode tier against the
+// pinned expectations of the interpreter era.
 #[cfg(test)]
+#[allow(deprecated)]
 mod tests {
     use super::*;
     use lift_ocl::{CFunction, CType, Fence, Kernel, KernelParam};

@@ -16,8 +16,10 @@
 //! The functional result of a launch is exact — kernels really execute — so the same run both
 //! validates correctness against the reference interpreter and feeds the performance model.
 
+mod bytecode;
 mod cost;
 mod device;
+mod engine;
 mod exec;
 mod memory;
 
@@ -26,6 +28,9 @@ pub use cost::{
     TimeBreakdown,
 };
 pub use device::{DeviceProfile, LaunchConfig, LaunchError};
+pub use engine::{
+    BytecodeEngine, Engine, EngineSelection, ExecutionRequest, InterpreterEngine, PreparedLaunch,
+};
 pub use exec::{KernelLaunchSpec, LaunchResult, SequenceResult, VgpuError, VirtualGpu};
 pub use memory::{GpuValue, KernelArg, Ptr};
 

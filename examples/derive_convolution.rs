@@ -5,7 +5,7 @@
 
 use lift::benchmarks::convolution;
 use lift::rewrite::{explore, ExplorationConfig, RuleOptions};
-use lift::vgpu::{DeviceProfile, LaunchConfig};
+use lift::vgpu::{DeviceProfile, EngineSelection, LaunchConfig};
 
 fn main() {
     let n_out = 128;
@@ -24,6 +24,8 @@ fn main() {
         launch: LaunchConfig::d1(128, 32),
         best_n: 6,
         device: DeviceProfile::nvidia(),
+        // `Auto` (the default) prefers the bytecode tier and falls back per kernel.
+        engine: EngineSelection::Auto,
         ..ExplorationConfig::default()
     };
     let result = explore(&program, &config).expect("exploration runs");

@@ -12,7 +12,7 @@
 
 use lift::ir::prelude::*;
 use lift::rewrite::{explore, ExplorationConfig, RuleOptions};
-use lift::vgpu::{DeviceProfile, LaunchConfig};
+use lift::vgpu::{DeviceProfile, EngineSelection, LaunchConfig};
 
 /// The high-level partial dot product of length `n` (chunks of 128, like Listing 1).
 fn high_level_dot_product(n: usize) -> Program {
@@ -57,6 +57,9 @@ fn main() {
         launch: LaunchConfig::d1(32, 8),
         device: DeviceProfile::nvidia(),
         best_n: 3,
+        // Candidates are validated on the bytecode execution tier; kernels the bytecode
+        // compiler cannot handle fall back to the interpreter with identical results.
+        engine: EngineSelection::Bytecode,
         ..ExplorationConfig::default()
     };
     let result = explore(&program, &config).expect("exploration runs");

@@ -5,7 +5,7 @@
 
 use lift::benchmarks::dot_product;
 use lift::codegen::{compile, CompilationOptions};
-use lift::vgpu::{DeviceProfile, LaunchConfig, VirtualGpu};
+use lift::vgpu::{DeviceProfile, ExecutionRequest, LaunchConfig};
 
 fn main() {
     let n = 16 * 1024;
@@ -27,8 +27,8 @@ fn main() {
     let (args, out_idx) = kernel
         .bind_args(&[x.clone(), y.clone()], &Default::default())
         .expect("arguments bind");
-    let result = VirtualGpu::new()
-        .launch(&kernel.module, &kernel.kernel_name, launch, args)
+    let result = ExecutionRequest::new(&kernel.module)
+        .launch(&kernel.kernel_name, launch, args)
         .expect("runs");
 
     // The kernel produces one partial sum per work group; finish the reduction on the host,

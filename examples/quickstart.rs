@@ -34,9 +34,8 @@ fn main() {
     // 3. Execute the generated kernel on the virtual GPU.
     let x: Vec<f32> = (0..1024).map(|i| i as f32).collect();
     let y: Vec<f32> = (0..1024).map(|i| 0.5 * i as f32).collect();
-    let result = VirtualGpu::new()
+    let result = ExecutionRequest::new(&kernel.module)
         .launch(
-            &kernel.module,
             &kernel.kernel_name,
             LaunchConfig::d1(1024, 128),
             vec![

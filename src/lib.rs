@@ -49,5 +49,5 @@ pub mod prelude {
     pub use lift_codegen::{compile, CompilationOptions};
     pub use lift_interp::Value;
     pub use lift_ir::prelude::*;
-    pub use lift_vgpu::{DeviceProfile, VirtualGpu};
+    pub use lift_vgpu::{DeviceProfile, EngineSelection, ExecutionRequest, VirtualGpu};
 }

@@ -9,7 +9,7 @@ use lift::codegen::{compile_program, CompilationOptions};
 use lift::interp::{evaluate, Value};
 use lift::ir::prelude::*;
 use lift::rewrite::{explore, ExplorationConfig, RuleOptions};
-use lift::vgpu::{LaunchConfig, VirtualGpu};
+use lift::vgpu::{ExecutionRequest, LaunchConfig};
 use proptest::prelude::*;
 
 /// High-level partial dot product over `n` elements in chunks of 32.
@@ -45,8 +45,8 @@ fn run_variant_on_vgpu(program: &Program, inputs: &[Vec<f32>], launch: LaunchCon
     let (args, out_idx) = compiled
         .bind_args(inputs, &Default::default())
         .expect("arguments bind");
-    let result = VirtualGpu::new()
-        .launch_sequence(&compiled.module, &compiled.launch_plan(launch), args)
+    let result = ExecutionRequest::new(&compiled.module)
+        .launch_sequence(&compiled.launch_plan(launch), args)
         .expect("derived variant executes");
     result.buffers[out_idx].clone()
 }

@@ -11,7 +11,7 @@
 use lift::codegen::{compile, CompilationOptions};
 use lift::interp::{evaluate, Value};
 use lift::ir::prelude::*;
-use lift::vgpu::{LaunchConfig, VirtualGpu};
+use lift::vgpu::{ExecutionRequest, LaunchConfig};
 use lift_arith::ArithExpr;
 use proptest::prelude::*;
 
@@ -95,13 +95,8 @@ fn run_compiled(program: &Program, input: &[f32], simplify: bool) -> Vec<f32> {
     let (args, out_index) = kernel
         .bind_args(&[input.to_vec()], &Default::default())
         .expect("arguments bind");
-    let result = VirtualGpu::new()
-        .launch(
-            &kernel.module,
-            &kernel.kernel_name,
-            LaunchConfig::d1(input.len(), 32),
-            args,
-        )
+    let result = ExecutionRequest::new(&kernel.module)
+        .launch(&kernel.kernel_name, LaunchConfig::d1(input.len(), 32), args)
         .expect("pipeline executes");
     result.buffers[out_index].clone()
 }

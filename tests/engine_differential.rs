@@ -1,0 +1,273 @@
+//! Differential properties of the two virtual-GPU execution engines.
+//!
+//! The bytecode tier must be observationally indistinguishable from the slotted
+//! interpreter: same output buffers (bit for bit), same cost counters, same execution
+//! profiles, and the same error taxonomy — with race detection on or off. This suite
+//! checks that equivalence three ways:
+//!
+//! 1. **Gated workloads.** Every candidate the rewrite exploration derives from the six
+//!    tuned workloads scores identically on both engines (verdict counters, winners,
+//!    estimated times compared bit for bit).
+//! 2. **Random derived kernels.** Randomly composed data-layout pipelines (the
+//!    view-composition shapes whose index generation is the subtle part of the compiler)
+//!    launch to bitwise-equal buffers and counters on both engines.
+//! 3. **Error taxonomy.** A failing launch (out-of-bounds access) produces the same
+//!    [`VgpuError`] value from both engines.
+
+use lift::codegen::{compile, CompilationOptions};
+use lift::ir::prelude::*;
+use lift::rewrite::{enumerate, Exploration, ExplorationConfig, RuleOptions};
+use lift::tuner::Workload;
+use lift::vgpu::{
+    DeviceProfile, EngineSelection, ExecutionRequest, LaunchConfig, LaunchResult, VgpuError,
+};
+use lift_arith::ArithExpr;
+use lift_bench::autotune_config;
+use proptest::prelude::*;
+
+/// A launch every workload's lowered candidates execute correctly under (the virtual GPU
+/// masks surplus work items, so a fixed grid works across problem sizes).
+const LAUNCH: LaunchConfig = LaunchConfig {
+    global: [64, 1, 1],
+    local: [16, 1, 1],
+};
+
+fn workload_config(workload: &Workload, device: &DeviceProfile) -> ExplorationConfig {
+    ExplorationConfig {
+        rule_options: RuleOptions {
+            split_sizes: vec![2, 4],
+            vector_widths: vec![4],
+            tile_sizes: workload.tile_sets.first().cloned().unwrap_or_default(),
+        },
+        launch: LAUNCH,
+        ..autotune_config(workload, device).base
+    }
+}
+
+/// Asserts two scored explorations are observationally identical, including the winners'
+/// estimated times bit for bit.
+fn assert_scored_identical(name: &str, a: &Exploration, b: &Exploration) {
+    assert_eq!(a.explored, b.explored, "{name}: explored");
+    assert_eq!(a.lowered, b.lowered, "{name}: lowered");
+    assert_eq!(a.rejected_typecheck, b.rejected_typecheck, "{name}");
+    assert_eq!(a.rejected_compile, b.rejected_compile, "{name}");
+    assert_eq!(a.rejected_incorrect, b.rejected_incorrect, "{name}");
+    assert_eq!(a.rejected_unsound, b.rejected_unsound, "{name}");
+    assert_eq!(a.rejected_race, b.rejected_race, "{name}");
+    assert_eq!(a.rejected_divergence, b.rejected_divergence, "{name}");
+    assert_eq!(a.executed_kernels, b.executed_kernels, "{name}");
+    assert_eq!(a.soundness, b.soundness, "{name}: soundness report");
+    assert_eq!(a.variants.len(), b.variants.len(), "{name}: variant count");
+    for (va, vb) in a.variants.iter().zip(&b.variants) {
+        assert_eq!(va.kernel_source, vb.kernel_source, "{name}");
+        assert_eq!(va.counters, vb.counters, "{name}: counters");
+        assert_eq!(va.stage_counters, vb.stage_counters, "{name}");
+        assert_eq!(va.stage_names, vb.stage_names, "{name}");
+        assert_eq!(
+            va.estimated_time.to_bits(),
+            vb.estimated_time.to_bits(),
+            "{name}: estimated time differs: {} vs {}",
+            va.estimated_time,
+            vb.estimated_time
+        );
+        assert_eq!(
+            va.profile(&DeviceProfile::nvidia()),
+            vb.profile(&DeviceProfile::nvidia()),
+            "{name}: execution profile"
+        );
+    }
+}
+
+#[test]
+fn gated_workloads_score_identically_on_both_engines() {
+    let device = DeviceProfile::nvidia();
+    for workload in Workload::all() {
+        let config = workload_config(&workload, &device);
+        let enumerated = enumerate(&workload.program, &config)
+            .unwrap_or_else(|e| panic!("{}: enumeration fails: {e}", workload.name));
+        for detect_races in [true, false] {
+            let interp = enumerated
+                .score(&ExplorationConfig {
+                    engine: EngineSelection::Interpreter,
+                    detect_races,
+                    ..config.clone()
+                })
+                .unwrap_or_else(|e| panic!("{}: interpreter scoring fails: {e}", workload.name));
+            let bytecode = enumerated
+                .score(&ExplorationConfig {
+                    engine: EngineSelection::Bytecode,
+                    detect_races,
+                    ..config.clone()
+                })
+                .unwrap_or_else(|e| panic!("{}: bytecode scoring fails: {e}", workload.name));
+            assert!(
+                !interp.variants.is_empty(),
+                "{}: no variant survived",
+                workload.name
+            );
+            let label = format!("{} (detect_races={detect_races})", workload.name);
+            assert_scored_identical(&label, &interp, &bytecode);
+        }
+    }
+}
+
+/// One data-layout step applied before the parallel copy (mirrors the shapes of the
+/// `differential_pipelines` suite).
+#[derive(Clone, Debug)]
+enum LayoutStep {
+    Reverse,
+    SplitJoin(usize),
+    Stride(usize),
+}
+
+fn layout_step() -> impl Strategy<Value = LayoutStep> {
+    prop_oneof![
+        Just(LayoutStep::Reverse),
+        prop_oneof![Just(2usize), Just(4), Just(8)].prop_map(LayoutStep::SplitJoin),
+        prop_oneof![Just(2usize), Just(4), Just(8)].prop_map(LayoutStep::Stride),
+    ]
+}
+
+/// Builds the program for a fixed input length of 128 elements and 32-wide work groups.
+fn build_program(steps: &[LayoutStep], negate: bool) -> Program {
+    const N: usize = 128;
+    let mut p = Program::new("pipeline");
+    let f = if negate {
+        p.user_fun(
+            UserFun::new(
+                "negate",
+                vec![("x", Type::float())],
+                Type::float(),
+                ScalarExpr::cf(0.0).sub(ScalarExpr::param(0)),
+            )
+            .expect("well-formed"),
+        )
+    } else {
+        p.user_fun(UserFun::id_float())
+    };
+    let ml = p.map_lcl(0, f);
+    let wg = p.map_wrg(0, ml);
+    let split32 = p.split(32usize);
+    let join_out = p.join();
+    p.with_root(
+        vec![("x", Type::array(Type::float(), ArithExpr::cst(N as i64)))],
+        |p, params| {
+            let mut value = params[0];
+            for step in steps {
+                value = match step {
+                    LayoutStep::Reverse => {
+                        let g = p.gather(Reorder::Reverse);
+                        p.apply1(g, value)
+                    }
+                    LayoutStep::SplitJoin(k) => {
+                        let s = p.split(*k);
+                        let j = p.join();
+                        let split = p.apply1(s, value);
+                        p.apply1(j, split)
+                    }
+                    LayoutStep::Stride(s) => {
+                        let g = p.gather(Reorder::Stride(ArithExpr::cst(*s as i64)));
+                        p.apply1(g, value)
+                    }
+                };
+            }
+            let split = p.apply1(split32, value);
+            let mapped = p.apply1(wg, split);
+            p.apply1(join_out, mapped)
+        },
+    );
+    p
+}
+
+fn run_on(
+    program: &Program,
+    input: &[f32],
+    engine: EngineSelection,
+    detect_races: bool,
+) -> LaunchResult {
+    let options = CompilationOptions::all_optimisations().with_launch_1d(input.len(), 32);
+    let kernel = compile(program, &options).expect("pipeline compiles");
+    let (args, _) = kernel
+        .bind_args(&[input.to_vec()], &Default::default())
+        .expect("arguments bind");
+    ExecutionRequest::new(&kernel.module)
+        .engine(engine)
+        .race_detection(detect_races)
+        .launch(&kernel.kernel_name, LaunchConfig::d1(input.len(), 32), args)
+        .expect("pipeline executes")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn random_derived_kernels_run_identically_on_both_engines(
+        steps in proptest::collection::vec(layout_step(), 0..4),
+        negate in any::<bool>(),
+        seed in 0u32..1000,
+    ) {
+        let input: Vec<f32> =
+            (0..128).map(|i| ((i as u32 * 37 + seed) % 101) as f32 - 50.0).collect();
+        let program = build_program(&steps, negate);
+        for detect_races in [true, false] {
+            let interp = run_on(&program, &input, EngineSelection::Interpreter, detect_races);
+            let bytecode = run_on(&program, &input, EngineSelection::Bytecode, detect_races);
+            prop_assert_eq!(
+                interp.buffers.len(), bytecode.buffers.len(),
+                "steps {:?}", &steps
+            );
+            for (a, b) in interp.buffers.iter().zip(&bytecode.buffers) {
+                let a_bits: Vec<u32> = a.iter().map(|v| v.to_bits()).collect();
+                let b_bits: Vec<u32> = b.iter().map(|v| v.to_bits()).collect();
+                prop_assert_eq!(&a_bits, &b_bits, "steps {:?} races {}", &steps, detect_races);
+            }
+            prop_assert_eq!(&interp.report, &bytecode.report, "steps {:?}", &steps);
+        }
+    }
+}
+
+#[test]
+fn failing_launches_report_the_same_error_on_both_engines() {
+    // Compiled for 128 elements but handed a 64-element buffer: every work item past the
+    // truncated input reads out of bounds, and both engines must fail identically.
+    let program = build_program(&[], false);
+    let options = CompilationOptions::all_optimisations().with_launch_1d(128, 32);
+    let kernel = compile(&program, &options).expect("pipeline compiles");
+    let full: Vec<f32> = (0..128).map(|i| i as f32).collect();
+    let (args, _) = kernel
+        .bind_args(&[full], &Default::default())
+        .expect("arguments bind");
+    let truncated: Vec<_> = args
+        .into_iter()
+        .enumerate()
+        .map(|(i, arg)| {
+            if i == 0 {
+                lift::vgpu::KernelArg::Buffer(vec![0.0; 64])
+            } else {
+                arg
+            }
+        })
+        .collect();
+    let mut errors: Vec<VgpuError> = Vec::new();
+    for engine in [EngineSelection::Interpreter, EngineSelection::Bytecode] {
+        for detect_races in [true, false] {
+            let err = ExecutionRequest::new(&kernel.module)
+                .engine(engine)
+                .race_detection(detect_races)
+                .launch(
+                    &kernel.kernel_name,
+                    LaunchConfig::d1(128, 32),
+                    truncated.clone(),
+                )
+                .expect_err("truncated input must fail the launch");
+            assert!(
+                matches!(err, VgpuError::OutOfBounds { .. }),
+                "expected OutOfBounds, got {err:?}"
+            );
+            errors.push(err);
+        }
+    }
+    for e in &errors[1..] {
+        assert_eq!(e, &errors[0], "engines disagree on the error");
+    }
+}

@@ -18,15 +18,15 @@ use lift::codegen::{compile, compile_program, CodegenError, CompilationOptions, 
 use lift::interp::{evaluate, Value};
 use lift::ir::Program;
 use lift::rewrite::{explore, ExplorationConfig, RuleOptions};
-use lift::vgpu::{outputs_match, LaunchConfig, VirtualGpu};
+use lift::vgpu::{outputs_match, ExecutionRequest, LaunchConfig};
 
 /// Executes a compiled (possibly multi-kernel) program with the shared-pool ABI.
 fn run_program(compiled: &CompiledProgram, inputs: &[Vec<f32>], launch: LaunchConfig) -> Vec<f32> {
     let (args, out_idx) = compiled
         .bind_args(inputs, &Default::default())
         .expect("arguments bind");
-    let result = VirtualGpu::new()
-        .launch_sequence(&compiled.module, &compiled.launch_plan(launch), args)
+    let result = ExecutionRequest::new(&compiled.module)
+        .launch_sequence(&compiled.launch_plan(launch), args)
         .expect("kernel sequence executes");
     result.buffers[out_idx].clone()
 }

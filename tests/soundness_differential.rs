@@ -12,7 +12,7 @@
 
 use lift::rewrite::{enumerate, ExplorationConfig, RuleOptions};
 use lift::tuner::Workload;
-use lift::vgpu::{DeviceProfile, LaunchConfig};
+use lift::vgpu::{DeviceProfile, EngineSelection, LaunchConfig};
 use lift_bench::autotune_config;
 use lift_bench::schema::{parse, Json};
 
@@ -206,11 +206,34 @@ fn committed_tuned_best_derivations_are_statically_accepted_and_race_free() {
         let plain = enumerated
             .score(&ExplorationConfig {
                 detect_races: false,
-                ..config
+                ..config.clone()
             })
             .unwrap_or_else(|e| panic!("{name}/{}: scoring fails: {e}", device.name));
         let plain_winner = plain.variants.first().expect("plain winner");
         assert_eq!(winner.kernel_source, plain_winner.kernel_source);
         assert_eq!(winner.estimated_time, plain_winner.estimated_time);
+
+        // The bytecode tier replays the committed tuned-best to the bit: same derivation,
+        // same counters, same estimated time as the interpreter-backed scoring above.
+        let bytecode = enumerated
+            .score(&ExplorationConfig {
+                engine: EngineSelection::Bytecode,
+                ..config
+            })
+            .unwrap_or_else(|e| panic!("{name}/{}: bytecode scoring fails: {e}", device.name));
+        assert_eq!(bytecode.rejected_race, 0, "{name}/{}", device.name);
+        assert_eq!(bytecode.rejected_divergence, 0, "{name}/{}", device.name);
+        let bytecode_winner = bytecode
+            .variants
+            .first()
+            .unwrap_or_else(|| panic!("{name}/{}: no bytecode variant", device.name));
+        assert_eq!(winner.kernel_source, bytecode_winner.kernel_source);
+        assert_eq!(winner.counters, bytecode_winner.counters);
+        assert_eq!(
+            winner.estimated_time.to_bits(),
+            bytecode_winner.estimated_time.to_bits(),
+            "{name}/{}: bytecode tuned-best time drifted",
+            device.name
+        );
     }
 }

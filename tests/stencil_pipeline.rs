@@ -9,7 +9,7 @@ use lift::codegen::{compile, CompilationOptions};
 use lift::interp::{evaluate, Value};
 use lift::ir::{PadMode, Program, Type, UserFun};
 use lift::rewrite::{explore, ExplorationConfig, RuleOptions};
-use lift::vgpu::{DeviceProfile, LaunchConfig, VirtualGpu};
+use lift::vgpu::{DeviceProfile, ExecutionRequest, LaunchConfig};
 use lift_bench::autotune_config;
 use lift_tuner::{tune, Workload};
 use proptest::prelude::*;
@@ -72,13 +72,8 @@ proptest! {
             .bind_args(std::slice::from_ref(&input), &Environment::new())
             .expect("arguments bind");
         // Any out-of-bounds access fails the launch with `VgpuError::OutOfBounds`.
-        let result = VirtualGpu::new()
-            .launch(
-                &kernel.module,
-                &kernel.kernel_name,
-                LaunchConfig::d1(global, local),
-                args,
-            )
+        let result = ExecutionRequest::new(&kernel.module)
+            .launch(&kernel.kernel_name, LaunchConfig::d1(global, local), args)
             .expect("vgpu executes the padded stencil without out-of-bounds accesses");
         let out = &result.buffers[buffer_index];
         prop_assert_eq!(out.len(), expected.len());
