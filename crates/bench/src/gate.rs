@@ -8,7 +8,9 @@
 //! * the bytecode execution tier must stay at least [`BYTECODE_SPEEDUP_FLOOR`]× faster than
 //!   the slotted interpreter on the current report's per-engine comparison probe,
 //! * every `(workload, device)` tuned best-time present in the *baseline* must still exist
-//!   and must not exceed `baseline × (1 + threshold)`.
+//!   and must not exceed `baseline × (1 + threshold)`,
+//! * on every device the current report tunes both on, the 2D-tiled MM (`mm_tiled`) must
+//!   be at least as fast as the plain 1D-best `matrix_multiply` (no threshold).
 //!
 //! Workloads present only in the *current* report (a newly added benchmark whose baseline
 //! has not been committed yet) are reported informationally and never trip the gate — the
@@ -280,7 +282,35 @@ pub fn check_reports(
         });
     }
 
-    // 5. The rejection-reason taxonomy of the telemetry report, summed across workloads
+    // 5. The 2D-tiled MM must not fall behind the committed 1D-best plain MM on any device
+    //    both appear on in the current report: the whole point of the tiled derivation is
+    //    that register/local blocking wins, so this is a structural invariant of the
+    //    report, not a number to eyeball. No threshold — a tie is the worst acceptable
+    //    outcome for the tiled variant.
+    let mut tiled_devices: Vec<&(String, String)> = current_times
+        .keys()
+        .filter(|(w, _)| w == "mm_tiled")
+        .collect();
+    tiled_devices.sort();
+    for key in tiled_devices {
+        let device = &key.1;
+        let tiled = current_times[key];
+        let Some(&plain) = current_times.get(&("matrix_multiply".to_string(), device.clone()))
+        else {
+            continue;
+        };
+        let ok = tiled <= plain;
+        lines.push(GateLine {
+            ok,
+            message: format!(
+                "[{}] autotune mm_tiled/{device}: tiled best {tiled:.1} vs 1D-best MM {plain:.1}",
+                if ok { "ok" } else { "FAIL" }
+            ),
+        });
+        push_breakdown_for_failure(&mut lines, telemetry, "tune:mm_tiled");
+    }
+
+    // 6. The rejection-reason taxonomy of the telemetry report, summed across workloads
     //    (informational: makes soundness rejections visible in the gate output).
     if let Some(message) = telemetry.and_then(rejection_summary) {
         lines.push(GateLine { ok: true, message });
@@ -453,6 +483,35 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.ok && l.message.contains("[new] autotune dot_two_stage/nv")));
+    }
+
+    #[test]
+    fn the_tiled_mm_must_not_be_slower_than_the_plain_mm() {
+        let e = explore_doc(100.0);
+        let baseline = autotune_doc(&[("matrix_multiply", "nv", 100.0)]);
+
+        // Faster (or equal) tiled MM passes.
+        let current = autotune_doc(&[("matrix_multiply", "nv", 100.0), ("mm_tiled", "nv", 80.0)]);
+        let outcome = check_reports(&e, &e, &baseline, &current, None, 0.25).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.lines);
+        assert!(outcome.lines.iter().any(|l| l.ok
+            && l
+                .message
+                .contains("[ok] autotune mm_tiled/nv: tiled best 80.0 vs 1D-best MM 100.0")));
+
+        // A tiled MM behind the 1D best fails, with no threshold slack.
+        let current = autotune_doc(&[("matrix_multiply", "nv", 100.0), ("mm_tiled", "nv", 100.1)]);
+        let outcome = check_reports(&e, &e, &baseline, &current, None, 0.25).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .lines
+            .iter()
+            .any(|l| !l.ok && l.message.contains("mm_tiled/nv")));
+
+        // A device without a plain-MM entry is skipped rather than a failure.
+        let current = autotune_doc(&[("matrix_multiply", "nv", 100.0), ("mm_tiled", "amd", 50.0)]);
+        let outcome = check_reports(&e, &e, &baseline, &current, None, 0.25).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.lines);
     }
 
     #[test]

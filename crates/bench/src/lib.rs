@@ -92,10 +92,19 @@ pub fn autotune_strategy(workload: &lift_tuner::Workload) -> lift_tuner::Strateg
             samples: 6,
             max_steps: 3,
         },
+        // The stencil's launch space is now genuinely 2D, which multiplies the points the
+        // sampler must cover; the extra samples keep the good 1D region reachable.
         "jacobi_2d" => lift_tuner::Strategy::RandomHillClimb {
             seed,
-            samples: 4,
-            max_steps: 2,
+            samples: 16,
+            max_steps: 6,
+        },
+        // The tiled MM searches the genuinely 2D launch grid; hill-climb steps move one
+        // launch axis at a time, so give the walk a little more room than plain MM.
+        "mm_tiled" => lift_tuner::Strategy::RandomHillClimb {
+            seed,
+            samples: 6,
+            max_steps: 4,
         },
         // N-Body kernels are the most expensive to execute on the serial virtual GPU, so
         // its walk gets the smallest sample budget.

@@ -98,13 +98,19 @@ pub fn autotune_entry(
                         ),
                     ),
                     (
+                        // Each tile as a `[rows, cols]` pair; 1D stencil tiles are `[1, x]`.
                         "tile_sizes",
                         Json::Arr(
                             point
                                 .rule_options
                                 .tile_sizes
                                 .iter()
-                                .map(|t| Json::num(*t as f64))
+                                .map(|t| {
+                                    Json::Arr(vec![
+                                        Json::num(t.y as f64),
+                                        Json::num(t.x as f64),
+                                    ])
+                                })
                                 .collect(),
                         ),
                     ),

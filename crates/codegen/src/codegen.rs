@@ -426,6 +426,7 @@ pub fn compile_program(
         views: HashMap::new(),
         counter: 0,
         nesting: 0,
+        active_parallel: Vec::new(),
         temp_buffers: Vec::new(),
         segment_decls: Vec::new(),
     };
@@ -453,6 +454,11 @@ struct Generator {
     /// legal at depth zero: a split inside a loop body would need a device-wide barrier
     /// *within* a kernel, which OpenCL does not have.
     nesting: usize,
+    /// The parallel map loops currently open around the statement being generated, as
+    /// `(pattern name, dimension)`. Two nested loops over the *same* kind and dimension
+    /// both stride the same work-item id, so index pairs off the diagonal are computed by
+    /// no work item at all — a silent coverage miscompile rejected in [`Generator::gen_map_loop`].
+    active_parallel: Vec<(&'static str, u8)>,
     /// Global temporaries allocated so far: `(parameter name, value type)`.
     temp_buffers: Vec<(String, Type)>,
     /// Per-finished-segment declaration groups (one entry is pushed at every kernel split;
@@ -1053,7 +1059,24 @@ impl Generator {
         self.check_ownership(expr, &ty, space)?;
         let view = self.allocate(&ty, space)?;
         let code = self.gen_expr(expr, &view)?;
-        stmts.extend(code);
+        // A group-shared `__local` array is fenced where it finishes materialising: the
+        // ownership check above guarantees the producing code runs at work-group level,
+        // where control flow is uniform — unlike the bodies of nested `mapLcl` loops,
+        // whose own trailing barriers (the pre-refactor placement) become divergent as
+        // soon as an outer map guards or strides them (2D tiling does both). Inside a
+        // loop (`nesting > 0`) the buffer is re-staged every iteration, so a *leading*
+        // fence also closes the previous iteration's reads before they are overwritten.
+        let cooperative = space == AddressSpace::Local
+            && !matches!(&view, View::Memory { scalar: true, .. });
+        if cooperative && self.options.barrier_elimination {
+            if self.nesting > 0 {
+                stmts.push(CStmt::Barrier(Fence::local()));
+            }
+            stmts.extend(code);
+            stmts.push(CStmt::Barrier(Fence::local()));
+        } else {
+            stmts.extend(code);
+        }
         Ok(view)
     }
 
@@ -1322,6 +1345,28 @@ impl Generator {
             .map(|(e, l)| (e.clone(), l.clone()))
             .ok_or_else(|| CodegenError::Unsupported("map over a non-array value".into()))?;
         self.check_distribution(kind, input_ty, dest)?;
+        // The dimension-aware half of the distribution check: nesting two parallel loops
+        // of the same kind over the same dimension makes both stride the same work-item
+        // id, so only the "diagonal" index pairs are ever computed — the off-diagonal
+        // cells are written by no work item. This is a silent miscompile (the in-order
+        // virtual GPU masks it for some launches), rejected statically instead.
+        let parallel_tag = match kind {
+            MapKind::Seq => None,
+            MapKind::Global(d) => Some(("mapGlb", d)),
+            MapKind::WorkGroup(d) => Some(("mapWrg", d)),
+            MapKind::Local(d) => Some(("mapLcl", d)),
+        };
+        if let Some(tag) = parallel_tag {
+            if self.active_parallel.contains(&tag) {
+                return Err(CodegenError::Unsupported(format!(
+                    "nested `{}` loops over dimension {}: both stride the same work-item \
+                     id, so off-diagonal index pairs are computed by no work item; \
+                     distribute the inner map over a different dimension (e.g. `{}` with \
+                     dim 1) or lower it sequentially",
+                    tag.0, tag.1, tag.0
+                )));
+            }
+        }
 
         let (var_base, init, step, parallel_width) = match kind {
             MapKind::Seq => ("i", CExpr::int(0), CExpr::int(1), None),
@@ -1358,7 +1403,13 @@ impl Generator {
         let elem_view = input.clone().access(loop_var.clone());
         let elem_dest = dest.clone().access(loop_var.clone());
         self.nesting += 1;
+        if let Some(tag) = parallel_tag {
+            self.active_parallel.push(tag);
+        }
         let body = self.gen_apply(f, &[elem_view], &[elem_ty], &elem_dest);
+        if parallel_tag.is_some() {
+            self.active_parallel.pop();
+        }
         self.nesting -= 1;
         let body = body?;
 
@@ -1407,20 +1458,19 @@ impl Generator {
             }
         }
 
-        // Synchronisation after parallel local maps (Section 5.4). With barrier elimination
-        // enabled, barriers protecting private results are dropped.
+        // Synchronisation after parallel local maps (Section 5.4). With barrier
+        // elimination enabled no per-loop barrier is emitted at all: `__local` buffers are
+        // fenced once where they finish materialising (see [`Generator::materialise`],
+        // always at uniform work-group-level control flow), and a write to global memory
+        // is never read back within the same kernel (global intermediates split the kernel
+        // sequence, whose boundary is the device-wide barrier), so its fence is dead.
+        // Without elimination every local map keeps its naive trailing barrier — the
+        // unoptimised configuration Figure 8 measures.
         let dest_space = view_space(dest);
         let barrier = match kind {
-            MapKind::Local(_) => match dest_space {
-                AddressSpace::Local => Some(Fence::local()),
+            MapKind::Local(_) if !self.options.barrier_elimination => match dest_space {
+                AddressSpace::Local | AddressSpace::Private => Some(Fence::local()),
                 AddressSpace::Global => Some(Fence::global()),
-                AddressSpace::Private => {
-                    if self.options.barrier_elimination {
-                        None
-                    } else {
-                        Some(Fence::local())
-                    }
-                }
             },
             _ => None,
         };
@@ -2199,6 +2249,7 @@ mod tests {
             views: HashMap::new(),
             counter: 0,
             nesting: 0,
+            active_parallel: Vec::new(),
             temp_buffers: Vec::new(),
             segment_decls: Vec::new(),
         };

@@ -532,3 +532,82 @@ fn two_dimensional_padded_stencil_compiles_as_views() {
     );
     assert_close(&out, &expected);
 }
+
+// --------------------------------------------------------- dimension-handling regressions
+
+/// Two parallel loops of the same kind nested over the *same* dimension both stride the
+/// same work-item id: only the diagonal index pairs would ever be computed, silently
+/// leaving the off-diagonal output cells unwritten. The generator must reject this shape
+/// statically rather than miscompile it.
+#[test]
+fn same_dimension_nested_parallel_maps_are_rejected() {
+    let build = |inner_dim: u8| {
+        let mut p = Program::new("nested");
+        let id = p.user_fun(UserFun::id_float());
+        let inner = p.map_lcl(inner_dim, id);
+        let outer = p.map_lcl(0, inner);
+        let wg = p.map_wrg(0, outer);
+        p.with_root(
+            vec![(
+                "x",
+                Type::array(
+                    Type::array(Type::array(Type::float(), 4usize), 4usize),
+                    4usize,
+                ),
+            )],
+            |p, params| p.apply1(wg, params[0]),
+        );
+        p
+    };
+
+    // mapLcl0 ∘ mapLcl0: rejected with an error naming the dimension.
+    let options = CompilationOptions::all_optimisations().with_launch([4, 4, 1], [4, 4, 1]);
+    let err = compile(&build(0), &options).expect_err("same-dim nesting must not compile");
+    let message = err.to_string();
+    assert!(
+        message.contains("mapLcl") && message.contains("dimension 0"),
+        "unhelpful rejection: {message}"
+    );
+
+    // mapLcl0 ∘ mapLcl1: the 2D distribution compiles and runs correctly.
+    let kernel = compile(&build(1), &options).expect("distinct dims compile");
+    let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    let (out, _) = run_kernel(
+        &kernel,
+        std::slice::from_ref(&input),
+        &Environment::new(),
+        LaunchConfig::d2((4, 4), (4, 4)),
+    );
+    assert_close(&out, &input);
+}
+
+/// The same rejection applies per kind across the hierarchy: `mapWrg0 ∘ mapWrg0` is as
+/// wrong as `mapLcl0 ∘ mapLcl0`, while `mapWrg1 ∘ mapWrg0` (the tiled-MM grid) is fine.
+#[test]
+fn same_dimension_nested_work_group_maps_are_rejected() {
+    let build = |outer_dim: u8| {
+        let mut p = Program::new("grid");
+        let id = p.user_fun(UserFun::id_float());
+        let lcl = p.map_lcl(0, id);
+        let inner_wrg = p.map_wrg(0, lcl);
+        let outer_wrg = p.map_wrg(outer_dim, inner_wrg);
+        p.with_root(
+            vec![(
+                "x",
+                Type::array(
+                    Type::array(Type::array(Type::float(), 4usize), 2usize),
+                    2usize,
+                ),
+            )],
+            |p, params| p.apply1(outer_wrg, params[0]),
+        );
+        p
+    };
+    let options = CompilationOptions::all_optimisations().with_launch([8, 2, 1], [4, 1, 1]);
+    let err = compile(&build(0), &options).expect_err("same-dim work-group nesting rejected");
+    assert!(
+        err.to_string().contains("mapWrg") && err.to_string().contains("dimension 0"),
+        "unhelpful rejection: {err}"
+    );
+    compile(&build(1), &options).expect("mapWrg1 over mapWrg0 compiles");
+}

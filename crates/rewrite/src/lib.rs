@@ -94,7 +94,7 @@ pub use explore::{
     Exploration, ExplorationConfig, ExploreError, Variant,
 };
 pub use provenance::{explain, replay, ExplainedStep, Explanation, ReplayError};
-pub use rules::{all_rules, divides, Rule, RuleCx, RuleKind, RuleOptions};
+pub use rules::{all_rules, divides, Rule, RuleCx, RuleKind, RuleOptions, TileSize};
 pub use term::{beta_normalize, raw_expr_hash, StableHasher, Term, TermError, TermExpr, TermFun};
 pub use traversal::{
     format_location, get, infer_type, replace, sites, Location, NestContext, Site, Step,

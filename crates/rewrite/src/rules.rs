@@ -35,6 +35,53 @@ pub enum RuleKind {
     Lowering,
 }
 
+/// A rectangular tile: `y` rows by `x` columns.
+///
+/// The 1D rules (overlapped stencil tiling) consume only the `x` extent and match only
+/// tiles constructed with [`TileSize::d1`] (`y == 1`); the 2D matrix-tiling rule consumes
+/// genuinely two-dimensional tiles (`y > 1 && x > 1`), pairing the row-tile height with the
+/// column-tile width of one work group's output block.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TileSize {
+    /// Rows per tile (the `dim == 1` extent).
+    pub y: i64,
+    /// Columns per tile (the `dim == 0` extent) — the whole tile for 1D rules.
+    pub x: i64,
+}
+
+impl TileSize {
+    /// A one-dimensional tile of `x` elements (stencil windows per work-group tile).
+    pub const fn d1(x: i64) -> TileSize {
+        TileSize { y: 1, x }
+    }
+
+    /// A two-dimensional tile of `y` rows by `x` columns.
+    pub const fn d2(y: i64, x: i64) -> TileSize {
+        TileSize { y, x }
+    }
+
+    /// Whether this tile is one-dimensional (a single row).
+    pub const fn is_d1(&self) -> bool {
+        self.y == 1
+    }
+}
+
+impl std::fmt::Debug for TileSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.is_d1() {
+            write!(f, "{}", self.x)
+        } else {
+            write!(f, "{}x{}", self.y, self.x)
+        }
+    }
+}
+
+impl std::fmt::Display for TileSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
 /// Numeric knobs the parameterised rules draw from.
 #[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct RuleOptions {
@@ -42,11 +89,13 @@ pub struct RuleOptions {
     pub split_sizes: Vec<i64>,
     /// Candidate vector widths for the vectorisation rule.
     pub vector_widths: Vec<usize>,
-    /// Candidate stencil tile sizes — windows per tile for the overlapped-tiling rules
-    /// (checked for divisibility against the window count, like `split_sizes`). Exposed as
-    /// a tuning dimension: the best tile balances local-memory footprint against the number
+    /// Candidate tile shapes, a tuning dimension in both tiling rule families: 1D tiles
+    /// ([`TileSize::d1`]) are windows per tile for the overlapped stencil tiling, 2D tiles
+    /// ([`TileSize::d2`]) are the output row/column block one work group computes in the
+    /// matrix tiling. Divisibility against the tiled extents is arithmetically checked,
+    /// like `split_sizes`; the best tile balances local-memory footprint against the number
     /// of work groups.
-    pub tile_sizes: Vec<i64>,
+    pub tile_sizes: Vec<TileSize>,
 }
 
 impl Default for RuleOptions {
@@ -54,7 +103,7 @@ impl Default for RuleOptions {
         RuleOptions {
             split_sizes: vec![2, 4, 8],
             vector_widths: vec![4],
-            tile_sizes: vec![32, 64],
+            tile_sizes: vec![TileSize::d1(32), TileSize::d1(64)],
         }
     }
 }
@@ -95,15 +144,28 @@ impl RuleCx<'_> {
     }
 
     /// Stencil tile sizes (windows per tile) that provably divide the window count without
-    /// degenerating into "one tile covers everything".
+    /// degenerating into "one tile covers everything". Only 1D tiles participate — a 2D
+    /// tile shape addresses the matrix-tiling rule, not the stencil family.
     fn dividing_tiles(&self, window_count: &ArithExpr) -> Vec<i64> {
         self.options
             .tile_sizes
             .iter()
-            .copied()
+            .filter(|t| t.is_d1())
+            .map(|t| t.x)
             .filter(|v| {
                 *v > 1 && divides(*v, window_count) && window_count.as_cst().is_none_or(|w| *v < w)
             })
+            .collect()
+    }
+
+    /// 2D tile shapes whose row extent provably divides `rows` and column extent provably
+    /// divides `cols` (both extents must be genuine, i.e. greater than one).
+    fn dividing_tile_pairs(&self, rows: &ArithExpr, cols: &ArithExpr) -> Vec<TileSize> {
+        self.options
+            .tile_sizes
+            .iter()
+            .copied()
+            .filter(|t| t.y > 1 && t.x > 1 && divides(t.y, rows) && divides(t.x, cols))
             .collect()
     }
 }
@@ -239,6 +301,11 @@ pub fn all_rules() -> &'static [Rule] {
             kind: RuleKind::Lowering,
             apply: stencil_wrg_tiling,
         },
+        Rule {
+            name: "mm-tiled-2d",
+            kind: RuleKind::Lowering,
+            apply: mm_tiled_2d,
+        },
         // ----------------------------------------------------------- lowering
         Rule {
             name: "map-to-mapSeq",
@@ -334,6 +401,25 @@ fn expr_contains_parallel(e: &TermExpr) -> bool {
         TermExpr::Literal(_) | TermExpr::Param(_) => false,
         TermExpr::Apply { f, args } => {
             fun_contains_parallel(f) || args.iter().any(expr_contains_parallel)
+        }
+    }
+}
+
+/// Whether `name` occurs as a parameter reference anywhere in the expression. Conservative
+/// about shadowing (an occurrence under a rebinding lambda still counts), which only makes
+/// the rules using it decline more sites than strictly necessary.
+fn expr_uses_param(e: &TermExpr, name: &str) -> bool {
+    fn fun_uses(f: &TermFun, name: &str) -> bool {
+        match f {
+            TermFun::Lambda { body, .. } => expr_uses_param(body, name),
+            other => other.nested().is_some_and(|g| fun_uses(g, name)),
+        }
+    }
+    match e {
+        TermExpr::Literal(_) => false,
+        TermExpr::Param(p) => p == name,
+        TermExpr::Apply { f, args } => {
+            fun_uses(f, name) || args.iter().any(|a| expr_uses_param(a, name))
         }
     }
 }
@@ -900,6 +986,200 @@ fn stencil_wrg_tiling(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
         .collect()
 }
 
+/// The 2D tiled/register-blocked lowering of matrix multiplication, in one step — the
+/// `split∘transpose∘split` tile formation of the paper's Table 1 kernel. It matches the
+/// high-level shape
+///
+/// `map(λrow. join(map(g)(transpose(B))))(A)`
+///
+/// (each output row pairs one row of `A : [m][k]` against every column of `B : [k][n]`
+/// through `g`) and rewrites it, per dividing 2D tile `(tm, tn)`, into
+///
+/// `join ∘ mapWrg¹(λatile. transpose ∘ join ∘ mapWrg⁰(λbtile. …) ∘ split tn ∘ transpose(B))
+///  ∘ split tm(A)`
+///
+/// where each work group computes one `tm × tn` output block: both the `A`-row tile and the
+/// `B`-column tile are staged cooperatively in `__local` memory (2D-distributed
+/// `mapLcl⁰/mapLcl¹` copies, so every element crosses the global-memory bus once per tile
+/// instead of once per output element), the compute nest distributes columns over `mapLcl⁰`
+/// and rows over `mapLcl¹`, and each work item register-blocks its `A` row through a
+/// `toPrivate` copy before running the original per-element computation `g` — kept intact
+/// as a redex `(λrow. g(bcol))(arowp)`, so the remaining high-level `map`/`reduce` inside
+/// lower through the ordinary rules afterwards.
+fn mm_tiled_2d(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
+    let Some((f, a)) = as_map(site) else {
+        return Vec::new();
+    };
+    if cx.context.inside_iterate || !cx.context.is_top_level() || fun_contains_parallel(f) {
+        return Vec::new();
+    }
+    // f = λrow. join(map(g)(transpose(b))), with b independent of the row.
+    let TermFun::Lambda { params, body } = f else {
+        return Vec::new();
+    };
+    let [row] = params.as_slice() else {
+        return Vec::new();
+    };
+    let TermExpr::Apply {
+        f: TermFun::Join,
+        args,
+    } = body.as_ref()
+    else {
+        return Vec::new();
+    };
+    let [inner] = args.as_slice() else {
+        return Vec::new();
+    };
+    let Some((g, cols)) = as_map(inner) else {
+        return Vec::new();
+    };
+    if !matches!(g, TermFun::Lambda { params, .. } if params.len() == 1) {
+        return Vec::new();
+    }
+    let TermExpr::Apply {
+        f: TermFun::Transpose,
+        args: t_args,
+    } = cols
+    else {
+        return Vec::new();
+    };
+    let [b] = t_args.as_slice() else {
+        return Vec::new();
+    };
+    if expr_uses_param(b, row) {
+        return Vec::new();
+    }
+    // A : [m][k]float (the cooperative copies and the register blocking are float copies).
+    let Some((a_row, m)) = cx.arg0_array() else {
+        return Vec::new();
+    };
+    if !a_row
+        .as_array()
+        .is_some_and(|(elem, _)| *elem == Type::float())
+    {
+        return Vec::new();
+    }
+    // B : [k][n]float — the column count bounds the x tile extent.
+    let Some(n) = infer_type(b, cx.env).and_then(|t| {
+        let (b_row, _) = t.as_array()?;
+        let (b_elem, n) = b_row.as_array()?;
+        (*b_elem == Type::float()).then(|| n.clone())
+    }) else {
+        return Vec::new();
+    };
+    let id_copy = || TermFun::UserFun(lift_ir::UserFun::id_float());
+    cx.dividing_tile_pairs(&m, &n)
+        .into_iter()
+        .map(|tile| {
+            let atile = cx.fresh.next("atile");
+            let btile = cx.fresh.next("btile");
+            let atl = cx.fresh.next("atl");
+            let btl = cx.fresh.next("btl");
+            let bcol = cx.fresh.next("bcol");
+            let arow = cx.fresh.next("arow");
+            // Register blocking: each work item copies its A row to private memory once,
+            // then runs the original per-element computation with `row` rebound to the
+            // private copy and `g` applied to the work item's B column.
+            let arow_private = TermExpr::apply1(
+                TermFun::ToPrivate(Box::new(TermFun::MapSeq(Box::new(id_copy())))),
+                TermExpr::Param(arow.clone()),
+            );
+            let per_pair = TermExpr::apply1(
+                TermFun::Lambda {
+                    params: vec![row.clone()],
+                    body: Box::new(TermExpr::apply1(g.clone(), TermExpr::Param(bcol.clone()))),
+                },
+                arow_private,
+            );
+            let per_arow = TermFun::Lambda {
+                params: vec![arow],
+                body: Box::new(per_pair),
+            };
+            // Compute nest over the staged tiles: columns on dim 0, rows on dim 1; the
+            // join collapses the per-pair `[1]float` reduction results into the column.
+            let column_block = TermExpr::apply1(
+                TermFun::Join,
+                TermExpr::apply1(
+                    TermFun::MapLcl(1, Box::new(per_arow)),
+                    TermExpr::Param(atl.clone()),
+                ),
+            );
+            let compute = TermExpr::apply1(
+                TermFun::MapLcl(
+                    0,
+                    Box::new(TermFun::Lambda {
+                        params: vec![bcol],
+                        body: Box::new(column_block),
+                    }),
+                ),
+                TermExpr::Param(btl.clone()),
+            );
+            // Cooperative staging: both tiles land in local memory through 2D-distributed
+            // work-item copies (each tile's copy loops over the dimensions in its own
+            // natural order, so consecutive work items copy consecutive elements).
+            let atile_staged = TermExpr::apply1(
+                TermFun::ToLocal(Box::new(TermFun::MapLcl(
+                    1,
+                    Box::new(TermFun::MapLcl(0, Box::new(id_copy()))),
+                ))),
+                TermExpr::Param(atile.clone()),
+            );
+            let btile_staged = TermExpr::apply1(
+                TermFun::ToLocal(Box::new(TermFun::MapLcl(
+                    0,
+                    Box::new(TermFun::MapLcl(1, Box::new(id_copy()))),
+                ))),
+                TermExpr::Param(btile.clone()),
+            );
+            let with_atl = TermExpr::apply1(
+                TermFun::Lambda {
+                    params: vec![atl],
+                    body: Box::new(compute),
+                },
+                atile_staged,
+            );
+            let per_col_tile = TermFun::Lambda {
+                params: vec![btile],
+                body: Box::new(TermExpr::apply1(
+                    TermFun::Lambda {
+                        params: vec![btl],
+                        body: Box::new(with_atl),
+                    },
+                    btile_staged,
+                )),
+            };
+            // Tile formation: split tm over A's rows (dim 1 of the launch grid), split tn
+            // over transpose(B)'s rows, i.e. B's columns (dim 0); the trailing
+            // join/transpose/join un-tile the [m/tm][tm][n] blocks back to [m][n] purely
+            // through views.
+            let btiles = TermExpr::apply1(
+                TermFun::Split(ArithExpr::cst(tile.x)),
+                TermExpr::apply1(TermFun::Transpose, (*b).clone()),
+            );
+            let row_block = TermExpr::apply1(
+                TermFun::Transpose,
+                TermExpr::apply1(
+                    TermFun::Join,
+                    TermExpr::apply1(TermFun::MapWrg(0, Box::new(per_col_tile)), btiles),
+                ),
+            );
+            TermExpr::apply1(
+                TermFun::Join,
+                TermExpr::apply1(
+                    TermFun::MapWrg(
+                        1,
+                        Box::new(TermFun::Lambda {
+                            params: vec![atile],
+                            body: Box::new(row_block),
+                        }),
+                    ),
+                    TermExpr::apply1(TermFun::Split(ArithExpr::cst(tile.y)), a.clone()),
+                ),
+            )
+        })
+        .collect()
+}
+
 // ------------------------------------------------------------------ lowering rules
 
 /// `map` → `mapSeq` (legal anywhere).
@@ -961,18 +1241,23 @@ fn map_to_wrg_lcl(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
         .collect()
 }
 
-/// `map` → `mapLcl⁰`: only directly inside a `mapWrg`.
+/// `map` → `mapLcl⁽ᵈ⁾`: only inside a `mapWrg`, and only along work-group dimensions `d`
+/// that do not already carry a local loop at this site — distributing twice over the same
+/// dimension would make distinct iterations share work items. Inside a 1D `mapWrg⁰` this
+/// yields exactly the old `mapLcl⁰` lowering; inside a 2D nest each still-free dimension is
+/// offered.
 fn map_to_map_lcl(site: &TermExpr, cx: &mut RuleCx) -> Vec<TermExpr> {
     let Some((f, x)) = as_map(site) else {
         return Vec::new();
     };
-    if !cx.context.inside_wrg || cx.context.inside_lcl || fun_contains_parallel(f) {
+    if !cx.context.inside_wrg || fun_contains_parallel(f) {
         return Vec::new();
     }
-    vec![TermExpr::apply1(
-        TermFun::MapLcl(0, Box::new(f.clone())),
-        x.clone(),
-    )]
+    let free = cx.context.wrg_dims & !cx.context.lcl_dims;
+    (0u8..8)
+        .filter(|d| free & (1 << d) != 0)
+        .map(|d| TermExpr::apply1(TermFun::MapLcl(d, Box::new(f.clone())), x.clone()))
+        .collect()
 }
 
 /// `map f` → `asScalar ∘ map(mapVec f) ∘ asVector w` for unary scalar user functions over
@@ -1106,7 +1391,7 @@ mod tests {
         let options = RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![2],
-            tile_sizes: vec![2, 4],
+            tile_sizes: vec![TileSize::d1(2), TileSize::d1(4)],
         };
         let mut fresh = term.fresh;
         for site in sites(&term) {
@@ -1342,7 +1627,7 @@ mod tests {
         let options = RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
-            tile_sizes: vec![2, 4],
+            tile_sizes: vec![TileSize::d1(2), TileSize::d1(4)],
         };
         let mut fresh = term.fresh;
         for site in sites(&term) {

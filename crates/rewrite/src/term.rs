@@ -334,10 +334,10 @@ pub fn beta_normalize(e: &TermExpr) -> TermExpr {
             if let TermFun::Lambda { params, body } = &f {
                 let cheap = |a: &TermExpr| matches!(a, TermExpr::Param(_) | TermExpr::Literal(_));
                 let inlinable = params.len() == args.len()
-                    && params
-                        .iter()
-                        .zip(&args)
-                        .all(|(p, a)| cheap(a) || count_uses(body, p) <= 1);
+                    && params.iter().zip(&args).all(|(p, a)| {
+                        cheap(a)
+                            || (count_uses(body, p) <= 1 && uses_under_binder(body, p) == 0)
+                    });
                 if inlinable {
                     let mut inlined = (**body).clone();
                     let bindings: HashMap<&String, &TermExpr> = params.iter().zip(&args).collect();
@@ -362,6 +362,25 @@ fn normalize_fun(f: &TermFun) -> TermFun {
                 *nested = normalize_fun(nested);
             }
             out
+        }
+    }
+}
+
+/// Uses of `name` that sit under a *multiplying* binder: the body of a lambda nested inside
+/// a pattern function (`map(λy. …name…)`, `reduce(λacc x. …name…)`, …), which runs once per
+/// element. Substituting an argument into such a position duplicates its work — and, worse,
+/// moves any memory placement it carries (`toLocal` cooperative staging bound outside a
+/// `mapLcl` nest) into a per-work-item context, turning a work-group-level copy into a data
+/// race. A directly applied lambda (`(λx. …)(a)`) runs once, so its body is transparent.
+fn uses_under_binder(e: &TermExpr, name: &str) -> usize {
+    match e {
+        TermExpr::Literal(_) | TermExpr::Param(_) => 0,
+        TermExpr::Apply { f, args } => {
+            let in_f = match f {
+                TermFun::Lambda { body, .. } => uses_under_binder(body, name),
+                other => other.nested().map_or(0, |_| count_uses_fun(other, name)),
+            };
+            in_f + args.iter().map(|a| uses_under_binder(a, name)).sum::<usize>()
         }
     }
 }

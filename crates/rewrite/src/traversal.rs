@@ -57,6 +57,13 @@ pub struct NestContext {
     pub inside_wrg: bool,
     /// Inside the function of a `mapLcl`.
     pub inside_lcl: bool,
+    /// Which `mapWrg` dimensions enclose the site, as a bitmask (bit `d` set ⇔ inside a
+    /// `mapWrg(d)`). The boolean flags collapse dimensions; 2D rules need them apart — a
+    /// `map` under `mapWrg(1)` may still lower to `mapLcl(1)` but must not nest a second
+    /// dimension-1 work-group loop.
+    pub wrg_dims: u8,
+    /// Which `mapLcl` dimensions enclose the site (bit `d` set ⇔ inside a `mapLcl(d)`).
+    pub lcl_dims: u8,
     /// Inside a sequential region (`mapSeq`, `mapVec` or a reduction operator).
     pub inside_seq: bool,
     /// Inside the function of a high-level `map`/`reduce` whose parallelism is undecided.
@@ -314,8 +321,14 @@ fn walk_fun(
                 TermFun::Map(_) => inner.inside_pending = true,
                 TermFun::MapSeq(_) => inner.inside_seq = true,
                 TermFun::MapGlb(..) => inner.inside_glb = true,
-                TermFun::MapWrg(..) => inner.inside_wrg = true,
-                TermFun::MapLcl(..) => inner.inside_lcl = true,
+                TermFun::MapWrg(d, _) => {
+                    inner.inside_wrg = true;
+                    inner.wrg_dims |= 1u8 << (*d).min(7);
+                }
+                TermFun::MapLcl(d, _) => {
+                    inner.inside_lcl = true;
+                    inner.lcl_dims |= 1u8 << (*d).min(7);
+                }
                 _ => unreachable!(),
             }
             let elem = elem_len.as_ref().map(|(e, _)| e.clone());

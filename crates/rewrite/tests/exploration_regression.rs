@@ -149,7 +149,7 @@ fn null_collector_results_match_the_committed_baseline() {
     assert_eq!(result.variants.len(), 4);
     let best = &result.variants[0];
     assert!(
-        (best.estimated_time - 19060.278).abs() < 1e-2,
+        (best.estimated_time - 19039.903).abs() < 1e-2,
         "best estimated time drifted: {}",
         best.estimated_time
     );
@@ -213,7 +213,7 @@ fn two_level_candidates() -> Vec<Term> {
     let options = RuleOptions {
         split_sizes: vec![2, 4],
         vector_widths: vec![4],
-        tile_sizes: vec![2, 4],
+        tile_sizes: vec![lift_rewrite::TileSize::d1(2), lift_rewrite::TileSize::d1(4)],
     };
     let mut all = vec![root.clone()];
     let depth1 = derive_once(&root, &options);

@@ -15,7 +15,7 @@ use lift_vgpu::LaunchConfig;
 /// The derived (Table 1) workloads the auto-tuner tracks, at small sizes, with a search
 /// budget that keeps this test fast while still producing lowered candidates for each.
 fn workloads() -> Vec<(&'static str, Program, ExplorationConfig)> {
-    let base = |tiles: Vec<i64>| ExplorationConfig {
+    let base = |tiles: Vec<lift_rewrite::TileSize>| ExplorationConfig {
         max_depth: 5,
         beam_width: 24,
         max_candidates: 600,
@@ -48,11 +48,11 @@ fn workloads() -> Vec<(&'static str, Program, ExplorationConfig)> {
         (
             "convolution_1d",
             convolution::high_level_program(64, convolution::FILTER),
-            base(vec![2]),
+            base(vec![lift_rewrite::TileSize::d1(2)]),
         ),
         ("jacobi_2d", jacobi::high_level_program(6, 8), {
             // The 2D Jacobi pipeline needs ~9 lowering steps (see `autotune_config`).
-            let mut c = base(vec![2]);
+            let mut c = base(vec![lift_rewrite::TileSize::d1(2)]);
             c.max_depth = 10;
             c.beam_width = 32;
             c.max_candidates = 6000;

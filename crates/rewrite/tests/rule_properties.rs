@@ -130,7 +130,7 @@ fn random_derivation_preserves(subject: Subject, choices: &[usize], seed: u32) {
     let options = RuleOptions {
         split_sizes: vec![2, 4],
         vector_widths: vec![2, 4],
-        tile_sizes: vec![2, 4],
+        tile_sizes: vec![lift_rewrite::TileSize::d1(2), lift_rewrite::TileSize::d1(4)],
     };
     let mut term = Term::from_program(&program).expect("term conversion");
     for &choice in choices {

@@ -12,13 +12,20 @@ use rand::{Rng, SeedableRng};
 use crate::space::{PointIndex, TuningSpace};
 use crate::tuner::TuneError;
 
+/// Number of distinct sampled points a [`Strategy::RandomHillClimb`] hill-climbs from, best
+/// first. The memoised evaluator makes revisits across climbs free.
+pub const CLIMB_STARTS: usize = 3;
+
 /// How the tuner walks the space.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Strategy {
     /// Evaluate every point of the grid. Right for small spaces (hundreds of points).
     Exhaustive,
-    /// Evaluate `samples` seeded-random points, then steepest-descent hill-climb from the
-    /// best one along the grid axes for at most `max_steps` moves. Right for large spaces
+    /// Evaluate `samples` seeded-random points, then steepest-descent hill-climb along the
+    /// grid axes for at most `max_steps` moves from each of the best
+    /// [`CLIMB_STARTS`] distinct samples. Multi-start matters on 2D launch spaces: the
+    /// best sample can sit in a basin far (in the move graph) from the true optimum — a
+    /// climb from a worse sample in the right region then wins. Right for large spaces
     /// where the exhaustive grid is too expensive.
     RandomHillClimb {
         /// PRNG seed; equal seeds reproduce the identical search.
@@ -59,7 +66,7 @@ pub(crate) fn drive(
         } => {
             let mut rng = StdRng::seed_from_u64(*seed);
             let [s, w, t, l] = space.dims();
-            let mut best: Option<(f64, PointIndex)> = None;
+            let mut sampled: Vec<(f64, PointIndex)> = Vec::new();
             collector.span_begin("sample");
             for _ in 0..*samples {
                 let index = PointIndex {
@@ -69,36 +76,36 @@ pub(crate) fn drive(
                     launch: rng.gen_range(0..l),
                 };
                 if let Some(t) = eval(index)? {
-                    if best.is_none_or(|(bt, _)| t < bt) {
-                        best = Some((t, index));
-                    }
+                    sampled.push((t, index));
                 }
             }
             collector.span_end("sample");
-            let Some((mut best_time, mut at)) = best else {
-                return Ok(());
-            };
+            sampled.sort_by(|a, b| a.0.total_cmp(&b.0));
+            sampled.dedup_by(|a, b| a.1 == b.1);
+            sampled.truncate(CLIMB_STARTS);
             collector.span_begin("climb");
-            for step in 0..*max_steps as u32 {
-                let mut moved = false;
-                for neighbour in space.neighbours(at) {
-                    if let Some(t) = eval(neighbour)? {
-                        if t < best_time {
-                            best_time = t;
-                            at = neighbour;
-                            moved = true;
+            for (mut best_time, mut at) in sampled {
+                for step in 0..*max_steps as u32 {
+                    let mut moved = false;
+                    for neighbour in space.neighbours(at) {
+                        if let Some(t) = eval(neighbour)? {
+                            if t < best_time {
+                                best_time = t;
+                                at = neighbour;
+                                moved = true;
+                            }
                         }
                     }
-                }
-                if !moved {
-                    break;
-                }
-                if collector.enabled() {
-                    collector.record(Event::TunerMove {
-                        step,
-                        to: label(at),
-                        best_time,
-                    });
+                    if !moved {
+                        break;
+                    }
+                    if collector.enabled() {
+                        collector.record(Event::TunerMove {
+                            step,
+                            to: label(at),
+                            best_time,
+                        });
+                    }
                 }
             }
             collector.span_end("climb");

@@ -8,7 +8,7 @@
 //! [`lift_rewrite::enumerate`]/[`lift_rewrite::Enumerated::score`] API exposes: points that
 //! share rule options share one enumeration.
 
-use lift_rewrite::RuleOptions;
+use lift_rewrite::{RuleOptions, TileSize};
 use lift_vgpu::{DeviceProfile, LaunchConfig};
 
 /// A coordinate in the tuning grid.
@@ -42,8 +42,9 @@ pub struct TuningSpace {
     pub split_sets: Vec<Vec<i64>>,
     /// Candidate `RuleOptions::vector_widths` sets.
     pub width_sets: Vec<Vec<usize>>,
-    /// Candidate `RuleOptions::tile_sizes` sets (stencil windows per work-group tile).
-    pub tile_sets: Vec<Vec<i64>>,
+    /// Candidate `RuleOptions::tile_sizes` sets (1D stencil windows per work-group tile, or
+    /// 2D `rows × cols` tile/block pairs for the tiled-MM family).
+    pub tile_sets: Vec<Vec<TileSize>>,
     /// Candidate launch configurations (all valid for the target device).
     pub launches: Vec<LaunchConfig>,
 }
@@ -86,9 +87,44 @@ impl TuningSpace {
         }
     }
 
+    /// A genuinely two-dimensional space for a device and a `rows × cols` problem grid. It
+    /// contains every launch of the 1D space (sized for `rows`, the outer map — so every 1D
+    /// best stays reachable) plus real 2D launches: local shapes `(y, x)` over the powers of
+    /// two from `2 × 2` up to the device's per-axis and work-group limits, and global shapes
+    /// extending each local axis by power-of-two group counts up to the (power-of-two
+    /// rounded) problem extent, capped at 512 total work items to bound virtual-GPU cost.
+    /// Every launch validates on `device`.
+    pub fn d2_for_device(device: &DeviceProfile, rows: usize, cols: usize) -> TuningSpace {
+        let mut space = TuningSpace::d1_for_device(device, rows);
+        let cap_y = rows.next_power_of_two();
+        let cap_x = cols.next_power_of_two();
+        for ly in [2usize, 4, 8, 16] {
+            for lx in [2usize, 4, 8, 16] {
+                if ly * lx > device.max_work_group_size
+                    || lx > device.max_work_item_sizes[0]
+                    || ly > device.max_work_item_sizes[1]
+                {
+                    continue;
+                }
+                let mut gy = ly;
+                while gy <= cap_y.max(ly) {
+                    let mut gx = lx;
+                    while gx <= cap_x.max(lx) {
+                        if gy * gx <= 512 {
+                            space.launches.push(LaunchConfig::d2((gx, gy), (lx, ly)));
+                        }
+                        gx *= 2;
+                    }
+                    gy *= 2;
+                }
+            }
+        }
+        space
+    }
+
     /// Replaces the tile-size dimension (builder-style), turning the stencil tile size into
     /// a searched axis.
-    pub fn with_tile_sets(mut self, tile_sets: Vec<Vec<i64>>) -> TuningSpace {
+    pub fn with_tile_sets(mut self, tile_sets: Vec<Vec<TileSize>>) -> TuningSpace {
         assert!(!tile_sets.is_empty(), "at least one tile set is required");
         self.tile_sets = tile_sets;
         self
@@ -148,7 +184,9 @@ impl TuningSpace {
         })
     }
 
-    /// The (up to eight) axis neighbours of `index`: one step along each dimension.
+    /// The axis neighbours of `index`: one step along each of the split/width/tile
+    /// dimensions, plus the launch moves (axis steps and the connectivity bridges — see
+    /// below).
     pub fn neighbours(&self, index: PointIndex) -> Vec<PointIndex> {
         let [s, w, t, l] = self.dims();
         let mut out = Vec::with_capacity(8);
@@ -188,20 +226,46 @@ impl TuningSpace {
                 ..index
             });
         }
-        if index.launch > 0 {
-            out.push(PointIndex {
-                launch: index.launch - 1,
-                ..index
-            });
+        // Launch moves are the axis steps (one extent doubled/halved — what makes the
+        // launch axis genuinely 2D) PLUS the enumeration-order neighbours. The latter keep
+        // the axis globally connected: the axis-step graph alone has islands — no single
+        // doubling bridges a `(2,2)`-local 2D launch to the 1D family — and a hill climb
+        // must be able to cross between them.
+        let mut launch_moves: Vec<usize> = (0..l)
+            .filter(|&j| {
+                j != index.launch
+                    && is_axis_step(&self.launches[index.launch], &self.launches[j])
+            })
+            .collect();
+        if index.launch > 0 && !launch_moves.contains(&(index.launch - 1)) {
+            launch_moves.push(index.launch - 1);
         }
-        if index.launch + 1 < l {
-            out.push(PointIndex {
-                launch: index.launch + 1,
-                ..index
-            });
+        if index.launch + 1 < l && !launch_moves.contains(&(index.launch + 1)) {
+            launch_moves.push(index.launch + 1);
         }
+        out.extend(launch_moves.into_iter().map(|launch| PointIndex { launch, ..index }));
         out
     }
+}
+
+/// Whether `b` is one hill-climb move from `a` along the launch grid: exactly one of the six
+/// global/local axis extents doubled or halved, all others equal. This is what makes the
+/// launch axis genuinely 2D — a `(16,16)/(8,8)` launch reaches `(16,16)/(8,4)` and
+/// `(16,32)/(8,8)` in one move each, along either axis independently.
+fn is_axis_step(a: &LaunchConfig, b: &LaunchConfig) -> bool {
+    let axes = a.global.iter().chain(a.local.iter()).zip(b.global.iter().chain(b.local.iter()));
+    let mut steps = 0usize;
+    for (&x, &y) in axes {
+        if x == y {
+            continue;
+        }
+        if y == x * 2 || x == y * 2 {
+            steps += 1;
+        } else {
+            return false;
+        }
+    }
+    steps == 1
 }
 
 #[cfg(test)]
@@ -242,9 +306,61 @@ mod tests {
     }
 
     #[test]
+    fn d2_space_contains_valid_2d_launches_and_all_1d_launches() {
+        for device in [DeviceProfile::nvidia(), DeviceProfile::amd()] {
+            let d1 = TuningSpace::d1_for_device(&device, 16);
+            let d2 = TuningSpace::d2_for_device(&device, 16, 16);
+            for launch in &d1.launches {
+                assert!(d2.launches.contains(launch), "1D best unreachable: {launch:?}");
+            }
+            let mut saw_2d = false;
+            for launch in &d2.launches {
+                assert_eq!(device.validate_launch(launch), Ok(()), "{launch:?}");
+                if launch.global[1] > 1 {
+                    saw_2d = true;
+                    assert!(launch.local[1] > 1 && launch.global[0] * launch.global[1] <= 512);
+                }
+            }
+            assert!(saw_2d, "expected genuinely 2D launches on {}", device.name);
+        }
+    }
+
+    #[test]
+    fn launch_neighbours_are_single_axis_doubling_moves() {
+        let space = TuningSpace::d2_for_device(&DeviceProfile::nvidia(), 16, 16);
+        let from = space
+            .launches
+            .iter()
+            .position(|l| l.global == [16, 16, 1] && l.local == [8, 8, 1])
+            .expect("the exact-fit 2D launch is in the space");
+        let index = PointIndex { split_set: 0, width_set: 0, tile_set: 0, launch: from };
+        let launch_moves: Vec<&LaunchConfig> = space
+            .neighbours(index)
+            .into_iter()
+            .filter(|n| n.launch != from)
+            .map(|n| &space.launches[n.launch])
+            .collect();
+        assert!(!launch_moves.is_empty());
+        // Every move is an axis step, except the (at most two) enumeration-order bridges
+        // that keep the launch axis globally connected.
+        let non_steps = launch_moves
+            .iter()
+            .filter(|moved| !is_axis_step(&space.launches[from], moved))
+            .count();
+        assert!(non_steps <= 2, "{non_steps} non-axis-step moves");
+        // Both axes are reachable independently: an x-axis move and a y-axis move exist.
+        assert!(launch_moves
+            .iter()
+            .any(|l| l.global[0] != 16 || l.local[0] != 8));
+        assert!(launch_moves
+            .iter()
+            .any(|l| l.global[1] != 16 || l.local[1] != 8));
+    }
+
+    #[test]
     fn neighbours_stay_in_bounds_and_differ_in_one_coordinate() {
         let space = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64)
-            .with_tile_sets(vec![vec![8], vec![8, 16]]);
+            .with_tile_sets(vec![vec![TileSize::d1(8)], vec![TileSize::d1(8), TileSize::d1(16)]]);
         let [s, w, t, l] = space.dims();
         for index in space.indices() {
             for n in space.neighbours(index) {

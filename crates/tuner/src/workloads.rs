@@ -3,6 +3,7 @@
 
 use lift_benchmarks::{convolution, dot_product, jacobi, mm, nbody};
 use lift_ir::Program;
+use lift_rewrite::TileSize;
 use lift_vgpu::DeviceProfile;
 
 use crate::space::TuningSpace;
@@ -17,9 +18,12 @@ pub struct Workload {
     /// Number of data-parallel elements, used to size the launch space (see
     /// [`TuningSpace::d1_for_device`] for how global sizes derive from it).
     pub parallelism: usize,
-    /// Candidate `RuleOptions::tile_sizes` sets for the stencil workloads (empty for
+    /// Candidate `RuleOptions::tile_sizes` sets for the tiled workloads (empty for
     /// workloads without a tiling dimension — the space keeps its singleton default).
-    pub tile_sets: Vec<Vec<i64>>,
+    pub tile_sets: Vec<Vec<TileSize>>,
+    /// `Some((rows, cols))` for workloads whose launch space should be genuinely 2D (see
+    /// [`TuningSpace::d2_for_device`]); `None` keeps the 1D space.
+    pub grid_2d: Option<(usize, usize)>,
 }
 
 impl Workload {
@@ -30,6 +34,7 @@ impl Workload {
             program: dot_product::high_level_program(512),
             parallelism: 512,
             tile_sets: Vec::new(),
+            grid_2d: None,
         }
     }
 
@@ -40,6 +45,7 @@ impl Workload {
             program: mm::high_level_program(16, 16, 16),
             parallelism: 16,
             tile_sets: Vec::new(),
+            grid_2d: None,
         }
     }
 
@@ -51,6 +57,7 @@ impl Workload {
             program: nbody::high_level_program(48),
             parallelism: 48,
             tile_sets: Vec::new(),
+            grid_2d: None,
         }
     }
 
@@ -62,7 +69,12 @@ impl Workload {
             name: "convolution_1d",
             program: convolution::high_level_program(256, convolution::FILTER),
             parallelism: 256,
-            tile_sets: vec![vec![16], vec![16, 32], vec![32, 64]],
+            tile_sets: vec![
+                vec![TileSize::d1(16)],
+                vec![TileSize::d1(16), TileSize::d1(32)],
+                vec![TileSize::d1(32), TileSize::d1(64)],
+            ],
+            grid_2d: None,
         }
     }
 
@@ -74,7 +86,12 @@ impl Workload {
             name: "jacobi_2d",
             program: jacobi::high_level_program(8, 12),
             parallelism: 8,
-            tile_sets: vec![vec![2], vec![4], vec![2, 4]],
+            tile_sets: vec![
+                vec![TileSize::d1(2)],
+                vec![TileSize::d1(4)],
+                vec![TileSize::d1(2), TileSize::d1(4)],
+            ],
+            grid_2d: Some((8, 12)),
         }
     }
 
@@ -91,6 +108,27 @@ impl Workload {
             // Stage 1 parallelism: one work item per 128-element chunk.
             parallelism: 1024 / 128,
             tile_sets: Vec::new(),
+            grid_2d: None,
+        }
+    }
+
+    /// The 2D tiled/register-blocked matrix multiplication (`16 × 16 × 16`): the same
+    /// high-level program as [`Workload::matrix_multiply`], but searched with 2D `rows ×
+    /// cols` tile pairs (feeding the `mm-tiled-2d` rule's `split∘transpose∘split` tile
+    /// formation) over a genuinely 2D launch grid. Kept as a separate workload so the perf
+    /// gate can compare the tuned tiled schedule against the committed 1D best.
+    pub fn mm_tiled() -> Workload {
+        Workload {
+            name: "mm_tiled",
+            program: mm::high_level_program(16, 16, 16),
+            parallelism: 16,
+            tile_sets: vec![
+                vec![TileSize::d2(4, 4)],
+                vec![TileSize::d2(8, 8)],
+                vec![TileSize::d2(4, 8)],
+                vec![TileSize::d2(4, 4), TileSize::d2(8, 8)],
+            ],
+            grid_2d: Some((16, 16)),
         }
     }
 
@@ -103,12 +141,16 @@ impl Workload {
             Workload::dot_product_two_stage(),
             Workload::convolution_1d(),
             Workload::jacobi_2d(),
+            Workload::mm_tiled(),
         ]
     }
 
     /// The default tuning space for this workload on `device`.
     pub fn space_for(&self, device: &DeviceProfile) -> TuningSpace {
-        let space = TuningSpace::d1_for_device(device, self.parallelism);
+        let space = match self.grid_2d {
+            Some((rows, cols)) => TuningSpace::d2_for_device(device, rows, cols),
+            None => TuningSpace::d1_for_device(device, self.parallelism),
+        };
         if self.tile_sets.is_empty() {
             space
         } else {

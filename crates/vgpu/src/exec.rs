@@ -2646,6 +2646,71 @@ mod tests {
     }
 
     #[test]
+    fn race_detector_distinguishes_work_item_dimensions() {
+        // Two work items that differ ONLY in their dimension-1 id write different values
+        // to the same local cell: `tmp[l0] = in[g0] + (float)l1`. A detector that collapsed
+        // the id space to dimension 0 would see one thread re-writing its own cell and stay
+        // silent; distinguishing dimensions makes it a write-write race.
+        let mut m = Module::new();
+        m.kernels.push(Kernel {
+            name: "dim1".into(),
+            params: vec![
+                KernelParam {
+                    name: "in".into(),
+                    ty: CType::const_restrict_pointer(CType::Float, AddrSpace::Global),
+                },
+                KernelParam {
+                    name: "out".into(),
+                    ty: CType::pointer(CType::Float, AddrSpace::Global),
+                },
+            ],
+            body: vec![
+                CStmt::Decl {
+                    ty: CType::Float,
+                    name: "tmp".into(),
+                    addr: Some(AddrSpace::Local),
+                    array_len: Some(ArithExpr::cst(4)),
+                    init: None,
+                },
+                CStmt::Assign {
+                    lhs: CExpr::var("tmp").at(CExpr::local_id(0)),
+                    rhs: CExpr::var("in")
+                        .at(CExpr::global_id(0))
+                        .add(CExpr::Cast(CType::Float, Box::new(CExpr::local_id(1)))),
+                },
+                CStmt::Barrier(Fence::local()),
+                CStmt::Assign {
+                    lhs: CExpr::var("out").at(CExpr::global_id(0)),
+                    rhs: CExpr::var("tmp").at(CExpr::local_id(0)),
+                },
+            ],
+        });
+        let input: Vec<f32> = (1..=4).map(|i| i as f32).collect();
+        let args = || vec![KernelArg::Buffer(input.clone()), KernelArg::zeros(4)];
+        // 1D launch: dimension 1 is a single work item, so every cell has one writer.
+        VirtualGpu::with_race_detection()
+            .launch(&m, "dim1", LaunchConfig::d1(4, 4), args())
+            .expect("1D launch has one writer per cell");
+        // 2D launch: (l0, 0) and (l0, 1) both write tmp[l0], with values differing by one.
+        let err = VirtualGpu::with_race_detection()
+            .launch(&m, "dim1", LaunchConfig::d2((4, 2), (4, 2)), args())
+            .expect_err("dimension-1 siblings write different values to the same cell");
+        match &err {
+            VgpuError::DataRace {
+                buffer,
+                writers,
+                epoch,
+                ..
+            } => {
+                assert_eq!(buffer, "tmp");
+                assert_ne!(writers[0], writers[1]);
+                assert_eq!(*epoch, 0);
+            }
+            other => panic!("expected DataRace, got {other:?}"),
+        }
+    }
+
+    #[test]
     fn race_detector_accepts_cooperative_staging() {
         // The reverse-through-local-memory kernel of `local_memory_and_barrier`: each work
         // item writes only its own cell, a barrier orders the cross-thread reads. The

@@ -14,9 +14,13 @@
 //! 3. **Error taxonomy.** A failing launch (out-of-bounds access) produces the same
 //!    [`VgpuError`] value from both engines.
 
+use lift::benchmarks::mm;
 use lift::codegen::{compile, CompilationOptions};
 use lift::ir::prelude::*;
-use lift::rewrite::{enumerate, Exploration, ExplorationConfig, RuleOptions};
+use lift::rewrite::{
+    all_rules, beta_normalize, enumerate, get, replace, sites, typecheck, Exploration,
+    ExplorationConfig, RuleCx, RuleOptions, Term, TileSize,
+};
 use lift::tuner::Workload;
 use lift::vgpu::{
     DeviceProfile, EngineSelection, ExecutionRequest, LaunchConfig, LaunchResult, VgpuError,
@@ -223,6 +227,251 @@ proptest! {
             }
             prop_assert_eq!(&interp.report, &bytecode.report, "steps {:?}", &steps);
         }
+    }
+}
+
+// ------------------------------------------------------------------ 2D launches
+
+/// Derives the 2D-tiled matrix multiply from the high-level program through the rewrite
+/// engine (no hand-lowering): `mm-tiled-2d` forms the tiles, then the ordinary
+/// `reduce-map-fusion`/`reduce-to-reduceSeq` steps lower the per-element computation —
+/// exactly the chain the beam search finds.
+fn derive_tiled_mm(m: usize, k: usize, n: usize, tile: TileSize) -> (Program, Type) {
+    let program = mm::high_level_program(m, k, n);
+    let options = RuleOptions {
+        split_sizes: Vec::new(),
+        vector_widths: Vec::new(),
+        tile_sizes: vec![tile],
+    };
+    let mut current = Term::from_program(&program).expect("converts");
+    let input_type = typecheck(&current).expect("input typechecks");
+    for want in ["mm-tiled-2d", "reduce-map-fusion", "reduce-to-reduceSeq"] {
+        let rule = all_rules()
+            .iter()
+            .find(|r| r.name == want)
+            .expect("rule registered");
+        let mut applied = None;
+        for site in sites(&current) {
+            let Some(expr) = get(&current.body, &site.location) else {
+                continue;
+            };
+            let mut fresh = current.fresh;
+            let replacement = {
+                let mut cx = RuleCx {
+                    context: site.context,
+                    arg_types: &site.arg_types,
+                    env: &site.env,
+                    options: &options,
+                    fresh: &mut fresh,
+                };
+                rule.applications(expr, &mut cx).into_iter().next()
+            };
+            if let Some(replacement) = replacement {
+                let body = replace(&current.body, &site.location, replacement)
+                    .expect("replacement applies");
+                applied = Some(Term {
+                    name: current.name.clone(),
+                    params: current.params.clone(),
+                    body: beta_normalize(&body),
+                    fresh,
+                });
+                break;
+            }
+        }
+        current = applied.unwrap_or_else(|| panic!("{want} did not fire (tile {tile:?})"));
+    }
+    let derived_type = typecheck(&current)
+        .unwrap_or_else(|e| panic!("tiled term ill-typed (tile {tile:?}): {e}"));
+    assert_eq!(input_type, derived_type, "tiling must preserve the type");
+    (current.to_program(), derived_type)
+}
+
+fn mm_inputs(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
+    let a = (0..m * k).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
+    let b = (0..k * n).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect();
+    (a, b)
+}
+
+/// The derived tiled MM under genuinely 2D launches — exact-fit, group-strided,
+/// local-strided and guarded grids — must produce bit-identical buffers and reports on
+/// both engines, with race detection on and off, and match the host reference.
+#[test]
+fn tiled_mm_2d_launches_run_identically_on_both_engines() {
+    const M: usize = 16;
+    const K: usize = 16;
+    const N: usize = 16;
+    let cases: [(TileSize, LaunchConfig); 4] = [
+        // Exact fit: one work group per tile, local shape = tile shape.
+        (TileSize::d2(8, 8), LaunchConfig::d2((16, 16), (8, 8))),
+        // Group-strided: fewer groups than tiles along both axes.
+        (TileSize::d2(4, 4), LaunchConfig::d2((8, 8), (4, 4))),
+        // Local-strided: local size smaller than the tile along one axis.
+        (TileSize::d2(8, 8), LaunchConfig::d2((8, 16), (4, 8))),
+        // Guarded: local size larger than the tile along one axis.
+        (TileSize::d2(4, 8), LaunchConfig::d2((16, 16), (8, 8))),
+    ];
+    let (a, b) = mm_inputs(M, K, N);
+    let expected = mm::host_reference(&a, &b, M, K, N);
+    for (tile, launch) in cases {
+        let (program, _) = derive_tiled_mm(M, K, N, tile);
+        let options =
+            CompilationOptions::all_optimisations().with_launch(launch.global, launch.local);
+        let kernel = compile(&program, &options)
+            .unwrap_or_else(|e| panic!("tile {tile:?}: compile fails: {e}"));
+        let (args, out_idx) = kernel
+            .bind_args(&[a.clone(), b.clone()], &Default::default())
+            .expect("arguments bind");
+        for detect_races in [true, false] {
+            let interp = ExecutionRequest::new(&kernel.module)
+                .engine(EngineSelection::Interpreter)
+                .race_detection(detect_races)
+                .launch(&kernel.kernel_name, launch, args.clone())
+                .unwrap_or_else(|e| panic!("tile {tile:?}: interpreter fails: {e}"));
+            let bytecode = ExecutionRequest::new(&kernel.module)
+                .engine(EngineSelection::Bytecode)
+                .race_detection(detect_races)
+                .launch(&kernel.kernel_name, launch, args.clone())
+                .unwrap_or_else(|e| panic!("tile {tile:?}: bytecode fails: {e}"));
+            assert_eq!(interp.buffers.len(), bytecode.buffers.len());
+            for (x, y) in interp.buffers.iter().zip(&bytecode.buffers) {
+                let x_bits: Vec<u32> = x.iter().map(|v| v.to_bits()).collect();
+                let y_bits: Vec<u32> = y.iter().map(|v| v.to_bits()).collect();
+                assert_eq!(x_bits, y_bits, "tile {tile:?} races {detect_races}");
+            }
+            assert_eq!(
+                interp.report, bytecode.report,
+                "tile {tile:?} races {detect_races}"
+            );
+            let out = &interp.buffers[out_idx];
+            assert_eq!(out.len(), expected.len(), "tile {tile:?}");
+            for (got, want) in out.iter().zip(&expected) {
+                assert!(
+                    (got - want).abs() < 1e-3,
+                    "tile {tile:?} launch {launch:?}: {got} != {want}"
+                );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    /// Random `split∘transpose∘split` tile compositions: for every dividing 2D tile the
+    /// `mm-tiled-2d` family preserves the program type (checked inside `derive_tiled_mm`)
+    /// and its semantics — the derived kernel matches the host reference bit-for-bit
+    /// across both engines under a 2D launch.
+    #[test]
+    fn random_tile_compositions_preserve_type_and_semantics(
+        m in prop_oneof![Just(8usize), Just(16)],
+        k in prop_oneof![Just(4usize), Just(8), Just(16)],
+        n in prop_oneof![Just(8usize), Just(16)],
+        tm in prop_oneof![Just(2i64), Just(4), Just(8)],
+        tn in prop_oneof![Just(2i64), Just(4), Just(8)],
+    ) {
+        // Every candidate (m, tm) and (n, tn) pair divides: powers of two ≤ 8 vs 8/16.
+        let tile = TileSize::d2(tm, tn);
+        let (program, _) = derive_tiled_mm(m, k, n, tile);
+        let launch = LaunchConfig::d2((n, m), (tn as usize, tm as usize));
+        let options =
+            CompilationOptions::all_optimisations().with_launch(launch.global, launch.local);
+        let kernel = compile(&program, &options)
+            .unwrap_or_else(|e| panic!("tile {tile:?}: compile fails: {e}"));
+        let (a, b) = mm_inputs(m, k, n);
+        let expected = mm::host_reference(&a, &b, m, k, n);
+        let (args, out_idx) = kernel
+            .bind_args(&[a, b], &Default::default())
+            .expect("arguments bind");
+        let mut outputs: Vec<Vec<u32>> = Vec::new();
+        for engine in [EngineSelection::Interpreter, EngineSelection::Bytecode] {
+            let result = ExecutionRequest::new(&kernel.module)
+                .engine(engine)
+                .race_detection(true)
+                .launch(&kernel.kernel_name, launch, args.clone())
+                .unwrap_or_else(|e| panic!("{m}x{k}x{n} tile {tile:?}: {engine:?} fails: {e}"));
+            let out = &result.buffers[out_idx];
+            for (got, want) in out.iter().zip(&expected) {
+                prop_assert!(
+                    (got - want).abs() < 1e-3,
+                    "{}x{}x{} tile {:?}: {} != {}", m, k, n, tile, got, want
+                );
+            }
+            outputs.push(out.iter().map(|v| v.to_bits()).collect());
+        }
+        prop_assert_eq!(&outputs[0], &outputs[1], "engines disagree bitwise");
+    }
+}
+
+/// The race detector distinguishes work-item *dimensions*, not just levels (two items that
+/// differ only in `get_local_id(1)` writing different values to one cell is a detected race
+/// — pinned by `race_detector_distinguishes_work_item_dimensions` in the vgpu crate). The
+/// flip side pinned here: a kernel distributed over dimension 0 only, launched on a 2D
+/// grid, has every dimension-1 sibling repeat bitwise-identical writes — the detector
+/// treats value-preserving stores as benign, so the launch runs clean on both engines with
+/// detection on, and the duplicated work still produces the correct (bit-identical) output.
+#[test]
+fn duplicated_identical_writes_across_dimension_1_are_benign() {
+    let mut p = Program::new("dim1_race");
+    let id = p.user_fun(UserFun::id_float());
+    let stage = p.map_lcl(0, id);
+    let staged = p.to_local(stage);
+    let copy_out = p.map_lcl(0, id);
+    let per_tile = p.lambda(&["tile"], |p, params| {
+        let local = p.apply1(staged, params[0]);
+        p.apply1(copy_out, local)
+    });
+    let wg = p.map_wrg(0, per_tile);
+    let split = p.split(8usize);
+    let join = p.join();
+    p.with_root(
+        vec![("x", Type::array(Type::float(), 64usize))],
+        |p, params| {
+            let tiles = p.apply1(split, params[0]);
+            let mapped = p.apply1(wg, tiles);
+            p.apply1(join, mapped)
+        },
+    );
+    let options = CompilationOptions::all_optimisations().with_launch([16, 2, 1], [8, 2, 1]);
+    let kernel = compile(&p, &options).expect("compiles");
+    let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
+    let (args, out_idx) = kernel
+        .bind_args(&[input.clone()], &Default::default())
+        .expect("arguments bind");
+
+    // 2D launch: the dimension-1 work items duplicate every write with identical values —
+    // benign under the value-preserving-store rule, so detection stays silent and both
+    // engines produce the same correct copy.
+    let launch_2d = LaunchConfig::d2((16, 2), (8, 2));
+    let mut outputs = Vec::new();
+    for engine in [EngineSelection::Interpreter, EngineSelection::Bytecode] {
+        let result = ExecutionRequest::new(&kernel.module)
+            .engine(engine)
+            .race_detection(true)
+            .launch(&kernel.kernel_name, launch_2d, args.clone())
+            .expect("identical duplicated writes are benign");
+        assert_eq!(result.buffers[out_idx], input, "{engine:?}");
+        assert_eq!(
+            result.report.counters.work_items, 32,
+            "{engine:?} must actually drive the 2D grid"
+        );
+        outputs.push(
+            result.buffers[out_idx]
+                .iter()
+                .map(|v| v.to_bits())
+                .collect::<Vec<_>>(),
+        );
+    }
+    assert_eq!(outputs[0], outputs[1], "engines disagree bitwise");
+
+    // 1D launch of the same module: dimension 1 has a single work item, so the identical
+    // loops are race-free and the copy is correct.
+    for engine in [EngineSelection::Interpreter, EngineSelection::Bytecode] {
+        let result = ExecutionRequest::new(&kernel.module)
+            .engine(engine)
+            .race_detection(true)
+            .launch(&kernel.kernel_name, LaunchConfig::d1(16, 8), args.clone())
+            .expect("1D launch is race-free");
+        assert_eq!(result.buffers[out_idx], input, "{engine:?}");
     }
 }
 

@@ -148,9 +148,18 @@ fn committed_tuned_best_derivations_are_statically_accepted_and_race_free() {
                     .iter()
                     .map(|v| *v as usize)
                     .collect(),
-                tile_sizes: f64s(best.get("tile_sizes").expect("tile_sizes"))
+                // Each committed tile is a `[rows, cols]` pair (1D stencil tiles are
+                // `[1, x]`).
+                tile_sizes: best
+                    .get("tile_sizes")
+                    .and_then(Json::as_arr)
+                    .expect("tile_sizes")
                     .iter()
-                    .map(|v| *v as i64)
+                    .map(|pair| {
+                        let pair = f64s(pair);
+                        assert_eq!(pair.len(), 2, "tile_sizes entries are [rows, cols]");
+                        lift::rewrite::TileSize::d2(pair[0] as i64, pair[1] as i64)
+                    })
                     .collect(),
             },
             launch: LaunchConfig {

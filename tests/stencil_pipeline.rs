@@ -89,7 +89,7 @@ proptest! {
 
 // ------------------------------------------------------- automatic stencil derivation
 
-fn conv_exploration_config(tile_sizes: Vec<i64>) -> ExplorationConfig {
+fn conv_exploration_config(tile_sizes: Vec<lift::rewrite::TileSize>) -> ExplorationConfig {
     ExplorationConfig {
         max_depth: 5,
         beam_width: 64,
@@ -169,7 +169,7 @@ fn exploration_rederives_the_section32_convolution_kernel() {
 fn exploration_derives_the_local_staged_tiled_convolution() {
     let program = convolution::high_level_program(128, convolution::FILTER);
     let result =
-        explore(&program, &conv_exploration_config(vec![16, 32])).expect("exploration runs");
+        explore(&program, &conv_exploration_config(vec![lift::rewrite::TileSize::d1(16), lift::rewrite::TileSize::d1(32)])).expect("exploration runs");
     let staged = result
         .variants
         .iter()
@@ -208,7 +208,7 @@ fn jacobi_2d_derives_automatically_and_matches_the_host_reference() {
         rule_options: RuleOptions {
             split_sizes: vec![2, 4],
             vector_widths: vec![4],
-            tile_sizes: vec![4],
+            tile_sizes: vec![lift::rewrite::TileSize::d1(4)],
         },
         launch: LaunchConfig::d1(8, 4),
         best_n: 4,
