@@ -1,0 +1,123 @@
+//! The derivation-service probe: measures the cold/warm/batched behaviour of
+//! `lift-service` on every tracked workload and writes the machine-readable
+//! `BENCH_cache.json` (override the path with `--json-out <path>`).
+//!
+//! Per workload (NVIDIA device profile, the canonical `autotune_config` budgets):
+//!
+//! * **cold** — the first request against a shared service: a cache miss running the full
+//!   enumerate-and-tune search (warm-started from structurally similar earlier workloads
+//!   when their tuned points fit the space),
+//! * **warm** — the same request again: a cache hit that replays the recorded derivation
+//!   chain through provenance and re-validates it (compile + ownership pass, execute,
+//!   output check) — one candidate instead of a search, which is where the ≥10× speedup
+//!   the `perf_gate --cache` floor enforces comes from,
+//! * **batch** — eight identical requests submitted to a *fresh* service and drained as
+//!   one batch: they deduplicate onto a single cold derivation, pinned both by the
+//!   service's own counters and by the `cache_miss` telemetry event count.
+//!
+//! The shared service is in-memory: this binary measures the serving layer, not the disk.
+
+use std::time::Instant;
+
+use lift_bench::autotune_config;
+use lift_bench::report::{cache_batch, cache_entry, cache_report};
+use lift_bench::schema::{json_out_arg, write_json};
+use lift_service::{DerivationService, Request, Served, ServiceConfig};
+use lift_telemetry::{counts_by_kind, InMemory, Null};
+use lift_tuner::Workload;
+use lift_vgpu::DeviceProfile;
+
+const BATCH_SIZE: usize = 8;
+
+fn main() {
+    let out_path = json_out_arg("BENCH_cache.json");
+    let device = DeviceProfile::nvidia();
+    let mut service =
+        DerivationService::open(ServiceConfig::default()).expect("in-memory service opens");
+    let mut entries = Vec::new();
+
+    for workload in Workload::all() {
+        let request = Request {
+            name: workload.name.to_string(),
+            program: workload.program.clone(),
+            config: autotune_config(&workload, &device),
+        };
+
+        let start = Instant::now();
+        let cold = service
+            .request_with(request.clone(), &Null)
+            .expect("cold derivation succeeds");
+        let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            cold.served,
+            Served::ColdMiss,
+            "{}: first request is cold",
+            workload.name
+        );
+
+        let start = Instant::now();
+        let warm = service
+            .request_with(request.clone(), &Null)
+            .expect("warm hit succeeds");
+        let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+        assert_eq!(
+            warm.served,
+            Served::WarmHit,
+            "{}: second request is warm",
+            workload.name
+        );
+
+        // The batch runs against a fresh service so the duplicates coalesce onto one cold
+        // derivation instead of all hitting the entry the shared service just cached.
+        let collector = InMemory::default();
+        let mut fresh =
+            DerivationService::open(ServiceConfig::default()).expect("in-memory service opens");
+        for _ in 0..BATCH_SIZE {
+            fresh.submit(request.clone());
+        }
+        let start = Instant::now();
+        fresh
+            .drain_with(&collector)
+            .expect("batched drain succeeds");
+        let batch_ms = start.elapsed().as_secs_f64() * 1e3;
+        let stats = fresh.stats();
+        let events = collector.events();
+        let miss_events = counts_by_kind(&events)
+            .iter()
+            .find(|(kind, _)| *kind == "cache_miss")
+            .map_or(0, |(_, n)| *n);
+
+        println!(
+            "{:20} on {:18}: cold {cold_ms:9.1} ms -> warm {warm_ms:7.1} ms ({:6.1}x, \
+             {} warm-start seeds); batch of {BATCH_SIZE}: {} derivation(s), {} coalesced",
+            workload.name,
+            device.name,
+            cold_ms / warm_ms,
+            cold.warm_seeds,
+            stats.derivations,
+            stats.coalesced,
+        );
+        entries.push(cache_entry(
+            workload.name,
+            &device.name,
+            cold_ms,
+            warm_ms,
+            cold.warm_seeds,
+            cache_batch(
+                stats.requests,
+                stats.derivations,
+                stats.coalesced,
+                miss_events,
+                batch_ms,
+            ),
+        ));
+    }
+
+    let stats = service.stats();
+    println!(
+        "shared service: {} requests, {} hits, {} misses, {} warm-started searches",
+        stats.requests, stats.hits, stats.misses, stats.warm_started
+    );
+    write_json(&out_path, &cache_report(entries).render());
+    println!("wrote {}", out_path.display());
+}

@@ -21,7 +21,8 @@
 //! ```text
 //! perf_gate --baseline-explore BENCH_explore.json --current-explore target/BENCH_explore.json \
 //!           --baseline-autotune BENCH_autotune.json --current-autotune target/BENCH_autotune.json \
-//!           [--telemetry target/BENCH_telemetry.json] [--threshold 0.25]
+//!           [--telemetry target/BENCH_telemetry.json] [--cache target/BENCH_cache.json] \
+//!           [--threshold 0.25]
 //! ```
 //!
 //! `--telemetry` points at a freshly generated `BENCH_telemetry.json` (from
@@ -29,12 +30,18 @@
 //! workload's per-phase wall-time breakdown so the regression is attributable to a phase
 //! (enumerate/typecheck/compile/execute/score) without re-running anything.
 //!
+//! `--cache` points at a freshly generated `BENCH_cache.json` (from `cache_stats`); when
+//! given, the derivation-service checks run too: every tracked workload's warm hit must be
+//! at least [`lift_bench::gate::CACHE_SPEEDUP_FLOOR`]× faster than its cold derivation, and
+//! every batch of identical requests must have cost exactly one derivation. Both are
+//! same-run ratios/counters, so they take no baseline.
+//!
 //! `--threshold` must be a fraction in `[0, 1]`; anything else (negative, NaN, > 1) is a
 //! usage error — such a value would make the gate pass or fail vacuously.
 
 use std::process::ExitCode;
 
-use lift_bench::gate::{check_reports, validate_threshold};
+use lift_bench::gate::{check_cache_report, check_reports, validate_threshold};
 use lift_bench::schema::{parse, Json};
 
 struct Args {
@@ -43,6 +50,7 @@ struct Args {
     baseline_autotune: String,
     current_autotune: String,
     telemetry: Option<String>,
+    cache: Option<String>,
     threshold: f64,
 }
 
@@ -53,6 +61,7 @@ fn parse_args() -> Result<Args, String> {
         baseline_autotune: "BENCH_autotune.json".into(),
         current_autotune: "target/BENCH_autotune.json".into(),
         telemetry: None,
+        cache: None,
         threshold: 0.25,
     };
     let mut it = std::env::args().skip(1);
@@ -64,6 +73,7 @@ fn parse_args() -> Result<Args, String> {
             "--baseline-autotune" => args.baseline_autotune = value()?,
             "--current-autotune" => args.current_autotune = value()?,
             "--telemetry" => args.telemetry = Some(value()?),
+            "--cache" => args.cache = Some(value()?),
             "--threshold" => {
                 args.threshold = value()?
                     .parse()
@@ -83,7 +93,7 @@ fn load(path: &str) -> Result<Json, String> {
 
 fn run(args: &Args) -> Result<bool, String> {
     let telemetry = args.telemetry.as_deref().map(load).transpose()?;
-    let outcome = check_reports(
+    let mut outcome = check_reports(
         &load(&args.baseline_explore)?,
         &load(&args.current_explore)?,
         &load(&args.baseline_autotune)?,
@@ -91,6 +101,13 @@ fn run(args: &Args) -> Result<bool, String> {
         telemetry.as_ref(),
         args.threshold,
     )?;
+    // The derivation-service checks (warm-hit speedup floor, single-derivation batches)
+    // are same-run invariants of the current BENCH_cache.json — no baseline involved.
+    if let Some(path) = &args.cache {
+        outcome
+            .lines
+            .extend(check_cache_report(&load(path)?)?.lines);
+    }
     for line in &outcome.lines {
         println!("{}", line.message);
     }

@@ -42,6 +42,12 @@ pub fn validate_threshold(threshold: f64) -> Result<(), String> {
 /// machine-independent and takes no baseline.
 pub const BYTECODE_SPEEDUP_FLOOR: f64 = 2.0;
 
+/// Minimum warm-hit speedup over a cold derivation in `BENCH_cache.json`. A warm hit
+/// replays and re-validates exactly one candidate while a cold miss runs the full
+/// enumerate-and-tune search, so like the bytecode floor this is a same-run wall-time ratio:
+/// machine-independent and gated without a committed baseline.
+pub const CACHE_SPEEDUP_FLOOR: f64 = 10.0;
+
 /// One line of the gate's verdict, in report order.
 #[derive(Clone, Debug, PartialEq)]
 pub struct GateLine {
@@ -319,6 +325,80 @@ pub fn check_reports(
     Ok(GateOutcome { lines })
 }
 
+/// Runs the derivation-service checks over a freshly generated `BENCH_cache.json` document
+/// (the `--cache` flag of `perf_gate`). Per tracked `(workload, device)` entry:
+///
+/// * the warm hit must be at least [`CACHE_SPEEDUP_FLOOR`]× faster than the cold
+///   derivation measured in the same run,
+/// * the batch of identical requests must have cost exactly one derivation, pinned twice —
+///   by the service's own `derivations` counter and by the independent `cache_miss`
+///   telemetry event count.
+///
+/// Both are same-run invariants of the service, so no baseline is involved.
+///
+/// # Errors
+///
+/// Returns a message when the report is structurally invalid (missing fields).
+pub fn check_cache_report(doc: &Json) -> Result<GateOutcome, String> {
+    let results = doc
+        .get("results")
+        .and_then(Json::as_arr)
+        .ok_or("cache report: missing results[]")?;
+    let mut lines = Vec::new();
+    for entry in results {
+        let field = |name: &str| {
+            entry
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cache report: entry without {name}"))
+        };
+        let workload = entry
+            .get("workload")
+            .and_then(Json::as_str)
+            .ok_or("cache report: entry without workload")?;
+        let device = entry
+            .get("device")
+            .and_then(Json::as_str)
+            .ok_or("cache report: entry without device")?;
+        let (cold, warm, speedup) = (field("cold_ms")?, field("warm_ms")?, field("speedup")?);
+        let ok = speedup >= CACHE_SPEEDUP_FLOOR;
+        lines.push(GateLine {
+            ok,
+            message: format!(
+                "[{}] cache {workload}/{device}: warm {warm:.1}ms vs cold {cold:.1}ms \
+                 = {speedup:.1}x (floor {CACHE_SPEEDUP_FLOOR:.0}x)",
+                if ok { "ok" } else { "FAIL" }
+            ),
+        });
+        let batch = entry
+            .get("batch")
+            .ok_or("cache report: entry without batch section")?;
+        let batch_field = |name: &str| {
+            batch
+                .get(name)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| format!("cache report: batch section without {name}"))
+        };
+        let requests = batch_field("requests")?;
+        let derivations = batch_field("derivations")?;
+        let miss_events = batch_field("miss_events")?;
+        let ok = derivations == 1.0 && miss_events == 1.0;
+        lines.push(GateLine {
+            ok,
+            message: format!(
+                "[{}] cache {workload}/{device}: batch of {requests:.0} identical requests \
+                 cost {derivations:.0} derivation(s), {miss_events:.0} miss event(s) \
+                 (must be exactly 1)",
+                if ok { "ok" } else { "FAIL" }
+            ),
+        });
+    }
+    if lines.is_empty() {
+        return Err("cache report: results[] is empty".to_string());
+    }
+    Ok(GateOutcome { lines })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -495,8 +575,7 @@ mod tests {
         let outcome = check_reports(&e, &e, &baseline, &current, None, 0.25).unwrap();
         assert!(outcome.passed(), "{:?}", outcome.lines);
         assert!(outcome.lines.iter().any(|l| l.ok
-            && l
-                .message
+            && l.message
                 .contains("[ok] autotune mm_tiled/nv: tiled best 80.0 vs 1D-best MM 100.0")));
 
         // A tiled MM behind the 1D best fails, with no threshold slack.
@@ -566,6 +645,55 @@ mod tests {
             .lines
             .iter()
             .any(|l| l.message.contains("rejection reasons")));
+    }
+
+    fn cache_doc(speedup: f64, derivations: u64, miss_events: u64) -> Json {
+        let warm = 10.0;
+        let cold = warm * speedup;
+        parse(&format!(
+            r#"{{"schema": "lift-cache-stats/v1", "results": [
+                 {{"workload": "dot_product", "device": "nvidia",
+                   "cold_ms": {cold}, "warm_ms": {warm}, "speedup": {speedup},
+                   "warm_start_seeds": 0,
+                   "batch": {{"requests": 8, "derivations": {derivations},
+                              "coalesced": 7, "miss_events": {miss_events},
+                              "wall_ms": 100.0}}}}]}}"#
+        ))
+        .unwrap()
+    }
+
+    #[test]
+    fn the_cache_gate_enforces_the_warm_speedup_floor_and_single_derivation_batches() {
+        // At or above the floor with a single-derivation batch passes.
+        let outcome = check_cache_report(&cache_doc(25.0, 1, 1)).unwrap();
+        assert!(outcome.passed(), "{:?}", outcome.lines);
+        assert!(outcome.lines.iter().any(|l| l.ok
+            && l.message
+                .contains("[ok] cache dot_product/nvidia: warm 10.0ms vs cold 250.0ms = 25.0x")));
+
+        // A warm hit slower than the floor fails.
+        let outcome = check_cache_report(&cache_doc(4.0, 1, 1)).unwrap();
+        assert!(!outcome.passed());
+        assert!(outcome
+            .lines
+            .iter()
+            .any(|l| !l.ok && l.message.contains("= 4.0x (floor 10x)")));
+
+        // A batch that cost more than one derivation fails, whichever pin reports it.
+        let outcome = check_cache_report(&cache_doc(25.0, 8, 1)).unwrap();
+        assert!(!outcome.passed());
+        let outcome = check_cache_report(&cache_doc(25.0, 1, 8)).unwrap();
+        assert!(!outcome.passed());
+
+        // Structurally invalid reports are errors, not failing lines.
+        assert!(check_cache_report(&parse(r#"{"results": []}"#).unwrap()).is_err());
+        assert!(check_cache_report(&parse(r#"{"schema": "x"}"#).unwrap()).is_err());
+        let no_batch = parse(
+            r#"{"results": [{"workload": "w", "device": "d",
+                             "cold_ms": 1.0, "warm_ms": 1.0, "speedup": 1.0}]}"#,
+        )
+        .unwrap();
+        assert!(check_cache_report(&no_batch).is_err());
     }
 
     #[test]

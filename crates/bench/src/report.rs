@@ -24,6 +24,15 @@ pub fn strategy_label(strategy: &Strategy) -> String {
             samples,
             max_steps,
         } => format!("hill-climb(seed={seed}, samples={samples}, max_steps={max_steps})"),
+        Strategy::SeededHillClimb {
+            seeds,
+            seed,
+            samples,
+            max_steps,
+        } => format!(
+            "seeded-hill-climb(seeds={}, seed={seed}, samples={samples}, max_steps={max_steps})",
+            seeds.len()
+        ),
     }
 }
 
@@ -106,10 +115,7 @@ pub fn autotune_entry(
                                 .tile_sizes
                                 .iter()
                                 .map(|t| {
-                                    Json::Arr(vec![
-                                        Json::num(t.y as f64),
-                                        Json::num(t.x as f64),
-                                    ])
+                                    Json::Arr(vec![Json::num(t.y as f64), Json::num(t.x as f64)])
                                 })
                                 .collect(),
                         ),
@@ -320,6 +326,63 @@ pub fn explore_report(sections: Vec<(String, Json)>, baseline_cps: f64, current_
     Json::Obj(pairs)
 }
 
+/// Builds the `batch` section of one `BENCH_cache.json` entry: the deduplication outcome
+/// of submitting `requests` identical requests to a fresh service in one drain.
+/// `derivations`/`coalesced` come from [`lift_service::ServiceStats`]; `miss_events` is the
+/// number of `cache_miss` telemetry events the drain recorded — the independent pin that
+/// the batch cost exactly one derivation.
+pub fn cache_batch(
+    requests: u64,
+    derivations: u64,
+    coalesced: u64,
+    miss_events: usize,
+    wall_ms: f64,
+) -> Json {
+    Json::obj([
+        ("requests", Json::num(requests as f64)),
+        ("derivations", Json::num(derivations as f64)),
+        ("coalesced", Json::num(coalesced as f64)),
+        ("miss_events", Json::num(miss_events as f64)),
+        ("wall_ms", Json::num(wall_ms)),
+    ])
+}
+
+/// Builds one `results[]` entry of `BENCH_cache.json`: the cold-derivation and warm-hit
+/// wall-clocks of one workload on one device, the warm/cold speedup the gate's
+/// [`crate::gate::CACHE_SPEEDUP_FLOOR`] reads, the number of warm-start seeds the cold
+/// search climbed from, and the [`cache_batch`] deduplication section.
+pub fn cache_entry(
+    workload: &str,
+    device: &str,
+    cold_ms: f64,
+    warm_ms: f64,
+    warm_seeds: usize,
+    batch: Json,
+) -> Json {
+    let speedup = if warm_ms > 0.0 {
+        cold_ms / warm_ms
+    } else {
+        0.0
+    };
+    Json::obj([
+        ("workload", Json::str(workload)),
+        ("device", Json::str(device)),
+        ("cold_ms", Json::num(cold_ms)),
+        ("warm_ms", Json::num(warm_ms)),
+        ("speedup", Json::num(speedup)),
+        ("warm_start_seeds", Json::num(warm_seeds as f64)),
+        ("batch", batch),
+    ])
+}
+
+/// Assembles the complete `BENCH_cache.json` document from per-workload entries.
+pub fn cache_report(entries: Vec<Json>) -> Json {
+    Json::obj([
+        ("schema", Json::str("lift-cache-stats/v1")),
+        ("results", Json::Arr(entries)),
+    ])
+}
+
 /// Builds one `results[]` entry of `BENCH_telemetry.json` from a recorded event stream:
 /// total event count, per-kind counts and the per-phase wall-time breakdown
 /// ([`phase_durations`] over the collector's span events).
@@ -430,6 +493,23 @@ mod tests {
             .and_then(|s| s.get("candidates_per_sec"))
             .is_some());
         assert!(doc.get("speedup_over_baseline").is_some());
+    }
+
+    #[test]
+    fn cache_report_round_trips_with_the_speedup_derived() {
+        let batch = cache_batch(8, 1, 7, 1, 95.0);
+        let entry = cache_entry("dot_product", "nvidia", 500.0, 10.0, 2, batch);
+        let doc = cache_report(vec![entry]);
+        let parsed = crate::schema::parse(&doc.render()).expect("round-trips");
+        assert_eq!(
+            parsed.get("schema").and_then(Json::as_str),
+            Some("lift-cache-stats/v1")
+        );
+        let entry = &parsed.get("results").and_then(Json::as_arr).unwrap()[0];
+        assert_eq!(entry.get("speedup").and_then(Json::as_f64), Some(50.0));
+        let batch = entry.get("batch").expect("batch section");
+        assert_eq!(batch.get("derivations").and_then(Json::as_f64), Some(1.0));
+        assert_eq!(batch.get("coalesced").and_then(Json::as_f64), Some(7.0));
     }
 
     #[test]

@@ -1066,8 +1066,8 @@ impl Generator {
         // soon as an outer map guards or strides them (2D tiling does both). Inside a
         // loop (`nesting > 0`) the buffer is re-staged every iteration, so a *leading*
         // fence also closes the previous iteration's reads before they are overwritten.
-        let cooperative = space == AddressSpace::Local
-            && !matches!(&view, View::Memory { scalar: true, .. });
+        let cooperative =
+            space == AddressSpace::Local && !matches!(&view, View::Memory { scalar: true, .. });
         if cooperative && self.options.barrier_elimination {
             if self.nesting > 0 {
                 stmts.push(CStmt::Barrier(Fence::local()));

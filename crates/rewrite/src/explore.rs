@@ -131,7 +131,7 @@ impl Default for ExplorationConfig {
 /// index of the chosen rewrite among everything the rule offered there, so a recorded chain
 /// can be replayed through the engine ([`crate::provenance::replay`]) to reproduce the exact
 /// variant term, or rendered as a human-readable transcript ([`crate::provenance::explain`]).
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DerivationStep {
     /// The rule name.
     pub rule: &'static str,
@@ -227,6 +227,8 @@ pub enum ExploreError {
     Reference(String),
     /// The configured launch is invalid for the configured device profile.
     Launch(LaunchError),
+    /// Replaying a recorded derivation chain failed (see [`Enumerated::from_derivation`]).
+    Replay(crate::provenance::ReplayError),
 }
 
 impl std::fmt::Display for ExploreError {
@@ -238,6 +240,7 @@ impl std::fmt::Display for ExploreError {
             ExploreError::Launch(e) => {
                 write!(f, "launch configuration is invalid for the device: {e}")
             }
+            ExploreError::Replay(e) => write!(f, "derivation replay failed: {e}"),
         }
     }
 }
@@ -254,6 +257,48 @@ impl From<TypeError> for ExploreError {
     fn from(e: TypeError) -> Self {
         ExploreError::Type(e)
     }
+}
+
+impl From<crate::provenance::ReplayError> for ExploreError {
+    fn from(e: crate::provenance::ReplayError) -> Self {
+        ExploreError::Replay(e)
+    }
+}
+
+/// The content-address identity of a program, as used by the derivation-service cache.
+///
+/// The 8-byte [`Term::dedup_key`] is the lookup address; the full canonical rendering is
+/// stored alongside it and compared on every hit so a (vanishingly unlikely) 64-bit hash
+/// collision degrades to a cache miss instead of serving the wrong derivation. The
+/// [`Term::skeleton`] is the coarser similarity key used to warm-start tuner searches from
+/// structurally related workloads.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CanonicalKey {
+    /// The 8-byte canonical structural hash ([`Term::dedup_key`]).
+    pub hash: DedupKey,
+    /// The full canonical rendering ([`Term::pretty`]) guarding `hash` against collisions.
+    pub rendering: String,
+    /// The high-level pattern skeleton ([`Term::skeleton`]).
+    pub skeleton: String,
+}
+
+/// Computes the [`CanonicalKey`] of a program, normalising exactly as [`enumerate`] does
+/// (type inference, then tree conversion), so a program hashes identically whether it is
+/// keyed for the cache or enumerated from scratch.
+///
+/// # Errors
+///
+/// Returns [`ExploreError::Type`] / [`ExploreError::Term`] when the program does not
+/// typecheck or cannot be converted to tree form.
+pub fn canonical_key(program: &Program) -> Result<CanonicalKey, ExploreError> {
+    let mut typed = program.clone();
+    infer_types(&mut typed)?;
+    let root = Term::from_program(&typed)?;
+    Ok(CanonicalKey {
+        hash: root.dedup_key(),
+        rendering: root.pretty(),
+        skeleton: root.skeleton(),
+    })
 }
 
 #[derive(Clone, Debug)]
@@ -342,6 +387,50 @@ impl Enumerated {
     /// term exactly.
     pub fn lowered_candidates(&self) -> impl Iterator<Item = (&Term, &[DerivationStep])> {
         self.complete.iter().map(|c| (&c.term, c.steps.as_slice()))
+    }
+
+    /// Reconstructs a single-candidate [`Enumerated`] from a recorded derivation chain
+    /// instead of searching: the chain is replayed through [`crate::provenance::replay`]
+    /// (under `config.rule_options`) and the deterministic inputs and reference output are
+    /// regenerated exactly as [`enumerate`] would. Scoring the result re-runs the full
+    /// compile → static ownership check → execute → validate pipeline, so a cached
+    /// derivation served by the derivation service is re-proven sound on every hit — a
+    /// stale or corrupted cache entry fails here instead of reaching a device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ExploreError::Replay`] when the chain does not apply to `program` (wrong
+    /// program, renamed rule, out-of-range alternative — the typical symptoms of a stale
+    /// cache entry), and the usual input errors when `program` itself is invalid.
+    pub fn from_derivation(
+        program: &Program,
+        steps: &[DerivationStep],
+        config: &ExplorationConfig,
+    ) -> Result<Enumerated, ExploreError> {
+        let mut typed = program.clone();
+        infer_types(&mut typed)?;
+        let inputs = generate_inputs(&typed, &config.sizes).map_err(ExploreError::Reference)?;
+        let input_values: Vec<Value> = inputs.iter().map(|i| i.value.clone()).collect();
+        let reference = evaluate_with_sizes(&typed, &input_values, &config.sizes)
+            .map_err(|e| ExploreError::Reference(e.to_string()))?
+            .flatten_f32();
+        let term = crate::provenance::replay(program, steps, &config.rule_options)?;
+        let candidate = Candidate {
+            high_level_left: high_level_count(&term.body),
+            size: term.body.size(),
+            steps: steps.to_vec(),
+            term,
+        };
+        let search = Exploration {
+            lowered: 1,
+            ..Exploration::default()
+        };
+        Ok(Enumerated {
+            complete: vec![candidate],
+            inputs,
+            reference,
+            search,
+        })
     }
 
     /// Compiles, validates and ranks the enumerated candidates under the launch

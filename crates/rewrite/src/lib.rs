@@ -90,11 +90,13 @@ pub mod traversal;
 pub mod typecheck;
 
 pub use explore::{
-    enumerate, enumerate_with, explore, explore_with, DedupKey, DerivationStep, Enumerated,
-    Exploration, ExplorationConfig, ExploreError, Variant,
+    canonical_key, enumerate, enumerate_with, explore, explore_with, CanonicalKey, DedupKey,
+    DerivationStep, Enumerated, Exploration, ExplorationConfig, ExploreError, Variant,
 };
 pub use provenance::{explain, replay, ExplainedStep, Explanation, ReplayError};
-pub use rules::{all_rules, divides, Rule, RuleCx, RuleKind, RuleOptions, TileSize};
+pub use rules::{
+    all_rules, divides, Rule, RuleCx, RuleKind, RuleOptions, TileSize, RULE_SET_VERSION,
+};
 pub use term::{beta_normalize, raw_expr_hash, StableHasher, Term, TermError, TermExpr, TermFun};
 pub use traversal::{
     format_location, get, infer_type, replace, sites, Location, NestContext, Site, Step,

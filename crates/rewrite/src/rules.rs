@@ -216,6 +216,15 @@ impl std::fmt::Debug for Rule {
     }
 }
 
+/// Version of the rule set, bumped whenever the behaviour of [`all_rules`] changes in a way
+/// that invalidates recorded derivations: a rule added, removed, renamed or reordered, or a
+/// parameterised rule changing how it enumerates alternatives. Recorded
+/// [`DerivationStep`](crate::explore::DerivationStep) chains address rules by name and
+/// rewrites by alternative index, so any such change silently re-targets old chains — the
+/// derivation-service cache keys every entry by this constant and drops the whole
+/// generation when it moves.
+pub const RULE_SET_VERSION: u32 = 1;
+
 /// The complete rule set.
 pub fn all_rules() -> &'static [Rule] {
     const RULES: &[Rule] = &[

@@ -314,6 +314,81 @@ impl Term {
     pub fn pretty(&self) -> String {
         self.to_program().to_string()
     }
+
+    /// Renders the high-level pattern skeleton: the tree of pattern constructors with every
+    /// numeric knob (split chunks, slide windows, iteration counts, vector widths, pad
+    /// amounts), user-function identity and parameter name erased. Two programs share a
+    /// skeleton exactly when they compose the same patterns in the same shape, so the
+    /// derivation service uses it as the similarity key for warm-starting tuner searches
+    /// from structurally related cached workloads (e.g. `matrix_multiply` at any size, or
+    /// `dot_product` at any length, map to one skeleton each).
+    pub fn skeleton(&self) -> String {
+        let mut out = String::new();
+        skeleton_expr(&self.body, &mut out);
+        out
+    }
+}
+
+fn skeleton_expr(e: &TermExpr, out: &mut String) {
+    match e {
+        TermExpr::Literal(_) => out.push_str("lit"),
+        TermExpr::Param(_) => out.push_str("arg"),
+        TermExpr::Apply { f, args } => {
+            skeleton_fun(f, out);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                skeleton_expr(a, out);
+            }
+            out.push(')');
+        }
+    }
+}
+
+fn skeleton_fun(f: &TermFun, out: &mut String) {
+    let nest = |tag: &str, g: &TermFun, out: &mut String| {
+        out.push_str(tag);
+        out.push('[');
+        skeleton_fun(g, out);
+        out.push(']');
+    };
+    match f {
+        TermFun::Lambda { body, .. } => {
+            out.push_str("fn{");
+            skeleton_expr(body, out);
+            out.push('}');
+        }
+        TermFun::UserFun(_) => out.push_str("uf"),
+        TermFun::Map(g) => nest("map", g, out),
+        TermFun::Reduce(g) => nest("reduce", g, out),
+        TermFun::MapSeq(g) => nest("mapSeq", g, out),
+        TermFun::MapGlb(d, g) => nest(&format!("mapGlb{d}"), g, out),
+        TermFun::MapWrg(d, g) => nest(&format!("mapWrg{d}"), g, out),
+        TermFun::MapLcl(d, g) => nest(&format!("mapLcl{d}"), g, out),
+        TermFun::MapVec(g) => nest("mapVec", g, out),
+        TermFun::ReduceSeq(g) => nest("reduceSeq", g, out),
+        TermFun::Iterate(_, g) => nest("iterate", g, out),
+        TermFun::ToGlobal(g) => nest("toGlobal", g, out),
+        TermFun::ToLocal(g) => nest("toLocal", g, out),
+        TermFun::ToPrivate(g) => nest("toPrivate", g, out),
+        TermFun::Id => out.push_str("id"),
+        TermFun::Split(_) => out.push_str("split"),
+        TermFun::Join => out.push_str("join"),
+        TermFun::Gather(_) => out.push_str("gather"),
+        TermFun::Scatter(_) => out.push_str("scatter"),
+        TermFun::Transpose => out.push_str("transpose"),
+        TermFun::Zip(n) => {
+            out.push_str("zip");
+            out.push_str(&n.to_string());
+        }
+        TermFun::Get(_) => out.push_str("get"),
+        TermFun::Slide(_, _) => out.push_str("slide"),
+        TermFun::Pad(_, _, _) => out.push_str("pad"),
+        TermFun::AsVector(_) => out.push_str("asVector"),
+        TermFun::AsScalar => out.push_str("asScalar"),
+    }
 }
 
 /// Beta-normalises an expression: inlines applications of lambdas (`(λx. b)(a)` → `b[x:=a]`)
@@ -335,8 +410,7 @@ pub fn beta_normalize(e: &TermExpr) -> TermExpr {
                 let cheap = |a: &TermExpr| matches!(a, TermExpr::Param(_) | TermExpr::Literal(_));
                 let inlinable = params.len() == args.len()
                     && params.iter().zip(&args).all(|(p, a)| {
-                        cheap(a)
-                            || (count_uses(body, p) <= 1 && uses_under_binder(body, p) == 0)
+                        cheap(a) || (count_uses(body, p) <= 1 && uses_under_binder(body, p) == 0)
                     });
                 if inlinable {
                     let mut inlined = (**body).clone();
@@ -380,7 +454,10 @@ fn uses_under_binder(e: &TermExpr, name: &str) -> usize {
                 TermFun::Lambda { body, .. } => uses_under_binder(body, name),
                 other => other.nested().map_or(0, |_| count_uses_fun(other, name)),
             };
-            in_f + args.iter().map(|a| uses_under_binder(a, name)).sum::<usize>()
+            in_f + args
+                .iter()
+                .map(|a| uses_under_binder(a, name))
+                .sum::<usize>()
         }
     }
 }

@@ -8,8 +8,8 @@ use std::collections::HashSet;
 use lift_benchmarks::dot_product;
 use lift_ir::{infer_types, Program};
 use lift_rewrite::{
-    all_rules, explore, explore_with, get, replace, sites, typecheck, ExplorationConfig, RuleCx,
-    RuleOptions, Term,
+    all_rules, canonical_key, explore, explore_with, get, replace, sites, typecheck,
+    ExplorationConfig, RuleCx, RuleOptions, Term,
 };
 use lift_telemetry::InMemory;
 use lift_vgpu::LaunchConfig;
@@ -253,6 +253,67 @@ fn structural_hash_equality_implies_rendering_equality() {
         renderings.len(),
         distinct_keys.len(),
         "the key must be exactly as discriminating as the rendering"
+    );
+
+    // The canonical pretty-rendering (what `canonical_key` stores as the cache's collision
+    // guard) must be at least as discriminating as the 8-byte key on the same corpus: two
+    // hash-equal terms always carry equal guards, so a guard mismatch in the cache proves
+    // a collision rather than ever serving a wrong entry.
+    let mut by_key_pretty: std::collections::HashMap<u64, String> =
+        std::collections::HashMap::new();
+    for term in &candidates {
+        match by_key_pretty.entry(term.dedup_key()) {
+            std::collections::hash_map::Entry::Occupied(e) => assert_eq!(
+                e.get(),
+                &term.pretty(),
+                "hash collision: same key, different canonical renderings"
+            ),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                e.insert(term.pretty());
+            }
+        }
+    }
+}
+
+#[test]
+fn canonical_keys_pair_the_hash_with_its_guard_rendering_and_skeleton() {
+    // The service cache addresses entries by `canonical_key`: the structural hash, the
+    // full canonical rendering (collision guard) and the knob-erased pattern skeleton
+    // (warm-start similarity). The triple must be deterministic and agree field-by-field
+    // with the term-level functions it is assembled from.
+    let program = dot_product::high_level_program(512);
+    let key = canonical_key(&program).expect("the dot product keys");
+    assert_eq!(
+        key,
+        canonical_key(&program).expect("keying is deterministic")
+    );
+
+    let mut typed = program.clone();
+    infer_types(&mut typed).expect("input types");
+    let term = Term::from_program(&typed).expect("converts");
+    assert_eq!(key.hash, term.dedup_key());
+    assert_eq!(key.rendering, term.pretty());
+    assert_eq!(key.skeleton, term.skeleton());
+
+    // A different problem size is a different program (hash and guard both move), but the
+    // pattern skeleton — every numeric knob erased — is shared, which is exactly what lets
+    // the service warm-start across differently sized instances of the same shape.
+    let resized = canonical_key(&dot_product::high_level_program(1024)).expect("keys");
+    assert_ne!(key.hash, resized.hash);
+    assert_ne!(key.rendering, resized.rendering);
+    assert_eq!(key.skeleton, resized.skeleton);
+
+    // Skeletons are strictly coarser than renderings over the rule corpus: derivations
+    // that differ only in knobs (split 2 vs split 4) merge.
+    let candidates = two_level_candidates();
+    let renderings: HashSet<String> = candidates.iter().map(render).collect();
+    let skeletons: HashSet<String> = candidates.iter().map(Term::skeleton).collect();
+    assert!(skeletons.len() > 1, "the corpus spans several shapes");
+    assert!(
+        skeletons.len() < renderings.len(),
+        "skeletons ({}) must merge knob variants of the {} renderings",
+        skeletons.len(),
+        renderings.len()
     );
 }
 

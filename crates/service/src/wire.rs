@@ -1,0 +1,303 @@
+//! The deterministic on-disk format of cache entries.
+//!
+//! One cache entry is one single-line JSON document (rendered with
+//! [`lift_telemetry::json::Json::render_compact`]) in `store.jsonl`, so the store is
+//! greppable, diffable and appendable. Everything needed to *reconstruct and re-prove* the
+//! tuned variant is stored — the structured derivation chain, the tuned rule options and
+//! launch — plus the collision-guard rendering and the warm-start skeleton. Floating-point
+//! times are serialised as IEEE-754 bit patterns (`time_bits`) so the roundtrip is exact;
+//! a rounded `estimated_time` rides along for human readers.
+//!
+//! Deserialisation is strict-but-total: a line that does not parse, names an unknown rule,
+//! or is missing a field yields `None` and the entry is dropped (and reported) instead of
+//! being served.
+
+use lift_rewrite::{
+    all_rules, format_location, DerivationStep, Location, RuleOptions, Step, TileSize,
+};
+use lift_telemetry::json::Json;
+use lift_vgpu::LaunchConfig;
+
+use crate::key::CacheKey;
+
+/// The cached product of one cold derivation: everything a warm hit needs to replay,
+/// re-validate and serve the tuned variant.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CachedDerivation {
+    /// Estimated time of the variant when it was derived (informational — a warm hit
+    /// re-scores through the real pipeline).
+    pub estimated_time: f64,
+    /// The replayable derivation chain of the tuned best variant.
+    pub steps: Vec<DerivationStep>,
+    /// The tuned rule options ([`lift_tuner::TuningPoint::rule_options`]).
+    pub rule_options: RuleOptions,
+    /// The tuned launch configuration.
+    pub launch: LaunchConfig,
+    /// The generated OpenCL kernel source at derivation time (cross-checked against the
+    /// replayed variant by the differential test).
+    pub kernel_source: String,
+}
+
+/// One stored cache entry: its identity plus the cached derivation.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoredEntry {
+    /// The content address and collision/similarity metadata.
+    pub key: CacheKey,
+    /// The cached derivation.
+    pub payload: CachedDerivation,
+}
+
+fn path_to_string(path: &Location) -> String {
+    let mut out = String::new();
+    for (i, step) in path.iter().enumerate() {
+        if i > 0 {
+            out.push('.');
+        }
+        match step {
+            Step::Arg(n) => out.push_str(&format!("a{n}")),
+            Step::Body { peel } => out.push_str(&format!("b{peel}")),
+        }
+    }
+    out
+}
+
+fn path_from_string(s: &str) -> Option<Location> {
+    if s.is_empty() {
+        return Some(Vec::new());
+    }
+    let mut path = Vec::new();
+    for token in s.split('.') {
+        let (tag, n) = token.split_at(1);
+        let n: usize = n.parse().ok()?;
+        match tag {
+            "a" => path.push(Step::Arg(n)),
+            "b" => path.push(Step::Body { peel: n }),
+            _ => return None,
+        }
+    }
+    Some(path)
+}
+
+fn step_to_json(step: &DerivationStep) -> Json {
+    Json::obj([
+        ("rule", Json::str(step.rule)),
+        ("path", Json::str(path_to_string(&step.path))),
+        ("alt", Json::num(step.alternative as f64)),
+    ])
+}
+
+fn step_from_json(doc: &Json) -> Option<DerivationStep> {
+    let name = doc.get("rule")?.as_str()?;
+    // Re-anchor the rule name in the current rule set: an entry recorded against a rule
+    // that no longer exists is stale by definition and must not deserialise.
+    let rule = all_rules().iter().find(|r| r.name == name)?;
+    let path = path_from_string(doc.get("path")?.as_str()?)?;
+    let alternative = doc.get("alt")?.as_f64()? as usize;
+    Some(DerivationStep {
+        rule: rule.name,
+        kind: rule.kind,
+        location: format_location(&path),
+        path,
+        alternative,
+    })
+}
+
+fn usizes(values: &[usize]) -> Json {
+    Json::Arr(values.iter().map(|&v| Json::num(v as f64)).collect())
+}
+
+fn launch_to_json(launch: &LaunchConfig) -> Json {
+    Json::obj([
+        ("global", usizes(&launch.global)),
+        ("local", usizes(&launch.local)),
+    ])
+}
+
+fn usize3_from_json(doc: &Json) -> Option<[usize; 3]> {
+    let arr = doc.as_arr()?;
+    if arr.len() != 3 {
+        return None;
+    }
+    let mut out = [0usize; 3];
+    for (slot, v) in out.iter_mut().zip(arr) {
+        *slot = v.as_f64()? as usize;
+    }
+    Some(out)
+}
+
+fn launch_from_json(doc: &Json) -> Option<LaunchConfig> {
+    Some(LaunchConfig {
+        global: usize3_from_json(doc.get("global")?)?,
+        local: usize3_from_json(doc.get("local")?)?,
+    })
+}
+
+/// Serialises one entry into the single-line `store.jsonl` document.
+pub(crate) fn entry_to_json(entry: &StoredEntry) -> Json {
+    let opts = &entry.payload.rule_options;
+    Json::obj([
+        ("id", Json::str(&entry.key.id)),
+        ("hash", Json::str(format!("{:016x}", entry.key.hash))),
+        ("device", Json::str(&entry.key.device)),
+        ("rendering", Json::str(&entry.key.rendering)),
+        ("skeleton", Json::str(&entry.key.skeleton)),
+        ("estimated_time", Json::num(entry.payload.estimated_time)),
+        (
+            "time_bits",
+            Json::str(format!("{:016x}", entry.payload.estimated_time.to_bits())),
+        ),
+        (
+            "steps",
+            Json::Arr(entry.payload.steps.iter().map(step_to_json).collect()),
+        ),
+        (
+            "split_sizes",
+            Json::Arr(
+                opts.split_sizes
+                    .iter()
+                    .map(|&v| Json::num(v as f64))
+                    .collect(),
+            ),
+        ),
+        ("vector_widths", usizes(&opts.vector_widths)),
+        (
+            "tile_sizes",
+            Json::Arr(
+                opts.tile_sizes
+                    .iter()
+                    .map(|t| Json::Arr(vec![Json::num(t.y as f64), Json::num(t.x as f64)]))
+                    .collect(),
+            ),
+        ),
+        ("launch", launch_to_json(&entry.payload.launch)),
+        ("kernel", Json::str(&entry.payload.kernel_source)),
+    ])
+}
+
+/// Deserialises one `store.jsonl` document; `None` for anything malformed or stale.
+pub(crate) fn entry_from_json(doc: &Json) -> Option<StoredEntry> {
+    let steps = doc
+        .get("steps")?
+        .as_arr()?
+        .iter()
+        .map(step_from_json)
+        .collect::<Option<Vec<_>>>()?;
+    let split_sizes = doc
+        .get("split_sizes")?
+        .as_arr()?
+        .iter()
+        .map(|v| v.as_f64().map(|f| f as i64))
+        .collect::<Option<Vec<_>>>()?;
+    let vector_widths = doc
+        .get("vector_widths")?
+        .as_arr()?
+        .iter()
+        .map(|v| v.as_f64().map(|f| f as usize))
+        .collect::<Option<Vec<_>>>()?;
+    let tile_sizes = doc
+        .get("tile_sizes")?
+        .as_arr()?
+        .iter()
+        .map(|t| {
+            let pair = t.as_arr()?;
+            if pair.len() != 2 {
+                return None;
+            }
+            Some(TileSize {
+                y: pair[0].as_f64()? as i64,
+                x: pair[1].as_f64()? as i64,
+            })
+        })
+        .collect::<Option<Vec<_>>>()?;
+    let time_bits = u64::from_str_radix(doc.get("time_bits")?.as_str()?, 16).ok()?;
+    Some(StoredEntry {
+        key: CacheKey {
+            id: doc.get("id")?.as_str()?.to_string(),
+            hash: u64::from_str_radix(doc.get("hash")?.as_str()?, 16).ok()?,
+            rendering: doc.get("rendering")?.as_str()?.to_string(),
+            skeleton: doc.get("skeleton")?.as_str()?.to_string(),
+            device: doc.get("device")?.as_str()?.to_string(),
+        },
+        payload: CachedDerivation {
+            estimated_time: f64::from_bits(time_bits),
+            steps,
+            rule_options: RuleOptions {
+                split_sizes,
+                vector_widths,
+                tile_sizes,
+            },
+            launch: launch_from_json(doc.get("launch")?)?,
+            kernel_source: doc.get("kernel")?.as_str()?.to_string(),
+        },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lift_rewrite::RuleKind;
+    use lift_telemetry::json::parse;
+
+    fn sample_entry() -> StoredEntry {
+        let rule = all_rules()
+            .iter()
+            .find(|r| r.kind == RuleKind::Lowering)
+            .expect("the rule set has lowering rules");
+        let path = vec![Step::Arg(0), Step::Body { peel: 1 }];
+        StoredEntry {
+            key: CacheKey {
+                id: "00ff00ff00ff00ff".to_string(),
+                hash: 0x1234_5678_9abc_def0,
+                rendering: "join (map f (split 4 xs))".to_string(),
+                skeleton: "join(map[uf](split(arg)))".to_string(),
+                device: "nvidia".to_string(),
+            },
+            payload: CachedDerivation {
+                estimated_time: 1234.567891,
+                steps: vec![DerivationStep {
+                    rule: rule.name,
+                    kind: rule.kind,
+                    location: format_location(&path),
+                    path,
+                    alternative: 2,
+                }],
+                rule_options: RuleOptions {
+                    split_sizes: vec![2, 4],
+                    vector_widths: vec![4],
+                    tile_sizes: vec![TileSize::d2(4, 8)],
+                },
+                launch: LaunchConfig::d2((64, 16), (8, 4)),
+                kernel_source: "kernel void k() { /* \"quoted\" */ }".to_string(),
+            },
+        }
+    }
+
+    #[test]
+    fn entries_roundtrip_bit_exactly_through_the_compact_line() {
+        let entry = sample_entry();
+        let line = entry_to_json(&entry).render_compact();
+        assert!(!line.contains('\n'), "one entry = one line");
+        let back = entry_from_json(&parse(&line).expect("line parses")).expect("entry loads");
+        assert_eq!(back, entry, "roundtrip is exact, including the f64 time");
+    }
+
+    #[test]
+    fn unknown_rules_and_malformed_paths_are_rejected_not_served() {
+        let entry = sample_entry();
+        let line = entry_to_json(&entry).render_compact();
+        let renamed = line.replace(entry.payload.steps[0].rule, "no-such-rule-anymore");
+        assert!(entry_from_json(&parse(&renamed).unwrap()).is_none());
+        let doc = parse(&line.replace("\"a0.b1\"", "\"x9\"")).unwrap();
+        assert!(entry_from_json(&doc).is_none());
+    }
+
+    #[test]
+    fn root_locations_roundtrip_as_the_empty_path() {
+        assert_eq!(
+            path_from_string(&path_to_string(&Vec::new())),
+            Some(Vec::new())
+        );
+        let deep = vec![Step::Body { peel: 0 }, Step::Arg(3), Step::Body { peel: 2 }];
+        assert_eq!(path_from_string(&path_to_string(&deep)), Some(deep));
+    }
+}

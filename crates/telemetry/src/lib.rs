@@ -34,6 +34,8 @@
 //! A recorded trace can be exported as a Chrome `trace_event` document with
 //! [`chrome_trace`], inspectable in `about://tracing` or [Perfetto](https://ui.perfetto.dev).
 
+pub mod json;
+
 use std::fmt::Write as _;
 use std::io::Write;
 use std::sync::Mutex;
@@ -367,6 +369,38 @@ pub enum Event {
         /// The construct or condition the engine could not handle.
         reason: String,
     },
+    /// A derivation-service cache lookup found a valid entry (the derivation is then
+    /// replayed and re-validated rather than re-searched).
+    CacheHit {
+        /// The content-address id of the looked-up key.
+        key: String,
+        /// Name of the requested program.
+        program: String,
+    },
+    /// A derivation-service cache lookup found nothing (a cold derivation follows). Batched
+    /// duplicate requests coalesce onto one lookup, so counting these events counts actual
+    /// derivations.
+    CacheMiss {
+        /// The content-address id of the looked-up key.
+        key: String,
+        /// Name of the requested program.
+        program: String,
+    },
+    /// A derivation-service cache entry was removed.
+    CacheEvict {
+        /// The content-address id of the evicted entry.
+        key: String,
+        /// Why it was evicted (`lru`, `collision`, `replay_failed`, `stale`).
+        reason: &'static str,
+    },
+    /// A whole generation of derivation-service cache entries was dropped at once
+    /// (rule-set or cost-model version change).
+    CacheInvalidate {
+        /// Number of entries dropped.
+        evicted: u32,
+        /// What changed (e.g. `rule-set version 2 -> 3`).
+        reason: String,
+    },
 }
 
 impl Event {
@@ -385,6 +419,10 @@ impl Event {
             Event::TunerMove { .. } => "tuner_move",
             Event::ExecStage { .. } => "exec_stage",
             Event::EngineFallback { .. } => "engine_fallback",
+            Event::CacheHit { .. } => "cache_hit",
+            Event::CacheMiss { .. } => "cache_miss",
+            Event::CacheEvict { .. } => "cache_evict",
+            Event::CacheInvalidate { .. } => "cache_invalidate",
         }
     }
 
@@ -491,6 +529,18 @@ impl Event {
             }
             Event::EngineFallback { kernel, reason } => {
                 field_str(out, "kernel", kernel);
+                field_str(out, "reason", reason);
+            }
+            Event::CacheHit { key, program } | Event::CacheMiss { key, program } => {
+                field_str(out, "key", key);
+                field_str(out, "program", program);
+            }
+            Event::CacheEvict { key, reason } => {
+                field_str(out, "key", key);
+                field_str(out, "reason", reason);
+            }
+            Event::CacheInvalidate { evicted, reason } => {
+                field_int(out, "evicted", u64::from(*evicted));
                 field_str(out, "reason", reason);
             }
         }

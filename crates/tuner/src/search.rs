@@ -35,6 +35,24 @@ pub enum Strategy {
         /// Maximum hill-climbing moves after sampling.
         max_steps: usize,
     },
+    /// Like [`Strategy::RandomHillClimb`], but the given `seeds` points are evaluated
+    /// *before* the random samples and compete for the [`CLIMB_STARTS`] climb starts. This
+    /// is the warm-start strategy of the derivation service: on a cache miss, the tuned
+    /// points of structurally similar cached workloads (same high-level pattern skeleton)
+    /// are mapped into the new space and used as seeds, so the climb starts next to a known
+    /// optimum instead of from scratch. Seed points outside the space are skipped; with
+    /// `samples = 0` the search climbs from the seeds alone. Equal seeds and seed points
+    /// reproduce the identical search.
+    SeededHillClimb {
+        /// Warm-start points, evaluated before any random sample.
+        seeds: Vec<PointIndex>,
+        /// PRNG seed for the additional random samples.
+        seed: u64,
+        /// Number of random samples drawn after the seeds.
+        samples: usize,
+        /// Maximum hill-climbing moves after sampling.
+        max_steps: usize,
+    },
 }
 
 /// Walks `space` according to `strategy`, calling `eval` for every visited index. `eval`
@@ -63,55 +81,97 @@ pub(crate) fn drive(
             seed,
             samples,
             max_steps,
-        } => {
-            let mut rng = StdRng::seed_from_u64(*seed);
-            let [s, w, t, l] = space.dims();
-            let mut sampled: Vec<(f64, PointIndex)> = Vec::new();
-            collector.span_begin("sample");
-            for _ in 0..*samples {
-                let index = PointIndex {
-                    split_set: rng.gen_range(0..s),
-                    width_set: rng.gen_range(0..w),
-                    tile_set: rng.gen_range(0..t),
-                    launch: rng.gen_range(0..l),
-                };
-                if let Some(t) = eval(index)? {
-                    sampled.push((t, index));
-                }
-            }
-            collector.span_end("sample");
-            sampled.sort_by(|a, b| a.0.total_cmp(&b.0));
-            sampled.dedup_by(|a, b| a.1 == b.1);
-            sampled.truncate(CLIMB_STARTS);
-            collector.span_begin("climb");
-            for (mut best_time, mut at) in sampled {
-                for step in 0..*max_steps as u32 {
-                    let mut moved = false;
-                    for neighbour in space.neighbours(at) {
-                        if let Some(t) = eval(neighbour)? {
-                            if t < best_time {
-                                best_time = t;
-                                at = neighbour;
-                                moved = true;
-                            }
-                        }
-                    }
-                    if !moved {
-                        break;
-                    }
-                    if collector.enabled() {
-                        collector.record(Event::TunerMove {
-                            step,
-                            to: label(at),
-                            best_time,
-                        });
-                    }
-                }
-            }
-            collector.span_end("climb");
-            Ok(())
+        } => sample_and_climb(
+            &[],
+            *seed,
+            *samples,
+            *max_steps,
+            space,
+            eval,
+            label,
+            collector,
+        ),
+        Strategy::SeededHillClimb {
+            seeds,
+            seed,
+            samples,
+            max_steps,
+        } => sample_and_climb(
+            seeds, *seed, *samples, *max_steps, space, eval, label, collector,
+        ),
+    }
+}
+
+/// The shared hill-climb body: evaluates the explicit `seeds` (skipping any outside the
+/// space), then `samples` seeded-random points, and steepest-descent climbs from the best
+/// [`CLIMB_STARTS`] distinct starts.
+#[allow(clippy::too_many_arguments)]
+fn sample_and_climb(
+    seeds: &[PointIndex],
+    seed: u64,
+    samples: usize,
+    max_steps: usize,
+    space: &TuningSpace,
+    eval: &mut dyn FnMut(PointIndex) -> Result<Option<f64>, TuneError>,
+    label: &dyn Fn(PointIndex) -> String,
+    collector: &dyn Collector,
+) -> Result<(), TuneError> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let [s, w, t, l] = space.dims();
+    let mut sampled: Vec<(f64, PointIndex)> = Vec::new();
+    collector.span_begin("sample");
+    for &index in seeds {
+        let in_space =
+            index.split_set < s && index.width_set < w && index.tile_set < t && index.launch < l;
+        if !in_space {
+            continue;
+        }
+        if let Some(t) = eval(index)? {
+            sampled.push((t, index));
         }
     }
+    for _ in 0..samples {
+        let index = PointIndex {
+            split_set: rng.gen_range(0..s),
+            width_set: rng.gen_range(0..w),
+            tile_set: rng.gen_range(0..t),
+            launch: rng.gen_range(0..l),
+        };
+        if let Some(t) = eval(index)? {
+            sampled.push((t, index));
+        }
+    }
+    collector.span_end("sample");
+    sampled.sort_by(|a, b| a.0.total_cmp(&b.0));
+    sampled.dedup_by(|a, b| a.1 == b.1);
+    sampled.truncate(CLIMB_STARTS);
+    collector.span_begin("climb");
+    for (mut best_time, mut at) in sampled {
+        for step in 0..max_steps as u32 {
+            let mut moved = false;
+            for neighbour in space.neighbours(at) {
+                if let Some(t) = eval(neighbour)? {
+                    if t < best_time {
+                        best_time = t;
+                        at = neighbour;
+                        moved = true;
+                    }
+                }
+            }
+            if !moved {
+                break;
+            }
+            if collector.enabled() {
+                collector.record(Event::TunerMove {
+                    step,
+                    to: label(at),
+                    best_time,
+                });
+            }
+        }
+    }
+    collector.span_end("climb");
+    Ok(())
 }
 
 #[cfg(test)]
@@ -170,6 +230,75 @@ mod tests {
         )
         .unwrap();
         assert_eq!(best_seen, 0.0, "hill climb converged to the grid optimum");
+    }
+
+    #[test]
+    fn seeded_climb_with_no_samples_climbs_from_the_seed_alone() {
+        let space = toy_space();
+        let start = PointIndex {
+            split_set: 0,
+            width_set: 0,
+            tile_set: 0,
+            launch: 0,
+        };
+        let mut visited = Vec::new();
+        let mut best_seen = f64::INFINITY;
+        drive(
+            &Strategy::SeededHillClimb {
+                seeds: vec![start],
+                seed: 0,
+                samples: 0,
+                max_steps: 64,
+            },
+            &space,
+            &mut |i| {
+                visited.push(i);
+                let t = objective(i, &space);
+                best_seen = best_seen.min(t);
+                Ok(Some(t))
+            },
+            &|i| format!("{i:?}"),
+            &lift_telemetry::Null,
+        )
+        .unwrap();
+        assert_eq!(visited[0], start, "the seed point is evaluated first");
+        assert_eq!(
+            best_seen, 0.0,
+            "the climb from the seed reaches the optimum"
+        );
+    }
+
+    #[test]
+    fn out_of_space_seeds_are_skipped_not_evaluated() {
+        let space = toy_space();
+        let [s, w, t, l] = space.dims();
+        let bogus = PointIndex {
+            split_set: s,
+            width_set: w,
+            tile_set: t,
+            launch: l,
+        };
+        let mut visited = Vec::new();
+        drive(
+            &Strategy::SeededHillClimb {
+                seeds: vec![bogus],
+                seed: 0,
+                samples: 0,
+                max_steps: 8,
+            },
+            &space,
+            &mut |i| {
+                visited.push(i);
+                Ok(Some(objective(i, &space)))
+            },
+            &|i| format!("{i:?}"),
+            &lift_telemetry::Null,
+        )
+        .unwrap();
+        assert!(
+            visited.is_empty(),
+            "an out-of-range seed is never evaluated"
+        );
     }
 
     #[test]

@@ -184,6 +184,46 @@ impl TuningSpace {
         })
     }
 
+    /// Maps a tuned point from *another* space into this one, for warm-starting a search
+    /// (see `Strategy::SeededHillClimb`). Each rule-option axis takes its exact match when
+    /// this space has one; otherwise a donor set that never tuned the axis (empty set)
+    /// is unconstrained and snaps to this space's first candidate set, and a partially
+    /// overlapping donor set snaps to the candidate set sharing the most elements — zero
+    /// overlap produces no seed (a seed with entirely different split/width/tile
+    /// candidates would not land near the cached derivation family). The launch snaps to
+    /// the nearest launch of this space by log2 distance over all six global/local axis
+    /// extents (launch only affects scoring, so an approximate landing spot is still a
+    /// good climb start).
+    pub fn seed_for_options(
+        &self,
+        options: &RuleOptions,
+        launch: &LaunchConfig,
+    ) -> Option<PointIndex> {
+        let split_set = snap_set(&self.split_sets, &options.split_sizes)?;
+        let width_set = snap_set(&self.width_sets, &options.vector_widths)?;
+        let tile_set = snap_set(&self.tile_sets, &options.tile_sizes)?;
+        let log2_distance = |a: &LaunchConfig, b: &LaunchConfig| -> f64 {
+            a.global
+                .iter()
+                .chain(a.local.iter())
+                .zip(b.global.iter().chain(b.local.iter()))
+                .map(|(&x, &y)| ((x.max(1) as f64).log2() - (y.max(1) as f64).log2()).abs())
+                .sum()
+        };
+        let launch = self
+            .launches
+            .iter()
+            .enumerate()
+            .min_by(|(_, a), (_, b)| log2_distance(a, launch).total_cmp(&log2_distance(b, launch)))
+            .map(|(i, _)| i)?;
+        Some(PointIndex {
+            split_set,
+            width_set,
+            tile_set,
+            launch,
+        })
+    }
+
     /// The axis neighbours of `index`: one step along each of the split/width/tile
     /// dimensions, plus the launch moves (axis steps and the connectivity bridges — see
     /// below).
@@ -233,8 +273,7 @@ impl TuningSpace {
         // must be able to cross between them.
         let mut launch_moves: Vec<usize> = (0..l)
             .filter(|&j| {
-                j != index.launch
-                    && is_axis_step(&self.launches[index.launch], &self.launches[j])
+                j != index.launch && is_axis_step(&self.launches[index.launch], &self.launches[j])
             })
             .collect();
         if index.launch > 0 && !launch_moves.contains(&(index.launch - 1)) {
@@ -243,7 +282,11 @@ impl TuningSpace {
         if index.launch + 1 < l && !launch_moves.contains(&(index.launch + 1)) {
             launch_moves.push(index.launch + 1);
         }
-        out.extend(launch_moves.into_iter().map(|launch| PointIndex { launch, ..index }));
+        out.extend(
+            launch_moves
+                .into_iter()
+                .map(|launch| PointIndex { launch, ..index }),
+        );
         out
     }
 }
@@ -253,7 +296,11 @@ impl TuningSpace {
 /// launch axis genuinely 2D — a `(16,16)/(8,8)` launch reaches `(16,16)/(8,4)` and
 /// `(16,32)/(8,8)` in one move each, along either axis independently.
 fn is_axis_step(a: &LaunchConfig, b: &LaunchConfig) -> bool {
-    let axes = a.global.iter().chain(a.local.iter()).zip(b.global.iter().chain(b.local.iter()));
+    let axes = a
+        .global
+        .iter()
+        .chain(a.local.iter())
+        .zip(b.global.iter().chain(b.local.iter()));
     let mut steps = 0usize;
     for (&x, &y) in axes {
         if x == y {
@@ -266,6 +313,27 @@ fn is_axis_step(a: &LaunchConfig, b: &LaunchConfig) -> bool {
         }
     }
     steps == 1
+}
+
+/// Maps a foreign candidate set onto one of this axis's candidate sets (see
+/// [`TuningSpace::seed_for_options`]): exact match, else first set for an empty
+/// (unconstrained) donor, else the set sharing the most elements — ties to the lowest
+/// index, zero shared elements to `None`.
+fn snap_set<T: PartialEq>(sets: &[Vec<T>], foreign: &[T]) -> Option<usize> {
+    if let Some(exact) = sets.iter().position(|s| s[..] == *foreign) {
+        return Some(exact);
+    }
+    if foreign.is_empty() {
+        return (!sets.is_empty()).then_some(0);
+    }
+    let mut best: Option<(usize, usize)> = None; // (index, overlap)
+    for (i, set) in sets.iter().enumerate() {
+        let overlap = set.iter().filter(|e| foreign.contains(e)).count();
+        if overlap > 0 && best.is_none_or(|(_, b)| overlap > b) {
+            best = Some((i, overlap));
+        }
+    }
+    best.map(|(i, _)| i)
 }
 
 #[cfg(test)]
@@ -311,7 +379,10 @@ mod tests {
             let d1 = TuningSpace::d1_for_device(&device, 16);
             let d2 = TuningSpace::d2_for_device(&device, 16, 16);
             for launch in &d1.launches {
-                assert!(d2.launches.contains(launch), "1D best unreachable: {launch:?}");
+                assert!(
+                    d2.launches.contains(launch),
+                    "1D best unreachable: {launch:?}"
+                );
             }
             let mut saw_2d = false;
             for launch in &d2.launches {
@@ -333,7 +404,12 @@ mod tests {
             .iter()
             .position(|l| l.global == [16, 16, 1] && l.local == [8, 8, 1])
             .expect("the exact-fit 2D launch is in the space");
-        let index = PointIndex { split_set: 0, width_set: 0, tile_set: 0, launch: from };
+        let index = PointIndex {
+            split_set: 0,
+            width_set: 0,
+            tile_set: 0,
+            launch: from,
+        };
         let launch_moves: Vec<&LaunchConfig> = space
             .neighbours(index)
             .into_iter()
@@ -358,9 +434,80 @@ mod tests {
     }
 
     #[test]
+    fn seed_for_options_round_trips_exactly_and_snaps_foreign_launches() {
+        let space = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64);
+        let index = PointIndex {
+            split_set: 1,
+            width_set: 1,
+            tile_set: 0,
+            launch: 3,
+        };
+        let point = space.point(index);
+        // A point of this very space maps back to its own index.
+        assert_eq!(
+            space.seed_for_options(&point.rule_options, &point.launch),
+            Some(index)
+        );
+        // A launch the space does not contain snaps to the nearest one (deterministically).
+        let foreign = LaunchConfig::d1(96, 24);
+        let snapped = space
+            .seed_for_options(&point.rule_options, &foreign)
+            .expect("rule options match, so a seed is produced");
+        assert!(snapped.launch < space.launches.len());
+        assert_eq!(
+            space.seed_for_options(&point.rule_options, &foreign),
+            Some(snapped),
+            "snapping is deterministic"
+        );
+        // Rule-option sets sharing no element with any candidate set produce no seed.
+        let mut other = point.rule_options.clone();
+        other.split_sizes = vec![3, 5, 7];
+        assert_eq!(space.seed_for_options(&other, &point.launch), None);
+    }
+
+    #[test]
+    fn seed_for_options_snaps_unconstrained_and_overlapping_foreign_sets() {
+        let tiled =
+            TuningSpace::d2_for_device(&DeviceProfile::nvidia(), 16, 16).with_tile_sets(vec![
+                vec![TileSize::d2(4, 4)],
+                vec![TileSize::d2(8, 8)],
+                vec![TileSize::d2(4, 4), TileSize::d2(8, 8)],
+            ]);
+        let plain = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 16);
+        // The donor point comes from the untiled space (empty tile set): the tile axis is
+        // unconstrained and snaps to the tiled space's first set — the cross-space
+        // transfer the mm → mm_tiled warm start relies on.
+        let donor = plain.point(PointIndex {
+            split_set: 1,
+            width_set: 0,
+            tile_set: 0,
+            launch: 2,
+        });
+        let seed = tiled
+            .seed_for_options(&donor.rule_options, &donor.launch)
+            .expect("an empty donor tile set must still seed the tiled space");
+        assert_eq!(seed.tile_set, 0);
+        assert_eq!(
+            tiled.tile_sets[0],
+            vec![TileSize::d2(4, 4)],
+            "snapped to the first candidate set"
+        );
+        // A partially overlapping donor set snaps to the candidate set sharing the most
+        // elements.
+        let mut overlapping = donor.rule_options.clone();
+        overlapping.tile_sizes = vec![TileSize::d2(4, 4), TileSize::d2(8, 8), TileSize::d2(16, 16)];
+        let seed = tiled
+            .seed_for_options(&overlapping, &donor.launch)
+            .expect("two shared tiles beat one");
+        assert_eq!(seed.tile_set, 2);
+    }
+
+    #[test]
     fn neighbours_stay_in_bounds_and_differ_in_one_coordinate() {
-        let space = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64)
-            .with_tile_sets(vec![vec![TileSize::d1(8)], vec![TileSize::d1(8), TileSize::d1(16)]]);
+        let space = TuningSpace::d1_for_device(&DeviceProfile::nvidia(), 64).with_tile_sets(vec![
+            vec![TileSize::d1(8)],
+            vec![TileSize::d1(8), TileSize::d1(16)],
+        ]);
         let [s, w, t, l] = space.dims();
         for index in space.indices() {
             for n in space.neighbours(index) {

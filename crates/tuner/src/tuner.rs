@@ -111,8 +111,12 @@ impl TuningConfig {
 pub struct BestVariant {
     /// Estimated execution time under the tuned device's cost model.
     pub estimated_time: f64,
-    /// The derivation chain (`rule @ location` per step).
+    /// The derivation chain (`rule @ location` per step), human-readable.
     pub derivation: Vec<String>,
+    /// The structured derivation chain behind [`BestVariant::derivation`], replayable
+    /// through [`lift_rewrite::replay`]. The derivation-service cache persists these so a
+    /// warm hit reconstructs the exact variant without re-searching.
+    pub steps: Vec<lift_rewrite::DerivationStep>,
     /// The generated OpenCL kernel source.
     pub kernel_source: String,
 }
@@ -238,6 +242,7 @@ impl Evaluator<'_> {
                     .iter()
                     .map(|s| format!("{} @ {}", s.rule, s.location))
                     .collect(),
+                steps: v.derivation.clone(),
                 kernel_source: v.kernel_source.clone(),
             });
         }

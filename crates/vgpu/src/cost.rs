@@ -10,6 +10,13 @@
 
 use crate::device::DeviceProfile;
 
+/// Version of the analytical cost model. Bump whenever a change to the counters, their
+/// weighting or the device profiles alters estimated times: scores recorded under a
+/// different version are not comparable, so the derivation-service cache keys its entries
+/// by this constant (alongside the rule-set version) and drops the whole generation when it
+/// moves.
+pub const COST_MODEL_VERSION: u32 = 1;
+
 /// Dynamic event counters accumulated while executing a kernel.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct CostCounters {

@@ -4,8 +4,9 @@
 //! hardware with a *virtual GPU*: a SIMT interpreter for the OpenCL AST of `lift-ocl` plus an
 //! analytical cost model.
 //!
-//! * [`VirtualGpu::launch`] executes a kernel over an ND-range with global buffers, work-group
-//!   local memory, private memory, barriers and divergent control flow (execution masks).
+//! * [`ExecutionRequest::launch`] executes a kernel over an ND-range with global buffers,
+//!   work-group local memory, private memory, barriers and divergent control flow (execution
+//!   masks), on the engine the request selects ([`EngineSelection`]).
 //! * The execution produces [`CostCounters`]: dynamic counts of floating-point work, integer
 //!   index arithmetic (divisions/modulos counted separately), global-memory transactions with
 //!   a per-SIMD-group coalescing analysis, local/private traffic, barriers and loop overhead.
@@ -25,7 +26,7 @@ mod memory;
 
 pub use cost::{
     estimated_sequence_time, CostCounters, ExecutionProfile, ExecutionReport, StageProfile,
-    TimeBreakdown,
+    TimeBreakdown, COST_MODEL_VERSION,
 };
 pub use device::{DeviceProfile, LaunchConfig, LaunchError};
 pub use engine::{

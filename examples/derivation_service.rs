@@ -1,0 +1,120 @@
+//! Derivation-service walkthrough: cold derivation → warm cache hit → batched duplicate
+//! requests, against an in-memory `lift-service` instance.
+//!
+//! The ROADMAP's production framing is a long-lived compiler service absorbing many
+//! `(program, device)` requests. This example drives the three behaviours that make that
+//! economical:
+//!
+//! 1. **cold miss** — the first request runs the full enumerate-and-tune search and the
+//!    tuned derivation is cached under its content address (structural hash + canonical
+//!    rendering as collision guard + device + tuning grid + rule-set/cost-model versions),
+//! 2. **warm hit** — the same request again replays the recorded rule chain through the
+//!    provenance machinery and re-validates it end to end (typecheck, compile with the
+//!    ownership pass, execute, output check): one candidate instead of a search, which is
+//!    orders of magnitude faster while remaining provably sound,
+//! 3. **batching** — N identical requests drained as one batch deduplicate onto a single
+//!    derivation; a structurally similar workload (same pattern skeleton, here the 2D
+//!    tiled MM sharing the plain MM's program) warm-starts its search from the cached
+//!    tuned point.
+//!
+//! Run with `cargo run --release --example derivation_service`.
+
+use std::time::Instant;
+
+use lift::service::{DerivationService, Request, ServiceConfig};
+use lift::telemetry::Null;
+use lift::tuner::{Strategy, TuningConfig, Workload};
+use lift::vgpu::DeviceProfile;
+
+fn request_for(workload: &Workload, device: &DeviceProfile) -> Request {
+    let mut config = TuningConfig::new(
+        device.clone(),
+        workload.space_for(device),
+        Strategy::RandomHillClimb {
+            seed: 0x11f7,
+            samples: 4,
+            max_steps: 3,
+        },
+    );
+    config.base.max_candidates = 3000;
+    Request {
+        name: workload.name.to_string(),
+        program: workload.program.clone(),
+        config,
+    }
+}
+
+fn main() {
+    let device = DeviceProfile::nvidia();
+    let mut service =
+        DerivationService::open(ServiceConfig::default()).expect("in-memory service opens");
+
+    // 1. Cold: a full enumerate-and-tune search, cached under its content address.
+    let request = request_for(&Workload::matrix_multiply(), &device);
+    let start = Instant::now();
+    let cold = service
+        .request_with(request.clone(), &Null)
+        .expect("cold derivation succeeds");
+    let cold_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("== Cold miss ==");
+    println!(
+        "{} on {}: served {:?} in {cold_ms:.1} ms, estimated time {:.1}",
+        cold.name, device.name, cold.served, cold.variant.estimated_time
+    );
+    for step in &cold.variant.derivation {
+        println!("    {step}");
+    }
+
+    // 2. Warm: the recorded chain replays through provenance and re-proves itself.
+    let start = Instant::now();
+    let warm = service
+        .request_with(request.clone(), &Null)
+        .expect("warm hit succeeds");
+    let warm_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("\n== Warm hit ==");
+    println!(
+        "served {:?} in {warm_ms:.1} ms ({:.0}x faster), kernel byte-identical: {}",
+        warm.served,
+        cold_ms / warm_ms,
+        warm.variant.kernel_source == cold.variant.kernel_source
+    );
+
+    // 3. Batching: five identical requests coalesce onto the cached entry; the tiled MM —
+    //    same program, different tuning grid — misses but warm-starts from the plain MM's
+    //    tuned point (shared pattern skeleton).
+    for _ in 0..5 {
+        service.submit(request.clone());
+    }
+    service.submit(request_for(&Workload::mm_tiled(), &device));
+    let start = Instant::now();
+    let responses = service.drain_with(&Null).expect("batched drain succeeds");
+    let batch_ms = start.elapsed().as_secs_f64() * 1e3;
+    println!("\n== Batched drain ({batch_ms:.1} ms) ==");
+    for response in &responses {
+        println!(
+            "{:16} served {:?}{}",
+            response.name,
+            response.served,
+            if response.warm_seeds > 0 {
+                format!(
+                    " (warm-started from {} cached seed(s))",
+                    response.warm_seeds
+                )
+            } else {
+                String::new()
+            }
+        );
+    }
+
+    let stats = service.stats();
+    println!(
+        "\nservice totals: {} requests = {} hits + {} misses + {} coalesced; \
+         {} derivations run, {} warm-started",
+        stats.requests,
+        stats.hits,
+        stats.misses,
+        stats.coalesced,
+        stats.derivations,
+        stats.warm_started
+    );
+}

@@ -19,7 +19,10 @@ fn main() {
         rule_options: RuleOptions {
             split_sizes: vec![32, 64],
             vector_widths: vec![4],
-            tile_sizes: vec![lift::rewrite::TileSize::d1(32), lift::rewrite::TileSize::d1(64)],
+            tile_sizes: vec![
+                lift::rewrite::TileSize::d1(32),
+                lift::rewrite::TileSize::d1(64),
+            ],
         },
         launch: LaunchConfig::d1(128, 32),
         best_n: 6,

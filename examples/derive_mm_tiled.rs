@@ -52,11 +52,14 @@ fn main() {
     println!(
         "tiled variant: estimated time {:.1} units (best overall: {:.1})\n",
         tiled.estimated_time,
-        result.variants.first().map_or(f64::NAN, |v| v.estimated_time),
+        result
+            .variants
+            .first()
+            .map_or(f64::NAN, |v| v.estimated_time),
     );
 
-    let explanation = explain(&program, &tiled.derivation, &config.rule_options)
-        .expect("recorded chain replays");
+    let explanation =
+        explain(&program, &tiled.derivation, &config.rule_options).expect("recorded chain replays");
     println!("{explanation}");
 
     println!(

@@ -16,6 +16,9 @@
 //!   high-level `map`/`reduce` expressions, with cost-guided exploration,
 //! * [`tuner`] — auto-tuning over split factors, vector widths and launch configurations
 //!   per device profile, on top of the rewrite exploration,
+//! * [`service`] — the long-lived derivation service: persistent content-addressed caching
+//!   of tuned derivations, batched/deduplicated request processing and warm-started
+//!   searches,
 //! * [`telemetry`] — the structured-event layer (spans, counters, typed events) the
 //!   rewrite search, tuner and virtual GPU report through,
 //! * [`benchmarks`] — the twelve evaluation programs of Table 1.
@@ -39,6 +42,7 @@ pub use lift_interp as interp;
 pub use lift_ir as ir;
 pub use lift_ocl as ocl;
 pub use lift_rewrite as rewrite;
+pub use lift_service as service;
 pub use lift_telemetry as telemetry;
 pub use lift_tuner as tuner;
 pub use lift_vgpu as vgpu;

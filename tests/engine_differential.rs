@@ -280,15 +280,19 @@ fn derive_tiled_mm(m: usize, k: usize, n: usize, tile: TileSize) -> (Program, Ty
         }
         current = applied.unwrap_or_else(|| panic!("{want} did not fire (tile {tile:?})"));
     }
-    let derived_type = typecheck(&current)
-        .unwrap_or_else(|e| panic!("tiled term ill-typed (tile {tile:?}): {e}"));
+    let derived_type =
+        typecheck(&current).unwrap_or_else(|e| panic!("tiled term ill-typed (tile {tile:?}): {e}"));
     assert_eq!(input_type, derived_type, "tiling must preserve the type");
     (current.to_program(), derived_type)
 }
 
 fn mm_inputs(m: usize, k: usize, n: usize) -> (Vec<f32>, Vec<f32>) {
-    let a = (0..m * k).map(|i| ((i * 7 + 3) % 11) as f32 - 5.0).collect();
-    let b = (0..k * n).map(|i| ((i * 5 + 1) % 13) as f32 - 6.0).collect();
+    let a = (0..m * k)
+        .map(|i| ((i * 7 + 3) % 11) as f32 - 5.0)
+        .collect();
+    let b = (0..k * n)
+        .map(|i| ((i * 5 + 1) % 13) as f32 - 6.0)
+        .collect();
     (a, b)
 }
 
@@ -435,7 +439,7 @@ fn duplicated_identical_writes_across_dimension_1_are_benign() {
     let kernel = compile(&p, &options).expect("compiles");
     let input: Vec<f32> = (0..64).map(|i| i as f32).collect();
     let (args, out_idx) = kernel
-        .bind_args(&[input.clone()], &Default::default())
+        .bind_args(std::slice::from_ref(&input), &Default::default())
         .expect("arguments bind");
 
     // 2D launch: the dimension-1 work items duplicate every write with identical values —

@@ -168,8 +168,14 @@ fn exploration_rederives_the_section32_convolution_kernel() {
 #[test]
 fn exploration_derives_the_local_staged_tiled_convolution() {
     let program = convolution::high_level_program(128, convolution::FILTER);
-    let result =
-        explore(&program, &conv_exploration_config(vec![lift::rewrite::TileSize::d1(16), lift::rewrite::TileSize::d1(32)])).expect("exploration runs");
+    let result = explore(
+        &program,
+        &conv_exploration_config(vec![
+            lift::rewrite::TileSize::d1(16),
+            lift::rewrite::TileSize::d1(32),
+        ]),
+    )
+    .expect("exploration runs");
     let staged = result
         .variants
         .iter()
